@@ -1,0 +1,81 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * A1 — sentry-margin sensitivity: how much refresh energy the
+//!   conservative "all sentry bits fire together" margin costs relative to
+//!   tighter margins (Section 4.1 discusses this trade-off).
+//! * A3 — periodic group size: how the burst blocking fraction changes with
+//!   the number of refresh groups per cache (Section 3.2's availability
+//!   argument for staggering).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use refrint_edram::controller::PeriodicBurstModel;
+use refrint_edram::policy::{DataPolicy, RefreshPolicy, TimePolicy};
+use refrint_edram::schedule::{DecaySchedule, LineKind};
+use refrint_engine::time::Cycle;
+
+fn ablation_sentry_margin(c: &mut Criterion) {
+    let retention = Cycle::new(50_000);
+    println!("== Ablation A1: sentry margin vs refreshes for an idle clean line (WB(32,32), 5 ms) ==");
+    for margin_lines in [1u64, 1024, 4096, 16 * 1024, 32 * 1024] {
+        let schedule = DecaySchedule::new(
+            RefreshPolicy::new(TimePolicy::Refrint, DataPolicy::write_back(32, 32)),
+            retention,
+            Cycle::new(margin_lines.min(49_999)),
+            Cycle::ZERO,
+        );
+        let s = schedule.settle(LineKind::Clean, Cycle::ZERO, Cycle::new(5_000_000));
+        println!(
+            "margin {:>6} cycles -> {} refreshes, invalidated at {:?}",
+            margin_lines.min(49_999),
+            s.refreshes,
+            s.invalidated_at
+        );
+    }
+
+    let mut group = c.benchmark_group("ablation_sentry_margin");
+    group.sample_size(10);
+    group.bench_function("settle_with_paper_margin", |b| {
+        let schedule = DecaySchedule::new(
+            RefreshPolicy::new(TimePolicy::Refrint, DataPolicy::write_back(32, 32)),
+            retention,
+            Cycle::new(16 * 1024),
+            Cycle::ZERO,
+        );
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            std::hint::black_box(schedule.settle(LineKind::Dirty, Cycle::new(i), Cycle::new(i + 2_000_000)));
+        });
+    });
+    group.finish();
+}
+
+fn ablation_group_size(c: &mut Criterion) {
+    let retention = Cycle::new(50_000);
+    println!("== Ablation A3: periodic refresh groups vs blocked fraction and worst-case stall (16K-line bank) ==");
+    for groups in [1u64, 2, 4, 8, 16, 64] {
+        let lines_per_group = 16 * 1024 / groups;
+        let model = PeriodicBurstModel::new(retention, groups, lines_per_group);
+        println!(
+            "groups {:>3} -> blocked fraction {:.4}, worst-case stall {} cycles",
+            groups,
+            model.blocked_fraction(),
+            model.burst_length()
+        );
+    }
+
+    let mut group = c.benchmark_group("ablation_group_size");
+    group.sample_size(10);
+    group.bench_function("access_delay_paper_grouping", |b| {
+        let model = PeriodicBurstModel::new(retention, 4, 4096);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            std::hint::black_box(model.access_delay(Cycle::new(i % 50_000)));
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, ablation_sentry_margin, ablation_group_size);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Regenerates Figure 6.1 (L1/L2/L3/DRAM energy, normalised to full-SRAM
+//! memory energy) on a smoke-scale sweep and benchmarks the end-to-end
+//! pipeline (sweep + rendering) for one representative application per class.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use refrint_bench::{experiment, render_figure_6_1, representative_apps, sweep, Scale};
+
+fn fig6_1(c: &mut Criterion) {
+    let cfg = experiment(Scale::Smoke, Some(representative_apps()));
+    let results = sweep(&cfg);
+    println!("== Figure 6.1 (smoke scale, representative apps) ==");
+    for series in render_figure_6_1(&results) {
+        print!("{series}");
+    }
+
+    let mut group = c.benchmark_group("fig6_1");
+    group.sample_size(10);
+    group.bench_function("render", |b| {
+        b.iter(|| std::hint::black_box(render_figure_6_1(&results)));
+    });
+    // A deliberately tiny sweep (one app, one retention, three policies) so
+    // the end-to-end pipeline cost can be measured without dominating the
+    // benchmark suite's runtime.
+    let tiny = refrint::experiment::ExperimentConfig {
+        apps: vec![refrint_workloads::apps::AppPreset::Lu],
+        retentions_us: vec![50],
+        policies: vec![
+            refrint_edram::policy::RefreshPolicy::edram_baseline(),
+            refrint_edram::policy::RefreshPolicy::recommended(),
+        ],
+        refs_per_thread: 1_500,
+        seed: 0xBEEF,
+        cores: 16,
+    };
+    group.bench_function("sweep_tiny_end_to_end", |b| {
+        b.iter(|| std::hint::black_box(sweep(&tiny)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, fig6_1);
+criterion_main!(benches);

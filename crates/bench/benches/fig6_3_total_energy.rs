@@ -1,0 +1,33 @@
+//! Regenerates Figure 6.3 (total system energy, normalised to the full-SRAM
+//! system energy) on a smoke-scale sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use refrint_bench::{experiment, headline, render_figure_6_3, representative_apps, sweep, Scale};
+
+fn fig6_3(c: &mut Criterion) {
+    let cfg = experiment(Scale::Smoke, Some(representative_apps()));
+    let results = sweep(&cfg);
+    println!("== Figure 6.3 (smoke scale, representative apps) ==");
+    for (label, group) in render_figure_6_3(&results) {
+        println!("-- {label} --");
+        for series in group {
+            print!("{series}");
+        }
+    }
+    if let Some(h) = headline(&results) {
+        println!(
+            "headline @50us: P.all system {:.2}, R.WB(32,32) system {:.2}",
+            h.baseline_system_energy, h.refrint_system_energy
+        );
+    }
+
+    let mut group = c.benchmark_group("fig6_3");
+    group.sample_size(10);
+    group.bench_function("render", |b| {
+        b.iter(|| std::hint::black_box(render_figure_6_3(&results)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, fig6_3);
+criterion_main!(benches);

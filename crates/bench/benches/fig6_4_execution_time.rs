@@ -1,0 +1,27 @@
+//! Regenerates Figure 6.4 (execution time, normalised to the full-SRAM
+//! execution time) on a smoke-scale sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use refrint_bench::{experiment, render_figure_6_4, representative_apps, sweep, Scale};
+
+fn fig6_4(c: &mut Criterion) {
+    let cfg = experiment(Scale::Smoke, Some(representative_apps()));
+    let results = sweep(&cfg);
+    println!("== Figure 6.4 (smoke scale, representative apps) ==");
+    for (label, group) in render_figure_6_4(&results) {
+        println!("-- {label} --");
+        for series in group {
+            print!("{series}");
+        }
+    }
+
+    let mut group = c.benchmark_group("fig6_4");
+    group.sample_size(10);
+    group.bench_function("render", |b| {
+        b.iter(|| std::hint::black_box(render_figure_6_4(&results)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, fig6_4);
+criterion_main!(benches);

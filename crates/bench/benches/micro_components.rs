@@ -1,0 +1,93 @@
+//! Component microbenchmarks: the hot paths of the substrates the system
+//! simulator is built from (cache lookups, directory transactions, torus
+//! routing, the lazy decay-schedule algebra, workload generation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use refrint_coherence::directory::Directory;
+use refrint_coherence::protocol::{CoreRequest, DirectoryProtocol};
+use refrint_edram::policy::{DataPolicy, RefreshPolicy, TimePolicy};
+use refrint_edram::schedule::{DecaySchedule, LineKind};
+use refrint_engine::time::Cycle;
+use refrint_mem::addr::LineAddr;
+use refrint_mem::cache::Cache;
+use refrint_mem::config::CacheGeometry;
+use refrint_mem::line::MesiState;
+use refrint_noc::routing::hop_count;
+use refrint_noc::topology::{NodeId, Torus};
+use refrint_workloads::apps::AppPreset;
+use refrint_workloads::generator::ThreadStream;
+
+fn micro(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro");
+    group.sample_size(20);
+
+    group.bench_function("cache_lookup_hit", |b| {
+        let geom = CacheGeometry::new(256 * 1024, 8, 64).unwrap();
+        let mut cache = Cache::new("bench", geom);
+        for i in 0..4096u64 {
+            cache.fill(LineAddr::new(i), MesiState::Exclusive, Cycle::ZERO);
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 4096;
+            std::hint::black_box(cache.lookup(LineAddr::new(i), Cycle::new(i)));
+        });
+    });
+
+    group.bench_function("directory_read_write_mix", |b| {
+        let mut dir = Directory::new(16);
+        let mut proto = DirectoryProtocol::new(16);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let line = LineAddr::new(i % 512);
+            let tile = (i % 16) as usize;
+            let req = if i % 3 == 0 { CoreRequest::Write } else { CoreRequest::Read };
+            std::hint::black_box(proto.access(&mut dir, line, tile, req));
+        });
+    });
+
+    group.bench_function("torus_hop_count", |b| {
+        let torus = Torus::paper_4x4();
+        let mut i = 0usize;
+        b.iter(|| {
+            i += 1;
+            std::hint::black_box(hop_count(
+                &torus,
+                NodeId::new(i % 16),
+                NodeId::new((i * 7) % 16),
+            ));
+        });
+    });
+
+    group.bench_function("decay_schedule_settle", |b| {
+        let schedule = DecaySchedule::new(
+            RefreshPolicy::new(TimePolicy::Refrint, DataPolicy::write_back(32, 32)),
+            Cycle::new(50_000),
+            Cycle::new(16_384),
+            Cycle::ZERO,
+        );
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            std::hint::black_box(schedule.settle(
+                LineKind::Dirty,
+                Cycle::new(i % 100_000),
+                Cycle::new(i % 100_000 + 5_000_000),
+            ));
+        });
+    });
+
+    group.bench_function("workload_generation_10k_refs", |b| {
+        let model = AppPreset::Lu.model().with_refs_per_thread(10_000);
+        b.iter(|| {
+            let stream = ThreadStream::new(&model, 0, 42);
+            std::hint::black_box(stream.count());
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, micro);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Regenerates Table 6.1 (application binning into Class 1/2/3) and measures
+//! the cost of the classification pass.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use refrint_workloads::apps::AppPreset;
+use refrint_workloads::classify::{classify, ClassifierConfig};
+
+fn table6_1(c: &mut Criterion) {
+    // Use the library's default sample size (20k references per thread): the
+    // classification thresholds are calibrated for it; much smaller samples
+    // over-weight cold-start misses and inflate the visibility metric.
+    let config = ClassifierConfig::default();
+
+    // Print the table once so the bench run leaves the artefact in its log.
+    println!("== Table 6.1: application binning ==");
+    for app in AppPreset::ALL {
+        let report = classify(&app.model(), &config);
+        println!("{report}");
+        assert_eq!(report.class, app.paper_class(), "{app} must match the paper's bin");
+    }
+
+    let mut group = c.benchmark_group("table6_1");
+    group.sample_size(10);
+    group.bench_function("classify_all_apps", |b| {
+        b.iter(|| {
+            for app in AppPreset::ALL {
+                std::hint::black_box(classify(&app.model(), &config));
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, table6_1);
+criterion_main!(benches);

@@ -1,0 +1,164 @@
+//! `gen-figures`: regenerate every table and figure of the paper's
+//! evaluation section from the configuration sweep.
+//!
+//! Usage:
+//!
+//! ```text
+//! gen-figures [--scale smoke|default|long] [--apps fft,lu,...] \
+//!             [--figure 6.1|6.2|6.3|6.4] [--table 6.1] [--csv]
+//! ```
+//!
+//! With no `--figure`/`--table` argument every artefact is produced. The
+//! output is plain text (or CSV with `--csv`) so it can be diffed against
+//! `EXPERIMENTS.md`.
+
+use std::process::ExitCode;
+
+use refrint_bench::{
+    experiment, headline, render_figure_6_1, render_figure_6_2, render_figure_6_3,
+    render_figure_6_4, render_table_6_1, sweep, Scale,
+};
+use refrint_workloads::apps::AppPreset;
+
+#[derive(Debug)]
+struct Options {
+    scale: Scale,
+    apps: Option<Vec<AppPreset>>,
+    artefacts: Vec<String>,
+    csv: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        scale: Scale::Default,
+        apps: None,
+        artefacts: Vec::new(),
+        csv: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let v = args.next().ok_or("--scale needs a value")?;
+                opts.scale = match v.as_str() {
+                    "smoke" => Scale::Smoke,
+                    "default" => Scale::Default,
+                    "long" => Scale::Long,
+                    other => return Err(format!("unknown scale `{other}`")),
+                };
+            }
+            "--apps" => {
+                let v = args.next().ok_or("--apps needs a value")?;
+                let mut apps = Vec::new();
+                for name in v.split(',') {
+                    apps.push(
+                        name.parse::<AppPreset>()
+                            .map_err(|e| format!("{e}"))?,
+                    );
+                }
+                opts.apps = Some(apps);
+            }
+            "--figure" | "--table" => {
+                let v = args.next().ok_or("--figure/--table needs a value")?;
+                opts.artefacts.push(v);
+            }
+            "--csv" => opts.csv = true,
+            "--help" | "-h" => {
+                println!(
+                    "gen-figures [--scale smoke|default|long] [--apps a,b,c] \
+                     [--figure 6.1|6.2|6.3|6.4] [--table 6.1] [--csv]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+fn wanted(opts: &Options, id: &str) -> bool {
+    opts.artefacts.is_empty() || opts.artefacts.iter().any(|a| a == id)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("gen-figures: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let cfg = experiment(opts.scale, opts.apps.clone());
+    eprintln!(
+        "gen-figures: running {} simulations ({} refs/thread) ...",
+        cfg.total_runs(),
+        cfg.refs_per_thread
+    );
+    let results = sweep(&cfg);
+
+    if wanted(&opts, "6.1") && opts.artefacts.iter().all(|a| a != "6.1-table") {
+        println!("== Table 6.1: application binning ==");
+        for line in render_table_6_1(&results) {
+            println!("{line}");
+        }
+        println!();
+    }
+
+    if wanted(&opts, "6.1") {
+        println!("== Figure 6.1: L1, L2, L3 & DRAM energy (normalised to full-SRAM memory energy) ==");
+        for series in render_figure_6_1(&results) {
+            print!("{}", if opts.csv { series.to_csv() } else { series.to_table() });
+        }
+        println!();
+    }
+
+    if wanted(&opts, "6.2") {
+        println!("== Figure 6.2: dynamic, leakage, refresh & DRAM energy (normalised) ==");
+        for (label, group) in render_figure_6_2(&results) {
+            println!("-- {label} --");
+            for series in group {
+                print!("{}", if opts.csv { series.to_csv() } else { series.to_table() });
+            }
+        }
+        println!();
+    }
+
+    if wanted(&opts, "6.3") {
+        println!("== Figure 6.3: total energy (normalised to full-SRAM system energy) ==");
+        for (label, group) in render_figure_6_3(&results) {
+            println!("-- {label} --");
+            for series in group {
+                print!("{}", if opts.csv { series.to_csv() } else { series.to_table() });
+            }
+        }
+        println!();
+    }
+
+    if wanted(&opts, "6.4") {
+        println!("== Figure 6.4: execution time (normalised to full-SRAM execution time) ==");
+        for (label, group) in render_figure_6_4(&results) {
+            println!("-- {label} --");
+            for series in group {
+                print!("{}", if opts.csv { series.to_csv() } else { series.to_table() });
+            }
+        }
+        println!();
+    }
+
+    if let Some(h) = headline(&results) {
+        println!("== Headline (50 us, averaged over all applications) ==");
+        println!(
+            "Periodic All     : memory {:.2}, system {:.2}, slowdown {:.2}",
+            h.baseline_memory_energy, h.baseline_system_energy, h.baseline_slowdown
+        );
+        println!(
+            "Refrint WB(32,32): memory {:.2}, system {:.2}, slowdown {:.2}",
+            h.refrint_memory_energy, h.refrint_system_energy, h.refrint_slowdown
+        );
+        println!(
+            "(paper: 0.50 / 0.72 / 1.18 for Periodic All; 0.36 / 0.61 / 1.02 for Refrint WB(32,32))"
+        );
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,1 @@
+#![allow(missing_docs)] //! placeholder

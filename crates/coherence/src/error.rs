@@ -1,0 +1,60 @@
+//! Error types for the coherence protocol.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the coherence layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CoherenceError {
+    /// A tile index exceeded the configured tile count.
+    TileOutOfRange {
+        /// The offending tile index.
+        tile: usize,
+        /// The configured number of tiles.
+        tiles: usize,
+    },
+    /// A protocol invariant was violated (indicates a simulator bug).
+    InvariantViolated {
+        /// Description of the violated invariant.
+        description: String,
+    },
+}
+
+impl fmt::Display for CoherenceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoherenceError::TileOutOfRange { tile, tiles } => {
+                write!(f, "tile {tile} is out of range for {tiles} tiles")
+            }
+            CoherenceError::InvariantViolated { description } => {
+                write!(f, "coherence invariant violated: {description}")
+            }
+        }
+    }
+}
+
+impl Error for CoherenceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(CoherenceError::TileOutOfRange { tile: 20, tiles: 16 }
+            .to_string()
+            .contains("20"));
+        assert!(CoherenceError::InvariantViolated {
+            description: "two owners".into()
+        }
+        .to_string()
+        .contains("two owners"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<CoherenceError>();
+    }
+}

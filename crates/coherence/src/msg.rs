@@ -1,0 +1,155 @@
+//! Coherence message descriptors.
+//!
+//! A resolved transaction produces a list of messages; the CMP simulator maps
+//! each to torus hops (via `refrint-noc`) for latency and energy accounting.
+
+use std::fmt;
+
+use refrint_mem::addr::LineAddr;
+
+/// The endpoints a coherence message travels between.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MsgKind {
+    /// Requesting tile → home L3 bank (GetS / GetX / PutM).
+    RequestToHome,
+    /// Home L3 bank → requesting tile (data or grant).
+    HomeToRequester,
+    /// Home L3 bank → a holder tile (invalidation or downgrade).
+    HomeToHolder,
+    /// Holder tile → home L3 bank (acknowledgement or dirty data).
+    HolderToHome,
+    /// Home L3 bank → memory controller (off-chip fill or write-back).
+    HomeToMemory,
+}
+
+impl fmt::Display for MsgKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MsgKind::RequestToHome => "req->home",
+            MsgKind::HomeToRequester => "home->req",
+            MsgKind::HomeToHolder => "home->holder",
+            MsgKind::HolderToHome => "holder->home",
+            MsgKind::HomeToMemory => "home->mem",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One coherence message generated while resolving a transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoherenceMsg {
+    /// The line involved.
+    pub line: LineAddr,
+    /// Who talks to whom.
+    pub kind: MsgKind,
+    /// The tile at the non-home end of the message, when applicable
+    /// (the requester for `RequestToHome`/`HomeToRequester`, the holder for
+    /// `HomeToHolder`/`HolderToHome`, `None` for `HomeToMemory`).
+    pub tile: Option<usize>,
+    /// Whether the message carries a full cache line of data.
+    pub carries_data: bool,
+    /// Whether this message is on the critical path of the request (pure
+    /// acknowledgements and background write-backs are not).
+    pub on_critical_path: bool,
+}
+
+impl CoherenceMsg {
+    /// A control request from `tile` to the home bank.
+    #[must_use]
+    pub fn request(line: LineAddr, tile: usize) -> Self {
+        CoherenceMsg {
+            line,
+            kind: MsgKind::RequestToHome,
+            tile: Some(tile),
+            carries_data: false,
+            on_critical_path: true,
+        }
+    }
+
+    /// A data response from the home bank to `tile`.
+    #[must_use]
+    pub fn data_to_requester(line: LineAddr, tile: usize) -> Self {
+        CoherenceMsg {
+            line,
+            kind: MsgKind::HomeToRequester,
+            tile: Some(tile),
+            carries_data: true,
+            on_critical_path: true,
+        }
+    }
+
+    /// An invalidation (or downgrade) from the home bank to a holder.
+    #[must_use]
+    pub fn invalidate(line: LineAddr, holder: usize, on_critical_path: bool) -> Self {
+        CoherenceMsg {
+            line,
+            kind: MsgKind::HomeToHolder,
+            tile: Some(holder),
+            carries_data: false,
+            on_critical_path,
+        }
+    }
+
+    /// An acknowledgement (optionally with dirty data) from a holder back to
+    /// the home bank.
+    #[must_use]
+    pub fn ack(line: LineAddr, holder: usize, carries_data: bool, on_critical_path: bool) -> Self {
+        CoherenceMsg {
+            line,
+            kind: MsgKind::HolderToHome,
+            tile: Some(holder),
+            carries_data,
+            on_critical_path,
+        }
+    }
+
+    /// A transfer between the home bank and the memory controller.
+    #[must_use]
+    pub fn to_memory(line: LineAddr, carries_data: bool, on_critical_path: bool) -> Self {
+        CoherenceMsg {
+            line,
+            kind: MsgKind::HomeToMemory,
+            tile: None,
+            carries_data,
+            on_critical_path,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_fields() {
+        let line = LineAddr::new(5);
+        let m = CoherenceMsg::request(line, 3);
+        assert_eq!(m.kind, MsgKind::RequestToHome);
+        assert_eq!(m.tile, Some(3));
+        assert!(!m.carries_data);
+        assert!(m.on_critical_path);
+
+        let m = CoherenceMsg::data_to_requester(line, 3);
+        assert!(m.carries_data);
+        assert_eq!(m.kind, MsgKind::HomeToRequester);
+
+        let m = CoherenceMsg::invalidate(line, 9, true);
+        assert_eq!(m.kind, MsgKind::HomeToHolder);
+        assert_eq!(m.tile, Some(9));
+
+        let m = CoherenceMsg::ack(line, 9, true, false);
+        assert_eq!(m.kind, MsgKind::HolderToHome);
+        assert!(m.carries_data);
+        assert!(!m.on_critical_path);
+
+        let m = CoherenceMsg::to_memory(line, true, false);
+        assert_eq!(m.kind, MsgKind::HomeToMemory);
+        assert_eq!(m.tile, None);
+    }
+
+    #[test]
+    fn kind_display() {
+        assert_eq!(MsgKind::RequestToHome.to_string(), "req->home");
+        assert_eq!(MsgKind::HomeToMemory.to_string(), "home->mem");
+    }
+}

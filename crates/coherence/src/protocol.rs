@@ -1,0 +1,409 @@
+//! Transaction-level directory MESI protocol.
+//!
+//! [`DirectoryProtocol::access`] resolves one core request against the
+//! directory: it computes the new directory entry, which private copies must
+//! be invalidated or downgraded (inclusivity and single-writer invariants),
+//! what state the requester fills in, and the messages exchanged. The caller
+//! (the CMP simulator) applies the corresponding changes to the actual cache
+//! arrays and converts the messages into latency and energy.
+
+use refrint_engine::stats::StatRegistry;
+use refrint_mem::addr::LineAddr;
+use refrint_mem::line::MesiState;
+
+use crate::directory::{Directory, DirectoryEntry, SharerSet};
+use crate::msg::CoherenceMsg;
+
+/// A request from a core's private hierarchy to the directory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CoreRequest {
+    /// A load that missed in the private caches (GetS).
+    Read,
+    /// A store that missed or lacked write permission (GetX / upgrade).
+    Write,
+    /// The private hierarchy evicted a clean copy (PutS — silent in many
+    /// protocols, explicit here so the directory stays precise).
+    EvictClean,
+    /// The private hierarchy evicted a dirty copy and writes it back (PutM).
+    EvictDirty,
+}
+
+/// What the directory decided for one request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// State the requester's private caches should install the line in
+    /// (meaningless for evictions).
+    pub fill_state: MesiState,
+    /// Whether the requester receives data (i.e. this was a read or write).
+    pub fills_requester: bool,
+    /// Tiles whose private copies must be invalidated, excluding the
+    /// requester.
+    pub invalidate: Vec<usize>,
+    /// Tile whose Modified copy must be downgraded (and written back to L3)
+    /// before the request completes.
+    pub downgrade_owner: Option<usize>,
+    /// Whether the previous owner's dirty data is written back into the L3
+    /// as part of this transaction.
+    pub owner_writeback: bool,
+    /// Messages generated, for latency and traffic accounting.
+    pub messages: Vec<CoherenceMsg>,
+}
+
+impl AccessOutcome {
+    fn eviction() -> Self {
+        AccessOutcome {
+            fill_state: MesiState::Invalid,
+            fills_requester: false,
+            invalidate: Vec::new(),
+            downgrade_owner: None,
+            owner_writeback: false,
+            messages: Vec::new(),
+        }
+    }
+}
+
+/// The directory-side protocol engine.
+#[derive(Debug, Clone)]
+pub struct DirectoryProtocol {
+    num_tiles: usize,
+    stats: StatRegistry,
+}
+
+impl DirectoryProtocol {
+    /// Creates a protocol engine for `num_tiles` tiles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_tiles` is zero or greater than 64.
+    #[must_use]
+    pub fn new(num_tiles: usize) -> Self {
+        assert!(
+            num_tiles > 0 && num_tiles <= 64,
+            "protocol supports 1..=64 tiles"
+        );
+        DirectoryProtocol {
+            num_tiles,
+            stats: StatRegistry::new(),
+        }
+    }
+
+    /// Protocol statistics (per-request-kind counts, invalidations sent,
+    /// owner downgrades, writebacks absorbed).
+    #[must_use]
+    pub fn stats(&self) -> &StatRegistry {
+        &self.stats
+    }
+
+    /// Resolves `request` from `tile` for `line` against `dir`.
+    ///
+    /// The directory entry is updated; the caller must apply the returned
+    /// invalidations/downgrades to the private cache arrays to preserve the
+    /// inclusive-hierarchy invariant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tile` is out of range.
+    pub fn access(
+        &mut self,
+        dir: &mut Directory,
+        line: LineAddr,
+        tile: usize,
+        request: CoreRequest,
+    ) -> AccessOutcome {
+        assert!(tile < self.num_tiles, "tile {tile} out of range");
+        match request {
+            CoreRequest::Read => self.read(dir, line, tile),
+            CoreRequest::Write => self.write(dir, line, tile),
+            CoreRequest::EvictClean => self.evict(dir, line, tile, false),
+            CoreRequest::EvictDirty => self.evict(dir, line, tile, true),
+        }
+    }
+
+    fn read(&mut self, dir: &mut Directory, line: LineAddr, tile: usize) -> AccessOutcome {
+        self.stats.incr("reads");
+        let mut out = AccessOutcome {
+            fill_state: MesiState::Shared,
+            fills_requester: true,
+            invalidate: Vec::new(),
+            downgrade_owner: None,
+            owner_writeback: false,
+            messages: vec![CoherenceMsg::request(line, tile)],
+        };
+        match dir.entry(line) {
+            DirectoryEntry::Uncached => {
+                // No private copy: grant Exclusive, as MESI does.
+                out.fill_state = MesiState::Exclusive;
+                dir.set_entry(line, DirectoryEntry::Owned { owner: tile });
+            }
+            DirectoryEntry::Shared(mut sharers) => {
+                if sharers.contains(tile) {
+                    // The directory already thinks we have it (e.g. an IL1/DL1
+                    // refill within the same tile); keep it Shared.
+                    self.stats.incr("redundant_reads");
+                } else {
+                    sharers.insert(tile);
+                }
+                out.fill_state = MesiState::Shared;
+                dir.set_entry(line, DirectoryEntry::Shared(sharers));
+            }
+            DirectoryEntry::Owned { owner } if owner == tile => {
+                // Re-request by the owner (e.g. refilling an L1 from its own
+                // L2 path); ownership is retained.
+                out.fill_state = MesiState::Exclusive;
+                self.stats.incr("redundant_reads");
+            }
+            DirectoryEntry::Owned { owner } => {
+                // Downgrade the owner; its dirty data (if any) is written
+                // back into the L3, and both tiles end up sharers.
+                self.stats.incr("owner_downgrades");
+                out.downgrade_owner = Some(owner);
+                out.owner_writeback = true;
+                out.fill_state = MesiState::Shared;
+                out.messages
+                    .push(CoherenceMsg::invalidate(line, owner, true));
+                out.messages.push(CoherenceMsg::ack(line, owner, true, true));
+                let sharers: SharerSet = [owner, tile].into_iter().collect();
+                dir.set_entry(line, DirectoryEntry::Shared(sharers));
+            }
+        }
+        out.messages.push(CoherenceMsg::data_to_requester(line, tile));
+        debug_assert!(dir.check_invariants(line));
+        out
+    }
+
+    fn write(&mut self, dir: &mut Directory, line: LineAddr, tile: usize) -> AccessOutcome {
+        self.stats.incr("writes");
+        let mut out = AccessOutcome {
+            fill_state: MesiState::Modified,
+            fills_requester: true,
+            invalidate: Vec::new(),
+            downgrade_owner: None,
+            owner_writeback: false,
+            messages: vec![CoherenceMsg::request(line, tile)],
+        };
+        match dir.entry(line) {
+            DirectoryEntry::Uncached => {}
+            DirectoryEntry::Shared(sharers) => {
+                for holder in sharers.iter().filter(|&t| t != tile) {
+                    self.stats.incr("invalidations_sent");
+                    out.invalidate.push(holder);
+                    out.messages
+                        .push(CoherenceMsg::invalidate(line, holder, true));
+                    out.messages
+                        .push(CoherenceMsg::ack(line, holder, false, true));
+                }
+            }
+            DirectoryEntry::Owned { owner } if owner == tile => {
+                // Upgrade in place; no remote work.
+                self.stats.incr("silent_upgrades");
+            }
+            DirectoryEntry::Owned { owner } => {
+                self.stats.incr("owner_transfers");
+                out.downgrade_owner = Some(owner);
+                out.owner_writeback = true;
+                out.invalidate.push(owner);
+                out.messages
+                    .push(CoherenceMsg::invalidate(line, owner, true));
+                out.messages.push(CoherenceMsg::ack(line, owner, true, true));
+            }
+        }
+        dir.set_entry(line, DirectoryEntry::Owned { owner: tile });
+        out.messages.push(CoherenceMsg::data_to_requester(line, tile));
+        debug_assert!(dir.check_invariants(line));
+        out
+    }
+
+    fn evict(
+        &mut self,
+        dir: &mut Directory,
+        line: LineAddr,
+        tile: usize,
+        dirty: bool,
+    ) -> AccessOutcome {
+        let mut out = AccessOutcome::eviction();
+        if dirty {
+            self.stats.incr("dirty_evictions_absorbed");
+            out.owner_writeback = true;
+            out.messages.push(CoherenceMsg::ack(line, tile, true, false));
+        } else {
+            self.stats.incr("clean_evictions");
+            out.messages.push(CoherenceMsg::ack(line, tile, false, false));
+        }
+        dir.remove_holder(line, tile);
+        debug_assert!(dir.check_invariants(line));
+        out
+    }
+
+    /// Invalidates a line everywhere on behalf of the L3 (used when the L3
+    /// line itself is evicted or decays): returns the tiles that held it and
+    /// whether a dirty copy existed on chip, and forgets the entry.
+    pub fn invalidate_all(
+        &mut self,
+        dir: &mut Directory,
+        line: LineAddr,
+    ) -> (Vec<usize>, bool, Vec<CoherenceMsg>) {
+        let entry = dir.entry(line);
+        let holders: Vec<usize> = entry.holders().iter().collect();
+        let had_dirty = entry.is_owned();
+        let mut messages = Vec::new();
+        for &h in &holders {
+            self.stats.incr("inclusive_invalidations");
+            messages.push(CoherenceMsg::invalidate(line, h, false));
+            messages.push(CoherenceMsg::ack(line, h, had_dirty, false));
+        }
+        dir.forget(line);
+        (holders, had_dirty, messages)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Directory, DirectoryProtocol, LineAddr) {
+        (Directory::new(16), DirectoryProtocol::new(16), LineAddr::new(0x40))
+    }
+
+    #[test]
+    fn first_read_grants_exclusive() {
+        let (mut dir, mut p, line) = setup();
+        let out = p.access(&mut dir, line, 0, CoreRequest::Read);
+        assert_eq!(out.fill_state, MesiState::Exclusive);
+        assert!(out.fills_requester);
+        assert!(out.invalidate.is_empty());
+        assert_eq!(dir.entry(line), DirectoryEntry::Owned { owner: 0 });
+    }
+
+    #[test]
+    fn second_read_downgrades_owner_to_shared() {
+        let (mut dir, mut p, line) = setup();
+        p.access(&mut dir, line, 0, CoreRequest::Read);
+        let out = p.access(&mut dir, line, 1, CoreRequest::Read);
+        assert_eq!(out.fill_state, MesiState::Shared);
+        assert_eq!(out.downgrade_owner, Some(0));
+        assert!(out.owner_writeback);
+        let holders = dir.entry(line).holders();
+        assert!(holders.contains(0) && holders.contains(1));
+        assert!(!dir.entry(line).is_owned());
+    }
+
+    #[test]
+    fn write_invalidates_all_sharers() {
+        let (mut dir, mut p, line) = setup();
+        p.access(&mut dir, line, 0, CoreRequest::Read);
+        p.access(&mut dir, line, 1, CoreRequest::Read);
+        p.access(&mut dir, line, 2, CoreRequest::Read);
+        let out = p.access(&mut dir, line, 3, CoreRequest::Write);
+        assert_eq!(out.fill_state, MesiState::Modified);
+        let mut inv = out.invalidate.clone();
+        inv.sort_unstable();
+        assert_eq!(inv, vec![0, 1, 2]);
+        assert_eq!(dir.entry(line), DirectoryEntry::Owned { owner: 3 });
+        assert_eq!(p.stats().get("invalidations_sent"), 3);
+    }
+
+    #[test]
+    fn write_by_sharer_does_not_invalidate_itself() {
+        let (mut dir, mut p, line) = setup();
+        p.access(&mut dir, line, 0, CoreRequest::Read);
+        p.access(&mut dir, line, 1, CoreRequest::Read);
+        let out = p.access(&mut dir, line, 0, CoreRequest::Write);
+        assert_eq!(out.invalidate, vec![1]);
+        assert_eq!(dir.entry(line), DirectoryEntry::Owned { owner: 0 });
+    }
+
+    #[test]
+    fn write_steals_ownership_with_writeback() {
+        let (mut dir, mut p, line) = setup();
+        p.access(&mut dir, line, 0, CoreRequest::Write);
+        let out = p.access(&mut dir, line, 1, CoreRequest::Write);
+        assert_eq!(out.downgrade_owner, Some(0));
+        assert!(out.owner_writeback);
+        assert_eq!(out.invalidate, vec![0]);
+        assert_eq!(dir.entry(line), DirectoryEntry::Owned { owner: 1 });
+        assert_eq!(p.stats().get("owner_transfers"), 1);
+    }
+
+    #[test]
+    fn owner_rewrite_is_silent_upgrade() {
+        let (mut dir, mut p, line) = setup();
+        p.access(&mut dir, line, 5, CoreRequest::Write);
+        let out = p.access(&mut dir, line, 5, CoreRequest::Write);
+        assert!(out.invalidate.is_empty());
+        assert_eq!(out.downgrade_owner, None);
+        assert_eq!(p.stats().get("silent_upgrades"), 1);
+    }
+
+    #[test]
+    fn evictions_update_directory() {
+        let (mut dir, mut p, line) = setup();
+        p.access(&mut dir, line, 0, CoreRequest::Read);
+        p.access(&mut dir, line, 1, CoreRequest::Read);
+        p.access(&mut dir, line, 0, CoreRequest::EvictClean);
+        assert_eq!(
+            dir.entry(line),
+            DirectoryEntry::Shared(SharerSet::single(1))
+        );
+        p.access(&mut dir, line, 1, CoreRequest::EvictClean);
+        assert_eq!(dir.entry(line), DirectoryEntry::Uncached);
+    }
+
+    #[test]
+    fn dirty_eviction_reports_writeback() {
+        let (mut dir, mut p, line) = setup();
+        p.access(&mut dir, line, 4, CoreRequest::Write);
+        let out = p.access(&mut dir, line, 4, CoreRequest::EvictDirty);
+        assert!(out.owner_writeback);
+        assert!(!out.fills_requester);
+        assert_eq!(dir.entry(line), DirectoryEntry::Uncached);
+    }
+
+    #[test]
+    fn invalidate_all_clears_holders() {
+        let (mut dir, mut p, line) = setup();
+        p.access(&mut dir, line, 0, CoreRequest::Read);
+        p.access(&mut dir, line, 1, CoreRequest::Read);
+        let (holders, dirty, msgs) = p.invalidate_all(&mut dir, line);
+        let mut holders = holders;
+        holders.sort_unstable();
+        assert_eq!(holders, vec![0, 1]);
+        assert!(!dirty);
+        assert_eq!(msgs.len(), 4);
+        assert_eq!(dir.entry(line), DirectoryEntry::Uncached);
+
+        // Owned case reports dirty.
+        p.access(&mut dir, line, 7, CoreRequest::Write);
+        let (holders, dirty, _) = p.invalidate_all(&mut dir, line);
+        assert_eq!(holders, vec![7]);
+        assert!(dirty);
+    }
+
+    #[test]
+    fn single_writer_invariant_over_random_traffic() {
+        use refrint_engine::rng::DeterministicRng;
+        let mut dir = Directory::new(16);
+        let mut p = DirectoryProtocol::new(16);
+        let mut rng = DeterministicRng::from_seed(2024);
+        let lines: Vec<LineAddr> = (0..8).map(LineAddr::new).collect();
+        for _ in 0..5000 {
+            let line = lines[rng.below(8) as usize];
+            let tile = rng.below(16) as usize;
+            let req = match rng.below(4) {
+                0 => CoreRequest::Read,
+                1 => CoreRequest::Write,
+                2 => CoreRequest::EvictClean,
+                _ => CoreRequest::EvictDirty,
+            };
+            // Evictions of lines we do not hold are fine for the directory —
+            // remove_holder is idempotent.
+            let _ = p.access(&mut dir, line, tile, req);
+            for &l in &lines {
+                assert!(dir.check_invariants(l));
+                // Single-writer: an owned line has exactly one holder.
+                if dir.entry(l).is_owned() {
+                    assert_eq!(dir.entry(l).holders().len(), 1);
+                }
+            }
+        }
+    }
+}

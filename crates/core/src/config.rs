@@ -1,0 +1,315 @@
+//! System configuration: the chip of Table 5.1 plus the technology and
+//! refresh-policy choices of Tables 5.2 and 5.4.
+
+use std::fmt;
+
+use refrint_edram::policy::{DataPolicy, RefreshPolicy, TimePolicy};
+use refrint_edram::retention::RetentionConfig;
+use refrint_energy::tech::{CellTech, TechnologyParams};
+use refrint_mem::config::CacheLevelConfig;
+use refrint_noc::latency::LinkParams;
+use refrint_noc::topology::Torus;
+
+use crate::cpu::CoreTimingModel;
+use crate::error::RefrintError;
+
+/// Complete configuration of one simulated system.
+#[derive(Debug, Clone)]
+pub struct SystemConfig {
+    /// Number of cores / tiles (the paper uses 16).
+    pub cores: usize,
+    /// Number of shared L3 banks (the paper uses 16, one per tile).
+    pub l3_banks: usize,
+    /// Private instruction L1 configuration.
+    pub il1: CacheLevelConfig,
+    /// Private data L1 configuration.
+    pub dl1: CacheLevelConfig,
+    /// Private L2 configuration.
+    pub l2: CacheLevelConfig,
+    /// One shared L3 bank's configuration.
+    pub l3_bank: CacheLevelConfig,
+    /// The on-chip interconnect topology.
+    pub torus: Torus,
+    /// Link/router latency parameters.
+    pub link: LinkParams,
+    /// Core timing model.
+    pub core: CoreTimingModel,
+    /// The memory cell technology of the on-chip caches.
+    pub cells: CellTech,
+    /// eDRAM retention configuration (ignored for SRAM).
+    pub retention: RetentionConfig,
+    /// Refresh policy applied to the L3 (L1/L2 use the same time policy with
+    /// the `Valid` data policy, per Section 6.2). Ignored for SRAM.
+    pub policy: RefreshPolicy,
+    /// Technology/energy parameters.
+    pub tech: TechnologyParams,
+    /// Seed for the deterministic workload streams.
+    pub seed: u64,
+    /// Override of the workload's references per thread (`None` keeps the
+    /// application preset's default). Used to scale runs up or down.
+    pub refs_per_thread: Option<u64>,
+}
+
+impl SystemConfig {
+    /// The full-SRAM baseline system of the paper (no refresh).
+    #[must_use]
+    pub fn sram_baseline() -> Self {
+        SystemConfig {
+            cores: 16,
+            l3_banks: 16,
+            il1: CacheLevelConfig::paper_il1(),
+            dl1: CacheLevelConfig::paper_dl1(),
+            l2: CacheLevelConfig::paper_l2(),
+            l3_bank: CacheLevelConfig::paper_l3_bank(),
+            torus: Torus::paper_4x4(),
+            link: LinkParams::paper_default(),
+            core: CoreTimingModel::paper_default(),
+            cells: CellTech::Sram,
+            retention: RetentionConfig::microseconds_50(),
+            policy: RefreshPolicy::edram_baseline(),
+            tech: TechnologyParams::paper_default(),
+            seed: 0xBEEF,
+            refs_per_thread: None,
+        }
+    }
+
+    /// The naive full-eDRAM system: `Periodic All` at 50 µs.
+    #[must_use]
+    pub fn edram_baseline() -> Self {
+        SystemConfig {
+            cells: CellTech::Edram,
+            policy: RefreshPolicy::edram_baseline(),
+            ..Self::sram_baseline()
+        }
+    }
+
+    /// The paper's recommended configuration: `Refrint WB(32,32)` at 50 µs.
+    #[must_use]
+    pub fn edram_recommended() -> Self {
+        SystemConfig {
+            cells: CellTech::Edram,
+            policy: RefreshPolicy::recommended(),
+            ..Self::sram_baseline()
+        }
+    }
+
+    /// Sets the refresh policy (eDRAM only).
+    #[must_use]
+    pub fn with_policy(mut self, policy: RefreshPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the retention configuration (eDRAM only).
+    #[must_use]
+    pub fn with_retention(mut self, retention: RetentionConfig) -> Self {
+        self.retention = retention;
+        self
+    }
+
+    /// Sets the cell technology.
+    #[must_use]
+    pub fn with_cells(mut self, cells: CellTech) -> Self {
+        self.cells = cells;
+        self
+    }
+
+    /// Sets the workload seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides the number of references each workload thread issues
+    /// (scales simulated time; smaller is faster).
+    #[must_use]
+    pub fn with_scale(mut self, refs_per_thread: u64) -> Self {
+        self.refs_per_thread = Some(refs_per_thread);
+        self
+    }
+
+    /// Shrinks the chip (cores, banks and thread count) for fast unit tests.
+    #[must_use]
+    pub fn with_cores(mut self, cores: usize) -> Self {
+        self.cores = cores;
+        self.l3_banks = cores;
+        self
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RefrintError::InvalidConfig`] if the core count does not
+    /// match the torus, the bank count differs from the core count, or the
+    /// line sizes disagree across levels.
+    pub fn validate(&self) -> Result<(), RefrintError> {
+        let fail = |reason: String| Err(RefrintError::InvalidConfig { reason });
+        if self.cores == 0 {
+            return fail("at least one core is required".into());
+        }
+        if self.cores > self.torus.num_nodes() {
+            return fail(format!(
+                "{} cores do not fit on a {} node torus",
+                self.cores,
+                self.torus.num_nodes()
+            ));
+        }
+        if self.l3_banks != self.cores {
+            return fail(format!(
+                "the model assumes one L3 bank per tile ({} banks for {} cores)",
+                self.l3_banks, self.cores
+            ));
+        }
+        let line = self.dl1.geometry.line_size();
+        if self.l2.geometry.line_size() != line
+            || self.l3_bank.geometry.line_size() != line
+            || self.il1.geometry.line_size() != line
+        {
+            return fail("all cache levels must share a line size".into());
+        }
+        if self.cells.needs_refresh() {
+            let margin = self.l3_bank.geometry.num_lines();
+            if margin >= self.retention.line_retention_cycles().raw() {
+                return fail(format!(
+                    "retention of {} cycles leaves no room for the {}-cycle sentry margin",
+                    self.retention.line_retention_cycles(),
+                    margin
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// A short human-readable description of the technology/policy point,
+    /// e.g. `SRAM`, `eDRAM 50us P.all`, `eDRAM 100us R.WB(32,32)`.
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self.cells {
+            CellTech::Sram => "SRAM".to_owned(),
+            CellTech::Edram => format!(
+                "eDRAM {}us {}",
+                self.retention.retention().as_micros(),
+                self.policy.label()
+            ),
+        }
+    }
+
+    /// The time policy actually applied to the private L1/L2 caches: the
+    /// configured time policy with the `Valid` data policy (Section 6.2).
+    #[must_use]
+    pub fn private_cache_policy(&self) -> RefreshPolicy {
+        RefreshPolicy::new(self.policy.time, DataPolicy::Valid)
+    }
+
+    /// Whether the configured time policy is Periodic (used to pick the
+    /// blocking model).
+    #[must_use]
+    pub fn is_periodic(&self) -> bool {
+        self.policy.time == TimePolicy::Periodic
+    }
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        Self::edram_recommended()
+    }
+}
+
+impl fmt::Display for SystemConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Chip            : {} cores, {} L3 banks, {}", self.cores, self.l3_banks, self.torus)?;
+        writeln!(f, "IL1             : {} ({} ns)", self.il1.geometry, self.il1.access_latency)?;
+        writeln!(f, "DL1             : {} ({} , WT)", self.dl1.geometry, self.dl1.access_latency)?;
+        writeln!(f, "L2              : {} ({} , WB)", self.l2.geometry, self.l2.access_latency)?;
+        writeln!(f, "L3 bank         : {} ({} , WB, shared)", self.l3_bank.geometry, self.l3_bank.access_latency)?;
+        writeln!(f, "Cells           : {}", self.cells)?;
+        if self.cells.needs_refresh() {
+            writeln!(f, "Retention       : {}", self.retention)?;
+            writeln!(f, "Refresh policy  : {}", self.policy)?;
+        }
+        write!(f, "Seed            : {:#x}", self.seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configurations_validate() {
+        SystemConfig::sram_baseline().validate().unwrap();
+        SystemConfig::edram_baseline().validate().unwrap();
+        SystemConfig::edram_recommended().validate().unwrap();
+    }
+
+    #[test]
+    fn labels_identify_the_point() {
+        assert_eq!(SystemConfig::sram_baseline().label(), "SRAM");
+        assert_eq!(SystemConfig::edram_baseline().label(), "eDRAM 50us P.all");
+        assert_eq!(
+            SystemConfig::edram_recommended()
+                .with_retention(RetentionConfig::microseconds_200())
+                .label(),
+            "eDRAM 200us R.WB(32,32)"
+        );
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = SystemConfig::edram_recommended()
+            .with_policy(RefreshPolicy::new(TimePolicy::Periodic, DataPolicy::Dirty))
+            .with_retention(RetentionConfig::microseconds_100())
+            .with_seed(7)
+            .with_scale(123)
+            .with_cores(4);
+        assert_eq!(c.cores, 4);
+        assert_eq!(c.l3_banks, 4);
+        assert_eq!(c.seed, 7);
+        assert_eq!(c.refs_per_thread, Some(123));
+        assert!(c.is_periodic());
+        assert_eq!(c.private_cache_policy().data, DataPolicy::Valid);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut c = SystemConfig::sram_baseline();
+        c.cores = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = SystemConfig::sram_baseline();
+        c.cores = 17;
+        c.l3_banks = 17;
+        assert!(c.validate().is_err());
+
+        let mut c = SystemConfig::sram_baseline();
+        c.l3_banks = 8;
+        assert!(c.validate().is_err());
+
+        let mut c = SystemConfig::edram_baseline();
+        c.retention = RetentionConfig::new(
+            refrint_engine::time::SimDuration::from_micros(10),
+            refrint_engine::time::Freq::gigahertz(1),
+        )
+        .unwrap();
+        // 10 us = 10_000 cycles < 16K-line sentry margin: invalid.
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn display_includes_key_fields() {
+        let text = SystemConfig::edram_recommended().to_string();
+        assert!(text.contains("16 cores"));
+        assert!(text.contains("eDRAM"));
+        assert!(text.contains("R.WB(32,32)"));
+        let text = SystemConfig::sram_baseline().to_string();
+        assert!(!text.contains("Refresh policy"));
+    }
+
+    #[test]
+    fn default_is_recommended() {
+        assert_eq!(SystemConfig::default().label(), "eDRAM 50us R.WB(32,32)");
+    }
+}

@@ -1,0 +1,105 @@
+//! Core timing model.
+//!
+//! The paper's cores are simple dual-issue out-of-order MIPS32 processors.
+//! At the memory-reference level we approximate them with two parameters:
+//! how many instructions retire per compute cycle, and what fraction of a
+//! memory access's latency beyond the L1 can be hidden by out-of-order
+//! execution and memory-level parallelism.
+
+use refrint_engine::time::Cycle;
+
+/// Timing parameters of one core.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoreTimingModel {
+    /// Instructions retired per compute-gap cycle (dual issue ≈ 1.5 when
+    /// accounting for dependencies).
+    pub instructions_per_gap_cycle: f64,
+    /// Fraction of miss latency (beyond the L1 hit latency) hidden by
+    /// out-of-order execution and overlapping misses.
+    pub miss_overlap: f64,
+    /// Instruction fetches per instruction (1.0: every instruction reads the
+    /// IL1; smaller values model fetch buffering).
+    pub fetches_per_instruction: f64,
+}
+
+impl CoreTimingModel {
+    /// Representative parameters for the paper's dual-issue OOO core.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        CoreTimingModel {
+            instructions_per_gap_cycle: 1.5,
+            miss_overlap: 0.3,
+            fetches_per_instruction: 1.0,
+        }
+    }
+
+    /// The latency the core observes for a memory access whose L1 latency is
+    /// `l1` and whose additional (beyond-L1) latency is `beyond`: the L1
+    /// portion is always exposed, the rest is partially hidden.
+    #[must_use]
+    pub fn observed_latency(&self, l1: Cycle, beyond: Cycle) -> Cycle {
+        let hidden = (beyond.raw() as f64 * self.miss_overlap).floor() as u64;
+        l1 + Cycle::new(beyond.raw() - hidden)
+    }
+
+    /// Number of instructions attributed to a compute gap of `gap` cycles
+    /// plus the memory instruction itself.
+    #[must_use]
+    pub fn instructions_for_gap(&self, gap: u64) -> u64 {
+        1 + (gap as f64 * self.instructions_per_gap_cycle).round() as u64
+    }
+
+    /// Number of IL1 fetch accesses for `instructions` instructions.
+    #[must_use]
+    pub fn fetches_for(&self, instructions: u64) -> u64 {
+        (instructions as f64 * self.fetches_per_instruction).round() as u64
+    }
+}
+
+impl Default for CoreTimingModel {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observed_latency_hides_part_of_misses() {
+        let m = CoreTimingModel::paper_default();
+        // Pure L1 hit: nothing to hide.
+        assert_eq!(m.observed_latency(Cycle::new(1), Cycle::ZERO), Cycle::new(1));
+        // 40-cycle DRAM portion: 30% hidden.
+        assert_eq!(
+            m.observed_latency(Cycle::new(1), Cycle::new(40)),
+            Cycle::new(1 + 40 - 12)
+        );
+    }
+
+    #[test]
+    fn full_overlap_and_no_overlap_extremes() {
+        let mut m = CoreTimingModel::paper_default();
+        m.miss_overlap = 0.0;
+        assert_eq!(m.observed_latency(Cycle::new(2), Cycle::new(10)), Cycle::new(12));
+        m.miss_overlap = 1.0;
+        assert_eq!(m.observed_latency(Cycle::new(2), Cycle::new(10)), Cycle::new(2));
+    }
+
+    #[test]
+    fn instruction_accounting() {
+        let m = CoreTimingModel::paper_default();
+        assert_eq!(m.instructions_for_gap(0), 1);
+        assert_eq!(m.instructions_for_gap(4), 1 + 6);
+        assert_eq!(m.fetches_for(100), 100);
+        let mut buffered = m;
+        buffered.fetches_per_instruction = 0.25;
+        assert_eq!(buffered.fetches_for(100), 25);
+    }
+
+    #[test]
+    fn default_is_paper_default() {
+        assert_eq!(CoreTimingModel::default(), CoreTimingModel::paper_default());
+    }
+}

@@ -1,0 +1,56 @@
+//! Error types for the system simulator.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the `refrint` crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RefrintError {
+    /// The system configuration was inconsistent.
+    InvalidConfig {
+        /// Description of the violated constraint.
+        reason: String,
+    },
+    /// A requested experiment artefact (figure/table) is unknown.
+    UnknownArtefact {
+        /// The requested artefact name.
+        name: String,
+    },
+}
+
+impl fmt::Display for RefrintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RefrintError::InvalidConfig { reason } => {
+                write!(f, "invalid system configuration: {reason}")
+            }
+            RefrintError::UnknownArtefact { name } => {
+                write!(f, "unknown experiment artefact `{name}`")
+            }
+        }
+    }
+}
+
+impl Error for RefrintError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(RefrintError::InvalidConfig { reason: "x".into() }
+            .to_string()
+            .contains("configuration"));
+        assert!(RefrintError::UnknownArtefact { name: "fig9".into() }
+            .to_string()
+            .contains("fig9"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<RefrintError>();
+    }
+}

@@ -1,0 +1,324 @@
+//! The paper's parameter sweep (Table 5.4): 3 retention times × 2 time
+//! policies × 7 data policies, plus the full-SRAM baseline, over the 11
+//! applications of Table 5.3.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use refrint_edram::policy::RefreshPolicy;
+use refrint_edram::retention::RetentionConfig;
+use refrint_energy::tech::CellTech;
+use refrint_workloads::apps::AppPreset;
+use refrint_workloads::classify::AppClass;
+
+use crate::config::SystemConfig;
+use crate::error::RefrintError;
+use crate::report::SimReport;
+use crate::system::CmpSystem;
+
+/// One eDRAM configuration point of the sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepPoint {
+    /// Retention time in microseconds (50, 100 or 200 in the paper).
+    pub retention_us: u64,
+    /// The refresh policy (time × data).
+    pub policy: RefreshPolicy,
+}
+
+impl SweepPoint {
+    /// The figure label for this point, e.g. `R.WB(32,32)`.
+    #[must_use]
+    pub fn label(&self) -> String {
+        self.policy.label()
+    }
+}
+
+impl fmt::Display for SweepPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} us / {}", self.retention_us, self.policy)
+    }
+}
+
+/// Configuration of a sweep run.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// Applications to run (defaults to all 11 of Table 5.3).
+    pub apps: Vec<AppPreset>,
+    /// Retention times to sweep, in microseconds (defaults to 50/100/200).
+    pub retentions_us: Vec<u64>,
+    /// Policies to sweep (defaults to the 14 combinations of Table 5.4).
+    pub policies: Vec<RefreshPolicy>,
+    /// References per thread per run (scales simulated time).
+    pub refs_per_thread: u64,
+    /// Workload seed.
+    pub seed: u64,
+    /// Number of cores (16 in the paper; smaller values speed up testing).
+    pub cores: usize,
+}
+
+impl ExperimentConfig {
+    /// The paper's full sweep at a moderate default scale.
+    #[must_use]
+    pub fn paper_full() -> Self {
+        ExperimentConfig {
+            apps: AppPreset::ALL.to_vec(),
+            retentions_us: vec![50, 100, 200],
+            policies: RefreshPolicy::paper_sweep(),
+            refs_per_thread: 60_000,
+            seed: 0xBEEF,
+            cores: 16,
+        }
+    }
+
+    /// A reduced sweep (three representative applications, the 50 µs
+    /// retention point) for quick runs and CI.
+    #[must_use]
+    pub fn quick() -> Self {
+        ExperimentConfig {
+            apps: vec![AppPreset::Fft, AppPreset::Lu, AppPreset::Blackscholes],
+            retentions_us: vec![50],
+            policies: RefreshPolicy::paper_sweep(),
+            refs_per_thread: 8_000,
+            seed: 0xBEEF,
+            cores: 16,
+        }
+    }
+
+    /// Scales the run length.
+    #[must_use]
+    pub fn with_refs_per_thread(mut self, refs: u64) -> Self {
+        self.refs_per_thread = refs;
+        self
+    }
+
+    /// Restricts the applications.
+    #[must_use]
+    pub fn with_apps(mut self, apps: Vec<AppPreset>) -> Self {
+        self.apps = apps;
+        self
+    }
+
+    /// Total number of (application × configuration) simulations the sweep
+    /// will run, including the SRAM baseline.
+    #[must_use]
+    pub fn total_runs(&self) -> usize {
+        self.apps.len() * (1 + self.retentions_us.len() * self.policies.len())
+    }
+
+    fn retention(us: u64) -> RetentionConfig {
+        match us {
+            50 => RetentionConfig::microseconds_50(),
+            100 => RetentionConfig::microseconds_100(),
+            200 => RetentionConfig::microseconds_200(),
+            other => RetentionConfig::new(
+                refrint_engine::time::SimDuration::from_micros(other),
+                refrint_engine::time::Freq::gigahertz(1),
+            )
+            .expect("retention must be at least one cycle"),
+        }
+    }
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        Self::paper_full()
+    }
+}
+
+/// The results of a sweep: one SRAM baseline report per application plus one
+/// eDRAM report per (application, retention, policy).
+#[derive(Debug, Clone, Default)]
+pub struct SweepResults {
+    /// SRAM baseline reports keyed by application.
+    pub sram: BTreeMap<String, SimReport>,
+    /// eDRAM reports keyed by `(application, retention_us, policy label)`.
+    pub edram: BTreeMap<(String, u64, String), SimReport>,
+    /// The applications that were run, in order.
+    pub apps: Vec<AppPreset>,
+    /// The retention points that were swept.
+    pub retentions_us: Vec<u64>,
+    /// The policies that were swept, in figure order.
+    pub policies: Vec<RefreshPolicy>,
+}
+
+impl SweepResults {
+    /// The SRAM baseline report for `app`.
+    #[must_use]
+    pub fn sram_report(&self, app: AppPreset) -> Option<&SimReport> {
+        self.sram.get(app.name())
+    }
+
+    /// The eDRAM report for `(app, retention, policy)`.
+    #[must_use]
+    pub fn edram_report(
+        &self,
+        app: AppPreset,
+        retention_us: u64,
+        policy: RefreshPolicy,
+    ) -> Option<&SimReport> {
+        self.edram
+            .get(&(app.name().to_owned(), retention_us, policy.label()))
+    }
+
+    /// The applications of `class` that were part of this sweep.
+    #[must_use]
+    pub fn apps_in_class(&self, class: AppClass) -> Vec<AppPreset> {
+        self.apps
+            .iter()
+            .copied()
+            .filter(|a| a.paper_class() == class)
+            .collect()
+    }
+
+    /// Average, over the given applications, of `f(edram_report, sram_report)`.
+    /// Applications missing either report are skipped.
+    #[must_use]
+    pub fn average_over<F>(
+        &self,
+        apps: &[AppPreset],
+        retention_us: u64,
+        policy: RefreshPolicy,
+        f: F,
+    ) -> Option<f64>
+    where
+        F: Fn(&SimReport, &SimReport) -> f64,
+    {
+        let values: Vec<f64> = apps
+            .iter()
+            .filter_map(|&app| {
+                let edram = self.edram_report(app, retention_us, policy)?;
+                let sram = self.sram_report(app)?;
+                Some(f(edram, sram))
+            })
+            .collect();
+        if values.is_empty() {
+            None
+        } else {
+            Some(values.iter().sum::<f64>() / values.len() as f64)
+        }
+    }
+}
+
+/// Runs the sweep described by `config`.
+///
+/// # Errors
+///
+/// Returns [`RefrintError::InvalidConfig`] if any derived system
+/// configuration is invalid (e.g. a retention time shorter than the sentry
+/// margin).
+pub fn run_sweep(config: &ExperimentConfig) -> Result<SweepResults, RefrintError> {
+    let mut results = SweepResults {
+        apps: config.apps.clone(),
+        retentions_us: config.retentions_us.clone(),
+        policies: config.policies.clone(),
+        ..SweepResults::default()
+    };
+
+    for &app in &config.apps {
+        // SRAM baseline.
+        let sram_cfg = SystemConfig::sram_baseline()
+            .with_cores(config.cores)
+            .with_seed(config.seed)
+            .with_scale(config.refs_per_thread);
+        let mut system = CmpSystem::new(sram_cfg)?;
+        results
+            .sram
+            .insert(app.name().to_owned(), system.run_app(app));
+
+        // eDRAM points.
+        for &retention_us in &config.retentions_us {
+            for &policy in &config.policies {
+                let cfg = SystemConfig::sram_baseline()
+                    .with_cores(config.cores)
+                    .with_cells(CellTech::Edram)
+                    .with_retention(ExperimentConfig::retention(retention_us))
+                    .with_policy(policy)
+                    .with_seed(config.seed)
+                    .with_scale(config.refs_per_thread);
+                let mut system = CmpSystem::new(cfg)?;
+                let report = system.run_app(app);
+                results
+                    .edram
+                    .insert((app.name().to_owned(), retention_us, policy.label()), report);
+            }
+        }
+    }
+    Ok(results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use refrint_edram::policy::{DataPolicy, TimePolicy};
+
+    #[test]
+    fn paper_sweep_has_473_runs() {
+        // 11 apps x (1 SRAM + 3 retentions x 14 policies) = 11 x 43 = 473.
+        let cfg = ExperimentConfig::paper_full();
+        assert_eq!(cfg.total_runs(), 473);
+        assert_eq!(cfg.policies.len(), 14);
+    }
+
+    #[test]
+    fn tiny_sweep_runs_and_indexes() {
+        let cfg = ExperimentConfig {
+            apps: vec![AppPreset::Blackscholes, AppPreset::Fft],
+            retentions_us: vec![50],
+            policies: vec![
+                RefreshPolicy::edram_baseline(),
+                RefreshPolicy::new(TimePolicy::Refrint, DataPolicy::Valid),
+            ],
+            refs_per_thread: 1_500,
+            seed: 3,
+            cores: 4,
+        };
+        let results = run_sweep(&cfg).unwrap();
+        assert_eq!(results.sram.len(), 2);
+        assert_eq!(results.edram.len(), 4);
+        assert!(results.sram_report(AppPreset::Fft).is_some());
+        assert!(results.sram_report(AppPreset::Lu).is_none());
+        assert!(results
+            .edram_report(AppPreset::Fft, 50, RefreshPolicy::edram_baseline())
+            .is_some());
+        assert!(results
+            .edram_report(AppPreset::Fft, 100, RefreshPolicy::edram_baseline())
+            .is_none());
+
+        // Averages over present apps exist, and are positive ratios.
+        let avg = results
+            .average_over(
+                &[AppPreset::Fft, AppPreset::Blackscholes],
+                50,
+                RefreshPolicy::edram_baseline(),
+                |e, s| e.memory_energy_vs(s),
+            )
+            .unwrap();
+        assert!(avg > 0.0 && avg < 2.0, "normalised energy was {avg}");
+        // Averages over apps that were not run are None.
+        assert!(results
+            .average_over(&[AppPreset::Lu], 50, RefreshPolicy::edram_baseline(), |e, s| {
+                e.memory_energy_vs(s)
+            })
+            .is_none());
+    }
+
+    #[test]
+    fn class_filter_uses_paper_binning() {
+        let results = SweepResults {
+            apps: AppPreset::ALL.to_vec(),
+            ..SweepResults::default()
+        };
+        assert_eq!(results.apps_in_class(AppClass::Class1).len(), 4);
+        assert_eq!(results.apps_in_class(AppClass::Class3).len(), 3);
+    }
+
+    #[test]
+    fn sweep_point_labels() {
+        let p = SweepPoint {
+            retention_us: 50,
+            policy: RefreshPolicy::recommended(),
+        };
+        assert_eq!(p.label(), "R.WB(32,32)");
+        assert!(p.to_string().contains("50 us"));
+    }
+}

@@ -1,0 +1,76 @@
+//! Refrint: intelligent refresh for full-eDRAM multiprocessor cache
+//! hierarchies.
+//!
+//! This crate is the top of the workspace: it assembles the substrates
+//! (caches, directory MESI coherence, torus NoC, eDRAM refresh policies,
+//! energy model, synthetic workloads) into the 16-core chip multiprocessor of
+//! the paper's Table 5.1, runs 16-threaded workloads through it, and
+//! regenerates the paper's evaluation artefacts.
+//!
+//! # Architecture
+//!
+//! ```text
+//!  core 0..15 ──► private DL1 (WT) ──► private L2 (WB) ──┐
+//!                                                        │  4x4 torus
+//!                  shared L3, 16 banks, directory MESI ◄─┘
+//!                                │
+//!                              DRAM
+//! ```
+//!
+//! Every cache can be built from SRAM (baseline: no refresh, full leakage) or
+//! eDRAM (quarter leakage, needs refresh). For eDRAM, the refresh behaviour
+//! is governed by a [`refrint_edram::policy::RefreshPolicy`]: `Periodic` or
+//! `Refrint` timing combined with `All` / `Valid` / `Dirty` / `WB(n,m)` data
+//! policies. The L1/L2 always run the `Valid` data policy, as in the paper's
+//! evaluation (Section 6.2); the swept data policy applies to the L3.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use refrint::config::SystemConfig;
+//! use refrint::system::CmpSystem;
+//! use refrint_workloads::apps::AppPreset;
+//!
+//! // A deliberately small run so the doctest is fast.
+//! let config = SystemConfig::edram_recommended().with_scale(2_000);
+//! let mut system = CmpSystem::new(config).unwrap();
+//! let report = system.run_app(AppPreset::Blackscholes);
+//! assert!(report.execution_cycles > 0);
+//! assert!(report.breakdown.memory_total() > 0.0);
+//! ```
+//!
+//! The [`experiment`] module runs the paper's 42 + 1 configuration sweep
+//! (Table 5.4) and the [`figures`] module turns sweep results into the rows
+//! of Figures 6.1–6.4 and Table 6.1.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod config;
+pub mod cpu;
+pub mod error;
+pub mod experiment;
+pub mod figures;
+pub mod hierarchy;
+pub mod report;
+pub mod system;
+
+pub use config::SystemConfig;
+pub use error::RefrintError;
+pub use experiment::{ExperimentConfig, SweepResults};
+pub use report::SimReport;
+pub use system::CmpSystem;
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use crate::config::SystemConfig;
+    pub use crate::experiment::{ExperimentConfig, SweepResults};
+    pub use crate::report::SimReport;
+    pub use crate::system::CmpSystem;
+    pub use refrint_edram::policy::{DataPolicy, RefreshPolicy, TimePolicy};
+    pub use refrint_edram::retention::RetentionConfig;
+    pub use refrint_energy::tech::CellTech;
+    pub use refrint_workloads::apps::AppPreset;
+    pub use refrint_workloads::classify::AppClass;
+}

@@ -1,0 +1,158 @@
+//! Simulation reports.
+
+use std::fmt;
+
+use refrint_energy::accounting::EnergyCounts;
+use refrint_energy::breakdown::EnergyBreakdown;
+use refrint_engine::stats::StatRegistry;
+
+/// The result of running one workload on one system configuration.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Label of the configuration that produced this report
+    /// (e.g. `eDRAM 50us R.WB(32,32)`).
+    pub config_label: String,
+    /// Name of the workload that was run.
+    pub workload: String,
+    /// Execution time in cycles (the slowest core's finishing time).
+    pub execution_cycles: u64,
+    /// Raw event counts.
+    pub counts: EnergyCounts,
+    /// Energy breakdown computed from the counts.
+    pub breakdown: EnergyBreakdown,
+    /// Detailed per-structure statistics (hit/miss/invalidations/etc.).
+    pub stats: StatRegistry,
+}
+
+impl SimReport {
+    /// Misses per thousand data references at the L3 (a convenient summary
+    /// of how much a policy hurts locality).
+    #[must_use]
+    pub fn l3_miss_rate_per_mille(&self) -> f64 {
+        let refs = self.counts.dl1_accesses.max(1);
+        self.counts.dram_reads as f64 * 1000.0 / refs as f64
+    }
+
+    /// Refreshes per kilo-cycle across the hierarchy (a summary of refresh
+    /// activity).
+    #[must_use]
+    pub fn refreshes_per_kilocycle(&self) -> f64 {
+        self.counts.total_refreshes() as f64 * 1000.0 / self.execution_cycles.max(1) as f64
+    }
+
+    /// Execution time of this run relative to `baseline` (1.0 = same).
+    #[must_use]
+    pub fn slowdown_vs(&self, baseline: &SimReport) -> f64 {
+        self.execution_cycles as f64 / baseline.execution_cycles.max(1) as f64
+    }
+
+    /// Memory-hierarchy energy relative to `baseline`.
+    #[must_use]
+    pub fn memory_energy_vs(&self, baseline: &SimReport) -> f64 {
+        let base = baseline.breakdown.memory_total();
+        if base > 0.0 {
+            self.breakdown.memory_total() / base
+        } else {
+            0.0
+        }
+    }
+
+    /// Total system energy relative to `baseline`.
+    #[must_use]
+    pub fn system_energy_vs(&self, baseline: &SimReport) -> f64 {
+        let base = baseline.breakdown.total_system();
+        if base > 0.0 {
+            self.breakdown.total_system() / base
+        } else {
+            0.0
+        }
+    }
+}
+
+impl fmt::Display for SimReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "run             : {} on {}", self.workload, self.config_label)?;
+        writeln!(f, "execution       : {} cycles", self.execution_cycles)?;
+        writeln!(f, "instructions    : {}", self.counts.instructions)?;
+        writeln!(
+            f,
+            "accesses        : dl1 {}  l2 {}  l3 {}  dram {} (r {} / w {})",
+            self.counts.dl1_accesses,
+            self.counts.l2_accesses,
+            self.counts.l3_accesses,
+            self.counts.dram_accesses(),
+            self.counts.dram_reads,
+            self.counts.dram_writes
+        )?;
+        writeln!(
+            f,
+            "refreshes       : l1 {}  l2 {}  l3 {}",
+            self.counts.l1_refreshes, self.counts.l2_refreshes, self.counts.l3_refreshes
+        )?;
+        writeln!(
+            f,
+            "memory energy   : {:.3} uJ (dyn {:.3} / leak {:.3} / refresh {:.3} / dram {:.3})",
+            self.breakdown.memory_total() * 1e6,
+            self.breakdown.on_chip_dynamic() * 1e6,
+            self.breakdown.on_chip_leakage() * 1e6,
+            self.breakdown.refresh_total() * 1e6,
+            self.breakdown.dram * 1e6
+        )?;
+        write!(
+            f,
+            "system energy   : {:.3} uJ",
+            self.breakdown.total_system() * 1e6
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(cycles: u64, l3_energy_scale: f64) -> SimReport {
+        let counts = EnergyCounts {
+            dl1_accesses: 1000,
+            dram_reads: 10,
+            l3_refreshes: 500,
+            cycles,
+            ..EnergyCounts::default()
+        };
+        let mut breakdown = EnergyBreakdown::default();
+        breakdown.l3_leakage = 1.0 * l3_energy_scale;
+        breakdown.dram = 0.1;
+        breakdown.core_dynamic = 0.5;
+        SimReport {
+            config_label: "test".into(),
+            workload: "w".into(),
+            execution_cycles: cycles,
+            counts,
+            breakdown,
+            stats: StatRegistry::new(),
+        }
+    }
+
+    #[test]
+    fn summary_metrics() {
+        let r = report(1000, 1.0);
+        assert!((r.l3_miss_rate_per_mille() - 10.0).abs() < 1e-12);
+        assert!((r.refreshes_per_kilocycle() - 500.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relative_metrics() {
+        let base = report(1000, 1.0);
+        let slower = report(1200, 0.5);
+        assert!((slower.slowdown_vs(&base) - 1.2).abs() < 1e-12);
+        assert!(slower.memory_energy_vs(&base) < 1.0);
+        assert!(slower.system_energy_vs(&base) < 1.0);
+    }
+
+    #[test]
+    fn display_contains_sections() {
+        let text = report(1000, 1.0).to_string();
+        assert!(text.contains("execution"));
+        assert!(text.contains("memory energy"));
+        assert!(text.contains("system energy"));
+    }
+}

@@ -1,0 +1,812 @@
+//! The chip-multiprocessor system simulator.
+//!
+//! [`CmpSystem`] assembles the paper's 16-core chip (private DL1/L2 per tile,
+//! shared 16-bank L3 with a directory MESI protocol over a 4×4 torus, DRAM
+//! behind the L3), runs deterministic synthetic workloads through it, and
+//! produces [`SimReport`]s with execution time, event counts and energy.
+//!
+//! ## Simulation model
+//!
+//! Cores advance independently; the driver always processes the reference of
+//! the core with the smallest local time, so coherence interleaving is
+//! time-ordered. Each data reference is resolved transactionally through
+//! DL1 → L2 → L3 → DRAM, with directory-induced invalidations and downgrades
+//! applied immediately and their message latencies added to the requester's
+//! critical path.
+//!
+//! Refresh behaviour is evaluated with the lazy decay-schedule algebra
+//! (see `refrint-edram`): each time a line is touched, evicted, invalidated
+//! or flushed, everything the refresh engine did to it since its previous
+//! touch is settled in O(1). Policy-driven L3 invalidations additionally use
+//! an *eager event queue* so that inclusive invalidations reach the private
+//! caches at the right time — this is what makes aggressive policies hurt
+//! low-visibility (Class 3) applications, as the paper describes.
+
+use refrint_coherence::directory::Directory;
+use refrint_coherence::protocol::{CoreRequest, DirectoryProtocol};
+use refrint_edram::policy::TimePolicy;
+use refrint_energy::accounting::EnergyCounts;
+use refrint_energy::breakdown::EnergyBreakdown;
+use refrint_engine::event::EventQueue;
+use refrint_engine::stats::StatRegistry;
+use refrint_engine::time::Cycle;
+use refrint_mem::addr::LineAddr;
+use refrint_mem::cache::Cache;
+use refrint_mem::dram::{DramModel, DramOp};
+use refrint_mem::line::MesiState;
+use refrint_noc::routing::hop_count;
+use refrint_noc::topology::{NodeId, Torus};
+use refrint_workloads::apps::AppPreset;
+use refrint_workloads::generator::ThreadStream;
+use refrint_workloads::model::WorkloadModel;
+
+use crate::config::SystemConfig;
+use crate::error::RefrintError;
+use crate::hierarchy::{line_kind, L3Bank, RefreshDomain, Tile};
+use crate::report::SimReport;
+
+/// A pending policy-driven invalidation of an L3 line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct PendingInvalidation {
+    bank: usize,
+    line: LineAddr,
+    /// The touch timestamp the prediction was made from; if the line has
+    /// been touched since, the event is stale and is skipped.
+    touch: Cycle,
+}
+
+/// The simulated chip multiprocessor.
+#[derive(Debug)]
+pub struct CmpSystem {
+    cfg: SystemConfig,
+    tiles: Vec<Tile>,
+    l3: Vec<L3Bank>,
+    dir: Directory,
+    protocol: DirectoryProtocol,
+    dram: DramModel,
+    torus: Torus,
+    counts: EnergyCounts,
+    invalidations: EventQueue<PendingInvalidation>,
+    line_size: u64,
+    data_flits: u64,
+    ctrl_flits: u64,
+}
+
+impl CmpSystem {
+    /// Builds a system from a configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RefrintError::InvalidConfig`] if the configuration fails
+    /// validation.
+    pub fn new(cfg: SystemConfig) -> Result<Self, RefrintError> {
+        cfg.validate()?;
+        let retention = cfg.retention;
+        let cells = cfg.cells;
+        let private_policy = cfg.private_cache_policy();
+        let l3_policy = cfg.policy;
+
+        let tiles = (0..cfg.cores)
+            .map(|t| Tile {
+                dl1: Cache::with_replacement(
+                    &format!("dl1.{t}"),
+                    cfg.dl1.geometry,
+                    cfg.dl1.replacement,
+                    cfg.seed ^ (t as u64),
+                ),
+                l2: Cache::with_replacement(
+                    &format!("l2.{t}"),
+                    cfg.l2.geometry,
+                    cfg.l2.replacement,
+                    cfg.seed ^ (0x100 + t as u64),
+                ),
+                dl1_refresh: RefreshDomain::new(&cfg.dl1, private_policy, retention, cells, Cycle::ZERO),
+                l2_refresh: RefreshDomain::new(&cfg.l2, private_policy, retention, cells, Cycle::ZERO),
+            })
+            .collect();
+
+        let l3 = (0..cfg.l3_banks)
+            .map(|b| {
+                // Stagger periodic refresh phases across banks so bursts do
+                // not line up chip-wide.
+                let phase = Cycle::new(
+                    (b as u64 * retention.line_retention_cycles().raw()) / cfg.l3_banks as u64,
+                );
+                L3Bank {
+                    cache: Cache::with_replacement(
+                        &format!("l3.{b}"),
+                        cfg.l3_bank.geometry,
+                        cfg.l3_bank.replacement,
+                        cfg.seed ^ (0x200 + b as u64),
+                    ),
+                    refresh: RefreshDomain::new(&cfg.l3_bank, l3_policy, retention, cells, phase),
+                }
+            })
+            .collect();
+
+        let line_size = cfg.dl1.geometry.line_size();
+        let data_flits = cfg.link.flits_for(line_size);
+        let ctrl_flits = cfg.link.flits_for(cfg.link.control_bytes);
+
+        Ok(CmpSystem {
+            dir: Directory::new(cfg.cores),
+            protocol: DirectoryProtocol::new(cfg.cores),
+            dram: DramModel::paper_default(),
+            torus: cfg.torus,
+            tiles,
+            l3,
+            counts: EnergyCounts::default(),
+            invalidations: EventQueue::new(),
+            line_size,
+            data_flits,
+            ctrl_flits,
+            cfg,
+        })
+    }
+
+    /// The configuration this system was built from.
+    #[must_use]
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// Runs one of the named application presets, scaled by the
+    /// configuration's `refs_per_thread` override if set.
+    pub fn run_app(&mut self, app: AppPreset) -> SimReport {
+        let model = app.model();
+        self.run_model(&model)
+    }
+
+    /// Runs an arbitrary workload model (its thread count is adjusted to the
+    /// configured core count, and its length to the configured scale).
+    pub fn run_model(&mut self, model: &WorkloadModel) -> SimReport {
+        let mut model = model.clone().with_threads(self.cfg.cores);
+        if let Some(refs) = self.cfg.refs_per_thread {
+            model = model.with_refs_per_thread(refs);
+        }
+        let workload_name = model.name.clone();
+
+        let mut streams: Vec<ThreadStream> = (0..model.threads)
+            .map(|t| ThreadStream::new(&model, t, self.cfg.seed))
+            .collect();
+        let mut core_time = vec![Cycle::ZERO; self.cfg.cores];
+        let mut done = vec![false; self.cfg.cores];
+        let mut remaining = self.cfg.cores;
+
+        while remaining > 0 {
+            // Pick the live core with the smallest local time.
+            let mut next: Option<usize> = None;
+            for c in 0..self.cfg.cores {
+                if !done[c] && next.map_or(true, |n| core_time[c] < core_time[n]) {
+                    next = Some(c);
+                }
+            }
+            let c = next.expect("at least one core is live");
+            match streams[c].next() {
+                None => {
+                    done[c] = true;
+                    remaining -= 1;
+                }
+                Some(r) => {
+                    let now = core_time[c] + Cycle::new(r.gap_cycles);
+                    self.drain_invalidations(now);
+                    let instructions = self.cfg.core.instructions_for_gap(r.gap_cycles);
+                    self.counts.instructions += instructions;
+                    self.counts.il1_accesses += self.cfg.core.fetches_for(instructions);
+                    let latency = self.access(c, r.addr.line(self.line_size), r.is_write(), now);
+                    core_time[c] = now + latency;
+                }
+            }
+        }
+
+        let end = core_time.iter().copied().max().unwrap_or(Cycle::ZERO);
+        self.finalize(end);
+
+        let counts = self.counts;
+        let breakdown = EnergyBreakdown::compute_for_chip(
+            &self.cfg.tech,
+            self.cfg.cells,
+            &counts,
+            self.cfg.cores,
+            self.cfg.l3_banks,
+        );
+        SimReport {
+            config_label: self.cfg.label(),
+            workload: workload_name,
+            execution_cycles: end.raw(),
+            counts,
+            breakdown,
+            stats: self.collect_stats(),
+        }
+    }
+
+    // ----------------------------------------------------------------- //
+    // Access path
+    // ----------------------------------------------------------------- //
+
+    fn node_of(&self, index: usize) -> NodeId {
+        NodeId::new(index % self.torus.num_nodes())
+    }
+
+    fn hops(&self, a: usize, b: usize) -> u32 {
+        hop_count(&self.torus, self.node_of(a), self.node_of(b))
+    }
+
+    /// Resolves one data reference and returns the latency the core observes.
+    fn access(&mut self, tile: usize, line: LineAddr, is_write: bool, now: Cycle) -> Cycle {
+        self.counts.dl1_accesses += 1;
+        let l1_latency =
+            self.cfg.dl1.access_latency + self.tiles[tile].dl1_refresh.access_penalty(now, line.raw());
+        let mut beyond = Cycle::ZERO;
+
+        // Settle DL1 residency (Valid policy: refresh charges only).
+        if let Some(l) = self.tiles[tile].dl1.line(line).copied() {
+            let s = self.tiles[tile]
+                .dl1_refresh
+                .settle(line_kind(&l), l.meta.last_touch, now);
+            self.counts.l1_refreshes += s.refreshes;
+        }
+        let dl1_hit = self.tiles[tile].dl1.lookup(line, now).is_some();
+
+        let mut upgraded = false;
+        if !dl1_hit {
+            beyond += self.lookup_l2(tile, line, is_write, now, &mut upgraded);
+            // Fill the DL1 (write-through, so DL1 lines are always clean and
+            // evictions are silent).
+            self.tiles[tile].dl1.fill(line, MesiState::Shared, now);
+        }
+
+        if is_write {
+            // Write-through: the store also updates the L2 copy. Its latency
+            // is hidden by the store buffer, but energy and coherence are not.
+            self.counts.l2_accesses += 1;
+            if let Some(l2_line) = self.tiles[tile].l2.line(line).copied() {
+                if !l2_line.state.can_write_silently() && !upgraded {
+                    beyond += self.l3_transaction(tile, line, true, now);
+                }
+                if self.tiles[tile].l2.line(line).is_some() {
+                    self.tiles[tile].l2.write_hit(line, now);
+                }
+            }
+        }
+
+        self.cfg.core.observed_latency(l1_latency, beyond)
+    }
+
+    /// The DL1-miss path: L2 lookup, falling through to the L3 on a miss.
+    /// Returns latency beyond the L1 and reports whether a write upgrade was
+    /// already performed.
+    fn lookup_l2(
+        &mut self,
+        tile: usize,
+        line: LineAddr,
+        is_write: bool,
+        now: Cycle,
+        upgraded: &mut bool,
+    ) -> Cycle {
+        self.counts.l2_accesses += 1;
+        let mut beyond =
+            self.cfg.l2.access_latency + self.tiles[tile].l2_refresh.access_penalty(now, line.raw());
+
+        if let Some(l) = self.tiles[tile].l2.line(line).copied() {
+            let s = self.tiles[tile]
+                .l2_refresh
+                .settle(line_kind(&l), l.meta.last_touch, now);
+            self.counts.l2_refreshes += s.refreshes;
+        }
+
+        let l2_state = self.tiles[tile].l2.lookup(line, now).map(|o| o.state);
+        match l2_state {
+            Some(state) => {
+                if is_write && !state.can_write_silently() {
+                    beyond += self.l3_transaction(tile, line, true, now);
+                    *upgraded = true;
+                }
+            }
+            None => {
+                beyond += self.l3_transaction(tile, line, is_write, now);
+                *upgraded = is_write;
+            }
+        }
+        beyond
+    }
+
+    /// An L2 miss (or upgrade): go to the line's home L3 bank through the
+    /// torus, consult the directory, fetch from DRAM if needed, and fill the
+    /// requester's L2. Returns the added latency.
+    fn l3_transaction(&mut self, tile: usize, line: LineAddr, is_write: bool, now: Cycle) -> Cycle {
+        let bank = line.bank(self.cfg.l3_banks);
+        let hops = u64::from(self.hops(tile, bank));
+        self.counts.noc_flit_hops += hops * (self.ctrl_flits + self.data_flits);
+        let mut beyond = self.cfg.link.message_latency(hops as u32, self.cfg.link.control_bytes)
+            + self.cfg.link.message_latency(hops as u32, self.line_size)
+            + self.cfg.l3_bank.access_latency
+            + self.l3[bank].refresh.access_penalty(now, line.raw());
+        self.counts.l3_accesses += 1;
+
+        // Settle the L3 line: it may have been refreshed, written back, or
+        // invalidated by the policy since its last touch.
+        let mut present = false;
+        if let Some(l) = self.l3[bank].cache.line(line).copied() {
+            let s = self.l3[bank]
+                .refresh
+                .settle(line_kind(&l), l.meta.last_touch, now);
+            self.counts.l3_refreshes += s.refreshes;
+            if s.writeback_at.is_some() {
+                self.counts.dram_writes += 1;
+                if let Some(lm) = self.l3[bank].cache.line_mut(line) {
+                    lm.write_back();
+                }
+            }
+            if s.invalidated_at.is_some() {
+                self.policy_invalidate_l3(bank, line, now);
+            } else {
+                present = true;
+            }
+        }
+
+        if !present {
+            // Fetch the line from DRAM.
+            let ready = self.dram.access(line.raw(), DramOp::Read, now + beyond);
+            beyond = ready - now;
+            self.counts.dram_reads += 1;
+            if let Some(evicted) = self.l3[bank].cache.fill(line, MesiState::Shared, now) {
+                self.handle_l3_eviction(bank, evicted, now);
+            }
+        } else {
+            self.l3[bank].cache.read_hit(line, now);
+        }
+
+        // Directory transaction.
+        let request = if is_write { CoreRequest::Write } else { CoreRequest::Read };
+        let outcome = self.protocol.access(&mut self.dir, line, tile, request);
+
+        // Invalidate or downgrade remote holders; their replies are on the
+        // critical path of this request.
+        let mut worst_remote = Cycle::ZERO;
+        for holder in outcome.invalidate.iter().copied() {
+            let d = self.invalidate_private_copy(holder, bank, line, now, true);
+            worst_remote = worst_remote.max(d);
+        }
+        if let Some(owner) = outcome.downgrade_owner {
+            if !outcome.invalidate.contains(&owner) {
+                let d = self.downgrade_private_copy(owner, bank, line, now);
+                worst_remote = worst_remote.max(d);
+            } else if outcome.owner_writeback {
+                // The owner's dirty data lands in the L3 as part of the
+                // invalidation handled above.
+            }
+        }
+        beyond += worst_remote;
+
+        // Fill (or update) the requester's L2.
+        match self.tiles[tile].l2.line(line).copied() {
+            Some(_) => {
+                self.tiles[tile].l2.set_state(line, outcome.fill_state);
+                self.tiles[tile].l2.read_hit(line, now);
+            }
+            None => {
+                if let Some(evicted) = self.tiles[tile].l2.fill(line, outcome.fill_state, now) {
+                    self.handle_l2_eviction(tile, evicted, now);
+                }
+            }
+        }
+
+        // Predict when the policy will invalidate this (now freshly touched)
+        // L3 line, so the inclusive invalidation happens at the right time.
+        self.schedule_l3_invalidation(bank, line, now);
+        beyond
+    }
+
+    /// Invalidates `holder`'s private copies of `line` on behalf of the
+    /// directory; returns the round-trip latency seen from the home bank.
+    fn invalidate_private_copy(
+        &mut self,
+        holder: usize,
+        bank: usize,
+        line: LineAddr,
+        now: Cycle,
+        absorb_dirty_into_l3: bool,
+    ) -> Cycle {
+        let hops = self.hops(bank, holder);
+        self.counts.noc_flit_hops += u64::from(hops) * self.ctrl_flits * 2;
+        let mut latency = self.cfg.link.message_latency(hops, self.cfg.link.control_bytes) * 2;
+
+        self.tiles[holder].dl1.invalidate(line);
+        if let Some(victim) = self.tiles[holder].l2.invalidate(line) {
+            // Settle the copy's refresh history before it disappears.
+            let s = self.tiles[holder].l2_refresh.settle(
+                line_kind(&victim),
+                victim.meta.last_touch,
+                now,
+            );
+            self.counts.l2_refreshes += s.refreshes;
+            if victim.is_dirty() {
+                // Dirty data travels back with the acknowledgement.
+                self.counts.noc_flit_hops += u64::from(hops) * self.data_flits;
+                latency += self.cfg.link.message_latency(hops, self.line_size);
+                if absorb_dirty_into_l3 {
+                    self.counts.l3_accesses += 1;
+                    if let Some(l3_line) = self.l3[bank].cache.line_mut(line) {
+                        l3_line.write(now);
+                    }
+                } else {
+                    self.counts.dram_writes += 1;
+                }
+            }
+        }
+        latency
+    }
+
+    /// Downgrades the owner of `line` to Shared, writing its dirty data back
+    /// into the home L3 bank; returns the round-trip latency.
+    fn downgrade_private_copy(&mut self, owner: usize, bank: usize, line: LineAddr, now: Cycle) -> Cycle {
+        let hops = self.hops(bank, owner);
+        self.counts.noc_flit_hops += u64::from(hops) * (self.ctrl_flits + self.data_flits);
+        let latency = self.cfg.link.message_latency(hops, self.cfg.link.control_bytes)
+            + self.cfg.link.message_latency(hops, self.line_size);
+
+        let was_dirty = self.tiles[owner]
+            .l2
+            .line(line)
+            .map(|l| l.is_dirty())
+            .unwrap_or(false);
+        self.tiles[owner].l2.set_state(line, MesiState::Shared);
+        self.tiles[owner].dl1.set_state(line, MesiState::Shared);
+        if was_dirty {
+            self.counts.l3_accesses += 1;
+            if let Some(l3_line) = self.l3[bank].cache.line_mut(line) {
+                l3_line.write(now);
+            }
+        }
+        latency
+    }
+
+    /// Handles the eviction of a (valid) line from a private L2: maintain
+    /// DL1 inclusion and write dirty data back to the home L3 bank.
+    fn handle_l2_eviction(&mut self, tile: usize, evicted: refrint_mem::cache::EvictedLine, now: Cycle) {
+        let line = evicted.line.addr;
+        let s = self.tiles[tile].l2_refresh.settle(
+            line_kind(&evicted.line),
+            evicted.line.meta.last_touch,
+            now,
+        );
+        self.counts.l2_refreshes += s.refreshes;
+        self.tiles[tile].dl1.invalidate(line);
+
+        let bank = line.bank(self.cfg.l3_banks);
+        let hops = self.hops(tile, bank);
+        if evicted.needs_writeback() {
+            self.counts.noc_flit_hops += u64::from(hops) * self.data_flits;
+            self.counts.l3_accesses += 1;
+            if let Some(l3_line) = self.l3[bank].cache.line_mut(line) {
+                l3_line.write(now);
+                self.schedule_l3_invalidation(bank, line, now);
+            } else {
+                // The L3 copy is already gone (decayed); the data goes to
+                // memory directly.
+                self.counts.dram_writes += 1;
+            }
+            let _ = self
+                .protocol
+                .access(&mut self.dir, line, tile, CoreRequest::EvictDirty);
+        } else {
+            self.counts.noc_flit_hops += u64::from(hops) * self.ctrl_flits;
+            let _ = self
+                .protocol
+                .access(&mut self.dir, line, tile, CoreRequest::EvictClean);
+        }
+    }
+
+    /// Handles the eviction of a valid line from an L3 bank: settle its
+    /// refresh history, invalidate every private copy (inclusivity) and write
+    /// dirty data to DRAM.
+    fn handle_l3_eviction(&mut self, bank: usize, evicted: refrint_mem::cache::EvictedLine, now: Cycle) {
+        let line = evicted.line.addr;
+        let s = self.l3[bank].refresh.settle(
+            line_kind(&evicted.line),
+            evicted.line.meta.last_touch,
+            now,
+        );
+        self.counts.l3_refreshes += s.refreshes;
+        // If the policy already wrote the line back (or invalidated it), the
+        // eviction costs less.
+        let mut still_dirty = evicted.line.is_dirty();
+        if s.writeback_at.is_some() {
+            self.counts.dram_writes += 1;
+            still_dirty = false;
+        }
+        let already_gone = s.invalidated_at.is_some();
+
+        let (holders, had_owner, _msgs) = self.protocol.invalidate_all(&mut self.dir, line);
+        for holder in holders {
+            let hops = self.hops(bank, holder);
+            self.counts.noc_flit_hops += u64::from(hops) * self.ctrl_flits * 2;
+            self.tiles[holder].dl1.invalidate(line);
+            if let Some(victim) = self.tiles[holder].l2.invalidate(line) {
+                let sv = self.tiles[holder].l2_refresh.settle(
+                    line_kind(&victim),
+                    victim.meta.last_touch,
+                    now,
+                );
+                self.counts.l2_refreshes += sv.refreshes;
+                if victim.is_dirty() {
+                    self.counts.dram_writes += 1;
+                    self.counts.noc_flit_hops += u64::from(hops) * self.data_flits;
+                }
+            }
+        }
+        let _ = had_owner;
+        if !already_gone && still_dirty {
+            self.counts.dram_writes += 1;
+        }
+    }
+
+    /// A policy-driven invalidation of an L3 line (its refresh budget ran
+    /// out): invalidate it and, through inclusion, every private copy.
+    fn policy_invalidate_l3(&mut self, bank: usize, line: LineAddr, now: Cycle) {
+        let Some(removed) = self.l3[bank].cache.invalidate(line) else {
+            return;
+        };
+        debug_assert!(!removed.is_dirty() || self.l3[bank].refresh.schedule().is_none(),
+            "the WB/Dirty policies only invalidate clean lines");
+        let (holders, _had_owner, _msgs) = self.protocol.invalidate_all(&mut self.dir, line);
+        for holder in holders {
+            let hops = self.hops(bank, holder);
+            self.counts.noc_flit_hops += u64::from(hops) * self.ctrl_flits * 2;
+            self.tiles[holder].dl1.invalidate(line);
+            if let Some(victim) = self.tiles[holder].l2.invalidate(line) {
+                let sv = self.tiles[holder].l2_refresh.settle(
+                    line_kind(&victim),
+                    victim.meta.last_touch,
+                    now,
+                );
+                self.counts.l2_refreshes += sv.refreshes;
+                if victim.is_dirty() {
+                    // The L3 backing copy is being dropped, so the dirty
+                    // private data must go to memory.
+                    self.counts.dram_writes += 1;
+                    self.counts.noc_flit_hops += u64::from(hops) * self.data_flits;
+                }
+            }
+        }
+    }
+
+    /// Schedules the eager policy-invalidation check for an L3 line that was
+    /// just touched at `now`.
+    fn schedule_l3_invalidation(&mut self, bank: usize, line: LineAddr, now: Cycle) {
+        let Some(l3_line) = self.l3[bank].cache.line(line).copied() else {
+            return;
+        };
+        let kind = line_kind(&l3_line);
+        if let Some(when) = self.l3[bank].refresh.invalidation_time(kind, now) {
+            self.invalidations.schedule(
+                when,
+                PendingInvalidation {
+                    bank,
+                    line,
+                    touch: now,
+                },
+            );
+        }
+    }
+
+    /// Processes every pending invalidation whose time has come.
+    fn drain_invalidations(&mut self, now: Cycle) {
+        while self
+            .invalidations
+            .peek_time()
+            .map_or(false, |t| t <= now)
+        {
+            let ev = self.invalidations.pop().expect("peeked event exists");
+            let PendingInvalidation { bank, line, touch } = ev.event;
+            let Some(current) = self.l3[bank].cache.line(line).copied() else {
+                continue;
+            };
+            if !current.is_valid() || current.meta.last_touch != touch {
+                continue; // stale prediction: the line was touched again
+            }
+            let s = self.l3[bank]
+                .refresh
+                .settle(line_kind(&current), touch, ev.at);
+            self.counts.l3_refreshes += s.refreshes;
+            if s.writeback_at.is_some() {
+                self.counts.dram_writes += 1;
+                if let Some(lm) = self.l3[bank].cache.line_mut(line) {
+                    lm.write_back();
+                }
+            }
+            if s.invalidated_at.is_some() {
+                self.policy_invalidate_l3(bank, line, ev.at);
+            }
+        }
+    }
+
+    // ----------------------------------------------------------------- //
+    // End of run
+    // ----------------------------------------------------------------- //
+
+    /// Settles every resident line at the end of the run, flushes dirty data
+    /// to DRAM (as the paper's methodology requires) and adds bulk refresh
+    /// counts for the `All` policy and the statistically-modelled IL1.
+    fn finalize(&mut self, end: Cycle) {
+        self.drain_invalidations(end);
+
+        // Shared L3 banks.
+        for bank in 0..self.l3.len() {
+            let lines: Vec<_> = self.l3[bank].cache.iter_valid().copied().collect();
+            for l in lines {
+                let s = self.l3[bank].refresh.settle(line_kind(&l), l.meta.last_touch, end);
+                self.counts.l3_refreshes += s.refreshes;
+                if s.writeback_at.is_some() {
+                    self.counts.dram_writes += 1;
+                } else if l.is_dirty() && s.invalidated_at.is_none() {
+                    // End-of-run flush of dirty data.
+                    self.counts.dram_writes += 1;
+                }
+            }
+            if self.l3[bank].refresh.is_bulk_all() {
+                self.counts.l3_refreshes += self.l3[bank].refresh.bulk_refreshes(end);
+            }
+        }
+
+        // Private caches.
+        for tile in 0..self.tiles.len() {
+            let l2_lines: Vec<_> = self.tiles[tile].l2.iter_valid().copied().collect();
+            for l in l2_lines {
+                let s = self.tiles[tile]
+                    .l2_refresh
+                    .settle(line_kind(&l), l.meta.last_touch, end);
+                self.counts.l2_refreshes += s.refreshes;
+                if l.is_dirty() {
+                    self.counts.dram_writes += 1;
+                }
+            }
+            let dl1_lines: Vec<_> = self.tiles[tile].dl1.iter_valid().copied().collect();
+            for l in dl1_lines {
+                let s = self.tiles[tile]
+                    .dl1_refresh
+                    .settle(line_kind(&l), l.meta.last_touch, end);
+                self.counts.l1_refreshes += s.refreshes;
+            }
+            // The IL1 is modelled statistically: under Periodic timing every
+            // line is refreshed every period; under Refrint its (hot) lines
+            // are recharged by fetches and contribute negligibly.
+            if self.tiles[tile].dl1_refresh.is_edram() && self.cfg.is_periodic() {
+                let il1_lines = self.cfg.il1.geometry.num_lines();
+                let periods = end.div_span(self.cfg.retention.line_retention_cycles());
+                self.counts.l1_refreshes += il1_lines * periods;
+            }
+        }
+
+        self.counts.cycles = end.raw();
+    }
+
+    fn collect_stats(&self) -> StatRegistry {
+        let mut out = StatRegistry::new();
+        for (t, tile) in self.tiles.iter().enumerate() {
+            for (k, v) in tile.dl1.stats().iter() {
+                out.add(&format!("dl1.{t}.{k}"), v);
+            }
+            for (k, v) in tile.l2.stats().iter() {
+                out.add(&format!("l2.{t}.{k}"), v);
+            }
+        }
+        for (b, bank) in self.l3.iter().enumerate() {
+            for (k, v) in bank.cache.stats().iter() {
+                out.add(&format!("l3.{b}.{k}"), v);
+            }
+        }
+        for (k, v) in self.protocol.stats().iter() {
+            out.add(&format!("coherence.{k}"), v);
+        }
+        for (k, v) in self.dram.stats().iter() {
+            out.add(&format!("dram.{k}"), v);
+        }
+        if self.cfg.policy.time == TimePolicy::Refrint {
+            out.add("refresh.refrint_domains", (self.tiles.len() * 2 + self.l3.len()) as u64);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use refrint_edram::policy::{DataPolicy, RefreshPolicy};
+    use refrint_edram::retention::RetentionConfig;
+    use refrint_energy::tech::CellTech;
+
+    fn small(cells: CellTech, policy: RefreshPolicy) -> SimReport {
+        let cfg = SystemConfig::sram_baseline()
+            .with_cells(cells)
+            .with_policy(policy)
+            .with_retention(RetentionConfig::microseconds_50())
+            .with_scale(3_000)
+            .with_seed(11);
+        let mut sys = CmpSystem::new(cfg).unwrap();
+        sys.run_app(AppPreset::Lu)
+    }
+
+    #[test]
+    fn sram_run_produces_consistent_counts() {
+        let r = small(CellTech::Sram, RefreshPolicy::recommended());
+        assert!(r.execution_cycles > 0);
+        assert_eq!(r.counts.total_refreshes(), 0, "SRAM never refreshes");
+        assert_eq!(r.counts.dl1_accesses, 16 * 3_000);
+        assert!(r.counts.l2_accesses > 0);
+        assert!(r.counts.l3_accesses > 0);
+        assert!(r.counts.instructions >= r.counts.dl1_accesses);
+        assert!(r.breakdown.is_physical());
+        assert!(r.breakdown.refresh_total() == 0.0);
+    }
+
+    #[test]
+    fn edram_refreshes_and_uses_less_leakage_than_sram() {
+        let sram = small(CellTech::Sram, RefreshPolicy::recommended());
+        let edram = small(CellTech::Edram, RefreshPolicy::new(TimePolicy::Refrint, DataPolicy::Valid));
+        assert!(edram.counts.total_refreshes() > 0);
+        // Same workload, so dynamic energy is very similar; leakage shrinks.
+        assert!(edram.breakdown.on_chip_leakage() < sram.breakdown.on_chip_leakage());
+    }
+
+    #[test]
+    fn periodic_all_is_slower_and_refreshes_more_than_refrint_valid() {
+        let p_all = small(CellTech::Edram, RefreshPolicy::edram_baseline());
+        let r_valid = small(
+            CellTech::Edram,
+            RefreshPolicy::new(TimePolicy::Refrint, DataPolicy::Valid),
+        );
+        assert!(
+            p_all.execution_cycles > r_valid.execution_cycles,
+            "periodic blocking must slow execution ({} vs {})",
+            p_all.execution_cycles,
+            r_valid.execution_cycles
+        );
+        assert!(
+            p_all.counts.total_refreshes() > r_valid.counts.total_refreshes(),
+            "Periodic All refreshes every line every period"
+        );
+    }
+
+    #[test]
+    fn aggressive_wb_creates_dram_traffic() {
+        let conservative = small(
+            CellTech::Edram,
+            RefreshPolicy::new(TimePolicy::Refrint, DataPolicy::Valid),
+        );
+        let aggressive = small(
+            CellTech::Edram,
+            RefreshPolicy::new(TimePolicy::Refrint, DataPolicy::write_back(0, 0)),
+        );
+        assert!(
+            aggressive.counts.dram_accesses() > conservative.counts.dram_accesses(),
+            "WB(0,0) must push more traffic to DRAM ({} vs {})",
+            aggressive.counts.dram_accesses(),
+            conservative.counts.dram_accesses()
+        );
+        assert!(
+            aggressive.counts.l3_refreshes < conservative.counts.l3_refreshes,
+            "WB(0,0) must refresh less than Valid"
+        );
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let a = small(CellTech::Edram, RefreshPolicy::recommended());
+        let b = small(CellTech::Edram, RefreshPolicy::recommended());
+        assert_eq!(a.execution_cycles, b.execution_cycles);
+        assert_eq!(a.counts, b.counts);
+    }
+
+    #[test]
+    fn small_core_count_configuration_works() {
+        let cfg = SystemConfig::edram_recommended()
+            .with_cores(4)
+            .with_scale(2_000);
+        let mut sys = CmpSystem::new(cfg).unwrap();
+        let r = sys.run_app(AppPreset::Barnes);
+        assert_eq!(r.counts.dl1_accesses, 4 * 2_000);
+        assert!(r.execution_cycles > 0);
+    }
+}

@@ -1,0 +1,67 @@
+//! Error types for the eDRAM refresh subsystem.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the eDRAM refresh subsystem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EdramError {
+    /// The retention configuration was invalid.
+    InvalidRetention {
+        /// Description of the violated constraint.
+        reason: String,
+    },
+    /// A policy label could not be parsed.
+    InvalidPolicy {
+        /// The offending label.
+        label: String,
+    },
+    /// A sentry-bit grouping configuration was invalid.
+    InvalidSentryConfig {
+        /// Description of the violated constraint.
+        reason: String,
+    },
+}
+
+impl fmt::Display for EdramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EdramError::InvalidRetention { reason } => {
+                write!(f, "invalid retention configuration: {reason}")
+            }
+            EdramError::InvalidPolicy { label } => {
+                write!(f, "cannot parse refresh policy label `{label}`")
+            }
+            EdramError::InvalidSentryConfig { reason } => {
+                write!(f, "invalid sentry-bit configuration: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for EdramError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(EdramError::InvalidRetention { reason: "x".into() }
+            .to_string()
+            .contains("retention"));
+        assert!(EdramError::InvalidPolicy { label: "Z.9".into() }
+            .to_string()
+            .contains("Z.9"));
+        assert!(EdramError::InvalidSentryConfig { reason: "y".into() }
+            .to_string()
+            .contains("sentry"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<EdramError>();
+    }
+}

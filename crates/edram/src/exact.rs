@@ -1,0 +1,185 @@
+//! Exact, event-per-opportunity refresh engine.
+//!
+//! This is the straightforward implementation of the paper's Figure 4.1
+//! state machine: walk every refresh opportunity one at a time, maintain the
+//! per-line `Count`, and record each refresh, write-back and invalidation.
+//! It is far too slow for full-system simulation but serves as the reference
+//! against which the lazy [`crate::schedule::DecaySchedule`] algebra is
+//! validated (property tests assert they agree on arbitrary inputs).
+
+use refrint_engine::time::Cycle;
+
+use crate::policy::TimePolicy;
+use crate::schedule::{DecaySchedule, LineKind, Settlement};
+
+/// Replays every refresh opportunity in `(touch, until]` for a line of kind
+/// `kind` last touched at `touch`, following the WB(n,m) state machine, and
+/// returns the same summary as [`DecaySchedule::settle`].
+#[must_use]
+pub fn settle_exact(
+    schedule: &DecaySchedule,
+    kind: LineKind,
+    touch: Cycle,
+    until: Cycle,
+) -> Settlement {
+    let policy = schedule.policy();
+    let mut refreshes = 0u64;
+    let mut writeback_at = None;
+    let mut invalidated_at = None;
+    let mut current = kind;
+
+    // Dirty lines start with the dirty budget, clean lines with the clean
+    // budget; `None` means "refresh forever".
+    let mut count: Option<u64> = match kind {
+        LineKind::Dirty => policy.data.dirty_budget().map(u64::from),
+        LineKind::Clean => policy.data.clean_budget().map(u64::from),
+        LineKind::Invalid => None,
+    };
+
+    let mut k = 1u64;
+    loop {
+        let at = schedule.opportunity(touch, k);
+        if at > until {
+            break;
+        }
+        k += 1;
+
+        match current {
+            LineKind::Invalid => {
+                if policy.data.refreshes_invalid_lines() {
+                    refreshes += 1;
+                } else {
+                    break;
+                }
+            }
+            LineKind::Dirty | LineKind::Clean => match count {
+                None => refreshes += 1,
+                Some(c) if c >= 1 => {
+                    refreshes += 1;
+                    count = Some(c - 1);
+                }
+                Some(_) => {
+                    // Budget exhausted.
+                    if current == LineKind::Dirty {
+                        // Write back, become clean, reload the clean budget.
+                        writeback_at = Some(at);
+                        current = LineKind::Clean;
+                        count = policy.data.clean_budget().map(u64::from);
+                    } else {
+                        invalidated_at = Some(at);
+                        current = LineKind::Invalid;
+                        if !policy.data.refreshes_invalid_lines() {
+                            break;
+                        }
+                    }
+                }
+            },
+        }
+
+        // Safety valve for pathological configurations in tests.
+        if k > 10_000_000 {
+            break;
+        }
+    }
+
+    Settlement {
+        refreshes,
+        writeback_at,
+        invalidated_at,
+        final_kind: current,
+    }
+}
+
+/// The exact number of line refreshes a naive periodic controller performs on
+/// a whole cache of `lines` lines over `window` cycles — used to sanity-check
+/// the analytic count in [`crate::controller::PeriodicBurstModel`].
+#[must_use]
+pub fn periodic_whole_cache_refreshes(
+    retention: Cycle,
+    lines: u64,
+    window: Cycle,
+) -> u64 {
+    if retention == Cycle::ZERO {
+        return 0;
+    }
+    lines * window.div_span(retention)
+}
+
+/// Asserts (in tests) that a schedule is a Refrint schedule; used by the
+/// property tests that compare per-touch behaviour.
+#[must_use]
+pub fn is_refrint(schedule: &DecaySchedule) -> bool {
+    schedule.policy().time == TimePolicy::Refrint
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{DataPolicy, RefreshPolicy, TimePolicy};
+
+    fn schedule(time: TimePolicy, data: DataPolicy) -> DecaySchedule {
+        DecaySchedule::new(
+            RefreshPolicy::new(time, data),
+            Cycle::new(1000),
+            Cycle::new(128),
+            Cycle::new(37),
+        )
+    }
+
+    #[test]
+    fn exact_matches_lazy_on_representative_cases() {
+        let horizons = [0u64, 1, 500, 871, 872, 1000, 5000, 12_345, 100_000];
+        let datas = [
+            DataPolicy::All,
+            DataPolicy::Valid,
+            DataPolicy::Dirty,
+            DataPolicy::write_back(0, 0),
+            DataPolicy::write_back(1, 0),
+            DataPolicy::write_back(0, 3),
+            DataPolicy::write_back(4, 4),
+            DataPolicy::write_back(32, 32),
+        ];
+        for time in TimePolicy::ALL {
+            for data in datas {
+                let s = schedule(time, data);
+                for kind in [LineKind::Dirty, LineKind::Clean, LineKind::Invalid] {
+                    for touch in [0u64, 1, 500, 999, 1000, 1234] {
+                        for h in horizons {
+                            let touch = Cycle::new(touch);
+                            let until = touch + Cycle::new(h);
+                            let lazy = s.settle(kind, touch, until);
+                            let exact = settle_exact(&s, kind, touch, until);
+                            assert_eq!(
+                                lazy, exact,
+                                "mismatch: {time:?} {data:?} {kind:?} touch={touch} until={until}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn periodic_whole_cache_count_matches_burst_model() {
+        use crate::controller::PeriodicBurstModel;
+        let retention = Cycle::new(50_000);
+        let m = PeriodicBurstModel::new(retention, 4, 4096);
+        let window = Cycle::new(500_000);
+        assert_eq!(
+            m.refreshes_in(window),
+            periodic_whole_cache_refreshes(retention, 4 * 4096, window)
+        );
+    }
+
+    #[test]
+    fn is_refrint_helper() {
+        assert!(is_refrint(&schedule(TimePolicy::Refrint, DataPolicy::Valid)));
+        assert!(!is_refrint(&schedule(TimePolicy::Periodic, DataPolicy::Valid)));
+    }
+
+    #[test]
+    fn zero_retention_helper_is_zero() {
+        assert_eq!(periodic_whole_cache_refreshes(Cycle::ZERO, 100, Cycle::new(100)), 0);
+    }
+}

@@ -1,0 +1,145 @@
+//! Sentry-bit grouping and the priority-encoder service model.
+//!
+//! Each line has a Sentry bit that decays earlier than the line and raises an
+//! interrupt. To bound the number of wires into the cache controller, sentry
+//! bits are grouped and the group interrupt lines feed a priority encoder
+//! which serialises them, one per cycle (Section 4). The paper's evaluation
+//! groups sentry bits so that at most 1024 wires reach the encoder: group
+//! size 1 for the 512-line L1s, 4 for the 4096-line L2, 16 for the
+//! 16K-line L3 bank.
+
+use refrint_engine::time::Cycle;
+
+use crate::error::EdramError;
+
+/// Configuration of the sentry-bit interrupt logic for one cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SentryGroupConfig {
+    /// Total number of lines in the cache (or bank).
+    pub lines: u64,
+    /// Number of sentry bits ganged onto one interrupt wire.
+    pub group_size: u64,
+    /// Maximum number of interrupt wires the priority encoder accepts.
+    pub max_encoder_inputs: u64,
+}
+
+impl SentryGroupConfig {
+    /// Derives the paper's grouping: the smallest power-of-two group size
+    /// such that the number of interrupt wires does not exceed
+    /// `max_encoder_inputs` (1024 in the paper).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EdramError::InvalidSentryConfig`] if `lines` or
+    /// `max_encoder_inputs` is zero.
+    pub fn for_cache(lines: u64, max_encoder_inputs: u64) -> Result<Self, EdramError> {
+        if lines == 0 || max_encoder_inputs == 0 {
+            return Err(EdramError::InvalidSentryConfig {
+                reason: "lines and encoder inputs must be non-zero".to_owned(),
+            });
+        }
+        let mut group_size = 1u64;
+        while lines.div_ceil(group_size) > max_encoder_inputs {
+            group_size *= 2;
+        }
+        Ok(SentryGroupConfig {
+            lines,
+            group_size,
+            max_encoder_inputs,
+        })
+    }
+
+    /// The paper's encoder width: 1024 inputs.
+    pub const PAPER_MAX_ENCODER_INPUTS: u64 = 1024;
+
+    /// Number of interrupt wires reaching the priority encoder.
+    #[must_use]
+    pub fn encoder_inputs(&self) -> u64 {
+        self.lines.div_ceil(self.group_size)
+    }
+
+    /// Cycles needed to service one group interrupt: the controller walks
+    /// every line in the group, one per cycle, in a pipelined fashion.
+    #[must_use]
+    pub fn service_cycles_per_group(&self) -> Cycle {
+        Cycle::new(self.group_size)
+    }
+
+    /// The worst-case number of back-to-back line services if every sentry
+    /// bit in the cache fires simultaneously — this is the paper's
+    /// conservative sentry-margin bound.
+    #[must_use]
+    pub fn worst_case_backlog(&self) -> Cycle {
+        Cycle::new(self.lines)
+    }
+
+    /// The refresh-bandwidth fraction consumed if `refreshes` line services
+    /// happen over `window` cycles (used by the contention model).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    #[must_use]
+    pub fn utilisation(&self, refreshes: u64, window: Cycle) -> f64 {
+        assert!(window > Cycle::ZERO, "window must be non-zero");
+        refreshes as f64 / window.raw() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_group_sizes() {
+        // L1: 512 lines -> group size 1, 512 encoder inputs.
+        let l1 = SentryGroupConfig::for_cache(512, SentryGroupConfig::PAPER_MAX_ENCODER_INPUTS)
+            .unwrap();
+        assert_eq!(l1.group_size, 1);
+        assert_eq!(l1.encoder_inputs(), 512);
+        // L2: 4096 lines -> group size 4, 1024 inputs.
+        let l2 = SentryGroupConfig::for_cache(4096, 1024).unwrap();
+        assert_eq!(l2.group_size, 4);
+        assert_eq!(l2.encoder_inputs(), 1024);
+        // L3 bank: 16K lines -> group size 16, 1024 inputs.
+        let l3 = SentryGroupConfig::for_cache(16 * 1024, 1024).unwrap();
+        assert_eq!(l3.group_size, 16);
+        assert_eq!(l3.encoder_inputs(), 1024);
+    }
+
+    #[test]
+    fn encoder_inputs_never_exceed_limit() {
+        for lines in [1u64, 3, 512, 1000, 4096, 16 * 1024, 100_000] {
+            for limit in [1u64, 16, 1024] {
+                let cfg = SentryGroupConfig::for_cache(lines, limit).unwrap();
+                assert!(
+                    cfg.encoder_inputs() <= limit,
+                    "lines={lines} limit={limit} inputs={}",
+                    cfg.encoder_inputs()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn service_and_backlog_cycles() {
+        let l3 = SentryGroupConfig::for_cache(16 * 1024, 1024).unwrap();
+        assert_eq!(l3.service_cycles_per_group(), Cycle::new(16));
+        // Worst case backlog for the L3 bank is 16K cycles = the 16 us margin
+        // the paper quotes at 1 GHz.
+        assert_eq!(l3.worst_case_backlog(), Cycle::new(16 * 1024));
+    }
+
+    #[test]
+    fn utilisation_fraction() {
+        let cfg = SentryGroupConfig::for_cache(512, 1024).unwrap();
+        let u = cfg.utilisation(512, Cycle::new(50_000));
+        assert!((u - 512.0 / 50_000.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_inputs_rejected() {
+        assert!(SentryGroupConfig::for_cache(0, 1024).is_err());
+        assert!(SentryGroupConfig::for_cache(512, 0).is_err());
+    }
+}

@@ -1,0 +1,349 @@
+//! Converting event counts into joules, split the ways the paper reports.
+
+use serde::{Deserialize, Serialize};
+
+use crate::accounting::EnergyCounts;
+use crate::tech::{CellTech, TechnologyParams};
+
+const NJ: f64 = 1e-9;
+
+/// The energy of one run, in joules, split by structure and by component.
+///
+/// Two views cover the paper's figures:
+///
+/// * Figure 6.1 stacks **L1 / L2 / L3 / DRAM** — see [`EnergyBreakdown::by_level`].
+/// * Figure 6.2 stacks **dynamic / leakage / refresh / DRAM** — see
+///   [`EnergyBreakdown::by_component`].
+/// * Figure 6.3 adds cores and network — see [`EnergyBreakdown::total_system`].
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// L1 (instruction + data) dynamic energy.
+    pub l1_dynamic: f64,
+    /// L1 leakage energy.
+    pub l1_leakage: f64,
+    /// L1 refresh energy.
+    pub l1_refresh: f64,
+    /// L2 dynamic energy.
+    pub l2_dynamic: f64,
+    /// L2 leakage energy.
+    pub l2_leakage: f64,
+    /// L2 refresh energy.
+    pub l2_refresh: f64,
+    /// L3 dynamic energy.
+    pub l3_dynamic: f64,
+    /// L3 leakage energy.
+    pub l3_leakage: f64,
+    /// L3 refresh energy.
+    pub l3_refresh: f64,
+    /// Off-chip DRAM access energy.
+    pub dram: f64,
+    /// Core dynamic energy (instructions).
+    pub core_dynamic: f64,
+    /// Core leakage energy.
+    pub core_leakage: f64,
+    /// Network dynamic energy (flit-hops).
+    pub noc_dynamic: f64,
+    /// Network leakage energy.
+    pub noc_leakage: f64,
+}
+
+impl EnergyBreakdown {
+    /// Computes the breakdown for a run described by `counts`, with the
+    /// on-chip caches built from `cells`, on a 16-core / 16-bank chip
+    /// described by `params`.
+    #[must_use]
+    pub fn compute(params: &TechnologyParams, cells: CellTech, counts: &EnergyCounts) -> Self {
+        Self::compute_for_chip(params, cells, counts, 16, 16)
+    }
+
+    /// Computes the breakdown for an arbitrary number of cores and L3 banks.
+    #[must_use]
+    pub fn compute_for_chip(
+        params: &TechnologyParams,
+        cells: CellTech,
+        counts: &EnergyCounts,
+        cores: usize,
+        l3_banks: usize,
+    ) -> Self {
+        let seconds = params.clock().duration_of(counts.cycles.into()).as_secs_f64();
+        let cores_f = cores as f64;
+        let banks_f = l3_banks as f64;
+
+        let l1_dynamic = (counts.il1_accesses as f64 * params.il1.access_energy_nj
+            + counts.dl1_accesses as f64 * params.dl1.access_energy_nj)
+            * NJ;
+        let l1_leakage = (params.il1.leakage_w(cells) + params.dl1.leakage_w(cells))
+            * cores_f
+            * seconds;
+        let l1_refresh = counts.l1_refreshes as f64
+            * 0.5
+            * (params.il1.refresh_energy_nj() + params.dl1.refresh_energy_nj())
+            * NJ;
+
+        let l2_dynamic = counts.l2_accesses as f64 * params.l2.access_energy_nj * NJ;
+        let l2_leakage = params.l2.leakage_w(cells) * cores_f * seconds;
+        let l2_refresh = counts.l2_refreshes as f64 * params.l2.refresh_energy_nj() * NJ;
+
+        let l3_dynamic = counts.l3_accesses as f64 * params.l3_bank.access_energy_nj * NJ;
+        let l3_leakage = params.l3_bank.leakage_w(cells) * banks_f * seconds;
+        let l3_refresh = counts.l3_refreshes as f64 * params.l3_bank.refresh_energy_nj() * NJ;
+
+        let dram = counts.dram_accesses() as f64 * params.dram_access_energy_nj * NJ;
+
+        let core_dynamic = counts.instructions as f64 * params.core_energy_per_instr_nj * NJ;
+        let core_leakage = params.core_leakage_w * cores_f * seconds;
+        let noc_dynamic = counts.noc_flit_hops as f64 * params.noc_energy_per_flit_hop_nj * NJ;
+        let noc_leakage = params.noc_leakage_w_per_node * cores_f * seconds;
+
+        EnergyBreakdown {
+            l1_dynamic,
+            l1_leakage,
+            l1_refresh,
+            l2_dynamic,
+            l2_leakage,
+            l2_refresh,
+            l3_dynamic,
+            l3_leakage,
+            l3_refresh,
+            dram,
+            core_dynamic,
+            core_leakage,
+            noc_dynamic,
+            noc_leakage,
+        }
+    }
+
+    /// Total L1 energy (dynamic + leakage + refresh).
+    #[must_use]
+    pub fn l1_total(&self) -> f64 {
+        self.l1_dynamic + self.l1_leakage + self.l1_refresh
+    }
+
+    /// Total L2 energy.
+    #[must_use]
+    pub fn l2_total(&self) -> f64 {
+        self.l2_dynamic + self.l2_leakage + self.l2_refresh
+    }
+
+    /// Total L3 energy.
+    #[must_use]
+    pub fn l3_total(&self) -> f64 {
+        self.l3_dynamic + self.l3_leakage + self.l3_refresh
+    }
+
+    /// The memory-hierarchy energy the paper's Figures 6.1/6.2 report:
+    /// L1 + L2 + L3 + DRAM.
+    #[must_use]
+    pub fn memory_total(&self) -> f64 {
+        self.l1_total() + self.l2_total() + self.l3_total() + self.dram
+    }
+
+    /// On-chip dynamic energy of the memory hierarchy.
+    #[must_use]
+    pub fn on_chip_dynamic(&self) -> f64 {
+        self.l1_dynamic + self.l2_dynamic + self.l3_dynamic
+    }
+
+    /// On-chip leakage energy of the memory hierarchy.
+    #[must_use]
+    pub fn on_chip_leakage(&self) -> f64 {
+        self.l1_leakage + self.l2_leakage + self.l3_leakage
+    }
+
+    /// On-chip refresh energy of the memory hierarchy.
+    #[must_use]
+    pub fn refresh_total(&self) -> f64 {
+        self.l1_refresh + self.l2_refresh + self.l3_refresh
+    }
+
+    /// Total system energy (cores, caches, network, DRAM) — Figure 6.3.
+    #[must_use]
+    pub fn total_system(&self) -> f64 {
+        self.memory_total()
+            + self.core_dynamic
+            + self.core_leakage
+            + self.noc_dynamic
+            + self.noc_leakage
+    }
+
+    /// The Figure 6.1 stack: `[L1, L2, L3, DRAM]` energy in joules.
+    #[must_use]
+    pub fn by_level(&self) -> [(&'static str, f64); 4] {
+        [
+            ("L1", self.l1_total()),
+            ("L2", self.l2_total()),
+            ("L3", self.l3_total()),
+            ("DRAM", self.dram),
+        ]
+    }
+
+    /// The Figure 6.2 stack: `[dynamic, leakage, refresh, DRAM]` in joules.
+    #[must_use]
+    pub fn by_component(&self) -> [(&'static str, f64); 4] {
+        [
+            ("Dynamic", self.on_chip_dynamic()),
+            ("Leakage", self.on_chip_leakage()),
+            ("Refresh", self.refresh_total()),
+            ("DRAM", self.dram),
+        ]
+    }
+
+    /// Element-wise sum of two breakdowns (used to average application
+    /// classes).
+    #[must_use]
+    pub fn plus(&self, o: &EnergyBreakdown) -> EnergyBreakdown {
+        EnergyBreakdown {
+            l1_dynamic: self.l1_dynamic + o.l1_dynamic,
+            l1_leakage: self.l1_leakage + o.l1_leakage,
+            l1_refresh: self.l1_refresh + o.l1_refresh,
+            l2_dynamic: self.l2_dynamic + o.l2_dynamic,
+            l2_leakage: self.l2_leakage + o.l2_leakage,
+            l2_refresh: self.l2_refresh + o.l2_refresh,
+            l3_dynamic: self.l3_dynamic + o.l3_dynamic,
+            l3_leakage: self.l3_leakage + o.l3_leakage,
+            l3_refresh: self.l3_refresh + o.l3_refresh,
+            dram: self.dram + o.dram,
+            core_dynamic: self.core_dynamic + o.core_dynamic,
+            core_leakage: self.core_leakage + o.core_leakage,
+            noc_dynamic: self.noc_dynamic + o.noc_dynamic,
+            noc_leakage: self.noc_leakage + o.noc_leakage,
+        }
+    }
+
+    /// Element-wise scaling (used to average application classes).
+    #[must_use]
+    pub fn scaled(&self, factor: f64) -> EnergyBreakdown {
+        EnergyBreakdown {
+            l1_dynamic: self.l1_dynamic * factor,
+            l1_leakage: self.l1_leakage * factor,
+            l1_refresh: self.l1_refresh * factor,
+            l2_dynamic: self.l2_dynamic * factor,
+            l2_leakage: self.l2_leakage * factor,
+            l2_refresh: self.l2_refresh * factor,
+            l3_dynamic: self.l3_dynamic * factor,
+            l3_leakage: self.l3_leakage * factor,
+            l3_refresh: self.l3_refresh * factor,
+            dram: self.dram * factor,
+            core_dynamic: self.core_dynamic * factor,
+            core_leakage: self.core_leakage * factor,
+            noc_dynamic: self.noc_dynamic * factor,
+            noc_leakage: self.noc_leakage * factor,
+        }
+    }
+
+    /// Whether every field is finite and non-negative (invariant used by
+    /// property tests).
+    #[must_use]
+    pub fn is_physical(&self) -> bool {
+        let fields = [
+            self.l1_dynamic,
+            self.l1_leakage,
+            self.l1_refresh,
+            self.l2_dynamic,
+            self.l2_leakage,
+            self.l2_refresh,
+            self.l3_dynamic,
+            self.l3_leakage,
+            self.l3_refresh,
+            self.dram,
+            self.core_dynamic,
+            self.core_leakage,
+            self.noc_dynamic,
+            self.noc_leakage,
+        ];
+        fields.iter().all(|v| v.is_finite() && *v >= 0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_counts() -> EnergyCounts {
+        EnergyCounts {
+            instructions: 32_000_000,
+            cycles: 2_000_000,
+            il1_accesses: 32_000_000,
+            dl1_accesses: 10_000_000,
+            l2_accesses: 4_000_000,
+            l3_accesses: 600_000,
+            l1_refreshes: 500_000,
+            l2_refreshes: 2_000_000,
+            l3_refreshes: 10_000_000,
+            dram_reads: 50_000,
+            dram_writes: 20_000,
+            noc_flit_hops: 5_000_000,
+        }
+    }
+
+    #[test]
+    fn sram_ignores_refresh_only_through_counts() {
+        // The breakdown itself charges refresh from the counts; an SRAM run
+        // simply never accrues refresh counts. With identical counts, the only
+        // difference between SRAM and eDRAM is leakage.
+        let params = TechnologyParams::paper_default();
+        let counts = sample_counts();
+        let sram = EnergyBreakdown::compute(&params, CellTech::Sram, &counts);
+        let edram = EnergyBreakdown::compute(&params, CellTech::Edram, &counts);
+        assert!((sram.on_chip_dynamic() - edram.on_chip_dynamic()).abs() < 1e-15);
+        assert!((sram.refresh_total() - edram.refresh_total()).abs() < 1e-15);
+        assert!((edram.on_chip_leakage() - sram.on_chip_leakage() * 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn totals_are_consistent() {
+        let params = TechnologyParams::paper_default();
+        let counts = sample_counts();
+        let b = EnergyBreakdown::compute(&params, CellTech::Edram, &counts);
+        let by_level: f64 = b.by_level().iter().map(|(_, v)| v).sum();
+        let by_component: f64 = b.by_component().iter().map(|(_, v)| v).sum();
+        assert!((by_level - b.memory_total()).abs() < 1e-12);
+        assert!((by_component - b.memory_total()).abs() < 1e-12);
+        assert!(b.total_system() > b.memory_total());
+        assert!(b.is_physical());
+    }
+
+    #[test]
+    fn l3_leakage_dominates_sram_memory_energy() {
+        let params = TechnologyParams::paper_default();
+        let counts = sample_counts();
+        let b = EnergyBreakdown::compute(&params, CellTech::Sram, &counts);
+        // Paper: L3 is ~60% of the on-chip memory energy; L1 is ~90% dynamic.
+        let l3_share = b.l3_total() / b.memory_total();
+        assert!(l3_share > 0.45 && l3_share < 0.8, "L3 share {l3_share}");
+        let l1_dynamic_share = b.l1_dynamic / b.l1_total();
+        assert!(l1_dynamic_share > 0.7, "L1 dynamic share {l1_dynamic_share}");
+    }
+
+    #[test]
+    fn leakage_scales_with_cycles() {
+        let params = TechnologyParams::paper_default();
+        let mut counts = sample_counts();
+        let short = EnergyBreakdown::compute(&params, CellTech::Sram, &counts);
+        counts.cycles *= 2;
+        let long = EnergyBreakdown::compute(&params, CellTech::Sram, &counts);
+        assert!((long.on_chip_leakage() - 2.0 * short.on_chip_leakage()).abs() < 1e-12);
+        assert!((long.on_chip_dynamic() - short.on_chip_dynamic()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn plus_and_scaled_compose() {
+        let params = TechnologyParams::paper_default();
+        let counts = sample_counts();
+        let b = EnergyBreakdown::compute(&params, CellTech::Edram, &counts);
+        let doubled = b.plus(&b);
+        let halved_back = doubled.scaled(0.5);
+        assert!((halved_back.total_system() - b.total_system()).abs() < 1e-12);
+        assert!(doubled.is_physical());
+        assert!(!b.scaled(-1.0).is_physical());
+    }
+
+    #[test]
+    fn zero_counts_give_zero_dynamic_energy() {
+        let params = TechnologyParams::paper_default();
+        let b = EnergyBreakdown::compute(&params, CellTech::Sram, &EnergyCounts::default());
+        assert_eq!(b.on_chip_dynamic(), 0.0);
+        assert_eq!(b.dram, 0.0);
+        assert_eq!(b.on_chip_leakage(), 0.0, "zero cycles means zero leakage");
+    }
+}

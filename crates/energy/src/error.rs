@@ -1,0 +1,61 @@
+//! Error types for the energy model.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the energy model.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum EnergyError {
+    /// A technology parameter was out of its physical range.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        parameter: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A normalisation was requested against a non-positive baseline.
+    InvalidBaseline {
+        /// The rejected baseline value.
+        baseline: f64,
+    },
+}
+
+impl fmt::Display for EnergyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EnergyError::InvalidParameter { parameter, value } => {
+                write!(f, "invalid energy parameter `{parameter}`: {value}")
+            }
+            EnergyError::InvalidBaseline { baseline } => {
+                write!(f, "cannot normalise against non-positive baseline {baseline}")
+            }
+        }
+    }
+}
+
+impl Error for EnergyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(EnergyError::InvalidParameter {
+            parameter: "leakage",
+            value: -1.0
+        }
+        .to_string()
+        .contains("leakage"));
+        assert!(EnergyError::InvalidBaseline { baseline: 0.0 }
+            .to_string()
+            .contains("baseline"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<EnergyError>();
+    }
+}

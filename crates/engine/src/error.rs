@@ -1,0 +1,59 @@
+//! Error types for the simulation kernel.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the simulation kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EngineError {
+    /// A configuration value was outside its valid range.
+    InvalidConfig {
+        /// Name of the offending parameter.
+        parameter: &'static str,
+        /// Human-readable description of the constraint that was violated.
+        reason: String,
+    },
+    /// The simulation exceeded its configured cycle budget.
+    CycleBudgetExceeded {
+        /// The budget that was exceeded, in cycles.
+        budget: u64,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::InvalidConfig { parameter, reason } => {
+                write!(f, "invalid configuration for `{parameter}`: {reason}")
+            }
+            EngineError::CycleBudgetExceeded { budget } => {
+                write!(f, "simulation exceeded its cycle budget of {budget}")
+            }
+        }
+    }
+}
+
+impl Error for EngineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = EngineError::InvalidConfig {
+            parameter: "ways",
+            reason: "must be a power of two".to_owned(),
+        };
+        assert!(e.to_string().contains("ways"));
+        let e = EngineError::CycleBudgetExceeded { budget: 10 };
+        assert!(e.to_string().contains("10"));
+    }
+
+    #[test]
+    fn is_send_sync_error() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<EngineError>();
+    }
+}

@@ -1,0 +1,356 @@
+//! Simulation statistics: counters, histograms and a named registry.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A monotonically increasing event counter.
+///
+/// # Example
+///
+/// ```
+/// use refrint_engine::stats::Counter;
+/// let mut c = Counter::new();
+/// c.add(3);
+/// c.incr();
+/// assert_eq!(c.value(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Counter {
+    value: u64,
+}
+
+impl Counter {
+    /// Creates a counter at zero.
+    #[must_use]
+    pub const fn new() -> Self {
+        Counter { value: 0 }
+    }
+
+    /// Increments the counter by one.
+    pub fn incr(&mut self) {
+        self.value += 1;
+    }
+
+    /// Adds `n` to the counter.
+    pub fn add(&mut self, n: u64) {
+        self.value += n;
+    }
+
+    /// The current count.
+    #[must_use]
+    pub const fn value(&self) -> u64 {
+        self.value
+    }
+
+    /// Resets the counter to zero.
+    pub fn reset(&mut self) {
+        self.value = 0;
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.value)
+    }
+}
+
+/// A fixed-bucket histogram of `u64` samples, plus running sum/min/max.
+///
+/// Bucket `i` covers `[bounds[i-1], bounds[i])`; the last bucket is
+/// unbounded above. Used for latency and queue-depth distributions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with the given ascending bucket upper bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty or not strictly ascending.
+    #[must_use]
+    pub fn with_bounds(bounds: &[u64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            buckets: vec![0; bounds.len() + 1],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Creates a histogram with exponentially growing bounds
+    /// `1, 2, 4, ... 2^(n-1)`.
+    #[must_use]
+    pub fn exponential(n: u32) -> Self {
+        let bounds: Vec<u64> = (0..n).map(|i| 1u64 << i).collect();
+        Self::with_bounds(&bounds)
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, sample: u64) {
+        let idx = match self.bounds.binary_search(&sample) {
+            Ok(i) => i + 1,
+            Err(i) => i,
+        };
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum += sample;
+        self.min = self.min.min(sample);
+        self.max = self.max.max(sample);
+    }
+
+    /// Number of recorded samples.
+    #[must_use]
+    pub const fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded samples.
+    #[must_use]
+    pub const fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Mean of recorded samples, or `None` if empty.
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum as f64 / self.count as f64)
+        }
+    }
+
+    /// Minimum recorded sample, or `None` if empty.
+    #[must_use]
+    pub fn min(&self) -> Option<u64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.min)
+        }
+    }
+
+    /// Maximum recorded sample, or `None` if empty.
+    #[must_use]
+    pub fn max(&self) -> Option<u64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.max)
+        }
+    }
+
+    /// Per-bucket counts (one more entry than bounds: the overflow bucket).
+    #[must_use]
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// The bucket upper bounds this histogram was built with.
+    #[must_use]
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+
+    /// An approximate p-quantile (0.0..=1.0) computed from bucket counts.
+    ///
+    /// Returns the upper bound of the bucket containing the quantile, which
+    /// is precise enough for reporting latency tails.
+    #[must_use]
+    pub fn quantile(&self, p: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let p = p.clamp(0.0, 1.0);
+        let target = (p * self.count as f64).ceil() as u64;
+        let mut running = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            running += b;
+            if running >= target.max(1) {
+                return Some(if i < self.bounds.len() {
+                    self.bounds[i]
+                } else {
+                    self.max
+                });
+            }
+        }
+        Some(self.max)
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::exponential(16)
+    }
+}
+
+/// A named collection of counters, used by subsystems to expose statistics
+/// uniformly to reports and tests.
+///
+/// Keys are ordered (`BTreeMap`) so reports are deterministic.
+#[derive(Debug, Clone, Default)]
+pub struct StatRegistry {
+    counters: BTreeMap<String, Counter>,
+}
+
+impl StatRegistry {
+    /// Creates an empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        StatRegistry {
+            counters: BTreeMap::new(),
+        }
+    }
+
+    /// Adds `n` to the named counter, creating it if necessary.
+    pub fn add(&mut self, name: &str, n: u64) {
+        // Avoid allocating the key when the counter already exists; this is
+        // on the simulator's per-access hot path.
+        if let Some(c) = self.counters.get_mut(name) {
+            c.add(n);
+        } else {
+            self.counters.insert(name.to_owned(), Counter { value: n });
+        }
+    }
+
+    /// Increments the named counter by one, creating it if necessary.
+    pub fn incr(&mut self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Returns the value of the named counter (zero if it does not exist).
+    #[must_use]
+    pub fn get(&self, name: &str) -> u64 {
+        self.counters.get(name).map_or(0, Counter::value)
+    }
+
+    /// Iterates over `(name, value)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), v.value()))
+    }
+
+    /// Merges another registry into this one by summing counters.
+    pub fn merge(&mut self, other: &StatRegistry) {
+        for (k, v) in other.iter() {
+            self.add(k, v);
+        }
+    }
+
+    /// Number of distinct counters.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Whether the registry contains no counters.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+    }
+}
+
+impl fmt::Display for StatRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (k, v) in self.iter() {
+            writeln!(f, "{k:<40} {v}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_basics() {
+        let mut c = Counter::new();
+        assert_eq!(c.value(), 0);
+        c.incr();
+        c.add(9);
+        assert_eq!(c.value(), 10);
+        c.reset();
+        assert_eq!(c.value(), 0);
+        assert_eq!(Counter::default().value(), 0);
+    }
+
+    #[test]
+    fn histogram_bucketing() {
+        let mut h = Histogram::with_bounds(&[10, 100, 1000]);
+        for s in [1, 9, 10, 11, 99, 100, 5000] {
+            h.record(s);
+        }
+        // Buckets: [0,10) -> {1,9}; [10,100) -> {10,11,99}; [100,1000) -> {100}; overflow -> {5000}
+        assert_eq!(h.buckets(), &[2, 3, 1, 1]);
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.min(), Some(1));
+        assert_eq!(h.max(), Some(5000));
+        assert_eq!(h.sum(), 1 + 9 + 10 + 11 + 99 + 100 + 5000);
+    }
+
+    #[test]
+    fn histogram_mean_and_quantiles() {
+        let mut h = Histogram::exponential(10);
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.quantile(0.5), None);
+        for s in 0..100u64 {
+            h.record(s);
+        }
+        let mean = h.mean().unwrap();
+        assert!((mean - 49.5).abs() < 1e-9);
+        assert!(h.quantile(0.5).unwrap() >= 32);
+        assert!(h.quantile(1.0).unwrap() >= 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn histogram_rejects_unordered_bounds() {
+        let _ = Histogram::with_bounds(&[5, 5]);
+    }
+
+    #[test]
+    fn registry_accumulates_and_merges() {
+        let mut a = StatRegistry::new();
+        a.incr("l1.hits");
+        a.add("l1.hits", 4);
+        a.add("l1.misses", 2);
+        assert_eq!(a.get("l1.hits"), 5);
+        assert_eq!(a.get("unknown"), 0);
+
+        let mut b = StatRegistry::new();
+        b.add("l1.hits", 10);
+        b.add("l2.hits", 7);
+        a.merge(&b);
+        assert_eq!(a.get("l1.hits"), 15);
+        assert_eq!(a.get("l2.hits"), 7);
+        assert_eq!(a.len(), 3);
+
+        let names: Vec<&str> = a.iter().map(|(k, _)| k).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted, "iteration must be name-ordered");
+    }
+
+    #[test]
+    fn registry_display_lists_all() {
+        let mut r = StatRegistry::new();
+        r.add("x", 1);
+        r.add("y", 2);
+        let s = r.to_string();
+        assert!(s.contains('x') && s.contains('y'));
+    }
+}

@@ -1,0 +1,56 @@
+//! Error types for the cache substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the cache substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MemError {
+    /// A cache geometry was internally inconsistent.
+    InvalidGeometry {
+        /// Description of the violated constraint.
+        reason: String,
+    },
+    /// An operation referenced a line that is not resident.
+    LineNotResident {
+        /// The raw line address.
+        line_addr: u64,
+    },
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::InvalidGeometry { reason } => {
+                write!(f, "invalid cache geometry: {reason}")
+            }
+            MemError::LineNotResident { line_addr } => {
+                write!(f, "line {line_addr:#x} is not resident in the cache")
+            }
+        }
+    }
+}
+
+impl Error for MemError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_detail() {
+        let e = MemError::InvalidGeometry {
+            reason: "bad".to_owned(),
+        };
+        assert!(e.to_string().contains("bad"));
+        let e = MemError::LineNotResident { line_addr: 0xff };
+        assert!(e.to_string().contains("0xff"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<MemError>();
+    }
+}

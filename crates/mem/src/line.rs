@@ -1,0 +1,303 @@
+//! Per-line coherence state and residency metadata.
+//!
+//! The refresh policies of the paper (Table 3.1) decide what to do with a
+//! line purely from its *state* (valid / dirty) and a small per-line `Count`
+//! maintained alongside the tag bits (Section 4.2). [`LineMeta`] carries the
+//! timestamps and counters the eDRAM crate needs to evaluate those policies
+//! lazily.
+
+use std::fmt;
+
+use refrint_engine::time::Cycle;
+
+use crate::addr::LineAddr;
+
+/// MESI coherence state of a line, as tracked by the owning cache.
+///
+/// The directory protocol of the paper is MESI with the directory kept at
+/// the (inclusive) L3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum MesiState {
+    /// Line not present / invalidated.
+    #[default]
+    Invalid,
+    /// Present, clean, and potentially replicated in other caches.
+    Shared,
+    /// Present, clean, and guaranteed not replicated elsewhere.
+    Exclusive,
+    /// Present, dirty, sole valid copy on chip.
+    Modified,
+}
+
+impl MesiState {
+    /// Whether the line holds valid data.
+    #[must_use]
+    pub const fn is_valid(self) -> bool {
+        !matches!(self, MesiState::Invalid)
+    }
+
+    /// Whether the line is dirty with respect to the next level.
+    #[must_use]
+    pub const fn is_dirty(self) -> bool {
+        matches!(self, MesiState::Modified)
+    }
+
+    /// Whether the cache holding this line may service a write without a
+    /// coherence transaction.
+    #[must_use]
+    pub const fn can_write_silently(self) -> bool {
+        matches!(self, MesiState::Modified | MesiState::Exclusive)
+    }
+
+    /// The state after a write-back that keeps the data ("Valid Clean" in the
+    /// paper's WB(n,m) description).
+    #[must_use]
+    pub const fn after_writeback(self) -> MesiState {
+        match self {
+            MesiState::Modified => MesiState::Shared,
+            other => other,
+        }
+    }
+
+    /// A single-character mnemonic (`M`, `E`, `S`, `I`).
+    #[must_use]
+    pub const fn mnemonic(self) -> char {
+        match self {
+            MesiState::Invalid => 'I',
+            MesiState::Shared => 'S',
+            MesiState::Exclusive => 'E',
+            MesiState::Modified => 'M',
+        }
+    }
+}
+
+impl fmt::Display for MesiState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.mnemonic())
+    }
+}
+
+/// Residency metadata consumed by the refresh policies.
+///
+/// `last_touch` is the cycle of the most recent *normal* (non-refresh) access
+/// — exactly the event that resets the paper's per-line `Count` and recharges
+/// the Sentry bit. `dirty_since` records when the line last became dirty, so
+/// end-of-simulation write-back accounting can be exact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LineMeta {
+    /// Cycle of the last normal access (fill, read hit, or write hit).
+    pub last_touch: Cycle,
+    /// Cycle at which the line was filled into this cache.
+    pub fill_time: Cycle,
+    /// Cycle at which the line most recently transitioned to dirty, if dirty.
+    pub dirty_since: Option<Cycle>,
+    /// Number of refreshes this line has received since its last touch
+    /// (maintained by the lazy refresh accounting when it settles a line).
+    pub refreshes_since_touch: u64,
+    /// Total number of times this line has been refreshed while resident.
+    pub total_refreshes: u64,
+}
+
+impl LineMeta {
+    /// Metadata for a line filled (and therefore touched) at `now`.
+    #[must_use]
+    pub fn filled_at(now: Cycle) -> Self {
+        LineMeta {
+            last_touch: now,
+            fill_time: now,
+            dirty_since: None,
+            refreshes_since_touch: 0,
+            total_refreshes: 0,
+        }
+    }
+
+    /// Records a normal access at `now`, recharging the implicit sentry bit
+    /// and resetting the policy count.
+    pub fn touch(&mut self, now: Cycle) {
+        self.last_touch = now;
+        self.refreshes_since_touch = 0;
+    }
+
+    /// Records that the line became dirty at `now` (no-op if already dirty).
+    pub fn mark_dirty(&mut self, now: Cycle) {
+        if self.dirty_since.is_none() {
+            self.dirty_since = Some(now);
+        }
+    }
+
+    /// Records that the line was cleaned (written back) at some point.
+    pub fn mark_clean(&mut self) {
+        self.dirty_since = None;
+    }
+
+    /// Records `n` refreshes applied to the line.
+    pub fn add_refreshes(&mut self, n: u64) {
+        self.refreshes_since_touch += n;
+        self.total_refreshes += n;
+    }
+}
+
+/// A cache line: identity (line address), coherence state, and residency
+/// metadata. Data contents are not simulated — only state and timing matter
+/// for energy and refresh behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheLine {
+    /// The line address stored in this way.
+    pub addr: LineAddr,
+    /// The MESI state of the line.
+    pub state: MesiState,
+    /// Residency metadata for refresh policies.
+    pub meta: LineMeta,
+}
+
+impl CacheLine {
+    /// Creates a line filled at `now` in the given state.
+    #[must_use]
+    pub fn new(addr: LineAddr, state: MesiState, now: Cycle) -> Self {
+        let mut meta = LineMeta::filled_at(now);
+        if state.is_dirty() {
+            meta.mark_dirty(now);
+        }
+        CacheLine { addr, state, meta }
+    }
+
+    /// Whether the line holds valid data.
+    #[must_use]
+    pub fn is_valid(&self) -> bool {
+        self.state.is_valid()
+    }
+
+    /// Whether the line is dirty.
+    #[must_use]
+    pub fn is_dirty(&self) -> bool {
+        self.state.is_dirty()
+    }
+
+    /// Applies a read access at `now`.
+    pub fn read(&mut self, now: Cycle) {
+        debug_assert!(self.is_valid(), "read of an invalid line");
+        self.meta.touch(now);
+    }
+
+    /// Applies a write access at `now`, upgrading the line to Modified.
+    pub fn write(&mut self, now: Cycle) {
+        debug_assert!(self.is_valid(), "write of an invalid line");
+        self.state = MesiState::Modified;
+        self.meta.touch(now);
+        self.meta.mark_dirty(now);
+    }
+
+    /// Applies a write-back at `now`: the line stays valid but becomes clean
+    /// (the paper's "Valid Clean" state after WB(n,·) expires).
+    pub fn write_back(&mut self) {
+        self.state = self.state.after_writeback();
+        self.meta.mark_clean();
+    }
+
+    /// Downgrades the line to `Shared` (e.g. a remote read of a Modified
+    /// line after the data has been forwarded/written back).
+    pub fn downgrade_to_shared(&mut self) {
+        self.state = MesiState::Shared;
+        self.meta.mark_clean();
+    }
+
+    /// Invalidates the line.
+    pub fn invalidate(&mut self) {
+        self.state = MesiState::Invalid;
+        self.meta.mark_clean();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mesi_predicates() {
+        assert!(!MesiState::Invalid.is_valid());
+        assert!(MesiState::Shared.is_valid());
+        assert!(MesiState::Exclusive.is_valid());
+        assert!(MesiState::Modified.is_valid());
+        assert!(MesiState::Modified.is_dirty());
+        assert!(!MesiState::Exclusive.is_dirty());
+        assert!(MesiState::Modified.can_write_silently());
+        assert!(MesiState::Exclusive.can_write_silently());
+        assert!(!MesiState::Shared.can_write_silently());
+        assert_eq!(MesiState::default(), MesiState::Invalid);
+    }
+
+    #[test]
+    fn writeback_transition() {
+        assert_eq!(MesiState::Modified.after_writeback(), MesiState::Shared);
+        assert_eq!(MesiState::Shared.after_writeback(), MesiState::Shared);
+        assert_eq!(MesiState::Invalid.after_writeback(), MesiState::Invalid);
+    }
+
+    #[test]
+    fn mnemonics_and_display() {
+        assert_eq!(MesiState::Modified.to_string(), "M");
+        assert_eq!(MesiState::Exclusive.mnemonic(), 'E');
+        assert_eq!(MesiState::Shared.mnemonic(), 'S');
+        assert_eq!(MesiState::Invalid.mnemonic(), 'I');
+    }
+
+    #[test]
+    fn meta_touch_resets_refresh_count() {
+        let mut m = LineMeta::filled_at(Cycle::new(10));
+        m.add_refreshes(5);
+        assert_eq!(m.refreshes_since_touch, 5);
+        assert_eq!(m.total_refreshes, 5);
+        m.touch(Cycle::new(100));
+        assert_eq!(m.refreshes_since_touch, 0);
+        assert_eq!(m.total_refreshes, 5);
+        assert_eq!(m.last_touch, Cycle::new(100));
+        assert_eq!(m.fill_time, Cycle::new(10));
+    }
+
+    #[test]
+    fn dirty_tracking() {
+        let mut m = LineMeta::filled_at(Cycle::ZERO);
+        assert_eq!(m.dirty_since, None);
+        m.mark_dirty(Cycle::new(5));
+        m.mark_dirty(Cycle::new(50));
+        assert_eq!(m.dirty_since, Some(Cycle::new(5)), "first dirtying wins");
+        m.mark_clean();
+        assert_eq!(m.dirty_since, None);
+    }
+
+    #[test]
+    fn line_read_write_lifecycle() {
+        let mut line = CacheLine::new(LineAddr::new(0x42), MesiState::Exclusive, Cycle::new(1));
+        assert!(line.is_valid());
+        assert!(!line.is_dirty());
+
+        line.write(Cycle::new(10));
+        assert_eq!(line.state, MesiState::Modified);
+        assert!(line.is_dirty());
+        assert_eq!(line.meta.dirty_since, Some(Cycle::new(10)));
+
+        line.write_back();
+        assert_eq!(line.state, MesiState::Shared);
+        assert!(!line.is_dirty());
+
+        line.read(Cycle::new(20));
+        assert_eq!(line.meta.last_touch, Cycle::new(20));
+
+        line.invalidate();
+        assert!(!line.is_valid());
+    }
+
+    #[test]
+    fn new_modified_line_records_dirty_since_fill() {
+        let line = CacheLine::new(LineAddr::new(1), MesiState::Modified, Cycle::new(7));
+        assert_eq!(line.meta.dirty_since, Some(Cycle::new(7)));
+    }
+
+    #[test]
+    fn downgrade_cleans_line() {
+        let mut line = CacheLine::new(LineAddr::new(1), MesiState::Modified, Cycle::new(7));
+        line.downgrade_to_shared();
+        assert_eq!(line.state, MesiState::Shared);
+        assert_eq!(line.meta.dirty_since, None);
+    }
+}

@@ -1,0 +1,58 @@
+//! Error types for the network-on-chip model.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the NoC model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NocError {
+    /// The topology dimensions were invalid.
+    InvalidTopology {
+        /// Description of the violated constraint.
+        reason: String,
+    },
+    /// A node index was outside the topology.
+    NodeOutOfRange {
+        /// The offending node index.
+        index: usize,
+        /// The number of nodes in the topology.
+        nodes: usize,
+    },
+}
+
+impl fmt::Display for NocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NocError::InvalidTopology { reason } => write!(f, "invalid topology: {reason}"),
+            NocError::NodeOutOfRange { index, nodes } => {
+                write!(f, "node {index} is out of range for a {nodes}-node network")
+            }
+        }
+    }
+}
+
+impl Error for NocError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(NocError::InvalidTopology {
+            reason: "zero".into()
+        }
+        .to_string()
+        .contains("zero"));
+        assert!(NocError::NodeOutOfRange { index: 20, nodes: 16 }
+            .to_string()
+            .contains("20"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<NocError>();
+    }
+}

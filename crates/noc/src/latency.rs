@@ -1,0 +1,105 @@
+//! Link/router latency and flit serialisation.
+//!
+//! The CMP simulator charges a per-hop latency for every coherence message
+//! that crosses the torus, plus serialisation latency for multi-flit (data)
+//! messages. Defaults are conventional values for a low-frequency mesh/torus
+//! router (1-cycle router + 1-cycle link per hop, 16-byte flits).
+
+use refrint_engine::time::Cycle;
+
+/// Latency and width parameters of the interconnect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkParams {
+    /// Pipeline latency through one router, in cycles.
+    pub router_latency: Cycle,
+    /// Traversal latency of one link, in cycles.
+    pub link_latency: Cycle,
+    /// Flit width in bytes (data messages are serialised into flits).
+    pub flit_bytes: u64,
+    /// Size of a header/control flit in bytes (control messages are 1 flit).
+    pub control_bytes: u64,
+}
+
+impl LinkParams {
+    /// Conventional defaults: 1-cycle router, 1-cycle link, 16-byte flits,
+    /// 8-byte control messages.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        LinkParams {
+            router_latency: Cycle::new(1),
+            link_latency: Cycle::new(1),
+            flit_bytes: 16,
+            control_bytes: 8,
+        }
+    }
+
+    /// Cycles per hop (router + link).
+    #[must_use]
+    pub fn per_hop(&self) -> Cycle {
+        self.router_latency + self.link_latency
+    }
+
+    /// Number of flits needed to carry `payload_bytes` of data (at least 1).
+    #[must_use]
+    pub fn flits_for(&self, payload_bytes: u64) -> u64 {
+        if payload_bytes == 0 {
+            return 1;
+        }
+        payload_bytes.div_ceil(self.flit_bytes)
+    }
+
+    /// End-to-end latency for a message of `payload_bytes` over `hops` hops:
+    /// head-flit pipeline latency plus serialisation of the remaining flits.
+    /// Zero hops (bank local to the requesting tile) costs nothing.
+    #[must_use]
+    pub fn message_latency(&self, hops: u32, payload_bytes: u64) -> Cycle {
+        if hops == 0 {
+            return Cycle::ZERO;
+        }
+        let head = self.per_hop() * u64::from(hops);
+        let serialisation = Cycle::new(self.flits_for(payload_bytes).saturating_sub(1));
+        head + serialisation
+    }
+}
+
+impl Default for LinkParams {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_hop_latency() {
+        let p = LinkParams::paper_default();
+        assert_eq!(p.per_hop(), Cycle::new(2));
+    }
+
+    #[test]
+    fn flit_counts() {
+        let p = LinkParams::paper_default();
+        assert_eq!(p.flits_for(0), 1);
+        assert_eq!(p.flits_for(8), 1);
+        assert_eq!(p.flits_for(16), 1);
+        assert_eq!(p.flits_for(17), 2);
+        assert_eq!(p.flits_for(64), 4);
+    }
+
+    #[test]
+    fn message_latency_scales_with_hops_and_size() {
+        let p = LinkParams::paper_default();
+        assert_eq!(p.message_latency(0, 64), Cycle::ZERO);
+        // Control message, 2 hops: 2 * 2 cycles.
+        assert_eq!(p.message_latency(2, 8), Cycle::new(4));
+        // 64-byte data message, 2 hops: 4 + (4 - 1) serialisation cycles.
+        assert_eq!(p.message_latency(2, 64), Cycle::new(7));
+    }
+
+    #[test]
+    fn default_is_paper_default() {
+        assert_eq!(LinkParams::default(), LinkParams::paper_default());
+    }
+}

@@ -1,0 +1,227 @@
+//! Torus (k-ary 2-cube) topology.
+
+use std::fmt;
+
+use crate::error::NocError;
+
+/// Identifier of a node (router) on the torus.
+///
+/// Node ids are assigned in row-major order: `id = y * width + x`.
+/// In the paper's configuration a node hosts one core, its private L1/L2,
+/// and one bank of the shared L3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(usize);
+
+impl NodeId {
+    /// Creates a node identifier from a raw index.
+    #[must_use]
+    pub const fn new(raw: usize) -> Self {
+        NodeId(raw)
+    }
+
+    /// The raw index.
+    #[must_use]
+    pub const fn raw(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+impl From<usize> for NodeId {
+    fn from(raw: usize) -> Self {
+        NodeId(raw)
+    }
+}
+
+/// A 2-D torus of `width × height` routers with wraparound links in both
+/// dimensions (the paper's 4×4 torus).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Torus {
+    width: usize,
+    height: usize,
+}
+
+impl Torus {
+    /// Creates a torus.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NocError::InvalidTopology`] if either dimension is zero.
+    pub fn new(width: usize, height: usize) -> Result<Self, NocError> {
+        if width == 0 || height == 0 {
+            return Err(NocError::InvalidTopology {
+                reason: format!("dimensions must be non-zero, got {width}x{height}"),
+            });
+        }
+        Ok(Torus { width, height })
+    }
+
+    /// The paper's 4×4 torus.
+    #[must_use]
+    pub fn paper_4x4() -> Self {
+        Torus {
+            width: 4,
+            height: 4,
+        }
+    }
+
+    /// Width (number of columns).
+    #[must_use]
+    pub const fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Height (number of rows).
+    #[must_use]
+    pub const fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Total number of nodes.
+    #[must_use]
+    pub const fn num_nodes(&self) -> usize {
+        self.width * self.height
+    }
+
+    /// The node at column `x`, row `y`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NocError::NodeOutOfRange`] if the coordinates are outside
+    /// the torus.
+    pub fn node(&self, x: usize, y: usize) -> Result<NodeId, NocError> {
+        if x >= self.width || y >= self.height {
+            return Err(NocError::NodeOutOfRange {
+                index: y * self.width + x,
+                nodes: self.num_nodes(),
+            });
+        }
+        Ok(NodeId(y * self.width + x))
+    }
+
+    /// The `(x, y)` coordinates of `node`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NocError::NodeOutOfRange`] if the node id is out of range.
+    pub fn coords(&self, node: NodeId) -> Result<(usize, usize), NocError> {
+        if node.raw() >= self.num_nodes() {
+            return Err(NocError::NodeOutOfRange {
+                index: node.raw(),
+                nodes: self.num_nodes(),
+            });
+        }
+        Ok((node.raw() % self.width, node.raw() / self.width))
+    }
+
+    /// Iterates over every node id.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.num_nodes()).map(NodeId)
+    }
+
+    /// The shortest distance along one ring dimension of size `k`, taking the
+    /// wraparound link when it is shorter.
+    #[must_use]
+    pub fn ring_distance(k: usize, a: usize, b: usize) -> usize {
+        let d = a.abs_diff(b);
+        d.min(k - d)
+    }
+
+    /// The four neighbours (±x, ±y with wraparound) of `node`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NocError::NodeOutOfRange`] if the node id is out of range.
+    pub fn neighbours(&self, node: NodeId) -> Result<[NodeId; 4], NocError> {
+        let (x, y) = self.coords(node)?;
+        let xm = (x + self.width - 1) % self.width;
+        let xp = (x + 1) % self.width;
+        let ym = (y + self.height - 1) % self.height;
+        let yp = (y + 1) % self.height;
+        Ok([
+            NodeId(y * self.width + xm),
+            NodeId(y * self.width + xp),
+            NodeId(ym * self.width + x),
+            NodeId(yp * self.width + x),
+        ])
+    }
+}
+
+impl Default for Torus {
+    fn default() -> Self {
+        Torus::paper_4x4()
+    }
+}
+
+impl fmt::Display for Torus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{} torus", self.width, self.height)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_coord_round_trip() {
+        let t = Torus::paper_4x4();
+        for id in t.nodes() {
+            let (x, y) = t.coords(id).unwrap();
+            assert_eq!(t.node(x, y).unwrap(), id);
+        }
+        assert_eq!(t.num_nodes(), 16);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let t = Torus::paper_4x4();
+        assert!(t.node(4, 0).is_err());
+        assert!(t.node(0, 4).is_err());
+        assert!(t.coords(NodeId::new(16)).is_err());
+        assert!(Torus::new(0, 4).is_err());
+        assert!(Torus::new(4, 0).is_err());
+    }
+
+    #[test]
+    fn ring_distance_uses_wraparound() {
+        assert_eq!(Torus::ring_distance(4, 0, 3), 1);
+        assert_eq!(Torus::ring_distance(4, 0, 2), 2);
+        assert_eq!(Torus::ring_distance(4, 1, 1), 0);
+        assert_eq!(Torus::ring_distance(8, 0, 5), 3);
+    }
+
+    #[test]
+    fn neighbours_are_four_distinct_nodes_on_4x4() {
+        let t = Torus::paper_4x4();
+        for id in t.nodes() {
+            let n = t.neighbours(id).unwrap();
+            assert!(n.iter().all(|&x| x != id));
+            let mut uniq = n.to_vec();
+            uniq.sort_unstable();
+            uniq.dedup();
+            assert_eq!(uniq.len(), 4);
+        }
+    }
+
+    #[test]
+    fn corner_wraparound_neighbours() {
+        let t = Torus::paper_4x4();
+        let corner = t.node(0, 0).unwrap();
+        let n = t.neighbours(corner).unwrap();
+        // -x wraps to (3,0) = node 3, +x is node 1, -y wraps to (0,3) = node 12, +y is node 4.
+        assert_eq!(n, [NodeId::new(3), NodeId::new(1), NodeId::new(12), NodeId::new(4)]);
+    }
+
+    #[test]
+    fn display_and_default() {
+        assert_eq!(Torus::default().to_string(), "4x4 torus");
+        assert_eq!(NodeId::new(3).to_string(), "node3");
+        assert_eq!(NodeId::from(2usize).raw(), 2);
+    }
+}

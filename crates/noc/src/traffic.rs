@@ -1,0 +1,191 @@
+//! Traffic classes and accounting.
+//!
+//! The coherence protocol generates several classes of messages (requests,
+//! invalidations, acknowledgements, data transfers, write-backs). The energy
+//! model charges a per-flit-hop energy, so this module records flit-hops per
+//! class; the CMP simulator feeds it from resolved transactions.
+
+use std::fmt;
+
+use refrint_engine::stats::StatRegistry;
+
+use crate::latency::LinkParams;
+
+/// Classes of on-chip network messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MessageClass {
+    /// Read/write requests from an L2 to an L3 bank (control-sized).
+    Request,
+    /// Data responses carrying a cache line.
+    Data,
+    /// Invalidation requests from the directory to sharers (control-sized).
+    Invalidation,
+    /// Invalidation/eviction acknowledgements (control-sized).
+    Ack,
+    /// Write-backs of dirty lines (carry a cache line).
+    WriteBack,
+}
+
+impl MessageClass {
+    /// All message classes.
+    pub const ALL: [MessageClass; 5] = [
+        MessageClass::Request,
+        MessageClass::Data,
+        MessageClass::Invalidation,
+        MessageClass::Ack,
+        MessageClass::WriteBack,
+    ];
+
+    /// Whether this message carries a full cache line as payload.
+    #[must_use]
+    pub const fn carries_data(self) -> bool {
+        matches!(self, MessageClass::Data | MessageClass::WriteBack)
+    }
+
+    /// A short label for statistics keys.
+    #[must_use]
+    pub const fn label(self) -> &'static str {
+        match self {
+            MessageClass::Request => "request",
+            MessageClass::Data => "data",
+            MessageClass::Invalidation => "invalidation",
+            MessageClass::Ack => "ack",
+            MessageClass::WriteBack => "writeback",
+        }
+    }
+
+    /// Payload size in bytes given a cache line size.
+    #[must_use]
+    pub const fn payload_bytes(self, line_size: u64, params: &LinkParams) -> u64 {
+        if self.carries_data() {
+            line_size
+        } else {
+            params.control_bytes
+        }
+    }
+}
+
+impl fmt::Display for MessageClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Accumulates message and flit-hop counts per class.
+#[derive(Debug, Clone, Default)]
+pub struct TrafficAccount {
+    stats: StatRegistry,
+    flit_hops: u64,
+}
+
+impl TrafficAccount {
+    /// Creates an empty account.
+    #[must_use]
+    pub fn new() -> Self {
+        TrafficAccount::default()
+    }
+
+    /// Records one message of `class` travelling `hops` hops, for a cache
+    /// line size of `line_size` bytes.
+    pub fn record(&mut self, class: MessageClass, hops: u32, line_size: u64, params: &LinkParams) {
+        let flits = params.flits_for(class.payload_bytes(line_size, params));
+        let flit_hops = flits * u64::from(hops);
+        self.flit_hops += flit_hops;
+        self.stats.incr(&format!("messages.{}", class.label()));
+        self.stats
+            .add(&format!("flit_hops.{}", class.label()), flit_hops);
+    }
+
+    /// Total flit-hops across all classes (the energy model's input).
+    #[must_use]
+    pub fn total_flit_hops(&self) -> u64 {
+        self.flit_hops
+    }
+
+    /// Number of messages recorded for `class`.
+    #[must_use]
+    pub fn messages(&self, class: MessageClass) -> u64 {
+        self.stats.get(&format!("messages.{}", class.label()))
+    }
+
+    /// Flit-hops recorded for `class`.
+    #[must_use]
+    pub fn flit_hops(&self, class: MessageClass) -> u64 {
+        self.stats.get(&format!("flit_hops.{}", class.label()))
+    }
+
+    /// Underlying statistics registry.
+    #[must_use]
+    pub fn stats(&self) -> &StatRegistry {
+        &self.stats
+    }
+
+    /// Merges another account into this one.
+    pub fn merge(&mut self, other: &TrafficAccount) {
+        self.stats.merge(&other.stats);
+        self.flit_hops += other.flit_hops;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_sizes() {
+        let p = LinkParams::paper_default();
+        assert_eq!(MessageClass::Request.payload_bytes(64, &p), 8);
+        assert_eq!(MessageClass::Data.payload_bytes(64, &p), 64);
+        assert_eq!(MessageClass::WriteBack.payload_bytes(64, &p), 64);
+        assert!(MessageClass::Data.carries_data());
+        assert!(!MessageClass::Ack.carries_data());
+    }
+
+    #[test]
+    fn record_accumulates_flit_hops() {
+        let p = LinkParams::paper_default();
+        let mut t = TrafficAccount::new();
+        // Control message over 2 hops = 1 flit * 2 hops.
+        t.record(MessageClass::Request, 2, 64, &p);
+        // Data message over 3 hops = 4 flits * 3 hops.
+        t.record(MessageClass::Data, 3, 64, &p);
+        assert_eq!(t.total_flit_hops(), 2 + 12);
+        assert_eq!(t.messages(MessageClass::Request), 1);
+        assert_eq!(t.messages(MessageClass::Data), 1);
+        assert_eq!(t.flit_hops(MessageClass::Data), 12);
+        assert_eq!(t.messages(MessageClass::Ack), 0);
+    }
+
+    #[test]
+    fn zero_hop_messages_cost_nothing() {
+        let p = LinkParams::paper_default();
+        let mut t = TrafficAccount::new();
+        t.record(MessageClass::Data, 0, 64, &p);
+        assert_eq!(t.total_flit_hops(), 0);
+        assert_eq!(t.messages(MessageClass::Data), 1);
+    }
+
+    #[test]
+    fn merge_sums_accounts() {
+        let p = LinkParams::paper_default();
+        let mut a = TrafficAccount::new();
+        let mut b = TrafficAccount::new();
+        a.record(MessageClass::Invalidation, 1, 64, &p);
+        b.record(MessageClass::Invalidation, 2, 64, &p);
+        b.record(MessageClass::Ack, 2, 64, &p);
+        a.merge(&b);
+        assert_eq!(a.messages(MessageClass::Invalidation), 2);
+        assert_eq!(a.messages(MessageClass::Ack), 1);
+        assert_eq!(a.total_flit_hops(), 1 + 2 + 2);
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: Vec<&str> = MessageClass::ALL.iter().map(|c| c.label()).collect();
+        let mut dedup = labels.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(labels.len(), dedup.len());
+        assert_eq!(MessageClass::Data.to_string(), "data");
+    }
+}

@@ -1,0 +1,283 @@
+//! Footprint / visibility measurement and Class 1/2/3 binning (Table 6.1).
+//!
+//! The paper's Figure 3.1 characterises applications along two axes as seen
+//! from the last-level cache: footprint relative to the LLC, and how much of
+//! the upper-level activity is visible at the LLC. This module measures both
+//! directly from a generated reference stream (no simulator required):
+//!
+//! * **footprint** — distinct lines touched × line size;
+//! * **visibility** — the fraction of references that the LLC would plausibly
+//!   observe, estimated from sharing (lines touched by more than one thread)
+//!   and from the miss traffic a per-thread hot-set filter would let through.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::generator::ThreadStream;
+use crate::model::WorkloadModel;
+
+const LINE: u64 = 64;
+
+/// The paper's three application classes (Figure 3.1 / Table 6.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AppClass {
+    /// Large footprint, high visibility: WB(n,m) with small (n,m) works best.
+    Class1,
+    /// Small footprint, high visibility: WB(n,m) with large (n,m) or Valid.
+    Class2,
+    /// Small footprint, low visibility: Valid works best.
+    Class3,
+}
+
+impl AppClass {
+    /// All classes in order.
+    pub const ALL: [AppClass; 3] = [AppClass::Class1, AppClass::Class2, AppClass::Class3];
+
+    /// A short label (`class1`, `class2`, `class3`).
+    #[must_use]
+    pub const fn label(self) -> &'static str {
+        match self {
+            AppClass::Class1 => "class1",
+            AppClass::Class2 => "class2",
+            AppClass::Class3 => "class3",
+        }
+    }
+}
+
+impl fmt::Display for AppClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The measured characteristics of a workload and the class they imply.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassificationReport {
+    /// The workload's name.
+    pub name: String,
+    /// Distinct bytes touched.
+    pub footprint_bytes: u64,
+    /// LLC capacity used as the footprint threshold.
+    pub llc_bytes: u64,
+    /// Fraction of references to lines touched by more than one thread.
+    pub shared_ref_fraction: f64,
+    /// Fraction of references that escape a per-thread hot-set filter
+    /// (a proxy for traffic the L2 would let through to the L3).
+    pub escape_fraction: f64,
+    /// The resulting class.
+    pub class: AppClass,
+}
+
+impl ClassificationReport {
+    /// Footprint relative to the LLC (>
+    /// 1 means the application does not fit).
+    #[must_use]
+    pub fn footprint_ratio(&self) -> f64 {
+        self.footprint_bytes as f64 / self.llc_bytes as f64
+    }
+
+    /// The visibility metric used for binning: the larger of sharing and
+    /// escape traffic (either one keeps the LLC informed).
+    #[must_use]
+    pub fn visibility(&self) -> f64 {
+        self.shared_ref_fraction.max(self.escape_fraction)
+    }
+}
+
+impl fmt::Display for ClassificationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<14} footprint {:>7.1} KB ({:>5.2}x LLC)  shared {:>5.1}%  escape {:>5.1}%  -> {}",
+            self.name,
+            self.footprint_bytes as f64 / 1024.0,
+            self.footprint_ratio(),
+            self.shared_ref_fraction * 100.0,
+            self.escape_fraction * 100.0,
+            self.class
+        )
+    }
+}
+
+/// Thresholds used to turn measurements into a class.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClassifierConfig {
+    /// LLC capacity in bytes (16 MB in the paper's configuration).
+    pub llc_bytes: u64,
+    /// Footprint ratio above which an application is "large footprint".
+    pub large_footprint_ratio: f64,
+    /// Visibility above which an application is "high visibility".
+    pub high_visibility: f64,
+    /// Sample of references per thread used for measurement.
+    pub sample_refs_per_thread: u64,
+    /// Seed for the sampled streams.
+    pub seed: u64,
+}
+
+impl Default for ClassifierConfig {
+    fn default() -> Self {
+        ClassifierConfig {
+            llc_bytes: 16 * 1024 * 1024,
+            large_footprint_ratio: 1.0,
+            high_visibility: 0.20,
+            sample_refs_per_thread: 20_000,
+            seed: 0xC1A5_51F1,
+        }
+    }
+}
+
+/// Measures `model` and assigns it a class.
+#[must_use]
+pub fn classify(model: &WorkloadModel, config: &ClassifierConfig) -> ClassificationReport {
+    let sample_model = model
+        .clone()
+        .with_refs_per_thread(config.sample_refs_per_thread.min(model.refs_per_thread.max(1)));
+
+    // line -> bitmask of threads that touched it.
+    let mut line_threads: HashMap<u64, u64> = HashMap::new();
+    // Per-thread most-recently-used filter approximating the private L1+L2.
+    let hot_lines_capacity = (256 * 1024 / LINE) as usize;
+    let mut total_refs = 0u64;
+    let mut escapes = 0u64;
+
+    let mut per_thread_refs: Vec<Vec<u64>> = Vec::new();
+    for t in 0..sample_model.threads {
+        let lines: Vec<u64> = ThreadStream::new(&sample_model, t, config.seed)
+            .map(|r| r.addr.line(LINE).raw())
+            .collect();
+        per_thread_refs.push(lines);
+    }
+
+    for (t, lines) in per_thread_refs.iter().enumerate() {
+        let mut recent: HashMap<u64, u64> = HashMap::new();
+        for (i, &line) in lines.iter().enumerate() {
+            *line_threads.entry(line).or_insert(0) |= 1 << (t as u64 % 64);
+            total_refs += 1;
+            // Escape if the line was not seen within the last
+            // `hot_lines_capacity` distinct references of this thread.
+            let escaped = match recent.get(&line) {
+                Some(&last) => (i as u64 - last) > hot_lines_capacity as u64,
+                None => true,
+            };
+            if escaped {
+                escapes += 1;
+            }
+            recent.insert(line, i as u64);
+        }
+    }
+
+    let footprint_bytes = line_threads.len() as u64 * LINE;
+    let shared_refs: u64 = per_thread_refs
+        .iter()
+        .flat_map(|lines| lines.iter())
+        .filter(|line| line_threads.get(line).map_or(0, |m| m.count_ones()) > 1)
+        .count() as u64;
+    let shared_ref_fraction = if total_refs > 0 {
+        shared_refs as f64 / total_refs as f64
+    } else {
+        0.0
+    };
+    let escape_fraction = if total_refs > 0 {
+        escapes as f64 / total_refs as f64
+    } else {
+        0.0
+    };
+
+    // Scale the sampled footprint up to the full run length: the sample only
+    // visits part of the cold regions, but cold-region size is what decides
+    // the class, so use the model's declared footprint when it is larger.
+    let footprint_bytes = footprint_bytes.max(if model.footprint_bytes() > config.llc_bytes {
+        model.footprint_bytes()
+    } else {
+        footprint_bytes
+    });
+
+    let footprint_ratio = footprint_bytes as f64 / config.llc_bytes as f64;
+    let visibility = shared_ref_fraction.max(escape_fraction);
+    let class = if footprint_ratio > config.large_footprint_ratio {
+        AppClass::Class1
+    } else if visibility >= config.high_visibility {
+        AppClass::Class2
+    } else {
+        AppClass::Class3
+    };
+
+    ClassificationReport {
+        name: model.name.clone(),
+        footprint_bytes,
+        llc_bytes: config.llc_bytes,
+        shared_ref_fraction,
+        escape_fraction,
+        class,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::AppPreset;
+
+    #[test]
+    fn class_labels() {
+        assert_eq!(AppClass::Class1.label(), "class1");
+        assert_eq!(AppClass::Class3.to_string(), "class3");
+        assert_eq!(AppClass::ALL.len(), 3);
+    }
+
+    #[test]
+    fn classification_matches_paper_binning() {
+        // This is the reproduction of Table 6.1: every preset must land in
+        // the class the paper reports.
+        let config = ClassifierConfig {
+            sample_refs_per_thread: 8_000,
+            ..ClassifierConfig::default()
+        };
+        for app in AppPreset::ALL {
+            let report = classify(&app.model(), &config);
+            assert_eq!(
+                report.class,
+                app.paper_class(),
+                "{app}: {report}"
+            );
+        }
+    }
+
+    #[test]
+    fn report_metrics_are_sane() {
+        let config = ClassifierConfig {
+            sample_refs_per_thread: 4_000,
+            ..ClassifierConfig::default()
+        };
+        let report = classify(&AppPreset::Fft.model(), &config);
+        assert!(report.footprint_bytes > 0);
+        assert!(report.footprint_ratio() > 1.0);
+        assert!((0.0..=1.0).contains(&report.shared_ref_fraction));
+        assert!((0.0..=1.0).contains(&report.escape_fraction));
+        assert!(report.visibility() >= report.shared_ref_fraction);
+        let text = report.to_string();
+        assert!(text.contains("fft"));
+        assert!(text.contains("class1"));
+    }
+
+    #[test]
+    fn class3_has_lower_visibility_than_class2() {
+        let config = ClassifierConfig {
+            sample_refs_per_thread: 6_000,
+            ..ClassifierConfig::default()
+        };
+        let class2_vis: f64 = AppPreset::in_class(AppClass::Class2)
+            .iter()
+            .map(|a| classify(&a.model(), &config).visibility())
+            .sum::<f64>()
+            / 4.0;
+        let class3_vis: f64 = AppPreset::in_class(AppClass::Class3)
+            .iter()
+            .map(|a| classify(&a.model(), &config).visibility())
+            .sum::<f64>()
+            / 3.0;
+        assert!(
+            class3_vis < class2_vis,
+            "class3 {class3_vis} should be less visible than class2 {class2_vis}"
+        );
+    }
+}

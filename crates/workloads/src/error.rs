@@ -1,0 +1,56 @@
+//! Error types for the workload generators.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the workload subsystem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WorkloadError {
+    /// A workload model was internally inconsistent.
+    InvalidModel {
+        /// Description of the violated constraint.
+        reason: String,
+    },
+    /// An unknown application name was requested.
+    UnknownApplication {
+        /// The unrecognised name.
+        name: String,
+    },
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::InvalidModel { reason } => {
+                write!(f, "invalid workload model: {reason}")
+            }
+            WorkloadError::UnknownApplication { name } => {
+                write!(f, "unknown application `{name}`")
+            }
+        }
+    }
+}
+
+impl Error for WorkloadError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(WorkloadError::InvalidModel { reason: "x".into() }
+            .to_string()
+            .contains("invalid"));
+        assert!(WorkloadError::UnknownApplication { name: "doom".into() }
+            .to_string()
+            .contains("doom"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<WorkloadError>();
+    }
+}

@@ -1,0 +1,93 @@
+//! Memory-reference records.
+
+use std::fmt;
+
+use refrint_mem::addr::Addr;
+
+/// Whether a reference reads or writes memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A load.
+    Read,
+    /// A store.
+    Write,
+}
+
+impl AccessKind {
+    /// Whether this is a store.
+    #[must_use]
+    pub const fn is_write(self) -> bool {
+        matches!(self, AccessKind::Write)
+    }
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessKind::Read => write!(f, "R"),
+            AccessKind::Write => write!(f, "W"),
+        }
+    }
+}
+
+/// One data memory reference emitted by a thread.
+///
+/// `gap_cycles` is the number of compute (non-memory) cycles the thread
+/// spends before issuing this reference; the core model also uses it to
+/// account instruction fetches and core dynamic energy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemRef {
+    /// Compute cycles preceding this reference.
+    pub gap_cycles: u64,
+    /// The byte address referenced.
+    pub addr: Addr,
+    /// Load or store.
+    pub kind: AccessKind,
+}
+
+impl MemRef {
+    /// Creates a reference.
+    #[must_use]
+    pub const fn new(gap_cycles: u64, addr: Addr, kind: AccessKind) -> Self {
+        MemRef {
+            gap_cycles,
+            addr,
+            kind,
+        }
+    }
+
+    /// Whether this reference is a store.
+    #[must_use]
+    pub const fn is_write(&self) -> bool {
+        self.kind.is_write()
+    }
+}
+
+impl fmt::Display for MemRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "+{} {} {}", self.gap_cycles, self.kind, self.addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn access_kind_predicates() {
+        assert!(AccessKind::Write.is_write());
+        assert!(!AccessKind::Read.is_write());
+        assert_eq!(AccessKind::Read.to_string(), "R");
+        assert_eq!(AccessKind::Write.to_string(), "W");
+    }
+
+    #[test]
+    fn memref_display_and_accessors() {
+        let r = MemRef::new(3, Addr::new(0x40), AccessKind::Write);
+        assert!(r.is_write());
+        assert_eq!(r.gap_cycles, 3);
+        assert_eq!(r.to_string(), "+3 W 0x40");
+        let r = MemRef::new(0, Addr::new(0x80), AccessKind::Read);
+        assert!(!r.is_write());
+    }
+}

@@ -1,0 +1,70 @@
+//! Policy sweep: run one application through every (time policy × data
+//! policy) combination of the paper's Table 5.4 at one retention time and
+//! print a compact comparison — a single-application slice of Figures
+//! 6.1–6.4.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example policy_sweep [app] [refs_per_thread]
+//! ```
+
+use refrint::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let app: AppPreset = args
+        .first()
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(AppPreset::Fft);
+    let scale: u64 = args
+        .get(1)
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(20_000);
+
+    println!("policy sweep for `{app}` ({} per paper Table 6.1), {scale} refs/thread, 50 us retention",
+        app.paper_class());
+    println!();
+
+    // Baseline: full SRAM.
+    let mut sram = CmpSystem::new(SystemConfig::sram_baseline().with_scale(scale))?;
+    let baseline = sram.run_app(app);
+
+    println!(
+        "{:<14} {:>10} {:>10} {:>10} {:>10} {:>12}",
+        "policy", "memory", "system", "time", "refreshes", "dram accesses"
+    );
+    println!(
+        "{:<14} {:>9.2}x {:>9.2}x {:>9.2}x {:>10} {:>12}",
+        "SRAM",
+        1.0,
+        1.0,
+        1.0,
+        baseline.counts.total_refreshes(),
+        baseline.counts.dram_accesses()
+    );
+
+    for policy in RefreshPolicy::paper_sweep() {
+        let config = SystemConfig::edram_recommended()
+            .with_policy(policy)
+            .with_retention(RetentionConfig::microseconds_50())
+            .with_scale(scale);
+        let mut system = CmpSystem::new(config)?;
+        let report = system.run_app(app);
+        println!(
+            "{:<14} {:>9.2}x {:>9.2}x {:>9.2}x {:>10} {:>12}",
+            policy.label(),
+            report.memory_energy_vs(&baseline),
+            report.system_energy_vs(&baseline),
+            report.slowdown_vs(&baseline),
+            report.counts.total_refreshes(),
+            report.counts.dram_accesses()
+        );
+    }
+
+    println!();
+    println!("(memory/system/time are relative to the full-SRAM baseline; lower is better)");
+    Ok(())
+}

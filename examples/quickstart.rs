@@ -1,0 +1,60 @@
+//! Quickstart: build the paper's 16-core chip, run one application on the
+//! full-SRAM baseline and on the recommended Refrint configuration, and
+//! compare energy and execution time.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use refrint::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Keep the example fast: a few thousand references per thread still
+    // covers several 50 us retention periods at 1 GHz.
+    let scale = 20_000;
+
+    // Print the simulated architecture (paper Table 5.1).
+    println!("{}", SystemConfig::edram_recommended());
+    println!();
+
+    // 1. Full-SRAM baseline: no refresh, full leakage.
+    let mut sram = CmpSystem::new(SystemConfig::sram_baseline().with_scale(scale))?;
+    let sram_report = sram.run_app(AppPreset::Lu);
+
+    // 2. Naive full-eDRAM: Periodic All refresh at 50 us.
+    let mut naive = CmpSystem::new(SystemConfig::edram_baseline().with_scale(scale))?;
+    let naive_report = naive.run_app(AppPreset::Lu);
+
+    // 3. Refrint WB(32,32): the paper's recommended policy.
+    let mut refrint = CmpSystem::new(SystemConfig::edram_recommended().with_scale(scale))?;
+    let refrint_report = refrint.run_app(AppPreset::Lu);
+
+    println!("workload: lu (Class 2), {scale} references per thread, 16 threads");
+    println!();
+    println!(
+        "{:<24} {:>16} {:>16} {:>12}",
+        "configuration", "memory energy", "system energy", "exec time"
+    );
+    for (name, report) in [
+        ("full-SRAM (baseline)", &sram_report),
+        ("eDRAM Periodic All", &naive_report),
+        ("eDRAM Refrint WB(32,32)", &refrint_report),
+    ] {
+        println!(
+            "{:<24} {:>15.2}x {:>15.2}x {:>11.2}x",
+            name,
+            report.memory_energy_vs(&sram_report),
+            report.system_energy_vs(&sram_report),
+            report.slowdown_vs(&sram_report),
+        );
+    }
+    println!();
+    println!(
+        "refreshes: naive eDRAM {} vs Refrint {}",
+        naive_report.counts.total_refreshes(),
+        refrint_report.counts.total_refreshes()
+    );
+    Ok(())
+}

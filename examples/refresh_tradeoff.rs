@@ -1,0 +1,88 @@
+//! Refresh trade-off: sweep the WB(n,m) budget and the retention time for a
+//! single application, showing the tension the paper's Figure 3.1 describes —
+//! keep lines alive longer (more refresh energy, fewer DRAM refills) or let
+//! them decay sooner (less refresh energy, more off-chip traffic).
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example refresh_tradeoff [app]
+//! ```
+
+use refrint::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let app: AppPreset = std::env::args()
+        .nth(1)
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(AppPreset::Cholesky);
+    let scale = 20_000;
+
+    let mut sram = CmpSystem::new(SystemConfig::sram_baseline().with_scale(scale))?;
+    let baseline = sram.run_app(app);
+
+    println!(
+        "refresh trade-off for `{app}` ({}), relative to full SRAM",
+        app.paper_class()
+    );
+    println!();
+    println!(
+        "{:<10} {:<12} {:>10} {:>10} {:>12} {:>10}",
+        "retention", "policy", "memory", "time", "refreshes", "dram"
+    );
+
+    let retentions = [
+        (50u64, RetentionConfig::microseconds_50()),
+        (100, RetentionConfig::microseconds_100()),
+        (200, RetentionConfig::microseconds_200()),
+    ];
+    let budgets = [0u32, 4, 16, 32];
+
+    for (us, retention) in retentions {
+        for &budget in &budgets {
+            let policy =
+                RefreshPolicy::new(TimePolicy::Refrint, DataPolicy::write_back(budget, budget));
+            let config = SystemConfig::edram_recommended()
+                .with_policy(policy)
+                .with_retention(retention)
+                .with_scale(scale);
+            let mut system = CmpSystem::new(config)?;
+            let report = system.run_app(app);
+            println!(
+                "{:<10} {:<12} {:>9.2}x {:>9.2}x {:>12} {:>10}",
+                format!("{us} us"),
+                policy.label(),
+                report.memory_energy_vs(&baseline),
+                report.slowdown_vs(&baseline),
+                report.counts.total_refreshes(),
+                report.counts.dram_accesses()
+            );
+        }
+        // The Valid policy is the "never discard" end of the spectrum.
+        let policy = RefreshPolicy::new(TimePolicy::Refrint, DataPolicy::Valid);
+        let config = SystemConfig::edram_recommended()
+            .with_policy(policy)
+            .with_retention(retention)
+            .with_scale(scale);
+        let mut system = CmpSystem::new(config)?;
+        let report = system.run_app(app);
+        println!(
+            "{:<10} {:<12} {:>9.2}x {:>9.2}x {:>12} {:>10}",
+            format!("{us} us"),
+            "R.valid",
+            report.memory_energy_vs(&baseline),
+            report.slowdown_vs(&baseline),
+            report.counts.total_refreshes(),
+            report.counts.dram_accesses()
+        );
+        println!();
+    }
+
+    println!(
+        "Longer retention shrinks the refresh component for every policy (fewer\n\
+         opportunities per second); smaller WB budgets trade refresh energy for\n\
+         DRAM accesses and execution time."
+    );
+    Ok(())
+}

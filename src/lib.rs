@@ -1,0 +1,40 @@
+//! `refrint-suite`: workspace-level examples and integration tests for the
+//! Refrint reproduction.
+//!
+//! This crate re-exports the workspace crates so the examples under
+//! `examples/` and the integration tests under `tests/` can use the whole
+//! stack through a single dependency. See the individual crates for the real
+//! functionality:
+//!
+//! * [`refrint`] — the CMP simulator, experiment sweep and figure generators.
+//! * [`refrint_edram`] — retention, sentry bits and refresh policies.
+//! * [`refrint_mem`] / [`refrint_coherence`] / [`refrint_noc`] — the cache,
+//!   coherence and interconnect substrates.
+//! * [`refrint_energy`] — technology parameters and energy accounting.
+//! * [`refrint_workloads`] — synthetic application models and classification.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use refrint;
+pub use refrint_coherence;
+pub use refrint_edram;
+pub use refrint_energy;
+pub use refrint_engine;
+pub use refrint_mem;
+pub use refrint_noc;
+pub use refrint_workloads;
+
+/// The version of the reproduction suite.
+#[must_use]
+pub fn version() -> &'static str {
+    env!("CARGO_PKG_VERSION")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn version_is_set() {
+        assert!(!super::version().is_empty());
+    }
+}

@@ -1,0 +1,144 @@
+//! Class-level policy behaviour: the qualitative claims of the paper's
+//! Section 3.3 / Figure 3.1, checked on the synthetic analogues.
+
+use refrint::prelude::*;
+
+fn run(policy: RefreshPolicy, app: AppPreset, scale: u64) -> refrint::SimReport {
+    let config = SystemConfig::edram_recommended()
+        .with_policy(policy)
+        .with_retention(RetentionConfig::microseconds_50())
+        .with_scale(scale)
+        .with_seed(77);
+    CmpSystem::new(config).unwrap().run_app(app)
+}
+
+fn sram(app: AppPreset, scale: u64) -> refrint::SimReport {
+    let config = SystemConfig::sram_baseline().with_scale(scale).with_seed(77);
+    CmpSystem::new(config).unwrap().run_app(app)
+}
+
+#[test]
+fn aggressive_policies_discard_data_and_create_dram_traffic() {
+    // WB(0,0) is the most aggressive policy expressible: dirty lines are
+    // written back at their first idle opportunity and clean lines are
+    // invalidated immediately. It must refresh less and hit DRAM more than
+    // the conservative Valid policy, on every class of application.
+    for app in [AppPreset::Fft, AppPreset::Lu, AppPreset::Blackscholes] {
+        let valid = run(RefreshPolicy::new(TimePolicy::Refrint, DataPolicy::Valid), app, 5_000);
+        let wb00 = run(
+            RefreshPolicy::new(TimePolicy::Refrint, DataPolicy::write_back(0, 0)),
+            app,
+            5_000,
+        );
+        assert!(
+            wb00.counts.l3_refreshes <= valid.counts.l3_refreshes,
+            "{app}: WB(0,0) must not refresh more than Valid"
+        );
+        assert!(
+            wb00.counts.dram_accesses() >= valid.counts.dram_accesses(),
+            "{app}: WB(0,0) must not reduce DRAM traffic"
+        );
+    }
+}
+
+#[test]
+fn class3_prefers_valid_over_aggressive_wb() {
+    // Low-visibility applications keep their working set in the L1/L2; the
+    // L3 cannot tell the data is alive, so aggressive invalidation forces
+    // extra misses. Valid should cost no more total energy and no more time
+    // than WB(0,0) for Class 3.
+    let app = AppPreset::Blackscholes;
+    let baseline = sram(app, 6_000);
+    let valid = run(RefreshPolicy::new(TimePolicy::Refrint, DataPolicy::Valid), app, 6_000);
+    let aggressive = run(
+        RefreshPolicy::new(TimePolicy::Refrint, DataPolicy::write_back(0, 0)),
+        app,
+        6_000,
+    );
+    assert!(
+        valid.slowdown_vs(&baseline) <= aggressive.slowdown_vs(&baseline) + 1e-9,
+        "class 3: Valid must not be slower than WB(0,0) ({} vs {})",
+        valid.slowdown_vs(&baseline),
+        aggressive.slowdown_vs(&baseline)
+    );
+    assert!(
+        aggressive.counts.dram_accesses() > valid.counts.dram_accesses(),
+        "class 3: aggressive invalidation must force extra DRAM refills"
+    );
+}
+
+#[test]
+fn dirty_policy_behaves_between_valid_and_wb00() {
+    // Dirty = WB(inf, 0): it never discards dirty lines but drops clean ones
+    // immediately, so its refresh count sits between WB(0,0) and Valid.
+    let app = AppPreset::Radix;
+    let valid = run(RefreshPolicy::new(TimePolicy::Refrint, DataPolicy::Valid), app, 5_000);
+    let dirty = run(RefreshPolicy::new(TimePolicy::Refrint, DataPolicy::Dirty), app, 5_000);
+    let wb00 = run(
+        RefreshPolicy::new(TimePolicy::Refrint, DataPolicy::write_back(0, 0)),
+        app,
+        5_000,
+    );
+    assert!(dirty.counts.l3_refreshes <= valid.counts.l3_refreshes);
+    assert!(wb00.counts.l3_refreshes <= dirty.counts.l3_refreshes);
+}
+
+#[test]
+fn wb_budget_monotonicity_in_refreshes() {
+    // Larger WB budgets keep lines alive longer, so refresh counts grow
+    // monotonically with (n, m) while DRAM traffic shrinks (or stays equal).
+    let app = AppPreset::Fft;
+    let mut previous: Option<refrint::SimReport> = None;
+    for budget in [0u32, 4, 16, 32] {
+        let report = run(
+            RefreshPolicy::new(TimePolicy::Refrint, DataPolicy::write_back(budget, budget)),
+            app,
+            5_000,
+        );
+        if let Some(prev) = &previous {
+            assert!(
+                report.counts.l3_refreshes >= prev.counts.l3_refreshes,
+                "budget {budget}: refreshes must not decrease"
+            );
+            assert!(
+                report.counts.dram_accesses() <= prev.counts.dram_accesses(),
+                "budget {budget}: DRAM traffic must not increase"
+            );
+        }
+        previous = Some(report);
+    }
+}
+
+#[test]
+fn periodic_valid_refreshes_less_than_periodic_all() {
+    // All refreshes every physical line; Valid only the valid ones. On a
+    // workload that leaves much of the L3 unused the difference is large.
+    let app = AppPreset::Blackscholes;
+    let all = run(RefreshPolicy::new(TimePolicy::Periodic, DataPolicy::All), app, 5_000);
+    let valid = run(RefreshPolicy::new(TimePolicy::Periodic, DataPolicy::Valid), app, 5_000);
+    assert!(
+        valid.counts.l3_refreshes < all.counts.l3_refreshes / 2,
+        "Periodic Valid ({}) should refresh far less than Periodic All ({})",
+        valid.counts.l3_refreshes,
+        all.counts.l3_refreshes
+    );
+}
+
+#[test]
+fn coherence_sharing_shows_up_in_protocol_statistics() {
+    // Class 2 applications share heavily; the directory must observe
+    // invalidations and owner downgrades. Class 3 applications barely share.
+    let class2 = run(RefreshPolicy::recommended(), AppPreset::Barnes, 5_000);
+    let class3 = run(RefreshPolicy::recommended(), AppPreset::Blackscholes, 5_000);
+    let shared_traffic = |r: &refrint::SimReport| {
+        r.stats.get("coherence.invalidations_sent")
+            + r.stats.get("coherence.owner_downgrades")
+            + r.stats.get("coherence.owner_transfers")
+    };
+    assert!(
+        shared_traffic(&class2) > shared_traffic(&class3),
+        "class 2 must generate more coherence traffic than class 3 ({} vs {})",
+        shared_traffic(&class2),
+        shared_traffic(&class3)
+    );
+}

@@ -1,0 +1,232 @@
+//! Cross-crate property-based tests (proptest): the invariants the
+//! reproduction relies on, exercised over randomised inputs.
+
+use proptest::prelude::*;
+
+use refrint_edram::exact::settle_exact;
+use refrint_edram::policy::{DataPolicy, RefreshPolicy, TimePolicy};
+use refrint_edram::schedule::{DecaySchedule, LineKind};
+use refrint_energy::accounting::EnergyCounts;
+use refrint_energy::breakdown::EnergyBreakdown;
+use refrint_energy::tech::{CellTech, TechnologyParams};
+use refrint_engine::time::Cycle;
+use refrint_mem::addr::{Addr, LineAddr};
+use refrint_mem::cache::Cache;
+use refrint_mem::config::CacheGeometry;
+use refrint_mem::line::MesiState;
+use refrint_noc::routing::{hop_count, route};
+use refrint_noc::topology::{NodeId, Torus};
+use refrint_workloads::generator::ThreadStream;
+use refrint_workloads::model::WorkloadModel;
+
+fn arbitrary_data_policy() -> impl Strategy<Value = DataPolicy> {
+    prop_oneof![
+        Just(DataPolicy::All),
+        Just(DataPolicy::Valid),
+        Just(DataPolicy::Dirty),
+        (0u32..64, 0u32..64).prop_map(|(n, m)| DataPolicy::write_back(n, m)),
+    ]
+}
+
+fn arbitrary_time_policy() -> impl Strategy<Value = TimePolicy> {
+    prop_oneof![Just(TimePolicy::Periodic), Just(TimePolicy::Refrint)]
+}
+
+fn arbitrary_kind() -> impl Strategy<Value = LineKind> {
+    prop_oneof![
+        Just(LineKind::Dirty),
+        Just(LineKind::Clean),
+        Just(LineKind::Invalid)
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The lazy decay-schedule algebra agrees with the exact
+    /// event-per-opportunity replay on arbitrary policies and intervals.
+    #[test]
+    fn lazy_settlement_matches_exact_replay(
+        time in arbitrary_time_policy(),
+        data in arbitrary_data_policy(),
+        kind in arbitrary_kind(),
+        retention in 500u64..5_000,
+        margin_frac in 0.0f64..0.9,
+        offset in 0u64..5_000,
+        touch in 0u64..20_000,
+        horizon in 0u64..300_000,
+    ) {
+        let margin = ((retention as f64) * margin_frac) as u64;
+        let schedule = DecaySchedule::new(
+            RefreshPolicy::new(time, data),
+            Cycle::new(retention),
+            Cycle::new(margin),
+            Cycle::new(offset),
+        );
+        let touch = Cycle::new(touch);
+        let until = touch + Cycle::new(horizon);
+        let lazy = schedule.settle(kind, touch, until);
+        let exact = settle_exact(&schedule, kind, touch, until);
+        prop_assert_eq!(lazy, exact);
+    }
+
+    /// Settlement is monotone in the horizon: extending the interval never
+    /// reduces the number of refreshes, and never un-invalidates a line.
+    #[test]
+    fn settlement_is_monotone_in_time(
+        data in arbitrary_data_policy(),
+        kind in arbitrary_kind(),
+        h1 in 0u64..100_000,
+        h2 in 0u64..100_000,
+    ) {
+        let schedule = DecaySchedule::new(
+            RefreshPolicy::new(TimePolicy::Refrint, data),
+            Cycle::new(1_000),
+            Cycle::new(100),
+            Cycle::ZERO,
+        );
+        let (short, long) = (h1.min(h2), h1.max(h2));
+        let a = schedule.settle(kind, Cycle::ZERO, Cycle::new(short));
+        let b = schedule.settle(kind, Cycle::ZERO, Cycle::new(long));
+        prop_assert!(b.refreshes >= a.refreshes);
+        if a.invalidated_at.is_some() {
+            prop_assert_eq!(a.invalidated_at, b.invalidated_at);
+        }
+        if a.writeback_at.is_some() {
+            prop_assert_eq!(a.writeback_at, b.writeback_at);
+        }
+    }
+
+    /// Larger WB budgets never decrease the number of refreshes an idle line
+    /// receives, and never make it die earlier.
+    #[test]
+    fn wb_budgets_are_monotone(
+        n1 in 0u32..40, m1 in 0u32..40,
+        extra_n in 0u32..40, extra_m in 0u32..40,
+        kind in prop_oneof![Just(LineKind::Dirty), Just(LineKind::Clean)],
+    ) {
+        let small = DecaySchedule::new(
+            RefreshPolicy::new(TimePolicy::Refrint, DataPolicy::write_back(n1, m1)),
+            Cycle::new(1_000), Cycle::new(100), Cycle::ZERO,
+        );
+        let large = DecaySchedule::new(
+            RefreshPolicy::new(TimePolicy::Refrint, DataPolicy::write_back(n1 + extra_n, m1 + extra_m)),
+            Cycle::new(1_000), Cycle::new(100), Cycle::ZERO,
+        );
+        let horizon = Cycle::new(1_000_000);
+        let a = small.settle(kind, Cycle::ZERO, horizon);
+        let b = large.settle(kind, Cycle::ZERO, horizon);
+        prop_assert!(b.refreshes >= a.refreshes);
+        match (a.invalidated_at, b.invalidated_at) {
+            (Some(ta), Some(tb)) => prop_assert!(tb >= ta),
+            (None, Some(_)) => prop_assert!(false, "larger budget died while smaller survived"),
+            _ => {}
+        }
+    }
+
+    /// Addresses round-trip through line/set/tag decomposition.
+    #[test]
+    fn address_decomposition_round_trips(raw in any::<u64>(), sets_log2 in 1u32..16) {
+        let addr = Addr::new(raw >> 6 << 6);
+        let line = addr.line(64);
+        let sets = 1u64 << sets_log2;
+        prop_assert_eq!(line.tag(sets) * sets + line.set_index(sets), line.raw());
+        prop_assert_eq!(line.base_addr(64).line(64), line);
+    }
+
+    /// A cache never exceeds its capacity, and flushing returns exactly the
+    /// dirty lines.
+    #[test]
+    fn cache_occupancy_and_flush(ops in proptest::collection::vec((0u64..4096, any::<bool>()), 1..300)) {
+        let geometry = CacheGeometry::new(16 * 1024, 4, 64).unwrap();
+        let mut cache = Cache::new("prop", geometry);
+        for (i, (line, write)) in ops.iter().enumerate() {
+            let line = LineAddr::new(*line);
+            let now = Cycle::new(i as u64);
+            if cache.lookup(line, now).is_none() {
+                cache.fill(line, MesiState::Exclusive, now);
+            }
+            if *write {
+                cache.write_hit(line, now);
+            }
+        }
+        prop_assert!(cache.occupancy() <= geometry.num_lines());
+        let dirty_before = cache.dirty_count();
+        let flushed = cache.flush();
+        prop_assert_eq!(flushed.len() as u64, dirty_before);
+        prop_assert_eq!(cache.occupancy(), 0);
+    }
+
+    /// Torus routing is symmetric, bounded by the network diameter, and the
+    /// route length always equals the hop count.
+    #[test]
+    fn torus_routing_properties(w in 2usize..6, h in 2usize..6, a in 0usize..36, b in 0usize..36) {
+        let torus = Torus::new(w, h).unwrap();
+        let a = NodeId::new(a % (w * h));
+        let b = NodeId::new(b % (w * h));
+        let d = hop_count(&torus, a, b);
+        prop_assert_eq!(d, hop_count(&torus, b, a));
+        prop_assert!(d as usize <= w / 2 + h / 2);
+        let path = route(&torus, a, b).unwrap();
+        prop_assert_eq!(path.len() as u32, d + 1);
+    }
+
+    /// Energy breakdowns are physical (finite, non-negative) and additive in
+    /// the counts.
+    #[test]
+    fn energy_is_physical_and_additive(
+        cycles in 1u64..10_000_000,
+        l3 in 0u64..1_000_000,
+        dram_r in 0u64..100_000,
+        dram_w in 0u64..100_000,
+        refreshes in 0u64..10_000_000,
+    ) {
+        let params = TechnologyParams::paper_default();
+        let counts = EnergyCounts {
+            cycles,
+            l3_accesses: l3,
+            dram_reads: dram_r,
+            dram_writes: dram_w,
+            l3_refreshes: refreshes,
+            ..EnergyCounts::default()
+        };
+        for cells in [CellTech::Sram, CellTech::Edram] {
+            let b = EnergyBreakdown::compute(&params, cells, &counts);
+            prop_assert!(b.is_physical());
+            let doubled_counts = counts + counts;
+            let d = EnergyBreakdown::compute(&params, cells, &doubled_counts);
+            // Dynamic, refresh, DRAM and leakage all scale linearly.
+            prop_assert!((d.memory_total() - 2.0 * b.memory_total()).abs() < 1e-9);
+        }
+    }
+
+    /// Workload streams stay within their declared footprint and are
+    /// deterministic in the seed.
+    #[test]
+    fn workload_streams_are_bounded_and_deterministic(
+        seed in any::<u64>(),
+        hot in 0.0f64..1.0,
+        shared in 0.0f64..1.0,
+        writes in 0.0f64..1.0,
+    ) {
+        let model = WorkloadModel {
+            name: "prop".into(),
+            threads: 4,
+            refs_per_thread: 400,
+            private_bytes_per_thread: 128 * 1024,
+            shared_bytes: 256 * 1024,
+            hot_bytes_per_thread: 8 * 1024,
+            hot_fraction: hot,
+            shared_fraction: shared,
+            write_fraction: writes,
+            mean_gap_cycles: 3,
+            stride_run: 4,
+        };
+        let footprint = model.footprint_bytes();
+        let a: Vec<_> = ThreadStream::new(&model, 1, seed).collect();
+        let b: Vec<_> = ThreadStream::new(&model, 1, seed).collect();
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.len(), 400);
+        prop_assert!(a.iter().all(|r| r.addr.raw() < footprint));
+    }
+}
