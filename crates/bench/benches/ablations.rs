@@ -15,7 +15,9 @@ use refrint_engine::time::Cycle;
 
 fn ablation_sentry_margin(c: &mut Criterion) {
     let retention = Cycle::new(50_000);
-    println!("== Ablation A1: sentry margin vs refreshes for an idle clean line (WB(32,32), 5 ms) ==");
+    println!(
+        "== Ablation A1: sentry margin vs refreshes for an idle clean line (WB(32,32), 5 ms) =="
+    );
     for margin_lines in [1u64, 1024, 4096, 16 * 1024, 32 * 1024] {
         let schedule = DecaySchedule::new(
             RefreshPolicy::new(TimePolicy::Refrint, DataPolicy::write_back(32, 32)),
@@ -44,7 +46,11 @@ fn ablation_sentry_margin(c: &mut Criterion) {
         let mut i = 0u64;
         b.iter(|| {
             i += 1;
-            std::hint::black_box(schedule.settle(LineKind::Dirty, Cycle::new(i), Cycle::new(i + 2_000_000)));
+            std::hint::black_box(schedule.settle(
+                LineKind::Dirty,
+                Cycle::new(i),
+                Cycle::new(i + 2_000_000),
+            ));
         });
     });
     group.finish();

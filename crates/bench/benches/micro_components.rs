@@ -42,7 +42,11 @@ fn micro(c: &mut Criterion) {
             i += 1;
             let line = LineAddr::new(i % 512);
             let tile = (i % 16) as usize;
-            let req = if i % 3 == 0 { CoreRequest::Write } else { CoreRequest::Read };
+            let req = if i.is_multiple_of(3) {
+                CoreRequest::Write
+            } else {
+                CoreRequest::Read
+            };
             std::hint::black_box(proto.access(&mut dir, line, tile, req));
         });
     });

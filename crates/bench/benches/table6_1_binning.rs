@@ -16,7 +16,11 @@ fn table6_1(c: &mut Criterion) {
     for app in AppPreset::ALL {
         let report = classify(&app.model(), &config);
         println!("{report}");
-        assert_eq!(report.class, app.paper_class(), "{app} must match the paper's bin");
+        assert_eq!(
+            report.class,
+            app.paper_class(),
+            "{app} must match the paper's bin"
+        );
     }
 
     let mut group = c.benchmark_group("table6_1");

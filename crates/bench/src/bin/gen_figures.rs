@@ -51,10 +51,7 @@ fn parse_args() -> Result<Options, String> {
                 let v = args.next().ok_or("--apps needs a value")?;
                 let mut apps = Vec::new();
                 for name in v.split(',') {
-                    apps.push(
-                        name.parse::<AppPreset>()
-                            .map_err(|e| format!("{e}"))?,
-                    );
+                    apps.push(name.parse::<AppPreset>().map_err(|e| format!("{e}"))?);
                 }
                 opts.apps = Some(apps);
             }
@@ -106,9 +103,18 @@ fn main() -> ExitCode {
     }
 
     if wanted(&opts, "6.1") {
-        println!("== Figure 6.1: L1, L2, L3 & DRAM energy (normalised to full-SRAM memory energy) ==");
+        println!(
+            "== Figure 6.1: L1, L2, L3 & DRAM energy (normalised to full-SRAM memory energy) =="
+        );
         for series in render_figure_6_1(&results) {
-            print!("{}", if opts.csv { series.to_csv() } else { series.to_table() });
+            print!(
+                "{}",
+                if opts.csv {
+                    series.to_csv()
+                } else {
+                    series.to_table()
+                }
+            );
         }
         println!();
     }
@@ -118,7 +124,14 @@ fn main() -> ExitCode {
         for (label, group) in render_figure_6_2(&results) {
             println!("-- {label} --");
             for series in group {
-                print!("{}", if opts.csv { series.to_csv() } else { series.to_table() });
+                print!(
+                    "{}",
+                    if opts.csv {
+                        series.to_csv()
+                    } else {
+                        series.to_table()
+                    }
+                );
             }
         }
         println!();
@@ -129,7 +142,14 @@ fn main() -> ExitCode {
         for (label, group) in render_figure_6_3(&results) {
             println!("-- {label} --");
             for series in group {
-                print!("{}", if opts.csv { series.to_csv() } else { series.to_table() });
+                print!(
+                    "{}",
+                    if opts.csv {
+                        series.to_csv()
+                    } else {
+                        series.to_table()
+                    }
+                );
             }
         }
         println!();
@@ -140,7 +160,14 @@ fn main() -> ExitCode {
         for (label, group) in render_figure_6_4(&results) {
             println!("-- {label} --");
             for series in group {
-                print!("{}", if opts.csv { series.to_csv() } else { series.to_table() });
+                print!(
+                    "{}",
+                    if opts.csv {
+                        series.to_csv()
+                    } else {
+                        series.to_table()
+                    }
+                );
             }
         }
         println!();

@@ -83,7 +83,10 @@ pub fn render_figure_6_2(results: &SweepResults) -> Vec<(String, Vec<NormalizedS
             figures::figure_6_2(results, AppSelection::Class(class)),
         ));
     }
-    out.push(("all".to_owned(), figures::figure_6_2(results, AppSelection::All)));
+    out.push((
+        "all".to_owned(),
+        figures::figure_6_2(results, AppSelection::All),
+    ));
     out
 }
 
@@ -95,7 +98,10 @@ pub fn render_figure_6_3(results: &SweepResults) -> Vec<(String, Vec<NormalizedS
             "class1".to_owned(),
             figures::figure_6_3(results, AppSelection::Class(AppClass::Class1)),
         ),
-        ("all".to_owned(), figures::figure_6_3(results, AppSelection::All)),
+        (
+            "all".to_owned(),
+            figures::figure_6_3(results, AppSelection::All),
+        ),
     ]
 }
 
@@ -107,7 +113,10 @@ pub fn render_figure_6_4(results: &SweepResults) -> Vec<(String, Vec<NormalizedS
             "class1".to_owned(),
             figures::figure_6_4(results, AppSelection::Class(AppClass::Class1)),
         ),
-        ("all".to_owned(), figures::figure_6_4(results, AppSelection::All)),
+        (
+            "all".to_owned(),
+            figures::figure_6_4(results, AppSelection::All),
+        ),
     ]
 }
 
@@ -148,8 +157,7 @@ mod tests {
     #[test]
     fn representative_apps_cover_all_classes() {
         let apps = representative_apps();
-        let classes: std::collections::BTreeSet<_> =
-            apps.iter().map(|a| a.paper_class()).collect();
+        let classes: std::collections::BTreeSet<_> = apps.iter().map(|a| a.paper_class()).collect();
         assert_eq!(classes.len(), 3);
     }
 }

@@ -1,1 +1,312 @@
-#![allow(missing_docs)] //! placeholder
+//! Argument parsing and command plumbing for `refrint-cli`, kept in a
+//! library so every parser is unit-testable.
+//!
+//! The CLI is a thin shell over [`refrint::simulation::Simulation`] (single
+//! runs) and [`refrint::sweep::SweepRunner`] (policy sweeps); everything
+//! user-facing — flag parsing, policy-label resolution with helpful errors,
+//! sweep sizing — lives here.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use refrint::experiment::ExperimentConfig;
+use refrint::simulation::{Simulation, SimulationBuilder};
+use refrint_edram::model::PolicyRegistry;
+use refrint_edram::policy::RefreshPolicy;
+use refrint_workloads::apps::AppPreset;
+
+/// Returns the value following `name` in `args`, if present.
+#[must_use]
+pub fn opt_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// Whether the bare flag `name` is present.
+#[must_use]
+pub fn has_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+/// Parses a `--policy` label, round-tripping every label
+/// [`RefreshPolicy::label`] can emit (`P.all`, `R.valid`, `R.WB(32,32)`,
+/// long forms like `periodic.dirty`, …). On mismatch the error lists every
+/// valid label so the user can fix the invocation without reading the
+/// source.
+///
+/// # Errors
+///
+/// Returns a human-readable message enumerating the valid labels.
+pub fn parse_policy(label: &str) -> Result<RefreshPolicy, String> {
+    match label.parse::<RefreshPolicy>() {
+        Ok(policy) => Ok(policy),
+        Err(_) => Err(PolicyRegistry::new()
+            .resolve(label)
+            .expect_err("label failed to parse as a descriptor")
+            .to_string()),
+    }
+}
+
+/// Parses a comma-separated `--apps` list.
+///
+/// # Errors
+///
+/// Returns the underlying parse error for the first unknown application.
+pub fn parse_apps(list: &str) -> Result<Vec<AppPreset>, String> {
+    list.split(',')
+        .map(|name| name.trim().parse::<AppPreset>().map_err(|e| e.to_string()))
+        .collect()
+}
+
+/// Options of the `run` subcommand.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunOptions {
+    /// The application to run.
+    pub app: AppPreset,
+    /// Use SRAM cells (the no-refresh baseline).
+    pub sram: bool,
+    /// Refresh policy label, if overridden.
+    pub policy: Option<RefreshPolicy>,
+    /// Retention time in microseconds, if overridden.
+    pub retention_us: Option<u64>,
+    /// References per thread, if overridden.
+    pub refs: Option<u64>,
+    /// Workload seed, if overridden.
+    pub seed: Option<u64>,
+}
+
+impl RunOptions {
+    /// Parses `run` subcommand arguments.
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage message for missing/invalid options.
+    pub fn parse(args: &[String]) -> Result<Self, String> {
+        let app_name = opt_value(args, "--app").ok_or("run requires --app <name>")?;
+        let app: AppPreset = app_name.parse().map_err(|e| format!("{e}"))?;
+        let sram = has_flag(args, "--sram");
+        let policy = match opt_value(args, "--policy") {
+            Some(p) => Some(parse_policy(&p)?),
+            None => None,
+        };
+        let retention_us = match opt_value(args, "--retention") {
+            Some(r) => Some(r.parse().map_err(|_| format!("bad retention `{r}`"))?),
+            None => None,
+        };
+        let refs = match opt_value(args, "--refs") {
+            Some(n) => Some(n.parse().map_err(|_| format!("bad --refs `{n}`"))?),
+            None => None,
+        };
+        let seed = match opt_value(args, "--seed") {
+            Some(s) => Some(s.parse().map_err(|_| format!("bad --seed `{s}`"))?),
+            None => None,
+        };
+        Ok(RunOptions {
+            app,
+            sram,
+            policy,
+            retention_us,
+            refs,
+            seed,
+        })
+    }
+
+    /// The simulation builder these options describe.
+    #[must_use]
+    pub fn builder(&self) -> SimulationBuilder {
+        let mut builder = if self.sram {
+            Simulation::builder().sram_baseline()
+        } else {
+            Simulation::builder().edram_recommended()
+        };
+        if let Some(policy) = self.policy {
+            builder = builder.policy(policy);
+        }
+        if let Some(us) = self.retention_us {
+            builder = builder.retention_us(us);
+        }
+        if let Some(refs) = self.refs {
+            builder = builder.refs_per_thread(refs);
+        }
+        if let Some(seed) = self.seed {
+            builder = builder.seed(seed);
+        }
+        builder
+    }
+}
+
+/// Options of the `sweep` subcommand.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepOptions {
+    /// References per thread, if overridden.
+    pub refs: Option<u64>,
+    /// Applications to sweep, if restricted.
+    pub apps: Option<Vec<AppPreset>>,
+    /// Worker threads (`--jobs`); `None` means one per CPU.
+    pub jobs: Option<usize>,
+    /// Print per-run progress to stderr.
+    pub progress: bool,
+}
+
+impl SweepOptions {
+    /// Parses `sweep` subcommand arguments.
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage message for invalid options.
+    pub fn parse(args: &[String]) -> Result<Self, String> {
+        let refs = match opt_value(args, "--refs") {
+            Some(n) => Some(n.parse().map_err(|_| format!("bad --refs `{n}`"))?),
+            None => None,
+        };
+        let apps = match opt_value(args, "--apps") {
+            Some(list) => Some(parse_apps(&list)?),
+            None => None,
+        };
+        let jobs = match opt_value(args, "--jobs") {
+            Some(j) => {
+                let jobs: usize = j.parse().map_err(|_| format!("bad --jobs `{j}`"))?;
+                if jobs == 0 {
+                    return Err("--jobs must be at least 1".into());
+                }
+                Some(jobs)
+            }
+            None => None,
+        };
+        Ok(SweepOptions {
+            refs,
+            apps,
+            jobs,
+            progress: has_flag(args, "--progress"),
+        })
+    }
+
+    /// The experiment configuration these options describe (based on the
+    /// quick sweep).
+    #[must_use]
+    pub fn experiment(&self) -> ExperimentConfig {
+        let mut cfg = ExperimentConfig::quick();
+        if let Some(refs) = self.refs {
+            cfg = cfg.with_refs_per_thread(refs);
+        }
+        if let Some(apps) = &self.apps {
+            cfg = cfg.with_apps(apps.clone());
+        }
+        cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use refrint_edram::policy::{DataPolicy, TimePolicy};
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn every_label_emitted_by_refresh_policy_round_trips() {
+        // The 14 paper-sweep labels plus assorted WB budgets and the long
+        // forms: `--policy` must accept exactly what `label()` prints.
+        let mut policies = RefreshPolicy::paper_sweep();
+        policies.push(RefreshPolicy::new(
+            TimePolicy::Refrint,
+            DataPolicy::write_back(0, 0),
+        ));
+        policies.push(RefreshPolicy::new(
+            TimePolicy::Periodic,
+            DataPolicy::write_back(7, 123),
+        ));
+        for policy in policies {
+            let parsed = parse_policy(&policy.label())
+                .unwrap_or_else(|e| panic!("{} did not round-trip: {e}", policy.label()));
+            assert_eq!(parsed, policy, "{}", policy.label());
+        }
+        assert_eq!(
+            parse_policy("periodic.dirty").unwrap(),
+            RefreshPolicy::new(TimePolicy::Periodic, DataPolicy::Dirty)
+        );
+    }
+
+    #[test]
+    fn bad_policy_labels_list_the_valid_ones() {
+        let err = parse_policy("R.sometimes").unwrap_err();
+        assert!(err.contains("R.sometimes"));
+        assert!(err.contains("P.all"), "error must list valid labels: {err}");
+        assert!(
+            err.contains("R.WB(32,32)"),
+            "error must list valid labels: {err}"
+        );
+        assert!(
+            err.contains("WB(n,m)"),
+            "error must explain the grammar: {err}"
+        );
+    }
+
+    #[test]
+    fn run_options_parse_and_build() {
+        let opts = RunOptions::parse(&args(&[
+            "--app",
+            "lu",
+            "--policy",
+            "R.WB(4,4)",
+            "--retention",
+            "100",
+            "--refs",
+            "500",
+            "--seed",
+            "9",
+        ]))
+        .unwrap();
+        assert_eq!(opts.app, AppPreset::Lu);
+        assert_eq!(
+            opts.policy,
+            Some(RefreshPolicy::new(
+                TimePolicy::Refrint,
+                DataPolicy::write_back(4, 4)
+            ))
+        );
+        let config = opts.builder().build_config().unwrap();
+        assert_eq!(config.label(), "eDRAM 100us R.WB(4,4)");
+        assert_eq!(config.seed, 9);
+        assert_eq!(config.refs_per_thread, Some(500));
+    }
+
+    #[test]
+    fn run_options_require_an_app() {
+        assert!(RunOptions::parse(&args(&["--policy", "P.all"]))
+            .unwrap_err()
+            .contains("--app"));
+    }
+
+    #[test]
+    fn sram_run_builds_the_baseline() {
+        let opts = RunOptions::parse(&args(&["--app", "fft", "--sram"])).unwrap();
+        let config = opts.builder().build_config().unwrap();
+        assert_eq!(config.label(), "SRAM");
+    }
+
+    #[test]
+    fn sweep_options_parse_jobs_and_apps() {
+        let opts = SweepOptions::parse(&args(&[
+            "--refs",
+            "2000",
+            "--apps",
+            "fft,lu",
+            "--jobs",
+            "4",
+            "--progress",
+        ]))
+        .unwrap();
+        assert_eq!(opts.jobs, Some(4));
+        assert!(opts.progress);
+        let cfg = opts.experiment();
+        assert_eq!(cfg.refs_per_thread, 2_000);
+        assert_eq!(cfg.apps, vec![AppPreset::Fft, AppPreset::Lu]);
+        assert!(SweepOptions::parse(&args(&["--jobs", "0"])).is_err());
+        assert!(SweepOptions::parse(&args(&["--apps", "quake3"])).is_err());
+    }
+}

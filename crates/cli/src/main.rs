@@ -5,17 +5,15 @@
 //! * `show-config` — print the paper's architecture configuration (Table 5.1).
 //! * `classify` — classify the 11 applications into Class 1/2/3 (Table 6.1).
 //! * `run` — run one application on one configuration and print the report.
-//! * `sweep` — run a (reduced) policy sweep and print the headline numbers.
+//! * `sweep` — run a (reduced) policy sweep in parallel and print the
+//!   headline numbers.
 
 use std::process::ExitCode;
 
 use refrint::config::SystemConfig;
-use refrint::experiment::{run_sweep, ExperimentConfig};
 use refrint::figures::headline_summary;
-use refrint::system::CmpSystem;
-use refrint_edram::policy::RefreshPolicy;
-use refrint_edram::retention::RetentionConfig;
-use refrint_energy::tech::CellTech;
+use refrint::sweep::{SweepProgress, SweepRunner};
+use refrint_cli::{RunOptions, SweepOptions};
 use refrint_workloads::apps::AppPreset;
 use refrint_workloads::classify::{classify, ClassifierConfig};
 
@@ -27,7 +25,8 @@ Commands:
   classify                         classify applications into Class 1/2/3 (paper Table 6.1)
   run --app <name> [--sram] [--policy P.all|R.WB(32,32)|...] [--retention 50|100|200]
       [--refs <n>] [--seed <n>]    run one application and print the report
-  sweep [--refs <n>] [--apps a,b]  run the policy sweep and print headline numbers
+  sweep [--refs <n>] [--apps a,b] [--jobs <n>] [--progress]
+                                   run the policy sweep across worker threads
 ";
 
 fn main() -> ExitCode {
@@ -57,17 +56,6 @@ fn main() -> ExitCode {
     }
 }
 
-fn opt_value(args: &[String], name: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-}
-
-fn has_flag(args: &[String], name: &str) -> bool {
-    args.iter().any(|a| a == name)
-}
-
 fn show_config() -> Result<(), String> {
     println!("== Full-SRAM baseline ==");
     println!("{}", SystemConfig::sram_baseline());
@@ -82,74 +70,54 @@ fn classify_apps() -> Result<(), String> {
     let config = ClassifierConfig::default();
     for app in AppPreset::ALL {
         let report = classify(&app.model(), &config);
-        let marker = if report.class == app.paper_class() { "" } else { "  (differs from paper!)" };
+        let marker = if report.class == app.paper_class() {
+            ""
+        } else {
+            "  (differs from paper!)"
+        };
         println!("{report}{marker}");
     }
     Ok(())
 }
 
 fn run_one(args: &[String]) -> Result<(), String> {
-    let app_name = opt_value(args, "--app").ok_or("run requires --app <name>")?;
-    let app: AppPreset = app_name.parse().map_err(|e| format!("{e}"))?;
-
-    let mut config = SystemConfig::edram_recommended();
-    if has_flag(args, "--sram") {
-        config = config.with_cells(CellTech::Sram);
-    }
-    if let Some(p) = opt_value(args, "--policy") {
-        let policy: RefreshPolicy = p.parse().map_err(|e| format!("{e}"))?;
-        config = config.with_policy(policy);
-    }
-    if let Some(r) = opt_value(args, "--retention") {
-        let us: u64 = r.parse().map_err(|_| format!("bad retention `{r}`"))?;
-        let retention = match us {
-            50 => RetentionConfig::microseconds_50(),
-            100 => RetentionConfig::microseconds_100(),
-            200 => RetentionConfig::microseconds_200(),
-            _ => return Err(format!("unsupported retention {us} (use 50, 100 or 200)")),
-        };
-        config = config.with_retention(retention);
-    }
-    if let Some(n) = opt_value(args, "--refs") {
-        config = config.with_scale(n.parse().map_err(|_| format!("bad --refs `{n}`"))?);
-    }
-    if let Some(s) = opt_value(args, "--seed") {
-        config = config.with_seed(s.parse().map_err(|_| format!("bad --seed `{s}`"))?);
-    }
-
-    let mut system = CmpSystem::new(config).map_err(|e| e.to_string())?;
-    let report = system.run_app(app);
-    println!("{report}");
+    let options = RunOptions::parse(args)?;
+    let mut simulation = options.builder().build().map_err(|e| e.to_string())?;
+    let outcome = simulation.run(options.app);
+    println!("{outcome}");
     println!();
     println!(
         "l3 miss rate    : {:.2} per 1000 data refs",
-        report.l3_miss_rate_per_mille()
+        outcome.report.l3_miss_rate_per_mille()
     );
     println!(
         "refresh rate    : {:.2} refreshes per kilo-cycle",
-        report.refreshes_per_kilocycle()
+        outcome.report.refreshes_per_kilocycle()
     );
     Ok(())
 }
 
 fn sweep(args: &[String]) -> Result<(), String> {
-    let mut cfg = ExperimentConfig::quick();
-    if let Some(n) = opt_value(args, "--refs") {
-        cfg = cfg.with_refs_per_thread(n.parse().map_err(|_| format!("bad --refs `{n}`"))?);
+    let options = SweepOptions::parse(args)?;
+    let cfg = options.experiment();
+    let mut runner = SweepRunner::new(cfg);
+    if let Some(jobs) = options.jobs {
+        runner = runner.workers(jobs);
     }
-    if let Some(list) = opt_value(args, "--apps") {
-        let mut apps = Vec::new();
-        for name in list.split(',') {
-            apps.push(name.parse::<AppPreset>().map_err(|e| format!("{e}"))?);
-        }
-        cfg = cfg.with_apps(apps);
+    if options.progress {
+        runner = runner.observer(|p: &SweepProgress| {
+            eprintln!(
+                "[{}/{}] {} on {}",
+                p.completed, p.total, p.app, p.config_label
+            );
+        });
     }
     eprintln!(
         "running {} simulations ({} refs per thread)...",
-        cfg.total_runs(),
-        cfg.refs_per_thread
+        runner.config().total_runs(),
+        runner.config().refs_per_thread
     );
-    let results = run_sweep(&cfg).map_err(|e| e.to_string())?;
+    let results = runner.run().map_err(|e| e.to_string())?;
     for &retention in &results.retentions_us {
         if let Some(h) = headline_summary(&results, retention) {
             println!("== {retention} us ==");

@@ -237,9 +237,7 @@ impl Directory {
         match self.entry(line) {
             DirectoryEntry::Uncached => true,
             DirectoryEntry::Owned { owner } => owner < self.num_tiles,
-            DirectoryEntry::Shared(s) => {
-                !s.is_empty() && s.iter().all(|t| t < self.num_tiles)
-            }
+            DirectoryEntry::Shared(s) => !s.is_empty() && s.iter().all(|t| t < self.num_tiles),
         }
     }
 }
@@ -283,7 +281,13 @@ mod tests {
     #[test]
     fn entry_holders() {
         assert!(DirectoryEntry::Uncached.holders().is_empty());
-        assert_eq!(DirectoryEntry::Owned { owner: 7 }.holders().iter().collect::<Vec<_>>(), vec![7]);
+        assert_eq!(
+            DirectoryEntry::Owned { owner: 7 }
+                .holders()
+                .iter()
+                .collect::<Vec<_>>(),
+            vec![7]
+        );
         let s: SharerSet = [0usize, 1].into_iter().collect();
         assert_eq!(DirectoryEntry::Shared(s).holders(), s);
         assert!(DirectoryEntry::Owned { owner: 1 }.is_owned());

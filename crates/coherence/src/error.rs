@@ -42,9 +42,12 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert!(CoherenceError::TileOutOfRange { tile: 20, tiles: 16 }
-            .to_string()
-            .contains("20"));
+        assert!(CoherenceError::TileOutOfRange {
+            tile: 20,
+            tiles: 16
+        }
+        .to_string()
+        .contains("20"));
         assert!(CoherenceError::InvariantViolated {
             description: "two owners".into()
         }

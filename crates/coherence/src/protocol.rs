@@ -161,12 +161,14 @@ impl DirectoryProtocol {
                 out.fill_state = MesiState::Shared;
                 out.messages
                     .push(CoherenceMsg::invalidate(line, owner, true));
-                out.messages.push(CoherenceMsg::ack(line, owner, true, true));
+                out.messages
+                    .push(CoherenceMsg::ack(line, owner, true, true));
                 let sharers: SharerSet = [owner, tile].into_iter().collect();
                 dir.set_entry(line, DirectoryEntry::Shared(sharers));
             }
         }
-        out.messages.push(CoherenceMsg::data_to_requester(line, tile));
+        out.messages
+            .push(CoherenceMsg::data_to_requester(line, tile));
         debug_assert!(dir.check_invariants(line));
         out
     }
@@ -204,11 +206,13 @@ impl DirectoryProtocol {
                 out.invalidate.push(owner);
                 out.messages
                     .push(CoherenceMsg::invalidate(line, owner, true));
-                out.messages.push(CoherenceMsg::ack(line, owner, true, true));
+                out.messages
+                    .push(CoherenceMsg::ack(line, owner, true, true));
             }
         }
         dir.set_entry(line, DirectoryEntry::Owned { owner: tile });
-        out.messages.push(CoherenceMsg::data_to_requester(line, tile));
+        out.messages
+            .push(CoherenceMsg::data_to_requester(line, tile));
         debug_assert!(dir.check_invariants(line));
         out
     }
@@ -224,10 +228,12 @@ impl DirectoryProtocol {
         if dirty {
             self.stats.incr("dirty_evictions_absorbed");
             out.owner_writeback = true;
-            out.messages.push(CoherenceMsg::ack(line, tile, true, false));
+            out.messages
+                .push(CoherenceMsg::ack(line, tile, true, false));
         } else {
             self.stats.incr("clean_evictions");
-            out.messages.push(CoherenceMsg::ack(line, tile, false, false));
+            out.messages
+                .push(CoherenceMsg::ack(line, tile, false, false));
         }
         dir.remove_holder(line, tile);
         debug_assert!(dir.check_invariants(line));
@@ -261,7 +267,11 @@ mod tests {
     use super::*;
 
     fn setup() -> (Directory, DirectoryProtocol, LineAddr) {
-        (Directory::new(16), DirectoryProtocol::new(16), LineAddr::new(0x40))
+        (
+            Directory::new(16),
+            DirectoryProtocol::new(16),
+            LineAddr::new(0x40),
+        )
     }
 
     #[test]

@@ -2,7 +2,9 @@
 //! refresh-policy choices of Tables 5.2 and 5.4.
 
 use std::fmt;
+use std::sync::Arc;
 
+use refrint_edram::model::PolicyFactory;
 use refrint_edram::policy::{DataPolicy, RefreshPolicy, TimePolicy};
 use refrint_edram::retention::RetentionConfig;
 use refrint_energy::tech::{CellTech, TechnologyParams};
@@ -11,7 +13,7 @@ use refrint_noc::latency::LinkParams;
 use refrint_noc::topology::Torus;
 
 use crate::cpu::CoreTimingModel;
-use crate::error::RefrintError;
+use crate::error::{ConfigError, RefrintError};
 
 /// Complete configuration of one simulated system.
 #[derive(Debug, Clone)]
@@ -41,6 +43,11 @@ pub struct SystemConfig {
     /// Refresh policy applied to the L3 (L1/L2 use the same time policy with
     /// the `Valid` data policy, per Section 6.2). Ignored for SRAM.
     pub policy: RefreshPolicy,
+    /// Custom refresh-policy model for the L3, overriding `policy` when set.
+    /// The private caches keep the descriptor-derived `Valid` policy (the
+    /// paper's Section 6.2 setup); the custom model governs the shared L3,
+    /// which is where the policy sweep acts. Ignored for SRAM.
+    pub l3_policy_model: Option<Arc<dyn PolicyFactory>>,
     /// Technology/energy parameters.
     pub tech: TechnologyParams,
     /// Seed for the deterministic workload streams.
@@ -67,6 +74,7 @@ impl SystemConfig {
             cells: CellTech::Sram,
             retention: RetentionConfig::microseconds_50(),
             policy: RefreshPolicy::edram_baseline(),
+            l3_policy_model: None,
             tech: TechnologyParams::paper_default(),
             seed: 0xBEEF,
             refs_per_thread: None,
@@ -93,11 +101,31 @@ impl SystemConfig {
         }
     }
 
-    /// Sets the refresh policy (eDRAM only).
+    /// Sets the refresh policy (eDRAM only). Clears any custom L3 model.
     #[must_use]
     pub fn with_policy(mut self, policy: RefreshPolicy) -> Self {
         self.policy = policy;
+        self.l3_policy_model = None;
         self
+    }
+
+    /// Installs a custom refresh-policy model for the L3 (eDRAM only). The
+    /// private caches keep the `policy` descriptor's time policy with the
+    /// `Valid` data policy, as in the paper's evaluation.
+    #[must_use]
+    pub fn with_policy_model(mut self, factory: Arc<dyn PolicyFactory>) -> Self {
+        self.l3_policy_model = Some(factory);
+        self
+    }
+
+    /// The factory that builds the L3's refresh-policy model: the custom
+    /// model if one is installed, otherwise the `policy` descriptor.
+    #[must_use]
+    pub fn l3_policy_factory(&self) -> &dyn PolicyFactory {
+        match &self.l3_policy_model {
+            Some(factory) => factory.as_ref(),
+            None => &self.policy,
+        }
     }
 
     /// Sets the retention configuration (eDRAM only).
@@ -137,6 +165,51 @@ impl SystemConfig {
         self
     }
 
+    /// Validates the configuration, reporting the violated constraint as a
+    /// typed [`ConfigError`]. This is the single home of every
+    /// configuration rule; [`SystemConfig::validate`] and the builder's
+    /// `BuildError` mapping are derived from it.
+    ///
+    /// # Errors
+    ///
+    /// See [`ConfigError`].
+    pub fn validate_typed(&self) -> Result<(), ConfigError> {
+        if self.cores == 0 {
+            return Err(ConfigError::ZeroCores);
+        }
+        if self.cores > self.torus.num_nodes() {
+            return Err(ConfigError::TooManyCores {
+                cores: self.cores,
+                torus_nodes: self.torus.num_nodes(),
+            });
+        }
+        if self.l3_banks != self.cores {
+            return Err(ConfigError::BankCoreMismatch {
+                l3_banks: self.l3_banks,
+                cores: self.cores,
+            });
+        }
+        let line = self.dl1.geometry.line_size();
+        if self.l2.geometry.line_size() != line
+            || self.l3_bank.geometry.line_size() != line
+            || self.il1.geometry.line_size() != line
+        {
+            return Err(ConfigError::LineSizeMismatch);
+        }
+        if self.cells.needs_refresh() {
+            let margin = self.l3_bank.geometry.num_lines();
+            if margin >= self.retention.line_retention_cycles().raw() {
+                return Err(ConfigError::RetentionTooShort {
+                    retention_cycles: self.retention.line_retention_cycles().raw(),
+                    sentry_margin: margin,
+                });
+            }
+        } else if self.l3_policy_model.is_some() {
+            return Err(ConfigError::SramWithPolicyModel);
+        }
+        Ok(())
+    }
+
     /// Validates the configuration.
     ///
     /// # Errors
@@ -145,41 +218,7 @@ impl SystemConfig {
     /// match the torus, the bank count differs from the core count, or the
     /// line sizes disagree across levels.
     pub fn validate(&self) -> Result<(), RefrintError> {
-        let fail = |reason: String| Err(RefrintError::InvalidConfig { reason });
-        if self.cores == 0 {
-            return fail("at least one core is required".into());
-        }
-        if self.cores > self.torus.num_nodes() {
-            return fail(format!(
-                "{} cores do not fit on a {} node torus",
-                self.cores,
-                self.torus.num_nodes()
-            ));
-        }
-        if self.l3_banks != self.cores {
-            return fail(format!(
-                "the model assumes one L3 bank per tile ({} banks for {} cores)",
-                self.l3_banks, self.cores
-            ));
-        }
-        let line = self.dl1.geometry.line_size();
-        if self.l2.geometry.line_size() != line
-            || self.l3_bank.geometry.line_size() != line
-            || self.il1.geometry.line_size() != line
-        {
-            return fail("all cache levels must share a line size".into());
-        }
-        if self.cells.needs_refresh() {
-            let margin = self.l3_bank.geometry.num_lines();
-            if margin >= self.retention.line_retention_cycles().raw() {
-                return fail(format!(
-                    "retention of {} cycles leaves no room for the {}-cycle sentry margin",
-                    self.retention.line_retention_cycles(),
-                    margin
-                ));
-            }
-        }
-        Ok(())
+        self.validate_typed().map_err(RefrintError::from)
     }
 
     /// A short human-readable description of the technology/policy point,
@@ -191,7 +230,7 @@ impl SystemConfig {
             CellTech::Edram => format!(
                 "eDRAM {}us {}",
                 self.retention.retention().as_micros(),
-                self.policy.label()
+                self.l3_policy_factory().label()
             ),
         }
     }
@@ -219,15 +258,35 @@ impl Default for SystemConfig {
 
 impl fmt::Display for SystemConfig {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Chip            : {} cores, {} L3 banks, {}", self.cores, self.l3_banks, self.torus)?;
-        writeln!(f, "IL1             : {} ({} ns)", self.il1.geometry, self.il1.access_latency)?;
-        writeln!(f, "DL1             : {} ({} , WT)", self.dl1.geometry, self.dl1.access_latency)?;
-        writeln!(f, "L2              : {} ({} , WB)", self.l2.geometry, self.l2.access_latency)?;
-        writeln!(f, "L3 bank         : {} ({} , WB, shared)", self.l3_bank.geometry, self.l3_bank.access_latency)?;
+        writeln!(
+            f,
+            "Chip            : {} cores, {} L3 banks, {}",
+            self.cores, self.l3_banks, self.torus
+        )?;
+        writeln!(
+            f,
+            "IL1             : {} ({} ns)",
+            self.il1.geometry, self.il1.access_latency
+        )?;
+        writeln!(
+            f,
+            "DL1             : {} ({} , WT)",
+            self.dl1.geometry, self.dl1.access_latency
+        )?;
+        writeln!(
+            f,
+            "L2              : {} ({} , WB)",
+            self.l2.geometry, self.l2.access_latency
+        )?;
+        writeln!(
+            f,
+            "L3 bank         : {} ({} , WB, shared)",
+            self.l3_bank.geometry, self.l3_bank.access_latency
+        )?;
         writeln!(f, "Cells           : {}", self.cells)?;
         if self.cells.needs_refresh() {
             writeln!(f, "Retention       : {}", self.retention)?;
-            writeln!(f, "Refresh policy  : {}", self.policy)?;
+            writeln!(f, "Refresh policy  : {}", self.l3_policy_factory().label())?;
         }
         write!(f, "Seed            : {:#x}", self.seed)
     }

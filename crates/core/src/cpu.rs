@@ -70,7 +70,10 @@ mod tests {
     fn observed_latency_hides_part_of_misses() {
         let m = CoreTimingModel::paper_default();
         // Pure L1 hit: nothing to hide.
-        assert_eq!(m.observed_latency(Cycle::new(1), Cycle::ZERO), Cycle::new(1));
+        assert_eq!(
+            m.observed_latency(Cycle::new(1), Cycle::ZERO),
+            Cycle::new(1)
+        );
         // 40-cycle DRAM portion: 30% hidden.
         assert_eq!(
             m.observed_latency(Cycle::new(1), Cycle::new(40)),
@@ -82,9 +85,15 @@ mod tests {
     fn full_overlap_and_no_overlap_extremes() {
         let mut m = CoreTimingModel::paper_default();
         m.miss_overlap = 0.0;
-        assert_eq!(m.observed_latency(Cycle::new(2), Cycle::new(10)), Cycle::new(12));
+        assert_eq!(
+            m.observed_latency(Cycle::new(2), Cycle::new(10)),
+            Cycle::new(12)
+        );
         m.miss_overlap = 1.0;
-        assert_eq!(m.observed_latency(Cycle::new(2), Cycle::new(10)), Cycle::new(2));
+        assert_eq!(
+            m.observed_latency(Cycle::new(2), Cycle::new(10)),
+            Cycle::new(2)
+        );
     }
 
     #[test]

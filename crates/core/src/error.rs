@@ -34,6 +34,99 @@ impl fmt::Display for RefrintError {
 
 impl Error for RefrintError {}
 
+/// The typed constraint violations [`crate::config::SystemConfig::validate_typed`]
+/// can report — the single source of truth for configuration rules. The
+/// builder maps these onto [`crate::simulation::BuildError`] variants, and
+/// [`crate::config::SystemConfig::validate`] flattens them into
+/// [`RefrintError::InvalidConfig`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// The chip needs at least one core.
+    ZeroCores,
+    /// More cores were requested than the torus has nodes.
+    TooManyCores {
+        /// Requested core count.
+        cores: usize,
+        /// Nodes on the configured torus.
+        torus_nodes: usize,
+    },
+    /// The model assumes one shared-L3 bank per tile.
+    BankCoreMismatch {
+        /// Configured L3 bank count.
+        l3_banks: usize,
+        /// Configured core count.
+        cores: usize,
+    },
+    /// All cache levels must share one line size.
+    LineSizeMismatch,
+    /// The retention period leaves no room for the sentry safety margin.
+    RetentionTooShort {
+        /// Retention period, in cycles.
+        retention_cycles: u64,
+        /// Required sentry margin, in cycles.
+        sentry_margin: u64,
+    },
+    /// A custom refresh-policy model was installed on SRAM cells.
+    SramWithPolicyModel,
+    /// A policy model declared a global burst period too short to refresh
+    /// the whole cache within it.
+    InvalidBurstPeriod {
+        /// The declared burst period, in cycles.
+        period_cycles: u64,
+        /// The refresh work per period (one cycle per line), in cycles.
+        work_cycles: u64,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroCores => write!(f, "at least one core is required"),
+            ConfigError::TooManyCores { cores, torus_nodes } => {
+                write!(f, "{cores} cores do not fit on a {torus_nodes} node torus")
+            }
+            ConfigError::BankCoreMismatch { l3_banks, cores } => write!(
+                f,
+                "the model assumes one L3 bank per tile ({l3_banks} banks for {cores} cores)"
+            ),
+            ConfigError::LineSizeMismatch => {
+                write!(f, "all cache levels must share a line size")
+            }
+            ConfigError::RetentionTooShort {
+                retention_cycles,
+                sentry_margin,
+            } => write!(
+                f,
+                "retention of {retention_cycles} cycles leaves no room for the \
+                 {sentry_margin}-cycle sentry margin"
+            ),
+            ConfigError::SramWithPolicyModel => write!(
+                f,
+                "a custom refresh-policy model requires eDRAM cells (SRAM never refreshes)"
+            ),
+            ConfigError::InvalidBurstPeriod {
+                period_cycles,
+                work_cycles,
+            } => write!(
+                f,
+                "the policy's {period_cycles}-cycle burst period cannot cover the \
+                 {work_cycles} cycles of refresh work per period"
+            ),
+        }
+    }
+}
+
+impl Error for ConfigError {}
+
+impl From<ConfigError> for RefrintError {
+    fn from(err: ConfigError) -> Self {
+        RefrintError::InvalidConfig {
+            reason: err.to_string(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -43,9 +136,11 @@ mod tests {
         assert!(RefrintError::InvalidConfig { reason: "x".into() }
             .to_string()
             .contains("configuration"));
-        assert!(RefrintError::UnknownArtefact { name: "fig9".into() }
-            .to_string()
-            .contains("fig9"));
+        assert!(RefrintError::UnknownArtefact {
+            name: "fig9".into()
+        }
+        .to_string()
+        .contains("fig9"));
     }
 
     #[test]

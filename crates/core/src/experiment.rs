@@ -4,17 +4,16 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
+use refrint_edram::model::PolicyFactory;
 use refrint_edram::policy::RefreshPolicy;
 use refrint_edram::retention::RetentionConfig;
-use refrint_energy::tech::CellTech;
 use refrint_workloads::apps::AppPreset;
 use refrint_workloads::classify::AppClass;
 
-use crate::config::SystemConfig;
 use crate::error::RefrintError;
 use crate::report::SimReport;
-use crate::system::CmpSystem;
 
 /// One eDRAM configuration point of the sweep.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,6 +53,9 @@ pub struct ExperimentConfig {
     pub seed: u64,
     /// Number of cores (16 in the paper; smaller values speed up testing).
     pub cores: usize,
+    /// Custom refresh-policy models swept alongside `policies` at every
+    /// retention point (their reports are keyed by their labels).
+    pub models: Vec<Arc<dyn PolicyFactory>>,
 }
 
 impl ExperimentConfig {
@@ -67,6 +69,7 @@ impl ExperimentConfig {
             refs_per_thread: 60_000,
             seed: 0xBEEF,
             cores: 16,
+            models: Vec::new(),
         }
     }
 
@@ -81,6 +84,7 @@ impl ExperimentConfig {
             refs_per_thread: 8_000,
             seed: 0xBEEF,
             cores: 16,
+            models: Vec::new(),
         }
     }
 
@@ -98,24 +102,24 @@ impl ExperimentConfig {
         self
     }
 
+    /// Adds a custom refresh-policy model to the sweep.
+    #[must_use]
+    pub fn with_model(mut self, factory: Arc<dyn PolicyFactory>) -> Self {
+        self.models.push(factory);
+        self
+    }
+
     /// Total number of (application × configuration) simulations the sweep
     /// will run, including the SRAM baseline.
     #[must_use]
     pub fn total_runs(&self) -> usize {
-        self.apps.len() * (1 + self.retentions_us.len() * self.policies.len())
+        self.apps.len() * (1 + self.retentions_us.len() * (self.policies.len() + self.models.len()))
     }
 
-    fn retention(us: u64) -> RetentionConfig {
-        match us {
-            50 => RetentionConfig::microseconds_50(),
-            100 => RetentionConfig::microseconds_100(),
-            200 => RetentionConfig::microseconds_200(),
-            other => RetentionConfig::new(
-                refrint_engine::time::SimDuration::from_micros(other),
-                refrint_engine::time::Freq::gigahertz(1),
-            )
-            .expect("retention must be at least one cycle"),
-        }
+    pub(crate) fn retention(us: u64) -> Result<RetentionConfig, RefrintError> {
+        RetentionConfig::from_microseconds(us).map_err(|e| RefrintError::InvalidConfig {
+            reason: e.to_string(),
+        })
     }
 }
 
@@ -139,6 +143,9 @@ pub struct SweepResults {
     pub retentions_us: Vec<u64>,
     /// The policies that were swept, in figure order.
     pub policies: Vec<RefreshPolicy>,
+    /// Labels of the custom policy models that were swept alongside the
+    /// descriptor policies.
+    pub custom_labels: Vec<String>,
 }
 
 impl SweepResults {
@@ -156,8 +163,20 @@ impl SweepResults {
         retention_us: u64,
         policy: RefreshPolicy,
     ) -> Option<&SimReport> {
+        self.edram_report_by_label(app, retention_us, &policy.label())
+    }
+
+    /// The eDRAM report for `(app, retention, label)` — the label form also
+    /// reaches custom policy models swept via [`ExperimentConfig::models`].
+    #[must_use]
+    pub fn edram_report_by_label(
+        &self,
+        app: AppPreset,
+        retention_us: u64,
+        label: &str,
+    ) -> Option<&SimReport> {
         self.edram
-            .get(&(app.name().to_owned(), retention_us, policy.label()))
+            .get(&(app.name().to_owned(), retention_us, label.to_owned()))
     }
 
     /// The applications of `class` that were part of this sweep.
@@ -199,7 +218,10 @@ impl SweepResults {
     }
 }
 
-/// Runs the sweep described by `config`.
+/// Runs the sweep described by `config` on the sequential (single-worker)
+/// path. Use [`crate::sweep::SweepRunner`] directly for the parallel runner
+/// and progress streaming; for any worker count the merged results are
+/// identical to this function's.
 ///
 /// # Errors
 ///
@@ -207,43 +229,9 @@ impl SweepResults {
 /// configuration is invalid (e.g. a retention time shorter than the sentry
 /// margin).
 pub fn run_sweep(config: &ExperimentConfig) -> Result<SweepResults, RefrintError> {
-    let mut results = SweepResults {
-        apps: config.apps.clone(),
-        retentions_us: config.retentions_us.clone(),
-        policies: config.policies.clone(),
-        ..SweepResults::default()
-    };
-
-    for &app in &config.apps {
-        // SRAM baseline.
-        let sram_cfg = SystemConfig::sram_baseline()
-            .with_cores(config.cores)
-            .with_seed(config.seed)
-            .with_scale(config.refs_per_thread);
-        let mut system = CmpSystem::new(sram_cfg)?;
-        results
-            .sram
-            .insert(app.name().to_owned(), system.run_app(app));
-
-        // eDRAM points.
-        for &retention_us in &config.retentions_us {
-            for &policy in &config.policies {
-                let cfg = SystemConfig::sram_baseline()
-                    .with_cores(config.cores)
-                    .with_cells(CellTech::Edram)
-                    .with_retention(ExperimentConfig::retention(retention_us))
-                    .with_policy(policy)
-                    .with_seed(config.seed)
-                    .with_scale(config.refs_per_thread);
-                let mut system = CmpSystem::new(cfg)?;
-                let report = system.run_app(app);
-                results
-                    .edram
-                    .insert((app.name().to_owned(), retention_us, policy.label()), report);
-            }
-        }
-    }
-    Ok(results)
+    crate::sweep::SweepRunner::new(config.clone())
+        .sequential()
+        .run()
 }
 
 #[cfg(test)]
@@ -271,6 +259,7 @@ mod tests {
             refs_per_thread: 1_500,
             seed: 3,
             cores: 4,
+            models: Vec::new(),
         };
         let results = run_sweep(&cfg).unwrap();
         assert_eq!(results.sram.len(), 2);
@@ -296,9 +285,12 @@ mod tests {
         assert!(avg > 0.0 && avg < 2.0, "normalised energy was {avg}");
         // Averages over apps that were not run are None.
         assert!(results
-            .average_over(&[AppPreset::Lu], 50, RefreshPolicy::edram_baseline(), |e, s| {
-                e.memory_energy_vs(s)
-            })
+            .average_over(
+                &[AppPreset::Lu],
+                50,
+                RefreshPolicy::edram_baseline(),
+                |e, s| { e.memory_energy_vs(s) }
+            )
             .is_none());
     }
 

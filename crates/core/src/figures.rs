@@ -111,8 +111,7 @@ pub fn figure_6_2(results: &SweepResults, selection: AppSelection) -> Vec<Normal
     let apps = selection.apps(results);
     let mut out = Vec::new();
     for &retention in &results.retentions_us {
-        let mut series =
-            NormalizedSeries::new(&format!("{retention} us ({})", selection.label()));
+        let mut series = NormalizedSeries::new(&format!("{retention} us ({})", selection.label()));
         for &policy in &results.policies {
             let component = |pick: fn(&SimReport) -> f64| {
                 per_app_normalized(results, &apps, retention, policy, |e, s| {
@@ -147,8 +146,7 @@ pub fn figure_6_3(results: &SweepResults, selection: AppSelection) -> Vec<Normal
     let apps = selection.apps(results);
     let mut out = Vec::new();
     for &retention in &results.retentions_us {
-        let mut series =
-            NormalizedSeries::new(&format!("{retention} us ({})", selection.label()));
+        let mut series = NormalizedSeries::new(&format!("{retention} us ({})", selection.label()));
         for &policy in &results.policies {
             let value = per_app_normalized(results, &apps, retention, policy, |e, s| {
                 e.system_energy_vs(s)
@@ -168,13 +166,11 @@ pub fn figure_6_4(results: &SweepResults, selection: AppSelection) -> Vec<Normal
     let apps = selection.apps(results);
     let mut out = Vec::new();
     for &retention in &results.retentions_us {
-        let mut series =
-            NormalizedSeries::new(&format!("{retention} us ({})", selection.label()));
+        let mut series = NormalizedSeries::new(&format!("{retention} us ({})", selection.label()));
         for &policy in &results.policies {
-            let value = per_app_normalized(results, &apps, retention, policy, |e, s| {
-                e.slowdown_vs(s)
-            })
-            .unwrap_or(0.0);
+            let value =
+                per_app_normalized(results, &apps, retention, policy, |e, s| e.slowdown_vs(s))
+                    .unwrap_or(0.0);
             series.push(StackedBar::new(&policy.label(), &[("Time", value)]));
         }
         out.push(series);
@@ -242,6 +238,7 @@ mod tests {
             refs_per_thread: 1_500,
             seed: 5,
             cores: 4,
+            models: Vec::new(),
         };
         run_sweep(&cfg).unwrap()
     }
@@ -251,7 +248,9 @@ mod tests {
         let results = tiny_results();
         let table = table_6_1(&results);
         assert_eq!(table.len(), 2);
-        assert!(table.iter().any(|r| r.name == "fft" && r.class == AppClass::Class1));
+        assert!(table
+            .iter()
+            .any(|r| r.name == "fft" && r.class == AppClass::Class1));
         assert!(table
             .iter()
             .any(|r| r.name == "blackscholes" && r.class == AppClass::Class3));
@@ -265,7 +264,12 @@ mod tests {
         assert_eq!(fig[0].bars.len(), 3);
         for bar in &fig[0].bars {
             assert_eq!(bar.components.len(), 4);
-            assert!(bar.total() > 0.0 && bar.total() < 2.0, "{}: {}", bar.label, bar.total());
+            assert!(
+                bar.total() > 0.0 && bar.total() < 2.0,
+                "{}: {}",
+                bar.label,
+                bar.total()
+            );
         }
     }
 

@@ -26,22 +26,34 @@
 //!
 //! # Quickstart
 //!
+//! All entry points go through [`Simulation::builder`]: pick a preset,
+//! layer overrides, `build()` (typed validation errors), `run()`:
+//!
 //! ```
-//! use refrint::config::SystemConfig;
-//! use refrint::system::CmpSystem;
-//! use refrint_workloads::apps::AppPreset;
+//! use refrint::prelude::*;
 //!
 //! // A deliberately small run so the doctest is fast.
-//! let config = SystemConfig::edram_recommended().with_scale(2_000);
-//! let mut system = CmpSystem::new(config).unwrap();
-//! let report = system.run_app(AppPreset::Blackscholes);
-//! assert!(report.execution_cycles > 0);
-//! assert!(report.breakdown.memory_total() > 0.0);
+//! let mut simulation = Simulation::builder()
+//!     .edram_recommended()
+//!     .refs_per_thread(2_000)
+//!     .build()
+//!     .unwrap();
+//! let outcome = simulation.run(AppPreset::Blackscholes);
+//! assert!(outcome.execution_cycles() > 0);
+//! assert!(outcome.breakdown().memory_total() > 0.0);
 //! ```
 //!
-//! The [`experiment`] module runs the paper's 42 + 1 configuration sweep
-//! (Table 5.4) and the [`figures`] module turns sweep results into the rows
-//! of Figures 6.1–6.4 and Table 6.1.
+//! Custom refresh policies plug in without forking the simulator: implement
+//! [`refrint_edram::model::RefreshPolicyModel`] (+ a
+//! [`refrint_edram::model::PolicyFactory`]) and pass it to
+//! [`SimulationBuilder::policy_model`] or register its label with
+//! [`SimulationBuilder::register_policy`].
+//!
+//! The [`experiment`] module describes the paper's 42 + 1 configuration
+//! sweep (Table 5.4); the [`sweep`] module runs it across worker threads
+//! ([`SweepRunner`]) with [`ProgressObserver`] streaming and a merge that is
+//! deterministic for every worker count; and the [`figures`] module turns
+//! sweep results into the rows of Figures 6.1–6.4 and Table 6.1.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -54,12 +66,16 @@ pub mod experiment;
 pub mod figures;
 pub mod hierarchy;
 pub mod report;
+pub mod simulation;
+pub mod sweep;
 pub mod system;
 
 pub use config::SystemConfig;
 pub use error::RefrintError;
 pub use experiment::{ExperimentConfig, SweepResults};
 pub use report::SimReport;
+pub use simulation::{BuildError, RelativeMetrics, RunOutcome, Simulation, SimulationBuilder};
+pub use sweep::{ProgressObserver, SweepProgress, SweepRunner};
 pub use system::CmpSystem;
 
 /// Commonly used items, re-exported for convenience.
@@ -67,9 +83,15 @@ pub mod prelude {
     pub use crate::config::SystemConfig;
     pub use crate::experiment::{ExperimentConfig, SweepResults};
     pub use crate::report::SimReport;
+    pub use crate::simulation::{BuildError, RunOutcome, Simulation, SimulationBuilder};
+    pub use crate::sweep::{ProgressObserver, SweepProgress, SweepRunner};
     pub use crate::system::CmpSystem;
+    pub use refrint_edram::model::{
+        PolicyBinding, PolicyFactory, PolicyRegistry, RefreshAction, RefreshPolicyModel,
+    };
     pub use refrint_edram::policy::{DataPolicy, RefreshPolicy, TimePolicy};
     pub use refrint_edram::retention::RetentionConfig;
+    pub use refrint_edram::schedule::LineKind;
     pub use refrint_energy::tech::CellTech;
     pub use refrint_workloads::apps::AppPreset;
     pub use refrint_workloads::classify::AppClass;

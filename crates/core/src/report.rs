@@ -71,7 +71,11 @@ impl SimReport {
 
 impl fmt::Display for SimReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "run             : {} on {}", self.workload, self.config_label)?;
+        writeln!(
+            f,
+            "run             : {} on {}",
+            self.workload, self.config_label
+        )?;
         writeln!(f, "execution       : {} cycles", self.execution_cycles)?;
         writeln!(f, "instructions    : {}", self.counts.instructions)?;
         writeln!(
@@ -118,10 +122,12 @@ mod tests {
             cycles,
             ..EnergyCounts::default()
         };
-        let mut breakdown = EnergyBreakdown::default();
-        breakdown.l3_leakage = 1.0 * l3_energy_scale;
-        breakdown.dram = 0.1;
-        breakdown.core_dynamic = 0.5;
+        let breakdown = EnergyBreakdown {
+            l3_leakage: 1.0 * l3_energy_scale,
+            dram: 0.1,
+            core_dynamic: 0.5,
+            ..EnergyBreakdown::default()
+        };
         SimReport {
             config_label: "test".into(),
             workload: "w".into(),

@@ -1,0 +1,437 @@
+//! The parallel sweep runner.
+//!
+//! [`crate::experiment::run_sweep`]'s nested loops ran the paper's 473
+//! simulations strictly sequentially. [`SweepRunner`] shards the same
+//! `(application × retention × policy)` points across `std::thread` workers:
+//! every point is an independent simulation with its own seed-derived
+//! streams, so the runner executes them in any order, streams completions
+//! through a [`ProgressObserver`], and merges the reports into
+//! [`SweepResults`] in the deterministic job order — the merged results are
+//! identical to a sequential run, whatever the worker count.
+//!
+//! Custom [`PolicyFactory`] policies ride along with the built-in descriptor
+//! sweep via [`ExperimentConfig::models`]; their reports are keyed by their
+//! labels next to the descriptor labels.
+//!
+//! # Example
+//!
+//! ```
+//! use refrint::experiment::ExperimentConfig;
+//! use refrint::sweep::SweepRunner;
+//! use refrint_edram::policy::RefreshPolicy;
+//! use refrint_workloads::apps::AppPreset;
+//!
+//! let config = ExperimentConfig {
+//!     apps: vec![AppPreset::Lu],
+//!     retentions_us: vec![50],
+//!     policies: vec![RefreshPolicy::recommended()],
+//!     refs_per_thread: 1_000,
+//!     cores: 2,
+//!     ..ExperimentConfig::default()
+//! };
+//! let results = SweepRunner::new(config).workers(2).run().unwrap();
+//! assert_eq!(results.sram.len(), 1);
+//! assert_eq!(results.edram.len(), 1);
+//! ```
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use refrint_edram::model::PolicyFactory;
+use refrint_edram::policy::RefreshPolicy;
+use refrint_energy::tech::CellTech;
+use refrint_workloads::apps::AppPreset;
+
+use crate::config::SystemConfig;
+use crate::error::RefrintError;
+use crate::experiment::{ExperimentConfig, SweepResults};
+use crate::report::SimReport;
+use crate::system::CmpSystem;
+
+/// A completed-run notification streamed by the [`SweepRunner`].
+#[derive(Debug, Clone)]
+pub struct SweepProgress {
+    /// Runs completed so far (including this one).
+    pub completed: usize,
+    /// Total runs in the sweep.
+    pub total: usize,
+    /// The application that was simulated.
+    pub app: String,
+    /// The configuration label (e.g. `SRAM`, `eDRAM 50us R.WB(32,32)`).
+    pub config_label: String,
+    /// Retention time of the point, or `None` for the SRAM baseline.
+    pub retention_us: Option<u64>,
+}
+
+/// Receives completion events while a sweep is running. Implemented for any
+/// `Fn(&SweepProgress) + Send + Sync` closure.
+///
+/// Events arrive from worker threads in completion order (not job order).
+/// Callbacks are serialized — at most one runs at a time, with strictly
+/// increasing `completed` counts — so observers need no locking of their
+/// own, but a slow observer backpressures the workers.
+pub trait ProgressObserver: Send + Sync {
+    /// Called once per finished simulation.
+    fn on_run_complete(&self, progress: &SweepProgress);
+}
+
+impl<F> ProgressObserver for F
+where
+    F: Fn(&SweepProgress) + Send + Sync,
+{
+    fn on_run_complete(&self, progress: &SweepProgress) {
+        self(progress)
+    }
+}
+
+/// The policy of one eDRAM sweep point: a built-in descriptor (the private
+/// caches inherit its time policy, per Section 6.2) or a custom model (the
+/// private caches then run the recommended `Refrint Valid` setup).
+#[derive(Debug, Clone)]
+enum PolicyChoice {
+    Builtin(RefreshPolicy),
+    Custom(Arc<dyn PolicyFactory>),
+}
+
+impl PolicyChoice {
+    fn label(&self) -> String {
+        match self {
+            PolicyChoice::Builtin(policy) => policy.label(),
+            PolicyChoice::Custom(factory) => factory.label(),
+        }
+    }
+}
+
+/// One schedulable simulation of the sweep.
+#[derive(Debug, Clone)]
+enum Job {
+    Sram {
+        app: AppPreset,
+    },
+    Edram {
+        app: AppPreset,
+        retention_us: u64,
+        policy: PolicyChoice,
+    },
+}
+
+/// Runs an experiment sweep across a configurable number of worker threads.
+///
+/// Results are merged in deterministic job order, so for a fixed
+/// [`ExperimentConfig`] the output is identical for every worker count
+/// (including the sequential `workers(1)` path).
+pub struct SweepRunner {
+    config: ExperimentConfig,
+    workers: usize,
+    observer: Option<Arc<dyn ProgressObserver>>,
+}
+
+impl std::fmt::Debug for SweepRunner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SweepRunner")
+            .field("config", &self.config)
+            .field("workers", &self.workers)
+            .field("observer", &self.observer.is_some())
+            .finish()
+    }
+}
+
+impl SweepRunner {
+    /// Creates a runner for `config`, defaulting to one worker per available
+    /// CPU.
+    #[must_use]
+    pub fn new(config: ExperimentConfig) -> Self {
+        let workers = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        SweepRunner {
+            config,
+            workers,
+            observer: None,
+        }
+    }
+
+    /// Sets the worker-thread count (clamped to at least 1).
+    #[must_use]
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Forces the sequential (single-worker) path.
+    #[must_use]
+    pub fn sequential(self) -> Self {
+        self.workers(1)
+    }
+
+    /// Streams completion events to `observer` while the sweep runs.
+    #[must_use]
+    pub fn observer(mut self, observer: impl ProgressObserver + 'static) -> Self {
+        self.observer = Some(Arc::new(observer));
+        self
+    }
+
+    /// The experiment configuration this runner will execute.
+    #[must_use]
+    pub fn config(&self) -> &ExperimentConfig {
+        &self.config
+    }
+
+    /// Builds the deterministic job list: for each application, the SRAM
+    /// baseline followed by every (retention × policy) eDRAM point —
+    /// descriptor policies first, then custom models, mirroring the
+    /// sequential sweep's nesting order.
+    fn jobs(&self) -> Vec<Job> {
+        let mut jobs = Vec::with_capacity(self.config.total_runs());
+        for &app in &self.config.apps {
+            jobs.push(Job::Sram { app });
+            for &retention_us in &self.config.retentions_us {
+                for &policy in &self.config.policies {
+                    jobs.push(Job::Edram {
+                        app,
+                        retention_us,
+                        policy: PolicyChoice::Builtin(policy),
+                    });
+                }
+                for factory in &self.config.models {
+                    jobs.push(Job::Edram {
+                        app,
+                        retention_us,
+                        policy: PolicyChoice::Custom(Arc::clone(factory)),
+                    });
+                }
+            }
+        }
+        jobs
+    }
+
+    fn system_config(&self, job: &Job) -> Result<SystemConfig, RefrintError> {
+        let base = SystemConfig::sram_baseline()
+            .with_cores(self.config.cores)
+            .with_seed(self.config.seed)
+            .with_scale(self.config.refs_per_thread);
+        Ok(match job {
+            Job::Sram { .. } => base,
+            Job::Edram {
+                retention_us,
+                policy,
+                ..
+            } => {
+                let base = base
+                    .with_cells(CellTech::Edram)
+                    .with_retention(ExperimentConfig::retention(*retention_us)?);
+                match policy {
+                    PolicyChoice::Builtin(policy) => base.with_policy(*policy),
+                    PolicyChoice::Custom(factory) => base
+                        .with_policy(RefreshPolicy::recommended())
+                        .with_policy_model(Arc::clone(factory)),
+                }
+            }
+        })
+    }
+
+    fn run_job(&self, job: &Job) -> Result<SimReport, RefrintError> {
+        let config = self.system_config(job)?;
+        let app = match job {
+            Job::Sram { app } | Job::Edram { app, .. } => *app,
+        };
+        let mut system = CmpSystem::new(config)?;
+        Ok(system.run_app(app))
+    }
+
+    /// Runs the sweep and merges the reports.
+    ///
+    /// # Errors
+    ///
+    /// Returns the earliest-in-job-order [`RefrintError`] among the jobs
+    /// that ran. Workers stop claiming new jobs as soon as any job fails,
+    /// so a bad configuration does not burn through the rest of an
+    /// expensive sweep first.
+    pub fn run(&self) -> Result<SweepResults, RefrintError> {
+        // Reports are keyed by policy label, so colliding labels (between
+        // descriptor policies and custom models, or among the models) would
+        // silently overwrite each other in the merge. Reject them up front.
+        let mut labels = std::collections::BTreeSet::new();
+        for label in self
+            .config
+            .policies
+            .iter()
+            .map(RefreshPolicy::label)
+            .chain(self.config.models.iter().map(|m| m.label()))
+        {
+            if !labels.insert(label.clone()) {
+                return Err(RefrintError::InvalidConfig {
+                    reason: format!(
+                        "duplicate refresh-policy label `{label}` in the sweep \
+                         (reports are keyed by label)"
+                    ),
+                });
+            }
+        }
+
+        let jobs = self.jobs();
+        let total = jobs.len();
+        let next = AtomicUsize::new(0);
+        let failed = AtomicBool::new(false);
+        // The observer lock makes increment + callback one atomic step, so
+        // callbacks are serialized with strictly increasing counts.
+        let progress = Mutex::new(0usize);
+        let slots: Mutex<Vec<Option<Result<SimReport, RefrintError>>>> =
+            Mutex::new((0..total).map(|_| None).collect());
+
+        let worker = || loop {
+            if failed.load(Ordering::Relaxed) {
+                break;
+            }
+            let index = next.fetch_add(1, Ordering::Relaxed);
+            if index >= total {
+                break;
+            }
+            let job = &jobs[index];
+            let result = self.run_job(job);
+            match &result {
+                Ok(report) => {
+                    if let Some(observer) = &self.observer {
+                        let (app, retention_us) = match job {
+                            Job::Sram { app } => (*app, None),
+                            Job::Edram {
+                                app, retention_us, ..
+                            } => (*app, Some(*retention_us)),
+                        };
+                        let mut done = progress.lock().expect("observer lock never poisoned");
+                        *done += 1;
+                        observer.on_run_complete(&SweepProgress {
+                            completed: *done,
+                            total,
+                            app: app.name().to_owned(),
+                            config_label: report.config_label.clone(),
+                            retention_us,
+                        });
+                    }
+                }
+                Err(_) => failed.store(true, Ordering::Relaxed),
+            }
+            slots.lock().expect("no worker panicked holding the lock")[index] = Some(result);
+        };
+
+        let workers = self.workers.min(total.max(1));
+        if workers <= 1 {
+            worker();
+        } else {
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(worker);
+                }
+            });
+        }
+
+        let slots = slots.into_inner().expect("all workers joined");
+        // On failure, report the first error in job order (deterministic
+        // whatever the interleaving was).
+        for slot in &slots {
+            if let Some(Err(e)) = slot {
+                return Err(e.clone());
+            }
+        }
+
+        // Deterministic merge in job order.
+        let mut results = SweepResults {
+            apps: self.config.apps.clone(),
+            retentions_us: self.config.retentions_us.clone(),
+            policies: self.config.policies.clone(),
+            custom_labels: self.config.models.iter().map(|m| m.label()).collect(),
+            ..SweepResults::default()
+        };
+        for (job, slot) in jobs.iter().zip(slots) {
+            let report = slot
+                .expect("with no failed job, every index was claimed and filled")
+                .expect("errors were returned above");
+            match job {
+                Job::Sram { app } => {
+                    results.sram.insert(app.name().to_owned(), report);
+                }
+                Job::Edram {
+                    app,
+                    retention_us,
+                    policy,
+                } => {
+                    results.edram.insert(
+                        (app.name().to_owned(), *retention_us, policy.label()),
+                        report,
+                    );
+                }
+            }
+        }
+        Ok(results)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use refrint_edram::policy::{DataPolicy, RefreshPolicy, TimePolicy};
+    use std::sync::atomic::AtomicUsize;
+
+    fn tiny_config() -> ExperimentConfig {
+        ExperimentConfig {
+            apps: vec![AppPreset::Blackscholes, AppPreset::Fft],
+            retentions_us: vec![50],
+            policies: vec![
+                RefreshPolicy::edram_baseline(),
+                RefreshPolicy::new(TimePolicy::Refrint, DataPolicy::Valid),
+            ],
+            refs_per_thread: 1_200,
+            seed: 3,
+            cores: 4,
+            models: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn parallel_results_match_sequential_results_exactly() {
+        let sequential = SweepRunner::new(tiny_config()).sequential().run().unwrap();
+        let parallel = SweepRunner::new(tiny_config()).workers(4).run().unwrap();
+        assert_eq!(format!("{sequential:?}"), format!("{parallel:?}"));
+    }
+
+    #[test]
+    fn observer_sees_every_run() {
+        let seen = Arc::new(AtomicUsize::new(0));
+        let seen_in_observer = Arc::clone(&seen);
+        let config = tiny_config();
+        let total = config.total_runs();
+        let results = SweepRunner::new(config)
+            .workers(2)
+            .observer(move |p: &SweepProgress| {
+                seen_in_observer.fetch_add(1, Ordering::Relaxed);
+                assert!(p.completed <= p.total);
+                assert!(!p.config_label.is_empty());
+            })
+            .run()
+            .unwrap();
+        assert_eq!(seen.load(Ordering::Relaxed), total);
+        assert_eq!(results.sram.len() + results.edram.len(), total);
+    }
+
+    #[test]
+    fn invalid_points_surface_the_first_error() {
+        let mut config = tiny_config();
+        config.retentions_us = vec![50, 1]; // 1 us < sentry margin: invalid.
+        let err = SweepRunner::new(config).workers(2).run().unwrap_err();
+        assert!(err.to_string().contains("retention"), "{err}");
+    }
+
+    #[test]
+    fn worker_count_is_clamped() {
+        let runner = SweepRunner::new(tiny_config()).workers(0);
+        assert_eq!(runner.workers, 1);
+    }
+
+    #[test]
+    fn duplicate_policy_labels_are_rejected() {
+        let mut config = tiny_config();
+        config.policies.push(config.policies[0]);
+        let err = SweepRunner::new(config).run().unwrap_err();
+        assert!(err.to_string().contains("duplicate"), "{err}");
+    }
+}

@@ -24,7 +24,6 @@
 
 use refrint_coherence::directory::Directory;
 use refrint_coherence::protocol::{CoreRequest, DirectoryProtocol};
-use refrint_edram::policy::TimePolicy;
 use refrint_energy::accounting::EnergyCounts;
 use refrint_energy::breakdown::EnergyBreakdown;
 use refrint_engine::event::EventQueue;
@@ -84,7 +83,6 @@ impl CmpSystem {
         let retention = cfg.retention;
         let cells = cfg.cells;
         let private_policy = cfg.private_cache_policy();
-        let l3_policy = cfg.policy;
 
         let tiles = (0..cfg.cores)
             .map(|t| Tile {
@@ -100,8 +98,20 @@ impl CmpSystem {
                     cfg.l2.replacement,
                     cfg.seed ^ (0x100 + t as u64),
                 ),
-                dl1_refresh: RefreshDomain::new(&cfg.dl1, private_policy, retention, cells, Cycle::ZERO),
-                l2_refresh: RefreshDomain::new(&cfg.l2, private_policy, retention, cells, Cycle::ZERO),
+                dl1_refresh: RefreshDomain::new(
+                    &cfg.dl1,
+                    private_policy,
+                    retention,
+                    cells,
+                    Cycle::ZERO,
+                ),
+                l2_refresh: RefreshDomain::new(
+                    &cfg.l2,
+                    private_policy,
+                    retention,
+                    cells,
+                    Cycle::ZERO,
+                ),
             })
             .collect();
 
@@ -112,17 +122,25 @@ impl CmpSystem {
                 let phase = Cycle::new(
                     (b as u64 * retention.line_retention_cycles().raw()) / cfg.l3_banks as u64,
                 );
-                L3Bank {
+                let refresh = RefreshDomain::from_factory(
+                    &cfg.l3_bank,
+                    cfg.l3_policy_factory(),
+                    retention,
+                    cells,
+                    phase,
+                )
+                .map_err(RefrintError::from)?;
+                Ok(L3Bank {
                     cache: Cache::with_replacement(
                         &format!("l3.{b}"),
                         cfg.l3_bank.geometry,
                         cfg.l3_bank.replacement,
                         cfg.seed ^ (0x200 + b as u64),
                     ),
-                    refresh: RefreshDomain::new(&cfg.l3_bank, l3_policy, retention, cells, phase),
-                }
+                    refresh,
+                })
             })
-            .collect();
+            .collect::<Result<Vec<_>, RefrintError>>()?;
 
         let line_size = cfg.dl1.geometry.line_size();
         let data_flits = cfg.link.flits_for(line_size);
@@ -177,7 +195,7 @@ impl CmpSystem {
             // Pick the live core with the smallest local time.
             let mut next: Option<usize> = None;
             for c in 0..self.cfg.cores {
-                if !done[c] && next.map_or(true, |n| core_time[c] < core_time[n]) {
+                if !done[c] && next.is_none_or(|n| core_time[c] < core_time[n]) {
                     next = Some(c);
                 }
             }
@@ -235,8 +253,8 @@ impl CmpSystem {
     /// Resolves one data reference and returns the latency the core observes.
     fn access(&mut self, tile: usize, line: LineAddr, is_write: bool, now: Cycle) -> Cycle {
         self.counts.dl1_accesses += 1;
-        let l1_latency =
-            self.cfg.dl1.access_latency + self.tiles[tile].dl1_refresh.access_penalty(now, line.raw());
+        let l1_latency = self.cfg.dl1.access_latency
+            + self.tiles[tile].dl1_refresh.access_penalty(now, line.raw());
         let mut beyond = Cycle::ZERO;
 
         // Settle DL1 residency (Valid policy: refresh charges only).
@@ -285,8 +303,8 @@ impl CmpSystem {
         upgraded: &mut bool,
     ) -> Cycle {
         self.counts.l2_accesses += 1;
-        let mut beyond =
-            self.cfg.l2.access_latency + self.tiles[tile].l2_refresh.access_penalty(now, line.raw());
+        let mut beyond = self.cfg.l2.access_latency
+            + self.tiles[tile].l2_refresh.access_penalty(now, line.raw());
 
         if let Some(l) = self.tiles[tile].l2.line(line).copied() {
             let s = self.tiles[tile]
@@ -318,7 +336,10 @@ impl CmpSystem {
         let bank = line.bank(self.cfg.l3_banks);
         let hops = u64::from(self.hops(tile, bank));
         self.counts.noc_flit_hops += hops * (self.ctrl_flits + self.data_flits);
-        let mut beyond = self.cfg.link.message_latency(hops as u32, self.cfg.link.control_bytes)
+        let mut beyond = self
+            .cfg
+            .link
+            .message_latency(hops as u32, self.cfg.link.control_bytes)
             + self.cfg.link.message_latency(hops as u32, self.line_size)
             + self.cfg.l3_bank.access_latency
             + self.l3[bank].refresh.access_penalty(now, line.raw());
@@ -358,7 +379,11 @@ impl CmpSystem {
         }
 
         // Directory transaction.
-        let request = if is_write { CoreRequest::Write } else { CoreRequest::Read };
+        let request = if is_write {
+            CoreRequest::Write
+        } else {
+            CoreRequest::Read
+        };
         let outcome = self.protocol.access(&mut self.dir, line, tile, request);
 
         // Invalidate or downgrade remote holders; their replies are on the
@@ -410,7 +435,11 @@ impl CmpSystem {
     ) -> Cycle {
         let hops = self.hops(bank, holder);
         self.counts.noc_flit_hops += u64::from(hops) * self.ctrl_flits * 2;
-        let mut latency = self.cfg.link.message_latency(hops, self.cfg.link.control_bytes) * 2;
+        let mut latency = self
+            .cfg
+            .link
+            .message_latency(hops, self.cfg.link.control_bytes)
+            * 2;
 
         self.tiles[holder].dl1.invalidate(line);
         if let Some(victim) = self.tiles[holder].l2.invalidate(line) {
@@ -440,10 +469,19 @@ impl CmpSystem {
 
     /// Downgrades the owner of `line` to Shared, writing its dirty data back
     /// into the home L3 bank; returns the round-trip latency.
-    fn downgrade_private_copy(&mut self, owner: usize, bank: usize, line: LineAddr, now: Cycle) -> Cycle {
+    fn downgrade_private_copy(
+        &mut self,
+        owner: usize,
+        bank: usize,
+        line: LineAddr,
+        now: Cycle,
+    ) -> Cycle {
         let hops = self.hops(bank, owner);
         self.counts.noc_flit_hops += u64::from(hops) * (self.ctrl_flits + self.data_flits);
-        let latency = self.cfg.link.message_latency(hops, self.cfg.link.control_bytes)
+        let latency = self
+            .cfg
+            .link
+            .message_latency(hops, self.cfg.link.control_bytes)
             + self.cfg.link.message_latency(hops, self.line_size);
 
         let was_dirty = self.tiles[owner]
@@ -464,7 +502,12 @@ impl CmpSystem {
 
     /// Handles the eviction of a (valid) line from a private L2: maintain
     /// DL1 inclusion and write dirty data back to the home L3 bank.
-    fn handle_l2_eviction(&mut self, tile: usize, evicted: refrint_mem::cache::EvictedLine, now: Cycle) {
+    fn handle_l2_eviction(
+        &mut self,
+        tile: usize,
+        evicted: refrint_mem::cache::EvictedLine,
+        now: Cycle,
+    ) {
         let line = evicted.line.addr;
         let s = self.tiles[tile].l2_refresh.settle(
             line_kind(&evicted.line),
@@ -501,7 +544,12 @@ impl CmpSystem {
     /// Handles the eviction of a valid line from an L3 bank: settle its
     /// refresh history, invalidate every private copy (inclusivity) and write
     /// dirty data to DRAM.
-    fn handle_l3_eviction(&mut self, bank: usize, evicted: refrint_mem::cache::EvictedLine, now: Cycle) {
+    fn handle_l3_eviction(
+        &mut self,
+        bank: usize,
+        evicted: refrint_mem::cache::EvictedLine,
+        now: Cycle,
+    ) {
         let line = evicted.line.addr;
         let s = self.l3[bank].refresh.settle(
             line_kind(&evicted.line),
@@ -548,8 +596,10 @@ impl CmpSystem {
         let Some(removed) = self.l3[bank].cache.invalidate(line) else {
             return;
         };
-        debug_assert!(!removed.is_dirty() || self.l3[bank].refresh.schedule().is_none(),
-            "the WB/Dirty policies only invalidate clean lines");
+        debug_assert!(
+            !removed.is_dirty() || self.l3[bank].refresh.model().is_none(),
+            "the WB/Dirty policies only invalidate clean lines"
+        );
         let (holders, _had_owner, _msgs) = self.protocol.invalidate_all(&mut self.dir, line);
         for holder in holders {
             let hops = self.hops(bank, holder);
@@ -593,11 +643,7 @@ impl CmpSystem {
 
     /// Processes every pending invalidation whose time has come.
     fn drain_invalidations(&mut self, now: Cycle) {
-        while self
-            .invalidations
-            .peek_time()
-            .map_or(false, |t| t <= now)
-        {
+        while self.invalidations.peek_time().is_some_and(|t| t <= now) {
             let ev = self.invalidations.pop().expect("peeked event exists");
             let PendingInvalidation { bank, line, touch } = ev.event;
             let Some(current) = self.l3[bank].cache.line(line).copied() else {
@@ -636,7 +682,9 @@ impl CmpSystem {
         for bank in 0..self.l3.len() {
             let lines: Vec<_> = self.l3[bank].cache.iter_valid().copied().collect();
             for l in lines {
-                let s = self.l3[bank].refresh.settle(line_kind(&l), l.meta.last_touch, end);
+                let s = self.l3[bank]
+                    .refresh
+                    .settle(line_kind(&l), l.meta.last_touch, end);
                 self.counts.l3_refreshes += s.refreshes;
                 if s.writeback_at.is_some() {
                     self.counts.dram_writes += 1;
@@ -703,8 +751,18 @@ impl CmpSystem {
         for (k, v) in self.dram.stats().iter() {
             out.add(&format!("dram.{k}"), v);
         }
-        if self.cfg.policy.time == TimePolicy::Refrint {
-            out.add("refresh.refrint_domains", (self.tiles.len() * 2 + self.l3.len()) as u64);
+        // Count the domains actually running sentry-interrupt (Refrint-style)
+        // refresh, consulting the bound models rather than the descriptor so
+        // custom L3 policy models are reported correctly.
+        let sentry = |d: &RefreshDomain| u64::from(d.is_edram() && !d.is_globally_bursting());
+        let sentry_domains = self
+            .tiles
+            .iter()
+            .map(|t| sentry(&t.dl1_refresh) + sentry(&t.l2_refresh))
+            .sum::<u64>()
+            + self.l3.iter().map(|b| sentry(&b.refresh)).sum::<u64>();
+        if sentry_domains > 0 {
+            out.add("refresh.refrint_domains", sentry_domains);
         }
         out
     }
@@ -713,7 +771,7 @@ impl CmpSystem {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use refrint_edram::policy::{DataPolicy, RefreshPolicy};
+    use refrint_edram::policy::{DataPolicy, RefreshPolicy, TimePolicy};
     use refrint_edram::retention::RetentionConfig;
     use refrint_energy::tech::CellTech;
 
@@ -744,7 +802,10 @@ mod tests {
     #[test]
     fn edram_refreshes_and_uses_less_leakage_than_sram() {
         let sram = small(CellTech::Sram, RefreshPolicy::recommended());
-        let edram = small(CellTech::Edram, RefreshPolicy::new(TimePolicy::Refrint, DataPolicy::Valid));
+        let edram = small(
+            CellTech::Edram,
+            RefreshPolicy::new(TimePolicy::Refrint, DataPolicy::Valid),
+        );
         assert!(edram.counts.total_refreshes() > 0);
         // Same workload, so dynamic energy is very similar; leakage shrinks.
         assert!(edram.breakdown.on_chip_leakage() < sram.breakdown.on_chip_leakage());

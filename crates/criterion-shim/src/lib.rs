@@ -1,0 +1,189 @@
+//! Offline stand-in for the Criterion benchmark harness.
+//!
+//! This workspace builds in environments without network access to
+//! crates.io, so the real `criterion` crate cannot be fetched. The bench
+//! targets only use a small, stable subset of its API
+//! (`criterion_group!`/`criterion_main!`, [`Criterion::benchmark_group`],
+//! `sample_size`, `bench_function`, `finish`), which this crate reimplements
+//! with plain `std::time::Instant` timing: each benchmark runs a short
+//! calibration pass, then a fixed number of timed samples, and the median
+//! per-iteration time is printed. Swap this path dependency for the real
+//! `criterion` to get statistics, plots and regression detection.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's historical name.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// The top-level benchmark driver handed to every `criterion_group!` target.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            _parent: self,
+            samples: 10,
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(name, 10, f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    samples: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.samples = samples.max(2);
+        self
+    }
+
+    /// Times one benchmark function.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(name, self.samples, f);
+        self
+    }
+
+    /// Ends the group (printing nothing extra; provided for API parity).
+    pub fn finish(&mut self) {}
+}
+
+fn run_benchmark<F>(name: &str, samples: usize, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    // Calibration: grow the iteration count until one sample takes ~5 ms, so
+    // per-iteration timings are not dominated by clock resolution.
+    loop {
+        bencher.elapsed = Duration::ZERO;
+        f(&mut bencher);
+        if bencher.elapsed >= Duration::from_millis(5) || bencher.iters >= 1 << 20 {
+            break;
+        }
+        bencher.iters *= 4;
+    }
+    let mut per_iter: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        bencher.elapsed = Duration::ZERO;
+        f(&mut bencher);
+        per_iter.push(bencher.elapsed.as_secs_f64() / bencher.iters as f64);
+    }
+    per_iter.sort_by(f64::total_cmp);
+    let median = per_iter[per_iter.len() / 2];
+    println!(
+        "  {name}: {} per iter ({samples} samples)",
+        format_seconds(median)
+    );
+}
+
+fn format_seconds(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} us", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Per-benchmark timing handle: call [`Bencher::iter`] with the body to time.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `body`, running it a calibrated number of iterations.
+    pub fn iter<R, F>(&mut self, mut body: F)
+    where
+        F: FnMut() -> R,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(body());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Declares a benchmark group: `criterion_group!(benches, target_a, target_b)`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_body() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(2);
+        let mut runs = 0u64;
+        group.bench_function("noop", |b| {
+            b.iter(|| {
+                runs += 1;
+                black_box(runs)
+            });
+        });
+        group.finish();
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn formatting_covers_magnitudes() {
+        assert!(format_seconds(2.0).ends_with(" s"));
+        assert!(format_seconds(2e-3).ends_with("ms"));
+        assert!(format_seconds(2e-6).ends_with("us"));
+        assert!(format_seconds(2e-9).ends_with("ns"));
+    }
+}

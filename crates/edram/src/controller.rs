@@ -37,7 +37,10 @@ impl PeriodicBurstModel {
     #[must_use]
     pub fn new(retention: Cycle, groups: u64, lines_per_group: u64) -> Self {
         assert!(retention > Cycle::ZERO, "retention must be non-zero");
-        assert!(groups > 0 && lines_per_group > 0, "groups and lines must be non-zero");
+        assert!(
+            groups > 0 && lines_per_group > 0,
+            "groups and lines must be non-zero"
+        );
         assert!(
             groups * lines_per_group <= retention.raw(),
             "refresh work per period ({} cycles) exceeds the period ({})",
@@ -127,7 +130,8 @@ impl PeriodicBurstModel {
         line_group: u64,
         preemption_window: Cycle,
     ) -> Cycle {
-        self.access_delay_for_line(now, line_group).min(preemption_window)
+        self.access_delay_for_line(now, line_group)
+            .min(preemption_window)
     }
 
     /// Total number of line refreshes performed by the periodic engine over

@@ -22,6 +22,19 @@ pub enum EdramError {
         /// Description of the violated constraint.
         reason: String,
     },
+    /// A policy label matched neither a registered custom policy nor the
+    /// built-in descriptor grammar.
+    UnknownPolicy {
+        /// The offending label.
+        label: String,
+        /// Every label the registry would have accepted.
+        valid: Vec<String>,
+    },
+    /// A custom policy was registered under a label that is already taken.
+    DuplicatePolicy {
+        /// The conflicting label.
+        label: String,
+    },
 }
 
 impl fmt::Display for EdramError {
@@ -35,6 +48,20 @@ impl fmt::Display for EdramError {
             }
             EdramError::InvalidSentryConfig { reason } => {
                 write!(f, "invalid sentry-bit configuration: {reason}")
+            }
+            EdramError::UnknownPolicy { label, valid } => {
+                write!(
+                    f,
+                    "unknown refresh policy `{label}`; valid labels are \
+                     `P|R.all|valid|dirty|WB(n,m)` — e.g. {}",
+                    valid.join(", ")
+                )
+            }
+            EdramError::DuplicatePolicy { label } => {
+                write!(
+                    f,
+                    "a refresh policy labelled `{label}` is already registered"
+                )
             }
         }
     }
@@ -51,9 +78,11 @@ mod tests {
         assert!(EdramError::InvalidRetention { reason: "x".into() }
             .to_string()
             .contains("retention"));
-        assert!(EdramError::InvalidPolicy { label: "Z.9".into() }
-            .to_string()
-            .contains("Z.9"));
+        assert!(EdramError::InvalidPolicy {
+            label: "Z.9".into()
+        }
+        .to_string()
+        .contains("Z.9"));
         assert!(EdramError::InvalidSentryConfig { reason: "y".into() }
             .to_string()
             .contains("sentry"));

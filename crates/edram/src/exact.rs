@@ -94,11 +94,7 @@ pub fn settle_exact(
 /// a whole cache of `lines` lines over `window` cycles — used to sanity-check
 /// the analytic count in [`crate::controller::PeriodicBurstModel`].
 #[must_use]
-pub fn periodic_whole_cache_refreshes(
-    retention: Cycle,
-    lines: u64,
-    window: Cycle,
-) -> u64 {
+pub fn periodic_whole_cache_refreshes(retention: Cycle, lines: u64, window: Cycle) -> u64 {
     if retention == Cycle::ZERO {
         return 0;
     }
@@ -174,12 +170,21 @@ mod tests {
 
     #[test]
     fn is_refrint_helper() {
-        assert!(is_refrint(&schedule(TimePolicy::Refrint, DataPolicy::Valid)));
-        assert!(!is_refrint(&schedule(TimePolicy::Periodic, DataPolicy::Valid)));
+        assert!(is_refrint(&schedule(
+            TimePolicy::Refrint,
+            DataPolicy::Valid
+        )));
+        assert!(!is_refrint(&schedule(
+            TimePolicy::Periodic,
+            DataPolicy::Valid
+        )));
     }
 
     #[test]
     fn zero_retention_helper_is_zero() {
-        assert_eq!(periodic_whole_cache_refreshes(Cycle::ZERO, 100, Cycle::new(100)), 0);
+        assert_eq!(
+            periodic_whole_cache_refreshes(Cycle::ZERO, 100, Cycle::new(100)),
+            0
+        );
     }
 }

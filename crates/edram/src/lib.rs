@@ -24,6 +24,9 @@
 //!
 //! * [`retention`] — retention periods, temperature scaling, sentry margins.
 //! * [`policy`] — the time/data policy types, parsing and the 42-point sweep.
+//! * [`model`] — the open [`RefreshPolicyModel`] trait behind all policies,
+//!   plus [`PolicyFactory`] and the label [`PolicyRegistry`] through which
+//!   custom user policies plug into the simulator and the sweep runner.
 //! * [`schedule`] — the *lazy decay-schedule algebra*: everything that
 //!   happens to an untouched line between two touches is deterministic, so
 //!   refresh counts, write-back times and invalidation times are computed in
@@ -59,6 +62,7 @@
 pub mod controller;
 pub mod error;
 pub mod exact;
+pub mod model;
 pub mod policy;
 pub mod retention;
 pub mod schedule;
@@ -66,6 +70,7 @@ pub mod sentry;
 
 pub use controller::{PeriodicBurstModel, RefrintContention};
 pub use error::EdramError;
+pub use model::{PolicyBinding, PolicyFactory, PolicyRegistry, RefreshAction, RefreshPolicyModel};
 pub use policy::{DataPolicy, RefreshPolicy, TimePolicy};
 pub use retention::RetentionConfig;
 pub use schedule::{DecaySchedule, LineKind, Settlement};

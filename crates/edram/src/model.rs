@@ -1,0 +1,714 @@
+//! Pluggable refresh-policy models.
+//!
+//! The enum-based [`RefreshPolicy`] descriptor covers the paper's sweep
+//! (Table 5.4), but users exploring new refresh hypotheses should not have to
+//! fork `policy.rs` / `schedule.rs` / the system simulator. This module opens
+//! the policy surface along the two axes of Table 3.1:
+//!
+//! * [`RefreshPolicyModel`] — a live policy bound to one cache: it decides
+//!   **when refresh opportunities occur** ([`RefreshPolicyModel::opportunity`])
+//!   and **what happens to a line at each opportunity**
+//!   ([`RefreshPolicyModel::action`]). Everything else — settlement over an
+//!   idle interval, invalidation prediction — has correct default
+//!   implementations that replay opportunities one at a time, mirroring the
+//!   paper's Figure 4.1 state machine. Built-in policies override
+//!   [`RefreshPolicyModel::settle`] with the O(1) lazy algebra of
+//!   [`DecaySchedule`].
+//! * [`PolicyFactory`] — a recipe that builds a model once the per-cache
+//!   parameters ([`PolicyBinding`]: retention period, sentry margin, phase
+//!   offset, line count) are known. [`RefreshPolicy`] itself is a factory, so
+//!   every descriptor label resolves to a model.
+//! * [`PolicyRegistry`] — maps labels to factories so front ends (CLI,
+//!   sweeps) can resolve user-supplied labels to either a built-in descriptor
+//!   or a registered custom policy, with an error that lists the valid
+//!   labels on mismatch.
+//!
+//! # Writing a custom policy
+//!
+//! ```
+//! use std::sync::Arc;
+//! use refrint_edram::model::{
+//!     PolicyBinding, PolicyFactory, RefreshAction, RefreshPolicyModel,
+//! };
+//! use refrint_edram::schedule::LineKind;
+//! use refrint_engine::time::Cycle;
+//!
+//! /// Refresh every valid line, but give up after a fixed number of idle
+//! /// opportunities regardless of dirtiness ("lease" refresh).
+//! #[derive(Debug)]
+//! struct Lease {
+//!     period: Cycle,
+//!     budget: u64,
+//! }
+//!
+//! impl RefreshPolicyModel for Lease {
+//!     fn label(&self) -> String {
+//!         format!("lease({})", self.budget)
+//!     }
+//!     fn opportunity(&self, touch: Cycle, k: u64) -> Cycle {
+//!         touch + self.period * k
+//!     }
+//!     fn opportunity_period(&self) -> Cycle {
+//!         self.period
+//!     }
+//!     fn action(&self, kind: LineKind, refreshes_so_far: u64) -> RefreshAction {
+//!         match kind {
+//!             LineKind::Invalid => RefreshAction::Skip,
+//!             _ if refreshes_so_far < self.budget => RefreshAction::Refresh,
+//!             LineKind::Dirty => RefreshAction::WriteBack,
+//!             LineKind::Clean => RefreshAction::Invalidate,
+//!         }
+//!     }
+//! }
+//!
+//! #[derive(Debug)]
+//! struct LeaseFactory;
+//!
+//! impl PolicyFactory for LeaseFactory {
+//!     fn label(&self) -> String {
+//!         "lease(8)".into()
+//!     }
+//!     fn build(&self, binding: &PolicyBinding) -> Arc<dyn RefreshPolicyModel> {
+//!         Arc::new(Lease { period: binding.sentry_period(), budget: 8 })
+//!     }
+//! }
+//!
+//! let binding = PolicyBinding::new(Cycle::new(50_000), Cycle::new(1_000), Cycle::ZERO, 1024);
+//! let model = LeaseFactory.build(&binding);
+//! let s = model.settle(LineKind::Dirty, Cycle::ZERO, Cycle::new(10_000_000));
+//! // 8 refreshes while dirty, a write-back, 8 more while clean, then decay.
+//! assert_eq!(s.refreshes, 16);
+//! assert!(s.writeback_at.is_some());
+//! assert!(s.invalidated_at.is_some());
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+use refrint_engine::time::Cycle;
+
+use crate::error::EdramError;
+use crate::policy::{RefreshPolicy, TimePolicy};
+use crate::schedule::{DecaySchedule, LineKind, Settlement};
+
+/// What a refresh policy does with a line at one refresh opportunity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RefreshAction {
+    /// Recharge the line; it survives to the next opportunity.
+    Refresh,
+    /// Write a dirty line back to the next level; it becomes valid-clean and
+    /// its consecutive-refresh count restarts. On a clean or invalid line
+    /// this degenerates to [`RefreshAction::Refresh`].
+    WriteBack,
+    /// Drop the line (only meaningful for valid-clean lines; the simulator
+    /// never lets a policy silently discard dirty data).
+    Invalidate,
+    /// Do nothing. An invalid line stays invalid; a valid line that is not
+    /// recharged loses its contents, so `Skip` on a valid line is recorded
+    /// as an invalidation at that opportunity.
+    Skip,
+}
+
+/// Replay safety valve: a policy that never invalidates an idle line is
+/// detected after this many opportunities rather than looping forever.
+const REPLAY_CAP: u64 = 10_000_000;
+
+/// Cap for [`RefreshPolicyModel::invalidation_time`]'s default replay: if a
+/// line survives this many consecutive idle opportunities the policy is
+/// treated as never-invalidating.
+const INVALIDATION_SCAN_CAP: u64 = 65_536;
+
+/// A refresh policy bound to one cache: the time axis (when opportunities
+/// occur) and the data axis (what happens at an opportunity) of the paper's
+/// Table 3.1, as an open trait.
+///
+/// Implementors supply [`RefreshPolicyModel::opportunity`],
+/// [`RefreshPolicyModel::opportunity_period`] and
+/// [`RefreshPolicyModel::action`]; the settlement machinery has correct
+/// (replay-based) defaults. Models must be `Send + Sync`: the parallel sweep
+/// runner shares factories and models across worker threads.
+pub trait RefreshPolicyModel: fmt::Debug + Send + Sync {
+    /// Label identifying the policy in reports, figures and sweep keys.
+    fn label(&self) -> String;
+
+    /// The `k`-th (1-based) refresh opportunity strictly after a touch at
+    /// `touch`.
+    ///
+    /// Opportunities must be strictly increasing in `k`; per-line timing
+    /// (Refrint sentries) makes them relative to the touch, global timing
+    /// (Periodic boundaries) ignores it.
+    fn opportunity(&self, touch: Cycle, k: u64) -> Cycle;
+
+    /// The interval between successive opportunities for an idle line; used
+    /// for interrupt-contention modelling and bulk refresh accounting.
+    fn opportunity_period(&self) -> Cycle;
+
+    /// The action applied to a line of kind `kind` that has already received
+    /// `refreshes_so_far` consecutive refreshes since it was last touched or
+    /// changed kind (the per-line `Count` register of Figure 4.1; a
+    /// write-back resets it).
+    fn action(&self, kind: LineKind, refreshes_so_far: u64) -> RefreshAction;
+
+    /// Number of refresh opportunities in the half-open interval
+    /// `(touch, until]`.
+    fn opportunities_between(&self, touch: Cycle, until: Cycle) -> u64 {
+        if until <= touch {
+            return 0;
+        }
+        let first = self.opportunity(touch, 1);
+        if first > until {
+            return 0;
+        }
+        let period = self.opportunity_period();
+        if period == Cycle::ZERO {
+            return 1;
+        }
+        1 + (until - first).div_span(period)
+    }
+
+    /// Settles a line of kind `kind`, last touched at `touch`, over the
+    /// interval `(touch, until]`: how many refreshes it received, whether
+    /// and when it was written back, whether and when it was invalidated.
+    ///
+    /// The default implementation replays every opportunity through
+    /// [`RefreshPolicyModel::action`]; built-in policies override it with an
+    /// O(1) closed form.
+    fn settle(&self, kind: LineKind, touch: Cycle, until: Cycle) -> Settlement {
+        replay_settle(self, kind, touch, until)
+    }
+
+    /// The cycle at which an idle line of `kind` last touched at `touch`
+    /// will lose its valid data — or `None` if the policy keeps it alive
+    /// forever. Used by the simulator to schedule eager inclusive
+    /// invalidations.
+    ///
+    /// The default implementation replays opportunities until the line dies,
+    /// giving up (and returning `None`) after a large bounded scan.
+    fn invalidation_time(&self, kind: LineKind, touch: Cycle) -> Option<Cycle> {
+        if matches!(kind, LineKind::Invalid) {
+            return None;
+        }
+        let horizon = self.opportunity(touch, INVALIDATION_SCAN_CAP);
+        self.settle(kind, touch, horizon).invalidated_at
+    }
+
+    /// `Some(period)` if the policy refreshes the whole array in globally
+    /// scheduled group bursts (Periodic-style timing), in which case the
+    /// simulator applies the burst-blocking latency model. `None` for
+    /// per-line (Refrint-style) timing, which is modelled as interrupt
+    /// contention.
+    fn periodic_burst_period(&self) -> Option<Cycle> {
+        None
+    }
+
+    /// Whether opportunities are purely touch-relative, i.e.
+    /// `opportunity(t, k) == t + opportunity(0, k)` for **every** touch and
+    /// `k`. The simulator memoizes idle-line invalidation deltas for such
+    /// models, turning per-fill invalidation queries into O(1).
+    ///
+    /// The default probes a handful of sample points, which correctly
+    /// classifies sentry-style (touch-relative) and boundary-style (global)
+    /// timings; a model whose timing agrees at the samples but not
+    /// everywhere (e.g. alignment applied only beyond some `k`) must
+    /// override this to return `false`.
+    fn opportunities_are_touch_relative(&self) -> bool {
+        [1u64, 1_337, 1_000_003].iter().all(|&t| {
+            let touch = Cycle::new(t);
+            self.opportunity(touch, 1) == touch + self.opportunity(Cycle::ZERO, 1)
+                && self.opportunity(touch, 5) == touch + self.opportunity(Cycle::ZERO, 5)
+        })
+    }
+
+    /// Whether refresh energy for this policy is accounted in bulk for the
+    /// whole array (the naive `All` data policy refreshes every physical
+    /// line, so per-line settlement would be O(lines) per touch).
+    fn bulk_accounting(&self) -> bool {
+        false
+    }
+}
+
+/// The generic event-per-opportunity replay behind the trait's default
+/// [`RefreshPolicyModel::settle`]: walk each opportunity, apply the model's
+/// action, and track the line's kind and consecutive-refresh count exactly
+/// like the paper's Figure 4.1 state machine.
+pub fn replay_settle(
+    model: &(impl RefreshPolicyModel + ?Sized),
+    kind: LineKind,
+    touch: Cycle,
+    until: Cycle,
+) -> Settlement {
+    let mut refreshes = 0u64;
+    let mut writeback_at = None;
+    let mut invalidated_at = None;
+    let mut current = kind;
+    let mut consecutive = 0u64;
+
+    let mut k = 1u64;
+    loop {
+        let at = model.opportunity(touch, k);
+        if at > until || k > REPLAY_CAP {
+            break;
+        }
+        k += 1;
+        match model.action(current, consecutive) {
+            RefreshAction::Refresh => {
+                refreshes += 1;
+                consecutive += 1;
+            }
+            RefreshAction::WriteBack => match current {
+                LineKind::Dirty => {
+                    writeback_at = Some(at);
+                    current = LineKind::Clean;
+                    consecutive = 0;
+                }
+                // Degenerate on clean/invalid lines: behave as a refresh.
+                LineKind::Clean | LineKind::Invalid => {
+                    refreshes += 1;
+                    consecutive += 1;
+                }
+            },
+            RefreshAction::Invalidate | RefreshAction::Skip
+                if matches!(current, LineKind::Invalid) =>
+            {
+                // Nothing to do, and nothing will ever change for this line.
+                break;
+            }
+            RefreshAction::Invalidate | RefreshAction::Skip => {
+                // An un-refreshed valid line decays; dirty data is written
+                // back by the controller before the charge is lost.
+                if matches!(current, LineKind::Dirty) {
+                    writeback_at = Some(at);
+                }
+                invalidated_at = Some(at);
+                current = LineKind::Invalid;
+                consecutive = 0;
+            }
+        }
+    }
+
+    Settlement {
+        refreshes,
+        writeback_at,
+        invalidated_at,
+        final_kind: current,
+    }
+}
+
+impl RefreshPolicyModel for DecaySchedule {
+    fn label(&self) -> String {
+        self.policy().label()
+    }
+
+    fn opportunity(&self, touch: Cycle, k: u64) -> Cycle {
+        DecaySchedule::opportunity(self, touch, k)
+    }
+
+    fn opportunity_period(&self) -> Cycle {
+        DecaySchedule::opportunity_period(self)
+    }
+
+    fn action(&self, kind: LineKind, refreshes_so_far: u64) -> RefreshAction {
+        let data = self.policy().data;
+        match kind {
+            LineKind::Invalid => {
+                if data.refreshes_invalid_lines() {
+                    RefreshAction::Refresh
+                } else {
+                    RefreshAction::Skip
+                }
+            }
+            LineKind::Dirty => match data.dirty_budget() {
+                Some(n) if refreshes_so_far >= u64::from(n) => RefreshAction::WriteBack,
+                _ => RefreshAction::Refresh,
+            },
+            LineKind::Clean => match data.clean_budget() {
+                Some(m) if refreshes_so_far >= u64::from(m) => RefreshAction::Invalidate,
+                _ => RefreshAction::Refresh,
+            },
+        }
+    }
+
+    fn opportunities_between(&self, touch: Cycle, until: Cycle) -> u64 {
+        DecaySchedule::opportunities_between(self, touch, until)
+    }
+
+    // O(1) closed form instead of the replay.
+    fn settle(&self, kind: LineKind, touch: Cycle, until: Cycle) -> Settlement {
+        DecaySchedule::settle(self, kind, touch, until)
+    }
+
+    fn invalidation_time(&self, kind: LineKind, touch: Cycle) -> Option<Cycle> {
+        DecaySchedule::invalidation_time(self, kind, touch)
+    }
+
+    fn periodic_burst_period(&self) -> Option<Cycle> {
+        match self.policy().time {
+            TimePolicy::Periodic => Some(self.retention()),
+            TimePolicy::Refrint => None,
+        }
+    }
+
+    fn opportunities_are_touch_relative(&self) -> bool {
+        // Refrint sentries follow the touch; Periodic boundaries are global.
+        self.policy().time == TimePolicy::Refrint
+    }
+
+    fn bulk_accounting(&self) -> bool {
+        self.policy().data.refreshes_invalid_lines()
+    }
+}
+
+/// The per-cache parameters a [`PolicyFactory`] receives when its policy is
+/// instantiated for one physical cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PolicyBinding {
+    /// Line retention period, in cycles.
+    pub retention: Cycle,
+    /// How much earlier than the line the sentry bit decays (the paper's
+    /// conservative bound: one cycle per line in the cache).
+    pub sentry_margin: Cycle,
+    /// Phase offset for globally scheduled (Periodic-style) policies, used
+    /// to stagger bursts across banks.
+    pub phase_offset: Cycle,
+    /// Number of lines in the cache.
+    pub lines: u64,
+}
+
+impl PolicyBinding {
+    /// Creates a binding.
+    #[must_use]
+    pub const fn new(
+        retention: Cycle,
+        sentry_margin: Cycle,
+        phase_offset: Cycle,
+        lines: u64,
+    ) -> Self {
+        PolicyBinding {
+            retention,
+            sentry_margin,
+            phase_offset,
+            lines,
+        }
+    }
+
+    /// The sentry period: the interval after a touch at which the line's
+    /// sentry bit decays (retention minus the safety margin).
+    #[must_use]
+    pub fn sentry_period(&self) -> Cycle {
+        self.retention.saturating_sub(self.sentry_margin)
+    }
+}
+
+/// A recipe for building a [`RefreshPolicyModel`] once the per-cache
+/// parameters are known. [`RefreshPolicy`] descriptors are factories, so the
+/// existing enum sweep points and custom user policies share one entry path
+/// into the simulator.
+pub trait PolicyFactory: fmt::Debug + Send + Sync {
+    /// Label identifying the policy this factory builds (shown in reports
+    /// and used as the sweep key).
+    fn label(&self) -> String;
+
+    /// Builds the model for one cache.
+    fn build(&self, binding: &PolicyBinding) -> Arc<dyn RefreshPolicyModel>;
+}
+
+impl PolicyFactory for RefreshPolicy {
+    fn label(&self) -> String {
+        RefreshPolicy::label(self)
+    }
+
+    fn build(&self, binding: &PolicyBinding) -> Arc<dyn RefreshPolicyModel> {
+        Arc::new(DecaySchedule::new(
+            *self,
+            binding.retention,
+            binding.sentry_margin,
+            binding.phase_offset,
+        ))
+    }
+}
+
+/// A label → factory map: resolves user-supplied policy labels to either a
+/// registered custom policy or a parsed built-in [`RefreshPolicy`]
+/// descriptor, and produces an error listing every valid label on mismatch.
+#[derive(Debug, Clone, Default)]
+pub struct PolicyRegistry {
+    custom: BTreeMap<String, Arc<dyn PolicyFactory>>,
+}
+
+impl PolicyRegistry {
+    /// An empty registry (built-in descriptor labels always resolve).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a custom policy factory under its own label.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EdramError::DuplicatePolicy`] if the label is already
+    /// registered or shadows a parseable built-in label.
+    pub fn register(&mut self, factory: Arc<dyn PolicyFactory>) -> Result<(), EdramError> {
+        let label = factory.label();
+        if self.custom.contains_key(&label) || label.parse::<RefreshPolicy>().is_ok() {
+            return Err(EdramError::DuplicatePolicy { label });
+        }
+        self.custom.insert(label, factory);
+        Ok(())
+    }
+
+    /// The labels of the registered custom policies, sorted.
+    #[must_use]
+    pub fn custom_labels(&self) -> Vec<String> {
+        self.custom.keys().cloned().collect()
+    }
+
+    /// Every label this registry can resolve: the 14 built-in sweep labels
+    /// (other `WB(n,m)` budgets parse too) plus the registered custom ones.
+    #[must_use]
+    pub fn valid_labels(&self) -> Vec<String> {
+        let mut labels: Vec<String> = RefreshPolicy::paper_sweep()
+            .iter()
+            .map(RefreshPolicy::label)
+            .collect();
+        labels.extend(self.custom_labels());
+        labels
+    }
+
+    /// Resolves a label to a policy factory: registered custom policies
+    /// first, then the built-in descriptor grammar
+    /// (`P|R . all|valid|dirty|WB(n,m)`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EdramError::UnknownPolicy`] (listing the valid labels) if
+    /// the label neither matches a custom policy nor parses.
+    pub fn resolve(&self, label: &str) -> Result<Arc<dyn PolicyFactory>, EdramError> {
+        if let Some(factory) = self.custom.get(label) {
+            return Ok(Arc::clone(factory));
+        }
+        match label.parse::<RefreshPolicy>() {
+            Ok(policy) => Ok(Arc::new(policy)),
+            Err(_) => Err(EdramError::UnknownPolicy {
+                label: label.to_owned(),
+                valid: self.valid_labels(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::DataPolicy;
+
+    fn schedule(time: TimePolicy, data: DataPolicy) -> DecaySchedule {
+        DecaySchedule::new(
+            RefreshPolicy::new(time, data),
+            Cycle::new(1_000),
+            Cycle::new(100),
+            Cycle::new(37),
+        )
+    }
+
+    /// A minimal custom model: refresh valid lines for `budget` opportunities
+    /// then drop them (write dirty data back first).
+    #[derive(Debug)]
+    struct Lease {
+        period: Cycle,
+        budget: u64,
+    }
+
+    impl RefreshPolicyModel for Lease {
+        fn label(&self) -> String {
+            format!("lease({})", self.budget)
+        }
+        fn opportunity(&self, touch: Cycle, k: u64) -> Cycle {
+            touch + self.period * k
+        }
+        fn opportunity_period(&self) -> Cycle {
+            self.period
+        }
+        fn action(&self, kind: LineKind, refreshes_so_far: u64) -> RefreshAction {
+            match kind {
+                LineKind::Invalid => RefreshAction::Skip,
+                _ if refreshes_so_far < self.budget => RefreshAction::Refresh,
+                LineKind::Dirty => RefreshAction::WriteBack,
+                LineKind::Clean => RefreshAction::Invalidate,
+            }
+        }
+    }
+
+    #[test]
+    fn generic_replay_matches_lazy_algebra_for_builtins() {
+        let horizons = [0u64, 1, 500, 871, 1000, 5_000, 12_345, 100_000];
+        let datas = [
+            DataPolicy::All,
+            DataPolicy::Valid,
+            DataPolicy::Dirty,
+            DataPolicy::write_back(0, 0),
+            DataPolicy::write_back(2, 3),
+            DataPolicy::write_back(32, 32),
+        ];
+        for time in TimePolicy::ALL {
+            for data in datas {
+                let s = schedule(time, data);
+                for kind in [LineKind::Dirty, LineKind::Clean, LineKind::Invalid] {
+                    for h in horizons {
+                        let touch = Cycle::new(123);
+                        let until = touch + Cycle::new(h);
+                        let fast = RefreshPolicyModel::settle(&s, kind, touch, until);
+                        let slow = replay_settle(&s, kind, touch, until);
+                        assert_eq!(fast, slow, "{time:?} {data:?} {kind:?} horizon {h}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn custom_model_lifecycle_via_default_settle() {
+        let lease = Lease {
+            period: Cycle::new(900),
+            budget: 2,
+        };
+        // Dirty line: refreshes at 900, 1800; write-back at 2700 (count
+        // resets); clean refreshes at 3600, 4500; invalidation at 5400.
+        let s = lease.settle(LineKind::Dirty, Cycle::ZERO, Cycle::new(1_000_000));
+        assert_eq!(s.refreshes, 4);
+        assert_eq!(s.writeback_at, Some(Cycle::new(2_700)));
+        assert_eq!(s.invalidated_at, Some(Cycle::new(5_400)));
+        assert_eq!(s.final_kind, LineKind::Invalid);
+        assert_eq!(
+            lease.invalidation_time(LineKind::Dirty, Cycle::ZERO),
+            Some(Cycle::new(5_400))
+        );
+        // Truncated interval: nothing has expired yet.
+        let early = lease.settle(LineKind::Dirty, Cycle::ZERO, Cycle::new(2_000));
+        assert_eq!(early.refreshes, 2);
+        assert_eq!(early.final_kind, LineKind::Dirty);
+        // Invalid lines are inert.
+        assert_eq!(
+            lease.settle(LineKind::Invalid, Cycle::ZERO, Cycle::new(1_000_000)),
+            Settlement::nothing(LineKind::Invalid)
+        );
+    }
+
+    #[test]
+    fn skip_on_a_valid_line_decays_it() {
+        /// A policy that never refreshes anything.
+        #[derive(Debug)]
+        struct NoRefresh;
+        impl RefreshPolicyModel for NoRefresh {
+            fn label(&self) -> String {
+                "none".into()
+            }
+            fn opportunity(&self, touch: Cycle, k: u64) -> Cycle {
+                touch + Cycle::new(100) * k
+            }
+            fn opportunity_period(&self) -> Cycle {
+                Cycle::new(100)
+            }
+            fn action(&self, _: LineKind, _: u64) -> RefreshAction {
+                RefreshAction::Skip
+            }
+        }
+        let s = NoRefresh.settle(LineKind::Dirty, Cycle::ZERO, Cycle::new(1_000));
+        assert_eq!(s.refreshes, 0);
+        // Dirty data is written back by the controller before decay.
+        assert_eq!(s.writeback_at, Some(Cycle::new(100)));
+        assert_eq!(s.invalidated_at, Some(Cycle::new(100)));
+        let s = NoRefresh.settle(LineKind::Clean, Cycle::ZERO, Cycle::new(1_000));
+        assert_eq!(s.writeback_at, None);
+        assert_eq!(s.invalidated_at, Some(Cycle::new(100)));
+    }
+
+    #[test]
+    fn decay_schedule_model_metadata() {
+        let periodic = schedule(TimePolicy::Periodic, DataPolicy::All);
+        assert_eq!(periodic.periodic_burst_period(), Some(Cycle::new(1_000)));
+        assert!(periodic.bulk_accounting());
+        assert_eq!(RefreshPolicyModel::label(&periodic), "P.all");
+
+        let refrint = schedule(TimePolicy::Refrint, DataPolicy::write_back(4, 4));
+        assert_eq!(refrint.periodic_burst_period(), None);
+        assert!(!refrint.bulk_accounting());
+        assert_eq!(RefreshPolicyModel::label(&refrint), "R.WB(4,4)");
+    }
+
+    #[test]
+    fn refresh_policy_is_a_factory() {
+        let binding = PolicyBinding::new(Cycle::new(1_000), Cycle::new(100), Cycle::ZERO, 64);
+        let model = RefreshPolicy::recommended().build(&binding);
+        assert_eq!(model.label(), "R.WB(32,32)");
+        assert_eq!(model.opportunity_period(), Cycle::new(900));
+        assert_eq!(binding.sentry_period(), Cycle::new(900));
+        let s = model.settle(LineKind::Clean, Cycle::ZERO, Cycle::new(10_000_000));
+        assert_eq!(s.refreshes, 32);
+    }
+
+    #[derive(Debug)]
+    struct LeaseFactory;
+    impl PolicyFactory for LeaseFactory {
+        fn label(&self) -> String {
+            "lease(2)".into()
+        }
+        fn build(&self, binding: &PolicyBinding) -> Arc<dyn RefreshPolicyModel> {
+            Arc::new(Lease {
+                period: binding.sentry_period(),
+                budget: 2,
+            })
+        }
+    }
+
+    #[test]
+    fn registry_resolves_custom_then_builtin() {
+        let mut registry = PolicyRegistry::new();
+        registry.register(Arc::new(LeaseFactory)).unwrap();
+        assert!(registry.resolve("lease(2)").is_ok());
+        assert_eq!(registry.resolve("R.WB(8,8)").unwrap().label(), "R.WB(8,8)");
+
+        let err = registry.resolve("R.sometimes").unwrap_err();
+        match err {
+            EdramError::UnknownPolicy {
+                ref label,
+                ref valid,
+            } => {
+                assert_eq!(label, "R.sometimes");
+                assert!(valid.iter().any(|l| l == "P.all"));
+                assert!(valid.iter().any(|l| l == "lease(2)"));
+            }
+            other => panic!("wrong error: {other:?}"),
+        }
+        let message = err.to_string();
+        assert!(message.contains("R.sometimes"));
+        assert!(message.contains("P.all"));
+        assert!(message.contains("lease(2)"));
+    }
+
+    #[test]
+    fn registry_rejects_duplicate_and_shadowing_labels() {
+        let mut registry = PolicyRegistry::new();
+        registry.register(Arc::new(LeaseFactory)).unwrap();
+        assert!(matches!(
+            registry.register(Arc::new(LeaseFactory)),
+            Err(EdramError::DuplicatePolicy { .. })
+        ));
+
+        #[derive(Debug)]
+        struct Shadow;
+        impl PolicyFactory for Shadow {
+            fn label(&self) -> String {
+                "P.all".into()
+            }
+            fn build(&self, binding: &PolicyBinding) -> Arc<dyn RefreshPolicyModel> {
+                RefreshPolicy::edram_baseline().build(binding)
+            }
+        }
+        assert!(matches!(
+            registry.register(Arc::new(Shadow)),
+            Err(EdramError::DuplicatePolicy { .. })
+        ));
+    }
+}

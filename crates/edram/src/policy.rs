@@ -321,7 +321,10 @@ mod tests {
     #[test]
     fn defaults_are_the_recommended_configuration() {
         assert_eq!(RefreshPolicy::default().time, TimePolicy::Refrint);
-        assert_eq!(RefreshPolicy::default().data, DataPolicy::write_back(32, 32));
+        assert_eq!(
+            RefreshPolicy::default().data,
+            DataPolicy::write_back(32, 32)
+        );
         assert_eq!(RefreshPolicy::default(), RefreshPolicy::recommended());
     }
 

@@ -31,15 +31,29 @@ impl RetentionConfig {
     pub fn new(retention: SimDuration, frequency: Freq) -> Result<Self, EdramError> {
         if frequency.cycles_in(retention) == Cycle::ZERO {
             return Err(EdramError::InvalidRetention {
-                reason: format!(
-                    "retention {retention} is shorter than one cycle at {frequency}"
-                ),
+                reason: format!("retention {retention} is shorter than one cycle at {frequency}"),
             });
         }
         Ok(RetentionConfig {
             retention,
             frequency,
         })
+    }
+
+    /// A retention time given in microseconds at the paper's 1 GHz clock —
+    /// the one mapping every front end (builder, CLI, sweep) shares.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EdramError::InvalidRetention`] if the period is shorter
+    /// than one cycle.
+    pub fn from_microseconds(us: u64) -> Result<Self, EdramError> {
+        match us {
+            50 => Ok(Self::microseconds_50()),
+            100 => Ok(Self::microseconds_100()),
+            200 => Ok(Self::microseconds_200()),
+            other => Self::new(SimDuration::from_micros(other), Freq::gigahertz(1)),
+        }
     }
 
     /// The paper's 50 µs point at 1 GHz.
@@ -149,7 +163,12 @@ impl Default for RetentionConfig {
 
 impl fmt::Display for RetentionConfig {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} us retention @ {}", self.retention.as_micros(), self.frequency)
+        write!(
+            f,
+            "{} us retention @ {}",
+            self.retention.as_micros(),
+            self.frequency
+        )
     }
 }
 
@@ -172,7 +191,10 @@ mod tests {
             Cycle::new(200_000)
         );
         assert_eq!(RetentionConfig::paper_sweep().len(), 3);
-        assert_eq!(RetentionConfig::default(), RetentionConfig::microseconds_50());
+        assert_eq!(
+            RetentionConfig::default(),
+            RetentionConfig::microseconds_50()
+        );
     }
 
     #[test]

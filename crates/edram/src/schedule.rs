@@ -204,7 +204,7 @@ impl DecaySchedule {
             Some(m) => {
                 let m = u64::from(m);
                 let refreshes = total.min(m);
-                if total >= m + 1 {
+                if total > m {
                     Settlement {
                         refreshes,
                         writeback_at: None,
@@ -253,7 +253,7 @@ impl DecaySchedule {
                     .map(u64::from)
                     .unwrap_or(u64::MAX);
                 let clean_refreshes = remaining.min(m);
-                if m != u64::MAX && remaining >= m + 1 {
+                if m != u64::MAX && remaining > m {
                     Settlement {
                         refreshes: dirty_refreshes + clean_refreshes,
                         writeback_at: Some(writeback_at),
@@ -284,7 +284,10 @@ impl DecaySchedule {
                 .data
                 .clean_budget()
                 .map(|m| self.opportunity(touch, u64::from(m) + 1)),
-            LineKind::Dirty => match (self.policy.data.dirty_budget(), self.policy.data.clean_budget()) {
+            LineKind::Dirty => match (
+                self.policy.data.dirty_budget(),
+                self.policy.data.clean_budget(),
+            ) {
                 (Some(n), Some(m)) => {
                     Some(self.opportunity(touch, u64::from(n) + 1 + u64::from(m) + 1))
                 }
@@ -336,7 +339,10 @@ mod tests {
         assert_eq!(s.opportunity(Cycle::new(999), 1), Cycle::new(1000));
         assert_eq!(s.opportunity(Cycle::new(1000), 1), Cycle::new(2000));
         assert_eq!(s.opportunity(Cycle::new(50), 2), Cycle::new(2000));
-        assert_eq!(s.opportunities_between(Cycle::new(999), Cycle::new(3000)), 3);
+        assert_eq!(
+            s.opportunities_between(Cycle::new(999), Cycle::new(3000)),
+            3
+        );
     }
 
     #[test]

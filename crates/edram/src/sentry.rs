@@ -93,8 +93,8 @@ mod tests {
     #[test]
     fn paper_group_sizes() {
         // L1: 512 lines -> group size 1, 512 encoder inputs.
-        let l1 = SentryGroupConfig::for_cache(512, SentryGroupConfig::PAPER_MAX_ENCODER_INPUTS)
-            .unwrap();
+        let l1 =
+            SentryGroupConfig::for_cache(512, SentryGroupConfig::PAPER_MAX_ENCODER_INPUTS).unwrap();
         assert_eq!(l1.group_size, 1);
         assert_eq!(l1.encoder_inputs(), 512);
         // L2: 4096 lines -> group size 4, 1024 inputs.

@@ -2,13 +2,11 @@
 
 use std::ops::{Add, AddAssign};
 
-use serde::{Deserialize, Serialize};
-
 /// Every countable event the energy model needs, accumulated over one run.
 ///
 /// Counts are chip-wide (summed over all 16 cores / banks). The breakdown
 /// module converts them to joules using [`crate::tech::TechnologyParams`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct EnergyCounts {
     /// Committed instructions across all cores.
     pub instructions: u64,

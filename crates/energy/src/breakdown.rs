@@ -1,7 +1,5 @@
 //! Converting event counts into joules, split the ways the paper reports.
 
-use serde::{Deserialize, Serialize};
-
 use crate::accounting::EnergyCounts;
 use crate::tech::{CellTech, TechnologyParams};
 
@@ -15,7 +13,7 @@ const NJ: f64 = 1e-9;
 /// * Figure 6.2 stacks **dynamic / leakage / refresh / DRAM** — see
 ///   [`EnergyBreakdown::by_component`].
 /// * Figure 6.3 adds cores and network — see [`EnergyBreakdown::total_system`].
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct EnergyBreakdown {
     /// L1 (instruction + data) dynamic energy.
     pub l1_dynamic: f64,
@@ -65,16 +63,18 @@ impl EnergyBreakdown {
         cores: usize,
         l3_banks: usize,
     ) -> Self {
-        let seconds = params.clock().duration_of(counts.cycles.into()).as_secs_f64();
+        let seconds = params
+            .clock()
+            .duration_of(counts.cycles.into())
+            .as_secs_f64();
         let cores_f = cores as f64;
         let banks_f = l3_banks as f64;
 
         let l1_dynamic = (counts.il1_accesses as f64 * params.il1.access_energy_nj
             + counts.dl1_accesses as f64 * params.dl1.access_energy_nj)
             * NJ;
-        let l1_leakage = (params.il1.leakage_w(cells) + params.dl1.leakage_w(cells))
-            * cores_f
-            * seconds;
+        let l1_leakage =
+            (params.il1.leakage_w(cells) + params.dl1.leakage_w(cells)) * cores_f * seconds;
         let l1_refresh = counts.l1_refreshes as f64
             * 0.5
             * (params.il1.refresh_energy_nj() + params.dl1.refresh_energy_nj())
@@ -312,7 +312,10 @@ mod tests {
         let l3_share = b.l3_total() / b.memory_total();
         assert!(l3_share > 0.45 && l3_share < 0.8, "L3 share {l3_share}");
         let l1_dynamic_share = b.l1_dynamic / b.l1_total();
-        assert!(l1_dynamic_share > 0.7, "L1 dynamic share {l1_dynamic_share}");
+        assert!(
+            l1_dynamic_share > 0.7,
+            "L1 dynamic share {l1_dynamic_share}"
+        );
     }
 
     #[test]

@@ -28,7 +28,10 @@ impl fmt::Display for EnergyError {
                 write!(f, "invalid energy parameter `{parameter}`: {value}")
             }
             EnergyError::InvalidBaseline { baseline } => {
-                write!(f, "cannot normalise against non-positive baseline {baseline}")
+                write!(
+                    f,
+                    "cannot normalise against non-positive baseline {baseline}"
+                )
             }
         }
     }

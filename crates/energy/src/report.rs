@@ -8,11 +8,9 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// One stacked bar of a figure: a label plus named components whose heights
 /// already are normalised fractions of the baseline.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StackedBar {
     /// The bar's label, e.g. `R.WB(32,32)`.
     pub label: String,
@@ -42,7 +40,7 @@ impl StackedBar {
 
 /// A normalised data series: a group label (e.g. `50 us`) plus one stacked
 /// bar per policy, in figure order.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct NormalizedSeries {
     /// The group label (in the paper, the retention time).
     pub group: String,
@@ -83,8 +81,7 @@ impl NormalizedSeries {
             .map(|(n, _)| n.as_str())
             .collect();
         for bar in &self.bars {
-            let bar_names: Vec<&str> =
-                bar.components.iter().map(|(n, _)| n.as_str()).collect();
+            let bar_names: Vec<&str> = bar.components.iter().map(|(n, _)| n.as_str()).collect();
             assert_eq!(bar_names, names, "bars must share component names");
         }
         out.push_str(&format!("group,policy,{},total\n", names.join(",")));
@@ -156,7 +153,10 @@ mod tests {
 
     #[test]
     fn bar_total_sums_components() {
-        let bar = StackedBar::new("R.valid", &[("Dynamic", 0.1), ("Leakage", 0.2), ("Refresh", 0.05)]);
+        let bar = StackedBar::new(
+            "R.valid",
+            &[("Dynamic", 0.1), ("Leakage", 0.2), ("Refresh", 0.05)],
+        );
         assert!((bar.total() - 0.35).abs() < 1e-12);
         assert_eq!(bar.label, "R.valid");
         assert_eq!(bar.components.len(), 3);
@@ -165,8 +165,14 @@ mod tests {
     #[test]
     fn csv_and_table_render_all_bars() {
         let mut series = NormalizedSeries::new("50 us");
-        series.push(StackedBar::new("P.all", &[("L1", 0.1), ("L2", 0.1), ("L3", 0.3), ("DRAM", 0.02)]));
-        series.push(StackedBar::new("R.WB(32,32)", &[("L1", 0.1), ("L2", 0.08), ("L3", 0.15), ("DRAM", 0.03)]));
+        series.push(StackedBar::new(
+            "P.all",
+            &[("L1", 0.1), ("L2", 0.1), ("L3", 0.3), ("DRAM", 0.02)],
+        ));
+        series.push(StackedBar::new(
+            "R.WB(32,32)",
+            &[("L1", 0.1), ("L2", 0.08), ("L3", 0.15), ("DRAM", 0.03)],
+        ));
         let csv = series.to_csv();
         assert!(csv.starts_with("group,policy,L1,L2,L3,DRAM,total"));
         assert_eq!(csv.lines().count(), 3);

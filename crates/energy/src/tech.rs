@@ -14,10 +14,9 @@
 use std::fmt;
 
 use refrint_engine::time::Freq;
-use serde::{Deserialize, Serialize};
 
 /// The memory cell technology a cache hierarchy is built from.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CellTech {
     /// Conventional 6T SRAM: no refresh, full leakage.
     Sram,
@@ -43,7 +42,7 @@ impl fmt::Display for CellTech {
 }
 
 /// Energy parameters of one cache structure (one L1, one L2, or one L3 bank).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CacheEnergyParams {
     /// Energy of one line access (read or write), in nanojoules.
     pub access_energy_nj: f64,
@@ -72,7 +71,7 @@ impl CacheEnergyParams {
 }
 
 /// The full technology parameter set used by the energy model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TechnologyParams {
     /// One private instruction L1 (32 KB).
     pub il1: CacheEnergyParams,
@@ -149,8 +148,7 @@ impl TechnologyParams {
     /// with `cores` tiles (each with IL1 + DL1 + L2) and `l3_banks` banks.
     #[must_use]
     pub fn total_sram_memory_leakage_w(&self, cores: usize, l3_banks: usize) -> f64 {
-        (self.il1.sram_leakage_w + self.dl1.sram_leakage_w + self.l2.sram_leakage_w)
-            * cores as f64
+        (self.il1.sram_leakage_w + self.dl1.sram_leakage_w + self.l2.sram_leakage_w) * cores as f64
             + self.l3_bank.sram_leakage_w * l3_banks as f64
     }
 }
@@ -169,7 +167,9 @@ mod tests {
     fn edram_leaks_a_quarter_of_sram() {
         let p = TechnologyParams::paper_default();
         for c in [p.il1, p.dl1, p.l2, p.l3_bank] {
-            assert!((c.leakage_w(CellTech::Edram) - 0.25 * c.leakage_w(CellTech::Sram)).abs() < 1e-12);
+            assert!(
+                (c.leakage_w(CellTech::Edram) - 0.25 * c.leakage_w(CellTech::Sram)).abs() < 1e-12
+            );
         }
     }
 
@@ -209,14 +209,17 @@ mod tests {
 
     #[test]
     fn default_matches_paper_default() {
-        assert_eq!(TechnologyParams::default(), TechnologyParams::paper_default());
+        assert_eq!(
+            TechnologyParams::default(),
+            TechnologyParams::paper_default()
+        );
     }
 
     #[test]
-    fn params_are_serializable() {
-        fn assert_serialize<T: serde::Serialize + serde::de::DeserializeOwned>() {}
-        assert_serialize::<TechnologyParams>();
-        assert_serialize::<CacheEnergyParams>();
-        assert_serialize::<CellTech>();
+    fn params_are_plain_copyable_values() {
+        fn assert_value<T: Copy + Send + Sync + 'static>() {}
+        assert_value::<TechnologyParams>();
+        assert_value::<CacheEnergyParams>();
+        assert_value::<CellTech>();
     }
 }

@@ -5,15 +5,15 @@
 //! the experiment configuration, so that runs are exactly reproducible and
 //! independent streams can be derived per thread / per component without
 //! correlation.
-
-use rand::rngs::SmallRng;
-use rand::{Rng, RngCore, SeedableRng};
+//!
+//! The generator is a self-contained xoshiro256++ (public-domain algorithm by
+//! Blackman & Vigna) whose 256-bit state is expanded from the 64-bit seed
+//! with SplitMix64, so the crate carries no external dependencies.
 
 /// A seedable, deterministic random-number generator.
 ///
-/// Wraps [`SmallRng`] and adds convenience helpers used throughout the
-/// workspace. Independent sub-streams are derived with [`DeterministicRng::fork`],
-/// which mixes a label into the seed so components do not share sequences.
+/// Independent sub-streams are derived with [`DeterministicRng::fork`], which
+/// mixes a label into the seed so components do not share sequences.
 ///
 /// # Example
 ///
@@ -25,18 +25,33 @@ use rand::{Rng, RngCore, SeedableRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct DeterministicRng {
-    inner: SmallRng,
+    state: [u64; 4],
     seed: u64,
+}
+
+/// SplitMix64 step: advances `x` and returns the next output.
+fn splitmix64(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl DeterministicRng {
     /// Creates a generator from a 64-bit seed.
     #[must_use]
     pub fn from_seed(seed: u64) -> Self {
-        DeterministicRng {
-            inner: SmallRng::seed_from_u64(seed),
-            seed,
+        let mut x = seed;
+        let mut state = [0u64; 4];
+        for s in &mut state {
+            *s = splitmix64(&mut x);
         }
+        // xoshiro256++ must not start from the all-zero state.
+        if state == [0; 4] {
+            state = [0x9E37_79B9_7F4A_7C15, 1, 2, 3];
+        }
+        DeterministicRng { state, seed }
     }
 
     /// The seed this generator was created with.
@@ -61,9 +76,19 @@ impl DeterministicRng {
         DeterministicRng::from_seed(z)
     }
 
-    /// The next `u64` from the stream.
+    /// The next `u64` from the stream (xoshiro256++ step).
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
+        let [s0, s1, s2, s3] = self.state;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s2 = s2 ^ s0;
+        let mut s3 = s3 ^ s1;
+        let s1 = s1 ^ s2;
+        let s0 = s0 ^ s3;
+        s2 ^= t;
+        s3 = s3.rotate_left(45);
+        self.state = [s0, s1, s2, s3];
+        result
     }
 
     /// A uniform value in `[0, bound)`.
@@ -73,7 +98,9 @@ impl DeterministicRng {
     /// Panics if `bound` is zero.
     pub fn below(&mut self, bound: u64) -> u64 {
         assert!(bound > 0, "bound must be non-zero");
-        self.inner.gen_range(0..bound)
+        // Lemire's multiply-shift reduction: deterministic, unbiased enough
+        // for simulation workloads, no division on the hot path.
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
     }
 
     /// A uniform value in `[lo, hi)`.
@@ -83,12 +110,13 @@ impl DeterministicRng {
     /// Panics if `lo >= hi`.
     pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo < hi, "empty range");
-        self.inner.gen_range(lo..hi)
+        lo + self.below(hi - lo)
     }
 
     /// A uniform float in `[0, 1)`.
     pub fn unit(&mut self) -> f64 {
-        self.inner.gen_range(0.0..1.0)
+        // 53 random mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// `true` with probability `p` (clamped to `[0, 1]`).
@@ -133,21 +161,6 @@ impl DeterministicRng {
     }
 }
 
-impl RngCore for DeterministicRng {
-    fn next_u32(&mut self) -> u32 {
-        self.inner.next_u32()
-    }
-    fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
-    }
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        self.inner.fill_bytes(dest);
-    }
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.inner.try_fill_bytes(dest)
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -171,6 +184,13 @@ mod tests {
     }
 
     #[test]
+    fn zero_seed_is_usable() {
+        let mut r = DeterministicRng::from_seed(0);
+        let values: Vec<u64> = (0..16).map(|_| r.next_u64()).collect();
+        assert!(values.iter().any(|&v| v != 0));
+    }
+
+    #[test]
     fn forked_streams_are_deterministic_and_distinct() {
         let root = DeterministicRng::from_seed(99);
         let mut f1a = root.fork(1);
@@ -189,6 +209,18 @@ mod tests {
             assert!((100..200).contains(&v));
             let u = r.unit();
             assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn below_is_roughly_uniform() {
+        let mut r = DeterministicRng::from_seed(12);
+        let mut counts = [0u32; 8];
+        for _ in 0..8000 {
+            counts[r.below(8) as usize] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!((700..1300).contains(&c), "bucket {i} count {c}");
         }
     }
 

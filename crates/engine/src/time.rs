@@ -356,9 +356,9 @@ impl Default for Freq {
 
 impl fmt::Display for Freq {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.hertz % 1_000_000_000 == 0 {
+        if self.hertz.is_multiple_of(1_000_000_000) {
             write!(f, "{} GHz", self.hertz / 1_000_000_000)
-        } else if self.hertz % 1_000_000 == 0 {
+        } else if self.hertz.is_multiple_of(1_000_000) {
             write!(f, "{} MHz", self.hertz / 1_000_000)
         } else {
             write!(f, "{} Hz", self.hertz)
@@ -399,7 +399,9 @@ mod tests {
 
     #[test]
     fn cycle_sum_and_conversions() {
-        let total: Cycle = [Cycle::new(1), Cycle::new(2), Cycle::new(3)].into_iter().sum();
+        let total: Cycle = [Cycle::new(1), Cycle::new(2), Cycle::new(3)]
+            .into_iter()
+            .sum();
         assert_eq!(total, Cycle::new(6));
         assert_eq!(u64::from(Cycle::new(9)), 9);
         assert_eq!(Cycle::from(9u64), Cycle::new(9));
@@ -420,7 +422,10 @@ mod tests {
     #[test]
     fn freq_conversions_at_1ghz() {
         let f = Freq::gigahertz(1);
-        assert_eq!(f.cycles_in(SimDuration::from_micros(50)), Cycle::new(50_000));
+        assert_eq!(
+            f.cycles_in(SimDuration::from_micros(50)),
+            Cycle::new(50_000)
+        );
         assert_eq!(f.cycles_in(SimDuration::from_nanos(40)), Cycle::new(40));
         assert_eq!(f.duration_of(Cycle::new(1_000)).as_nanos(), 1_000);
         assert_eq!(f.period().as_picos(), 1_000);

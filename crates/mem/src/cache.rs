@@ -145,9 +145,7 @@ impl Cache {
         let set = &mut self.sets[set_index as usize];
         let way = set.find(addr).expect("read_hit on a missing line");
         set.touch_way(way);
-        set.line_mut(way)
-            .expect("found way is occupied")
-            .read(now);
+        set.line_mut(way).expect("found way is occupied").read(now);
         self.stats.incr("reads");
     }
 
@@ -161,9 +159,7 @@ impl Cache {
         let set = &mut self.sets[set_index as usize];
         let way = set.find(addr).expect("write_hit on a missing line");
         set.touch_way(way);
-        set.line_mut(way)
-            .expect("found way is occupied")
-            .write(now);
+        set.line_mut(way).expect("found way is occupied").write(now);
         self.stats.incr("writes");
     }
 
@@ -311,7 +307,9 @@ mod tests {
         let mut c = small_cache();
         c.fill(LineAddr::new(0), MesiState::Modified, Cycle::ZERO);
         c.fill(LineAddr::new(8), MesiState::Shared, Cycle::ZERO);
-        let evicted = c.fill(LineAddr::new(16), MesiState::Shared, Cycle::ZERO).unwrap();
+        let evicted = c
+            .fill(LineAddr::new(16), MesiState::Shared, Cycle::ZERO)
+            .unwrap();
         assert!(evicted.needs_writeback());
         assert_eq!(c.stats().get("dirty_evictions"), 1);
     }

@@ -105,7 +105,7 @@ impl CacheGeometry {
             });
         }
         let way_bytes = u64::from(ways) * line_size;
-        if size_bytes % way_bytes != 0 {
+        if !size_bytes.is_multiple_of(way_bytes) {
             return Err(MemError::InvalidGeometry {
                 reason: format!(
                     "capacity {size_bytes} is not a multiple of ways*line = {way_bytes}"

@@ -240,8 +240,14 @@ mod tests {
     #[test]
     fn ways_accessor() {
         assert_eq!(ReplacementState::new(ReplacementKind::Lru, 4, 0).ways(), 4);
-        assert_eq!(ReplacementState::new(ReplacementKind::TreePlru, 8, 0).ways(), 8);
-        assert_eq!(ReplacementState::new(ReplacementKind::Random, 16, 0).ways(), 16);
+        assert_eq!(
+            ReplacementState::new(ReplacementKind::TreePlru, 8, 0).ways(),
+            8
+        );
+        assert_eq!(
+            ReplacementState::new(ReplacementKind::Random, 16, 0).ways(),
+            16
+        );
     }
 
     #[test]

@@ -45,9 +45,12 @@ mod tests {
         }
         .to_string()
         .contains("zero"));
-        assert!(NocError::NodeOutOfRange { index: 20, nodes: 16 }
-            .to_string()
-            .contains("20"));
+        assert!(NocError::NodeOutOfRange {
+            index: 20,
+            nodes: 16
+        }
+        .to_string()
+        .contains("20"));
     }
 
     #[test]

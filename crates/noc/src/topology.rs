@@ -215,7 +215,15 @@ mod tests {
         let corner = t.node(0, 0).unwrap();
         let n = t.neighbours(corner).unwrap();
         // -x wraps to (3,0) = node 3, +x is node 1, -y wraps to (0,3) = node 12, +y is node 4.
-        assert_eq!(n, [NodeId::new(3), NodeId::new(1), NodeId::new(12), NodeId::new(4)]);
+        assert_eq!(
+            n,
+            [
+                NodeId::new(3),
+                NodeId::new(1),
+                NodeId::new(12),
+                NodeId::new(4)
+            ]
+        );
     }
 
     #[test]

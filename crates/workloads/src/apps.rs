@@ -307,13 +307,22 @@ mod tests {
     fn class1_footprints_exceed_llc_class23_fit() {
         const LLC: u64 = 16 * 1024 * 1024;
         for app in AppPreset::in_class(AppClass::Class1) {
-            assert!(app.model().footprint_bytes() > LLC, "{app} should exceed the L3");
+            assert!(
+                app.model().footprint_bytes() > LLC,
+                "{app} should exceed the L3"
+            );
         }
         for app in AppPreset::in_class(AppClass::Class2) {
-            assert!(app.model().footprint_bytes() <= LLC, "{app} should fit in the L3");
+            assert!(
+                app.model().footprint_bytes() <= LLC,
+                "{app} should fit in the L3"
+            );
         }
         for app in AppPreset::in_class(AppClass::Class3) {
-            assert!(app.model().footprint_bytes() <= LLC, "{app} should fit in the L3");
+            assert!(
+                app.model().footprint_bytes() <= LLC,
+                "{app} should fit in the L3"
+            );
         }
     }
 

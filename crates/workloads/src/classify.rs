@@ -129,9 +129,11 @@ impl Default for ClassifierConfig {
 /// Measures `model` and assigns it a class.
 #[must_use]
 pub fn classify(model: &WorkloadModel, config: &ClassifierConfig) -> ClassificationReport {
-    let sample_model = model
-        .clone()
-        .with_refs_per_thread(config.sample_refs_per_thread.min(model.refs_per_thread.max(1)));
+    let sample_model = model.clone().with_refs_per_thread(
+        config
+            .sample_refs_per_thread
+            .min(model.refs_per_thread.max(1)),
+    );
 
     // line -> bitmask of threads that touched it.
     let mut line_threads: HashMap<u64, u64> = HashMap::new();
@@ -234,11 +236,7 @@ mod tests {
         };
         for app in AppPreset::ALL {
             let report = classify(&app.model(), &config);
-            assert_eq!(
-                report.class,
-                app.paper_class(),
-                "{app}: {report}"
-            );
+            assert_eq!(report.class, app.paper_class(), "{app}: {report}");
         }
     }
 

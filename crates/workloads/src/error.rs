@@ -43,9 +43,11 @@ mod tests {
         assert!(WorkloadError::InvalidModel { reason: "x".into() }
             .to_string()
             .contains("invalid"));
-        assert!(WorkloadError::UnknownApplication { name: "doom".into() }
-            .to_string()
-            .contains("doom"));
+        assert!(WorkloadError::UnknownApplication {
+            name: "doom".into()
+        }
+        .to_string()
+        .contains("doom"));
     }
 
     #[test]

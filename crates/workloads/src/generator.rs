@@ -86,7 +86,12 @@ impl ThreadStream {
     fn region_bounds(&self, region: Region) -> (u64, u64) {
         match region {
             Region::Shared => (0, self.model.shared_bytes),
-            Region::Hot => (self.private_base(), self.model.hot_bytes_per_thread.min(self.model.private_bytes_per_thread)),
+            Region::Hot => (
+                self.private_base(),
+                self.model
+                    .hot_bytes_per_thread
+                    .min(self.model.private_bytes_per_thread),
+            ),
             Region::PrivateCold => (self.private_base(), self.model.private_bytes_per_thread),
         }
     }
@@ -107,7 +112,10 @@ impl ThreadStream {
         let lines = (size / LINE).max(1);
         self.current_line = base / LINE + self.rng.below(lines);
         // Geometric run length around the configured mean, at least 1.
-        self.run_left = 1 + self.rng.geometric(1.0 / self.model.stride_run as f64, self.model.stride_run * 4);
+        self.run_left = 1 + self.rng.geometric(
+            1.0 / self.model.stride_run as f64,
+            self.model.stride_run * 4,
+        );
     }
 
     fn next_addr(&mut self) -> Addr {
@@ -133,9 +141,10 @@ impl Iterator for ThreadStream {
             return None;
         }
         self.emitted += 1;
-        let gap = self
-            .rng
-            .geometric(1.0 / self.model.mean_gap_cycles as f64, self.model.max_gap_cycles());
+        let gap = self.rng.geometric(
+            1.0 / self.model.mean_gap_cycles as f64,
+            self.model.max_gap_cycles(),
+        );
         let addr = self.next_addr();
         let kind = if self.rng.chance(self.model.write_fraction) {
             AccessKind::Write
@@ -207,7 +216,11 @@ mod tests {
         let limit = m.footprint_bytes();
         for t in 0..m.threads {
             for r in ThreadStream::new(&m, t, 3) {
-                assert!(r.addr.raw() < limit, "address {} beyond footprint {limit}", r.addr);
+                assert!(
+                    r.addr.raw() < limit,
+                    "address {} beyond footprint {limit}",
+                    r.addr
+                );
             }
         }
     }
@@ -217,10 +230,10 @@ mod tests {
         let m = model();
         let shared = m.shared_bytes;
         let mut seen: Vec<HashSet<u64>> = vec![HashSet::new(); m.threads];
-        for t in 0..m.threads {
+        for (t, thread_seen) in seen.iter_mut().enumerate() {
             for r in ThreadStream::new(&m, t, 3) {
                 if r.addr.raw() >= shared {
-                    seen[t].insert(r.addr.raw());
+                    thread_seen.insert(r.addr.raw());
                 }
             }
         }
@@ -246,9 +259,11 @@ mod tests {
         let refs: Vec<MemRef> = ThreadStream::new(&m, 2, 11).collect();
         let max = refs.iter().map(|r| r.gap_cycles).max().unwrap();
         assert!(max <= m.max_gap_cycles());
-        let mean: f64 =
-            refs.iter().map(|r| r.gap_cycles as f64).sum::<f64>() / refs.len() as f64;
-        assert!(mean > 0.5 && mean < m.mean_gap_cycles as f64 * 2.0, "mean gap {mean}");
+        let mean: f64 = refs.iter().map(|r| r.gap_cycles as f64).sum::<f64>() / refs.len() as f64;
+        assert!(
+            mean > 0.5 && mean < m.mean_gap_cycles as f64 * 2.0,
+            "mean gap {mean}"
+        );
     }
 
     #[test]
@@ -260,7 +275,11 @@ mod tests {
         let refs: Vec<MemRef> = ThreadStream::new(&m, 0, 5).collect();
         let distinct: HashSet<u64> = refs.iter().map(|r| r.addr.line(64).raw()).collect();
         // Footprint touched should be far smaller than the number of refs.
-        assert!(distinct.len() < refs.len() / 4, "{} distinct lines", distinct.len());
+        assert!(
+            distinct.len() < refs.len() / 4,
+            "{} distinct lines",
+            distinct.len()
+        );
     }
 
     #[test]

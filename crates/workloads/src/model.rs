@@ -57,7 +57,10 @@ impl WorkloadModel {
         if self.refs_per_thread == 0 {
             return fail("refs_per_thread must be non-zero".into());
         }
-        if self.private_bytes_per_thread < 64 || self.shared_bytes < 64 || self.hot_bytes_per_thread < 64 {
+        if self.private_bytes_per_thread < 64
+            || self.shared_bytes < 64
+            || self.hot_bytes_per_thread < 64
+        {
             return fail("regions must be at least one cache line".into());
         }
         for (name, p) in [

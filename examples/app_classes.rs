@@ -19,7 +19,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for app in AppPreset::ALL {
         let report = classify(&app.model(), &classifier);
         let agrees = report.class == app.paper_class();
-        println!("{report}{}", if agrees { "" } else { "  (differs from paper)" });
+        println!(
+            "{report}{}",
+            if agrees { "" } else { "  (differs from paper)" }
+        );
     }
     println!();
 
@@ -28,7 +31,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let representatives = [
         (AppPreset::Fft, "Class 1: large footprint, high visibility"),
         (AppPreset::Lu, "Class 2: small footprint, high visibility"),
-        (AppPreset::Blackscholes, "Class 3: small footprint, low visibility"),
+        (
+            AppPreset::Blackscholes,
+            "Class 3: small footprint, low visibility",
+        ),
     ];
     let scale = 15_000;
     let policies = [
@@ -39,21 +45,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     for (app, description) in representatives {
         println!("== {app} — {description} ==");
-        let mut sram = CmpSystem::new(SystemConfig::sram_baseline().with_scale(scale))?;
-        let baseline = sram.run_app(app);
+        let mut sram = Simulation::builder()
+            .sram_baseline()
+            .refs_per_thread(scale)
+            .build()?;
+        let baseline = sram.run(app);
         for policy in policies {
-            let config = SystemConfig::edram_recommended()
-                .with_policy(policy)
-                .with_scale(scale);
-            let mut system = CmpSystem::new(config)?;
-            let report = system.run_app(app);
+            let mut simulation = Simulation::builder()
+                .edram_recommended()
+                .policy(policy)
+                .refs_per_thread(scale)
+                .build()?;
+            let outcome = simulation.run(app);
+            let rel = outcome.vs(&baseline);
             println!(
                 "  {:<12} memory {:>5.2}x  time {:>5.2}x  refreshes {:>9}  dram {:>8}",
                 policy.label(),
-                report.memory_energy_vs(&baseline),
-                report.slowdown_vs(&baseline),
-                report.counts.total_refreshes(),
-                report.counts.dram_accesses()
+                rel.memory_energy,
+                rel.slowdown,
+                outcome.total_refreshes(),
+                outcome.dram_accesses()
             );
         }
         println!();

@@ -38,7 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!();
 
     // Compare the refresh policies the paper recommends for each class.
-    let mut sram = CmpSystem::new(SystemConfig::sram_baseline())?;
+    let mut sram = Simulation::builder().sram_baseline().build()?;
     let baseline = sram.run_model(&scan);
 
     let candidates = [
@@ -52,16 +52,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "policy", "memory", "time", "refreshes", "dram"
     );
     for policy in candidates {
-        let config = SystemConfig::edram_recommended().with_policy(policy);
-        let mut system = CmpSystem::new(config)?;
-        let report = system.run_model(&scan);
+        let mut simulation = Simulation::builder()
+            .edram_recommended()
+            .policy(policy)
+            .build()?;
+        let outcome = simulation.run_model(&scan);
+        let rel = outcome.vs(&baseline);
         println!(
             "{:<14} {:>9.2}x {:>9.2}x {:>12} {:>12}",
             policy.label(),
-            report.memory_energy_vs(&baseline),
-            report.slowdown_vs(&baseline),
-            report.counts.total_refreshes(),
-            report.counts.dram_accesses()
+            rel.memory_energy,
+            rel.slowdown,
+            outcome.total_refreshes(),
+            outcome.dram_accesses()
         );
     }
     println!();

@@ -24,13 +24,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .transpose()?
         .unwrap_or(20_000);
 
-    println!("policy sweep for `{app}` ({} per paper Table 6.1), {scale} refs/thread, 50 us retention",
-        app.paper_class());
+    println!(
+        "policy sweep for `{app}` ({} per paper Table 6.1), {scale} refs/thread, 50 us retention",
+        app.paper_class()
+    );
     println!();
 
     // Baseline: full SRAM.
-    let mut sram = CmpSystem::new(SystemConfig::sram_baseline().with_scale(scale))?;
-    let baseline = sram.run_app(app);
+    let mut sram = Simulation::builder()
+        .sram_baseline()
+        .refs_per_thread(scale)
+        .build()?;
+    let baseline = sram.run(app);
 
     println!(
         "{:<14} {:>10} {:>10} {:>10} {:>10} {:>12}",
@@ -42,25 +47,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         1.0,
         1.0,
         1.0,
-        baseline.counts.total_refreshes(),
-        baseline.counts.dram_accesses()
+        baseline.total_refreshes(),
+        baseline.dram_accesses()
     );
 
     for policy in RefreshPolicy::paper_sweep() {
-        let config = SystemConfig::edram_recommended()
-            .with_policy(policy)
-            .with_retention(RetentionConfig::microseconds_50())
-            .with_scale(scale);
-        let mut system = CmpSystem::new(config)?;
-        let report = system.run_app(app);
+        let mut simulation = Simulation::builder()
+            .edram_recommended()
+            .policy(policy)
+            .retention_us(50)
+            .refs_per_thread(scale)
+            .build()?;
+        let outcome = simulation.run(app);
+        let rel = outcome.vs(&baseline);
         println!(
             "{:<14} {:>9.2}x {:>9.2}x {:>9.2}x {:>10} {:>12}",
             policy.label(),
-            report.memory_energy_vs(&baseline),
-            report.system_energy_vs(&baseline),
-            report.slowdown_vs(&baseline),
-            report.counts.total_refreshes(),
-            report.counts.dram_accesses()
+            rel.memory_energy,
+            rel.system_energy,
+            rel.slowdown,
+            outcome.total_refreshes(),
+            outcome.dram_accesses()
         );
     }
 

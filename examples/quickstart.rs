@@ -1,6 +1,6 @@
-//! Quickstart: build the paper's 16-core chip, run one application on the
-//! full-SRAM baseline and on the recommended Refrint configuration, and
-//! compare energy and execution time.
+//! Quickstart: build the paper's 16-core chip with `Simulation::builder()`,
+//! run one application on the full-SRAM baseline and on the recommended
+//! Refrint configuration, and compare energy and execution time.
 //!
 //! Run with:
 //!
@@ -20,16 +20,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!();
 
     // 1. Full-SRAM baseline: no refresh, full leakage.
-    let mut sram = CmpSystem::new(SystemConfig::sram_baseline().with_scale(scale))?;
-    let sram_report = sram.run_app(AppPreset::Lu);
+    let mut sram = Simulation::builder()
+        .sram_baseline()
+        .refs_per_thread(scale)
+        .build()?;
+    let sram_outcome = sram.run(AppPreset::Lu);
 
     // 2. Naive full-eDRAM: Periodic All refresh at 50 us.
-    let mut naive = CmpSystem::new(SystemConfig::edram_baseline().with_scale(scale))?;
-    let naive_report = naive.run_app(AppPreset::Lu);
+    let mut naive = Simulation::builder()
+        .edram_baseline()
+        .refs_per_thread(scale)
+        .build()?;
+    let naive_outcome = naive.run(AppPreset::Lu);
 
     // 3. Refrint WB(32,32): the paper's recommended policy.
-    let mut refrint = CmpSystem::new(SystemConfig::edram_recommended().with_scale(scale))?;
-    let refrint_report = refrint.run_app(AppPreset::Lu);
+    let mut refrint = Simulation::builder()
+        .edram_recommended()
+        .refs_per_thread(scale)
+        .build()?;
+    let refrint_outcome = refrint.run(AppPreset::Lu);
 
     println!("workload: lu (Class 2), {scale} references per thread, 16 threads");
     println!();
@@ -37,24 +46,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "{:<24} {:>16} {:>16} {:>12}",
         "configuration", "memory energy", "system energy", "exec time"
     );
-    for (name, report) in [
-        ("full-SRAM (baseline)", &sram_report),
-        ("eDRAM Periodic All", &naive_report),
-        ("eDRAM Refrint WB(32,32)", &refrint_report),
+    for (name, outcome) in [
+        ("full-SRAM (baseline)", &sram_outcome),
+        ("eDRAM Periodic All", &naive_outcome),
+        ("eDRAM Refrint WB(32,32)", &refrint_outcome),
     ] {
+        let rel = outcome.vs(&sram_outcome);
         println!(
             "{:<24} {:>15.2}x {:>15.2}x {:>11.2}x",
-            name,
-            report.memory_energy_vs(&sram_report),
-            report.system_energy_vs(&sram_report),
-            report.slowdown_vs(&sram_report),
+            name, rel.memory_energy, rel.system_energy, rel.slowdown,
         );
     }
     println!();
     println!(
         "refreshes: naive eDRAM {} vs Refrint {}",
-        naive_report.counts.total_refreshes(),
-        refrint_report.counts.total_refreshes()
+        naive_outcome.total_refreshes(),
+        refrint_outcome.total_refreshes()
     );
     Ok(())
 }

@@ -11,6 +11,21 @@
 
 use refrint::prelude::*;
 
+fn run_point(
+    app: AppPreset,
+    policy: RefreshPolicy,
+    retention_us: u64,
+    scale: u64,
+) -> Result<RunOutcome, BuildError> {
+    let mut simulation = Simulation::builder()
+        .edram_recommended()
+        .policy(policy)
+        .retention_us(retention_us)
+        .refs_per_thread(scale)
+        .build()?;
+    Ok(simulation.run(app))
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let app: AppPreset = std::env::args()
         .nth(1)
@@ -19,8 +34,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .unwrap_or(AppPreset::Cholesky);
     let scale = 20_000;
 
-    let mut sram = CmpSystem::new(SystemConfig::sram_baseline().with_scale(scale))?;
-    let baseline = sram.run_app(app);
+    let mut sram = Simulation::builder()
+        .sram_baseline()
+        .refs_per_thread(scale)
+        .build()?;
+    let baseline = sram.run(app);
 
     println!(
         "refresh trade-off for `{app}` ({}), relative to full SRAM",
@@ -32,49 +50,35 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "retention", "policy", "memory", "time", "refreshes", "dram"
     );
 
-    let retentions = [
-        (50u64, RetentionConfig::microseconds_50()),
-        (100, RetentionConfig::microseconds_100()),
-        (200, RetentionConfig::microseconds_200()),
-    ];
     let budgets = [0u32, 4, 16, 32];
-
-    for (us, retention) in retentions {
+    for us in [50u64, 100, 200] {
         for &budget in &budgets {
             let policy =
                 RefreshPolicy::new(TimePolicy::Refrint, DataPolicy::write_back(budget, budget));
-            let config = SystemConfig::edram_recommended()
-                .with_policy(policy)
-                .with_retention(retention)
-                .with_scale(scale);
-            let mut system = CmpSystem::new(config)?;
-            let report = system.run_app(app);
+            let outcome = run_point(app, policy, us, scale)?;
+            let rel = outcome.vs(&baseline);
             println!(
                 "{:<10} {:<12} {:>9.2}x {:>9.2}x {:>12} {:>10}",
                 format!("{us} us"),
                 policy.label(),
-                report.memory_energy_vs(&baseline),
-                report.slowdown_vs(&baseline),
-                report.counts.total_refreshes(),
-                report.counts.dram_accesses()
+                rel.memory_energy,
+                rel.slowdown,
+                outcome.total_refreshes(),
+                outcome.dram_accesses()
             );
         }
         // The Valid policy is the "never discard" end of the spectrum.
         let policy = RefreshPolicy::new(TimePolicy::Refrint, DataPolicy::Valid);
-        let config = SystemConfig::edram_recommended()
-            .with_policy(policy)
-            .with_retention(retention)
-            .with_scale(scale);
-        let mut system = CmpSystem::new(config)?;
-        let report = system.run_app(app);
+        let outcome = run_point(app, policy, us, scale)?;
+        let rel = outcome.vs(&baseline);
         println!(
             "{:<10} {:<12} {:>9.2}x {:>9.2}x {:>12} {:>10}",
             format!("{us} us"),
             "R.valid",
-            report.memory_energy_vs(&baseline),
-            report.slowdown_vs(&baseline),
-            report.counts.total_refreshes(),
-            report.counts.dram_accesses()
+            rel.memory_energy,
+            rel.slowdown,
+            outcome.total_refreshes(),
+            outcome.dram_accesses()
         );
         println!();
     }

@@ -3,11 +3,51 @@
 //!
 //! This crate re-exports the workspace crates so the examples under
 //! `examples/` and the integration tests under `tests/` can use the whole
-//! stack through a single dependency. See the individual crates for the real
-//! functionality:
+//! stack through a single dependency.
 //!
-//! * [`refrint`] — the CMP simulator, experiment sweep and figure generators.
-//! * [`refrint_edram`] — retention, sentry bits and refresh policies.
+//! # The API in one minute
+//!
+//! Everything starts at [`refrint::simulation::Simulation::builder`]:
+//!
+//! ```
+//! use refrint_suite::refrint::prelude::*;
+//!
+//! let mut simulation = Simulation::builder()
+//!     .edram_recommended()          // preset: Refrint WB(32,32) at 50 us
+//!     .cores(2)                     // shrink the chip for this doctest
+//!     .refs_per_thread(1_000)       // scale the workload
+//!     .build()                      // typed BuildError on misconfiguration
+//!     .unwrap();
+//! let outcome = simulation.run(AppPreset::Lu);
+//! assert!(outcome.execution_cycles() > 0);
+//! ```
+//!
+//! Sweeps shard across worker threads with a deterministic merge:
+//!
+//! ```no_run
+//! use refrint_suite::refrint::experiment::ExperimentConfig;
+//! use refrint_suite::refrint::sweep::SweepRunner;
+//!
+//! let results = SweepRunner::new(ExperimentConfig::quick())
+//!     .workers(8)
+//!     .observer(|p: &refrint_suite::refrint::sweep::SweepProgress| {
+//!         eprintln!("[{}/{}] {}", p.completed, p.total, p.config_label);
+//!     })
+//!     .run()
+//!     .unwrap();
+//! assert!(!results.sram.is_empty());
+//! ```
+//!
+//! Custom refresh policies implement
+//! [`refrint_edram::model::RefreshPolicyModel`] and ride through both the
+//! builder and the sweep runner — see `examples/custom_policy.rs`.
+//!
+//! See the individual crates for the real functionality:
+//!
+//! * [`refrint`] — the CMP simulator, `Simulation` builder, parallel sweep
+//!   runner and figure generators.
+//! * [`refrint_edram`] — retention, sentry bits and pluggable refresh
+//!   policies.
 //! * [`refrint_mem`] / [`refrint_coherence`] / [`refrint_noc`] — the cache,
 //!   coherence and interconnect substrates.
 //! * [`refrint_energy`] — technology parameters and energy accounting.

@@ -13,7 +13,10 @@ fn retention_shorter_than_the_sentry_margin_is_rejected() {
     let config = SystemConfig::edram_recommended().with_retention(retention);
     let err = CmpSystem::new(config).expect_err("must be rejected");
     let message = err.to_string();
-    assert!(message.contains("retention"), "unexpected message: {message}");
+    assert!(
+        message.contains("retention"),
+        "unexpected message: {message}"
+    );
 }
 
 #[test]
@@ -103,7 +106,10 @@ fn workload_with_extreme_write_fraction_runs() {
     };
     let mut system = CmpSystem::new(SystemConfig::edram_recommended()).unwrap();
     let report = system.run_model(&model);
-    assert!(report.counts.dram_writes > 0, "an all-store workload must write back data");
+    assert!(
+        report.counts.dram_writes > 0,
+        "an all-store workload must write back data"
+    );
     assert!(report.breakdown.is_physical());
 }
 

@@ -23,6 +23,7 @@ fn reduced_sweep() -> refrint::SweepResults {
         refs_per_thread: 2_500,
         seed: 9,
         cores: 8,
+        models: Vec::new(),
     };
     run_sweep(&cfg).expect("reduced sweep must run")
 }
@@ -32,7 +33,7 @@ fn sweep_produces_every_report() {
     let results = reduced_sweep();
     assert_eq!(results.sram.len(), 3);
     assert_eq!(results.edram.len(), 3 * 2 * 6);
-    for (_, report) in &results.edram {
+    for report in results.edram.values() {
         assert!(report.execution_cycles > 0);
         assert!(report.breakdown.is_physical());
     }
@@ -61,7 +62,12 @@ fn figure_6_1_and_6_2_are_consistent_stacks() {
             assert_eq!(a.label, b.label);
             assert!((a.total() - b.total()).abs() < 1e-9, "{}", a.label);
             assert!(a.components.iter().all(|(_, v)| *v >= 0.0));
-            assert!(a.total() > 0.0 && a.total() < 3.0, "{}: {}", a.label, a.total());
+            assert!(
+                a.total() > 0.0 && a.total() < 3.0,
+                "{}: {}",
+                a.label,
+                a.total()
+            );
         }
     }
     // CSV rendering works for every series.
@@ -93,7 +99,10 @@ fn figure_6_3_and_6_4_cover_class1_and_all() {
 fn headline_orderings_hold_on_the_reduced_sweep() {
     let results = reduced_sweep();
     let h = headline_summary(&results, 50).expect("50 us is part of the sweep");
-    assert!(h.baseline_memory_energy < 1.05, "naive eDRAM should not exceed SRAM by much");
+    assert!(
+        h.baseline_memory_energy < 1.05,
+        "naive eDRAM should not exceed SRAM by much"
+    );
     assert!(h.refrint_memory_energy < h.baseline_memory_energy);
     assert!(h.refrint_system_energy < h.baseline_system_energy);
     assert!(h.baseline_slowdown > 1.0);

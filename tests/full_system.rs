@@ -4,19 +4,26 @@
 use refrint::prelude::*;
 
 fn run(cells: CellTech, policy: RefreshPolicy, app: AppPreset, scale: u64) -> refrint::SimReport {
-    let config = SystemConfig::sram_baseline()
-        .with_cells(cells)
-        .with_policy(policy)
-        .with_retention(RetentionConfig::microseconds_50())
-        .with_scale(scale)
-        .with_seed(2024);
-    let mut system = CmpSystem::new(config).expect("configuration is valid");
-    system.run_app(app)
+    let mut builder = Simulation::builder().refs_per_thread(scale).seed(2024);
+    builder = match cells {
+        CellTech::Sram => builder.sram_baseline(),
+        CellTech::Edram => builder
+            .edram_recommended()
+            .policy(policy)
+            .retention(RetentionConfig::microseconds_50()),
+    };
+    let mut simulation = builder.build().expect("configuration is valid");
+    simulation.run(app).report
 }
 
 #[test]
 fn sram_baseline_never_refreshes_and_is_physical() {
-    let report = run(CellTech::Sram, RefreshPolicy::recommended(), AppPreset::Lu, 4_000);
+    let report = run(
+        CellTech::Sram,
+        RefreshPolicy::recommended(),
+        AppPreset::Lu,
+        4_000,
+    );
     assert_eq!(report.counts.total_refreshes(), 0);
     assert_eq!(report.breakdown.refresh_total(), 0.0);
     assert!(report.breakdown.is_physical());
@@ -59,7 +66,10 @@ fn refrint_beats_the_naive_edram_baseline() {
             "{app}: Periodic All must be slower than Refrint"
         );
         // The naive baseline must show a visible slowdown; Refrint must not.
-        assert!(naive.slowdown_vs(&sram) > 1.02, "{app}: Periodic All slowdown");
+        assert!(
+            naive.slowdown_vs(&sram) > 1.02,
+            "{app}: Periodic All slowdown"
+        );
         assert!(refrint.slowdown_vs(&sram) < 1.10, "{app}: Refrint slowdown");
         // Refresh counts: Periodic All refreshes every line, every period.
         assert!(naive.counts.total_refreshes() > refrint.counts.total_refreshes());
@@ -91,8 +101,18 @@ fn longer_retention_reduces_refresh_activity() {
 
 #[test]
 fn runs_are_reproducible_across_system_instances() {
-    let a = run(CellTech::Edram, RefreshPolicy::recommended(), AppPreset::Radix, 3_000);
-    let b = run(CellTech::Edram, RefreshPolicy::recommended(), AppPreset::Radix, 3_000);
+    let a = run(
+        CellTech::Edram,
+        RefreshPolicy::recommended(),
+        AppPreset::Radix,
+        3_000,
+    );
+    let b = run(
+        CellTech::Edram,
+        RefreshPolicy::recommended(),
+        AppPreset::Radix,
+        3_000,
+    );
     assert_eq!(a.execution_cycles, b.execution_cycles);
     assert_eq!(a.counts, b.counts);
     assert_eq!(a.breakdown.memory_total(), b.breakdown.memory_total());
@@ -101,11 +121,15 @@ fn runs_are_reproducible_across_system_instances() {
 #[test]
 fn different_seeds_change_the_interleaving_but_not_the_workload_size() {
     let a = {
-        let config = SystemConfig::edram_recommended().with_scale(3_000).with_seed(1);
+        let config = SystemConfig::edram_recommended()
+            .with_scale(3_000)
+            .with_seed(1);
         CmpSystem::new(config).unwrap().run_app(AppPreset::Radix)
     };
     let b = {
-        let config = SystemConfig::edram_recommended().with_scale(3_000).with_seed(2);
+        let config = SystemConfig::edram_recommended()
+            .with_scale(3_000)
+            .with_seed(2);
         CmpSystem::new(config).unwrap().run_app(AppPreset::Radix)
     };
     assert_eq!(a.counts.dl1_accesses, b.counts.dl1_accesses);

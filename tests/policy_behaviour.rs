@@ -4,17 +4,27 @@
 use refrint::prelude::*;
 
 fn run(policy: RefreshPolicy, app: AppPreset, scale: u64) -> refrint::SimReport {
-    let config = SystemConfig::edram_recommended()
-        .with_policy(policy)
-        .with_retention(RetentionConfig::microseconds_50())
-        .with_scale(scale)
-        .with_seed(77);
-    CmpSystem::new(config).unwrap().run_app(app)
+    Simulation::builder()
+        .edram_recommended()
+        .policy(policy)
+        .retention_us(50)
+        .refs_per_thread(scale)
+        .seed(77)
+        .build()
+        .unwrap()
+        .run(app)
+        .report
 }
 
 fn sram(app: AppPreset, scale: u64) -> refrint::SimReport {
-    let config = SystemConfig::sram_baseline().with_scale(scale).with_seed(77);
-    CmpSystem::new(config).unwrap().run_app(app)
+    Simulation::builder()
+        .sram_baseline()
+        .refs_per_thread(scale)
+        .seed(77)
+        .build()
+        .unwrap()
+        .run(app)
+        .report
 }
 
 #[test]
@@ -24,7 +34,11 @@ fn aggressive_policies_discard_data_and_create_dram_traffic() {
     // invalidated immediately. It must refresh less and hit DRAM more than
     // the conservative Valid policy, on every class of application.
     for app in [AppPreset::Fft, AppPreset::Lu, AppPreset::Blackscholes] {
-        let valid = run(RefreshPolicy::new(TimePolicy::Refrint, DataPolicy::Valid), app, 5_000);
+        let valid = run(
+            RefreshPolicy::new(TimePolicy::Refrint, DataPolicy::Valid),
+            app,
+            5_000,
+        );
         let wb00 = run(
             RefreshPolicy::new(TimePolicy::Refrint, DataPolicy::write_back(0, 0)),
             app,
@@ -49,7 +63,11 @@ fn class3_prefers_valid_over_aggressive_wb() {
     // than WB(0,0) for Class 3.
     let app = AppPreset::Blackscholes;
     let baseline = sram(app, 6_000);
-    let valid = run(RefreshPolicy::new(TimePolicy::Refrint, DataPolicy::Valid), app, 6_000);
+    let valid = run(
+        RefreshPolicy::new(TimePolicy::Refrint, DataPolicy::Valid),
+        app,
+        6_000,
+    );
     let aggressive = run(
         RefreshPolicy::new(TimePolicy::Refrint, DataPolicy::write_back(0, 0)),
         app,
@@ -72,8 +90,16 @@ fn dirty_policy_behaves_between_valid_and_wb00() {
     // Dirty = WB(inf, 0): it never discards dirty lines but drops clean ones
     // immediately, so its refresh count sits between WB(0,0) and Valid.
     let app = AppPreset::Radix;
-    let valid = run(RefreshPolicy::new(TimePolicy::Refrint, DataPolicy::Valid), app, 5_000);
-    let dirty = run(RefreshPolicy::new(TimePolicy::Refrint, DataPolicy::Dirty), app, 5_000);
+    let valid = run(
+        RefreshPolicy::new(TimePolicy::Refrint, DataPolicy::Valid),
+        app,
+        5_000,
+    );
+    let dirty = run(
+        RefreshPolicy::new(TimePolicy::Refrint, DataPolicy::Dirty),
+        app,
+        5_000,
+    );
     let wb00 = run(
         RefreshPolicy::new(TimePolicy::Refrint, DataPolicy::write_back(0, 0)),
         app,
@@ -114,8 +140,16 @@ fn periodic_valid_refreshes_less_than_periodic_all() {
     // All refreshes every physical line; Valid only the valid ones. On a
     // workload that leaves much of the L3 unused the difference is large.
     let app = AppPreset::Blackscholes;
-    let all = run(RefreshPolicy::new(TimePolicy::Periodic, DataPolicy::All), app, 5_000);
-    let valid = run(RefreshPolicy::new(TimePolicy::Periodic, DataPolicy::Valid), app, 5_000);
+    let all = run(
+        RefreshPolicy::new(TimePolicy::Periodic, DataPolicy::All),
+        app,
+        5_000,
+    );
+    let valid = run(
+        RefreshPolicy::new(TimePolicy::Periodic, DataPolicy::Valid),
+        app,
+        5_000,
+    );
     assert!(
         valid.counts.l3_refreshes < all.counts.l3_refreshes / 2,
         "Periodic Valid ({}) should refresh far less than Periodic All ({})",

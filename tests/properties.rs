@@ -1,7 +1,11 @@
-//! Cross-crate property-based tests (proptest): the invariants the
-//! reproduction relies on, exercised over randomised inputs.
-
-use proptest::prelude::*;
+//! Cross-crate property-based tests: the invariants the reproduction relies
+//! on, exercised over randomised inputs.
+//!
+//! The workspace builds without network access, so instead of `proptest`
+//! these tests drive a small deterministic case generator seeded from
+//! [`DeterministicRng`]: every run explores the same few hundred random
+//! cases, and a failing case prints its inputs so it can be minimised by
+//! hand.
 
 use refrint_edram::exact::settle_exact;
 use refrint_edram::policy::{DataPolicy, RefreshPolicy, TimePolicy};
@@ -9,6 +13,7 @@ use refrint_edram::schedule::{DecaySchedule, LineKind};
 use refrint_energy::accounting::EnergyCounts;
 use refrint_energy::breakdown::EnergyBreakdown;
 use refrint_energy::tech::{CellTech, TechnologyParams};
+use refrint_engine::rng::DeterministicRng;
 use refrint_engine::time::Cycle;
 use refrint_mem::addr::{Addr, LineAddr};
 use refrint_mem::cache::Cache;
@@ -19,66 +24,76 @@ use refrint_noc::topology::{NodeId, Torus};
 use refrint_workloads::generator::ThreadStream;
 use refrint_workloads::model::WorkloadModel;
 
-fn arbitrary_data_policy() -> impl Strategy<Value = DataPolicy> {
-    prop_oneof![
-        Just(DataPolicy::All),
-        Just(DataPolicy::Valid),
-        Just(DataPolicy::Dirty),
-        (0u32..64, 0u32..64).prop_map(|(n, m)| DataPolicy::write_back(n, m)),
-    ]
+const CASES: u64 = 96;
+
+fn rng_for(test: u64, case: u64) -> DeterministicRng {
+    DeterministicRng::from_seed(0xC0FFEE).fork(test).fork(case)
 }
 
-fn arbitrary_time_policy() -> impl Strategy<Value = TimePolicy> {
-    prop_oneof![Just(TimePolicy::Periodic), Just(TimePolicy::Refrint)]
+fn arbitrary_data_policy(rng: &mut DeterministicRng) -> DataPolicy {
+    match rng.below(4) {
+        0 => DataPolicy::All,
+        1 => DataPolicy::Valid,
+        2 => DataPolicy::Dirty,
+        _ => DataPolicy::write_back(rng.below(64) as u32, rng.below(64) as u32),
+    }
 }
 
-fn arbitrary_kind() -> impl Strategy<Value = LineKind> {
-    prop_oneof![
-        Just(LineKind::Dirty),
-        Just(LineKind::Clean),
-        Just(LineKind::Invalid)
-    ]
+fn arbitrary_time_policy(rng: &mut DeterministicRng) -> TimePolicy {
+    if rng.below(2) == 0 {
+        TimePolicy::Periodic
+    } else {
+        TimePolicy::Refrint
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn arbitrary_kind(rng: &mut DeterministicRng) -> LineKind {
+    match rng.below(3) {
+        0 => LineKind::Dirty,
+        1 => LineKind::Clean,
+        _ => LineKind::Invalid,
+    }
+}
 
-    /// The lazy decay-schedule algebra agrees with the exact
-    /// event-per-opportunity replay on arbitrary policies and intervals.
-    #[test]
-    fn lazy_settlement_matches_exact_replay(
-        time in arbitrary_time_policy(),
-        data in arbitrary_data_policy(),
-        kind in arbitrary_kind(),
-        retention in 500u64..5_000,
-        margin_frac in 0.0f64..0.9,
-        offset in 0u64..5_000,
-        touch in 0u64..20_000,
-        horizon in 0u64..300_000,
-    ) {
-        let margin = ((retention as f64) * margin_frac) as u64;
+/// The lazy decay-schedule algebra agrees with the exact
+/// event-per-opportunity replay on arbitrary policies and intervals.
+#[test]
+fn lazy_settlement_matches_exact_replay() {
+    for case in 0..CASES {
+        let mut rng = rng_for(1, case);
+        let time = arbitrary_time_policy(&mut rng);
+        let data = arbitrary_data_policy(&mut rng);
+        let kind = arbitrary_kind(&mut rng);
+        let retention = rng.range(500, 5_000);
+        let margin = ((retention as f64) * rng.unit() * 0.9) as u64;
+        let offset = rng.below(5_000);
         let schedule = DecaySchedule::new(
             RefreshPolicy::new(time, data),
             Cycle::new(retention),
             Cycle::new(margin),
             Cycle::new(offset),
         );
-        let touch = Cycle::new(touch);
-        let until = touch + Cycle::new(horizon);
+        let touch = Cycle::new(rng.below(20_000));
+        let until = touch + Cycle::new(rng.below(300_000));
         let lazy = schedule.settle(kind, touch, until);
         let exact = settle_exact(&schedule, kind, touch, until);
-        prop_assert_eq!(lazy, exact);
+        assert_eq!(
+            lazy, exact,
+            "case {case}: {time:?} {data:?} {kind:?} retention={retention} \
+             margin={margin} offset={offset} touch={touch} until={until}"
+        );
     }
+}
 
-    /// Settlement is monotone in the horizon: extending the interval never
-    /// reduces the number of refreshes, and never un-invalidates a line.
-    #[test]
-    fn settlement_is_monotone_in_time(
-        data in arbitrary_data_policy(),
-        kind in arbitrary_kind(),
-        h1 in 0u64..100_000,
-        h2 in 0u64..100_000,
-    ) {
+/// Settlement is monotone in the horizon: extending the interval never
+/// reduces the number of refreshes, and never un-invalidates a line.
+#[test]
+fn settlement_is_monotone_in_time() {
+    for case in 0..CASES {
+        let mut rng = rng_for(2, case);
+        let data = arbitrary_data_policy(&mut rng);
+        let kind = arbitrary_kind(&mut rng);
+        let (h1, h2) = (rng.below(100_000), rng.below(100_000));
         let schedule = DecaySchedule::new(
             RefreshPolicy::new(TimePolicy::Refrint, data),
             Cycle::new(1_000),
@@ -88,127 +103,164 @@ proptest! {
         let (short, long) = (h1.min(h2), h1.max(h2));
         let a = schedule.settle(kind, Cycle::ZERO, Cycle::new(short));
         let b = schedule.settle(kind, Cycle::ZERO, Cycle::new(long));
-        prop_assert!(b.refreshes >= a.refreshes);
+        assert!(
+            b.refreshes >= a.refreshes,
+            "case {case}: {data:?} {kind:?} {short}..{long}"
+        );
         if a.invalidated_at.is_some() {
-            prop_assert_eq!(a.invalidated_at, b.invalidated_at);
+            assert_eq!(a.invalidated_at, b.invalidated_at, "case {case}");
         }
         if a.writeback_at.is_some() {
-            prop_assert_eq!(a.writeback_at, b.writeback_at);
+            assert_eq!(a.writeback_at, b.writeback_at, "case {case}");
         }
     }
+}
 
-    /// Larger WB budgets never decrease the number of refreshes an idle line
-    /// receives, and never make it die earlier.
-    #[test]
-    fn wb_budgets_are_monotone(
-        n1 in 0u32..40, m1 in 0u32..40,
-        extra_n in 0u32..40, extra_m in 0u32..40,
-        kind in prop_oneof![Just(LineKind::Dirty), Just(LineKind::Clean)],
-    ) {
+/// Larger WB budgets never decrease the number of refreshes an idle line
+/// receives, and never make it die earlier.
+#[test]
+fn wb_budgets_are_monotone() {
+    for case in 0..CASES {
+        let mut rng = rng_for(3, case);
+        let (n1, m1) = (rng.below(40) as u32, rng.below(40) as u32);
+        let (extra_n, extra_m) = (rng.below(40) as u32, rng.below(40) as u32);
+        let kind = if rng.below(2) == 0 {
+            LineKind::Dirty
+        } else {
+            LineKind::Clean
+        };
         let small = DecaySchedule::new(
             RefreshPolicy::new(TimePolicy::Refrint, DataPolicy::write_back(n1, m1)),
-            Cycle::new(1_000), Cycle::new(100), Cycle::ZERO,
+            Cycle::new(1_000),
+            Cycle::new(100),
+            Cycle::ZERO,
         );
         let large = DecaySchedule::new(
-            RefreshPolicy::new(TimePolicy::Refrint, DataPolicy::write_back(n1 + extra_n, m1 + extra_m)),
-            Cycle::new(1_000), Cycle::new(100), Cycle::ZERO,
+            RefreshPolicy::new(
+                TimePolicy::Refrint,
+                DataPolicy::write_back(n1 + extra_n, m1 + extra_m),
+            ),
+            Cycle::new(1_000),
+            Cycle::new(100),
+            Cycle::ZERO,
         );
         let horizon = Cycle::new(1_000_000);
         let a = small.settle(kind, Cycle::ZERO, horizon);
         let b = large.settle(kind, Cycle::ZERO, horizon);
-        prop_assert!(b.refreshes >= a.refreshes);
+        assert!(
+            b.refreshes >= a.refreshes,
+            "case {case}: WB({n1},{m1})+({extra_n},{extra_m})"
+        );
         match (a.invalidated_at, b.invalidated_at) {
-            (Some(ta), Some(tb)) => prop_assert!(tb >= ta),
-            (None, Some(_)) => prop_assert!(false, "larger budget died while smaller survived"),
+            (Some(ta), Some(tb)) => assert!(tb >= ta, "case {case}"),
+            (None, Some(_)) => panic!("case {case}: larger budget died while smaller survived"),
             _ => {}
         }
     }
+}
 
-    /// Addresses round-trip through line/set/tag decomposition.
-    #[test]
-    fn address_decomposition_round_trips(raw in any::<u64>(), sets_log2 in 1u32..16) {
+/// Addresses round-trip through line/set/tag decomposition.
+#[test]
+fn address_decomposition_round_trips() {
+    for case in 0..CASES {
+        let mut rng = rng_for(4, case);
+        let raw = rng.next_u64();
+        let sets_log2 = rng.range(1, 16) as u32;
         let addr = Addr::new(raw >> 6 << 6);
         let line = addr.line(64);
         let sets = 1u64 << sets_log2;
-        prop_assert_eq!(line.tag(sets) * sets + line.set_index(sets), line.raw());
-        prop_assert_eq!(line.base_addr(64).line(64), line);
+        assert_eq!(
+            line.tag(sets) * sets + line.set_index(sets),
+            line.raw(),
+            "case {case}"
+        );
+        assert_eq!(line.base_addr(64).line(64), line, "case {case}");
     }
+}
 
-    /// A cache never exceeds its capacity, and flushing returns exactly the
-    /// dirty lines.
-    #[test]
-    fn cache_occupancy_and_flush(ops in proptest::collection::vec((0u64..4096, any::<bool>()), 1..300)) {
+/// A cache never exceeds its capacity, and flushing returns exactly the
+/// dirty lines.
+#[test]
+fn cache_occupancy_and_flush() {
+    for case in 0..CASES {
+        let mut rng = rng_for(5, case);
         let geometry = CacheGeometry::new(16 * 1024, 4, 64).unwrap();
         let mut cache = Cache::new("prop", geometry);
-        for (i, (line, write)) in ops.iter().enumerate() {
-            let line = LineAddr::new(*line);
-            let now = Cycle::new(i as u64);
+        let ops = rng.range(1, 300);
+        for i in 0..ops {
+            let line = LineAddr::new(rng.below(4096));
+            let write = rng.below(2) == 1;
+            let now = Cycle::new(i);
             if cache.lookup(line, now).is_none() {
                 cache.fill(line, MesiState::Exclusive, now);
             }
-            if *write {
+            if write {
                 cache.write_hit(line, now);
             }
         }
-        prop_assert!(cache.occupancy() <= geometry.num_lines());
+        assert!(cache.occupancy() <= geometry.num_lines(), "case {case}");
         let dirty_before = cache.dirty_count();
         let flushed = cache.flush();
-        prop_assert_eq!(flushed.len() as u64, dirty_before);
-        prop_assert_eq!(cache.occupancy(), 0);
+        assert_eq!(flushed.len() as u64, dirty_before, "case {case}");
+        assert_eq!(cache.occupancy(), 0, "case {case}");
     }
+}
 
-    /// Torus routing is symmetric, bounded by the network diameter, and the
-    /// route length always equals the hop count.
-    #[test]
-    fn torus_routing_properties(w in 2usize..6, h in 2usize..6, a in 0usize..36, b in 0usize..36) {
+/// Torus routing is symmetric, bounded by the network diameter, and the
+/// route length always equals the hop count.
+#[test]
+fn torus_routing_properties() {
+    for case in 0..CASES {
+        let mut rng = rng_for(6, case);
+        let w = rng.range(2, 6) as usize;
+        let h = rng.range(2, 6) as usize;
         let torus = Torus::new(w, h).unwrap();
-        let a = NodeId::new(a % (w * h));
-        let b = NodeId::new(b % (w * h));
+        let a = NodeId::new(rng.below(36) as usize % (w * h));
+        let b = NodeId::new(rng.below(36) as usize % (w * h));
         let d = hop_count(&torus, a, b);
-        prop_assert_eq!(d, hop_count(&torus, b, a));
-        prop_assert!(d as usize <= w / 2 + h / 2);
+        assert_eq!(d, hop_count(&torus, b, a), "case {case}: {w}x{h}");
+        assert!(d as usize <= w / 2 + h / 2, "case {case}");
         let path = route(&torus, a, b).unwrap();
-        prop_assert_eq!(path.len() as u32, d + 1);
+        assert_eq!(path.len() as u32, d + 1, "case {case}");
     }
+}
 
-    /// Energy breakdowns are physical (finite, non-negative) and additive in
-    /// the counts.
-    #[test]
-    fn energy_is_physical_and_additive(
-        cycles in 1u64..10_000_000,
-        l3 in 0u64..1_000_000,
-        dram_r in 0u64..100_000,
-        dram_w in 0u64..100_000,
-        refreshes in 0u64..10_000_000,
-    ) {
+/// Energy breakdowns are physical (finite, non-negative) and additive in
+/// the counts.
+#[test]
+fn energy_is_physical_and_additive() {
+    for case in 0..CASES {
+        let mut rng = rng_for(7, case);
         let params = TechnologyParams::paper_default();
         let counts = EnergyCounts {
-            cycles,
-            l3_accesses: l3,
-            dram_reads: dram_r,
-            dram_writes: dram_w,
-            l3_refreshes: refreshes,
+            cycles: rng.range(1, 10_000_000),
+            l3_accesses: rng.below(1_000_000),
+            dram_reads: rng.below(100_000),
+            dram_writes: rng.below(100_000),
+            l3_refreshes: rng.below(10_000_000),
             ..EnergyCounts::default()
         };
         for cells in [CellTech::Sram, CellTech::Edram] {
             let b = EnergyBreakdown::compute(&params, cells, &counts);
-            prop_assert!(b.is_physical());
+            assert!(b.is_physical(), "case {case}: {cells}");
             let doubled_counts = counts + counts;
             let d = EnergyBreakdown::compute(&params, cells, &doubled_counts);
             // Dynamic, refresh, DRAM and leakage all scale linearly.
-            prop_assert!((d.memory_total() - 2.0 * b.memory_total()).abs() < 1e-9);
+            assert!(
+                (d.memory_total() - 2.0 * b.memory_total()).abs() < 1e-9,
+                "case {case}: {cells}"
+            );
         }
     }
+}
 
-    /// Workload streams stay within their declared footprint and are
-    /// deterministic in the seed.
-    #[test]
-    fn workload_streams_are_bounded_and_deterministic(
-        seed in any::<u64>(),
-        hot in 0.0f64..1.0,
-        shared in 0.0f64..1.0,
-        writes in 0.0f64..1.0,
-    ) {
+/// Workload streams stay within their declared footprint and are
+/// deterministic in the seed.
+#[test]
+fn workload_streams_are_bounded_and_deterministic() {
+    for case in 0..CASES {
+        let mut rng = rng_for(8, case);
+        let seed = rng.next_u64();
         let model = WorkloadModel {
             name: "prop".into(),
             threads: 4,
@@ -216,17 +268,17 @@ proptest! {
             private_bytes_per_thread: 128 * 1024,
             shared_bytes: 256 * 1024,
             hot_bytes_per_thread: 8 * 1024,
-            hot_fraction: hot,
-            shared_fraction: shared,
-            write_fraction: writes,
+            hot_fraction: rng.unit(),
+            shared_fraction: rng.unit(),
+            write_fraction: rng.unit(),
             mean_gap_cycles: 3,
             stride_run: 4,
         };
         let footprint = model.footprint_bytes();
         let a: Vec<_> = ThreadStream::new(&model, 1, seed).collect();
         let b: Vec<_> = ThreadStream::new(&model, 1, seed).collect();
-        prop_assert_eq!(&a, &b);
-        prop_assert_eq!(a.len(), 400);
-        prop_assert!(a.iter().all(|r| r.addr.raw() < footprint));
+        assert_eq!(a, b, "case {case}");
+        assert_eq!(a.len(), 400, "case {case}");
+        assert!(a.iter().all(|r| r.addr.raw() < footprint), "case {case}");
     }
 }
