@@ -32,6 +32,7 @@ fn fig6_1(c: &mut Criterion) {
         seed: 0xBEEF,
         cores: 16,
         models: Vec::new(),
+        traces: Vec::new(),
     };
     group.bench_function("sweep_tiny_end_to_end", |b| {
         b.iter(|| std::hint::black_box(sweep(&tiny)));

@@ -1,0 +1,54 @@
+//! Trace subsystem benchmarks: the streaming hot paths of `refrint-trace`
+//! (varint-delta encode on capture, decode on replay) measured on an
+//! in-memory trace so disk latency does not pollute the numbers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use refrint_trace::{capture_model, TraceFile, TraceMeta, TraceWriter};
+use refrint_workloads::apps::AppPreset;
+
+fn trace_io(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_io");
+    group.sample_size(10);
+
+    let model = AppPreset::Lu
+        .model()
+        .with_threads(4)
+        .with_refs_per_thread(20_000);
+    let meta = TraceMeta::new(&model.name, model.threads, 7);
+
+    group.bench_function("encode_80k_refs", |b| {
+        b.iter(|| {
+            let mut w = TraceWriter::new(std::io::sink(), &meta).unwrap();
+            std::hint::black_box(capture_model(&model, 7, &mut w).unwrap());
+        });
+    });
+
+    let mut w = TraceWriter::new(Vec::new(), &meta).unwrap();
+    let records = capture_model(&model, 7, &mut w).unwrap();
+    let bytes = w.into_inner().unwrap();
+    println!(
+        "note: {} records encode to {} bytes ({:.2} B/record)",
+        records,
+        bytes.len(),
+        bytes.len() as f64 / records as f64
+    );
+    let trace = TraceFile::from_bytes(bytes).unwrap();
+
+    group.bench_function("decode_80k_refs", |b| {
+        b.iter(|| {
+            let mut n = 0u64;
+            for t in 0..trace.meta().threads {
+                for r in trace.thread(t).unwrap() {
+                    std::hint::black_box(r.unwrap());
+                    n += 1;
+                }
+            }
+            assert_eq!(n, records);
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, trace_io);
+criterion_main!(benches);

@@ -9,11 +9,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::path::PathBuf;
+
 use refrint::experiment::ExperimentConfig;
 use refrint::simulation::{Simulation, SimulationBuilder};
 use refrint_edram::model::PolicyRegistry;
 use refrint_edram::policy::RefreshPolicy;
+use refrint_trace::TraceFormat;
 use refrint_workloads::apps::AppPreset;
+
+pub mod json;
 
 /// Returns the value following `name` in `args`, if present.
 #[must_use]
@@ -28,6 +33,16 @@ pub fn opt_value(args: &[String], name: &str) -> Option<String> {
 #[must_use]
 pub fn has_flag(args: &[String], name: &str) -> bool {
     args.iter().any(|a| a == name)
+}
+
+/// Returns every value following an occurrence of `name` in `args`
+/// (for repeatable options such as `--trace`).
+#[must_use]
+pub fn opt_values(args: &[String], name: &str) -> Vec<String> {
+    args.windows(2)
+        .filter(|w| w[0] == name)
+        .map(|w| w[1].clone())
+        .collect()
 }
 
 /// Parses a `--policy` label, round-tripping every label
@@ -60,6 +75,31 @@ pub fn parse_apps(list: &str) -> Result<Vec<AppPreset>, String> {
         .collect()
 }
 
+/// How a report is rendered to stdout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OutputFormat {
+    /// The human-readable report (default).
+    #[default]
+    Text,
+    /// A machine-consumable JSON document.
+    Json,
+}
+
+/// Parses the optional `--format text|json` flag.
+///
+/// # Errors
+///
+/// Returns a usage message for unknown formats.
+pub fn parse_format(args: &[String]) -> Result<OutputFormat, String> {
+    match opt_value(args, "--format").as_deref() {
+        None | Some("text") => Ok(OutputFormat::Text),
+        Some("json") => Ok(OutputFormat::Json),
+        Some(other) => Err(format!(
+            "unknown --format `{other}` (expected `text` or `json`)"
+        )),
+    }
+}
+
 /// Options of the `run` subcommand.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RunOptions {
@@ -75,6 +115,8 @@ pub struct RunOptions {
     pub refs: Option<u64>,
     /// Workload seed, if overridden.
     pub seed: Option<u64>,
+    /// Output rendering.
+    pub format: OutputFormat,
 }
 
 impl RunOptions {
@@ -110,6 +152,7 @@ impl RunOptions {
             retention_us,
             refs,
             seed,
+            format: parse_format(args)?,
         })
     }
 
@@ -146,8 +189,15 @@ pub struct SweepOptions {
     pub apps: Option<Vec<AppPreset>>,
     /// Worker threads (`--jobs`); `None` means one per CPU.
     pub jobs: Option<usize>,
+    /// Cores per simulated chip (`--cores`); traces require a matching
+    /// thread count.
+    pub cores: Option<usize>,
     /// Print per-run progress to stderr.
     pub progress: bool,
+    /// Traces to sweep alongside the applications (`--trace`, repeatable).
+    pub traces: Vec<PathBuf>,
+    /// Output rendering.
+    pub format: OutputFormat,
 }
 
 impl SweepOptions {
@@ -175,18 +225,32 @@ impl SweepOptions {
             }
             None => None,
         };
+        let cores = match opt_value(args, "--cores") {
+            Some(c) => Some(c.parse().map_err(|_| format!("bad --cores `{c}`"))?),
+            None => None,
+        };
         Ok(SweepOptions {
             refs,
             apps,
             jobs,
+            cores,
             progress: has_flag(args, "--progress"),
+            traces: opt_values(args, "--trace")
+                .into_iter()
+                .map(Into::into)
+                .collect(),
+            format: parse_format(args)?,
         })
     }
 
     /// The experiment configuration these options describe (based on the
-    /// quick sweep).
-    #[must_use]
-    pub fn experiment(&self) -> ExperimentConfig {
+    /// quick sweep). Each `--trace` file's header is read to key its
+    /// reports by the recorded workload name.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error message for an unreadable trace file.
+    pub fn experiment(&self) -> Result<ExperimentConfig, String> {
         let mut cfg = ExperimentConfig::quick();
         if let Some(refs) = self.refs {
             cfg = cfg.with_refs_per_thread(refs);
@@ -194,7 +258,167 @@ impl SweepOptions {
         if let Some(apps) = &self.apps {
             cfg = cfg.with_apps(apps.clone());
         }
-        cfg
+        if let Some(cores) = self.cores {
+            cfg.cores = cores;
+        }
+        for path in &self.traces {
+            let spec =
+                refrint::experiment::TraceSpec::from_path(path).map_err(|e| e.to_string())?;
+            cfg = cfg.with_trace(spec);
+        }
+        Ok(cfg)
+    }
+}
+
+/// Options of the `trace record` subcommand.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceRecordOptions {
+    /// The application preset to record.
+    pub app: AppPreset,
+    /// Output trace path.
+    pub out: PathBuf,
+    /// On-disk format (`--text` selects the readable format).
+    pub format: TraceFormat,
+    /// Threads/cores to record, if overridden.
+    pub cores: Option<usize>,
+    /// References per thread, if overridden.
+    pub refs: Option<u64>,
+    /// Workload seed, if overridden.
+    pub seed: Option<u64>,
+}
+
+impl TraceRecordOptions {
+    /// Parses `trace record` arguments.
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage message for missing/invalid options.
+    pub fn parse(args: &[String]) -> Result<Self, String> {
+        let app: AppPreset = opt_value(args, "--app")
+            .ok_or("trace record requires --app <name>")?
+            .parse()
+            .map_err(|e| format!("{e}"))?;
+        let out = opt_value(args, "--out").ok_or("trace record requires --out <path>")?;
+        let cores = match opt_value(args, "--cores") {
+            Some(c) => Some(c.parse().map_err(|_| format!("bad --cores `{c}`"))?),
+            None => None,
+        };
+        let refs = match opt_value(args, "--refs") {
+            Some(n) => Some(n.parse().map_err(|_| format!("bad --refs `{n}`"))?),
+            None => None,
+        };
+        let seed = match opt_value(args, "--seed") {
+            Some(s) => Some(s.parse().map_err(|_| format!("bad --seed `{s}`"))?),
+            None => None,
+        };
+        Ok(TraceRecordOptions {
+            app,
+            out: out.into(),
+            format: if has_flag(args, "--text") {
+                TraceFormat::Text
+            } else {
+                TraceFormat::Binary
+            },
+            cores,
+            refs,
+            seed,
+        })
+    }
+
+    /// The builder describing the chip the trace is recorded for.
+    #[must_use]
+    pub fn builder(&self) -> SimulationBuilder {
+        let mut builder = Simulation::builder();
+        if let Some(cores) = self.cores {
+            builder = builder.cores(cores);
+        }
+        if let Some(refs) = self.refs {
+            builder = builder.refs_per_thread(refs);
+        }
+        if let Some(seed) = self.seed {
+            builder = builder.seed(seed);
+        }
+        builder
+    }
+}
+
+/// Options of the `trace replay` subcommand: the trace plus the same
+/// configuration overrides as `run`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceReplayOptions {
+    /// The trace to replay.
+    pub trace: PathBuf,
+    /// Use SRAM cells (the no-refresh baseline).
+    pub sram: bool,
+    /// Refresh policy label, if overridden.
+    pub policy: Option<RefreshPolicy>,
+    /// Retention time in microseconds, if overridden.
+    pub retention_us: Option<u64>,
+    /// Output rendering.
+    pub format: OutputFormat,
+}
+
+impl TraceReplayOptions {
+    /// Parses `trace replay` arguments.
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage message for missing/invalid options.
+    pub fn parse(args: &[String]) -> Result<Self, String> {
+        let trace = opt_value(args, "--trace").ok_or("trace replay requires --trace <path>")?;
+        let policy = match opt_value(args, "--policy") {
+            Some(p) => Some(parse_policy(&p)?),
+            None => None,
+        };
+        let retention_us = match opt_value(args, "--retention") {
+            Some(r) => Some(r.parse().map_err(|_| format!("bad retention `{r}`"))?),
+            None => None,
+        };
+        Ok(TraceReplayOptions {
+            trace: trace.into(),
+            sram: has_flag(args, "--sram"),
+            policy,
+            retention_us,
+            format: parse_format(args)?,
+        })
+    }
+
+    /// The simulation builder these options describe.
+    #[must_use]
+    pub fn builder(&self) -> SimulationBuilder {
+        let mut builder = if self.sram {
+            Simulation::builder().sram_baseline()
+        } else {
+            Simulation::builder().edram_recommended()
+        };
+        if let Some(policy) = self.policy {
+            builder = builder.policy(policy);
+        }
+        if let Some(us) = self.retention_us {
+            builder = builder.retention_us(us);
+        }
+        builder.trace(&self.trace)
+    }
+}
+
+/// Options of the `trace info` subcommand.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceInfoOptions {
+    /// The trace to summarize.
+    pub trace: PathBuf,
+}
+
+impl TraceInfoOptions {
+    /// Parses `trace info` arguments.
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage message if `--trace` is missing.
+    pub fn parse(args: &[String]) -> Result<Self, String> {
+        let trace = opt_value(args, "--trace").ok_or("trace info requires --trace <path>")?;
+        Ok(TraceInfoOptions {
+            trace: trace.into(),
+        })
     }
 }
 
@@ -303,10 +527,94 @@ mod tests {
         .unwrap();
         assert_eq!(opts.jobs, Some(4));
         assert!(opts.progress);
-        let cfg = opts.experiment();
+        let cfg = opts.experiment().unwrap();
         assert_eq!(cfg.refs_per_thread, 2_000);
         assert_eq!(cfg.apps, vec![AppPreset::Fft, AppPreset::Lu]);
         assert!(SweepOptions::parse(&args(&["--jobs", "0"])).is_err());
         assert!(SweepOptions::parse(&args(&["--apps", "quake3"])).is_err());
+    }
+
+    #[test]
+    fn format_flag_parses_and_rejects_unknowns() {
+        assert_eq!(parse_format(&args(&[])).unwrap(), OutputFormat::Text);
+        assert_eq!(
+            parse_format(&args(&["--format", "text"])).unwrap(),
+            OutputFormat::Text
+        );
+        assert_eq!(
+            parse_format(&args(&["--format", "json"])).unwrap(),
+            OutputFormat::Json
+        );
+        assert!(parse_format(&args(&["--format", "xml"])).is_err());
+        let opts = RunOptions::parse(&args(&["--app", "lu", "--format", "json"])).unwrap();
+        assert_eq!(opts.format, OutputFormat::Json);
+        let opts = SweepOptions::parse(&args(&["--format", "json"])).unwrap();
+        assert_eq!(opts.format, OutputFormat::Json);
+    }
+
+    #[test]
+    fn trace_record_options_parse() {
+        let opts = TraceRecordOptions::parse(&args(&[
+            "--app",
+            "fft",
+            "--out",
+            "/tmp/x.rft",
+            "--cores",
+            "4",
+            "--refs",
+            "100",
+            "--seed",
+            "7",
+            "--text",
+        ]))
+        .unwrap();
+        assert_eq!(opts.app, AppPreset::Fft);
+        assert_eq!(opts.out, PathBuf::from("/tmp/x.rft"));
+        assert_eq!(opts.format, TraceFormat::Text);
+        let config = opts.builder().build_config().unwrap();
+        assert_eq!(config.cores, 4);
+        assert_eq!(config.seed, 7);
+        assert_eq!(config.refs_per_thread, Some(100));
+        assert!(TraceRecordOptions::parse(&args(&["--app", "fft"]))
+            .unwrap_err()
+            .contains("--out"));
+        assert!(TraceRecordOptions::parse(&args(&["--out", "x"]))
+            .unwrap_err()
+            .contains("--app"));
+    }
+
+    #[test]
+    fn trace_replay_options_parse() {
+        let opts = TraceReplayOptions::parse(&args(&[
+            "--trace",
+            "/tmp/x.rft",
+            "--policy",
+            "P.dirty",
+            "--retention",
+            "100",
+            "--format",
+            "json",
+        ]))
+        .unwrap();
+        assert_eq!(opts.trace, PathBuf::from("/tmp/x.rft"));
+        assert_eq!(opts.format, OutputFormat::Json);
+        assert_eq!(
+            opts.policy,
+            Some(RefreshPolicy::new(TimePolicy::Periodic, DataPolicy::Dirty))
+        );
+        assert!(TraceReplayOptions::parse(&args(&[]))
+            .unwrap_err()
+            .contains("--trace"));
+    }
+
+    #[test]
+    fn repeated_trace_flags_accumulate() {
+        let opts = SweepOptions::parse(&args(&["--trace", "a.rft", "--trace", "b.rft"])).unwrap();
+        assert_eq!(
+            opts.traces,
+            vec![PathBuf::from("a.rft"), PathBuf::from("b.rft")]
+        );
+        // Unreadable trace files surface through experiment().
+        assert!(opts.experiment().is_err());
     }
 }

@@ -7,13 +7,19 @@
 //! * `run` — run one application on one configuration and print the report.
 //! * `sweep` — run a (reduced) policy sweep in parallel and print the
 //!   headline numbers.
+//! * `trace record` / `trace replay` / `trace info` — capture a workload to
+//!   a trace file, replay it bit-for-bit, or summarize its contents.
 
 use std::process::ExitCode;
 
 use refrint::config::SystemConfig;
 use refrint::figures::headline_summary;
 use refrint::sweep::{SweepProgress, SweepRunner};
-use refrint_cli::{RunOptions, SweepOptions};
+use refrint_cli::{
+    json, OutputFormat, RunOptions, SweepOptions, TraceInfoOptions, TraceRecordOptions,
+    TraceReplayOptions,
+};
+use refrint_trace::{TraceFile, TraceSummary};
 use refrint_workloads::apps::AppPreset;
 use refrint_workloads::classify::{classify, ClassifierConfig};
 
@@ -24,9 +30,17 @@ Commands:
   show-config                      print the simulated architecture (paper Table 5.1)
   classify                         classify applications into Class 1/2/3 (paper Table 6.1)
   run --app <name> [--sram] [--policy P.all|R.WB(32,32)|...] [--retention 50|100|200]
-      [--refs <n>] [--seed <n>]    run one application and print the report
-  sweep [--refs <n>] [--apps a,b] [--jobs <n>] [--progress]
+      [--refs <n>] [--seed <n>] [--format text|json]
+                                   run one application and print the report
+  sweep [--refs <n>] [--apps a,b] [--trace <file>]... [--cores <n>] [--jobs <n>]
+        [--progress] [--format text|json]
                                    run the policy sweep across worker threads
+  trace record --app <name> --out <file> [--cores <n>] [--refs <n>] [--seed <n>] [--text]
+                                   capture a workload's reference streams to a trace
+  trace replay --trace <file> [--sram] [--policy <label>] [--retention <us>]
+               [--format text|json]
+                                   replay a recorded trace through a configuration
+  trace info --trace <file>        summarize a trace (threads, gaps, strides)
 ";
 
 fn main() -> ExitCode {
@@ -41,6 +55,7 @@ fn main() -> ExitCode {
         "classify" => classify_apps(),
         "run" => run_one(rest),
         "sweep" => sweep(rest),
+        "trace" => trace(rest),
         "--help" | "-h" | "help" => {
             print!("{USAGE}");
             Ok(())
@@ -80,26 +95,36 @@ fn classify_apps() -> Result<(), String> {
     Ok(())
 }
 
+/// Prints a run report in the requested format.
+fn print_report(report: &refrint::report::SimReport, format: OutputFormat) {
+    match format {
+        OutputFormat::Json => println!("{}", json::report(report)),
+        OutputFormat::Text => {
+            println!("{report}");
+            println!();
+            println!(
+                "l3 miss rate    : {:.2} per 1000 data refs",
+                report.l3_miss_rate_per_mille()
+            );
+            println!(
+                "refresh rate    : {:.2} refreshes per kilo-cycle",
+                report.refreshes_per_kilocycle()
+            );
+        }
+    }
+}
+
 fn run_one(args: &[String]) -> Result<(), String> {
     let options = RunOptions::parse(args)?;
     let mut simulation = options.builder().build().map_err(|e| e.to_string())?;
     let outcome = simulation.run(options.app);
-    println!("{outcome}");
-    println!();
-    println!(
-        "l3 miss rate    : {:.2} per 1000 data refs",
-        outcome.report.l3_miss_rate_per_mille()
-    );
-    println!(
-        "refresh rate    : {:.2} refreshes per kilo-cycle",
-        outcome.report.refreshes_per_kilocycle()
-    );
+    print_report(&outcome.report, options.format);
     Ok(())
 }
 
 fn sweep(args: &[String]) -> Result<(), String> {
     let options = SweepOptions::parse(args)?;
-    let cfg = options.experiment();
+    let cfg = options.experiment()?;
     let mut runner = SweepRunner::new(cfg);
     if let Some(jobs) = options.jobs {
         runner = runner.workers(jobs);
@@ -118,6 +143,10 @@ fn sweep(args: &[String]) -> Result<(), String> {
         runner.config().refs_per_thread
     );
     let results = runner.run().map_err(|e| e.to_string())?;
+    if options.format == OutputFormat::Json {
+        println!("{}", json::sweep(&results));
+        return Ok(());
+    }
     for &retention in &results.retentions_us {
         if let Some(h) = headline_summary(&results, retention) {
             println!("== {retention} us ==");
@@ -131,5 +160,51 @@ fn sweep(args: &[String]) -> Result<(), String> {
             );
         }
     }
+    Ok(())
+}
+
+fn trace(args: &[String]) -> Result<(), String> {
+    let Some(sub) = args.first() else {
+        return Err(format!("trace requires a subcommand\n{USAGE}"));
+    };
+    let rest = &args[1..];
+    match sub.as_str() {
+        "record" => trace_record(rest),
+        "replay" => trace_replay(rest),
+        "info" => trace_info(rest),
+        other => Err(format!("unknown trace subcommand `{other}`\n{USAGE}")),
+    }
+}
+
+fn trace_record(args: &[String]) -> Result<(), String> {
+    let options = TraceRecordOptions::parse(args)?;
+    let simulation = options.builder().build().map_err(|e| e.to_string())?;
+    let meta = simulation
+        .capture_model_as(&options.app.model(), &options.out, options.format)
+        .map_err(|e| e.to_string())?;
+    eprintln!(
+        "recorded {} ({} threads, seed {:#x}) to {}",
+        meta.workload,
+        meta.threads,
+        meta.seed,
+        options.out.display()
+    );
+    Ok(())
+}
+
+fn trace_replay(args: &[String]) -> Result<(), String> {
+    let options = TraceReplayOptions::parse(args)?;
+    let mut simulation = options.builder().build().map_err(|e| e.to_string())?;
+    let outcome = simulation.replay().map_err(|e| e.to_string())?;
+    print_report(&outcome.report, options.format);
+    Ok(())
+}
+
+fn trace_info(args: &[String]) -> Result<(), String> {
+    let options = TraceInfoOptions::parse(args)?;
+    let trace = TraceFile::open(&options.trace).map_err(|e| e.to_string())?;
+    let summary = TraceSummary::collect(&trace).map_err(|e| e.to_string())?;
+    println!("trace           : {}", options.trace.display());
+    println!("{summary}");
     Ok(())
 }

@@ -11,6 +11,7 @@ use refrint_energy::tech::{CellTech, TechnologyParams};
 use refrint_mem::config::CacheLevelConfig;
 use refrint_noc::latency::LinkParams;
 use refrint_noc::topology::Torus;
+use refrint_workloads::model::WorkloadModel;
 
 use crate::cpu::CoreTimingModel;
 use crate::error::{ConfigError, RefrintError};
@@ -233,6 +234,19 @@ impl SystemConfig {
                 self.l3_policy_factory().label()
             ),
         }
+    }
+
+    /// The workload model as a system with this configuration actually runs
+    /// it: thread count pinned to the core count, length scaled by the
+    /// `refs_per_thread` override. Trace capture writes exactly these
+    /// streams, which is what makes replay bit-identical.
+    #[must_use]
+    pub fn adjusted_model(&self, model: &WorkloadModel) -> WorkloadModel {
+        let mut model = model.clone().with_threads(self.cores);
+        if let Some(refs) = self.refs_per_thread {
+            model = model.with_refs_per_thread(refs);
+        }
+        model
     }
 
     /// The time policy actually applied to the private L1/L2 caches: the

@@ -17,6 +17,13 @@ pub enum RefrintError {
         /// The requested artefact name.
         name: String,
     },
+    /// A trace could not be captured, opened or replayed. Carries the
+    /// rendered [`refrint_trace::TraceError`] (or a replay-level mismatch
+    /// such as a thread/core count disagreement).
+    Trace {
+        /// Description of the failure.
+        reason: String,
+    },
 }
 
 impl fmt::Display for RefrintError {
@@ -28,11 +35,20 @@ impl fmt::Display for RefrintError {
             RefrintError::UnknownArtefact { name } => {
                 write!(f, "unknown experiment artefact `{name}`")
             }
+            RefrintError::Trace { reason } => write!(f, "trace error: {reason}"),
         }
     }
 }
 
 impl Error for RefrintError {}
+
+impl From<refrint_trace::TraceError> for RefrintError {
+    fn from(err: refrint_trace::TraceError) -> Self {
+        RefrintError::Trace {
+            reason: err.to_string(),
+        }
+    }
+}
 
 /// The typed constraint violations [`crate::config::SystemConfig::validate_typed`]
 /// can report — the single source of truth for configuration rules. The

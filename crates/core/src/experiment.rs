@@ -4,16 +4,62 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::path::PathBuf;
 use std::sync::Arc;
 
 use refrint_edram::model::PolicyFactory;
 use refrint_edram::policy::RefreshPolicy;
 use refrint_edram::retention::RetentionConfig;
+use refrint_trace::TraceFile;
 use refrint_workloads::apps::AppPreset;
 use refrint_workloads::classify::AppClass;
 
 use crate::error::RefrintError;
 use crate::report::SimReport;
+
+/// A recorded trace included in a sweep: every `(retention × policy)` point
+/// (plus the SRAM baseline) replays it, exactly like an application preset.
+/// Reports are keyed by `name`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceSpec {
+    /// The key the trace's reports are filed under.
+    pub name: String,
+    /// Path of the trace file (binary or text).
+    pub path: PathBuf,
+}
+
+impl TraceSpec {
+    /// Builds a spec keyed by an explicit name.
+    #[must_use]
+    pub fn named(name: impl Into<String>, path: impl Into<PathBuf>) -> Self {
+        TraceSpec {
+            name: name.into(),
+            path: path.into(),
+        }
+    }
+
+    /// Builds a spec keyed by the workload name in the trace's header.
+    ///
+    /// # Errors
+    ///
+    /// [`RefrintError::Trace`] if the file cannot be opened or parsed.
+    pub fn from_path(path: impl Into<PathBuf>) -> Result<Self, RefrintError> {
+        let path = path.into();
+        let trace = TraceFile::open(&path).map_err(|e| RefrintError::Trace {
+            reason: format!("{}: {e}", path.display()),
+        })?;
+        Ok(TraceSpec {
+            name: trace.meta().workload.clone(),
+            path,
+        })
+    }
+}
+
+impl fmt::Display for TraceSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.name, self.path.display())
+    }
+}
 
 /// One eDRAM configuration point of the sweep.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -56,6 +102,9 @@ pub struct ExperimentConfig {
     /// Custom refresh-policy models swept alongside `policies` at every
     /// retention point (their reports are keyed by their labels).
     pub models: Vec<Arc<dyn PolicyFactory>>,
+    /// Recorded traces swept alongside `apps` at every configuration point.
+    /// Each trace's thread count must match `cores`.
+    pub traces: Vec<TraceSpec>,
 }
 
 impl ExperimentConfig {
@@ -70,6 +119,7 @@ impl ExperimentConfig {
             seed: 0xBEEF,
             cores: 16,
             models: Vec::new(),
+            traces: Vec::new(),
         }
     }
 
@@ -85,6 +135,7 @@ impl ExperimentConfig {
             seed: 0xBEEF,
             cores: 16,
             models: Vec::new(),
+            traces: Vec::new(),
         }
     }
 
@@ -109,11 +160,20 @@ impl ExperimentConfig {
         self
     }
 
-    /// Total number of (application × configuration) simulations the sweep
-    /// will run, including the SRAM baseline.
+    /// Adds a recorded trace to the sweep.
+    #[must_use]
+    pub fn with_trace(mut self, trace: TraceSpec) -> Self {
+        self.traces.push(trace);
+        self
+    }
+
+    /// Total number of (workload × configuration) simulations the sweep
+    /// will run, including the SRAM baselines. Applications and traces are
+    /// both workloads.
     #[must_use]
     pub fn total_runs(&self) -> usize {
-        self.apps.len() * (1 + self.retentions_us.len() * (self.policies.len() + self.models.len()))
+        (self.apps.len() + self.traces.len())
+            * (1 + self.retentions_us.len() * (self.policies.len() + self.models.len()))
     }
 
     pub(crate) fn retention(us: u64) -> Result<RetentionConfig, RefrintError> {
@@ -146,13 +206,35 @@ pub struct SweepResults {
     /// Labels of the custom policy models that were swept alongside the
     /// descriptor policies.
     pub custom_labels: Vec<String>,
+    /// The traces that were swept alongside the applications.
+    pub traces: Vec<TraceSpec>,
 }
 
 impl SweepResults {
     /// The SRAM baseline report for `app`.
     #[must_use]
     pub fn sram_report(&self, app: AppPreset) -> Option<&SimReport> {
-        self.sram.get(app.name())
+        self.sram_report_named(app.name())
+    }
+
+    /// The SRAM baseline report for any workload key — application names
+    /// and trace names share one namespace.
+    #[must_use]
+    pub fn sram_report_named(&self, workload: &str) -> Option<&SimReport> {
+        self.sram.get(workload)
+    }
+
+    /// The eDRAM report for `(workload key, retention, policy label)` —
+    /// reaches traces and custom policy models as well as presets.
+    #[must_use]
+    pub fn edram_report_named(
+        &self,
+        workload: &str,
+        retention_us: u64,
+        label: &str,
+    ) -> Option<&SimReport> {
+        self.edram
+            .get(&(workload.to_owned(), retention_us, label.to_owned()))
     }
 
     /// The eDRAM report for `(app, retention, policy)`.
@@ -175,8 +257,7 @@ impl SweepResults {
         retention_us: u64,
         label: &str,
     ) -> Option<&SimReport> {
-        self.edram
-            .get(&(app.name().to_owned(), retention_us, label.to_owned()))
+        self.edram_report_named(app.name(), retention_us, label)
     }
 
     /// The applications of `class` that were part of this sweep.
@@ -260,6 +341,7 @@ mod tests {
             seed: 3,
             cores: 4,
             models: Vec::new(),
+            traces: Vec::new(),
         };
         let results = run_sweep(&cfg).unwrap();
         assert_eq!(results.sram.len(), 2);

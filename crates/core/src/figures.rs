@@ -239,6 +239,7 @@ mod tests {
             seed: 5,
             cores: 4,
             models: Vec::new(),
+            traces: Vec::new(),
         };
         run_sweep(&cfg).unwrap()
     }

@@ -54,6 +54,17 @@
 //! ([`SweepRunner`]) with [`ProgressObserver`] streaming and a merge that is
 //! deterministic for every worker count; and the [`figures`] module turns
 //! sweep results into the rows of Figures 6.1–6.4 and Table 6.1.
+//!
+//! # Trace capture & replay
+//!
+//! Any workload can be recorded to a compact trace file
+//! ([`Simulation::capture`], crate `refrint-trace`) and replayed
+//! bit-for-bit — the replayed [`SimReport`] is identical to the live
+//! run's — through [`SimulationBuilder::trace`] + [`Simulation::replay`],
+//! on this machine or another. Traces also join sweeps alongside the
+//! presets via [`ExperimentConfig`]'s `traces` ([`TraceSpec`]); see the
+//! [`replay`] module for the glue and `refrint-trace` for the format
+//! specification.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -65,6 +76,7 @@ pub mod error;
 pub mod experiment;
 pub mod figures;
 pub mod hierarchy;
+pub mod replay;
 pub mod report;
 pub mod simulation;
 pub mod sweep;
@@ -72,7 +84,7 @@ pub mod system;
 
 pub use config::SystemConfig;
 pub use error::RefrintError;
-pub use experiment::{ExperimentConfig, SweepResults};
+pub use experiment::{ExperimentConfig, SweepResults, TraceSpec};
 pub use report::SimReport;
 pub use simulation::{BuildError, RelativeMetrics, RunOutcome, Simulation, SimulationBuilder};
 pub use sweep::{ProgressObserver, SweepProgress, SweepRunner};
@@ -81,7 +93,7 @@ pub use system::CmpSystem;
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
     pub use crate::config::SystemConfig;
-    pub use crate::experiment::{ExperimentConfig, SweepResults};
+    pub use crate::experiment::{ExperimentConfig, SweepResults, TraceSpec};
     pub use crate::report::SimReport;
     pub use crate::simulation::{BuildError, RunOutcome, Simulation, SimulationBuilder};
     pub use crate::sweep::{ProgressObserver, SweepProgress, SweepRunner};
@@ -93,6 +105,7 @@ pub mod prelude {
     pub use refrint_edram::retention::RetentionConfig;
     pub use refrint_edram::schedule::LineKind;
     pub use refrint_energy::tech::CellTech;
+    pub use refrint_trace::{TraceError, TraceFile, TraceFormat, TraceMeta, TraceSummary};
     pub use refrint_workloads::apps::AppPreset;
     pub use refrint_workloads::classify::AppClass;
 }

@@ -40,6 +40,7 @@
 //! ```
 
 use std::fmt;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use refrint_edram::model::{PolicyFactory, PolicyRegistry};
@@ -47,11 +48,13 @@ use refrint_edram::policy::RefreshPolicy;
 use refrint_edram::retention::RetentionConfig;
 use refrint_energy::breakdown::EnergyBreakdown;
 use refrint_energy::tech::CellTech;
+use refrint_trace::{TraceFile, TraceFormat, TraceMeta};
 use refrint_workloads::apps::AppPreset;
 use refrint_workloads::model::WorkloadModel;
 
 use crate::config::SystemConfig;
 use crate::error::{ConfigError, RefrintError};
+use crate::replay;
 use crate::report::SimReport;
 use crate::system::CmpSystem;
 
@@ -98,6 +101,13 @@ pub enum BuildError {
     },
     /// More than one of `policy` / `policy_label` / `policy_model` was set.
     ConflictingPolicySpecs,
+    /// The trace file supplied to [`SimulationBuilder::trace`] could not be
+    /// opened, or disagrees with the configured core count.
+    Trace {
+        /// Description of the failure (includes the trace path and, for
+        /// format errors, the offending byte offset).
+        reason: String,
+    },
     /// A constraint not covered by the variants above (forwarded from
     /// [`SystemConfig::validate`]).
     Invalid {
@@ -145,6 +155,7 @@ impl fmt::Display for BuildError {
                 f,
                 "set at most one of policy(), policy_label() and policy_model()"
             ),
+            BuildError::Trace { reason } => write!(f, "trace error: {reason}"),
             BuildError::Invalid { reason } => write!(f, "invalid configuration: {reason}"),
         }
     }
@@ -177,6 +188,7 @@ pub struct SimulationBuilder {
     l3_banks: Option<usize>,
     seed: Option<u64>,
     refs_per_thread: Option<u64>,
+    trace: Option<PathBuf>,
     registry: PolicyRegistry,
     registry_error: Option<String>,
 }
@@ -303,6 +315,39 @@ impl SimulationBuilder {
         self
     }
 
+    /// Replays a recorded trace instead of generating synthetic streams:
+    /// [`Simulation::replay`] feeds the file's per-thread reference streams
+    /// through the system. Unless [`SimulationBuilder::cores`] is set, the
+    /// chip is sized to the trace's thread count; an explicit core count
+    /// must match it (checked at build time, like the file's integrity).
+    #[must_use]
+    pub fn trace(mut self, path: impl Into<PathBuf>) -> Self {
+        self.trace = Some(path.into());
+        self
+    }
+
+    /// Opens and checks the configured trace, if any.
+    fn open_trace(&self) -> Result<Option<TraceFile>, BuildError> {
+        let Some(path) = &self.trace else {
+            return Ok(None);
+        };
+        let trace = TraceFile::open(path).map_err(|e| BuildError::Trace {
+            reason: format!("{}: {e}", path.display()),
+        })?;
+        if let Some(cores) = self.cores {
+            if trace.meta().threads != cores {
+                return Err(BuildError::Trace {
+                    reason: format!(
+                        "{}: trace has {} threads but {cores} cores were configured",
+                        path.display(),
+                        trace.meta().threads
+                    ),
+                });
+            }
+        }
+        Ok(Some(trace))
+    }
+
     /// Composes and validates the configuration without instantiating the
     /// system.
     ///
@@ -310,6 +355,10 @@ impl SimulationBuilder {
     ///
     /// See [`BuildError`].
     pub fn build_config(&self) -> Result<SystemConfig, BuildError> {
+        self.build_config_with(self.open_trace()?.as_ref())
+    }
+
+    fn build_config_with(&self, trace: Option<&TraceFile>) -> Result<SystemConfig, BuildError> {
         if let Some(reason) = &self.registry_error {
             return Err(BuildError::Invalid {
                 reason: reason.clone(),
@@ -376,6 +425,10 @@ impl SimulationBuilder {
         if let Some(cores) = self.cores {
             config.cores = cores;
             config.l3_banks = cores;
+        } else if let Some(trace) = trace {
+            // A replayed trace sizes the chip to its thread count.
+            config.cores = trace.meta().threads;
+            config.l3_banks = trace.meta().threads;
         }
         if let Some(banks) = self.l3_banks {
             config.l3_banks = banks;
@@ -421,11 +474,12 @@ impl SimulationBuilder {
     ///
     /// See [`BuildError`].
     pub fn build(&self) -> Result<Simulation, BuildError> {
-        let config = self.build_config()?;
+        let trace = self.open_trace()?;
+        let config = self.build_config_with(trace.as_ref())?;
         let system = CmpSystem::new(config).map_err(|e| BuildError::Invalid {
             reason: e.to_string(),
         })?;
-        Ok(Simulation { system })
+        Ok(Simulation { system, trace })
     }
 }
 
@@ -433,6 +487,8 @@ impl SimulationBuilder {
 #[derive(Debug)]
 pub struct Simulation {
     system: CmpSystem,
+    /// The opened trace when built with [`SimulationBuilder::trace`].
+    trace: Option<TraceFile>,
 }
 
 impl Simulation {
@@ -457,6 +513,74 @@ impl Simulation {
     /// Runs an arbitrary workload model.
     pub fn run_model(&mut self, model: &WorkloadModel) -> RunOutcome {
         RunOutcome::new(self.system.run_model(model))
+    }
+
+    /// Replays the trace this simulation was built with
+    /// ([`SimulationBuilder::trace`]). For a trace captured from the same
+    /// configuration, the outcome's report is bit-identical to the live
+    /// run's.
+    ///
+    /// # Errors
+    ///
+    /// [`RefrintError::Trace`] if no trace was configured or a record fails
+    /// to decode.
+    pub fn replay(&mut self) -> Result<RunOutcome, RefrintError> {
+        let Some(trace) = &self.trace else {
+            return Err(RefrintError::Trace {
+                reason: "no trace configured: build with Simulation::builder().trace(path)".into(),
+            });
+        };
+        let trace = trace.clone();
+        Ok(RunOutcome::new(replay::replay(&mut self.system, &trace)?))
+    }
+
+    /// The trace this simulation will replay, if one was configured.
+    #[must_use]
+    pub fn trace(&self) -> Option<&TraceFile> {
+        self.trace.as_ref()
+    }
+
+    /// Records the reference streams this simulation would run for `app`
+    /// (same seed, core count and scale) to a binary trace at `path`, so
+    /// [`SimulationBuilder::trace`] can replay the run elsewhere.
+    ///
+    /// # Errors
+    ///
+    /// [`RefrintError::Trace`] on I/O failures.
+    pub fn capture(
+        &self,
+        app: AppPreset,
+        path: impl AsRef<Path>,
+    ) -> Result<TraceMeta, RefrintError> {
+        self.capture_model_as(&app.model(), path, TraceFormat::Binary)
+    }
+
+    /// Records an arbitrary workload model to a binary trace at `path`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Simulation::capture`].
+    pub fn capture_model(
+        &self,
+        model: &WorkloadModel,
+        path: impl AsRef<Path>,
+    ) -> Result<TraceMeta, RefrintError> {
+        self.capture_model_as(model, path, TraceFormat::Binary)
+    }
+
+    /// Records an arbitrary workload model to a trace at `path` in the
+    /// chosen on-disk format.
+    ///
+    /// # Errors
+    ///
+    /// See [`Simulation::capture`].
+    pub fn capture_model_as(
+        &self,
+        model: &WorkloadModel,
+        path: impl AsRef<Path>,
+        format: TraceFormat,
+    ) -> Result<TraceMeta, RefrintError> {
+        replay::capture_to_path(self.system.config(), model, path, format)
     }
 
     /// The underlying system simulator, for advanced use.
@@ -856,6 +980,88 @@ mod tests {
             err.to_string().contains("burst period"),
             "expected a burst-period error, got: {err}"
         );
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("refrint-sim-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn missing_trace_files_are_typed_build_errors() {
+        let err = Simulation::builder()
+            .trace("/nonexistent/refrint.rft")
+            .build()
+            .unwrap_err();
+        match &err {
+            BuildError::Trace { reason } => assert!(reason.contains("refrint.rft"), "{reason}"),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupt_trace_files_are_typed_build_errors() {
+        let path = tmp("corrupt.rft");
+        std::fs::write(&path, b"not a trace at all").unwrap();
+        let err = Simulation::builder().trace(&path).build().unwrap_err();
+        match &err {
+            BuildError::Trace { reason } => assert!(reason.contains("magic"), "{reason}"),
+            other => panic!("unexpected error {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn replay_without_a_trace_is_a_typed_error() {
+        let mut sim = Simulation::builder().cores(2).build().unwrap();
+        let err = sim.replay().unwrap_err();
+        assert!(matches!(err, RefrintError::Trace { .. }), "{err}");
+    }
+
+    #[test]
+    fn traces_size_the_chip_and_replay_identically() {
+        let path = tmp("builder-roundtrip.rft");
+        let builder = || {
+            Simulation::builder()
+                .edram_recommended()
+                .cores(2)
+                .refs_per_thread(900)
+                .seed(21)
+        };
+        let meta = builder()
+            .build()
+            .unwrap()
+            .capture(AppPreset::Barnes, &path)
+            .unwrap();
+        assert_eq!(meta.threads, 2);
+
+        // Without .cores(), the chip adopts the trace's thread count.
+        let mut replayer = Simulation::builder()
+            .edram_recommended()
+            .refs_per_thread(900)
+            .seed(21)
+            .trace(&path)
+            .build()
+            .unwrap();
+        assert_eq!(replayer.config().cores, 2);
+        assert_eq!(replayer.trace().unwrap().meta().workload, "barnes");
+        let live = builder().build().unwrap().run(AppPreset::Barnes);
+        let replayed = replayer.replay().unwrap();
+        assert_eq!(
+            format!("{:?}", live.report),
+            format!("{:?}", replayed.report)
+        );
+
+        // An explicit core count that disagrees is rejected at build time.
+        let err = Simulation::builder()
+            .cores(4)
+            .trace(&path)
+            .build()
+            .unwrap_err();
+        match &err {
+            BuildError::Trace { reason } => assert!(reason.contains("2 threads"), "{reason}"),
+            other => panic!("unexpected error {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

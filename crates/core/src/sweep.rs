@@ -34,6 +34,7 @@
 //! assert_eq!(results.edram.len(), 1);
 //! ```
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -42,9 +43,12 @@ use refrint_edram::policy::RefreshPolicy;
 use refrint_energy::tech::CellTech;
 use refrint_workloads::apps::AppPreset;
 
+use refrint_trace::TraceFile;
+
 use crate::config::SystemConfig;
 use crate::error::RefrintError;
-use crate::experiment::{ExperimentConfig, SweepResults};
+use crate::experiment::{ExperimentConfig, SweepResults, TraceSpec};
+use crate::replay;
 use crate::report::SimReport;
 use crate::system::CmpSystem;
 
@@ -102,17 +106,43 @@ impl PolicyChoice {
     }
 }
 
+/// What a job simulates: a synthetic application preset or a recorded
+/// trace. Both run through the same system; reports are keyed by
+/// [`Workload::key`].
+#[derive(Debug, Clone)]
+enum Workload {
+    App(AppPreset),
+    Trace(TraceSpec),
+}
+
+impl Workload {
+    fn key(&self) -> String {
+        match self {
+            Workload::App(app) => app.name().to_owned(),
+            Workload::Trace(spec) => spec.name.clone(),
+        }
+    }
+}
+
 /// One schedulable simulation of the sweep.
 #[derive(Debug, Clone)]
 enum Job {
     Sram {
-        app: AppPreset,
+        workload: Workload,
     },
     Edram {
-        app: AppPreset,
+        workload: Workload,
         retention_us: u64,
         policy: PolicyChoice,
     },
+}
+
+impl Job {
+    fn workload(&self) -> &Workload {
+        match self {
+            Job::Sram { workload } | Job::Edram { workload, .. } => workload,
+        }
+    }
 }
 
 /// Runs an experiment sweep across a configurable number of worker threads.
@@ -177,25 +207,33 @@ impl SweepRunner {
         &self.config
     }
 
-    /// Builds the deterministic job list: for each application, the SRAM
-    /// baseline followed by every (retention × policy) eDRAM point —
-    /// descriptor policies first, then custom models, mirroring the
-    /// sequential sweep's nesting order.
+    /// Builds the deterministic job list: for each workload (applications
+    /// first, then traces), the SRAM baseline followed by every
+    /// (retention × policy) eDRAM point — descriptor policies first, then
+    /// custom models, mirroring the sequential sweep's nesting order.
     fn jobs(&self) -> Vec<Job> {
+        let workloads = self
+            .config
+            .apps
+            .iter()
+            .map(|&app| Workload::App(app))
+            .chain(self.config.traces.iter().cloned().map(Workload::Trace));
         let mut jobs = Vec::with_capacity(self.config.total_runs());
-        for &app in &self.config.apps {
-            jobs.push(Job::Sram { app });
+        for workload in workloads {
+            jobs.push(Job::Sram {
+                workload: workload.clone(),
+            });
             for &retention_us in &self.config.retentions_us {
                 for &policy in &self.config.policies {
                     jobs.push(Job::Edram {
-                        app,
+                        workload: workload.clone(),
                         retention_us,
                         policy: PolicyChoice::Builtin(policy),
                     });
                 }
                 for factory in &self.config.models {
                     jobs.push(Job::Edram {
-                        app,
+                        workload: workload.clone(),
                         retention_us,
                         policy: PolicyChoice::Custom(Arc::clone(factory)),
                     });
@@ -230,13 +268,22 @@ impl SweepRunner {
         })
     }
 
-    fn run_job(&self, job: &Job) -> Result<SimReport, RefrintError> {
+    fn run_job(
+        &self,
+        job: &Job,
+        traces: &BTreeMap<String, TraceFile>,
+    ) -> Result<SimReport, RefrintError> {
         let config = self.system_config(job)?;
-        let app = match job {
-            Job::Sram { app } | Job::Edram { app, .. } => *app,
-        };
         let mut system = CmpSystem::new(config)?;
-        Ok(system.run_app(app))
+        match job.workload() {
+            Workload::App(app) => Ok(system.run_app(*app)),
+            Workload::Trace(spec) => {
+                let trace = traces
+                    .get(&spec.name)
+                    .expect("every trace was opened by the pre-check");
+                replay::replay(&mut system, trace)
+            }
+        }
     }
 
     /// Runs the sweep and merges the reports.
@@ -269,6 +316,52 @@ impl SweepRunner {
             }
         }
 
+        // Workload keys (application names and trace names) share one
+        // report namespace; a collision would silently overwrite reports.
+        let mut keys = std::collections::BTreeSet::new();
+        for key in self
+            .config
+            .apps
+            .iter()
+            .map(|a| a.name().to_owned())
+            .chain(self.config.traces.iter().map(|t| t.name.clone()))
+        {
+            if !keys.insert(key.clone()) {
+                return Err(RefrintError::InvalidConfig {
+                    reason: format!(
+                        "duplicate workload `{key}` in the sweep \
+                         (reports are keyed by workload name)"
+                    ),
+                });
+            }
+        }
+
+        // Open and check every trace before burning through any
+        // simulations: an unreadable file or a thread/core mismatch fails
+        // the sweep immediately instead of after the earlier jobs have run.
+        // The opened (indexed) files are shared with the jobs, so a trace
+        // swept over many configuration points is indexed exactly once.
+        let mut traces: BTreeMap<String, TraceFile> = BTreeMap::new();
+        for spec in &self.config.traces {
+            let trace = TraceFile::open(&spec.path).map_err(|e| RefrintError::Trace {
+                reason: format!("{}: {e}", spec.path.display()),
+            })?;
+            let threads = trace.meta().threads;
+            if threads != self.config.cores {
+                return Err(RefrintError::Trace {
+                    reason: format!(
+                        "trace `{}` ({}) has {threads} threads but the sweep is configured \
+                         for {} cores",
+                        spec.name,
+                        spec.path.display(),
+                        self.config.cores
+                    ),
+                });
+            }
+            traces.insert(spec.name.clone(), trace);
+        }
+        let traces = &traces;
+
         let jobs = self.jobs();
         let total = jobs.len();
         let next = AtomicUsize::new(0);
@@ -288,22 +381,20 @@ impl SweepRunner {
                 break;
             }
             let job = &jobs[index];
-            let result = self.run_job(job);
+            let result = self.run_job(job, traces);
             match &result {
                 Ok(report) => {
                     if let Some(observer) = &self.observer {
-                        let (app, retention_us) = match job {
-                            Job::Sram { app } => (*app, None),
-                            Job::Edram {
-                                app, retention_us, ..
-                            } => (*app, Some(*retention_us)),
+                        let retention_us = match job {
+                            Job::Sram { .. } => None,
+                            Job::Edram { retention_us, .. } => Some(*retention_us),
                         };
                         let mut done = progress.lock().expect("observer lock never poisoned");
                         *done += 1;
                         observer.on_run_complete(&SweepProgress {
                             completed: *done,
                             total,
-                            app: app.name().to_owned(),
+                            app: job.workload().key(),
                             config_label: report.config_label.clone(),
                             retention_us,
                         });
@@ -340,6 +431,7 @@ impl SweepRunner {
             retentions_us: self.config.retentions_us.clone(),
             policies: self.config.policies.clone(),
             custom_labels: self.config.models.iter().map(|m| m.label()).collect(),
+            traces: self.config.traces.clone(),
             ..SweepResults::default()
         };
         for (job, slot) in jobs.iter().zip(slots) {
@@ -347,18 +439,17 @@ impl SweepRunner {
                 .expect("with no failed job, every index was claimed and filled")
                 .expect("errors were returned above");
             match job {
-                Job::Sram { app } => {
-                    results.sram.insert(app.name().to_owned(), report);
+                Job::Sram { workload } => {
+                    results.sram.insert(workload.key(), report);
                 }
                 Job::Edram {
-                    app,
+                    workload,
                     retention_us,
                     policy,
                 } => {
-                    results.edram.insert(
-                        (app.name().to_owned(), *retention_us, policy.label()),
-                        report,
-                    );
+                    results
+                        .edram
+                        .insert((workload.key(), *retention_us, policy.label()), report);
                 }
             }
         }
@@ -384,6 +475,7 @@ mod tests {
             seed: 3,
             cores: 4,
             models: Vec::new(),
+            traces: Vec::new(),
         }
     }
 
@@ -425,6 +517,57 @@ mod tests {
     fn worker_count_is_clamped() {
         let runner = SweepRunner::new(tiny_config()).workers(0);
         assert_eq!(runner.workers, 1);
+    }
+
+    #[test]
+    fn traces_sweep_alongside_apps_with_identical_reports() {
+        let path =
+            std::env::temp_dir().join(format!("refrint-sweep-{}-trace.rft", std::process::id()));
+        // Capture with exactly the chip parameters the sweep derives.
+        let capture_config = SystemConfig::sram_baseline()
+            .with_cores(4)
+            .with_seed(3)
+            .with_scale(1_200);
+        crate::replay::capture_to_path(
+            &capture_config,
+            &AppPreset::Lu.model(),
+            &path,
+            refrint_trace::TraceFormat::Binary,
+        )
+        .unwrap();
+
+        let mut config = tiny_config();
+        config.apps = vec![AppPreset::Lu];
+        config.traces = vec![TraceSpec::named("lu-trace", &path)];
+        assert_eq!(config.total_runs(), 2 * (1 + 2));
+        let results = SweepRunner::new(config).workers(2).run().unwrap();
+
+        // The replayed runs mirror the synthetic runs bit for bit.
+        let live = results.sram_report(AppPreset::Lu).unwrap();
+        let replayed = results.sram_report_named("lu-trace").unwrap();
+        assert_eq!(format!("{live:?}"), format!("{replayed:?}"));
+        let label = RefreshPolicy::edram_baseline().label();
+        let live = results.edram_report_named("lu", 50, &label).unwrap();
+        let replayed = results.edram_report_named("lu-trace", 50, &label).unwrap();
+        assert_eq!(format!("{live:?}"), format!("{replayed:?}"));
+        assert_eq!(results.traces.len(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn duplicate_workload_keys_are_rejected() {
+        let mut config = tiny_config();
+        config.traces = vec![TraceSpec::named("fft", "unused.rft")];
+        let err = SweepRunner::new(config).run().unwrap_err();
+        assert!(err.to_string().contains("duplicate workload"), "{err}");
+    }
+
+    #[test]
+    fn missing_trace_files_fail_the_sweep_with_a_typed_error() {
+        let mut config = tiny_config();
+        config.traces = vec![TraceSpec::named("ghost", "/nonexistent/ghost.rft")];
+        let err = SweepRunner::new(config).workers(2).run().unwrap_err();
+        assert!(matches!(err, RefrintError::Trace { .. }), "{err}");
     }
 
     #[test]

@@ -178,15 +178,43 @@ impl CmpSystem {
     /// Runs an arbitrary workload model (its thread count is adjusted to the
     /// configured core count, and its length to the configured scale).
     pub fn run_model(&mut self, model: &WorkloadModel) -> SimReport {
-        let mut model = model.clone().with_threads(self.cfg.cores);
-        if let Some(refs) = self.cfg.refs_per_thread {
-            model = model.with_refs_per_thread(refs);
-        }
-        let workload_name = model.name.clone();
-
-        let mut streams: Vec<ThreadStream> = (0..model.threads)
+        let model = self.cfg.adjusted_model(model);
+        let streams: Vec<ThreadStream> = (0..model.threads)
             .map(|t| ThreadStream::new(&model, t, self.cfg.seed))
             .collect();
+        self.run_streams(&model.name, streams)
+            .expect("the adjusted model has one stream per core")
+    }
+
+    /// Runs one reference stream per core through the system — the common
+    /// driver behind both synthetic generation ([`CmpSystem::run_model`])
+    /// and trace replay. Cores advance independently; the reference of the
+    /// core with the smallest local time is always processed next, so the
+    /// interleaving depends only on the streams' contents.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RefrintError::InvalidConfig`] if the stream count differs
+    /// from the configured core count.
+    pub fn run_streams<I>(
+        &mut self,
+        workload: &str,
+        streams: Vec<I>,
+    ) -> Result<SimReport, RefrintError>
+    where
+        I: Iterator<Item = refrint_workloads::trace::MemRef>,
+    {
+        if streams.len() != self.cfg.cores {
+            return Err(RefrintError::InvalidConfig {
+                reason: format!(
+                    "{} reference streams supplied for {} cores (one stream per core required)",
+                    streams.len(),
+                    self.cfg.cores
+                ),
+            });
+        }
+        let workload_name = workload.to_owned();
+        let mut streams = streams;
         let mut core_time = vec![Cycle::ZERO; self.cfg.cores];
         let mut done = vec![false; self.cfg.cores];
         let mut remaining = self.cfg.cores;
@@ -228,14 +256,14 @@ impl CmpSystem {
             self.cfg.cores,
             self.cfg.l3_banks,
         );
-        SimReport {
+        Ok(SimReport {
             config_label: self.cfg.label(),
             workload: workload_name,
             execution_cycles: end.raw(),
             counts,
             breakdown,
             stats: self.collect_stats(),
-        }
+        })
     }
 
     // ----------------------------------------------------------------- //

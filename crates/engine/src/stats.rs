@@ -190,6 +190,14 @@ impl Histogram {
         }
         Some(self.max)
     }
+
+    /// An approximate percentile (`p` in `0..=100`), e.g. `percentile(99.0)`
+    /// for the p99. A thin wrapper over [`Histogram::quantile`] for
+    /// reporting code that speaks percentiles.
+    #[must_use]
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        self.quantile(p / 100.0)
+    }
 }
 
 impl Default for Histogram {
@@ -314,6 +322,19 @@ mod tests {
         assert!((mean - 49.5).abs() < 1e-9);
         assert!(h.quantile(0.5).unwrap() >= 32);
         assert!(h.quantile(1.0).unwrap() >= 64);
+    }
+
+    #[test]
+    fn percentiles_match_quantiles() {
+        let mut h = Histogram::exponential(10);
+        assert_eq!(h.percentile(50.0), None);
+        for s in 0..1000u64 {
+            h.record(s);
+        }
+        assert_eq!(h.percentile(50.0), h.quantile(0.5));
+        assert_eq!(h.percentile(99.0), h.quantile(0.99));
+        assert_eq!(h.percentile(100.0), h.quantile(1.0));
+        assert!(h.percentile(99.0).unwrap() <= h.percentile(100.0).unwrap());
     }
 
     #[test]

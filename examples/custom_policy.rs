@@ -112,6 +112,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         seed: 0xBEEF,
         cores: 16,
         models: vec![Arc::clone(&factory)],
+        traces: Vec::new(),
     };
 
     let workers = std::thread::available_parallelism()?.get().max(2);

@@ -1,0 +1,63 @@
+//! Capture a workload to a trace file, replay it bit-for-bit, and print
+//! both reports plus a trace summary — the end-to-end smoke test for the
+//! `refrint-trace` subsystem (run by CI).
+//!
+//! ```sh
+//! cargo run --example trace_replay
+//! ```
+
+use refrint::prelude::*;
+
+fn main() {
+    let path =
+        std::env::temp_dir().join(format!("refrint-example-{}-trace.rft", std::process::id()));
+    let build = || {
+        Simulation::builder()
+            .edram_recommended()
+            .cores(4)
+            .refs_per_thread(4_000)
+            .seed(0xBEEF)
+            .build()
+            .expect("the recommended configuration is valid")
+    };
+
+    // 1. Record the streams the simulation would run.
+    let meta = build()
+        .capture(AppPreset::Barnes, &path)
+        .expect("capture succeeds");
+    println!(
+        "captured `{}` ({} threads) to {}",
+        meta.workload,
+        meta.threads,
+        path.display()
+    );
+
+    // 2. Summarize the file, as `refrint-cli trace info` would.
+    let trace = TraceFile::open(&path).expect("the captured trace opens");
+    let summary = TraceSummary::collect(&trace).expect("the captured trace decodes");
+    println!("\n== trace info ==\n{summary}\n");
+
+    // 3. Run live and replay the trace through an identical configuration.
+    let live = build().run(AppPreset::Barnes);
+    let mut replayer = Simulation::builder()
+        .edram_recommended()
+        .refs_per_thread(4_000)
+        .seed(0xBEEF)
+        .trace(&path)
+        .build()
+        .expect("the trace-driven configuration is valid");
+    let replayed = replayer.replay().expect("replay succeeds");
+
+    println!("== live run ==\n{}\n", live.report);
+    println!("== replayed run ==\n{}\n", replayed.report);
+
+    // 4. The subsystem's core guarantee: replay is bit-identical.
+    assert_eq!(
+        format!("{:?}", live.report),
+        format!("{:?}", replayed.report),
+        "replay must reproduce the live report exactly"
+    );
+    println!("replay is bit-identical to the live run ✓");
+
+    std::fs::remove_file(&path).ok();
+}

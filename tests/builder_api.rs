@@ -229,6 +229,7 @@ fn sweep_config() -> ExperimentConfig {
         seed: 21,
         cores: 4,
         models: vec![Arc::new(FlatLeaseFactory { budget: 3 })],
+        traces: Vec::new(),
     }
 }
 

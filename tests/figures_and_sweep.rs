@@ -24,6 +24,7 @@ fn reduced_sweep() -> refrint::SweepResults {
         seed: 9,
         cores: 8,
         models: Vec::new(),
+        traces: Vec::new(),
     };
     run_sweep(&cfg).expect("reduced sweep must run")
 }
