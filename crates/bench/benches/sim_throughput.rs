@@ -1,0 +1,33 @@
+//! End-to-end simulator throughput (refs/sec) across the scenarios gated by
+//! `perfgate`. Set `SIM_THROUGHPUT_MODE=full` for baseline-quality numbers;
+//! the default quick mode is sized for CI.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use refrint_bench::throughput::{measure, scenarios, Effort};
+
+fn sim_throughput(c: &mut Criterion) {
+    let effort = std::env::var("SIM_THROUGHPUT_MODE")
+        .ok()
+        .and_then(|m| Effort::parse(&m))
+        .unwrap_or(Effort::Quick);
+    let mut group = c.benchmark_group("sim_throughput");
+    group.sample_size(2);
+    for scenario in scenarios() {
+        // Each "iteration" reports the suite's own refs/sec measurement so
+        // the bench output and BENCH_SIM.json agree on methodology.
+        group.bench_function(scenario.name, |b| {
+            b.iter(|| {
+                let m = measure(&scenario, effort);
+                println!(
+                    "    {}: {:.0} refs/sec ({} cycles)",
+                    m.name, m.refs_per_sec, m.execution_cycles
+                );
+                m.execution_cycles
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, sim_throughput);
+criterion_main!(benches);

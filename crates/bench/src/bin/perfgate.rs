@@ -1,0 +1,249 @@
+//! `perfgate` — record and gate simulator-throughput baselines.
+//!
+//! Subcommands (flag-style, consistent with `refrint-cli`):
+//!
+//! * `perfgate --record [FILE]` — run the `sim_throughput` suite and write
+//!   the results document (default `BENCH_SIM.json`).
+//! * `perfgate --check FILE` — re-run the suite at the baseline's recorded
+//!   mode and fail (exit 1) if any metric's refs/sec drops more than the
+//!   tolerance below the baseline, or if the deterministic simulated-cycle
+//!   counts diverge at all.
+//! * `perfgate --compare OLD NEW` — diff two recorded documents without
+//!   running anything; `--min-ratio NAME=R` additionally enforces a minimum
+//!   speedup for one metric.
+//!
+//! `refs_per_sec` is wall-clock and machine-dependent, hence the tolerance
+//! (`--tolerance 0.25` = fail below 75% of baseline). `execution_cycles` is
+//! the simulated clock: identical on every machine, so any difference means
+//! the simulation's semantics changed and the gate fails hard.
+
+use std::process::ExitCode;
+
+use refrint_bench::results::{self, ResultsDoc};
+use refrint_bench::throughput::{self, Effort, Measurement};
+use refrint_cli::{has_flag, opt_value};
+
+const DEFAULT_FILE: &str = "BENCH_SIM.json";
+const DEFAULT_TOLERANCE: f64 = 0.10;
+
+fn usage() -> &'static str {
+    "usage:\n  \
+     perfgate --record [FILE] [--mode quick|full]\n  \
+     perfgate --check FILE [--tolerance FRAC] [--mode quick|full] [--against RESULTS]\n  \
+     perfgate --compare OLD NEW [--min-ratio NAME=R]\n"
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = if has_flag(&args, "--record") {
+        record(&args)
+    } else if has_flag(&args, "--check") {
+        check(&args)
+    } else if has_flag(&args, "--compare") {
+        compare(&args)
+    } else {
+        Err(usage().to_owned())
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("perfgate: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// The positional value after `flag` (the next argument not starting
+/// with `--`).
+fn positional_after(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .filter(|v| !v.starts_with("--"))
+        .cloned()
+}
+
+fn parse_mode(args: &[String]) -> Result<Option<Effort>, String> {
+    match opt_value(args, "--mode") {
+        None => Ok(None),
+        Some(m) => Effort::parse(&m)
+            .map(Some)
+            .ok_or_else(|| format!("unknown --mode '{m}' (expected quick or full)")),
+    }
+}
+
+fn record(args: &[String]) -> Result<(), String> {
+    let file = positional_after(args, "--record").unwrap_or_else(|| DEFAULT_FILE.to_owned());
+    let effort = parse_mode(args)?.unwrap_or(Effort::Quick);
+    let doc = ResultsDoc {
+        mode: effort.label().to_owned(),
+        metrics: throughput::run_suite(effort),
+    };
+    std::fs::write(&file, results::render(&doc))
+        .map_err(|e| format!("cannot write {file}: {e}"))?;
+    println!(
+        "recorded {} metrics to {file} (mode: {})",
+        doc.metrics.len(),
+        doc.mode
+    );
+    Ok(())
+}
+
+fn load(file: &str) -> Result<ResultsDoc, String> {
+    let text = std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
+    results::parse(&text).map_err(|e| format!("{file}: {e}"))
+}
+
+fn check(args: &[String]) -> Result<(), String> {
+    let file = positional_after(args, "--check").unwrap_or_else(|| DEFAULT_FILE.to_owned());
+    let tolerance = match opt_value(args, "--tolerance") {
+        None => DEFAULT_TOLERANCE,
+        Some(t) => t
+            .parse::<f64>()
+            .ok()
+            .filter(|t| (0.0..1.0).contains(t))
+            .ok_or_else(|| format!("--tolerance must be a fraction in [0, 1), got '{t}'"))?,
+    };
+    let baseline = load(&file)?;
+    let baseline_effort = Effort::parse(&baseline.mode)
+        .ok_or_else(|| format!("{file}: unknown recorded mode '{}'", baseline.mode))?;
+
+    // `--against RESULTS` gates a previously recorded run offline instead
+    // of re-running the suite (CI records once for the artifact, then
+    // checks that same document). Modes must match so the exact
+    // simulated-cycle comparison stays meaningful.
+    let (current, same_mode) = match opt_value(args, "--against") {
+        Some(results_file) => {
+            let recorded = load(&results_file)?;
+            if recorded.mode != baseline.mode {
+                return Err(format!(
+                    "{results_file} was recorded in {} mode but {file} is a {} baseline; \
+                     record with --mode {} to gate against it",
+                    recorded.mode, baseline.mode, baseline.mode
+                ));
+            }
+            (recorded.metrics, true)
+        }
+        None => {
+            let effort = parse_mode(args)?.unwrap_or(baseline_effort);
+            let same_mode = effort == baseline_effort;
+            if !same_mode {
+                eprintln!(
+                    "perfgate: checking in {} mode against a {} baseline — \
+                     exact cycle comparison skipped",
+                    effort.label(),
+                    baseline.mode
+                );
+            }
+            (throughput::run_suite(effort), same_mode)
+        }
+    };
+    let mut failures = Vec::new();
+    println!(
+        "{:<16} {:>14} {:>14} {:>8}  verdict (tolerance {:.0}%)",
+        "metric",
+        "baseline r/s",
+        "current r/s",
+        "delta",
+        tolerance * 100.0
+    );
+    for base in &baseline.metrics {
+        let Some(cur) = current.iter().find(|m| m.name == base.name) else {
+            failures.push(format!("metric '{}' missing from current suite", base.name));
+            continue;
+        };
+        let ratio = cur.refs_per_sec / base.refs_per_sec;
+        let ok_rate = ratio >= 1.0 - tolerance;
+        let ok_cycles = !same_mode || cur.execution_cycles == base.execution_cycles;
+        println!(
+            "{:<16} {:>14.0} {:>14.0} {:>+7.1}%  {}",
+            base.name,
+            base.refs_per_sec,
+            cur.refs_per_sec,
+            (ratio - 1.0) * 100.0,
+            if ok_rate && ok_cycles { "ok" } else { "FAIL" }
+        );
+        if !ok_rate {
+            failures.push(format!(
+                "'{}' throughput regressed to {:.0}% of baseline ({:.0} vs {:.0} refs/sec)",
+                base.name,
+                ratio * 100.0,
+                cur.refs_per_sec,
+                base.refs_per_sec
+            ));
+        }
+        if !ok_cycles {
+            failures.push(format!(
+                "'{}' simulated cycles changed: baseline {} vs current {} — \
+                 the simulation's semantics changed; re-record intentionally with --record",
+                base.name, base.execution_cycles, cur.execution_cycles
+            ));
+        }
+    }
+    if failures.is_empty() {
+        println!(
+            "perfgate: all {} metrics within tolerance",
+            baseline.metrics.len()
+        );
+        Ok(())
+    } else {
+        Err(failures.join("\n"))
+    }
+}
+
+fn compare(args: &[String]) -> Result<(), String> {
+    let old_file = positional_after(args, "--compare")
+        .ok_or_else(|| format!("--compare needs two files\n{}", usage()))?;
+    let new_file = {
+        let idx = args
+            .iter()
+            .position(|a| a == &old_file)
+            .expect("positional value exists");
+        args.get(idx + 1)
+            .filter(|v| !v.starts_with("--"))
+            .cloned()
+            .ok_or_else(|| format!("--compare needs two files\n{}", usage()))?
+    };
+    let old = load(&old_file)?;
+    let new = load(&new_file)?;
+
+    println!(
+        "{:<16} {:>14} {:>14} {:>8}",
+        "metric", "old r/s", "new r/s", "ratio"
+    );
+    for o in &old.metrics {
+        if let Some(n) = new.metrics.iter().find(|m| m.name == o.name) {
+            println!(
+                "{:<16} {:>14.0} {:>14.0} {:>7.2}x",
+                o.name,
+                o.refs_per_sec,
+                n.refs_per_sec,
+                n.refs_per_sec / o.refs_per_sec
+            );
+        }
+    }
+
+    if let Some(spec) = opt_value(args, "--min-ratio") {
+        let (name, min) = spec
+            .split_once('=')
+            .and_then(|(n, r)| r.parse::<f64>().ok().map(|r| (n.to_owned(), r)))
+            .ok_or_else(|| format!("--min-ratio expects NAME=R, got '{spec}'"))?;
+        let o = find_metric(&old, &name, &old_file)?;
+        let n = find_metric(&new, &name, &new_file)?;
+        let ratio = n.refs_per_sec / o.refs_per_sec;
+        if ratio < min {
+            return Err(format!(
+                "'{name}' speedup {ratio:.2}x is below the required {min:.2}x"
+            ));
+        }
+        println!("'{name}' speedup {ratio:.2}x meets the required {min:.2}x");
+    }
+    Ok(())
+}
+
+fn find_metric<'a>(doc: &'a ResultsDoc, name: &str, file: &str) -> Result<&'a Measurement, String> {
+    doc.metrics
+        .iter()
+        .find(|m| m.name == name)
+        .ok_or_else(|| format!("{file}: no metric named '{name}'"))
+}

@@ -16,6 +16,9 @@ use refrint_energy::report::NormalizedSeries;
 use refrint_workloads::apps::AppPreset;
 use refrint_workloads::classify::AppClass;
 
+pub mod results;
+pub mod throughput;
+
 /// How large a sweep to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scale {

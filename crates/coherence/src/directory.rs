@@ -70,7 +70,16 @@ impl SharerSet {
 
     /// Iterates over the tiles in the set, in ascending order.
     pub fn iter(self) -> impl Iterator<Item = usize> {
-        (0..64).filter(move |&t| self.contains(t))
+        let mut bits = self.0;
+        std::iter::from_fn(move || {
+            if bits == 0 {
+                None
+            } else {
+                let t = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                Some(t)
+            }
+        })
     }
 
     /// The set with `tile` removed (non-mutating convenience).

@@ -39,10 +39,8 @@
 
 pub mod directory;
 pub mod error;
-pub mod msg;
 pub mod protocol;
 
 pub use directory::{Directory, DirectoryEntry, SharerSet};
 pub use error::CoherenceError;
-pub use msg::{CoherenceMsg, MsgKind};
 pub use protocol::{AccessOutcome, CoreRequest, DirectoryProtocol};

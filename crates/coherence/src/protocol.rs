@@ -3,16 +3,16 @@
 //! [`DirectoryProtocol::access`] resolves one core request against the
 //! directory: it computes the new directory entry, which private copies must
 //! be invalidated or downgraded (inclusivity and single-writer invariants),
-//! what state the requester fills in, and the messages exchanged. The caller
-//! (the CMP simulator) applies the corresponding changes to the actual cache
-//! arrays and converts the messages into latency and energy.
+//! what state the requester fills in, and how many messages were exchanged.
+//! The caller (the CMP simulator) applies the corresponding changes to the
+//! actual cache arrays and converts the outcome into latency and energy;
+//! cumulative message traffic is reported via the protocol's statistics.
 
 use refrint_engine::stats::StatRegistry;
 use refrint_mem::addr::LineAddr;
 use refrint_mem::line::MesiState;
 
 use crate::directory::{Directory, DirectoryEntry, SharerSet};
-use crate::msg::CoherenceMsg;
 
 /// A request from a core's private hierarchy to the directory.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -29,7 +29,12 @@ pub enum CoreRequest {
 }
 
 /// What the directory decided for one request.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// The outcome is a small `Copy` value — the invalidation targets are a
+/// [`SharerSet`] bitmask rather than a `Vec`, so resolving a request never
+/// allocates. (Per-message accounting lives in the protocol's statistics;
+/// the simulator derives latency and traffic from the outcome fields.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AccessOutcome {
     /// State the requester's private caches should install the line in
     /// (meaningless for evictions).
@@ -38,15 +43,16 @@ pub struct AccessOutcome {
     pub fills_requester: bool,
     /// Tiles whose private copies must be invalidated, excluding the
     /// requester.
-    pub invalidate: Vec<usize>,
+    pub invalidate: SharerSet,
     /// Tile whose Modified copy must be downgraded (and written back to L3)
     /// before the request completes.
     pub downgrade_owner: Option<usize>,
     /// Whether the previous owner's dirty data is written back into the L3
     /// as part of this transaction.
     pub owner_writeback: bool,
-    /// Messages generated, for latency and traffic accounting.
-    pub messages: Vec<CoherenceMsg>,
+    /// On-chip messages this transaction exchanged (request, forwarded
+    /// invalidations/acks, data reply), for traffic accounting.
+    pub message_count: u64,
 }
 
 impl AccessOutcome {
@@ -54,19 +60,37 @@ impl AccessOutcome {
         AccessOutcome {
             fill_state: MesiState::Invalid,
             fills_requester: false,
-            invalidate: Vec::new(),
+            invalidate: SharerSet::empty(),
             downgrade_owner: None,
             owner_writeback: false,
-            messages: Vec::new(),
+            message_count: 0,
         }
     }
+}
+
+/// Fixed-field protocol counters; [`DirectoryProtocol::stats`] materializes
+/// them into a [`StatRegistry`] on demand, keeping the per-request hot path
+/// free of map lookups.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct ProtocolCounters {
+    messages: u64,
+    reads: u64,
+    writes: u64,
+    redundant_reads: u64,
+    owner_downgrades: u64,
+    invalidations_sent: u64,
+    silent_upgrades: u64,
+    owner_transfers: u64,
+    dirty_evictions_absorbed: u64,
+    clean_evictions: u64,
+    inclusive_invalidations: u64,
 }
 
 /// The directory-side protocol engine.
 #[derive(Debug, Clone)]
 pub struct DirectoryProtocol {
     num_tiles: usize,
-    stats: StatRegistry,
+    counters: ProtocolCounters,
 }
 
 impl DirectoryProtocol {
@@ -83,15 +107,36 @@ impl DirectoryProtocol {
         );
         DirectoryProtocol {
             num_tiles,
-            stats: StatRegistry::new(),
+            counters: ProtocolCounters::default(),
         }
     }
 
     /// Protocol statistics (per-request-kind counts, invalidations sent,
-    /// owner downgrades, writebacks absorbed).
+    /// owner downgrades, writebacks absorbed), materialized from the
+    /// fixed-field counters. Only counters that have fired appear, matching
+    /// the shape of an incrementally built registry.
     #[must_use]
-    pub fn stats(&self) -> &StatRegistry {
-        &self.stats
+    pub fn stats(&self) -> StatRegistry {
+        let c = &self.counters;
+        let mut out = StatRegistry::new();
+        for (name, value) in [
+            ("messages", c.messages),
+            ("reads", c.reads),
+            ("writes", c.writes),
+            ("redundant_reads", c.redundant_reads),
+            ("owner_downgrades", c.owner_downgrades),
+            ("invalidations_sent", c.invalidations_sent),
+            ("silent_upgrades", c.silent_upgrades),
+            ("owner_transfers", c.owner_transfers),
+            ("dirty_evictions_absorbed", c.dirty_evictions_absorbed),
+            ("clean_evictions", c.clean_evictions),
+            ("inclusive_invalidations", c.inclusive_invalidations),
+        ] {
+            if value > 0 {
+                out.add(name, value);
+            }
+        }
+        out
     }
 
     /// Resolves `request` from `tile` for `line` against `dir`.
@@ -111,23 +156,26 @@ impl DirectoryProtocol {
         request: CoreRequest,
     ) -> AccessOutcome {
         assert!(tile < self.num_tiles, "tile {tile} out of range");
-        match request {
+        let out = match request {
             CoreRequest::Read => self.read(dir, line, tile),
             CoreRequest::Write => self.write(dir, line, tile),
             CoreRequest::EvictClean => self.evict(dir, line, tile, false),
             CoreRequest::EvictDirty => self.evict(dir, line, tile, true),
-        }
+        };
+        self.counters.messages += out.message_count;
+        out
     }
 
     fn read(&mut self, dir: &mut Directory, line: LineAddr, tile: usize) -> AccessOutcome {
-        self.stats.incr("reads");
+        self.counters.reads += 1;
+        // Request to the home node plus the data reply.
         let mut out = AccessOutcome {
             fill_state: MesiState::Shared,
             fills_requester: true,
-            invalidate: Vec::new(),
+            invalidate: SharerSet::empty(),
             downgrade_owner: None,
             owner_writeback: false,
-            messages: vec![CoherenceMsg::request(line, tile)],
+            message_count: 2,
         };
         match dir.entry(line) {
             DirectoryEntry::Uncached => {
@@ -139,7 +187,7 @@ impl DirectoryProtocol {
                 if sharers.contains(tile) {
                     // The directory already thinks we have it (e.g. an IL1/DL1
                     // refill within the same tile); keep it Shared.
-                    self.stats.incr("redundant_reads");
+                    self.counters.redundant_reads += 1;
                 } else {
                     sharers.insert(tile);
                 }
@@ -150,69 +198,56 @@ impl DirectoryProtocol {
                 // Re-request by the owner (e.g. refilling an L1 from its own
                 // L2 path); ownership is retained.
                 out.fill_state = MesiState::Exclusive;
-                self.stats.incr("redundant_reads");
+                self.counters.redundant_reads += 1;
             }
             DirectoryEntry::Owned { owner } => {
                 // Downgrade the owner; its dirty data (if any) is written
                 // back into the L3, and both tiles end up sharers.
-                self.stats.incr("owner_downgrades");
+                self.counters.owner_downgrades += 1;
                 out.downgrade_owner = Some(owner);
                 out.owner_writeback = true;
                 out.fill_state = MesiState::Shared;
-                out.messages
-                    .push(CoherenceMsg::invalidate(line, owner, true));
-                out.messages
-                    .push(CoherenceMsg::ack(line, owner, true, true));
+                out.message_count += 2; // forwarded downgrade + ack
                 let sharers: SharerSet = [owner, tile].into_iter().collect();
                 dir.set_entry(line, DirectoryEntry::Shared(sharers));
             }
         }
-        out.messages
-            .push(CoherenceMsg::data_to_requester(line, tile));
         debug_assert!(dir.check_invariants(line));
         out
     }
 
     fn write(&mut self, dir: &mut Directory, line: LineAddr, tile: usize) -> AccessOutcome {
-        self.stats.incr("writes");
+        self.counters.writes += 1;
+        // Request to the home node plus the data reply.
         let mut out = AccessOutcome {
             fill_state: MesiState::Modified,
             fills_requester: true,
-            invalidate: Vec::new(),
+            invalidate: SharerSet::empty(),
             downgrade_owner: None,
             owner_writeback: false,
-            messages: vec![CoherenceMsg::request(line, tile)],
+            message_count: 2,
         };
         match dir.entry(line) {
             DirectoryEntry::Uncached => {}
             DirectoryEntry::Shared(sharers) => {
-                for holder in sharers.iter().filter(|&t| t != tile) {
-                    self.stats.incr("invalidations_sent");
-                    out.invalidate.push(holder);
-                    out.messages
-                        .push(CoherenceMsg::invalidate(line, holder, true));
-                    out.messages
-                        .push(CoherenceMsg::ack(line, holder, false, true));
-                }
+                let targets = sharers.without(tile);
+                self.counters.invalidations_sent += targets.len() as u64;
+                out.message_count += 2 * targets.len() as u64; // inval + ack each
+                out.invalidate = targets;
             }
             DirectoryEntry::Owned { owner } if owner == tile => {
                 // Upgrade in place; no remote work.
-                self.stats.incr("silent_upgrades");
+                self.counters.silent_upgrades += 1;
             }
             DirectoryEntry::Owned { owner } => {
-                self.stats.incr("owner_transfers");
+                self.counters.owner_transfers += 1;
                 out.downgrade_owner = Some(owner);
                 out.owner_writeback = true;
-                out.invalidate.push(owner);
-                out.messages
-                    .push(CoherenceMsg::invalidate(line, owner, true));
-                out.messages
-                    .push(CoherenceMsg::ack(line, owner, true, true));
+                out.invalidate = SharerSet::single(owner);
+                out.message_count += 2; // forwarded invalidation + ack
             }
         }
         dir.set_entry(line, DirectoryEntry::Owned { owner: tile });
-        out.messages
-            .push(CoherenceMsg::data_to_requester(line, tile));
         debug_assert!(dir.check_invariants(line));
         out
     }
@@ -225,15 +260,12 @@ impl DirectoryProtocol {
         dirty: bool,
     ) -> AccessOutcome {
         let mut out = AccessOutcome::eviction();
+        out.message_count = 1; // the PutS/PutM notification
         if dirty {
-            self.stats.incr("dirty_evictions_absorbed");
+            self.counters.dirty_evictions_absorbed += 1;
             out.owner_writeback = true;
-            out.messages
-                .push(CoherenceMsg::ack(line, tile, true, false));
         } else {
-            self.stats.incr("clean_evictions");
-            out.messages
-                .push(CoherenceMsg::ack(line, tile, false, false));
+            self.counters.clean_evictions += 1;
         }
         dir.remove_holder(line, tile);
         debug_assert!(dir.check_invariants(line));
@@ -243,22 +275,13 @@ impl DirectoryProtocol {
     /// Invalidates a line everywhere on behalf of the L3 (used when the L3
     /// line itself is evicted or decays): returns the tiles that held it and
     /// whether a dirty copy existed on chip, and forgets the entry.
-    pub fn invalidate_all(
-        &mut self,
-        dir: &mut Directory,
-        line: LineAddr,
-    ) -> (Vec<usize>, bool, Vec<CoherenceMsg>) {
+    pub fn invalidate_all(&mut self, dir: &mut Directory, line: LineAddr) -> (SharerSet, bool) {
         let entry = dir.entry(line);
-        let holders: Vec<usize> = entry.holders().iter().collect();
+        let holders = entry.holders();
         let had_dirty = entry.is_owned();
-        let mut messages = Vec::new();
-        for &h in &holders {
-            self.stats.incr("inclusive_invalidations");
-            messages.push(CoherenceMsg::invalidate(line, h, false));
-            messages.push(CoherenceMsg::ack(line, h, had_dirty, false));
-        }
+        self.counters.inclusive_invalidations += holders.len() as u64;
         dir.forget(line);
-        (holders, had_dirty, messages)
+        (holders, had_dirty)
     }
 }
 
@@ -305,9 +328,9 @@ mod tests {
         p.access(&mut dir, line, 2, CoreRequest::Read);
         let out = p.access(&mut dir, line, 3, CoreRequest::Write);
         assert_eq!(out.fill_state, MesiState::Modified);
-        let mut inv = out.invalidate.clone();
-        inv.sort_unstable();
+        let inv: Vec<usize> = out.invalidate.iter().collect();
         assert_eq!(inv, vec![0, 1, 2]);
+        assert_eq!(out.message_count, 2 + 2 * 3);
         assert_eq!(dir.entry(line), DirectoryEntry::Owned { owner: 3 });
         assert_eq!(p.stats().get("invalidations_sent"), 3);
     }
@@ -318,7 +341,7 @@ mod tests {
         p.access(&mut dir, line, 0, CoreRequest::Read);
         p.access(&mut dir, line, 1, CoreRequest::Read);
         let out = p.access(&mut dir, line, 0, CoreRequest::Write);
-        assert_eq!(out.invalidate, vec![1]);
+        assert_eq!(out.invalidate, SharerSet::single(1));
         assert_eq!(dir.entry(line), DirectoryEntry::Owned { owner: 0 });
     }
 
@@ -329,7 +352,7 @@ mod tests {
         let out = p.access(&mut dir, line, 1, CoreRequest::Write);
         assert_eq!(out.downgrade_owner, Some(0));
         assert!(out.owner_writeback);
-        assert_eq!(out.invalidate, vec![0]);
+        assert_eq!(out.invalidate, SharerSet::single(0));
         assert_eq!(dir.entry(line), DirectoryEntry::Owned { owner: 1 });
         assert_eq!(p.stats().get("owner_transfers"), 1);
     }
@@ -373,18 +396,16 @@ mod tests {
         let (mut dir, mut p, line) = setup();
         p.access(&mut dir, line, 0, CoreRequest::Read);
         p.access(&mut dir, line, 1, CoreRequest::Read);
-        let (holders, dirty, msgs) = p.invalidate_all(&mut dir, line);
-        let mut holders = holders;
-        holders.sort_unstable();
-        assert_eq!(holders, vec![0, 1]);
+        let (holders, dirty) = p.invalidate_all(&mut dir, line);
+        assert_eq!(holders.iter().collect::<Vec<_>>(), vec![0, 1]);
         assert!(!dirty);
-        assert_eq!(msgs.len(), 4);
+        assert_eq!(p.stats().get("inclusive_invalidations"), 2);
         assert_eq!(dir.entry(line), DirectoryEntry::Uncached);
 
         // Owned case reports dirty.
         p.access(&mut dir, line, 7, CoreRequest::Write);
-        let (holders, dirty, _) = p.invalidate_all(&mut dir, line);
-        assert_eq!(holders, vec![7]);
+        let (holders, dirty) = p.invalidate_all(&mut dir, line);
+        assert_eq!(holders, SharerSet::single(7));
         assert!(dirty);
     }
 

@@ -22,6 +22,10 @@ use crate::error::ConfigError;
 #[derive(Debug, Clone)]
 pub struct RefreshDomain {
     model: Option<Arc<dyn RefreshPolicyModel>>,
+    /// The model's built-in decay algebra, cached by value so the
+    /// per-access settle path runs without a virtual call (built-in
+    /// descriptor policies only; custom models dispatch through the trait).
+    fast_schedule: Option<refrint_edram::schedule::DecaySchedule>,
     burst: Option<PeriodicBurstModel>,
     contention: RefrintContention,
     /// Total lines in the cache (used for contention and bulk accounting).
@@ -85,6 +89,7 @@ impl RefreshDomain {
         if !cells.needs_refresh() {
             return Ok(RefreshDomain {
                 model: None,
+                fast_schedule: None,
                 burst: None,
                 contention: RefrintContention::new(),
                 lines,
@@ -130,8 +135,10 @@ impl RefreshDomain {
                     dirty: model.invalidation_time(LineKind::Dirty, Cycle::ZERO),
                     clean: model.invalidation_time(LineKind::Clean, Cycle::ZERO),
                 });
+        let fast_schedule = model.as_decay_schedule();
         Ok(RefreshDomain {
             model: Some(model),
+            fast_schedule,
             burst,
             contention: RefrintContention::new(),
             lines,
@@ -204,9 +211,17 @@ impl RefreshDomain {
     /// the end of the run.
     #[must_use]
     pub fn settle(&self, kind: LineKind, touch: Cycle, now: Cycle) -> Settlement {
+        if self.bulk_all {
+            return Settlement::nothing(kind);
+        }
+        // Built-in policies settle through the cached algebra (no virtual
+        // call); custom models go through the trait object.
+        if let Some(schedule) = &self.fast_schedule {
+            return schedule.settle(kind, touch, now);
+        }
         match &self.model {
-            Some(model) if !self.bulk_all => model.settle(kind, touch, now),
-            _ => Settlement::nothing(kind),
+            Some(model) => model.settle(kind, touch, now),
+            None => Settlement::nothing(kind),
         }
     }
 

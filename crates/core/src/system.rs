@@ -32,7 +32,7 @@ use refrint_engine::time::Cycle;
 use refrint_mem::addr::LineAddr;
 use refrint_mem::cache::Cache;
 use refrint_mem::dram::{DramModel, DramOp};
-use refrint_mem::line::MesiState;
+use refrint_mem::line::{CacheLine, MesiState};
 use refrint_noc::routing::hop_count;
 use refrint_noc::topology::{NodeId, Torus};
 use refrint_workloads::apps::AppPreset;
@@ -66,9 +66,16 @@ pub struct CmpSystem {
     torus: Torus,
     counts: EnergyCounts,
     invalidations: EventQueue<PendingInvalidation>,
+    /// Precomputed torus hop counts between node pairs (`a * nodes + b`),
+    /// so per-message accounting is a table load instead of route math.
+    hop_table: Vec<u32>,
     line_size: u64,
     data_flits: u64,
     ctrl_flits: u64,
+    /// Reusable snapshot buffer for the end-of-run settlement sweeps (and
+    /// any other path that needs a residency snapshot while mutating the
+    /// system), so those paths never collect a fresh `Vec` per cache.
+    scratch_lines: Vec<CacheLine>,
 }
 
 impl CmpSystem {
@@ -145,6 +152,10 @@ impl CmpSystem {
         let line_size = cfg.dl1.geometry.line_size();
         let data_flits = cfg.link.flits_for(line_size);
         let ctrl_flits = cfg.link.flits_for(cfg.link.control_bytes);
+        let nodes = cfg.torus.num_nodes();
+        let hop_table = (0..nodes * nodes)
+            .map(|i| hop_count(&cfg.torus, NodeId::new(i / nodes), NodeId::new(i % nodes)))
+            .collect();
 
         Ok(CmpSystem {
             dir: Directory::new(cfg.cores),
@@ -155,9 +166,11 @@ impl CmpSystem {
             l3,
             counts: EnergyCounts::default(),
             invalidations: EventQueue::new(),
+            hop_table,
             line_size,
             data_flits,
             ctrl_flits,
+            scratch_lines: Vec::new(),
             cfg,
         })
     }
@@ -214,24 +227,28 @@ impl CmpSystem {
             });
         }
         let workload_name = workload.to_owned();
+        let line_shift = self.line_size.trailing_zeros();
         let mut streams = streams;
         let mut core_time = vec![Cycle::ZERO; self.cfg.cores];
-        let mut done = vec![false; self.cfg.cores];
-        let mut remaining = self.cfg.cores;
+        // Ascending list of cores whose streams are not exhausted; finished
+        // cores drop out instead of being re-skipped on every dispatch.
+        let mut live: Vec<usize> = (0..self.cfg.cores).collect();
 
-        while remaining > 0 {
-            // Pick the live core with the smallest local time.
-            let mut next: Option<usize> = None;
-            for c in 0..self.cfg.cores {
-                if !done[c] && next.is_none_or(|n| core_time[c] < core_time[n]) {
-                    next = Some(c);
+        while !live.is_empty() {
+            // Pick the live core with the smallest local time (ties go to
+            // the lowest core index, since `live` stays ascending).
+            let mut pos = 0;
+            let mut best = core_time[live[0]];
+            for (p, &c) in live.iter().enumerate().skip(1) {
+                if core_time[c] < best {
+                    best = core_time[c];
+                    pos = p;
                 }
             }
-            let c = next.expect("at least one core is live");
+            let c = live[pos];
             match streams[c].next() {
                 None => {
-                    done[c] = true;
-                    remaining -= 1;
+                    live.remove(pos);
                 }
                 Some(r) => {
                     let now = core_time[c] + Cycle::new(r.gap_cycles);
@@ -239,7 +256,10 @@ impl CmpSystem {
                     let instructions = self.cfg.core.instructions_for_gap(r.gap_cycles);
                     self.counts.instructions += instructions;
                     self.counts.il1_accesses += self.cfg.core.fetches_for(instructions);
-                    let latency = self.access(c, r.addr.line(self.line_size), r.is_write(), now);
+                    // line_size is validated as a power of two at build time;
+                    // shift directly instead of re-validating per reference.
+                    let line = LineAddr::new(r.addr.raw() >> line_shift);
+                    let latency = self.access(c, line, r.is_write(), now);
                     core_time[c] = now + latency;
                 }
             }
@@ -270,12 +290,9 @@ impl CmpSystem {
     // Access path
     // ----------------------------------------------------------------- //
 
-    fn node_of(&self, index: usize) -> NodeId {
-        NodeId::new(index % self.torus.num_nodes())
-    }
-
     fn hops(&self, a: usize, b: usize) -> u32 {
-        hop_count(&self.torus, self.node_of(a), self.node_of(b))
+        let nodes = self.torus.num_nodes();
+        self.hop_table[(a % nodes) * nodes + (b % nodes)]
     }
 
     /// Resolves one data reference and returns the latency the core observes.
@@ -285,17 +302,19 @@ impl CmpSystem {
             + self.tiles[tile].dl1_refresh.access_penalty(now, line.raw());
         let mut beyond = Cycle::ZERO;
 
-        // Settle DL1 residency (Valid policy: refresh charges only).
-        if let Some(l) = self.tiles[tile].dl1.line(line).copied() {
+        // One tag search resolves the access and hands back the pre-touch
+        // line so its residency can be settled (Valid policy: refresh
+        // charges only).
+        let dl1_prev = self.tiles[tile].dl1.lookup_prev(line, now);
+        if let Some((l, _)) = &dl1_prev {
             let s = self.tiles[tile]
                 .dl1_refresh
-                .settle(line_kind(&l), l.meta.last_touch, now);
+                .settle(line_kind(l), l.meta.last_touch, now);
             self.counts.l1_refreshes += s.refreshes;
         }
-        let dl1_hit = self.tiles[tile].dl1.lookup(line, now).is_some();
 
         let mut upgraded = false;
-        if !dl1_hit {
+        if dl1_prev.is_none() {
             beyond += self.lookup_l2(tile, line, is_write, now, &mut upgraded);
             // Fill the DL1 (write-through, so DL1 lines are always clean and
             // evictions are silent).
@@ -309,8 +328,13 @@ impl CmpSystem {
             if let Some(l2_line) = self.tiles[tile].l2.line(line).copied() {
                 if !l2_line.state.can_write_silently() && !upgraded {
                     beyond += self.l3_transaction(tile, line, true, now);
-                }
-                if self.tiles[tile].l2.line(line).is_some() {
+                    // The transaction may have settled the line away (a
+                    // decayed L3 copy triggers an inclusive invalidation),
+                    // so re-check before applying the store.
+                    if self.tiles[tile].l2.line(line).is_some() {
+                        self.tiles[tile].l2.write_hit(line, now);
+                    }
+                } else {
                     self.tiles[tile].l2.write_hit(line, now);
                 }
             }
@@ -334,14 +358,15 @@ impl CmpSystem {
         let mut beyond = self.cfg.l2.access_latency
             + self.tiles[tile].l2_refresh.access_penalty(now, line.raw());
 
-        if let Some(l) = self.tiles[tile].l2.line(line).copied() {
+        let l2_prev = self.tiles[tile].l2.lookup_prev(line, now);
+        if let Some((l, _)) = &l2_prev {
             let s = self.tiles[tile]
                 .l2_refresh
-                .settle(line_kind(&l), l.meta.last_touch, now);
+                .settle(line_kind(l), l.meta.last_touch, now);
             self.counts.l2_refreshes += s.refreshes;
         }
 
-        let l2_state = self.tiles[tile].l2.lookup(line, now).map(|o| o.state);
+        let l2_state = l2_prev.map(|(_, o)| o.state);
         match l2_state {
             Some(state) => {
                 if is_write && !state.can_write_silently() {
@@ -417,12 +442,12 @@ impl CmpSystem {
         // Invalidate or downgrade remote holders; their replies are on the
         // critical path of this request.
         let mut worst_remote = Cycle::ZERO;
-        for holder in outcome.invalidate.iter().copied() {
+        for holder in outcome.invalidate.iter() {
             let d = self.invalidate_private_copy(holder, bank, line, now, true);
             worst_remote = worst_remote.max(d);
         }
         if let Some(owner) = outcome.downgrade_owner {
-            if !outcome.invalidate.contains(&owner) {
+            if !outcome.invalidate.contains(owner) {
                 let d = self.downgrade_private_copy(owner, bank, line, now);
                 worst_remote = worst_remote.max(d);
             } else if outcome.owner_writeback {
@@ -594,8 +619,8 @@ impl CmpSystem {
         }
         let already_gone = s.invalidated_at.is_some();
 
-        let (holders, had_owner, _msgs) = self.protocol.invalidate_all(&mut self.dir, line);
-        for holder in holders {
+        let (holders, _had_owner) = self.protocol.invalidate_all(&mut self.dir, line);
+        for holder in holders.iter() {
             let hops = self.hops(bank, holder);
             self.counts.noc_flit_hops += u64::from(hops) * self.ctrl_flits * 2;
             self.tiles[holder].dl1.invalidate(line);
@@ -612,7 +637,6 @@ impl CmpSystem {
                 }
             }
         }
-        let _ = had_owner;
         if !already_gone && still_dirty {
             self.counts.dram_writes += 1;
         }
@@ -628,8 +652,8 @@ impl CmpSystem {
             !removed.is_dirty() || self.l3[bank].refresh.model().is_none(),
             "the WB/Dirty policies only invalidate clean lines"
         );
-        let (holders, _had_owner, _msgs) = self.protocol.invalidate_all(&mut self.dir, line);
-        for holder in holders {
+        let (holders, _had_owner) = self.protocol.invalidate_all(&mut self.dir, line);
+        for holder in holders.iter() {
             let hops = self.hops(bank, holder);
             self.counts.noc_flit_hops += u64::from(hops) * self.ctrl_flits * 2;
             self.tiles[holder].dl1.invalidate(line);
@@ -706,13 +730,18 @@ impl CmpSystem {
     fn finalize(&mut self, end: Cycle) {
         self.drain_invalidations(end);
 
+        // One system-owned snapshot buffer serves every per-cache sweep
+        // below (taken out of `self` so the loops can borrow the system
+        // mutably while reading the snapshot).
+        let mut snapshot = std::mem::take(&mut self.scratch_lines);
+
         // Shared L3 banks.
         for bank in 0..self.l3.len() {
-            let lines: Vec<_> = self.l3[bank].cache.iter_valid().copied().collect();
-            for l in lines {
+            self.l3[bank].cache.collect_valid_into(&mut snapshot);
+            for l in &snapshot {
                 let s = self.l3[bank]
                     .refresh
-                    .settle(line_kind(&l), l.meta.last_touch, end);
+                    .settle(line_kind(l), l.meta.last_touch, end);
                 self.counts.l3_refreshes += s.refreshes;
                 if s.writeback_at.is_some() {
                     self.counts.dram_writes += 1;
@@ -728,21 +757,21 @@ impl CmpSystem {
 
         // Private caches.
         for tile in 0..self.tiles.len() {
-            let l2_lines: Vec<_> = self.tiles[tile].l2.iter_valid().copied().collect();
-            for l in l2_lines {
+            self.tiles[tile].l2.collect_valid_into(&mut snapshot);
+            for l in &snapshot {
                 let s = self.tiles[tile]
                     .l2_refresh
-                    .settle(line_kind(&l), l.meta.last_touch, end);
+                    .settle(line_kind(l), l.meta.last_touch, end);
                 self.counts.l2_refreshes += s.refreshes;
                 if l.is_dirty() {
                     self.counts.dram_writes += 1;
                 }
             }
-            let dl1_lines: Vec<_> = self.tiles[tile].dl1.iter_valid().copied().collect();
-            for l in dl1_lines {
+            self.tiles[tile].dl1.collect_valid_into(&mut snapshot);
+            for l in &snapshot {
                 let s = self.tiles[tile]
                     .dl1_refresh
-                    .settle(line_kind(&l), l.meta.last_touch, end);
+                    .settle(line_kind(l), l.meta.last_touch, end);
                 self.counts.l1_refreshes += s.refreshes;
             }
             // The IL1 is modelled statistically: under Periodic timing every
@@ -755,6 +784,7 @@ impl CmpSystem {
             }
         }
 
+        self.scratch_lines = snapshot;
         self.counts.cycles = end.raw();
     }
 

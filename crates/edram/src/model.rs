@@ -226,6 +226,15 @@ pub trait RefreshPolicyModel: fmt::Debug + Send + Sync {
     fn bulk_accounting(&self) -> bool {
         false
     }
+
+    /// The built-in [`DecaySchedule`] algebra behind this model, if it has
+    /// one. Settlement runs on the simulator's per-access hot path; when a
+    /// model is just a bound descriptor policy, exposing its schedule by
+    /// value lets callers settle without a virtual call. Custom models keep
+    /// the default (`None`) and are dispatched through the trait.
+    fn as_decay_schedule(&self) -> Option<DecaySchedule> {
+        None
+    }
 }
 
 /// The generic event-per-opportunity replay behind the trait's default
@@ -356,6 +365,10 @@ impl RefreshPolicyModel for DecaySchedule {
 
     fn bulk_accounting(&self) -> bool {
         self.policy().data.refreshes_invalid_lines()
+    }
+
+    fn as_decay_schedule(&self) -> Option<DecaySchedule> {
+        Some(*self)
     }
 }
 

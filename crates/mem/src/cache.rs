@@ -41,13 +41,33 @@ impl EvictedLine {
     }
 }
 
+/// Fixed-field access counters, kept as plain integers so the per-access
+/// hot path never touches a map. [`Cache::stats`] materializes them into a
+/// [`StatRegistry`] (only counters that have fired, matching the shape a
+/// registry built incrementally would have had).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct CacheCounters {
+    hits: u64,
+    misses: u64,
+    reads: u64,
+    writes: u64,
+    fills: u64,
+    evictions: u64,
+    dirty_evictions: u64,
+    invalidations: u64,
+    flushed_dirty: u64,
+    flushes: u64,
+}
+
 /// A set-associative cache array (one bank, for banked caches).
 #[derive(Debug, Clone)]
 pub struct Cache {
     name: String,
     geometry: CacheGeometry,
     sets: Vec<CacheSet>,
-    stats: StatRegistry,
+    /// `num_sets - 1`, precomputed so set selection is a single mask.
+    set_mask: u64,
+    counters: CacheCounters,
 }
 
 impl Cache {
@@ -72,7 +92,8 @@ impl Cache {
             name: name.to_owned(),
             geometry,
             sets,
-            stats: StatRegistry::new(),
+            set_mask: geometry.num_sets() - 1,
+            counters: CacheCounters::default(),
         }
     }
 
@@ -88,14 +109,37 @@ impl Cache {
         self.geometry
     }
 
-    /// Accumulated statistics (hits, misses, fills, evictions, invalidations).
+    /// Accumulated statistics (hits, misses, fills, evictions,
+    /// invalidations), materialized from the internal fixed-field counters.
+    /// Only counters that have fired at least once appear, matching the
+    /// shape of a registry built incrementally.
     #[must_use]
-    pub fn stats(&self) -> &StatRegistry {
-        &self.stats
+    pub fn stats(&self) -> StatRegistry {
+        let c = &self.counters;
+        let mut out = StatRegistry::new();
+        for (name, value, fired) in [
+            ("hits", c.hits, c.hits > 0),
+            ("misses", c.misses, c.misses > 0),
+            ("reads", c.reads, c.reads > 0),
+            ("writes", c.writes, c.writes > 0),
+            ("fills", c.fills, c.fills > 0),
+            ("evictions", c.evictions, c.evictions > 0),
+            ("dirty_evictions", c.dirty_evictions, c.dirty_evictions > 0),
+            ("invalidations", c.invalidations, c.invalidations > 0),
+            ("flushed_dirty", c.flushed_dirty, c.flushes > 0),
+        ] {
+            if fired {
+                out.add(name, value);
+            }
+        }
+        out
     }
 
+    #[inline]
     fn set_of(&self, addr: LineAddr) -> u64 {
-        addr.set_index(self.geometry.num_sets())
+        // num_sets is validated as a power of two at construction, so set
+        // selection is a single mask — no per-access assertion.
+        addr.raw() & self.set_mask
     }
 
     /// Looks up `addr` without modifying replacement or residency state.
@@ -113,23 +157,39 @@ impl Cache {
     /// Looks up `addr` as a normal access at `now`: updates replacement
     /// order and the line's last-touch metadata, and counts a hit or miss.
     pub fn lookup(&mut self, addr: LineAddr, now: Cycle) -> Option<LookupOutcome> {
+        self.lookup_prev(addr, now).map(|(_, outcome)| outcome)
+    }
+
+    /// Like [`Cache::lookup`], but additionally returns a copy of the line
+    /// *as it was before this access touched it* — one tag search where the
+    /// simulator's settle-then-touch pattern previously needed two
+    /// (`line()` for the pre-access metadata, then `lookup()`).
+    pub fn lookup_prev(
+        &mut self,
+        addr: LineAddr,
+        now: Cycle,
+    ) -> Option<(CacheLine, LookupOutcome)> {
         let set_index = self.set_of(addr);
         let set = &mut self.sets[set_index as usize];
         match set.find(addr) {
             Some(way) => {
                 set.touch_way(way);
                 let line = set.line_mut(way).expect("found way is occupied");
+                let prev = *line;
                 line.meta.touch(now);
                 let state = line.state;
-                self.stats.incr("hits");
-                Some(LookupOutcome {
-                    set_index,
-                    way,
-                    state,
-                })
+                self.counters.hits += 1;
+                Some((
+                    prev,
+                    LookupOutcome {
+                        set_index,
+                        way,
+                        state,
+                    },
+                ))
             }
             None => {
-                self.stats.incr("misses");
+                self.counters.misses += 1;
                 None
             }
         }
@@ -146,7 +206,7 @@ impl Cache {
         let way = set.find(addr).expect("read_hit on a missing line");
         set.touch_way(way);
         set.line_mut(way).expect("found way is occupied").read(now);
-        self.stats.incr("reads");
+        self.counters.reads += 1;
     }
 
     /// Writes the line (it must be present), upgrading it to Modified.
@@ -160,7 +220,7 @@ impl Cache {
         let way = set.find(addr).expect("write_hit on a missing line");
         set.touch_way(way);
         set.line_mut(way).expect("found way is occupied").write(now);
-        self.stats.incr("writes");
+        self.counters.writes += 1;
     }
 
     /// Fills `addr` in the given state, returning any valid line displaced.
@@ -173,11 +233,11 @@ impl Cache {
         );
         let way = set.pick_victim();
         let evicted = set.install(way, CacheLine::new(addr, state, now));
-        self.stats.incr("fills");
+        self.counters.fills += 1;
         evicted.map(|line| {
-            self.stats.incr("evictions");
+            self.counters.evictions += 1;
             if line.is_dirty() {
-                self.stats.incr("dirty_evictions");
+                self.counters.dirty_evictions += 1;
             }
             EvictedLine { line }
         })
@@ -207,7 +267,7 @@ impl Cache {
         let set_index = self.set_of(addr);
         let removed = self.sets[set_index as usize].invalidate(addr);
         if removed.is_some() {
-            self.stats.incr("invalidations");
+            self.counters.invalidations += 1;
         }
         removed
     }
@@ -252,6 +312,15 @@ impl Cache {
         self.sets.iter().map(|s| s.dirty_count() as u64).sum()
     }
 
+    /// Copies every valid resident line into `out` (cleared first). Lets
+    /// callers that repeatedly snapshot residency — the simulator's
+    /// end-of-run settlement, flush and invalidation paths — reuse one
+    /// scratch buffer instead of collecting a fresh `Vec` each time.
+    pub fn collect_valid_into(&self, out: &mut Vec<CacheLine>) {
+        out.clear();
+        out.extend(self.iter_valid().copied());
+    }
+
     /// Invalidates every line, returning the dirty ones (end-of-run flush).
     pub fn flush(&mut self) -> Vec<CacheLine> {
         let mut dirty = Vec::new();
@@ -263,7 +332,8 @@ impl Cache {
                 line.invalidate();
             }
         }
-        self.stats.add("flushed_dirty", dirty.len() as u64);
+        self.counters.flushes += 1;
+        self.counters.flushed_dirty += dirty.len() as u64;
         dirty
     }
 }

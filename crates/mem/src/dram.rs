@@ -27,7 +27,9 @@ pub struct DramModel {
     min_gap: Cycle,
     /// Per-channel next-free cycle.
     channel_free_at: Vec<Cycle>,
-    stats: StatRegistry,
+    reads: u64,
+    writes: u64,
+    queue_delay_cycles: u64,
 }
 
 impl DramModel {
@@ -50,7 +52,9 @@ impl DramModel {
             access_latency,
             min_gap,
             channel_free_at: vec![Cycle::ZERO; channels],
-            stats: StatRegistry::new(),
+            reads: 0,
+            writes: 0,
+            queue_delay_cycles: 0,
         }
     }
 
@@ -76,35 +80,47 @@ impl DramModel {
         self.channel_free_at[ch] = start + self.min_gap;
 
         match op {
-            DramOp::Read => self.stats.incr("reads"),
-            DramOp::Write => self.stats.incr("writes"),
+            DramOp::Read => self.reads += 1,
+            DramOp::Write => self.writes += 1,
         }
-        self.stats.add("queue_delay_cycles", queue_delay.raw());
+        self.queue_delay_cycles += queue_delay.raw();
         done
     }
 
     /// Total number of transactions issued.
     #[must_use]
     pub fn total_accesses(&self) -> u64 {
-        self.stats.get("reads") + self.stats.get("writes")
+        self.reads + self.writes
     }
 
     /// Number of read transactions issued.
     #[must_use]
     pub fn reads(&self) -> u64 {
-        self.stats.get("reads")
+        self.reads
     }
 
     /// Number of write transactions issued.
     #[must_use]
     pub fn writes(&self) -> u64 {
-        self.stats.get("writes")
+        self.writes
     }
 
-    /// Accumulated statistics.
+    /// Accumulated statistics, materialized from the fixed-field counters
+    /// the hot path maintains (only counters that have fired appear,
+    /// matching the shape of an incrementally built registry).
     #[must_use]
-    pub fn stats(&self) -> &StatRegistry {
-        &self.stats
+    pub fn stats(&self) -> StatRegistry {
+        let mut out = StatRegistry::new();
+        if self.reads > 0 {
+            out.add("reads", self.reads);
+        }
+        if self.writes > 0 {
+            out.add("writes", self.writes);
+        }
+        if self.total_accesses() > 0 {
+            out.add("queue_delay_cycles", self.queue_delay_cycles);
+        }
+        out
     }
 
     /// Resets channel occupancy (used between experiment phases).

@@ -132,17 +132,21 @@ impl ReplacementState {
     ///
     /// Panics if `valid.len()` differs from the associativity.
     pub fn victim(&mut self, valid: &[bool]) -> u8 {
+        assert_eq!(usize::from(self.ways()), valid.len(), "way count mismatch");
         // Invalid ways are free: use the lowest-numbered one.
         if let Some(free) = valid.iter().position(|v| !v) {
             return free as u8;
         }
+        self.victim_all_valid()
+    }
+
+    /// Chooses a victim way assuming every way holds a valid line — the
+    /// allocation-free fast path used by the cache's fill machinery (the
+    /// caller scans for free ways itself).
+    pub fn victim_all_valid(&mut self) -> u8 {
         match self {
-            ReplacementState::Lru { order } => {
-                assert_eq!(order.len(), valid.len(), "way count mismatch");
-                *order.last().expect("associativity is non-zero")
-            }
+            ReplacementState::Lru { order } => *order.last().expect("associativity is non-zero"),
             ReplacementState::TreePlru { bits, ways } => {
-                assert_eq!(*ways as usize, valid.len(), "way count mismatch");
                 let ways = *ways as usize;
                 if ways == 1 {
                     return 0;
@@ -162,10 +166,7 @@ impl ReplacementState {
                 }
                 lo as u8
             }
-            ReplacementState::Random { ways, rng } => {
-                assert_eq!(*ways as usize, valid.len(), "way count mismatch");
-                rng.below(u64::from(*ways)) as u8
-            }
+            ReplacementState::Random { ways, rng } => rng.below(u64::from(*ways)) as u8,
         }
     }
 

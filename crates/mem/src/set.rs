@@ -7,10 +7,26 @@ use crate::line::{CacheLine, MesiState};
 use crate::replacement::{ReplacementKind, ReplacementState};
 
 /// One set: a fixed number of ways plus replacement state.
+///
+/// Ways are stored as a flat `Vec<CacheLine>` (no `Option` boxing): an
+/// empty way is simply a line in [`MesiState::Invalid`]. This keeps the
+/// per-access tag search a dense linear scan and lets `pick_victim` run
+/// without any per-call allocation — both on the simulator's innermost
+/// loop.
 #[derive(Debug, Clone)]
 pub struct CacheSet {
-    ways: Vec<Option<CacheLine>>,
+    ways: Vec<CacheLine>,
     replacement: ReplacementState,
+}
+
+/// An empty way: invalid, address zero (never matched because `find`
+/// requires validity).
+fn empty_way() -> CacheLine {
+    CacheLine {
+        addr: LineAddr::new(0),
+        state: MesiState::Invalid,
+        meta: crate::line::LineMeta::default(),
+    }
 }
 
 impl CacheSet {
@@ -18,7 +34,7 @@ impl CacheSet {
     #[must_use]
     pub fn new(ways: u8, replacement: ReplacementKind, seed: u64) -> Self {
         CacheSet {
-            ways: vec![None; ways as usize],
+            ways: vec![empty_way(); ways as usize],
             replacement: ReplacementState::new(replacement, ways, seed),
         }
     }
@@ -32,21 +48,20 @@ impl CacheSet {
     /// Finds the way holding `addr`, if present and valid.
     #[must_use]
     pub fn find(&self, addr: LineAddr) -> Option<usize> {
-        self.ways.iter().position(|slot| {
-            slot.map(|line| line.addr == addr && line.is_valid())
-                .unwrap_or(false)
-        })
+        self.ways
+            .iter()
+            .position(|line| line.addr == addr && line.is_valid())
     }
 
-    /// Immutable access to the line in `way`.
+    /// Immutable access to the (valid) line in `way`.
     #[must_use]
     pub fn line(&self, way: usize) -> Option<&CacheLine> {
-        self.ways.get(way).and_then(Option::as_ref)
+        self.ways.get(way).filter(|l| l.is_valid())
     }
 
-    /// Mutable access to the line in `way`.
+    /// Mutable access to the (valid) line in `way`.
     pub fn line_mut(&mut self, way: usize) -> Option<&mut CacheLine> {
-        self.ways.get_mut(way).and_then(Option::as_mut)
+        self.ways.get_mut(way).filter(|l| l.is_valid())
     }
 
     /// Records an access to `way` for replacement purposes.
@@ -54,48 +69,39 @@ impl CacheSet {
         self.replacement.on_access(way as u8);
     }
 
-    /// Picks a victim way for a fill, preferring invalid ways.
+    /// Picks a victim way for a fill, preferring invalid ways (lowest
+    /// numbered first, matching [`ReplacementState::victim`]).
     pub fn pick_victim(&mut self) -> usize {
-        let valid: Vec<bool> = self
-            .ways
-            .iter()
-            .map(|slot| slot.map(|l| l.is_valid()).unwrap_or(false))
-            .collect();
-        usize::from(self.replacement.victim(&valid))
+        if let Some(free) = self.ways.iter().position(|l| !l.is_valid()) {
+            return free;
+        }
+        usize::from(self.replacement.victim_all_valid())
     }
 
     /// Installs `line` into `way`, returning whatever valid line was evicted.
     pub fn install(&mut self, way: usize, line: CacheLine) -> Option<CacheLine> {
-        let evicted = self.ways[way].filter(|l| l.is_valid());
-        self.ways[way] = Some(line);
+        let previous = self.ways[way];
+        self.ways[way] = line;
         self.replacement.on_access(way as u8);
-        evicted
+        previous.is_valid().then_some(previous)
     }
 
     /// Invalidates the line holding `addr`, returning it if it was present.
     pub fn invalidate(&mut self, addr: LineAddr) -> Option<CacheLine> {
         let way = self.find(addr)?;
-        let line = self.ways[way].expect("found way must be occupied");
-        if let Some(slot) = self.ways[way].as_mut() {
-            slot.invalidate();
-        }
+        let line = self.ways[way];
+        self.ways[way].invalidate();
         Some(line)
     }
 
     /// Iterates over the valid lines in this set.
     pub fn iter_valid(&self) -> impl Iterator<Item = &CacheLine> {
-        self.ways
-            .iter()
-            .filter_map(Option::as_ref)
-            .filter(|l| l.is_valid())
+        self.ways.iter().filter(|l| l.is_valid())
     }
 
     /// Iterates mutably over the valid lines in this set.
     pub fn iter_valid_mut(&mut self) -> impl Iterator<Item = &mut CacheLine> {
-        self.ways
-            .iter_mut()
-            .filter_map(Option::as_mut)
-            .filter(|l| l.is_valid())
+        self.ways.iter_mut().filter(|l| l.is_valid())
     }
 
     /// Number of valid lines in this set.

@@ -1,0 +1,99 @@
+//! Determinism regression tests for the optimized hot path.
+//!
+//! The throughput overhaul (flat cache sets, allocation-free victim
+//! selection, bitmask coherence outcomes, devirtualized settlement, scratch
+//! buffers) is only valid if it is *invisible* in the results: every run
+//! must still be a pure function of its configuration. These tests pin that
+//! down byte-for-byte — two independent simulations of every preset ×
+//! policy must render identical JSON reports, and the parallel sweep runner
+//! must produce identical output for worker counts 1, 2 and 8.
+//!
+//! `perfgate --check` additionally compares `execution_cycles` against the
+//! committed `BENCH_SIM.json` baselines, which extends this guarantee
+//! *across* commits: an optimization that changes simulated behaviour fails
+//! CI even if it is internally self-consistent.
+
+use refrint::experiment::ExperimentConfig;
+use refrint::simulation::Simulation;
+use refrint::sweep::SweepRunner;
+use refrint_cli::json;
+use refrint_edram::policy::RefreshPolicy;
+use refrint_workloads::apps::AppPreset;
+
+/// Renders one small run of `app` under `policy` as a JSON report string.
+fn run_json(app: AppPreset, policy: RefreshPolicy) -> String {
+    let mut sim = Simulation::builder()
+        .edram_recommended()
+        .policy(policy)
+        .cores(4)
+        .refs_per_thread(600)
+        .seed(42)
+        .build()
+        .expect("paper policies build on the recommended configuration");
+    json::report(&sim.run(app).report)
+}
+
+#[test]
+fn every_preset_and_policy_is_byte_identical_across_runs() {
+    for app in AppPreset::ALL {
+        for policy in RefreshPolicy::paper_sweep() {
+            let first = run_json(app, policy);
+            let second = run_json(app, policy);
+            assert_eq!(
+                first,
+                second,
+                "non-deterministic report for {} under {}",
+                app.name(),
+                policy.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn sram_baseline_is_byte_identical_across_runs() {
+    let run = || {
+        let mut sim = Simulation::builder()
+            .sram_baseline()
+            .cores(4)
+            .refs_per_thread(600)
+            .seed(42)
+            .build()
+            .expect("the SRAM baseline builds");
+        json::report(&sim.run(AppPreset::Lu).report)
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn sweep_output_is_byte_identical_for_worker_counts_1_2_8() {
+    let config = ExperimentConfig {
+        apps: vec![AppPreset::Lu, AppPreset::Blackscholes],
+        retentions_us: vec![50],
+        policies: vec![
+            RefreshPolicy::recommended(),
+            RefreshPolicy::edram_baseline(),
+        ],
+        refs_per_thread: 600,
+        cores: 4,
+        ..ExperimentConfig::default()
+    };
+    let reference = json::sweep(
+        &SweepRunner::new(config.clone())
+            .workers(1)
+            .run()
+            .expect("sequential sweep succeeds"),
+    );
+    for workers in [2, 8] {
+        let parallel = json::sweep(
+            &SweepRunner::new(config.clone())
+                .workers(workers)
+                .run()
+                .expect("parallel sweep succeeds"),
+        );
+        assert_eq!(
+            reference, parallel,
+            "sweep output diverged at {workers} workers"
+        );
+    }
+}
