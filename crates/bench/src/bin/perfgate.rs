@@ -16,12 +16,17 @@
 //! (`--tolerance 0.25` = fail below 75% of baseline). `execution_cycles` is
 //! the simulated clock: identical on every machine, so any difference means
 //! the simulation's semantics changed and the gate fails hard.
+//!
+//! `--check --format json` prints a machine-readable verdict document to
+//! stdout (per-scenario pass/fail and ratios) instead of the table; the
+//! exit code is unchanged, so CI can both gate on it and parse the log.
 
 use std::process::ExitCode;
 
 use refrint_bench::results::{self, ResultsDoc};
 use refrint_bench::throughput::{self, Effort, Measurement};
 use refrint_cli::{has_flag, opt_value};
+use refrint_engine::json::{escape, num};
 
 const DEFAULT_FILE: &str = "BENCH_SIM.json";
 const DEFAULT_TOLERANCE: f64 = 0.10;
@@ -30,6 +35,7 @@ fn usage() -> &'static str {
     "usage:\n  \
      perfgate --record [FILE] [--mode quick|full]\n  \
      perfgate --check FILE [--tolerance FRAC] [--mode quick|full] [--against RESULTS]\n  \
+     \x20              [--format text|json]\n  \
      perfgate --compare OLD NEW [--min-ratio NAME=R]\n"
 }
 
@@ -94,8 +100,73 @@ fn load(file: &str) -> Result<ResultsDoc, String> {
     results::parse(&text).map_err(|e| format!("{file}: {e}"))
 }
 
+/// One scenario's verdict in a `--check` run.
+struct ScenarioVerdict {
+    name: String,
+    baseline_refs_per_sec: f64,
+    current_refs_per_sec: f64,
+    ratio: f64,
+    rate_ok: bool,
+    cycles_ok: bool,
+}
+
+impl ScenarioVerdict {
+    fn pass(&self) -> bool {
+        self.rate_ok && self.cycles_ok
+    }
+}
+
+/// Renders the machine-readable `--check` verdict document.
+fn render_verdict_json(
+    mode: &str,
+    tolerance: f64,
+    verdicts: &[ScenarioVerdict],
+    failures: &[String],
+) -> String {
+    let scenarios: Vec<String> = verdicts
+        .iter()
+        .map(|v| {
+            format!(
+                "    {{\"name\": \"{}\", \"baseline_refs_per_sec\": {}, \
+                 \"current_refs_per_sec\": {}, \"ratio\": {}, \
+                 \"rate_ok\": {}, \"cycles_ok\": {}, \"pass\": {}}}",
+                escape(&v.name),
+                num(v.baseline_refs_per_sec),
+                num(v.current_refs_per_sec),
+                num(v.ratio),
+                v.rate_ok,
+                v.cycles_ok,
+                v.pass()
+            )
+        })
+        .collect();
+    let failure_items: Vec<String> = failures
+        .iter()
+        .map(|f| format!("\"{}\"", escape(f)))
+        .collect();
+    format!(
+        "{{\n  \"suite\": \"sim_throughput\",\n  \"mode\": \"{}\",\n  \
+         \"tolerance\": {},\n  \"verdict\": \"{}\",\n  \"scenarios\": [\n{}\n  ],\n  \
+         \"failures\": [{}]\n}}",
+        escape(mode),
+        num(tolerance),
+        if failures.is_empty() { "pass" } else { "fail" },
+        scenarios.join(",\n"),
+        failure_items.join(", ")
+    )
+}
+
 fn check(args: &[String]) -> Result<(), String> {
     let file = positional_after(args, "--check").unwrap_or_else(|| DEFAULT_FILE.to_owned());
+    let json_output = match opt_value(args, "--format").as_deref() {
+        None | Some("text") => false,
+        Some("json") => true,
+        Some(other) => {
+            return Err(format!(
+                "unknown --format `{other}` (expected `text` or `json`)"
+            ))
+        }
+    };
     let tolerance = match opt_value(args, "--tolerance") {
         None => DEFAULT_TOLERANCE,
         Some(t) => t
@@ -139,30 +210,43 @@ fn check(args: &[String]) -> Result<(), String> {
         }
     };
     let mut failures = Vec::new();
-    println!(
-        "{:<16} {:>14} {:>14} {:>8}  verdict (tolerance {:.0}%)",
-        "metric",
-        "baseline r/s",
-        "current r/s",
-        "delta",
-        tolerance * 100.0
-    );
+    let mut verdicts = Vec::new();
+    if !json_output {
+        println!(
+            "{:<16} {:>14} {:>14} {:>8}  verdict (tolerance {:.0}%)",
+            "metric",
+            "baseline r/s",
+            "current r/s",
+            "delta",
+            tolerance * 100.0
+        );
+    }
     for base in &baseline.metrics {
         let Some(cur) = current.iter().find(|m| m.name == base.name) else {
             failures.push(format!("metric '{}' missing from current suite", base.name));
+            verdicts.push(ScenarioVerdict {
+                name: base.name.clone(),
+                baseline_refs_per_sec: base.refs_per_sec,
+                current_refs_per_sec: 0.0,
+                ratio: 0.0,
+                rate_ok: false,
+                cycles_ok: false,
+            });
             continue;
         };
         let ratio = cur.refs_per_sec / base.refs_per_sec;
         let ok_rate = ratio >= 1.0 - tolerance;
         let ok_cycles = !same_mode || cur.execution_cycles == base.execution_cycles;
-        println!(
-            "{:<16} {:>14.0} {:>14.0} {:>+7.1}%  {}",
-            base.name,
-            base.refs_per_sec,
-            cur.refs_per_sec,
-            (ratio - 1.0) * 100.0,
-            if ok_rate && ok_cycles { "ok" } else { "FAIL" }
-        );
+        if !json_output {
+            println!(
+                "{:<16} {:>14.0} {:>14.0} {:>+7.1}%  {}",
+                base.name,
+                base.refs_per_sec,
+                cur.refs_per_sec,
+                (ratio - 1.0) * 100.0,
+                if ok_rate && ok_cycles { "ok" } else { "FAIL" }
+            );
+        }
         if !ok_rate {
             failures.push(format!(
                 "'{}' throughput regressed to {:.0}% of baseline ({:.0} vs {:.0} refs/sec)",
@@ -179,8 +263,28 @@ fn check(args: &[String]) -> Result<(), String> {
                 base.name, base.execution_cycles, cur.execution_cycles
             ));
         }
+        verdicts.push(ScenarioVerdict {
+            name: base.name.clone(),
+            baseline_refs_per_sec: base.refs_per_sec,
+            current_refs_per_sec: cur.refs_per_sec,
+            ratio,
+            rate_ok: ok_rate,
+            cycles_ok: ok_cycles,
+        });
     }
-    if failures.is_empty() {
+    if json_output {
+        println!(
+            "{}",
+            render_verdict_json(&baseline.mode, tolerance, &verdicts, &failures)
+        );
+        if failures.is_empty() {
+            Ok(())
+        } else {
+            // The document above already carries the details; keep stderr
+            // to a one-liner so logs stay parseable.
+            Err(format!("{} scenario check(s) failed", failures.len()))
+        }
+    } else if failures.is_empty() {
         println!(
             "perfgate: all {} metrics within tolerance",
             baseline.metrics.len()

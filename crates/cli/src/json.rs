@@ -1,121 +1,14 @@
-//! Minimal JSON rendering for reports and sweep results.
+//! Machine-readable output for the CLI — a thin façade over the shared
+//! emitters.
 //!
-//! The workspace builds without external dependencies, so instead of a
-//! serde derive this module hand-emits the small, stable document shapes
-//! the CLI needs. Strings are escaped per RFC 8259; non-finite floats
-//! (which the energy model never produces) render as `null`.
+//! The implementations live in [`refrint::json`] (document shapes) and
+//! [`refrint_engine::json`] (escaping and parsing) so that the CLI, the
+//! bench suite and `refrint-serve` render byte-identical documents from one
+//! code path. This module only re-exports them under the CLI's historical
+//! `refrint_cli::json::*` paths.
 
-use refrint::experiment::SweepResults;
-use refrint::report::SimReport;
-
-/// Escapes `s` as the contents of a JSON string literal.
-#[must_use]
-pub fn escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
-
-/// Renders a float as a JSON number (`null` for non-finite values).
-fn num(v: f64) -> String {
-    if v.is_finite() {
-        // Rust's shortest-roundtrip formatting is valid JSON.
-        format!("{v}")
-    } else {
-        "null".to_owned()
-    }
-}
-
-/// Renders one [`SimReport`] as a JSON object.
-#[must_use]
-pub fn report(r: &SimReport) -> String {
-    let c = &r.counts;
-    let b = &r.breakdown;
-    format!(
-        concat!(
-            "{{\"workload\":\"{}\",\"config\":\"{}\",\"execution_cycles\":{},",
-            "\"counts\":{{\"instructions\":{},\"il1_accesses\":{},\"dl1_accesses\":{},",
-            "\"l2_accesses\":{},\"l3_accesses\":{},\"l1_refreshes\":{},",
-            "\"l2_refreshes\":{},\"l3_refreshes\":{},\"dram_reads\":{},",
-            "\"dram_writes\":{},\"noc_flit_hops\":{}}},",
-            "\"energy_j\":{{\"memory_total\":{},\"system_total\":{},",
-            "\"on_chip_dynamic\":{},\"on_chip_leakage\":{},\"refresh\":{},\"dram\":{}}},",
-            "\"l3_miss_rate_per_mille\":{},\"refreshes_per_kilocycle\":{}}}"
-        ),
-        escape(&r.workload),
-        escape(&r.config_label),
-        r.execution_cycles,
-        c.instructions,
-        c.il1_accesses,
-        c.dl1_accesses,
-        c.l2_accesses,
-        c.l3_accesses,
-        c.l1_refreshes,
-        c.l2_refreshes,
-        c.l3_refreshes,
-        c.dram_reads,
-        c.dram_writes,
-        c.noc_flit_hops,
-        num(b.memory_total()),
-        num(b.total_system()),
-        num(b.on_chip_dynamic()),
-        num(b.on_chip_leakage()),
-        num(b.refresh_total()),
-        num(b.dram),
-        num(r.l3_miss_rate_per_mille()),
-        num(r.refreshes_per_kilocycle()),
-    )
-}
-
-/// Renders full [`SweepResults`] as a JSON object: the swept axes plus one
-/// entry per run. Map iteration is ordered, so the output is deterministic.
-#[must_use]
-pub fn sweep(results: &SweepResults) -> String {
-    let mut runs = Vec::with_capacity(results.sram.len() + results.edram.len());
-    for (workload, r) in &results.sram {
-        runs.push(format!(
-            "{{\"workload\":\"{}\",\"retention_us\":null,\"policy\":null,\"report\":{}}}",
-            escape(workload),
-            report(r)
-        ));
-    }
-    for ((workload, retention_us, label), r) in &results.edram {
-        runs.push(format!(
-            "{{\"workload\":\"{}\",\"retention_us\":{retention_us},\"policy\":\"{}\",\"report\":{}}}",
-            escape(workload),
-            escape(label),
-            report(r)
-        ));
-    }
-    let workloads: Vec<String> = results
-        .apps
-        .iter()
-        .map(|a| format!("\"{}\"", escape(a.name())))
-        .chain(
-            results
-                .traces
-                .iter()
-                .map(|t| format!("\"{}\"", escape(&t.name))),
-        )
-        .collect();
-    let retentions: Vec<String> = results.retentions_us.iter().map(u64::to_string).collect();
-    format!(
-        "{{\"workloads\":[{}],\"retentions_us\":[{}],\"runs\":[{}]}}",
-        workloads.join(","),
-        retentions.join(","),
-        runs.join(",")
-    )
-}
+pub use refrint::json::{report, sweep, trace_summary};
+pub use refrint_engine::json::escape;
 
 #[cfg(test)]
 mod tests {
@@ -123,55 +16,18 @@ mod tests {
     use refrint::prelude::*;
 
     #[test]
-    fn escaping_covers_specials() {
-        assert_eq!(escape("plain"), "plain");
-        assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
-        assert_eq!(escape("x\ny\t"), "x\\ny\\t");
-        assert_eq!(escape("\u{1}"), "\\u0001");
-    }
-
-    #[test]
-    fn report_json_is_balanced_and_complete() {
+    fn reexports_resolve_and_agree_with_the_shared_emitters() {
+        assert_eq!(escape("a\"b"), "a\\\"b");
         let mut sim = Simulation::builder()
             .cores(2)
-            .refs_per_thread(500)
+            .refs_per_thread(400)
             .build()
             .unwrap();
         let outcome = sim.run(AppPreset::Lu);
-        let doc = report(&outcome.report);
-        assert!(doc.starts_with('{') && doc.ends_with('}'));
+        // The CLI path and the shared path are literally the same function.
         assert_eq!(
-            doc.matches('{').count(),
-            doc.matches('}').count(),
-            "unbalanced braces in {doc}"
+            report(&outcome.report),
+            refrint::json::report(&outcome.report)
         );
-        for key in [
-            "\"workload\":\"lu\"",
-            "\"execution_cycles\":",
-            "\"dram_reads\":",
-            "\"memory_total\":",
-            "\"refreshes_per_kilocycle\":",
-        ] {
-            assert!(doc.contains(key), "missing {key} in {doc}");
-        }
-    }
-
-    #[test]
-    fn sweep_json_lists_every_run() {
-        let config = ExperimentConfig {
-            apps: vec![AppPreset::Lu],
-            retentions_us: vec![50],
-            policies: vec![RefreshPolicy::recommended()],
-            refs_per_thread: 600,
-            cores: 2,
-            ..ExperimentConfig::default()
-        };
-        let results = SweepRunner::new(config).sequential().run().unwrap();
-        let doc = sweep(&results);
-        assert!(doc.contains("\"workloads\":[\"lu\"]"));
-        assert!(doc.contains("\"retention_us\":null"));
-        assert!(doc.contains("\"retention_us\":50"));
-        assert!(doc.contains("R.WB(32,32)"));
-        assert_eq!(doc.matches("\"report\":").count(), 2);
     }
 }

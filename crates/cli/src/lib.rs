@@ -406,6 +406,8 @@ impl TraceReplayOptions {
 pub struct TraceInfoOptions {
     /// The trace to summarize.
     pub trace: PathBuf,
+    /// Output rendering.
+    pub format: OutputFormat,
 }
 
 impl TraceInfoOptions {
@@ -413,12 +415,84 @@ impl TraceInfoOptions {
     ///
     /// # Errors
     ///
-    /// Returns a usage message if `--trace` is missing.
+    /// Returns a usage message if `--trace` is missing or the format is
+    /// unknown.
     pub fn parse(args: &[String]) -> Result<Self, String> {
         let trace = opt_value(args, "--trace").ok_or("trace info requires --trace <path>")?;
         Ok(TraceInfoOptions {
             trace: trace.into(),
+            format: parse_format(args)?,
         })
+    }
+}
+
+/// Options of the `serve` subcommand: the listen address plus the server
+/// tunables worth exposing on the command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeOptions {
+    /// Address to listen on (e.g. `127.0.0.1:7878`).
+    pub addr: String,
+    /// Simulation worker threads, if overridden.
+    pub workers: Option<usize>,
+    /// Job-queue capacity, if overridden.
+    pub queue: Option<usize>,
+    /// Result-cache capacity, if overridden.
+    pub cache: Option<usize>,
+    /// Request-body size limit in bytes, if overridden.
+    pub max_body: Option<usize>,
+    /// Directory trace workloads are served from.
+    pub trace_dir: Option<PathBuf>,
+}
+
+impl ServeOptions {
+    /// Parses `serve` arguments.
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage message for missing/invalid options.
+    pub fn parse(args: &[String]) -> Result<Self, String> {
+        let addr = opt_value(args, "--addr").ok_or("serve requires --addr HOST:PORT")?;
+        let positive = |flag: &str| -> Result<Option<usize>, String> {
+            match opt_value(args, flag) {
+                None => Ok(None),
+                Some(v) => {
+                    let n: usize = v.parse().map_err(|_| format!("bad {flag} `{v}`"))?;
+                    if n == 0 {
+                        return Err(format!("{flag} must be at least 1"));
+                    }
+                    Ok(Some(n))
+                }
+            }
+        };
+        Ok(ServeOptions {
+            addr,
+            workers: positive("--workers")?,
+            queue: positive("--queue")?,
+            cache: positive("--cache")?,
+            max_body: positive("--max-body")?,
+            trace_dir: opt_value(args, "--trace-dir").map(Into::into),
+        })
+    }
+
+    /// The server options these flags describe (defaults filled from
+    /// [`refrint_serve::ServerOptions::default`]).
+    #[must_use]
+    pub fn server_options(&self) -> refrint_serve::ServerOptions {
+        let mut options = refrint_serve::ServerOptions::default();
+        if let Some(workers) = self.workers {
+            options.workers = workers;
+        }
+        if let Some(queue) = self.queue {
+            options.queue_capacity = queue;
+        }
+        if let Some(cache) = self.cache {
+            options.cache_capacity = cache;
+        }
+        if let Some(max_body) = self.max_body {
+            options.max_body_bytes = max_body;
+        }
+        options.trace_dir = self.trace_dir.clone();
+        options
     }
 }
 
@@ -605,6 +679,62 @@ mod tests {
         assert!(TraceReplayOptions::parse(&args(&[]))
             .unwrap_err()
             .contains("--trace"));
+    }
+
+    #[test]
+    fn trace_info_options_parse_formats() {
+        let opts = TraceInfoOptions::parse(&args(&["--trace", "x.rft"])).unwrap();
+        assert_eq!(opts.format, OutputFormat::Text);
+        let opts =
+            TraceInfoOptions::parse(&args(&["--trace", "x.rft", "--format", "json"])).unwrap();
+        assert_eq!(opts.format, OutputFormat::Json);
+        assert!(TraceInfoOptions::parse(&args(&["--trace", "x.rft", "--format", "xml"])).is_err());
+        assert!(TraceInfoOptions::parse(&args(&[]))
+            .unwrap_err()
+            .contains("--trace"));
+    }
+
+    #[test]
+    fn serve_options_parse_and_build_server_options() {
+        let opts = ServeOptions::parse(&args(&[
+            "--addr",
+            "127.0.0.1:7878",
+            "--workers",
+            "3",
+            "--queue",
+            "16",
+            "--cache",
+            "9",
+            "--max-body",
+            "4096",
+            "--trace-dir",
+            "/tmp/traces",
+        ]))
+        .unwrap();
+        assert_eq!(opts.addr, "127.0.0.1:7878");
+        let server = opts.server_options();
+        assert_eq!(server.workers, 3);
+        assert_eq!(server.queue_capacity, 16);
+        assert_eq!(server.cache_capacity, 9);
+        assert_eq!(server.max_body_bytes, 4096);
+        assert_eq!(server.trace_dir, Some(PathBuf::from("/tmp/traces")));
+
+        assert!(ServeOptions::parse(&args(&[]))
+            .unwrap_err()
+            .contains("--addr"));
+        assert!(
+            ServeOptions::parse(&args(&["--addr", "x", "--workers", "0"]))
+                .unwrap_err()
+                .contains("--workers")
+        );
+        // Defaults pass straight through.
+        let opts = ServeOptions::parse(&args(&["--addr", "127.0.0.1:0"])).unwrap();
+        let defaults = refrint_serve::ServerOptions::default();
+        assert_eq!(opts.server_options().workers, defaults.workers);
+        assert_eq!(
+            opts.server_options().queue_capacity,
+            defaults.queue_capacity
+        );
     }
 
     #[test]

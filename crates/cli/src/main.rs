@@ -9,6 +9,8 @@
 //!   headline numbers.
 //! * `trace record` / `trace replay` / `trace info` — capture a workload to
 //!   a trace file, replay it bit-for-bit, or summarize its contents.
+//! * `serve` — run the `refrint-serve` HTTP service (job queue, worker
+//!   pool, result cache) on a listen address.
 
 use std::process::ExitCode;
 
@@ -16,8 +18,8 @@ use refrint::config::SystemConfig;
 use refrint::figures::headline_summary;
 use refrint::sweep::{SweepProgress, SweepRunner};
 use refrint_cli::{
-    json, OutputFormat, RunOptions, SweepOptions, TraceInfoOptions, TraceRecordOptions,
-    TraceReplayOptions,
+    json, OutputFormat, RunOptions, ServeOptions, SweepOptions, TraceInfoOptions,
+    TraceRecordOptions, TraceReplayOptions,
 };
 use refrint_trace::{TraceFile, TraceSummary};
 use refrint_workloads::apps::AppPreset;
@@ -40,7 +42,11 @@ Commands:
   trace replay --trace <file> [--sram] [--policy <label>] [--retention <us>]
                [--format text|json]
                                    replay a recorded trace through a configuration
-  trace info --trace <file>        summarize a trace (threads, gaps, strides)
+  trace info --trace <file> [--format text|json]
+                                   summarize a trace (threads, gaps, strides)
+  serve --addr HOST:PORT [--workers <n>] [--queue <n>] [--cache <n>]
+        [--max-body <bytes>] [--trace-dir <dir>]
+                                   run the HTTP simulation service (see docs/serve.md)
 ";
 
 fn main() -> ExitCode {
@@ -56,6 +62,7 @@ fn main() -> ExitCode {
         "run" => run_one(rest),
         "sweep" => sweep(rest),
         "trace" => trace(rest),
+        "serve" => serve(rest),
         "--help" | "-h" | "help" => {
             print!("{USAGE}");
             Ok(())
@@ -204,7 +211,22 @@ fn trace_info(args: &[String]) -> Result<(), String> {
     let options = TraceInfoOptions::parse(args)?;
     let trace = TraceFile::open(&options.trace).map_err(|e| e.to_string())?;
     let summary = TraceSummary::collect(&trace).map_err(|e| e.to_string())?;
-    println!("trace           : {}", options.trace.display());
-    println!("{summary}");
+    match options.format {
+        OutputFormat::Json => println!("{}", json::trace_summary(&summary)),
+        OutputFormat::Text => {
+            println!("trace           : {}", options.trace.display());
+            println!("{summary}");
+        }
+    }
     Ok(())
+}
+
+fn serve(args: &[String]) -> Result<(), String> {
+    let options = ServeOptions::parse(args)?;
+    refrint_serve::install_sigterm_handler();
+    let server = refrint_serve::Server::bind(options.addr.as_str(), options.server_options())
+        .map_err(|e| format!("cannot bind {}: {e}", options.addr))?;
+    let addr = server.local_addr().map_err(|e| e.to_string())?;
+    eprintln!("refrint-serve: listening on http://{addr} (POST /run, POST /sweep, GET /healthz)");
+    server.run().map_err(|e| e.to_string())
 }

@@ -76,6 +76,7 @@ pub mod error;
 pub mod experiment;
 pub mod figures;
 pub mod hierarchy;
+pub mod json;
 pub mod replay;
 pub mod report;
 pub mod simulation;

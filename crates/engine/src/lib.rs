@@ -12,6 +12,9 @@
 //!   simulation statistics in a uniform way.
 //! * [`rng`] — a deterministic, seedable random-number facade so that every
 //!   simulation run is exactly reproducible.
+//! * [`json`] — dependency-free JSON escaping, rendering helpers and a
+//!   typed-error parser shared by every crate that emits or reads the
+//!   suite's machine-readable documents.
 //!
 //! # Example
 //!
@@ -29,6 +32,7 @@
 
 pub mod error;
 pub mod event;
+pub mod json;
 pub mod rng;
 pub mod stats;
 pub mod time;

@@ -1,0 +1,526 @@
+//! The JSON request schemas of the service and their validation.
+//!
+//! `POST /run` and `POST /sweep` bodies are parsed with the shared
+//! [`refrint_engine::json`] parser, checked field by field (unknown fields
+//! are rejected so typos fail loudly), and resolved into an executable
+//! [`JobWork`] plus a **canonical cache key**. The key is derived from the
+//! *validated* configuration — the label, seed, scale and chip size after
+//! presets and defaults are applied — so two requests that spell the same
+//! simulation differently still hit the same cache entry, and the cached
+//! bytes are bit-identical to a fresh run by construction.
+
+use std::path::{Path, PathBuf};
+
+use refrint::experiment::{ExperimentConfig, TraceSpec};
+use refrint::simulation::Simulation;
+use refrint_edram::model::PolicyRegistry;
+use refrint_edram::policy::RefreshPolicy;
+use refrint_engine::json::{escape, Value};
+use refrint_workloads::apps::AppPreset;
+
+use crate::jobs::JobWork;
+
+/// A typed API failure: HTTP status, machine-readable kind, human reason.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ApiError {
+    /// The HTTP status the error is answered with (always 4xx/5xx).
+    pub status: u16,
+    /// Stable machine-readable kind (e.g. `bad_json`, `unknown_policy`).
+    pub kind: &'static str,
+    /// Human-readable description.
+    pub reason: String,
+}
+
+impl ApiError {
+    /// Builds an error.
+    #[must_use]
+    pub fn new(status: u16, kind: &'static str, reason: impl Into<String>) -> Self {
+        ApiError {
+            status,
+            kind,
+            reason: reason.into(),
+        }
+    }
+
+    /// The JSON error document this error is answered with.
+    #[must_use]
+    pub fn body(&self) -> Vec<u8> {
+        format!(
+            "{{\"error\":{{\"kind\":\"{}\",\"reason\":\"{}\"}}}}\n",
+            escape(self.kind),
+            escape(&self.reason)
+        )
+        .into_bytes()
+    }
+}
+
+/// Whether the client waits for the result or polls `/jobs/<id>`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SubmitMode {
+    /// The connection blocks until the job completes (the default).
+    #[default]
+    Sync,
+    /// The request is answered `202 Accepted` with a job id immediately.
+    Async,
+}
+
+/// A fully validated request, ready to enqueue.
+#[derive(Debug, Clone)]
+pub struct ValidatedRequest {
+    /// What the worker will execute.
+    pub work: JobWork,
+    /// Canonical cache key (see the module docs).
+    pub cache_key: String,
+    /// Sync or async submission.
+    pub mode: SubmitMode,
+}
+
+fn schema_err(reason: impl Into<String>) -> ApiError {
+    ApiError::new(422, "schema", reason)
+}
+
+fn str_field(v: &Value, key: &str) -> Result<String, ApiError> {
+    v.as_str()
+        .map(str::to_owned)
+        .ok_or_else(|| schema_err(format!("\"{key}\" must be a string")))
+}
+
+fn u64_field(v: &Value, key: &str) -> Result<u64, ApiError> {
+    v.as_u64()
+        .ok_or_else(|| schema_err(format!("\"{key}\" must be a non-negative integer")))
+}
+
+fn usize_field(v: &Value, key: &str) -> Result<usize, ApiError> {
+    Ok(u64_field(v, key)? as usize)
+}
+
+fn bool_field(v: &Value, key: &str) -> Result<bool, ApiError> {
+    v.as_bool()
+        .ok_or_else(|| schema_err(format!("\"{key}\" must be a boolean")))
+}
+
+fn mode_field(v: &Value) -> Result<SubmitMode, ApiError> {
+    match v.as_str() {
+        Some("sync") => Ok(SubmitMode::Sync),
+        Some("async") => Ok(SubmitMode::Async),
+        _ => Err(schema_err("\"mode\" must be \"sync\" or \"async\"")),
+    }
+}
+
+fn parse_app(name: &str) -> Result<AppPreset, ApiError> {
+    name.parse::<AppPreset>()
+        .map_err(|e| ApiError::new(422, "unknown_workload", e.to_string()))
+}
+
+fn parse_policy(label: &str) -> Result<RefreshPolicy, ApiError> {
+    label.parse::<RefreshPolicy>().map_err(|_| {
+        let valid = PolicyRegistry::new().valid_labels();
+        ApiError::new(
+            422,
+            "unknown_policy",
+            format!(
+                "unknown refresh policy `{label}`; valid labels are \
+                 `P|R.all|valid|dirty|WB(n,m)` — e.g. {}",
+                valid.join(", ")
+            ),
+        )
+    })
+}
+
+/// Resolves a client-supplied trace name against the server's trace
+/// directory, refusing traversal outside it.
+fn resolve_trace(name: &str, trace_dir: Option<&Path>) -> Result<PathBuf, ApiError> {
+    let Some(dir) = trace_dir else {
+        return Err(ApiError::new(
+            422,
+            "traces_unavailable",
+            "this server was started without --trace-dir; trace workloads are not servable",
+        ));
+    };
+    if name.is_empty()
+        || name.contains('/')
+        || name.contains('\\')
+        || name.contains("..")
+        || name.starts_with('.')
+    {
+        return Err(ApiError::new(
+            422,
+            "bad_trace_name",
+            format!("trace name `{name}` must be a plain file name inside the trace directory"),
+        ));
+    }
+    Ok(dir.join(name))
+}
+
+/// The canonical workload half of a run cache key.
+fn workload_key(app: Option<AppPreset>, trace: Option<&Path>) -> String {
+    match (app, trace) {
+        (Some(app), _) => format!("app:{}", app.name()),
+        (None, Some(path)) => {
+            // Canonicalize so `lu.rft` and an equivalent absolute spelling
+            // share a cache entry, and include the file's size and mtime
+            // so re-recording a trace in place invalidates old entries
+            // instead of serving stale bytes. The file exists (the builder
+            // opened it during validation), so failures here are transient
+            // races — fall back to the literal path / zero stamps.
+            let canonical = std::fs::canonicalize(path).unwrap_or_else(|_| path.to_path_buf());
+            let (len, mtime_nanos) = std::fs::metadata(&canonical)
+                .map(|m| {
+                    let mtime = m
+                        .modified()
+                        .ok()
+                        .and_then(|t| t.duration_since(std::time::UNIX_EPOCH).ok())
+                        .map_or(0, |d| d.as_nanos());
+                    (m.len(), mtime)
+                })
+                .unwrap_or((0, 0));
+            format!(
+                "trace:{}|len={len}|mtime={mtime_nanos}",
+                canonical.display()
+            )
+        }
+        (None, None) => unreachable!("validated requests always carry a workload"),
+    }
+}
+
+/// Parses and validates a `POST /run` body.
+///
+/// # Errors
+///
+/// A typed [`ApiError`]: `schema` (422) for shape problems,
+/// `unknown_workload` / `unknown_policy` (422) for bad names, and
+/// `invalid_config` (422) when the composed configuration fails the
+/// builder's validation (the reason is the typed `BuildError` rendering).
+pub fn parse_run_request(
+    root: &Value,
+    trace_dir: Option<&Path>,
+) -> Result<ValidatedRequest, ApiError> {
+    let fields = root
+        .as_obj()
+        .ok_or_else(|| schema_err("the request body must be a JSON object"))?;
+
+    let mut app: Option<AppPreset> = None;
+    let mut trace: Option<PathBuf> = None;
+    let mut sram = false;
+    let mut policy: Option<RefreshPolicy> = None;
+    let mut retention_us: Option<u64> = None;
+    let mut refs: Option<u64> = None;
+    let mut seed: Option<u64> = None;
+    let mut cores: Option<usize> = None;
+    let mut mode = SubmitMode::Sync;
+
+    for (key, value) in fields {
+        match key.as_str() {
+            "app" => app = Some(parse_app(&str_field(value, "app")?)?),
+            "trace" => trace = Some(resolve_trace(&str_field(value, "trace")?, trace_dir)?),
+            "sram" => sram = bool_field(value, "sram")?,
+            "policy" => policy = Some(parse_policy(&str_field(value, "policy")?)?),
+            "retention_us" => retention_us = Some(u64_field(value, "retention_us")?),
+            "refs" => refs = Some(u64_field(value, "refs")?),
+            "seed" => seed = Some(u64_field(value, "seed")?),
+            "cores" => cores = Some(usize_field(value, "cores")?),
+            "mode" => mode = mode_field(value)?,
+            other => {
+                return Err(schema_err(format!(
+                    "unknown field \"{other}\" (expected app, trace, sram, policy, \
+                     retention_us, refs, seed, cores, mode)"
+                )))
+            }
+        }
+    }
+
+    match (&app, &trace) {
+        (None, None) => return Err(schema_err("one of \"app\" or \"trace\" is required")),
+        (Some(_), Some(_)) => {
+            return Err(schema_err("\"app\" and \"trace\" are mutually exclusive"))
+        }
+        _ => {}
+    }
+
+    let mut builder = if sram {
+        Simulation::builder().sram_baseline()
+    } else {
+        Simulation::builder().edram_recommended()
+    };
+    if let Some(policy) = policy {
+        builder = builder.policy(policy);
+    }
+    if let Some(us) = retention_us {
+        builder = builder.retention_us(us);
+    }
+    if let Some(refs) = refs {
+        builder = builder.refs_per_thread(refs);
+    }
+    if let Some(seed) = seed {
+        builder = builder.seed(seed);
+    }
+    if let Some(cores) = cores {
+        builder = builder.cores(cores);
+    }
+    if let Some(path) = &trace {
+        builder = builder.trace(path);
+    }
+
+    // Validate now (including opening the trace) so clients get a typed
+    // 422 immediately instead of a failed job later, and so the cache key
+    // is derived from the *resolved* configuration.
+    let config = builder
+        .build_config()
+        .map_err(|e| ApiError::new(422, "invalid_config", e.to_string()))?;
+
+    let cache_key = format!(
+        "run|workload={}|config={}|cores={}|banks={}|seed={}|refs={}",
+        workload_key(app, trace.as_deref()),
+        config.label(),
+        config.cores,
+        config.l3_banks,
+        config.seed,
+        config
+            .refs_per_thread
+            .map_or_else(|| "default".to_owned(), |r| r.to_string()),
+    );
+
+    Ok(ValidatedRequest {
+        work: JobWork::Run { builder, app },
+        cache_key,
+        mode,
+    })
+}
+
+/// Parses and validates a `POST /sweep` body. Defaults mirror
+/// `refrint-cli sweep`: the quick experiment, overridden field by field.
+///
+/// # Errors
+///
+/// A typed [`ApiError`] (see [`parse_run_request`]).
+pub fn parse_sweep_request(
+    root: &Value,
+    trace_dir: Option<&Path>,
+) -> Result<ValidatedRequest, ApiError> {
+    let fields = root
+        .as_obj()
+        .ok_or_else(|| schema_err("the request body must be a JSON object"))?;
+
+    let mut cfg = ExperimentConfig::quick();
+    let mut mode = SubmitMode::Sync;
+
+    for (key, value) in fields {
+        match key.as_str() {
+            "apps" => {
+                let items = value
+                    .as_arr()
+                    .ok_or_else(|| schema_err("\"apps\" must be an array of strings"))?;
+                cfg.apps = items
+                    .iter()
+                    .map(|v| parse_app(&str_field(v, "apps")?))
+                    .collect::<Result<_, _>>()?;
+            }
+            "traces" => {
+                let items = value
+                    .as_arr()
+                    .ok_or_else(|| schema_err("\"traces\" must be an array of strings"))?;
+                cfg.traces = items
+                    .iter()
+                    .map(|v| {
+                        let path = resolve_trace(&str_field(v, "traces")?, trace_dir)?;
+                        TraceSpec::from_path(&path)
+                            .map_err(|e| ApiError::new(422, "invalid_config", e.to_string()))
+                    })
+                    .collect::<Result<_, _>>()?;
+            }
+            "policies" => {
+                let items = value
+                    .as_arr()
+                    .ok_or_else(|| schema_err("\"policies\" must be an array of strings"))?;
+                cfg.policies = items
+                    .iter()
+                    .map(|v| parse_policy(&str_field(v, "policies")?))
+                    .collect::<Result<_, _>>()?;
+            }
+            "retentions_us" => {
+                let items = value
+                    .as_arr()
+                    .ok_or_else(|| schema_err("\"retentions_us\" must be an array of integers"))?;
+                cfg.retentions_us = items
+                    .iter()
+                    .map(|v| u64_field(v, "retentions_us"))
+                    .collect::<Result<_, _>>()?;
+            }
+            "refs" => cfg.refs_per_thread = u64_field(value, "refs")?,
+            "seed" => cfg.seed = u64_field(value, "seed")?,
+            "cores" => cfg.cores = usize_field(value, "cores")?,
+            "mode" => mode = mode_field(value)?,
+            other => {
+                return Err(schema_err(format!(
+                    "unknown field \"{other}\" (expected apps, traces, policies, \
+                     retentions_us, refs, seed, cores, mode)"
+                )))
+            }
+        }
+    }
+
+    if cfg.apps.is_empty() && cfg.traces.is_empty() {
+        return Err(schema_err("a sweep needs at least one app or trace"));
+    }
+
+    // Validate every derived point up front: building the first
+    // configuration catches retention/core errors without running anything.
+    for &retention in &cfg.retentions_us {
+        for policy in &cfg.policies {
+            Simulation::builder()
+                .edram_recommended()
+                .policy(*policy)
+                .retention_us(retention)
+                .cores(cfg.cores)
+                .build_config()
+                .map_err(|e| ApiError::new(422, "invalid_config", e.to_string()))?;
+        }
+    }
+    Simulation::builder()
+        .sram_baseline()
+        .cores(cfg.cores)
+        .build_config()
+        .map_err(|e| ApiError::new(422, "invalid_config", e.to_string()))?;
+
+    let apps: Vec<&str> = cfg.apps.iter().map(|a| a.name()).collect();
+    let traces: Vec<String> = cfg
+        .traces
+        .iter()
+        .map(|t| workload_key(None, Some(&t.path)))
+        .collect();
+    let retentions: Vec<String> = cfg.retentions_us.iter().map(u64::to_string).collect();
+    let policies: Vec<String> = cfg.policies.iter().map(RefreshPolicy::label).collect();
+    let cache_key = format!(
+        "sweep|apps={}|traces={}|ret={}|pol={}|refs={}|seed={}|cores={}",
+        apps.join(","),
+        traces.join(","),
+        retentions.join(","),
+        policies.join(";"),
+        cfg.refs_per_thread,
+        cfg.seed,
+        cfg.cores,
+    );
+
+    Ok(ValidatedRequest {
+        work: JobWork::Sweep { config: cfg },
+        cache_key,
+        mode,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use refrint_engine::json::parse;
+
+    fn run(body: &str) -> Result<ValidatedRequest, ApiError> {
+        parse_run_request(&parse(body).unwrap(), None)
+    }
+
+    #[test]
+    fn minimal_run_request_validates() {
+        let v = run("{\"app\": \"lu\"}").unwrap();
+        assert!(v.cache_key.contains("app:lu"));
+        assert!(v.cache_key.contains("eDRAM 50us R.WB(32,32)"));
+        assert_eq!(v.mode, SubmitMode::Sync);
+    }
+
+    #[test]
+    fn equivalent_requests_share_a_cache_key() {
+        // Spelling out the defaults must not change the canonical key.
+        let a = run("{\"app\": \"lu\", \"refs\": 2000, \"cores\": 4}").unwrap();
+        let b =
+            run("{\"cores\": 4, \"app\": \"lu\", \"refs\": 2000, \"mode\": \"async\"}").unwrap();
+        assert_eq!(a.cache_key, b.cache_key);
+        assert_eq!(b.mode, SubmitMode::Async);
+        let c = run("{\"app\": \"lu\", \"refs\": 2001, \"cores\": 4}").unwrap();
+        assert_ne!(a.cache_key, c.cache_key);
+    }
+
+    #[test]
+    fn unknown_fields_and_workloads_are_typed_422s() {
+        let err = run("{\"app\": \"lu\", \"bogus\": 1}").unwrap_err();
+        assert_eq!((err.status, err.kind), (422, "schema"));
+        assert!(err.reason.contains("bogus"));
+        let err = run("{\"app\": \"quake3\"}").unwrap_err();
+        assert_eq!((err.status, err.kind), (422, "unknown_workload"));
+        let err = run("{}").unwrap_err();
+        assert!(err.reason.contains("required"));
+        let err = run("{\"app\": \"lu\", \"trace\": \"x.rft\"}").unwrap_err();
+        assert!(err.reason.contains("mutually exclusive") || err.kind == "traces_unavailable");
+    }
+
+    #[test]
+    fn bad_policies_list_valid_labels() {
+        let err = run("{\"app\": \"lu\", \"policy\": \"R.sometimes\"}").unwrap_err();
+        assert_eq!((err.status, err.kind), (422, "unknown_policy"));
+        assert!(err.reason.contains("R.WB(32,32)"), "{}", err.reason);
+    }
+
+    #[test]
+    fn invalid_configs_surface_the_build_error() {
+        let err = run("{\"app\": \"lu\", \"sram\": true, \"retention_us\": 100}").unwrap_err();
+        assert_eq!((err.status, err.kind), (422, "invalid_config"));
+        assert!(err.reason.contains("SRAM"), "{}", err.reason);
+        let err = run("{\"app\": \"lu\", \"cores\": 0}").unwrap_err();
+        assert_eq!(err.kind, "invalid_config");
+    }
+
+    #[test]
+    fn trace_requests_need_a_trace_dir_and_a_plain_name() {
+        let err = run("{\"trace\": \"lu.rft\"}").unwrap_err();
+        assert_eq!(err.kind, "traces_unavailable");
+        let dir = std::env::temp_dir();
+        let err = parse_run_request(
+            &parse("{\"trace\": \"../etc/passwd\"}").unwrap(),
+            Some(&dir),
+        )
+        .unwrap_err();
+        assert_eq!(err.kind, "bad_trace_name");
+        let err =
+            parse_run_request(&parse("{\"trace\": \"a/b.rft\"}").unwrap(), Some(&dir)).unwrap_err();
+        assert_eq!(err.kind, "bad_trace_name");
+    }
+
+    #[test]
+    fn sweep_requests_validate_and_key_canonically() {
+        let body = "{\"apps\": [\"lu\"], \"retentions_us\": [50], \
+                    \"policies\": [\"P.all\"], \"refs\": 1000, \"cores\": 2}";
+        let v = parse_sweep_request(&parse(body).unwrap(), None).unwrap();
+        assert!(v.cache_key.starts_with("sweep|apps=lu|"));
+        assert!(v.cache_key.contains("pol=P.all"));
+        match &v.work {
+            JobWork::Sweep { config } => {
+                assert_eq!(config.total_runs(), 2);
+            }
+            other => panic!("wrong work: {other:?}"),
+        }
+
+        let err = parse_sweep_request(
+            &parse("{\"apps\": [], \"retentions_us\": [50]}").unwrap(),
+            None,
+        )
+        .unwrap_err();
+        assert!(err.reason.contains("at least one"));
+        let err = parse_sweep_request(
+            &parse("{\"apps\": [\"lu\"], \"retentions_us\": [1]}").unwrap(),
+            None,
+        )
+        .unwrap_err();
+        assert_eq!(err.kind, "invalid_config");
+    }
+
+    #[test]
+    fn error_bodies_are_json_with_kind_and_reason() {
+        let err = ApiError::new(422, "schema", "broken \"quote\"");
+        let body = String::from_utf8(err.body()).unwrap();
+        let parsed = parse(body.trim_end()).unwrap();
+        let inner = parsed.get("error").unwrap();
+        assert_eq!(inner.get("kind").and_then(Value::as_str), Some("schema"));
+        assert!(inner
+            .get("reason")
+            .and_then(Value::as_str)
+            .unwrap()
+            .contains("quote"));
+    }
+}

@@ -1,0 +1,183 @@
+//! `serve-client` — a command-line client for `refrint-serve`, used by the
+//! CI smoke job and for manual poking without `curl`.
+//!
+//! Commands (all need `--addr HOST:PORT`):
+//!
+//! * `health` — `GET /healthz`, exit 0 on 200.
+//! * `metrics` — `GET /metrics`, print the exposition text.
+//! * `run --app <name> [--refs N] [--cores N] [--seed N] [--policy L]`
+//!   `[--retention US] [--sram] [--trace NAME] [--expect-cache hit|miss]`
+//!   — `POST /run`, print the result body (byte-identical to
+//!   `refrint-cli run --format json`).
+//! * `sweep [--apps a,b] [--refs N] [--cores N]` — `POST /sweep`.
+//! * `job --id ID [--result]` — `GET /jobs/<id>[/result]`.
+//! * `shutdown` — `POST /shutdown`.
+//!
+//! Exit status is non-zero on any non-2xx response, and on an
+//! `--expect-cache` mismatch (the smoke job uses this to prove the second
+//! identical request was served from the cache).
+
+use std::net::SocketAddr;
+use std::process::ExitCode;
+
+use refrint_serve::client::{self, HttpResponse};
+
+const USAGE: &str = "\
+serve-client --addr HOST:PORT <command>
+
+Commands:
+  health                           GET /healthz
+  metrics                          GET /metrics
+  run --app <name> [--refs N] [--cores N] [--seed N] [--policy L]
+      [--retention US] [--sram] [--trace NAME] [--mode sync|async]
+      [--expect-cache hit|miss]    POST /run and print the body
+  sweep [--apps a,b] [--refs N] [--cores N] [--expect-cache hit|miss]
+                                   POST /sweep and print the body
+  job --id ID [--result]           GET /jobs/<id>[/result]
+  shutdown                         POST /shutdown
+";
+
+/// Flags that take no value; every other `--flag` consumes the next
+/// argument.
+const BARE_FLAGS: &[&str] = &["--sram", "--result"];
+
+fn opt_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn has_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+/// The first positional argument: flags and their values are skipped, so
+/// flag order relative to the command does not matter.
+fn command(args: &[String]) -> Option<String> {
+    let mut i = 0;
+    while i < args.len() {
+        let arg = &args[i];
+        if arg.starts_with("--") {
+            i += if BARE_FLAGS.contains(&arg.as_str()) {
+                1
+            } else {
+                2
+            };
+        } else {
+            return Some(arg.clone());
+        }
+    }
+    None
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("serve-client: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let addr: SocketAddr = opt_value(args, "--addr")
+        .ok_or(format!("--addr HOST:PORT is required\n{USAGE}"))?
+        .parse()
+        .map_err(|e| format!("bad --addr: {e}"))?;
+    let command = command(args).ok_or(format!("a command is required\n{USAGE}"))?;
+
+    let response = match command.as_str() {
+        "health" => client::get(addr, "/healthz"),
+        "metrics" => client::get(addr, "/metrics"),
+        "shutdown" => client::post(addr, "/shutdown", b""),
+        "run" => client::post(addr, "/run", run_body(args)?.as_bytes()),
+        "sweep" => client::post(addr, "/sweep", sweep_body(args)?.as_bytes()),
+        "job" => {
+            let id = opt_value(args, "--id").ok_or("job requires --id ID")?;
+            let path = if has_flag(args, "--result") {
+                format!("/jobs/{id}/result")
+            } else {
+                format!("/jobs/{id}")
+            };
+            client::get(addr, &path)
+        }
+        other => return Err(format!("unknown command `{other}`\n{USAGE}")),
+    }
+    .map_err(|e| format!("request failed: {e}"))?;
+
+    finish(args, &command, &response)
+}
+
+fn finish(args: &[String], command: &str, response: &HttpResponse) -> Result<(), String> {
+    print!("{}", response.body_str());
+    if let Some(expected) = opt_value(args, "--expect-cache") {
+        let got = response.header("X-Refrint-Cache").unwrap_or("(absent)");
+        if got != expected {
+            return Err(format!(
+                "expected X-Refrint-Cache: {expected}, server sent {got}"
+            ));
+        }
+    }
+    if response.status / 100 == 2 {
+        Ok(())
+    } else {
+        Err(format!("{command} failed with HTTP {}", response.status))
+    }
+}
+
+/// Builds the `POST /run` JSON body from the flags. Values are numbers or
+/// policy/app labels — none need escaping beyond what the grammar forbids,
+/// but labels are escaped anyway for robustness.
+fn run_body(args: &[String]) -> Result<String, String> {
+    let mut fields = Vec::new();
+    let escape = refrint_serve::json_escape;
+    if let Some(app) = opt_value(args, "--app") {
+        fields.push(format!("\"app\":\"{}\"", escape(&app)));
+    }
+    if let Some(trace) = opt_value(args, "--trace") {
+        fields.push(format!("\"trace\":\"{}\"", escape(&trace)));
+    }
+    if has_flag(args, "--sram") {
+        fields.push("\"sram\":true".to_owned());
+    }
+    if let Some(policy) = opt_value(args, "--policy") {
+        fields.push(format!("\"policy\":\"{}\"", escape(&policy)));
+    }
+    for (flag, key) in [
+        ("--retention", "retention_us"),
+        ("--refs", "refs"),
+        ("--seed", "seed"),
+        ("--cores", "cores"),
+    ] {
+        if let Some(v) = opt_value(args, flag) {
+            let n: u64 = v.parse().map_err(|_| format!("bad {flag} `{v}`"))?;
+            fields.push(format!("\"{key}\":{n}"));
+        }
+    }
+    if let Some(mode) = opt_value(args, "--mode") {
+        fields.push(format!("\"mode\":\"{}\"", escape(&mode)));
+    }
+    Ok(format!("{{{}}}", fields.join(",")))
+}
+
+fn sweep_body(args: &[String]) -> Result<String, String> {
+    let mut fields = Vec::new();
+    let escape = refrint_serve::json_escape;
+    if let Some(apps) = opt_value(args, "--apps") {
+        let list: Vec<String> = apps
+            .split(',')
+            .map(|a| format!("\"{}\"", escape(a.trim())))
+            .collect();
+        fields.push(format!("\"apps\":[{}]", list.join(",")));
+    }
+    for (flag, key) in [("--refs", "refs"), ("--cores", "cores")] {
+        if let Some(v) = opt_value(args, flag) {
+            let n: u64 = v.parse().map_err(|_| format!("bad {flag} `{v}`"))?;
+            fields.push(format!("\"{key}\":{n}"));
+        }
+    }
+    Ok(format!("{{{}}}", fields.join(",")))
+}

@@ -1,0 +1,765 @@
+//! `refrint-serve`: a dependency-free HTTP simulation service.
+//!
+//! The rest of the workspace runs one simulation per process invocation;
+//! this crate keeps a simulator resident and serves many clients from it,
+//! which is where the PR 3 throughput work starts to pay off at scale. It
+//! is built entirely on `std` — `TcpListener`, `sync_channel`, threads —
+//! matching the workspace's offline, no-external-dependency constraint.
+//!
+//! # API
+//!
+//! | Endpoint | Meaning |
+//! |---|---|
+//! | `POST /run` | one simulation (builder-style params); body is byte-identical to `refrint-cli run --format json` |
+//! | `POST /sweep` | an experiment sweep; body is byte-identical to `refrint-cli sweep --format json` |
+//! | `GET /jobs/<id>` | job status document |
+//! | `GET /jobs/<id>/result` | the job's result bytes (202 while pending) |
+//! | `GET /healthz` | liveness + uptime |
+//! | `GET /metrics` | Prometheus text counters |
+//! | `POST /shutdown` | graceful shutdown (also triggered by SIGTERM) |
+//!
+//! # Architecture
+//!
+//! ```text
+//!  accept loop ──► connection threads ──► bounded MPSC job queue
+//!      │                 │ cache hit? ◄── result cache (canonical key)
+//!      ▼                 ▼                        ▲
+//!  shutdown flag    sync waiters ◄── condvar ── worker pool (simulates)
+//! ```
+//!
+//! Every request is validated before it is queued (typed 4xx errors, never
+//! a dropped connection), the queue is bounded (`503 queue_full` beyond
+//! capacity), and results are cached under a canonical key derived from
+//! the validated configuration — an identical request is answered with the
+//! very same bytes without simulating again.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod api;
+pub mod client;
+pub mod http;
+pub mod jobs;
+pub mod metrics;
+
+/// The shared JSON string escaper, re-exported for the `serve-client`
+/// binary.
+pub use refrint_engine::json::escape as json_escape;
+
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use refrint_engine::json::{escape, num};
+
+use crate::api::{ApiError, SubmitMode, ValidatedRequest};
+use crate::http::{HttpError, Request, Response};
+use crate::jobs::{Job, JobOutput, JobStatus, JobWork, ResultCache, SharedJobs};
+use crate::metrics::Metrics;
+
+/// SIGTERM flag handling. On unix the handler is installed via the libc
+/// `signal` symbol (already linked by `std`); elsewhere the flag simply
+/// never fires and `POST /shutdown` is the only trigger.
+#[cfg(unix)]
+#[allow(unsafe_code)]
+mod sigterm {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static TERM: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_term(_signum: i32) {
+        // Only an atomic store: async-signal-safe.
+        TERM.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    pub fn install() {
+        const SIGTERM: i32 = 15;
+        unsafe {
+            signal(SIGTERM, on_term);
+        }
+    }
+
+    pub fn requested() -> bool {
+        TERM.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(not(unix))]
+mod sigterm {
+    pub fn install() {}
+
+    pub fn requested() -> bool {
+        false
+    }
+}
+
+/// Installs the SIGTERM handler so a terminated server drains its queue
+/// and exits cleanly. A no-op on non-unix platforms. Idempotent.
+pub fn install_sigterm_handler() {
+    sigterm::install();
+}
+
+/// Tunables of a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerOptions {
+    /// Simulation worker threads (the pool size).
+    pub workers: usize,
+    /// Bound of the job queue; submissions beyond it get `503 queue_full`.
+    pub queue_capacity: usize,
+    /// Results retained in the LRU cache.
+    pub cache_capacity: usize,
+    /// Hard limit on request body size (bytes).
+    pub max_body_bytes: usize,
+    /// Socket read timeout (slowloris guard).
+    pub read_timeout: Duration,
+    /// How long a synchronous request waits for its job before returning
+    /// `503 timeout` (the job keeps running; poll `/jobs/<id>`).
+    pub request_deadline: Duration,
+    /// Concurrent connections beyond this are answered `503` immediately.
+    pub max_connections: usize,
+    /// Completed jobs retained for `/jobs/<id>` polling.
+    pub retained_jobs: usize,
+    /// Directory trace workloads are served from (`"trace": "name.rft"`).
+    pub trace_dir: Option<PathBuf>,
+}
+
+impl Default for ServerOptions {
+    fn default() -> Self {
+        let parallelism = std::thread::available_parallelism().map_or(2, usize::from);
+        ServerOptions {
+            workers: parallelism.clamp(1, 4),
+            queue_capacity: 64,
+            cache_capacity: 128,
+            max_body_bytes: 64 * 1024,
+            read_timeout: Duration::from_secs(10),
+            request_deadline: Duration::from_secs(120),
+            max_connections: 64,
+            retained_jobs: 256,
+            trace_dir: None,
+        }
+    }
+}
+
+/// Shared state of a running server.
+#[derive(Debug)]
+struct ServerState {
+    options: ServerOptions,
+    jobs: SharedJobs,
+    work: Mutex<HashMap<String, JobWork>>,
+    cache: Mutex<ResultCache>,
+    metrics: Metrics,
+    queue: Mutex<Option<SyncSender<String>>>,
+    shutdown: AtomicBool,
+    active_connections: AtomicUsize,
+    next_job: AtomicU64,
+}
+
+impl ServerState {
+    fn next_job_id(&self) -> String {
+        format!("j{:08x}", self.next_job.fetch_add(1, Ordering::Relaxed))
+    }
+
+    fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst) || sigterm::requested()
+    }
+}
+
+/// Decrements the active-connection count when a handler exits, even by
+/// panic.
+struct ConnectionGuard(Arc<ServerState>);
+
+impl Drop for ConnectionGuard {
+    fn drop(&mut self) {
+        self.0.active_connections.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// The simulation service: a bound listener plus its worker pool.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<ServerState>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` and starts the worker pool (the accept loop starts
+    /// with [`Server::run`] or [`Server::spawn`]). Pass port 0 for an
+    /// ephemeral port, then read it back with [`Server::local_addr`].
+    ///
+    /// # Errors
+    ///
+    /// Any socket error from binding.
+    pub fn bind(addr: impl ToSocketAddrs, options: ServerOptions) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let (tx, rx) = std::sync::mpsc::sync_channel::<String>(options.queue_capacity.max(1));
+        let worker_count = options.workers.max(1);
+        let state = Arc::new(ServerState {
+            jobs: SharedJobs::new(options.retained_jobs),
+            work: Mutex::new(HashMap::new()),
+            cache: Mutex::new(ResultCache::new(options.cache_capacity)),
+            metrics: Metrics::new(),
+            queue: Mutex::new(Some(tx)),
+            shutdown: AtomicBool::new(false),
+            active_connections: AtomicUsize::new(0),
+            next_job: AtomicU64::new(1),
+            options,
+        });
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..worker_count)
+            .map(|i| {
+                let state = Arc::clone(&state);
+                let rx = Arc::clone(&rx);
+                std::thread::Builder::new()
+                    .name(format!("refrint-worker-{i}"))
+                    .spawn(move || worker_loop(&state, &rx))
+                    .expect("spawning a worker thread succeeds")
+            })
+            .collect();
+        Ok(Server {
+            listener,
+            state,
+            workers,
+        })
+    }
+
+    /// The bound address (useful after binding port 0).
+    ///
+    /// # Errors
+    ///
+    /// Any socket error from reading the local address.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serves until `POST /shutdown` or SIGTERM, then drains: queued jobs
+    /// finish, workers join, in-flight connections get a grace period.
+    ///
+    /// # Errors
+    ///
+    /// Any socket error from the accept loop.
+    pub fn run(self) -> io::Result<()> {
+        let Server {
+            listener,
+            state,
+            workers,
+        } = self;
+        listener.set_nonblocking(true)?;
+        while !state.shutting_down() {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    let previous = state.active_connections.fetch_add(1, Ordering::SeqCst);
+                    let state = Arc::clone(&state);
+                    std::thread::spawn(move || {
+                        let guard = ConnectionGuard(Arc::clone(&state));
+                        handle_connection(
+                            &state,
+                            stream,
+                            previous >= state.options.max_connections,
+                        );
+                        drop(guard);
+                    });
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(15));
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+
+        // Graceful drain. Close the listener first so clients connecting
+        // mid-drain are refused immediately instead of handshaking into a
+        // backlog nobody will ever read. Then close the queue (workers
+        // finish what is queued and exit), join the pool, and give
+        // in-flight connections a moment to write their responses.
+        drop(listener);
+        state.queue.lock().expect("queue lock").take();
+        for worker in workers {
+            let _ = worker.join();
+        }
+        let grace = std::time::Instant::now();
+        while state.active_connections.load(Ordering::SeqCst) > 0
+            && grace.elapsed() < Duration::from_secs(5)
+        {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        Ok(())
+    }
+
+    /// Runs the server on a background thread; the returned handle stops
+    /// it. Intended for tests and embedding.
+    ///
+    /// # Errors
+    ///
+    /// Any socket error from reading the local address.
+    pub fn spawn(self) -> io::Result<RunningServer> {
+        let addr = self.local_addr()?;
+        let state = Arc::clone(&self.state);
+        let thread = std::thread::Builder::new()
+            .name("refrint-serve-accept".into())
+            .spawn(move || self.run())
+            .expect("spawning the accept thread succeeds");
+        Ok(RunningServer {
+            addr,
+            state,
+            thread: Some(thread),
+        })
+    }
+}
+
+/// Handle to a [`Server`] running on a background thread.
+#[derive(Debug)]
+pub struct RunningServer {
+    addr: SocketAddr,
+    state: Arc<ServerState>,
+    thread: Option<JoinHandle<io::Result<()>>>,
+}
+
+impl RunningServer {
+    /// The server's bound address.
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests shutdown and waits for the drain to complete.
+    pub fn shutdown(mut self) {
+        self.state.request_shutdown();
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for RunningServer {
+    fn drop(&mut self) {
+        self.state.request_shutdown();
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+fn worker_loop(state: &Arc<ServerState>, rx: &Arc<Mutex<Receiver<String>>>) {
+    loop {
+        let id = {
+            let rx = rx.lock().expect("worker queue lock");
+            match rx.recv() {
+                Ok(id) => id,
+                Err(_) => return, // queue closed: drain complete
+            }
+        };
+        state
+            .jobs
+            .table
+            .lock()
+            .expect("job table lock")
+            .set_status(&id, JobStatus::Running);
+        let entry = state.work.lock().expect("work map lock").remove(&id);
+        let Some((work, cache_key)) = entry.map(|w| {
+            let key = state
+                .jobs
+                .table
+                .lock()
+                .expect("job table lock")
+                .get(&id)
+                .map(|j| j.cache_key.clone())
+                .unwrap_or_default();
+            (w, key)
+        }) else {
+            continue;
+        };
+        let output = jobs::execute(&work);
+        let ok = output.status == 200;
+        state
+            .metrics
+            .record_job(ok, output.refs, output.sim_seconds);
+        if ok && !cache_key.is_empty() {
+            state
+                .cache
+                .lock()
+                .expect("cache lock")
+                .insert(cache_key, Arc::clone(&output.body));
+        }
+        state.jobs.finish(&id, output);
+    }
+}
+
+fn handle_connection(state: &Arc<ServerState>, mut stream: TcpStream, over_capacity: bool) {
+    // Accepted sockets may inherit the listener's non-blocking mode on
+    // some platforms; force blocking + timeouts.
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_read_timeout(Some(state.options.read_timeout));
+    let _ = stream.set_write_timeout(Some(state.options.read_timeout));
+    state.metrics.http_requests.fetch_add(1, Ordering::Relaxed);
+
+    let response = if over_capacity {
+        ApiError::new(
+            503,
+            "over_capacity",
+            format!(
+                "more than {} concurrent connections; retry shortly",
+                state.options.max_connections
+            ),
+        )
+        .into()
+    } else {
+        match http::read_request(&mut stream, state.options.max_body_bytes) {
+            Ok(request) => route(state, &request),
+            Err(e) => error_response(&e),
+        }
+    };
+    if response.status >= 400 {
+        state.metrics.http_errors.fetch_add(1, Ordering::Relaxed);
+    }
+    response.write(&mut stream);
+    // Drain any unread request bytes before closing: dropping a socket
+    // with data still queued (e.g. an over-limit body rejected before it
+    // was read) can RST the connection and destroy the response we just
+    // wrote before the peer reads it. Signal end-of-response, then
+    // discard briefly and boundedly.
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    let mut sink = [0u8; 8 * 1024];
+    let mut drained = 0usize;
+    while let Ok(n) = std::io::Read::read(&mut stream, &mut sink) {
+        if n == 0 {
+            break;
+        }
+        drained += n;
+        if drained > 4 * 1024 * 1024 {
+            break;
+        }
+    }
+}
+
+fn error_response(e: &HttpError) -> Response {
+    Response::json(
+        e.status(),
+        ApiError::new(e.status(), e.kind(), e.reason()).body(),
+    )
+}
+
+impl From<ApiError> for Response {
+    fn from(e: ApiError) -> Self {
+        Response::json(e.status, e.body())
+    }
+}
+
+fn route(state: &Arc<ServerState>, request: &Request) -> Response {
+    let method = request.method.as_str();
+    let path = request.path.as_str();
+    match path {
+        "/healthz" => match method {
+            "GET" => Response::json(
+                200,
+                format!(
+                    "{{\"status\":\"ok\",\"uptime_seconds\":{}}}\n",
+                    num(state.metrics.uptime_seconds())
+                ),
+            ),
+            _ => method_not_allowed("GET"),
+        },
+        "/metrics" => match method {
+            "GET" => Response::text(200, state.metrics.render()),
+            _ => method_not_allowed("GET"),
+        },
+        "/shutdown" => match method {
+            "POST" => {
+                state.request_shutdown();
+                Response::json(200, "{\"status\":\"shutting_down\"}\n".to_owned())
+            }
+            _ => method_not_allowed("POST"),
+        },
+        "/run" | "/sweep" => match method {
+            "POST" => submit_endpoint(state, path, &request.body),
+            _ => method_not_allowed("POST"),
+        },
+        _ if path.starts_with("/jobs/") => match method {
+            "GET" => jobs_endpoint(state, path),
+            _ => method_not_allowed("GET"),
+        },
+        other => ApiError::new(404, "not_found", format!("no such endpoint `{other}`")).into(),
+    }
+}
+
+fn method_not_allowed(allowed: &str) -> Response {
+    Response::from(ApiError::new(
+        405,
+        "method_not_allowed",
+        format!("this endpoint only accepts {allowed}"),
+    ))
+    .with_header("Allow", allowed)
+}
+
+fn submit_endpoint(state: &Arc<ServerState>, path: &str, body: &[u8]) -> Response {
+    let Ok(text) = std::str::from_utf8(body) else {
+        return ApiError::new(400, "bad_json", "request body is not UTF-8").into();
+    };
+    let root = match refrint_engine::json::parse(text) {
+        Ok(root) => root,
+        Err(e) => return ApiError::new(400, "bad_json", e.to_string()).into(),
+    };
+    let trace_dir = state.options.trace_dir.as_deref();
+    let parsed = match path {
+        "/run" => api::parse_run_request(&root, trace_dir),
+        _ => api::parse_sweep_request(&root, trace_dir),
+    };
+    match parsed {
+        Ok(request) => submit(state, request),
+        Err(e) => e.into(),
+    }
+}
+
+fn submit(state: &Arc<ServerState>, request: ValidatedRequest) -> Response {
+    let ValidatedRequest {
+        work,
+        cache_key,
+        mode,
+    } = request;
+
+    // Cache first: identical requests are answered with the same bytes.
+    let cached = state
+        .cache
+        .lock()
+        .expect("cache lock")
+        .get(&cache_key)
+        .clone();
+    if let Some(body) = cached {
+        state.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+        return match mode {
+            SubmitMode::Sync => {
+                Response::json(200, body.as_ref().clone()).with_header("X-Refrint-Cache", "hit")
+            }
+            SubmitMode::Async => {
+                // Register an already-finished job so the client's poll
+                // loop is uniform across hits and misses.
+                let id = state.next_job_id();
+                let job = Job {
+                    id: id.clone(),
+                    kind: work.kind(),
+                    cache_key,
+                    status: JobStatus::Done,
+                    output: Some(JobOutput {
+                        status: 200,
+                        body,
+                        refs: 0,
+                        sim_seconds: 0.0,
+                    }),
+                    cached: true,
+                };
+                let doc = job.status_doc();
+                state.jobs.table.lock().expect("job table lock").insert(job);
+                Response::json(202, doc).with_header("X-Refrint-Cache", "hit")
+            }
+        };
+    }
+    state.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
+
+    if state.shutting_down() {
+        return ApiError::new(
+            503,
+            "shutting_down",
+            "the server is draining; retry elsewhere",
+        )
+        .into();
+    }
+
+    // Register the job, then enqueue its id through the bounded queue.
+    let id = state.next_job_id();
+    let job = Job {
+        id: id.clone(),
+        kind: work.kind(),
+        cache_key,
+        status: JobStatus::Queued,
+        output: None,
+        cached: false,
+    };
+    let doc = job.status_doc();
+    state.jobs.table.lock().expect("job table lock").insert(job);
+    state
+        .work
+        .lock()
+        .expect("work map lock")
+        .insert(id.clone(), work);
+
+    let sender = state.queue.lock().expect("queue lock").clone();
+    let enqueued = match sender {
+        Some(tx) => tx.try_send(id.clone()),
+        None => Err(TrySendError::Disconnected(id.clone())),
+    };
+    if let Err(e) = enqueued {
+        state.jobs.table.lock().expect("job table lock").remove(&id);
+        state.work.lock().expect("work map lock").remove(&id);
+        return match e {
+            TrySendError::Full(_) => ApiError::new(
+                503,
+                "queue_full",
+                format!(
+                    "the job queue is at its {}-job capacity; retry shortly",
+                    state.options.queue_capacity
+                ),
+            )
+            .into(),
+            TrySendError::Disconnected(_) => ApiError::new(
+                503,
+                "shutting_down",
+                "the server is draining; retry elsewhere",
+            )
+            .into(),
+        };
+    }
+    state.metrics.jobs_submitted.fetch_add(1, Ordering::Relaxed);
+
+    match mode {
+        SubmitMode::Async => Response::json(202, doc)
+            .with_header("X-Refrint-Cache", "miss")
+            .with_header("X-Refrint-Job", id),
+        SubmitMode::Sync => match state.jobs.wait_for(&id, state.options.request_deadline) {
+            Some(output) => Response::json(output.status, output.body.as_ref().clone())
+                .with_header("X-Refrint-Cache", "miss")
+                .with_header("X-Refrint-Job", id),
+            None => ApiError::new(
+                503,
+                "timeout",
+                format!(
+                    "job {id} did not finish within {}s; poll GET /jobs/{id}",
+                    state.options.request_deadline.as_secs()
+                ),
+            )
+            .into(),
+        },
+    }
+}
+
+fn jobs_endpoint(state: &Arc<ServerState>, path: &str) -> Response {
+    let rest = &path["/jobs/".len()..];
+    let (id, want_result) = match rest.strip_suffix("/result") {
+        Some(id) => (id, true),
+        None => (rest, false),
+    };
+    let table = state.jobs.table.lock().expect("job table lock");
+    let Some(job) = table.get(id) else {
+        return ApiError::new(404, "not_found", format!("no job `{}`", escape(id))).into();
+    };
+    if want_result {
+        match &job.output {
+            Some(output) => Response::json(output.status, output.body.as_ref().clone())
+                .with_header("X-Refrint-Cache", if job.cached { "hit" } else { "miss" }),
+            None => Response::json(202, job.status_doc()),
+        }
+    } else {
+        Response::json(200, job.status_doc())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client;
+
+    fn start(options: ServerOptions) -> RunningServer {
+        Server::bind("127.0.0.1:0", options)
+            .expect("bind an ephemeral port")
+            .spawn()
+            .expect("spawn the accept loop")
+    }
+
+    #[test]
+    fn health_metrics_and_404_routes() {
+        let server = start(ServerOptions::default());
+        let addr = server.addr();
+        let health = client::get(addr, "/healthz").unwrap();
+        assert_eq!(health.status, 200);
+        assert!(health.body_str().contains("\"status\":\"ok\""));
+        let metrics = client::get(addr, "/metrics").unwrap();
+        assert_eq!(metrics.status, 200);
+        assert!(metrics.body_str().contains("refrint_http_requests_total"));
+        let missing = client::get(addr, "/nope").unwrap();
+        assert_eq!(missing.status, 404);
+        let wrong_method = client::get(addr, "/run").unwrap();
+        assert_eq!(wrong_method.status, 405);
+        assert_eq!(wrong_method.header("Allow"), Some("POST"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn run_misses_then_hits_the_cache_with_identical_bytes() {
+        let server = start(ServerOptions::default());
+        let addr = server.addr();
+        let body = "{\"app\": \"lu\", \"refs\": 400, \"cores\": 2}";
+        let first = client::post(addr, "/run", body.as_bytes()).unwrap();
+        assert_eq!(first.status, 200, "{}", first.body_str());
+        assert_eq!(first.header("X-Refrint-Cache"), Some("miss"));
+        let second = client::post(addr, "/run", body.as_bytes()).unwrap();
+        assert_eq!(second.status, 200);
+        assert_eq!(second.header("X-Refrint-Cache"), Some("hit"));
+        assert_eq!(first.body, second.body, "cache must return identical bytes");
+        let metrics = client::get(addr, "/metrics").unwrap();
+        assert!(metrics.body_str().contains("refrint_cache_hits_total 1"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn async_jobs_complete_and_serve_their_result() {
+        let server = start(ServerOptions::default());
+        let addr = server.addr();
+        let body = "{\"app\": \"fft\", \"refs\": 400, \"cores\": 2, \"mode\": \"async\"}";
+        let accepted = client::post(addr, "/run", body.as_bytes()).unwrap();
+        assert_eq!(accepted.status, 202, "{}", accepted.body_str());
+        let id = accepted.header("X-Refrint-Job").unwrap().to_owned();
+        let mut result = None;
+        for _ in 0..200 {
+            let r = client::get(addr, &format!("/jobs/{id}/result")).unwrap();
+            if r.status != 202 {
+                result = Some(r);
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(25));
+        }
+        let result = result.expect("job finishes");
+        assert_eq!(result.status, 200);
+        assert!(result.body_str().contains("\"workload\":\"fft\""));
+        let status = client::get(addr, &format!("/jobs/{id}")).unwrap();
+        assert!(status.body_str().contains("\"status\":\"done\""));
+        let missing = client::get(addr, "/jobs/j9999/result").unwrap();
+        assert_eq!(missing.status, 404);
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_endpoint_stops_the_server() {
+        let server = start(ServerOptions::default());
+        let addr = server.addr();
+        let bye = client::post(addr, "/shutdown", b"").unwrap();
+        assert_eq!(bye.status, 200);
+        server.shutdown(); // joins; must not hang
+                           // The port is released: a new bind to the same address succeeds
+                           // (retry a few times for TIME_WAIT-free reuse on the OS's pace).
+        let mut rebound = false;
+        for _ in 0..50 {
+            if TcpListener::bind(addr).is_ok() {
+                rebound = true;
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        assert!(rebound, "the listener must be closed after shutdown");
+    }
+}

@@ -1,0 +1,183 @@
+//! Service counters and the `/metrics` endpoint rendering.
+//!
+//! Counters are plain atomics updated by connection handlers and workers;
+//! `GET /metrics` renders them in the Prometheus text exposition format so
+//! standard scrapers (and `grep` in the CI smoke job) can read them. The
+//! refs/sec gauge is derived from two monotonic counters — total simulated
+//! references and total busy seconds — mirroring how the `sim_throughput`
+//! bench reports throughput.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// The server's monotonic counters.
+#[derive(Debug)]
+pub struct Metrics {
+    started: Instant,
+    /// HTTP requests accepted (any method/path).
+    pub http_requests: AtomicU64,
+    /// Requests answered with a 4xx/5xx status.
+    pub http_errors: AtomicU64,
+    /// Jobs submitted to the queue (cache hits do not submit).
+    pub jobs_submitted: AtomicU64,
+    /// Jobs that finished successfully.
+    pub jobs_completed: AtomicU64,
+    /// Jobs that finished with an error.
+    pub jobs_failed: AtomicU64,
+    /// Requests answered from the result cache.
+    pub cache_hits: AtomicU64,
+    /// Requests that missed the cache and simulated.
+    pub cache_misses: AtomicU64,
+    /// Total data references simulated by completed jobs.
+    pub refs_simulated: AtomicU64,
+    /// Total wall-clock microseconds workers spent simulating.
+    pub sim_micros: AtomicU64,
+}
+
+impl Metrics {
+    /// Fresh counters; uptime starts now.
+    #[must_use]
+    pub fn new() -> Self {
+        Metrics {
+            started: Instant::now(),
+            http_requests: AtomicU64::new(0),
+            http_errors: AtomicU64::new(0),
+            jobs_submitted: AtomicU64::new(0),
+            jobs_completed: AtomicU64::new(0),
+            jobs_failed: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            refs_simulated: AtomicU64::new(0),
+            sim_micros: AtomicU64::new(0),
+        }
+    }
+
+    /// Seconds since the server started.
+    #[must_use]
+    pub fn uptime_seconds(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+
+    /// Records a finished job's contribution to the throughput counters.
+    pub fn record_job(&self, ok: bool, refs: u64, sim_seconds: f64) {
+        if ok {
+            self.jobs_completed.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.jobs_failed.fetch_add(1, Ordering::Relaxed);
+        }
+        self.refs_simulated.fetch_add(refs, Ordering::Relaxed);
+        self.sim_micros
+            .fetch_add((sim_seconds * 1e6) as u64, Ordering::Relaxed);
+    }
+
+    /// Renders the Prometheus text exposition document.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let get = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        let refs = get(&self.refs_simulated);
+        let sim_seconds = get(&self.sim_micros) as f64 / 1e6;
+        let refs_per_sec = if sim_seconds > 0.0 {
+            refs as f64 / sim_seconds
+        } else {
+            0.0
+        };
+        let mut out = String::new();
+        let mut counter = |name: &str, help: &str, value: u64| {
+            out.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}\n"
+            ));
+        };
+        counter(
+            "refrint_http_requests_total",
+            "HTTP requests accepted.",
+            get(&self.http_requests),
+        );
+        counter(
+            "refrint_http_errors_total",
+            "Requests answered with a 4xx/5xx status.",
+            get(&self.http_errors),
+        );
+        counter(
+            "refrint_jobs_submitted_total",
+            "Jobs submitted to the queue.",
+            get(&self.jobs_submitted),
+        );
+        counter(
+            "refrint_jobs_completed_total",
+            "Jobs that finished successfully.",
+            get(&self.jobs_completed),
+        );
+        counter(
+            "refrint_jobs_failed_total",
+            "Jobs that finished with an error.",
+            get(&self.jobs_failed),
+        );
+        counter(
+            "refrint_cache_hits_total",
+            "Requests served from the result cache.",
+            get(&self.cache_hits),
+        );
+        counter(
+            "refrint_cache_misses_total",
+            "Requests that missed the result cache.",
+            get(&self.cache_misses),
+        );
+        counter(
+            "refrint_refs_simulated_total",
+            "Data references simulated by completed jobs.",
+            refs,
+        );
+        out.push_str(&format!(
+            "# HELP refrint_sim_seconds_total Wall-clock seconds spent simulating.\n\
+             # TYPE refrint_sim_seconds_total counter\n\
+             refrint_sim_seconds_total {sim_seconds:.6}\n"
+        ));
+        out.push_str(&format!(
+            "# HELP refrint_refs_per_sec Simulated references per busy second.\n\
+             # TYPE refrint_refs_per_sec gauge\n\
+             refrint_refs_per_sec {refs_per_sec:.1}\n"
+        ));
+        out.push_str(&format!(
+            "# HELP refrint_uptime_seconds Seconds since the server started.\n\
+             # TYPE refrint_uptime_seconds gauge\n\
+             refrint_uptime_seconds {:.3}\n",
+            self.uptime_seconds()
+        ));
+        out
+    }
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_every_counter_in_prometheus_format() {
+        let m = Metrics::new();
+        m.http_requests.fetch_add(3, Ordering::Relaxed);
+        m.cache_hits.fetch_add(1, Ordering::Relaxed);
+        m.record_job(true, 1000, 0.5);
+        m.record_job(false, 0, 0.0);
+        let doc = m.render();
+        assert!(doc.contains("refrint_http_requests_total 3"));
+        assert!(doc.contains("refrint_cache_hits_total 1"));
+        assert!(doc.contains("refrint_jobs_completed_total 1"));
+        assert!(doc.contains("refrint_jobs_failed_total 1"));
+        assert!(doc.contains("refrint_refs_simulated_total 1000"));
+        assert!(doc.contains("refrint_refs_per_sec 2000.0"));
+        assert!(doc.contains("# TYPE refrint_uptime_seconds gauge"));
+        // Every exposed line is either a comment or `name value`.
+        for line in doc.lines() {
+            assert!(
+                line.starts_with('#') || line.splitn(2, ' ').count() == 2,
+                "bad exposition line: {line}"
+            );
+        }
+    }
+}

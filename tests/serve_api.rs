@@ -1,0 +1,446 @@
+//! End-to-end tests of the `refrint-serve` HTTP service.
+//!
+//! The headline guarantee under test: a `POST /run` (or `POST /sweep`)
+//! response body is **byte-identical** to what the equivalent direct
+//! `Simulation` / `SweepRunner` call renders through the shared JSON
+//! emitters (which is exactly what `refrint-cli run --format json`
+//! prints), whether the result was freshly simulated, raced by concurrent
+//! clients, or replayed from the result cache. Malformed requests must be
+//! answered with typed 4xx documents — never a panic or a dropped
+//! connection.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use refrint::prelude::*;
+use refrint_serve::client;
+use refrint_serve::{Server, ServerOptions};
+
+/// Starts a server on an ephemeral port.
+fn start(options: ServerOptions) -> refrint_serve::RunningServer {
+    Server::bind("127.0.0.1:0", options)
+        .expect("bind an ephemeral port")
+        .spawn()
+        .expect("spawn the accept loop")
+}
+
+/// The bytes `refrint-cli run --format json` prints for a small run.
+fn direct_run_bytes(app: AppPreset, refs: u64, cores: usize, seed: Option<u64>) -> Vec<u8> {
+    let mut builder = Simulation::builder()
+        .edram_recommended()
+        .refs_per_thread(refs)
+        .cores(cores);
+    if let Some(seed) = seed {
+        builder = builder.seed(seed);
+    }
+    let mut sim = builder.build().expect("valid configuration");
+    format!("{}\n", refrint::json::report(&sim.run(app).report)).into_bytes()
+}
+
+/// The bytes `refrint-cli sweep --format json` prints for a small sweep.
+fn direct_sweep_bytes(apps: Vec<AppPreset>, refs: u64, cores: usize) -> Vec<u8> {
+    let mut cfg = ExperimentConfig::quick().with_refs_per_thread(refs);
+    cfg.apps = apps;
+    cfg.cores = cores;
+    let results = SweepRunner::new(cfg)
+        .sequential()
+        .run()
+        .expect("valid sweep");
+    format!("{}\n", refrint::json::sweep(&results)).into_bytes()
+}
+
+#[test]
+fn concurrent_mixed_clients_get_bit_identical_results() {
+    let server = start(ServerOptions {
+        workers: 4,
+        ..ServerOptions::default()
+    });
+    let addr = server.addr();
+
+    // Expected bytes, computed directly (no server involved).
+    let lu = Arc::new(direct_run_bytes(AppPreset::Lu, 600, 2, None));
+    let fft = Arc::new(direct_run_bytes(AppPreset::Fft, 600, 2, None));
+    let seeded = Arc::new(direct_run_bytes(AppPreset::Blackscholes, 500, 2, Some(11)));
+    let swept = Arc::new(direct_sweep_bytes(vec![AppPreset::Lu], 500, 2));
+
+    // Ten concurrent clients: three distinct runs (each requested more
+    // than once, so some requests race and some hit the cache) plus a
+    // sweep.
+    let requests: Vec<(&str, String, Arc<Vec<u8>>)> = vec![
+        (
+            "/run",
+            "{\"app\": \"lu\", \"refs\": 600, \"cores\": 2}".into(),
+            Arc::clone(&lu),
+        ),
+        (
+            "/run",
+            "{\"app\": \"lu\", \"refs\": 600, \"cores\": 2}".into(),
+            Arc::clone(&lu),
+        ),
+        (
+            "/run",
+            "{\"cores\": 2, \"refs\": 600, \"app\": \"lu\"}".into(),
+            Arc::clone(&lu),
+        ),
+        (
+            "/run",
+            "{\"app\": \"fft\", \"refs\": 600, \"cores\": 2}".into(),
+            Arc::clone(&fft),
+        ),
+        (
+            "/run",
+            "{\"app\": \"fft\", \"refs\": 600, \"cores\": 2}".into(),
+            Arc::clone(&fft),
+        ),
+        (
+            "/run",
+            "{\"app\": \"blackscholes\", \"refs\": 500, \"cores\": 2, \"seed\": 11}".into(),
+            Arc::clone(&seeded),
+        ),
+        (
+            "/run",
+            "{\"app\": \"blackscholes\", \"refs\": 500, \"cores\": 2, \"seed\": 11}".into(),
+            Arc::clone(&seeded),
+        ),
+        (
+            "/sweep",
+            "{\"apps\": [\"lu\"], \"refs\": 500, \"cores\": 2}".into(),
+            Arc::clone(&swept),
+        ),
+        (
+            "/sweep",
+            "{\"apps\": [\"lu\"], \"refs\": 500, \"cores\": 2}".into(),
+            Arc::clone(&swept),
+        ),
+        (
+            "/run",
+            "{\"app\": \"lu\", \"refs\": 600, \"cores\": 2}".into(),
+            Arc::clone(&lu),
+        ),
+    ];
+    assert!(requests.len() >= 8, "the issue asks for >= 8 clients");
+
+    let handles: Vec<_> = requests
+        .into_iter()
+        .enumerate()
+        .map(|(i, (path, body, expected))| {
+            std::thread::spawn(move || {
+                let response = client::post(addr, path, body.as_bytes())
+                    .unwrap_or_else(|e| panic!("client {i} failed: {e}"));
+                assert_eq!(response.status, 200, "client {i}: {}", response.body_str());
+                assert_eq!(
+                    response.body, *expected,
+                    "client {i} ({path}) got bytes that differ from the direct call"
+                );
+                response.header("X-Refrint-Cache").map(str::to_owned)
+            })
+        })
+        .collect();
+    let cache_markers: Vec<Option<String>> =
+        handles.into_iter().map(|h| h.join().unwrap()).collect();
+    assert!(
+        cache_markers.iter().all(|m| m.is_some()),
+        "every response carries a cache marker"
+    );
+
+    // After the dust settles, a repeated request must be a cache hit with
+    // the same bytes again.
+    let replay = client::post(
+        addr,
+        "/run",
+        b"{\"app\": \"lu\", \"refs\": 600, \"cores\": 2}",
+    )
+    .unwrap();
+    assert_eq!(replay.status, 200);
+    assert_eq!(replay.header("X-Refrint-Cache"), Some("hit"));
+    assert_eq!(replay.body, *lu);
+
+    // The metrics reflect the workload mix.
+    let metrics = client::get(addr, "/metrics").unwrap().body_str();
+    let counter = |name: &str| -> u64 {
+        metrics
+            .lines()
+            .find(|l| l.starts_with(name) && !l.starts_with('#'))
+            .and_then(|l| l.split_whitespace().nth(1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("missing counter {name} in:\n{metrics}"))
+    };
+    assert!(counter("refrint_cache_hits_total") >= 1);
+    assert!(counter("refrint_jobs_completed_total") >= 4);
+    assert_eq!(counter("refrint_jobs_failed_total"), 0);
+    assert!(counter("refrint_refs_simulated_total") > 0);
+
+    server.shutdown();
+}
+
+#[test]
+fn malformed_requests_get_typed_errors_not_dropped_connections() {
+    let server = start(ServerOptions {
+        max_body_bytes: 2048,
+        ..ServerOptions::default()
+    });
+    let addr = server.addr();
+
+    // (request path, body, expected status, expected kind marker)
+    let cases: Vec<(&str, Vec<u8>, u16, &str)> = vec![
+        ("/run", b"{\"app\": \"lu\"".to_vec(), 400, "bad_json"),
+        ("/run", b"not json at all".to_vec(), 400, "bad_json"),
+        (
+            "/run",
+            b"{\"app\": \"quake3\"}".to_vec(),
+            422,
+            "unknown_workload",
+        ),
+        (
+            "/run",
+            b"{\"app\": \"lu\", \"policy\": \"R.sometimes\"}".to_vec(),
+            422,
+            "unknown_policy",
+        ),
+        ("/run", b"{}".to_vec(), 422, "schema"),
+        (
+            "/run",
+            b"{\"app\": \"lu\", \"bogus\": true}".to_vec(),
+            422,
+            "schema",
+        ),
+        (
+            "/run",
+            b"{\"app\": \"lu\", \"sram\": true, \"retention_us\": 100}".to_vec(),
+            422,
+            "invalid_config",
+        ),
+        (
+            "/run",
+            b"{\"trace\": \"lu.rft\"}".to_vec(),
+            422,
+            "traces_unavailable",
+        ),
+        (
+            "/sweep",
+            b"{\"apps\": [\"lu\"], \"retentions_us\": [1]}".to_vec(),
+            422,
+            "invalid_config",
+        ),
+        (
+            "/run",
+            {
+                // An oversized body, far bigger than the socket buffers:
+                // the 413 must still reach the client even though the
+                // server rejects before reading any of it (the server
+                // drains the stream instead of slamming it shut with an
+                // RST).
+                let mut big = b"{\"app\": \"lu\", \"pad\": \"".to_vec();
+                big.extend(std::iter::repeat_n(b'x', 1_000_000));
+                big.extend(b"\"}");
+                big
+            },
+            413,
+            "body_too_large",
+        ),
+    ];
+
+    for (path, body, status, kind) in cases {
+        let response = client::post(addr, path, &body)
+            .unwrap_or_else(|e| panic!("connection dropped for {path} ({kind}): {e}"));
+        assert_eq!(
+            response.status,
+            status,
+            "{path} ({kind}): {}",
+            response.body_str()
+        );
+        assert!(
+            response.body_str().contains(kind),
+            "{path}: expected kind {kind} in {}",
+            response.body_str()
+        );
+        // The server survived: health stays green after every bad request.
+        let health = client::get(addr, "/healthz").unwrap();
+        assert_eq!(health.status, 200);
+    }
+
+    // Unknown policies list the valid labels, like the CLI does.
+    let response = client::post(
+        addr,
+        "/run",
+        b"{\"app\": \"lu\", \"policy\": \"R.sometimes\"}",
+    )
+    .unwrap();
+    assert!(
+        response.body_str().contains("R.WB(32,32)"),
+        "policy errors must list valid labels: {}",
+        response.body_str()
+    );
+
+    server.shutdown();
+}
+
+#[test]
+fn async_jobs_poll_to_the_same_bytes() {
+    let server = start(ServerOptions::default());
+    let addr = server.addr();
+    let expected = direct_run_bytes(AppPreset::Lu, 500, 2, Some(5));
+
+    let accepted = client::post(
+        addr,
+        "/run",
+        b"{\"app\": \"lu\", \"refs\": 500, \"cores\": 2, \"seed\": 5, \"mode\": \"async\"}",
+    )
+    .unwrap();
+    assert_eq!(accepted.status, 202, "{}", accepted.body_str());
+    assert!(accepted.body_str().contains("\"status\":\"queued\""));
+    assert_eq!(accepted.header("X-Refrint-Cache"), Some("miss"));
+    let id = accepted
+        .header("X-Refrint-Job")
+        .expect("async responses carry the job id")
+        .to_owned();
+
+    let mut result = None;
+    for _ in 0..400 {
+        let r = client::get(addr, &format!("/jobs/{id}/result")).unwrap();
+        if r.status != 202 {
+            result = Some(r);
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    let result = result.expect("the job finishes");
+    assert_eq!(result.status, 200);
+    assert_eq!(result.body, expected);
+
+    // An async resubmission of the same work is answered from the cache
+    // as an already-done job.
+    let again = client::post(
+        addr,
+        "/run",
+        b"{\"app\": \"lu\", \"refs\": 500, \"cores\": 2, \"seed\": 5, \"mode\": \"async\"}",
+    )
+    .unwrap();
+    assert_eq!(again.status, 202);
+    assert_eq!(again.header("X-Refrint-Cache"), Some("hit"));
+    assert!(again.body_str().contains("\"status\":\"done\""));
+    assert!(again.body_str().contains("\"cached\":true"));
+
+    server.shutdown();
+}
+
+#[test]
+fn trace_workloads_are_servable_and_replay_identically() {
+    // Record a trace into a server trace dir, then serve it.
+    let dir = std::env::temp_dir().join(format!("refrint-serve-traces-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace_path = dir.join("lu.rft");
+    let builder = || {
+        Simulation::builder()
+            .edram_recommended()
+            .cores(2)
+            .refs_per_thread(500)
+            .seed(9)
+    };
+    builder()
+        .build()
+        .unwrap()
+        .capture(AppPreset::Lu, &trace_path)
+        .unwrap();
+    let expected = {
+        let mut sim = builder().trace(&trace_path).build().unwrap();
+        format!("{}\n", refrint::json::report(&sim.replay().unwrap().report)).into_bytes()
+    };
+
+    let server = start(ServerOptions {
+        trace_dir: Some(dir.clone()),
+        ..ServerOptions::default()
+    });
+    let addr = server.addr();
+    let body = "{\"trace\": \"lu.rft\", \"refs\": 500, \"seed\": 9}";
+    let first = client::post(addr, "/run", body.as_bytes()).unwrap();
+    assert_eq!(first.status, 200, "{}", first.body_str());
+    assert_eq!(first.body, expected);
+    let second = client::post(addr, "/run", body.as_bytes()).unwrap();
+    assert_eq!(second.header("X-Refrint-Cache"), Some("hit"));
+    assert_eq!(second.body, expected);
+
+    // Traversal attempts stay typed errors.
+    let evil = client::post(addr, "/run", b"{\"trace\": \"../lu.rft\"}").unwrap();
+    assert_eq!(evil.status, 422);
+    assert!(evil.body_str().contains("bad_trace_name"));
+
+    server.shutdown();
+    std::fs::remove_file(&trace_path).ok();
+    std::fs::remove_dir(&dir).ok();
+}
+
+#[test]
+fn sweep_responses_match_the_cli_sweep_json() {
+    let server = start(ServerOptions::default());
+    let addr = server.addr();
+    let expected = direct_sweep_bytes(vec![AppPreset::Fft], 400, 2);
+    let response = client::post(
+        addr,
+        "/sweep",
+        b"{\"apps\": [\"fft\"], \"refs\": 400, \"cores\": 2}",
+    )
+    .unwrap();
+    assert_eq!(response.status, 200, "{}", response.body_str());
+    assert_eq!(response.body, expected);
+    server.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_drains_and_releases_the_port() {
+    let server = start(ServerOptions::default());
+    let addr = server.addr();
+    // Queue one run, then shut down: the response must still arrive.
+    let worker = std::thread::spawn(move || {
+        client::post(
+            addr,
+            "/run",
+            b"{\"app\": \"lu\", \"refs\": 400, \"cores\": 2}",
+        )
+        .unwrap()
+    });
+    std::thread::sleep(Duration::from_millis(50));
+    let bye = client::post(addr, "/shutdown", b"").unwrap();
+    assert_eq!(bye.status, 200);
+    let response = worker.join().unwrap();
+    assert_eq!(response.status, 200, "{}", response.body_str());
+    server.shutdown();
+    // The port is reusable once the listener is gone.
+    let mut rebound = false;
+    for _ in 0..100 {
+        if std::net::TcpListener::bind(addr).is_ok() {
+            rebound = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert!(rebound, "shutdown must close the listener");
+}
+
+#[test]
+fn cli_serve_options_reach_the_server() {
+    // The launcher path: ServeOptions -> ServerOptions -> a live server.
+    let args: Vec<String> = [
+        "--addr",
+        "127.0.0.1:0",
+        "--workers",
+        "1",
+        "--cache",
+        "2",
+        "--max-body",
+        "512",
+    ]
+    .iter()
+    .map(|s| (*s).to_owned())
+    .collect();
+    let options = refrint_cli::ServeOptions::parse(&args).unwrap();
+    let server = start(options.server_options());
+    let addr = server.addr();
+    // The 512-byte body limit is live.
+    let mut big = b"{\"app\": \"lu\", \"pad\": \"".to_vec();
+    big.extend(std::iter::repeat_n(b'y', 1024));
+    big.extend(b"\"}");
+    let response = client::post(addr, "/run", &big).unwrap();
+    assert_eq!(response.status, 413);
+    server.shutdown();
+}
