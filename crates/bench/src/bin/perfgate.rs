@@ -116,12 +116,19 @@ impl ScenarioVerdict {
     }
 }
 
+/// The exact command that re-records `file` as the new baseline — echoed
+/// on every failing check so CI failures are self-explanatory.
+fn rebaseline_command(file: &str, mode: &str) -> String {
+    format!("cargo run --release -p refrint-bench --bin perfgate -- --record {file} --mode {mode}")
+}
+
 /// Renders the machine-readable `--check` verdict document.
 fn render_verdict_json(
     mode: &str,
     tolerance: f64,
     verdicts: &[ScenarioVerdict],
     failures: &[String],
+    rebaseline: &str,
 ) -> String {
     let scenarios: Vec<String> = verdicts
         .iter()
@@ -147,12 +154,13 @@ fn render_verdict_json(
     format!(
         "{{\n  \"suite\": \"sim_throughput\",\n  \"mode\": \"{}\",\n  \
          \"tolerance\": {},\n  \"verdict\": \"{}\",\n  \"scenarios\": [\n{}\n  ],\n  \
-         \"failures\": [{}]\n}}",
+         \"failures\": [{}],\n  \"rebaseline_command\": \"{}\"\n}}",
         escape(mode),
         num(tolerance),
         if failures.is_empty() { "pass" } else { "fail" },
         scenarios.join(",\n"),
-        failure_items.join(", ")
+        failure_items.join(", "),
+        escape(rebaseline)
     )
 }
 
@@ -272,10 +280,11 @@ fn check(args: &[String]) -> Result<(), String> {
             cycles_ok: ok_cycles,
         });
     }
+    let rebaseline = rebaseline_command(&file, &baseline.mode);
     if json_output {
         println!(
             "{}",
-            render_verdict_json(&baseline.mode, tolerance, &verdicts, &failures)
+            render_verdict_json(&baseline.mode, tolerance, &verdicts, &failures, &rebaseline)
         );
         if failures.is_empty() {
             Ok(())
@@ -291,7 +300,10 @@ fn check(args: &[String]) -> Result<(), String> {
         );
         Ok(())
     } else {
-        Err(failures.join("\n"))
+        Err(format!(
+            "{}\nto accept the current results as the new baseline, run:\n  {rebaseline}",
+            failures.join("\n")
+        ))
     }
 }
 

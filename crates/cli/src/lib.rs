@@ -444,6 +444,68 @@ pub struct ServeOptions {
     pub trace_dir: Option<PathBuf>,
 }
 
+/// Parsed options of the `check` subcommand (differential conformance
+/// against the `refrint-oracle` reference model).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckOptions {
+    /// Master seed of the scenario stream.
+    pub seed: u64,
+    /// How many scenarios to run.
+    pub scenarios: u64,
+    /// A single explicit scenario spec (repro mode), overriding the
+    /// seeded stream.
+    pub scenario: Option<String>,
+    /// Run with the off-by-one fault injected into the oracle and expect
+    /// the harness to catch it (harness self-test).
+    pub self_test: bool,
+    /// Print a progress line per scenario.
+    pub progress: bool,
+}
+
+impl CheckOptions {
+    /// The seed `tests/conformance.rs` and the CI job use.
+    pub const DEFAULT_SEED: u64 = 0xC0FFEE;
+
+    /// Parses `check` arguments.
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage message for invalid options.
+    pub fn parse(args: &[String]) -> Result<Self, String> {
+        let seed = match opt_value(args, "--seed") {
+            None => Self::DEFAULT_SEED,
+            Some(v) => parse_u64(&v).ok_or_else(|| format!("bad --seed `{v}`"))?,
+        };
+        let scenarios = match opt_value(args, "--scenarios") {
+            None => 200,
+            Some(v) => {
+                let n = parse_u64(&v).ok_or_else(|| format!("bad --scenarios `{v}`"))?;
+                if n == 0 {
+                    return Err("--scenarios must be at least 1".into());
+                }
+                n
+            }
+        };
+        Ok(CheckOptions {
+            seed,
+            scenarios,
+            scenario: opt_value(args, "--scenario"),
+            self_test: has_flag(args, "--self-test"),
+            progress: has_flag(args, "--progress"),
+        })
+    }
+}
+
+/// Parses a decimal or `0x`-prefixed hexadecimal `u64`.
+#[must_use]
+pub fn parse_u64(v: &str) -> Option<u64> {
+    if let Some(hex) = v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        v.parse().ok()
+    }
+}
+
 impl ServeOptions {
     /// Parses `serve` arguments.
     ///

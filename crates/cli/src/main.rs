@@ -9,6 +9,10 @@
 //!   headline numbers.
 //! * `trace record` / `trace replay` / `trace info` — capture a workload to
 //!   a trace file, replay it bit-for-bit, or summarize its contents.
+//! * `check` — differential conformance: run seeded random scenarios
+//!   through both the optimized simulator and the independent
+//!   `refrint-oracle` reference model, diff the reports field by field,
+//!   and shrink any divergence to a minimal repro.
 //! * `serve` — run the `refrint-serve` HTTP service (job queue, worker
 //!   pool, result cache) on a listen address.
 
@@ -44,6 +48,8 @@ Commands:
                                    replay a recorded trace through a configuration
   trace info --trace <file> [--format text|json]
                                    summarize a trace (threads, gaps, strides)
+  check [--seed <n>] [--scenarios <n>] [--scenario \"<spec>\"] [--self-test] [--progress]
+                                   run the oracle conformance harness (docs/testing.md)
   serve --addr HOST:PORT [--workers <n>] [--queue <n>] [--cache <n>]
         [--max-body <bytes>] [--trace-dir <dir>]
                                    run the HTTP simulation service (see docs/serve.md)
@@ -62,6 +68,7 @@ fn main() -> ExitCode {
         "run" => run_one(rest),
         "sweep" => sweep(rest),
         "trace" => trace(rest),
+        "check" => check(rest),
         "serve" => serve(rest),
         "--help" | "-h" | "help" => {
             print!("{USAGE}");
@@ -219,6 +226,76 @@ fn trace_info(args: &[String]) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+/// Differential conformance against the independent oracle.
+fn check(args: &[String]) -> Result<(), String> {
+    use refrint_cli::CheckOptions;
+    use refrint_oracle::harness::{run_check, run_scenario_with};
+    use refrint_oracle::scenario::Scenario;
+    use refrint_oracle::system::Fault;
+
+    let options = CheckOptions::parse(args)?;
+    let fault = options.self_test.then_some(Fault::DecayCleanBudgetOffByOne);
+
+    // Repro mode: one explicit scenario, no shrinking needed (the spec is
+    // already a minimal repro, or the user is bisecting by hand). The
+    // --self-test fault applies here too, so a self-test divergence's
+    // printed repro command stays reproducible.
+    if let Some(spec) = &options.scenario {
+        let scenario = Scenario::from_spec(spec)?;
+        eprintln!("checking scenario: {scenario}");
+        let diffs = run_scenario_with(&scenario, fault).map_err(|e| e.to_string())?;
+        if diffs.is_empty() {
+            println!("ok: oracle and simulator agree on `{scenario}`");
+            return Ok(());
+        }
+        let mut out = format!("oracle and simulator disagree on `{scenario}`:\n");
+        for d in &diffs {
+            out.push_str(&format!("  {d}\n"));
+        }
+        return Err(out);
+    }
+
+    if options.self_test {
+        eprintln!(
+            "self-test: off-by-one injected into the oracle's decay settlement; \
+             the harness must catch it"
+        );
+    }
+    eprintln!(
+        "running {} scenarios (seed {:#x})...",
+        options.scenarios, options.seed
+    );
+    let outcome = run_check(options.seed, options.scenarios, fault, |index, scenario| {
+        if options.progress {
+            eprintln!("[{}/{}] {scenario}", index + 1, options.scenarios);
+        }
+    })
+    .map_err(|e| e.to_string())?;
+
+    match (outcome.divergence, options.self_test) {
+        (None, false) => {
+            println!(
+                "ok: oracle and simulator agree field-for-field on {} scenarios",
+                outcome.scenarios_run
+            );
+            Ok(())
+        }
+        (None, true) => Err(format!(
+            "self-test FAILED: the injected fault survived {} scenarios undetected",
+            outcome.scenarios_run
+        )),
+        (Some(divergence), true) => {
+            println!(
+                "self-test ok: injected fault caught after {} scenarios and shrunk in {} steps",
+                outcome.scenarios_run, divergence.shrink_steps
+            );
+            println!("{divergence}");
+            Ok(())
+        }
+        (Some(divergence), false) => Err(divergence.to_string()),
+    }
 }
 
 fn serve(args: &[String]) -> Result<(), String> {

@@ -40,6 +40,33 @@ pub fn num(v: f64) -> String {
     }
 }
 
+/// Renders a [`Value`] as compact JSON text.
+///
+/// For any tree whose numbers are finite, `parse(&emit(v))` reconstructs
+/// `v` exactly: strings round-trip through [`escape`], and numbers use
+/// Rust's shortest-roundtrip float formatting. Non-finite numbers render
+/// as `null` (JSON cannot represent them), which is the one lossy case.
+#[must_use]
+pub fn emit(value: &Value) -> String {
+    match value {
+        Value::Null => "null".to_owned(),
+        Value::Bool(b) => b.to_string(),
+        Value::Num(n) => num(*n),
+        Value::Str(s) => format!("\"{}\"", escape(s)),
+        Value::Arr(items) => {
+            let inner: Vec<String> = items.iter().map(emit).collect();
+            format!("[{}]", inner.join(","))
+        }
+        Value::Obj(fields) => {
+            let inner: Vec<String> = fields
+                .iter()
+                .map(|(k, v)| format!("\"{}\":{}", escape(k), emit(v)))
+                .collect();
+            format!("{{{}}}", inner.join(","))
+        }
+    }
+}
+
 /// Why a JSON text failed to parse.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JsonError {

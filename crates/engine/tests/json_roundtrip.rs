@@ -1,0 +1,176 @@
+//! Property tests for `refrint_engine::json`: `parse(emit(v)) == v` over
+//! generated `Value` trees, plus byte-offset assertions on malformed
+//! inputs.
+//!
+//! Like the rest of the workspace these run on a deterministic in-repo
+//! case generator (no `proptest` offline): every run explores the same
+//! cases, and a failure prints the offending document.
+
+use refrint_engine::json::{emit, parse, Value};
+use refrint_engine::rng::DeterministicRng;
+
+const CASES: u64 = 300;
+
+/// Characters the string generator draws from: ASCII, escapes, control
+/// characters, BMP unicode, and astral-plane characters that standard
+/// serializers encode as surrogate pairs.
+const CHARS: &[char] = &[
+    'a', 'Z', '0', ' ', '"', '\\', '/', '\n', '\r', '\t', '\u{0}', '\u{1f}', 'é', 'Ω', '水',
+    '\u{2028}', '😀', '𝄞', '🦀',
+];
+
+fn arbitrary_string(rng: &mut DeterministicRng) -> String {
+    let len = rng.below(12);
+    (0..len)
+        .map(|_| CHARS[rng.below(CHARS.len() as u64) as usize])
+        .collect()
+}
+
+fn arbitrary_number(rng: &mut DeterministicRng) -> f64 {
+    match rng.below(8) {
+        0 => 0.0,
+        1 => -0.0,
+        2 => rng.below(1_000_000) as f64,
+        3 => -(rng.below(1_000_000) as f64),
+        // Extreme magnitudes, including subnormals and the f64 limits.
+        4 => f64::MAX,
+        5 => f64::MIN_POSITIVE / 8.0,
+        6 => 1e308 * if rng.chance(0.5) { 1.0 } else { -1.0 },
+        // Arbitrary bit patterns, rejecting non-finite values (emit maps
+        // those to null by design).
+        _ => {
+            let f = f64::from_bits(rng.next_u64());
+            if f.is_finite() {
+                f
+            } else {
+                rng.below(1 << 53) as f64 / 7.0
+            }
+        }
+    }
+}
+
+/// A random `Value` tree with bounded depth (deep nesting included: the
+/// depth budget allows chains of ~8 containers).
+fn arbitrary_value(rng: &mut DeterministicRng, depth: u64) -> Value {
+    let leaf_only = depth >= 8;
+    match rng.below(if leaf_only { 4 } else { 6 }) {
+        0 => Value::Null,
+        1 => Value::Bool(rng.chance(0.5)),
+        2 => Value::Num(arbitrary_number(rng)),
+        3 => Value::Str(arbitrary_string(rng)),
+        4 => {
+            let n = rng.below(4);
+            Value::Arr((0..n).map(|_| arbitrary_value(rng, depth + 1)).collect())
+        }
+        _ => {
+            let n = rng.below(4);
+            Value::Obj(
+                (0..n)
+                    .map(|i| {
+                        // Distinct keys: `get` semantics are first-match,
+                        // so duplicate keys would not round-trip as a map.
+                        let key = format!("{}#{i}", arbitrary_string(rng));
+                        (key, arbitrary_value(rng, depth + 1))
+                    })
+                    .collect(),
+            )
+        }
+    }
+}
+
+#[test]
+fn parse_emit_round_trips_generated_trees() {
+    for case in 0..CASES {
+        let mut rng = DeterministicRng::from_seed(0x5EED_1500).fork(case);
+        let value = arbitrary_value(&mut rng, 0);
+        let text = emit(&value);
+        let parsed = parse(&text).unwrap_or_else(|e| panic!("case {case}: {e}\n{text}"));
+        assert_eq!(parsed, value, "case {case}: {text}");
+    }
+}
+
+#[test]
+fn deeply_nested_documents_round_trip() {
+    // A 64-deep chain of arrays and objects.
+    let mut v = Value::Num(42.0);
+    for i in 0..64 {
+        v = if i % 2 == 0 {
+            Value::Arr(vec![v])
+        } else {
+            Value::Obj(vec![("k".to_owned(), v)])
+        };
+    }
+    assert_eq!(parse(&emit(&v)).unwrap(), v);
+}
+
+#[test]
+fn surrogate_pair_escapes_parse_to_astral_characters() {
+    // Standard serializers encode non-BMP characters as \uD8xx\uDCxx.
+    assert_eq!(
+        parse("\"\\ud83d\\ude00\"").unwrap(),
+        Value::Str("😀".to_owned())
+    );
+    assert_eq!(
+        parse("\"\\uD834\\uDD1E\"").unwrap(),
+        Value::Str("𝄞".to_owned())
+    );
+    // Our emitter writes astral characters raw; both spellings agree.
+    assert_eq!(emit(&Value::Str("😀".to_owned())), "\"😀\"");
+    // Lone surrogates are rejected with the offset of the escape.
+    for doc in ["\"\\ud83d\"", "\"\\ude00 tail\"", "\"\\ud83d\\u0041\""] {
+        let err = parse(doc).unwrap_err();
+        assert!(err.reason.contains("surrogate"), "{doc}: {err}");
+        assert!(err.offset < doc.len(), "{doc}: {err}");
+    }
+}
+
+#[test]
+fn extreme_numbers_round_trip() {
+    for n in [
+        f64::MAX,
+        f64::MIN,
+        f64::MIN_POSITIVE,
+        f64::EPSILON,
+        -1e-308,
+        9_007_199_254_740_993.0, // beyond 2^53: representable f64 nearby
+        1.7976931348623157e308,
+    ] {
+        let v = Value::Num(n);
+        assert_eq!(parse(&emit(&v)).unwrap(), v, "{n:e}");
+    }
+    // Non-finite numbers are lossy by design: they render as null.
+    assert_eq!(emit(&Value::Num(f64::NAN)), "null");
+    assert_eq!(emit(&Value::Num(f64::INFINITY)), "null");
+}
+
+#[test]
+fn malformed_documents_report_the_offending_byte_offset() {
+    // (document, expected offset, what should be wrong there)
+    let cases: &[(&str, usize, &str)] = &[
+        ("", 0, "end of input"),
+        ("  {", 3, "expected"),
+        ("[1, 2", 5, "expected"),
+        ("{\"a\": }", 6, "unexpected"),
+        ("{\"a\": 1,}", 8, "expected"),
+        ("\"unterminated", 13, "unterminated"),
+        ("[1] trailing", 4, "trailing"),
+        ("nul", 0, "expected 'null'"),
+        ("{\"a\" 1}", 5, "expected"),
+        ("\"bad \\q escape\"", 6, "bad escape"),
+        ("\"bad \\uZZZZ\"", 6, "\\u"),
+    ];
+    for (doc, offset, fragment) in cases {
+        let err = parse(doc).unwrap_err();
+        assert_eq!(
+            err.offset, *offset,
+            "`{doc}` reported {} ({})",
+            err.offset, err.reason
+        );
+        assert!(
+            err.reason.contains(fragment),
+            "`{doc}`: reason `{}` lacks `{fragment}`",
+            err.reason
+        );
+        assert!(err.to_string().contains("byte"), "{err}");
+    }
+}

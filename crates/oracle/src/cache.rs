@@ -1,0 +1,325 @@
+//! A naive set-associative cache with explicit true-LRU bookkeeping.
+//!
+//! Ways are `Vec<Option<OracleLine>>`; each set keeps a separate MRU-first
+//! recency list that is linearly rebuilt on every access. Victim selection
+//! scans for the lowest-numbered free way, then falls back to the back of
+//! the recency list. Counters live in a `BTreeMap` keyed by name. Nothing
+//! here is shared with `refrint-mem` except the [`MesiState`] vocabulary
+//! and the [`Cycle`] clock.
+
+use std::collections::BTreeMap;
+
+use refrint_engine::stats::StatRegistry;
+use refrint_engine::time::Cycle;
+use refrint_mem::line::MesiState;
+
+/// One cache line as the oracle tracks it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OracleLine {
+    /// The line address stored in this way.
+    pub addr: u64,
+    /// MESI state.
+    pub state: MesiState,
+    /// Cycle of the last normal access (fill, read hit, write hit).
+    pub last_touch: Cycle,
+}
+
+impl OracleLine {
+    /// Whether the line holds valid data.
+    #[must_use]
+    pub fn is_valid(&self) -> bool {
+        self.state.is_valid()
+    }
+
+    /// Whether the line is dirty (MESI Modified).
+    #[must_use]
+    pub fn is_dirty(&self) -> bool {
+        self.state.is_dirty()
+    }
+}
+
+/// One set: ways plus an MRU-first recency list.
+#[derive(Debug, Clone)]
+struct OracleSet {
+    ways: Vec<Option<OracleLine>>,
+    /// Way indices from most- to least-recently used.
+    recency: Vec<usize>,
+}
+
+impl OracleSet {
+    fn new(ways: usize) -> Self {
+        OracleSet {
+            ways: vec![None; ways],
+            recency: (0..ways).collect(),
+        }
+    }
+
+    /// The way holding a valid copy of `addr`, searching ways in order.
+    fn find(&self, addr: u64) -> Option<usize> {
+        self.ways
+            .iter()
+            .position(|w| w.is_some_and(|l| l.addr == addr && l.is_valid()))
+    }
+
+    /// Moves `way` to the front of the recency list.
+    fn touch_way(&mut self, way: usize) {
+        let pos = self
+            .recency
+            .iter()
+            .position(|&w| w == way)
+            .expect("every way is in the recency list");
+        self.recency.remove(pos);
+        self.recency.insert(0, way);
+    }
+
+    /// The fill victim: the lowest-numbered way without a valid line, or
+    /// the least-recently-used way if every way is valid.
+    fn pick_victim(&self) -> usize {
+        if let Some(free) = self
+            .ways
+            .iter()
+            .position(|w| !w.is_some_and(|l| l.is_valid()))
+        {
+            return free;
+        }
+        *self.recency.last().expect("associativity is non-zero")
+    }
+}
+
+/// A naive set-associative cache array.
+#[derive(Debug, Clone)]
+pub struct OracleCache {
+    sets: Vec<OracleSet>,
+    num_sets: u64,
+    counters: BTreeMap<&'static str, u64>,
+}
+
+impl OracleCache {
+    /// Creates an empty cache of `num_sets` sets × `ways` ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero (geometry validation upstream
+    /// guarantees this).
+    #[must_use]
+    pub fn new(num_sets: u64, ways: usize) -> Self {
+        assert!(num_sets > 0 && ways > 0, "degenerate geometry");
+        OracleCache {
+            sets: (0..num_sets).map(|_| OracleSet::new(ways)).collect(),
+            num_sets,
+            counters: BTreeMap::new(),
+        }
+    }
+
+    fn bump(&mut self, name: &'static str, n: u64) {
+        *self.counters.entry(name).or_insert(0) += n;
+    }
+
+    fn set_of(&self, addr: u64) -> usize {
+        // Same mapping as the optimized array: low line-address bits.
+        (addr % self.num_sets) as usize
+    }
+
+    /// Looks up `addr` as a normal access at `now`: counts a hit or miss,
+    /// updates recency and last-touch, and returns the line *as it was
+    /// before this access touched it*.
+    pub fn lookup_prev(&mut self, addr: u64, now: Cycle) -> Option<OracleLine> {
+        let set = self.set_of(addr);
+        match self.sets[set].find(addr) {
+            Some(way) => {
+                self.sets[set].touch_way(way);
+                let line = self.sets[set].ways[way]
+                    .as_mut()
+                    .expect("found way is occupied");
+                let prev = *line;
+                line.last_touch = now;
+                self.bump("hits", 1);
+                Some(prev)
+            }
+            None => {
+                self.bump("misses", 1);
+                None
+            }
+        }
+    }
+
+    /// Reads a resident line: recency + touch + read counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line is not present.
+    pub fn read_hit(&mut self, addr: u64, now: Cycle) {
+        let set = self.set_of(addr);
+        let way = self.sets[set].find(addr).expect("read_hit on missing line");
+        self.sets[set].touch_way(way);
+        let line = self.sets[set].ways[way]
+            .as_mut()
+            .expect("found way is occupied");
+        line.last_touch = now;
+        self.bump("reads", 1);
+    }
+
+    /// Writes a resident line: upgrades it to Modified, recency + touch +
+    /// write counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line is not present.
+    pub fn write_hit(&mut self, addr: u64, now: Cycle) {
+        let set = self.set_of(addr);
+        let way = self.sets[set]
+            .find(addr)
+            .expect("write_hit on missing line");
+        self.sets[set].touch_way(way);
+        let line = self.sets[set].ways[way]
+            .as_mut()
+            .expect("found way is occupied");
+        line.state = MesiState::Modified;
+        line.last_touch = now;
+        self.bump("writes", 1);
+    }
+
+    /// Fills `addr` in `state` at `now`, returning any valid line displaced.
+    pub fn fill(&mut self, addr: u64, state: MesiState, now: Cycle) -> Option<OracleLine> {
+        let set = self.set_of(addr);
+        debug_assert!(self.sets[set].find(addr).is_none(), "double fill");
+        let way = self.sets[set].pick_victim();
+        let evicted = self.sets[set].ways[way].filter(OracleLine::is_valid);
+        self.sets[set].ways[way] = Some(OracleLine {
+            addr,
+            state,
+            last_touch: now,
+        });
+        self.sets[set].touch_way(way);
+        self.bump("fills", 1);
+        if let Some(victim) = evicted {
+            self.bump("evictions", 1);
+            if victim.is_dirty() {
+                self.bump("dirty_evictions", 1);
+            }
+        }
+        evicted
+    }
+
+    /// Changes a resident line's state (coherence downgrades/upgrades);
+    /// silently does nothing when the line is absent.
+    pub fn set_state(&mut self, addr: u64, state: MesiState) {
+        let set = self.set_of(addr);
+        if let Some(way) = self.sets[set].find(addr) {
+            self.sets[set].ways[way]
+                .as_mut()
+                .expect("found way is occupied")
+                .state = state;
+        }
+    }
+
+    /// Invalidates `addr` if present, returning the line as it was.
+    pub fn invalidate(&mut self, addr: u64) -> Option<OracleLine> {
+        let set = self.set_of(addr);
+        let way = self.sets[set].find(addr)?;
+        let line = self.sets[set].ways[way].expect("found way is occupied");
+        self.sets[set].ways[way]
+            .as_mut()
+            .expect("found way is occupied")
+            .state = MesiState::Invalid;
+        self.bump("invalidations", 1);
+        Some(line)
+    }
+
+    /// A copy of the resident line at `addr` (no recency or touch update).
+    #[must_use]
+    pub fn line(&self, addr: u64) -> Option<OracleLine> {
+        let set = self.set_of(addr);
+        self.sets[set]
+            .find(addr)
+            .map(|way| self.sets[set].ways[way].expect("found way is occupied"))
+    }
+
+    /// Marks a resident line dirty at `now` (the absorbed-writeback path).
+    /// Silently does nothing when the line is absent.
+    pub fn write_resident(&mut self, addr: u64, now: Cycle) {
+        let set = self.set_of(addr);
+        if let Some(way) = self.sets[set].find(addr) {
+            let line = self.sets[set].ways[way]
+                .as_mut()
+                .expect("found way is occupied");
+            line.state = MesiState::Modified;
+            line.last_touch = now;
+        }
+    }
+
+    /// Applies a refresh-engine write-back to a resident line: Modified
+    /// becomes Shared, touch metadata untouched.
+    pub fn write_back_resident(&mut self, addr: u64) {
+        let set = self.set_of(addr);
+        if let Some(way) = self.sets[set].find(addr) {
+            let line = self.sets[set].ways[way]
+                .as_mut()
+                .expect("found way is occupied");
+            if line.state == MesiState::Modified {
+                line.state = MesiState::Shared;
+            }
+        }
+    }
+
+    /// Every valid resident line, in set order then way order (a fresh
+    /// allocation per call — the oracle does not reuse scratch buffers).
+    #[must_use]
+    pub fn valid_lines(&self) -> Vec<OracleLine> {
+        self.sets
+            .iter()
+            .flat_map(|s| s.ways.iter().flatten().filter(|l| l.is_valid()))
+            .copied()
+            .collect()
+    }
+
+    /// The cache's counters as a [`StatRegistry`], mirroring the optimized
+    /// array's shape: only counters that have fired appear.
+    #[must_use]
+    pub fn stats(&self) -> StatRegistry {
+        let mut out = StatRegistry::new();
+        for (name, value) in &self.counters {
+            if *value > 0 {
+                out.add(name, *value);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_prefers_free_ways_then_evicts_oldest() {
+        let mut c = OracleCache::new(1, 2);
+        assert!(c.fill(0, MesiState::Shared, Cycle::new(1)).is_none());
+        assert!(c.fill(1, MesiState::Shared, Cycle::new(2)).is_none());
+        // Touch line 0 so line 1 is LRU.
+        assert!(c.lookup_prev(0, Cycle::new(3)).is_some());
+        let evicted = c.fill(2, MesiState::Shared, Cycle::new(4)).unwrap();
+        assert_eq!(evicted.addr, 1);
+    }
+
+    #[test]
+    fn invalidated_way_is_refilled_first() {
+        let mut c = OracleCache::new(1, 2);
+        c.fill(0, MesiState::Shared, Cycle::ZERO);
+        c.fill(1, MesiState::Modified, Cycle::ZERO);
+        let removed = c.invalidate(0).unwrap();
+        assert_eq!(removed.addr, 0);
+        assert!(c.fill(2, MesiState::Shared, Cycle::ZERO).is_none());
+        assert_eq!(c.valid_lines().len(), 2);
+        assert_eq!(c.stats().get("invalidations"), 1);
+    }
+
+    #[test]
+    fn lookup_prev_returns_pre_touch_metadata() {
+        let mut c = OracleCache::new(4, 2);
+        c.fill(9, MesiState::Exclusive, Cycle::new(5));
+        let prev = c.lookup_prev(9, Cycle::new(50)).unwrap();
+        assert_eq!(prev.last_touch, Cycle::new(5));
+        assert_eq!(c.line(9).unwrap().last_touch, Cycle::new(50));
+    }
+}

@@ -1,0 +1,238 @@
+//! A naive directory MESI protocol: owner/sharer state in a `HashMap` of
+//! `BTreeSet`s, transitions written out longhand.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use refrint_engine::stats::StatRegistry;
+use refrint_mem::line::MesiState;
+
+/// The directory's view of one line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Entry {
+    /// One or more tiles hold the line in a clean state.
+    Shared(BTreeSet<usize>),
+    /// Exactly one tile owns the line with write permission.
+    Owned(usize),
+}
+
+/// What the directory decided for one request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OracleOutcome {
+    /// State the requester's private caches install the line in.
+    pub fill_state: MesiState,
+    /// Tiles whose private copies must be invalidated (ascending order,
+    /// excluding the requester).
+    pub invalidate: Vec<usize>,
+    /// Tile whose Modified copy must be downgraded first.
+    pub downgrade_owner: Option<usize>,
+    /// Whether the previous owner's dirty data lands in the L3.
+    pub owner_writeback: bool,
+}
+
+/// The request kinds a private hierarchy issues.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OracleRequest {
+    /// A load that missed privately (GetS).
+    Read,
+    /// A store that missed or lacked write permission (GetX / upgrade).
+    Write,
+    /// A clean private eviction (PutS).
+    EvictClean,
+    /// A dirty private eviction with write-back (PutM).
+    EvictDirty,
+}
+
+/// Naive directory + protocol engine.
+#[derive(Debug, Clone, Default)]
+pub struct OracleDirectory {
+    entries: HashMap<u64, Entry>,
+    counters: BTreeMap<&'static str, u64>,
+}
+
+impl OracleDirectory {
+    /// Creates an empty directory.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn bump(&mut self, name: &'static str, n: u64) {
+        *self.counters.entry(name).or_insert(0) += n;
+    }
+
+    /// Resolves `request` from `tile` for `line`, updating directory state
+    /// and counters exactly as the optimized protocol specifies.
+    pub fn access(&mut self, line: u64, tile: usize, request: OracleRequest) -> OracleOutcome {
+        let (outcome, messages) = match request {
+            OracleRequest::Read => self.read(line, tile),
+            OracleRequest::Write => self.write(line, tile),
+            OracleRequest::EvictClean => (self.evict(line, tile, false), 1),
+            OracleRequest::EvictDirty => (self.evict(line, tile, true), 1),
+        };
+        self.bump("messages", messages);
+        outcome
+    }
+
+    fn read(&mut self, line: u64, tile: usize) -> (OracleOutcome, u64) {
+        self.bump("reads", 1);
+        let mut out = OracleOutcome {
+            fill_state: MesiState::Shared,
+            invalidate: Vec::new(),
+            downgrade_owner: None,
+            owner_writeback: false,
+        };
+        // Request to the home node plus the data reply.
+        let mut messages = 2;
+        match self.entries.get(&line).cloned() {
+            None => {
+                out.fill_state = MesiState::Exclusive;
+                self.entries.insert(line, Entry::Owned(tile));
+            }
+            Some(Entry::Shared(mut sharers)) => {
+                if sharers.contains(&tile) {
+                    self.bump("redundant_reads", 1);
+                } else {
+                    sharers.insert(tile);
+                }
+                self.entries.insert(line, Entry::Shared(sharers));
+            }
+            Some(Entry::Owned(owner)) if owner == tile => {
+                out.fill_state = MesiState::Exclusive;
+                self.bump("redundant_reads", 1);
+            }
+            Some(Entry::Owned(owner)) => {
+                self.bump("owner_downgrades", 1);
+                out.downgrade_owner = Some(owner);
+                out.owner_writeback = true;
+                messages += 2; // forwarded downgrade + ack
+                let sharers: BTreeSet<usize> = [owner, tile].into_iter().collect();
+                self.entries.insert(line, Entry::Shared(sharers));
+            }
+        }
+        (out, messages)
+    }
+
+    fn write(&mut self, line: u64, tile: usize) -> (OracleOutcome, u64) {
+        self.bump("writes", 1);
+        let mut out = OracleOutcome {
+            fill_state: MesiState::Modified,
+            invalidate: Vec::new(),
+            downgrade_owner: None,
+            owner_writeback: false,
+        };
+        let mut messages = 2;
+        match self.entries.get(&line).cloned() {
+            None => {}
+            Some(Entry::Shared(sharers)) => {
+                let targets: Vec<usize> = sharers.iter().copied().filter(|&t| t != tile).collect();
+                self.bump("invalidations_sent", targets.len() as u64);
+                messages += 2 * targets.len() as u64; // inval + ack each
+                out.invalidate = targets;
+            }
+            Some(Entry::Owned(owner)) if owner == tile => {
+                self.bump("silent_upgrades", 1);
+            }
+            Some(Entry::Owned(owner)) => {
+                self.bump("owner_transfers", 1);
+                out.downgrade_owner = Some(owner);
+                out.owner_writeback = true;
+                out.invalidate = vec![owner];
+                messages += 2; // forwarded invalidation + ack
+            }
+        }
+        self.entries.insert(line, Entry::Owned(tile));
+        (out, messages)
+    }
+
+    fn evict(&mut self, line: u64, tile: usize, dirty: bool) -> OracleOutcome {
+        if dirty {
+            self.bump("dirty_evictions_absorbed", 1);
+        } else {
+            self.bump("clean_evictions", 1);
+        }
+        match self.entries.get(&line).cloned() {
+            None => {}
+            Some(Entry::Owned(owner)) if owner == tile => {
+                self.entries.remove(&line);
+            }
+            Some(Entry::Owned(_)) => {}
+            Some(Entry::Shared(mut sharers)) => {
+                sharers.remove(&tile);
+                if sharers.is_empty() {
+                    self.entries.remove(&line);
+                } else {
+                    self.entries.insert(line, Entry::Shared(sharers));
+                }
+            }
+        }
+        OracleOutcome {
+            fill_state: MesiState::Invalid,
+            invalidate: Vec::new(),
+            downgrade_owner: None,
+            owner_writeback: dirty,
+        }
+    }
+
+    /// Invalidates a line everywhere on behalf of the L3: returns the
+    /// holding tiles (ascending) and forgets the entry.
+    pub fn invalidate_all(&mut self, line: u64) -> Vec<usize> {
+        let holders: Vec<usize> = match self.entries.remove(&line) {
+            None => Vec::new(),
+            Some(Entry::Owned(owner)) => vec![owner],
+            Some(Entry::Shared(sharers)) => sharers.into_iter().collect(),
+        };
+        self.bump("inclusive_invalidations", holders.len() as u64);
+        holders
+    }
+
+    /// Protocol counters as a [`StatRegistry`] (fired counters only).
+    #[must_use]
+    pub fn stats(&self) -> StatRegistry {
+        let mut out = StatRegistry::new();
+        for (name, value) in &self.counters {
+            if *value > 0 {
+                out.add(name, *value);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_read_grants_exclusive_then_downgrades() {
+        let mut d = OracleDirectory::new();
+        let out = d.access(7, 0, OracleRequest::Read);
+        assert_eq!(out.fill_state, MesiState::Exclusive);
+        let out = d.access(7, 1, OracleRequest::Read);
+        assert_eq!(out.fill_state, MesiState::Shared);
+        assert_eq!(out.downgrade_owner, Some(0));
+        assert!(out.owner_writeback);
+    }
+
+    #[test]
+    fn writes_invalidate_other_sharers_in_ascending_order() {
+        let mut d = OracleDirectory::new();
+        for t in [2, 0, 1] {
+            d.access(9, t, OracleRequest::Read);
+        }
+        let out = d.access(9, 3, OracleRequest::Write);
+        assert_eq!(out.invalidate, vec![0, 1, 2]);
+        assert_eq!(d.stats().get("invalidations_sent"), 3);
+        // reads: 2 (uncached) + 4 (owner downgrade) + 2 (shared join);
+        // write: 2 + 2 per invalidated sharer.
+        assert_eq!(d.stats().get("messages"), 2 + 4 + 2 + (2 + 2 * 3));
+    }
+
+    #[test]
+    fn invalidate_all_reports_holders() {
+        let mut d = OracleDirectory::new();
+        d.access(4, 1, OracleRequest::Read);
+        d.access(4, 3, OracleRequest::Read);
+        assert_eq!(d.invalidate_all(4), vec![1, 3]);
+        assert_eq!(d.invalidate_all(4), Vec::<usize>::new());
+    }
+}

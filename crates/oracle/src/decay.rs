@@ -1,0 +1,299 @@
+//! Naive, opportunity-by-opportunity refresh settlement.
+//!
+//! The optimized simulator settles an idle line in O(1) with the lazy
+//! decay-schedule algebra (`refrint-edram::schedule`). The oracle instead
+//! walks every refresh opportunity in the interval and applies the paper's
+//! Figure 4.1 state machine one step at a time — slower, allocation-happy,
+//! and obviously correct. Both consume the same policy *descriptor*
+//! ([`RefreshPolicy`], which is configuration input, not implementation);
+//! everything about what the descriptor *means* over time is re-derived
+//! here.
+
+use refrint_edram::policy::{RefreshPolicy, TimePolicy};
+use refrint_edram::schedule::{LineKind, Settlement};
+use refrint_engine::time::Cycle;
+
+/// What the data policy does to a line at one refresh opportunity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Step {
+    Refresh,
+    WriteBack,
+    Invalidate,
+    Skip,
+}
+
+/// A refresh policy bound to one cache, evaluated by replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OracleDecay {
+    policy: RefreshPolicy,
+    /// Line retention period (the Periodic opportunity interval).
+    retention: Cycle,
+    /// Sentry-bit period (the Refrint opportunity interval):
+    /// retention minus the safety margin.
+    sentry_period: Cycle,
+    /// Phase offset of the Periodic boundaries.
+    offset: Cycle,
+    /// Validation aid: grant clean lines one extra refresh before
+    /// invalidation (see [`crate::system::Fault`]).
+    extra_clean_refresh: bool,
+}
+
+impl OracleDecay {
+    /// Binds `policy` to a cache with the given retention period, sentry
+    /// margin and Periodic phase offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the margin is not smaller than the (non-zero) retention
+    /// period — the same contract as the optimized schedule.
+    #[must_use]
+    pub fn new(policy: RefreshPolicy, retention: Cycle, margin: Cycle, offset: Cycle) -> Self {
+        assert!(retention > Cycle::ZERO, "retention must be non-zero");
+        assert!(margin < retention, "margin must be smaller than retention");
+        OracleDecay {
+            policy,
+            retention,
+            sentry_period: retention - margin,
+            offset: offset % retention,
+            extra_clean_refresh: false,
+        }
+    }
+
+    /// Enables the injected off-by-one in clean-budget settlement.
+    pub(crate) fn inject_clean_budget_off_by_one(&mut self) {
+        self.extra_clean_refresh = true;
+    }
+
+    /// The interval between successive opportunities for an idle line.
+    #[must_use]
+    pub fn opportunity_period(&self) -> Cycle {
+        match self.policy.time {
+            TimePolicy::Periodic => self.retention,
+            TimePolicy::Refrint => self.sentry_period,
+        }
+    }
+
+    /// The `k`-th (1-based) refresh opportunity strictly after `touch`,
+    /// found by stepping: Refrint sentries follow the touch, Periodic
+    /// boundaries are the global grid `offset + j * retention` for `j >= 1`.
+    #[must_use]
+    pub fn opportunity(&self, touch: Cycle, k: u64) -> Cycle {
+        debug_assert!(k >= 1, "opportunities are 1-based");
+        match self.policy.time {
+            TimePolicy::Refrint => touch + self.sentry_period * k,
+            TimePolicy::Periodic => {
+                let mut boundary = self.offset + self.retention;
+                while boundary <= touch {
+                    boundary += self.retention;
+                }
+                boundary + self.retention * (k - 1)
+            }
+        }
+    }
+
+    /// Number of refresh opportunities in `(touch, until]`, counted one by
+    /// one.
+    #[must_use]
+    pub fn opportunities_between(&self, touch: Cycle, until: Cycle) -> u64 {
+        let mut count = 0;
+        let mut k = 1;
+        while self.opportunity(touch, k) <= until {
+            count += 1;
+            k += 1;
+        }
+        count
+    }
+
+    /// The action the data policy takes on a line of `kind` that has already
+    /// received `consecutive` refreshes since its last touch or state
+    /// change.
+    fn step(&self, kind: LineKind, consecutive: u64) -> Step {
+        let data = self.policy.data;
+        match kind {
+            LineKind::Invalid => {
+                if data.refreshes_invalid_lines() {
+                    Step::Refresh
+                } else {
+                    Step::Skip
+                }
+            }
+            LineKind::Dirty => match data.dirty_budget() {
+                Some(n) if consecutive >= u64::from(n) => Step::WriteBack,
+                _ => Step::Refresh,
+            },
+            LineKind::Clean => match data.clean_budget() {
+                Some(m) => {
+                    let budget = u64::from(m) + u64::from(self.extra_clean_refresh);
+                    if consecutive >= budget {
+                        Step::Invalidate
+                    } else {
+                        Step::Refresh
+                    }
+                }
+                None => Step::Refresh,
+            },
+        }
+    }
+
+    /// Settles a line of `kind`, last touched at `touch`, over
+    /// `(touch, until]` by replaying every opportunity.
+    #[must_use]
+    pub fn settle(&self, kind: LineKind, touch: Cycle, until: Cycle) -> Settlement {
+        let mut refreshes = 0;
+        let mut writeback_at = None;
+        let mut invalidated_at = None;
+        let mut current = kind;
+        let mut consecutive = 0;
+
+        let mut k = 1;
+        loop {
+            let at = self.opportunity(touch, k);
+            if at > until {
+                break;
+            }
+            k += 1;
+            match self.step(current, consecutive) {
+                Step::Refresh => {
+                    refreshes += 1;
+                    consecutive += 1;
+                }
+                Step::WriteBack => {
+                    writeback_at = Some(at);
+                    current = LineKind::Clean;
+                    consecutive = 0;
+                }
+                Step::Invalidate | Step::Skip => {
+                    if current == LineKind::Invalid {
+                        // Nothing will ever change for this line again.
+                        break;
+                    }
+                    invalidated_at = Some(at);
+                    current = LineKind::Invalid;
+                    consecutive = 0;
+                }
+            }
+        }
+
+        Settlement {
+            refreshes,
+            writeback_at,
+            invalidated_at,
+            final_kind: current,
+        }
+    }
+
+    /// The cycle at which an idle line of `kind` touched at `touch` loses
+    /// its data, found by walking opportunities until the state machine
+    /// invalidates it — or `None` if the policy refreshes it forever.
+    #[must_use]
+    pub fn invalidation_time(&self, kind: LineKind, touch: Cycle) -> Option<Cycle> {
+        match kind {
+            LineKind::Invalid => None,
+            LineKind::Clean => self.policy.data.clean_budget().map(|_| {
+                self.walk_to_invalidation(LineKind::Clean, touch)
+                    .expect("a finite clean budget always expires")
+            }),
+            LineKind::Dirty => {
+                // A dirty line only ever dies if it is first written back
+                // (finite dirty budget) and then decays (finite clean
+                // budget).
+                if self.policy.data.dirty_budget().is_none()
+                    || self.policy.data.clean_budget().is_none()
+                {
+                    return None;
+                }
+                Some(
+                    self.walk_to_invalidation(LineKind::Dirty, touch)
+                        .expect("finite budgets always expire"),
+                )
+            }
+        }
+    }
+
+    fn walk_to_invalidation(&self, kind: LineKind, touch: Cycle) -> Option<Cycle> {
+        let mut current = kind;
+        let mut consecutive = 0;
+        let mut k = 1;
+        // Budgets are u32; a walk of dirty + clean budget + 2 write-back /
+        // invalidate steps always terminates.
+        loop {
+            let at = self.opportunity(touch, k);
+            k += 1;
+            match self.step(current, consecutive) {
+                Step::Refresh => consecutive += 1,
+                Step::WriteBack => {
+                    current = LineKind::Clean;
+                    consecutive = 0;
+                }
+                Step::Invalidate | Step::Skip => return Some(at),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use refrint_edram::policy::DataPolicy;
+    use refrint_edram::schedule::DecaySchedule;
+
+    /// The oracle's replay must agree with the optimized algebra for every
+    /// built-in policy — this is the in-crate sanity check; the real
+    /// assurance is the system-level conformance suite.
+    #[test]
+    fn replay_matches_optimized_algebra() {
+        let datas = [
+            DataPolicy::All,
+            DataPolicy::Valid,
+            DataPolicy::Dirty,
+            DataPolicy::write_back(0, 0),
+            DataPolicy::write_back(2, 3),
+            DataPolicy::write_back(32, 32),
+        ];
+        for time in TimePolicy::ALL {
+            for data in datas {
+                let policy = RefreshPolicy::new(time, data);
+                let oracle =
+                    OracleDecay::new(policy, Cycle::new(1000), Cycle::new(100), Cycle::new(37));
+                let fast =
+                    DecaySchedule::new(policy, Cycle::new(1000), Cycle::new(100), Cycle::new(37));
+                for kind in [LineKind::Dirty, LineKind::Clean, LineKind::Invalid] {
+                    for touch in [0u64, 1, 999, 1000, 12_345] {
+                        let touch = Cycle::new(touch);
+                        for span in [0u64, 1, 900, 1000, 5_000, 100_000] {
+                            let until = touch + Cycle::new(span);
+                            assert_eq!(
+                                oracle.settle(kind, touch, until),
+                                fast.settle(kind, touch, until),
+                                "{policy} {kind:?} touch {touch} until {until}"
+                            );
+                        }
+                        assert_eq!(
+                            oracle.invalidation_time(kind, touch),
+                            fast.invalidation_time(kind, touch),
+                            "{policy} {kind:?} touch {touch}"
+                        );
+                        assert_eq!(oracle.opportunity(touch, 1), fast.opportunity(touch, 1));
+                        assert_eq!(oracle.opportunity(touch, 7), fast.opportunity(touch, 7));
+                        assert_eq!(
+                            oracle.opportunities_between(touch, touch + Cycle::new(12_345)),
+                            fast.opportunities_between(touch, touch + Cycle::new(12_345)),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn injected_off_by_one_grants_an_extra_clean_refresh() {
+        let policy = RefreshPolicy::new(TimePolicy::Refrint, DataPolicy::write_back(0, 2));
+        let mut faulty = OracleDecay::new(policy, Cycle::new(1000), Cycle::new(100), Cycle::ZERO);
+        faulty.inject_clean_budget_off_by_one();
+        let honest = OracleDecay::new(policy, Cycle::new(1000), Cycle::new(100), Cycle::ZERO);
+        let h = honest.settle(LineKind::Clean, Cycle::ZERO, Cycle::new(100_000));
+        let f = faulty.settle(LineKind::Clean, Cycle::ZERO, Cycle::new(100_000));
+        assert_eq!(f.refreshes, h.refreshes + 1);
+        assert!(f.invalidated_at.unwrap() > h.invalidated_at.unwrap());
+    }
+}

@@ -1,0 +1,243 @@
+//! Field-by-field comparison of two [`SimReport`]s.
+
+use std::fmt;
+
+use refrint::report::SimReport;
+
+/// One field on which oracle and simulator disagree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FieldDiff {
+    /// Dotted path of the disagreeing field (e.g. `counts.l3_refreshes`).
+    pub field: String,
+    /// The oracle's value, rendered.
+    pub oracle: String,
+    /// The simulator's value, rendered.
+    pub simulator: String,
+}
+
+impl fmt::Display for FieldDiff {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: oracle {} vs simulator {}",
+            self.field, self.oracle, self.simulator
+        )
+    }
+}
+
+fn push(
+    diffs: &mut Vec<FieldDiff>,
+    field: &str,
+    oracle: impl fmt::Display,
+    sim: impl fmt::Display,
+) {
+    let (oracle, simulator) = (oracle.to_string(), sim.to_string());
+    if oracle != simulator {
+        diffs.push(FieldDiff {
+            field: field.to_owned(),
+            oracle,
+            simulator,
+        });
+    }
+}
+
+/// Diffs every field of the two reports: identity strings, execution time,
+/// every event count, the energy breakdown (bit-exact — both sides derive
+/// it from their counts through the same pure arithmetic), and the full
+/// per-structure statistics registry in both directions.
+#[must_use]
+pub fn diff_reports(oracle: &SimReport, simulator: &SimReport) -> Vec<FieldDiff> {
+    let mut diffs = Vec::new();
+    push(
+        &mut diffs,
+        "config_label",
+        &oracle.config_label,
+        &simulator.config_label,
+    );
+    push(
+        &mut diffs,
+        "workload",
+        &oracle.workload,
+        &simulator.workload,
+    );
+    push(
+        &mut diffs,
+        "execution_cycles",
+        oracle.execution_cycles,
+        simulator.execution_cycles,
+    );
+
+    let (a, b) = (&oracle.counts, &simulator.counts);
+    push(
+        &mut diffs,
+        "counts.instructions",
+        a.instructions,
+        b.instructions,
+    );
+    push(&mut diffs, "counts.cycles", a.cycles, b.cycles);
+    push(
+        &mut diffs,
+        "counts.il1_accesses",
+        a.il1_accesses,
+        b.il1_accesses,
+    );
+    push(
+        &mut diffs,
+        "counts.dl1_accesses",
+        a.dl1_accesses,
+        b.dl1_accesses,
+    );
+    push(
+        &mut diffs,
+        "counts.l2_accesses",
+        a.l2_accesses,
+        b.l2_accesses,
+    );
+    push(
+        &mut diffs,
+        "counts.l3_accesses",
+        a.l3_accesses,
+        b.l3_accesses,
+    );
+    push(
+        &mut diffs,
+        "counts.l1_refreshes",
+        a.l1_refreshes,
+        b.l1_refreshes,
+    );
+    push(
+        &mut diffs,
+        "counts.l2_refreshes",
+        a.l2_refreshes,
+        b.l2_refreshes,
+    );
+    push(
+        &mut diffs,
+        "counts.l3_refreshes",
+        a.l3_refreshes,
+        b.l3_refreshes,
+    );
+    push(&mut diffs, "counts.dram_reads", a.dram_reads, b.dram_reads);
+    push(
+        &mut diffs,
+        "counts.dram_writes",
+        a.dram_writes,
+        b.dram_writes,
+    );
+    push(
+        &mut diffs,
+        "counts.noc_flit_hops",
+        a.noc_flit_hops,
+        b.noc_flit_hops,
+    );
+
+    // The breakdown is a pure function of (tech, cells, counts, cores,
+    // banks); compare bit patterns so float rendering cannot hide drift.
+    for (name, x, y) in [
+        (
+            "breakdown.memory_total",
+            oracle.breakdown.memory_total(),
+            simulator.breakdown.memory_total(),
+        ),
+        (
+            "breakdown.total_system",
+            oracle.breakdown.total_system(),
+            simulator.breakdown.total_system(),
+        ),
+        (
+            "breakdown.refresh_total",
+            oracle.breakdown.refresh_total(),
+            simulator.breakdown.refresh_total(),
+        ),
+        (
+            "breakdown.on_chip_leakage",
+            oracle.breakdown.on_chip_leakage(),
+            simulator.breakdown.on_chip_leakage(),
+        ),
+        (
+            "breakdown.on_chip_dynamic",
+            oracle.breakdown.on_chip_dynamic(),
+            simulator.breakdown.on_chip_dynamic(),
+        ),
+        (
+            "breakdown.dram",
+            oracle.breakdown.dram,
+            simulator.breakdown.dram,
+        ),
+    ] {
+        if x.to_bits() != y.to_bits() {
+            diffs.push(FieldDiff {
+                field: name.to_owned(),
+                oracle: format!("{x:e}"),
+                simulator: format!("{y:e}"),
+            });
+        }
+    }
+
+    // Statistics: every key either side reports must agree exactly.
+    for (k, v) in oracle.stats.iter() {
+        let other = simulator.stats.get(k);
+        if v != other {
+            diffs.push(FieldDiff {
+                field: format!("stats.{k}"),
+                oracle: v.to_string(),
+                simulator: other.to_string(),
+            });
+        }
+    }
+    for (k, v) in simulator.stats.iter() {
+        if oracle.stats.get(k) == 0 && v != 0 {
+            // Keys only the simulator has (the loop above covers the rest).
+            diffs.push(FieldDiff {
+                field: format!("stats.{k}"),
+                oracle: "0".to_owned(),
+                simulator: v.to_string(),
+            });
+        }
+    }
+    diffs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use refrint_energy::accounting::EnergyCounts;
+    use refrint_energy::breakdown::EnergyBreakdown;
+    use refrint_engine::stats::StatRegistry;
+
+    fn report(cycles: u64) -> SimReport {
+        let mut stats = StatRegistry::new();
+        stats.add("dl1.0.hits", 3);
+        SimReport {
+            config_label: "test".into(),
+            workload: "w".into(),
+            execution_cycles: cycles,
+            counts: EnergyCounts {
+                cycles,
+                ..EnergyCounts::default()
+            },
+            breakdown: EnergyBreakdown::default(),
+            stats,
+        }
+    }
+
+    #[test]
+    fn identical_reports_have_no_diffs() {
+        assert!(diff_reports(&report(100), &report(100)).is_empty());
+    }
+
+    #[test]
+    fn every_divergent_field_is_named() {
+        let mut other = report(100);
+        other.execution_cycles = 101;
+        other.counts.l3_refreshes = 7;
+        other.stats.add("dl1.0.hits", 1);
+        other.stats.add("coherence.messages", 5);
+        let diffs = diff_reports(&report(100), &other);
+        let fields: Vec<&str> = diffs.iter().map(|d| d.field.as_str()).collect();
+        assert!(fields.contains(&"execution_cycles"));
+        assert!(fields.contains(&"counts.l3_refreshes"));
+        assert!(fields.contains(&"stats.dl1.0.hits"));
+        assert!(fields.contains(&"stats.coherence.messages"));
+    }
+}

@@ -1,0 +1,81 @@
+//! A naive re-derivation of the off-chip DRAM model: fixed 40-cycle access
+//! latency, line-interleaved channels, and a minimum inter-command gap per
+//! channel that turns bursts of traffic into queueing delay.
+//!
+//! Matching the optimized simulator, only LLC miss *fetches* are issued to
+//! the channel model; write-backs are counted in the energy accounting but
+//! never occupy a channel.
+
+use refrint_engine::stats::StatRegistry;
+use refrint_engine::time::Cycle;
+
+/// Naive fixed-latency, bandwidth-limited DRAM.
+#[derive(Debug, Clone)]
+pub struct OracleDram {
+    access_latency: Cycle,
+    min_gap: Cycle,
+    channel_free_at: Vec<Cycle>,
+    reads: u64,
+    queue_delay_cycles: u64,
+}
+
+impl OracleDram {
+    /// The paper's parameters: 40-cycle access, 4 channels, 4-cycle gap.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        OracleDram {
+            access_latency: Cycle::new(40),
+            min_gap: Cycle::new(4),
+            channel_free_at: vec![Cycle::ZERO; 4],
+            reads: 0,
+            queue_delay_cycles: 0,
+        }
+    }
+
+    /// Issues a line fetch of `line_addr` at `now`; returns the completion
+    /// cycle including any queueing delay on the line's channel.
+    pub fn read(&mut self, line_addr: u64, now: Cycle) -> Cycle {
+        self.reads += 1;
+        let ch = (line_addr % self.channel_free_at.len() as u64) as usize;
+        let start = if now >= self.channel_free_at[ch] {
+            now
+        } else {
+            self.channel_free_at[ch]
+        };
+        self.queue_delay_cycles += (start - now).raw();
+        self.channel_free_at[ch] = start + self.min_gap;
+        start + self.access_latency
+    }
+
+    /// DRAM counters as a [`StatRegistry`] (fired counters only).
+    #[must_use]
+    pub fn stats(&self) -> StatRegistry {
+        let mut out = StatRegistry::new();
+        if self.reads > 0 {
+            out.add("reads", self.reads);
+            out.add("queue_delay_cycles", self.queue_delay_cycles);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_complete_after_the_fixed_latency() {
+        let mut d = OracleDram::paper_default();
+        assert_eq!(d.read(0, Cycle::new(100)), Cycle::new(140));
+    }
+
+    #[test]
+    fn same_channel_back_to_back_queues() {
+        let mut d = OracleDram::paper_default();
+        let first = d.read(4, Cycle::ZERO);
+        let second = d.read(8, Cycle::ZERO); // lines 4 and 8 share channel 0
+        assert_eq!(first, Cycle::new(40));
+        assert_eq!(second, Cycle::new(44));
+        assert_eq!(d.stats().get("queue_delay_cycles"), 4);
+    }
+}

@@ -1,0 +1,68 @@
+//! `refrint-oracle`: an independent, deliberately naive reference model of
+//! the Refrint simulator, plus a randomized differential-conformance
+//! harness.
+//!
+//! Every other correctness test in the workspace checks the optimized
+//! simulator against *itself* (determinism, trace-replay byte-identity,
+//! serve byte-compares), so a semantic bug that predates those tests — or
+//! is introduced by a future hot-path optimisation — would be invisible.
+//! This crate closes that hole the way CounterPoint/AnICA-style work
+//! validates microarchitectural models: by refutation against a second,
+//! independently written implementation.
+//!
+//! # The oracle
+//!
+//! [`OracleSystem`] consumes the same inputs as the optimized simulator
+//! (a [`SystemConfig`](refrint::config::SystemConfig) plus per-thread
+//! reference streams) and produces the same
+//! [`SimReport`](refrint::report::SimReport) — but it is written for
+//! obviousness, not speed:
+//!
+//! * **Retention decay / refresh settlement** walks refresh opportunities
+//!   one at a time through the Figure 4.1 state machine
+//!   ([`decay::OracleDecay`]) instead of the O(1) lazy algebra.
+//! * **Caches** are per-set `Vec<Option<Line>>` with an explicit MRU list
+//!   and a linear-scan LRU victim search ([`cache::OracleCache`]).
+//! * **The directory protocol** keeps owner/sharer state in a
+//!   `HashMap` + `BTreeSet` ([`coherence::OracleDirectory`]).
+//! * **DRAM and energy accounting** are re-derived from first principles
+//!   ([`dram::OracleDram`] and the counter accumulation in
+//!   [`system::OracleSystem`]); only the final counts → joules conversion
+//!   reuses the shared pure function, so diffing the counts covers the
+//!   accounting.
+//! * **NoC hop counts** come from a breadth-first search over the torus
+//!   links rather than closed-form ring distances.
+//!
+//! # The harness
+//!
+//! [`scenario`] generates seeded random scenarios (core count × cache
+//! geometry × cell technology × retention × policy × workload × optional
+//! trace round-trip, including degenerate shapes: one core, single-set
+//! caches, retention at the `RetentionTooShort` boundary). [`harness`]
+//! runs oracle and simulator side by side, diffs the reports field by
+//! field ([`diff`]), and on divergence *shrinks* the scenario (fewer
+//! refs, fewer cores, synthetic instead of trace, smaller caches) to a
+//! minimal repro printed as a ready-to-paste `refrint-cli check
+//! --scenario "…"` command.
+//!
+//! The harness is wired into `tests/conformance.rs` (quick mode, ≥200
+//! scenarios in CI), the `refrint-cli check` subcommand (deep local
+//! runs), and the `conformance` CI job. See `docs/testing.md`.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cache;
+pub mod coherence;
+pub mod decay;
+pub mod diff;
+pub mod dram;
+pub mod harness;
+pub mod refresh;
+pub mod scenario;
+pub mod system;
+
+pub use diff::{diff_reports, FieldDiff};
+pub use harness::{run_check, CheckOutcome, Divergence};
+pub use scenario::{GeometryClass, Scenario};
+pub use system::{Fault, OracleError, OracleSystem};

@@ -1,0 +1,282 @@
+//! The refresh machinery attached to one cache, re-derived naively: the
+//! replay-based decay settlement of [`OracleDecay`], a longhand periodic
+//! group-burst blocking model, and the deterministic interrupt-contention
+//! accumulator.
+
+use refrint_edram::policy::{RefreshPolicy, TimePolicy};
+use refrint_edram::retention::RetentionConfig;
+use refrint_edram::schedule::{LineKind, Settlement};
+use refrint_energy::tech::CellTech;
+use refrint_engine::time::Cycle;
+use refrint_mem::config::CacheLevelConfig;
+
+use crate::decay::OracleDecay;
+use crate::system::OracleError;
+
+/// Longhand periodic group-burst timing: each retention period every
+/// sub-array is refreshed as a contiguous burst of one cycle per line,
+/// bursts spaced evenly across the period.
+#[derive(Debug, Clone, Copy)]
+struct OracleBurst {
+    retention: Cycle,
+    groups: u64,
+    lines_per_group: u64,
+}
+
+impl OracleBurst {
+    fn spacing(&self) -> Cycle {
+        self.retention / self.groups
+    }
+
+    /// The stall an access to `line_index`'s sub-array sees at `now`, with
+    /// the refresh engine yielding after at most `window` line refreshes.
+    fn access_delay(&self, now: Cycle, line_index: u64, window: Cycle) -> Cycle {
+        let spacing = self.spacing();
+        let phase = now % spacing;
+        let burst_len = Cycle::new(self.lines_per_group);
+        if phase >= burst_len {
+            return Cycle::ZERO;
+        }
+        let busy_group = (now % self.retention).div_span(spacing) % self.groups;
+        if busy_group == line_index % self.groups {
+            (burst_len - phase).min(window)
+        } else {
+            Cycle::ZERO
+        }
+    }
+}
+
+/// Refresh machinery of one physical cache (an L1, an L2, or one L3 bank).
+#[derive(Debug, Clone)]
+pub struct OracleRefresh {
+    decay: Option<OracleDecay>,
+    burst: Option<OracleBurst>,
+    /// Deterministic interrupt-contention accumulator (Refrint timing):
+    /// fractional expected stalls accumulate until a whole cycle is
+    /// charged.
+    contention: f64,
+    lines: u64,
+    bulk_all: bool,
+}
+
+impl OracleRefresh {
+    /// Binds `policy` to the cache level `cfg` describes. SRAM gets inert
+    /// machinery; eDRAM gets the replay decay plus, for Periodic timing,
+    /// the group-burst blocking model.
+    ///
+    /// # Errors
+    ///
+    /// [`OracleError::InvalidConfig`] if a Periodic burst period is too
+    /// short to refresh the whole array — the same rule the optimized
+    /// simulator enforces.
+    pub fn new(
+        cfg: &CacheLevelConfig,
+        policy: RefreshPolicy,
+        retention: RetentionConfig,
+        cells: CellTech,
+        phase_offset: Cycle,
+    ) -> Result<Self, OracleError> {
+        let lines = cfg.geometry.num_lines();
+        if !cells.needs_refresh() {
+            return Ok(OracleRefresh {
+                decay: None,
+                burst: None,
+                contention: 0.0,
+                lines,
+                bulk_all: false,
+            });
+        }
+        let retention_cycles = retention.line_retention_cycles();
+        // The paper's conservative sentry margin: one cycle per line.
+        let margin = Cycle::new(lines.min(retention_cycles.raw().saturating_sub(1)));
+        let decay = OracleDecay::new(policy, retention_cycles, margin, phase_offset);
+        let burst = match policy.time {
+            TimePolicy::Periodic => {
+                let work = u64::from(cfg.subarrays) * cfg.lines_per_refresh_group();
+                if retention_cycles.raw() < work.max(1) {
+                    return Err(OracleError::InvalidConfig(format!(
+                        "periodic burst period of {} cycles cannot cover {work} cycles of \
+                         refresh work",
+                        retention_cycles.raw()
+                    )));
+                }
+                Some(OracleBurst {
+                    retention: retention_cycles,
+                    groups: u64::from(cfg.subarrays),
+                    lines_per_group: cfg.lines_per_refresh_group(),
+                })
+            }
+            TimePolicy::Refrint => None,
+        };
+        Ok(OracleRefresh {
+            decay: Some(decay),
+            burst,
+            contention: 0.0,
+            lines,
+            bulk_all: policy.data.refreshes_invalid_lines(),
+        })
+    }
+
+    /// Enables the injected decay off-by-one (validation aid).
+    pub(crate) fn inject_clean_budget_off_by_one(&mut self) {
+        if let Some(decay) = &mut self.decay {
+            decay.inject_clean_budget_off_by_one();
+        }
+    }
+
+    /// Whether this cache refreshes at all (i.e. is eDRAM).
+    #[must_use]
+    pub fn is_edram(&self) -> bool {
+        self.decay.is_some()
+    }
+
+    /// Whether the refresh engine runs globally scheduled group bursts.
+    #[must_use]
+    pub fn is_globally_bursting(&self) -> bool {
+        self.burst.is_some()
+    }
+
+    /// Whether refresh energy is accounted in bulk (the `All` data policy).
+    #[must_use]
+    pub fn is_bulk_all(&self) -> bool {
+        self.bulk_all
+    }
+
+    /// Extra access latency at `now` for an access to `line_index`: the
+    /// remaining (preemptible) burst time under Periodic, the expected
+    /// interrupt contention under Refrint.
+    pub fn access_penalty(&mut self, now: Cycle, line_index: u64) -> Cycle {
+        if let Some(burst) = self.burst {
+            // The refresh engine yields to demand accesses after at most
+            // 256 line refreshes, exactly as in the optimized model.
+            return burst.access_delay(now, line_index, Cycle::new(256));
+        }
+        let Some(decay) = &self.decay else {
+            return Cycle::ZERO;
+        };
+        // Expected pending interrupts overlapping this access:
+        // lines / (64 * opportunity period), accumulated into whole stall
+        // cycles at the correct long-run rate.
+        let window = decay.opportunity_period() * 64;
+        if window == Cycle::ZERO || self.lines == 0 {
+            return Cycle::ZERO;
+        }
+        self.contention += self.lines as f64 / window.raw() as f64;
+        if self.contention >= 1.0 {
+            let whole = self.contention.floor();
+            self.contention -= whole;
+            Cycle::new(whole as u64)
+        } else {
+            Cycle::ZERO
+        }
+    }
+
+    /// Settles an idle line between `touch` and `now` by replay. Inert for
+    /// SRAM and for bulk-accounted `All` policies.
+    #[must_use]
+    pub fn settle(&self, kind: LineKind, touch: Cycle, now: Cycle) -> Settlement {
+        if self.bulk_all {
+            return Settlement::nothing(kind);
+        }
+        match &self.decay {
+            Some(decay) => decay.settle(kind, touch, now),
+            None => Settlement::nothing(kind),
+        }
+    }
+
+    /// When the policy will invalidate an idle line of `kind` touched at
+    /// `touch`, if ever.
+    #[must_use]
+    pub fn invalidation_time(&self, kind: LineKind, touch: Cycle) -> Option<Cycle> {
+        self.decay
+            .as_ref()
+            .and_then(|d| d.invalidation_time(kind, touch))
+    }
+
+    /// Bulk refresh count for the whole cache over `(0, end]`.
+    #[must_use]
+    pub fn bulk_refreshes(&self, end: Cycle) -> u64 {
+        match &self.decay {
+            Some(decay) => self.lines * decay.opportunities_between(Cycle::ZERO, end),
+            None => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use refrint_edram::policy::DataPolicy;
+
+    fn l3() -> CacheLevelConfig {
+        CacheLevelConfig::paper_l3_bank()
+    }
+
+    #[test]
+    fn sram_is_inert() {
+        let mut r = OracleRefresh::new(
+            &l3(),
+            RefreshPolicy::recommended(),
+            RetentionConfig::microseconds_50(),
+            CellTech::Sram,
+            Cycle::ZERO,
+        )
+        .unwrap();
+        assert!(!r.is_edram());
+        assert_eq!(r.access_penalty(Cycle::new(5), 0), Cycle::ZERO);
+        assert_eq!(r.bulk_refreshes(Cycle::new(1_000_000)), 0);
+    }
+
+    #[test]
+    fn periodic_bursts_block_their_own_subarray() {
+        let mut r = OracleRefresh::new(
+            &l3(),
+            RefreshPolicy::edram_baseline(),
+            RetentionConfig::microseconds_50(),
+            CellTech::Edram,
+            Cycle::ZERO,
+        )
+        .unwrap();
+        assert!(r.is_globally_bursting());
+        assert!(r.access_penalty(Cycle::ZERO, 0) > Cycle::ZERO);
+        assert_eq!(r.access_penalty(Cycle::ZERO, 1), Cycle::ZERO);
+    }
+
+    #[test]
+    fn all_policy_uses_bulk_accounting() {
+        let r = OracleRefresh::new(
+            &l3(),
+            RefreshPolicy::edram_baseline(),
+            RetentionConfig::microseconds_50(),
+            CellTech::Edram,
+            Cycle::ZERO,
+        )
+        .unwrap();
+        assert!(r.is_bulk_all());
+        assert_eq!(
+            r.settle(LineKind::Clean, Cycle::ZERO, Cycle::new(1_000_000)),
+            Settlement::nothing(LineKind::Clean)
+        );
+        assert_eq!(r.bulk_refreshes(Cycle::new(500_000)), 16 * 1024 * 10);
+    }
+
+    #[test]
+    fn overcommitted_burst_period_is_a_typed_error() {
+        // 10 ns retention cannot cover the paper L3 bank's 16K cycles of
+        // refresh work per period.
+        let retention = RetentionConfig::new(
+            refrint_engine::time::SimDuration::from_nanos(10),
+            refrint_engine::time::Freq::gigahertz(1),
+        )
+        .unwrap();
+        let err = OracleRefresh::new(
+            &l3(),
+            RefreshPolicy::new(TimePolicy::Periodic, DataPolicy::Dirty),
+            retention,
+            CellTech::Edram,
+            Cycle::ZERO,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("burst period"), "{err}");
+    }
+}

@@ -1,0 +1,379 @@
+//! Seeded random conformance scenarios.
+//!
+//! A [`Scenario`] is one fully concrete differential test case: a chip
+//! shape (core count × cache geometry class), a cell technology, a
+//! retention point, a refresh policy, a workload, and whether the run goes
+//! through a trace capture/replay round trip. Scenarios deliberately
+//! include the degenerate shapes the optimized code paths are most likely
+//! to get wrong: one core, single-set caches, and retention at the
+//! `RetentionTooShort` boundary (a one-cycle sentry period).
+//!
+//! Every scenario serialises to a compact `key=value` spec string, so a
+//! failing (possibly shrunk) case reproduces with a ready-to-paste
+//! `refrint-cli check --scenario "…"` command.
+
+use std::fmt;
+use std::str::FromStr;
+
+use refrint::config::SystemConfig;
+use refrint_edram::policy::{DataPolicy, RefreshPolicy, TimePolicy};
+use refrint_edram::retention::RetentionConfig;
+use refrint_energy::tech::CellTech;
+use refrint_engine::rng::DeterministicRng;
+use refrint_engine::time::{Freq, SimDuration};
+use refrint_mem::config::CacheGeometry;
+use refrint_workloads::apps::AppPreset;
+
+/// The cache-geometry shape of a scenario's chip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GeometryClass {
+    /// The paper's Table 5.1 hierarchy (32 KB L1s, 256 KB L2, 1 MB banks).
+    Paper,
+    /// A scaled-down hierarchy (1 KB / 4 KB / 16 KB) that fills and evicts
+    /// quickly.
+    Small,
+    /// Degenerate single-set caches (2-line DL1, 8-line L2 and L3 bank).
+    Mini,
+}
+
+impl GeometryClass {
+    /// All classes, smallest state last (the shrink direction).
+    pub const ALL: [GeometryClass; 3] = [
+        GeometryClass::Paper,
+        GeometryClass::Small,
+        GeometryClass::Mini,
+    ];
+
+    /// The spec-string label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            GeometryClass::Paper => "paper",
+            GeometryClass::Small => "small",
+            GeometryClass::Mini => "mini",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|g| g.label() == s)
+    }
+
+    /// Overwrites `cfg`'s cache geometries with this class's shape.
+    fn apply(self, cfg: &mut SystemConfig) {
+        let geom = |size: u64, ways: u8| {
+            CacheGeometry::new(size, ways, 64).expect("scenario geometries are valid")
+        };
+        match self {
+            GeometryClass::Paper => {}
+            GeometryClass::Small => {
+                cfg.il1.geometry = geom(1024, 2);
+                cfg.dl1.geometry = geom(1024, 2);
+                cfg.l2.geometry = geom(4 * 1024, 4);
+                cfg.l3_bank.geometry = geom(16 * 1024, 8);
+            }
+            GeometryClass::Mini => {
+                cfg.il1.geometry = geom(128, 2);
+                cfg.dl1.geometry = geom(128, 2);
+                cfg.l2.geometry = geom(512, 8);
+                cfg.l3_bank.geometry = geom(512, 8);
+            }
+        }
+    }
+
+    /// The retention points (in cycles at 1 GHz, i.e. nanoseconds) swept
+    /// for this geometry. The first is the `RetentionTooShort` boundary:
+    /// one cycle more than the L3 bank's sentry margin.
+    fn retention_points(self) -> [u64; 4] {
+        match self {
+            // Paper L3 bank: 16K lines -> margin 16384.
+            GeometryClass::Paper => [16_385, 50_000, 100_000, 200_000],
+            // Small L3 bank: 256 lines -> margin 256.
+            GeometryClass::Small => [257, 1_000, 5_000, 50_000],
+            // Mini L3 bank: 8 lines -> margin 8.
+            GeometryClass::Mini => [9, 64, 1_000, 50_000],
+        }
+    }
+}
+
+/// One concrete conformance scenario.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Scenario {
+    /// Workload (and cache-seed) base.
+    pub seed: u64,
+    /// Core / L3-bank count.
+    pub cores: usize,
+    /// References per thread.
+    pub refs_per_thread: u64,
+    /// Application preset driving the synthetic streams.
+    pub app: AppPreset,
+    /// Cell technology.
+    pub cells: CellTech,
+    /// L3 refresh policy descriptor (ignored for SRAM).
+    pub policy: RefreshPolicy,
+    /// Retention period in nanoseconds at 1 GHz (= cycles).
+    pub retention_ns: u64,
+    /// Cache geometry class.
+    pub geometry: GeometryClass,
+    /// Whether the run goes through a trace capture/replay round trip.
+    pub via_trace: bool,
+}
+
+impl Scenario {
+    /// Generates the `index`-th scenario of the stream seeded by
+    /// `master_seed`. The same `(master_seed, index)` always yields the
+    /// same scenario.
+    #[must_use]
+    pub fn generate(master_seed: u64, index: u64) -> Self {
+        let mut rng = DeterministicRng::from_seed(master_seed).fork(index + 1);
+        let geometry = GeometryClass::ALL[rng.weighted_index(&[0.2, 0.4, 0.4])];
+        let cells = if rng.chance(0.12) {
+            CellTech::Sram
+        } else {
+            CellTech::Edram
+        };
+        let time = if rng.chance(0.5) {
+            TimePolicy::Periodic
+        } else {
+            TimePolicy::Refrint
+        };
+        let data = match rng.below(8) {
+            0 => DataPolicy::All,
+            1 => DataPolicy::Valid,
+            2 => DataPolicy::Dirty,
+            3 => DataPolicy::write_back(0, 0),
+            4 => DataPolicy::write_back(1, 1),
+            5 => DataPolicy::write_back(4, 4),
+            6 => DataPolicy::write_back(32, 32),
+            _ => DataPolicy::write_back(rng.below(8) as u32, rng.below(8) as u32),
+        };
+        let retention_ns =
+            geometry.retention_points()[rng.weighted_index(&[0.25, 0.25, 0.25, 0.25])];
+        let cores = *[1usize, 2, 4, 8, 16]
+            .get(rng.weighted_index(&[0.2, 0.3, 0.3, 0.1, 0.1]))
+            .expect("weight count matches");
+        let boundary = retention_ns == geometry.retention_points()[0];
+        let refs_cap = if boundary || cores >= 8 { 300 } else { 1_200 };
+        let refs_per_thread = (120 + rng.below(1_081)).min(refs_cap);
+        let app = AppPreset::ALL[rng.below(AppPreset::ALL.len() as u64) as usize];
+        Scenario {
+            seed: rng.next_u64(),
+            cores,
+            refs_per_thread,
+            app,
+            cells,
+            policy: RefreshPolicy::new(time, data),
+            retention_ns,
+            geometry,
+            via_trace: rng.chance(0.25),
+        }
+    }
+
+    /// The [`SystemConfig`] this scenario describes.
+    #[must_use]
+    pub fn config(&self) -> SystemConfig {
+        let mut cfg = SystemConfig::sram_baseline()
+            .with_cells(self.cells)
+            .with_policy(self.policy)
+            .with_cores(self.cores)
+            .with_seed(self.seed)
+            .with_scale(self.refs_per_thread);
+        cfg = cfg.with_retention(
+            RetentionConfig::new(
+                SimDuration::from_nanos(self.retention_ns),
+                Freq::gigahertz(1),
+            )
+            .expect("scenario retention points are at least one cycle"),
+        );
+        self.geometry.apply(&mut cfg);
+        cfg
+    }
+
+    /// The compact spec string this scenario round-trips through
+    /// ([`Scenario::from_spec`]); whitespace-separated `key=value` pairs.
+    #[must_use]
+    pub fn spec(&self) -> String {
+        format!(
+            "app={} cores={} refs={} cells={} policy={} retention-ns={} geom={} trace={} seed={}",
+            self.app.name(),
+            self.cores,
+            self.refs_per_thread,
+            match self.cells {
+                CellTech::Sram => "sram",
+                CellTech::Edram => "edram",
+            },
+            self.policy.label(),
+            self.retention_ns,
+            self.geometry.label(),
+            self.via_trace,
+            self.seed,
+        )
+    }
+
+    /// Parses a spec string produced by [`Scenario::spec`].
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first malformed pair.
+    pub fn from_spec(spec: &str) -> Result<Self, String> {
+        // Defaults for omitted keys: the smallest interesting scenario.
+        let mut s = Scenario {
+            seed: 1,
+            cores: 2,
+            refs_per_thread: 400,
+            app: AppPreset::Lu,
+            cells: CellTech::Edram,
+            policy: RefreshPolicy::recommended(),
+            retention_ns: 50_000,
+            geometry: GeometryClass::Small,
+            via_trace: false,
+        };
+        for pair in spec.split_whitespace() {
+            let (key, value) = pair
+                .split_once('=')
+                .ok_or_else(|| format!("`{pair}` is not a key=value pair"))?;
+            let bad = |what: &str| format!("bad {what} `{value}` in `{pair}`");
+            match key {
+                "app" => s.app = AppPreset::from_str(value).map_err(|_| bad("app"))?,
+                "cores" => s.cores = value.parse().map_err(|_| bad("core count"))?,
+                "refs" => s.refs_per_thread = value.parse().map_err(|_| bad("ref count"))?,
+                "cells" => {
+                    s.cells = match value {
+                        "sram" => CellTech::Sram,
+                        "edram" => CellTech::Edram,
+                        _ => return Err(bad("cell technology")),
+                    }
+                }
+                "policy" => s.policy = value.parse().map_err(|_| bad("policy label"))?,
+                "retention-ns" => s.retention_ns = value.parse().map_err(|_| bad("retention"))?,
+                "geom" => {
+                    s.geometry = GeometryClass::parse(value).ok_or_else(|| bad("geometry"))?
+                }
+                "trace" => s.via_trace = value.parse().map_err(|_| bad("trace flag"))?,
+                "seed" => s.seed = value.parse().map_err(|_| bad("seed"))?,
+                other => return Err(format!("unknown scenario key `{other}`")),
+            }
+        }
+        Ok(s)
+    }
+
+    /// The ready-to-paste command that re-runs exactly this scenario.
+    #[must_use]
+    pub fn repro_command(&self) -> String {
+        format!("refrint-cli check --scenario \"{}\"", self.spec())
+    }
+
+    /// Candidate simplifications, most aggressive first. Each changes one
+    /// axis; the shrinker keeps a candidate only if it still diverges.
+    #[must_use]
+    pub fn shrink_candidates(&self) -> Vec<Scenario> {
+        let mut out = Vec::new();
+        if self.refs_per_thread > 100 {
+            out.push(Scenario {
+                refs_per_thread: (self.refs_per_thread / 2).max(50),
+                ..self.clone()
+            });
+        }
+        if self.cores > 1 {
+            out.push(Scenario {
+                cores: match self.cores {
+                    16 | 8 => 4,
+                    4 => 2,
+                    _ => 1,
+                },
+                ..self.clone()
+            });
+        }
+        if self.via_trace {
+            out.push(Scenario {
+                via_trace: false,
+                ..self.clone()
+            });
+        }
+        match self.geometry {
+            GeometryClass::Paper => out.push(Scenario {
+                geometry: GeometryClass::Small,
+                retention_ns: self.retention_ns.max(257),
+                ..self.clone()
+            }),
+            GeometryClass::Small => out.push(Scenario {
+                geometry: GeometryClass::Mini,
+                ..self.clone()
+            }),
+            GeometryClass::Mini => {}
+        }
+        if self.app != AppPreset::Lu {
+            out.push(Scenario {
+                app: AppPreset::Lu,
+                ..self.clone()
+            });
+        }
+        out
+    }
+}
+
+impl fmt::Display for Scenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.spec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_and_valid() {
+        for i in 0..64 {
+            let a = Scenario::generate(0xC0FFEE, i);
+            let b = Scenario::generate(0xC0FFEE, i);
+            assert_eq!(a, b);
+            a.config().validate_typed().expect("scenario must be valid");
+        }
+    }
+
+    #[test]
+    fn spec_round_trips() {
+        for i in 0..64 {
+            let s = Scenario::generate(42, i);
+            let parsed = Scenario::from_spec(&s.spec()).unwrap();
+            assert_eq!(parsed, s, "spec `{}`", s.spec());
+        }
+    }
+
+    #[test]
+    fn degenerate_shapes_are_reachable() {
+        let scenarios: Vec<Scenario> = (0..256).map(|i| Scenario::generate(7, i)).collect();
+        assert!(scenarios.iter().any(|s| s.cores == 1), "1-core scenarios");
+        assert!(
+            scenarios.iter().any(|s| s.geometry == GeometryClass::Mini),
+            "single-set caches"
+        );
+        assert!(
+            scenarios
+                .iter()
+                .any(|s| s.retention_ns == s.geometry.retention_points()[0]),
+            "retention at the RetentionTooShort boundary"
+        );
+        assert!(scenarios.iter().any(|s| s.via_trace), "trace round trips");
+        assert!(
+            scenarios.iter().any(|s| s.cells == CellTech::Sram),
+            "SRAM scenarios"
+        );
+    }
+
+    #[test]
+    fn shrink_candidates_are_strictly_simpler() {
+        let s = Scenario::generate(1, 3);
+        for c in s.shrink_candidates() {
+            assert_ne!(c, s);
+            c.config().validate_typed().expect("shrunk scenario valid");
+        }
+    }
+
+    #[test]
+    fn malformed_specs_are_described() {
+        assert!(Scenario::from_spec("nonsense").is_err());
+        assert!(Scenario::from_spec("cores=zero").is_err());
+        assert!(Scenario::from_spec("planet=mars").is_err());
+    }
+}

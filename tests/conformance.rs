@@ -1,0 +1,75 @@
+//! Differential conformance: the optimized simulator against the
+//! independent `refrint-oracle` reference model.
+//!
+//! Quick mode runs 200 seeded random scenarios (config × geometry ×
+//! retention × policy × workload × optional trace round trip, including
+//! 1-core chips, single-set caches and retention at the
+//! `RetentionTooShort` boundary) and requires the two implementations to
+//! agree on every `SimReport` field. Deep local runs go through
+//! `refrint-cli check --seed N --scenarios N`.
+//!
+//! Override the scenario count with `REFRINT_CONFORMANCE_SCENARIOS` (the
+//! `conformance` CI job and local soak runs use this).
+
+use refrint_oracle::harness::run_check;
+use refrint_oracle::system::Fault;
+
+/// The fixed seed CI uses; `refrint-cli check` defaults to it too.
+const CI_SEED: u64 = 0xC0FFEE;
+
+fn scenario_count() -> u64 {
+    std::env::var("REFRINT_CONFORMANCE_SCENARIOS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200)
+}
+
+#[test]
+fn oracle_and_simulator_agree_on_seeded_scenarios() {
+    let count = scenario_count();
+    let outcome = run_check(CI_SEED, count, None, |_, _| {}).expect("scenarios must run");
+    assert_eq!(outcome.scenarios_run, count);
+    if let Some(divergence) = outcome.divergence {
+        panic!("{divergence}");
+    }
+}
+
+/// The harness has teeth: an oracle with an injected off-by-one in decay
+/// settlement (one extra refresh before a clean line is invalidated) is
+/// caught within the quick-mode budget and shrunk to a small repro with a
+/// ready-to-paste command.
+#[test]
+fn injected_decay_off_by_one_is_caught_and_shrunk() {
+    let outcome = run_check(
+        CI_SEED,
+        200,
+        Some(Fault::DecayCleanBudgetOffByOne),
+        |_, _| {},
+    )
+    .expect("scenarios must run");
+    let divergence = outcome
+        .divergence
+        .expect("the injected off-by-one must be caught");
+    assert!(
+        divergence.scenario.spec() == divergence.shrunk.spec() || divergence.shrink_steps > 0,
+        "shrinking must either simplify or already be minimal"
+    );
+    // The acceptance bar: a <= 4-core, <= 1k-ref repro.
+    assert!(
+        divergence.shrunk.cores <= 4,
+        "shrunk repro uses {} cores: {}",
+        divergence.shrunk.cores,
+        divergence.shrunk.spec()
+    );
+    assert!(
+        divergence.shrunk.refs_per_thread <= 1_000,
+        "shrunk repro uses {} refs: {}",
+        divergence.shrunk.refs_per_thread,
+        divergence.shrunk.spec()
+    );
+    let rendered = divergence.to_string();
+    assert!(
+        rendered.contains("refrint-cli check --scenario"),
+        "{rendered}"
+    );
+}

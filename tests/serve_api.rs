@@ -444,3 +444,69 @@ fn cli_serve_options_reach_the_server() {
     assert_eq!(response.status, 413);
     server.shutdown();
 }
+
+/// Cache-key conformance: the canonical key is derived from the *validated*
+/// configuration, so requests that spell the same run differently — any
+/// field order, defaults written out explicitly — must hit the cache and
+/// return the first run's exact bytes.
+#[test]
+fn cache_key_ignores_field_order_and_spelled_out_defaults() {
+    let server = start(ServerOptions::default());
+    let addr = server.addr();
+
+    let canonical = client::post(
+        addr,
+        "/run",
+        b"{\"app\": \"radix\", \"refs\": 400, \"cores\": 2}",
+    )
+    .unwrap();
+    assert_eq!(canonical.status, 200, "{}", canonical.body_str());
+    assert_eq!(canonical.header("X-Refrint-Cache"), Some("miss"));
+    assert_eq!(
+        canonical.body,
+        direct_run_bytes(AppPreset::Radix, 400, 2, None),
+        "the first run must match the CLI's JSON bytes"
+    );
+
+    // The same run, spelled differently: permuted field order, and every
+    // default of the /run schema written out explicitly (eDRAM cells, the
+    // recommended policy, 50 us retention, the default seed 0xBEEF, sync
+    // mode).
+    let equivalent_bodies: &[&[u8]] = &[
+        b"{\"cores\": 2, \"app\": \"radix\", \"refs\": 400}",
+        b"{\"refs\": 400, \"cores\": 2, \"app\": \"radix\"}",
+        b"{\"app\": \"radix\", \"refs\": 400, \"cores\": 2, \"sram\": false, \
+          \"policy\": \"R.WB(32,32)\", \"retention_us\": 50, \"seed\": 48879, \
+          \"mode\": \"sync\"}",
+        b"{\"seed\": 48879, \"mode\": \"sync\", \"retention_us\": 50, \
+          \"policy\": \"R.WB(32,32)\", \"sram\": false, \"cores\": 2, \
+          \"refs\": 400, \"app\": \"radix\"}",
+    ];
+    for body in equivalent_bodies {
+        let response = client::post(addr, "/run", body).unwrap();
+        let spelled = String::from_utf8_lossy(body);
+        assert_eq!(response.status, 200, "{spelled}: {}", response.body_str());
+        assert_eq!(
+            response.header("X-Refrint-Cache"),
+            Some("hit"),
+            "`{spelled}` must resolve to the canonical cache key"
+        );
+        assert_eq!(
+            response.body, canonical.body,
+            "`{spelled}` must return the original run's exact bytes"
+        );
+    }
+
+    // A genuinely different run (another seed) must not collide.
+    let different = client::post(
+        addr,
+        "/run",
+        b"{\"app\": \"radix\", \"refs\": 400, \"cores\": 2, \"seed\": 7}",
+    )
+    .unwrap();
+    assert_eq!(different.status, 200, "{}", different.body_str());
+    assert_eq!(different.header("X-Refrint-Cache"), Some("miss"));
+    assert_ne!(different.body, canonical.body);
+
+    server.shutdown();
+}
