@@ -17,7 +17,7 @@
 
 use std::time::Instant;
 
-use refrint::simulation::{Simulation, SimulationBuilder};
+use refrint::simulation::{ObsConfig, Simulation, SimulationBuilder};
 use refrint_workloads::apps::AppPreset;
 
 /// How a scenario drives the simulator.
@@ -154,11 +154,29 @@ pub struct Measurement {
     pub execution_cycles: u64,
 }
 
+/// The observability setting the `REFRINT_OBS` environment variable asks
+/// for: unset/`off` disables the recorder, `default` samples every 64th
+/// event, `full` samples everything. The CI `obs-smoke` job uses this to
+/// measure instrumentation overhead with the very same `perfgate` flow —
+/// `execution_cycles` must match the baseline exactly (recording never
+/// perturbs), and refs/sec must stay within the gate's tolerance.
+fn obs_from_env() -> Option<ObsConfig> {
+    match std::env::var("REFRINT_OBS").as_deref() {
+        Ok("default") => Some(ObsConfig::default()),
+        Ok("full") => Some(ObsConfig::full()),
+        Ok("off") | Ok("") | Err(_) => None,
+        Ok(other) => panic!("REFRINT_OBS must be off/default/full, not `{other}`"),
+    }
+}
+
 fn builder_for(s: &Scenario, effort: Effort) -> SimulationBuilder {
-    let b = Simulation::builder()
+    let mut b = Simulation::builder()
         .cores(16)
         .seed(7)
         .refs_per_thread(effort.refs_per_thread());
+    if let Some(obs) = obs_from_env() {
+        b = b.observability(obs);
+    }
     match s.chip {
         Chip::Sram => b.sram_baseline(),
         Chip::EdramRecommended => b.edram_recommended(),

@@ -12,7 +12,7 @@
 use std::path::PathBuf;
 
 use refrint::experiment::ExperimentConfig;
-use refrint::simulation::{Simulation, SimulationBuilder};
+use refrint::simulation::{ObsConfig, Simulation, SimulationBuilder};
 use refrint_edram::model::PolicyRegistry;
 use refrint_edram::policy::RefreshPolicy;
 use refrint_trace::TraceFormat;
@@ -115,6 +115,9 @@ pub struct RunOptions {
     pub refs: Option<u64>,
     /// Workload seed, if overridden.
     pub seed: Option<u64>,
+    /// Print the observability attribution table to stderr after the
+    /// report (`--timing`; default sampling, stdout bytes unchanged).
+    pub timing: bool,
     /// Output rendering.
     pub format: OutputFormat,
 }
@@ -152,6 +155,7 @@ impl RunOptions {
             retention_us,
             refs,
             seed,
+            timing: has_flag(args, "--timing"),
             format: parse_format(args)?,
         })
     }
@@ -176,7 +180,129 @@ impl RunOptions {
         if let Some(seed) = self.seed {
             builder = builder.seed(seed);
         }
+        if self.timing {
+            builder = builder.observability(ObsConfig::default());
+        }
         builder
+    }
+}
+
+/// Options of the `obs` subcommand: one fully-sampled run whose product is
+/// the observability export (OTLP-shaped JSON by default, the attribution
+/// table with `--format text`) rather than the simulation report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObsOptions {
+    /// The application to run.
+    pub app: AppPreset,
+    /// Use SRAM cells (the no-refresh baseline).
+    pub sram: bool,
+    /// Refresh policy label, if overridden.
+    pub policy: Option<RefreshPolicy>,
+    /// Retention time in microseconds, if overridden.
+    pub retention_us: Option<u64>,
+    /// References per thread, if overridden.
+    pub refs: Option<u64>,
+    /// Workload seed, if overridden.
+    pub seed: Option<u64>,
+    /// Simulated cores, if overridden.
+    pub cores: Option<usize>,
+    /// Sample every Nth event (default 1: full sampling).
+    pub sample_every: u32,
+    /// Output rendering (JSON by default, unlike `run`).
+    pub format: OutputFormat,
+}
+
+impl ObsOptions {
+    /// Parses `obs` subcommand arguments.
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage message for missing/invalid options.
+    pub fn parse(args: &[String]) -> Result<Self, String> {
+        let app: AppPreset = opt_value(args, "--app")
+            .ok_or("obs requires --app <name>")?
+            .parse()
+            .map_err(|e| format!("{e}"))?;
+        let sram = has_flag(args, "--sram");
+        let policy = match opt_value(args, "--policy") {
+            Some(p) => Some(parse_policy(&p)?),
+            None => None,
+        };
+        let retention_us = match opt_value(args, "--retention") {
+            Some(r) => Some(r.parse().map_err(|_| format!("bad retention `{r}`"))?),
+            None => None,
+        };
+        let refs = match opt_value(args, "--refs") {
+            Some(n) => Some(n.parse().map_err(|_| format!("bad --refs `{n}`"))?),
+            None => None,
+        };
+        let seed = match opt_value(args, "--seed") {
+            Some(s) => Some(s.parse().map_err(|_| format!("bad --seed `{s}`"))?),
+            None => None,
+        };
+        let cores = match opt_value(args, "--cores") {
+            Some(c) => Some(c.parse().map_err(|_| format!("bad --cores `{c}`"))?),
+            None => None,
+        };
+        let sample_every = match opt_value(args, "--sample") {
+            None => 1,
+            Some(v) => {
+                let n: u32 = v.parse().map_err(|_| format!("bad --sample `{v}`"))?;
+                if n == 0 {
+                    return Err("--sample must be at least 1".into());
+                }
+                n
+            }
+        };
+        // The export is the point of this subcommand, so JSON is the
+        // default; `--format text` prints the attribution table instead.
+        let format = match opt_value(args, "--format").as_deref() {
+            None | Some("json") => OutputFormat::Json,
+            Some("text") => OutputFormat::Text,
+            Some(other) => {
+                return Err(format!(
+                    "unknown --format `{other}` (expected `text` or `json`)"
+                ))
+            }
+        };
+        Ok(ObsOptions {
+            app,
+            sram,
+            policy,
+            retention_us,
+            refs,
+            seed,
+            cores,
+            sample_every,
+            format,
+        })
+    }
+
+    /// The simulation builder these options describe, observability
+    /// enabled at the requested sampling rate.
+    #[must_use]
+    pub fn builder(&self) -> SimulationBuilder {
+        let mut builder = if self.sram {
+            Simulation::builder().sram_baseline()
+        } else {
+            Simulation::builder().edram_recommended()
+        };
+        if let Some(policy) = self.policy {
+            builder = builder.policy(policy);
+        }
+        if let Some(us) = self.retention_us {
+            builder = builder.retention_us(us);
+        }
+        if let Some(refs) = self.refs {
+            builder = builder.refs_per_thread(refs);
+        }
+        if let Some(seed) = self.seed {
+            builder = builder.seed(seed);
+        }
+        if let Some(cores) = self.cores {
+            builder = builder.cores(cores);
+        }
+        builder.observability(ObsConfig::sampled(self.sample_every))
     }
 }
 
@@ -686,6 +812,60 @@ mod tests {
         assert_eq!(opts.format, OutputFormat::Json);
         let opts = SweepOptions::parse(&args(&["--format", "json"])).unwrap();
         assert_eq!(opts.format, OutputFormat::Json);
+    }
+
+    #[test]
+    fn run_timing_flag_parses() {
+        let opts = RunOptions::parse(&args(&["--app", "lu"])).unwrap();
+        assert!(!opts.timing);
+        let opts = RunOptions::parse(&args(&["--app", "lu", "--timing"])).unwrap();
+        assert!(opts.timing);
+        // --timing must not change the simulated configuration.
+        let config = opts.builder().build_config().unwrap();
+        assert_eq!(config.label(), "eDRAM 50us R.WB(32,32)");
+    }
+
+    #[test]
+    fn obs_options_parse_and_build() {
+        let opts = ObsOptions::parse(&args(&[
+            "--app",
+            "fft",
+            "--policy",
+            "P.all",
+            "--retention",
+            "200",
+            "--refs",
+            "800",
+            "--seed",
+            "11",
+            "--cores",
+            "4",
+        ]))
+        .unwrap();
+        assert_eq!(opts.app, AppPreset::Fft);
+        assert_eq!(opts.sample_every, 1, "obs defaults to full sampling");
+        assert_eq!(opts.format, OutputFormat::Json, "obs defaults to JSON");
+        let config = opts.builder().build_config().unwrap();
+        assert_eq!(config.label(), "eDRAM 200us P.all");
+        assert_eq!(config.cores, 4);
+        assert_eq!(config.seed, 11);
+
+        let opts = ObsOptions::parse(&args(&[
+            "--app", "lu", "--sample", "64", "--format", "text",
+        ]))
+        .unwrap();
+        assert_eq!(opts.sample_every, 64);
+        assert_eq!(opts.format, OutputFormat::Text);
+
+        assert!(ObsOptions::parse(&args(&[])).unwrap_err().contains("--app"));
+        assert!(ObsOptions::parse(&args(&["--app", "lu", "--sample", "0"]))
+            .unwrap_err()
+            .contains("--sample"));
+        assert!(
+            ObsOptions::parse(&args(&["--app", "lu", "--format", "xml"]))
+                .unwrap_err()
+                .contains("xml")
+        );
     }
 
     #[test]

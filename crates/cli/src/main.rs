@@ -22,7 +22,7 @@ use refrint::config::SystemConfig;
 use refrint::figures::headline_summary;
 use refrint::sweep::{SweepProgress, SweepRunner};
 use refrint_cli::{
-    json, OutputFormat, RunOptions, ServeOptions, SweepOptions, TraceInfoOptions,
+    json, ObsOptions, OutputFormat, RunOptions, ServeOptions, SweepOptions, TraceInfoOptions,
     TraceRecordOptions, TraceReplayOptions,
 };
 use refrint_trace::{TraceFile, TraceSummary};
@@ -36,8 +36,13 @@ Commands:
   show-config                      print the simulated architecture (paper Table 5.1)
   classify                         classify applications into Class 1/2/3 (paper Table 6.1)
   run --app <name> [--sram] [--policy P.all|R.WB(32,32)|...] [--retention 50|100|200]
-      [--refs <n>] [--seed <n>] [--format text|json]
+      [--refs <n>] [--seed <n>] [--timing] [--format text|json]
                                    run one application and print the report
+                                   (--timing adds the cycle/host-time table on stderr)
+  obs --app <name> [--sram] [--policy <label>] [--retention <us>] [--refs <n>]
+      [--seed <n>] [--cores <n>] [--sample <n>] [--format json|text]
+                                   run with full-sampling observability and print the
+                                   OTLP-shaped span export (docs/observability.md)
   sweep [--refs <n>] [--apps a,b] [--trace <file>]... [--cores <n>] [--jobs <n>]
         [--progress] [--format text|json]
                                    run the policy sweep across worker threads
@@ -66,6 +71,7 @@ fn main() -> ExitCode {
         "show-config" => show_config(),
         "classify" => classify_apps(),
         "run" => run_one(rest),
+        "obs" => obs(rest),
         "sweep" => sweep(rest),
         "trace" => trace(rest),
         "check" => check(rest),
@@ -133,6 +139,26 @@ fn run_one(args: &[String]) -> Result<(), String> {
     let mut simulation = options.builder().build().map_err(|e| e.to_string())?;
     let outcome = simulation.run(options.app);
     print_report(&outcome.report, options.format);
+    if options.timing {
+        // Stderr, so stdout stays byte-identical with and without --timing.
+        eprintln!("{}", simulation.obs_summary());
+    }
+    Ok(())
+}
+
+/// One fully-instrumented run whose product is the span export itself.
+fn obs(args: &[String]) -> Result<(), String> {
+    let options = ObsOptions::parse(args)?;
+    let mut simulation = options.builder().build().map_err(|e| e.to_string())?;
+    let outcome = simulation.run(options.app);
+    let summary = simulation.obs_summary();
+    match options.format {
+        OutputFormat::Json => println!(
+            "{}",
+            refrint_obs::otlp::render(&summary, outcome.config_label(), outcome.workload())
+        ),
+        OutputFormat::Text => println!("{summary}"),
+    }
     Ok(())
 }
 

@@ -17,6 +17,7 @@
 pub use refrint_engine::json::{escape, num};
 use refrint_trace::TraceSummary;
 
+use crate::anomaly::{self, SweepAnomaly};
 use crate::experiment::SweepResults;
 use crate::report::SimReport;
 
@@ -61,8 +62,29 @@ pub fn report(r: &SimReport) -> String {
     )
 }
 
-/// Renders full [`SweepResults`] as a JSON object: the swept axes plus one
-/// entry per run. Map iteration is ordered, so the output is deterministic.
+/// Renders one flagged sweep point for the `anomalies` array.
+fn sweep_anomaly(a: &SweepAnomaly) -> String {
+    format!(
+        concat!(
+            "{{\"workload\":\"{}\",\"retention_us\":{},\"policy\":\"{}\",",
+            "\"metric\":\"{}\",\"axis\":\"{}\",\"value\":{},\"median\":{},",
+            "\"robust_z\":{}}}"
+        ),
+        escape(&a.workload),
+        a.retention_us,
+        escape(&a.policy),
+        a.metric,
+        a.axis,
+        num(a.value),
+        num(a.median),
+        num(a.robust_z),
+    )
+}
+
+/// Renders full [`SweepResults`] as a JSON object: the swept axes, one
+/// entry per run, and the `anomalies` the analytics pass flagged (see
+/// [`crate::anomaly`]). Map iteration is ordered, so the output is
+/// deterministic.
 #[must_use]
 pub fn sweep(results: &SweepResults) -> String {
     let mut runs = Vec::with_capacity(results.sram.len() + results.edram.len());
@@ -93,11 +115,13 @@ pub fn sweep(results: &SweepResults) -> String {
         )
         .collect();
     let retentions: Vec<String> = results.retentions_us.iter().map(u64::to_string).collect();
+    let anomalies: Vec<String> = anomaly::detect(results).iter().map(sweep_anomaly).collect();
     format!(
-        "{{\"workloads\":[{}],\"retentions_us\":[{}],\"runs\":[{}]}}",
+        "{{\"workloads\":[{}],\"retentions_us\":[{}],\"runs\":[{}],\"anomalies\":[{}]}}",
         workloads.join(","),
         retentions.join(","),
-        runs.join(",")
+        runs.join(","),
+        anomalies.join(",")
     )
 }
 

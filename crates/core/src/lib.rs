@@ -70,6 +70,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod anomaly;
 pub mod config;
 pub mod cpu;
 pub mod error;
@@ -83,11 +84,14 @@ pub mod simulation;
 pub mod sweep;
 pub mod system;
 
+pub use anomaly::SweepAnomaly;
 pub use config::SystemConfig;
 pub use error::RefrintError;
 pub use experiment::{ExperimentConfig, SweepResults, TraceSpec};
 pub use report::SimReport;
-pub use simulation::{BuildError, RelativeMetrics, RunOutcome, Simulation, SimulationBuilder};
+pub use simulation::{
+    BuildError, ObsConfig, ObsSummary, RelativeMetrics, RunOutcome, Simulation, SimulationBuilder,
+};
 pub use sweep::{ProgressObserver, SweepProgress, SweepRunner};
 pub use system::CmpSystem;
 

@@ -52,6 +52,8 @@ use refrint_trace::{TraceFile, TraceFormat, TraceMeta};
 use refrint_workloads::apps::AppPreset;
 use refrint_workloads::model::WorkloadModel;
 
+pub use refrint_obs::{ObsConfig, ObsSummary};
+
 use crate::config::SystemConfig;
 use crate::error::{ConfigError, RefrintError};
 use crate::replay;
@@ -191,6 +193,7 @@ pub struct SimulationBuilder {
     trace: Option<PathBuf>,
     registry: PolicyRegistry,
     registry_error: Option<String>,
+    obs: Option<ObsConfig>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -323,6 +326,16 @@ impl SimulationBuilder {
     #[must_use]
     pub fn trace(mut self, path: impl Into<PathBuf>) -> Self {
         self.trace = Some(path.into());
+        self
+    }
+
+    /// Turns on span-based observability (see the `refrint-obs` crate) for
+    /// the built simulation. Recording observes without perturbing: every
+    /// report field is byte-identical with observability on or off; only
+    /// [`Simulation::obs_summary`] gains content.
+    #[must_use]
+    pub fn observability(mut self, cfg: ObsConfig) -> Self {
+        self.obs = Some(cfg);
         self
     }
 
@@ -476,9 +489,12 @@ impl SimulationBuilder {
     pub fn build(&self) -> Result<Simulation, BuildError> {
         let trace = self.open_trace()?;
         let config = self.build_config_with(trace.as_ref())?;
-        let system = CmpSystem::new(config).map_err(|e| BuildError::Invalid {
+        let mut system = CmpSystem::new(config).map_err(|e| BuildError::Invalid {
             reason: e.to_string(),
         })?;
+        if let Some(obs) = self.obs {
+            system.enable_observability(obs);
+        }
         Ok(Simulation { system, trace })
     }
 }
@@ -587,6 +603,14 @@ impl Simulation {
     #[must_use]
     pub fn system_mut(&mut self) -> &mut CmpSystem {
         &mut self.system
+    }
+
+    /// The observability summary collected so far (subsystem attribution
+    /// and sampled spans). Empty totals unless the simulation was built
+    /// with [`SimulationBuilder::observability`].
+    #[must_use]
+    pub fn obs_summary(&self) -> ObsSummary {
+        self.system.obs_summary()
     }
 }
 

@@ -35,6 +35,7 @@ use refrint_mem::dram::{DramModel, DramOp};
 use refrint_mem::line::{CacheLine, MesiState};
 use refrint_noc::routing::hop_count;
 use refrint_noc::topology::{NodeId, Torus};
+use refrint_obs::{ObsConfig, ObsSummary, Recorder, Subsystem};
 use refrint_workloads::apps::AppPreset;
 use refrint_workloads::generator::ThreadStream;
 use refrint_workloads::model::WorkloadModel;
@@ -76,6 +77,11 @@ pub struct CmpSystem {
     /// any other path that needs a residency snapshot while mutating the
     /// system), so those paths never collect a fresh `Vec` per cache.
     scratch_lines: Vec<CacheLine>,
+    /// The span recorder. Disabled by default (one branch per hook); when
+    /// enabled it attributes latency contributions to subsystems without
+    /// ever reading or writing simulated state, so reports stay
+    /// byte-identical with observability on or off.
+    obs: Recorder,
 }
 
 impl CmpSystem {
@@ -171,6 +177,7 @@ impl CmpSystem {
             data_flits,
             ctrl_flits,
             scratch_lines: Vec::new(),
+            obs: Recorder::disabled(),
             cfg,
         })
     }
@@ -179,6 +186,28 @@ impl CmpSystem {
     #[must_use]
     pub fn config(&self) -> &SystemConfig {
         &self.cfg
+    }
+
+    /// Turns on span recording with the given sampling configuration.
+    ///
+    /// Observability never perturbs the simulation — the recorder only
+    /// accumulates attribution on the side — so enabling it changes no
+    /// report field.
+    pub fn enable_observability(&mut self, cfg: ObsConfig) {
+        self.obs = Recorder::enabled(cfg);
+    }
+
+    /// Summarises everything the recorder collected (empty totals when
+    /// observability was never enabled).
+    #[must_use]
+    pub fn obs_summary(&self) -> ObsSummary {
+        self.obs.summary()
+    }
+
+    /// Whether span recording is on.
+    #[must_use]
+    pub fn obs_enabled(&self) -> bool {
+        self.obs.is_enabled()
     }
 
     /// Runs one of the named application presets, scaled by the
@@ -298,8 +327,26 @@ impl CmpSystem {
     /// Resolves one data reference and returns the latency the core observes.
     fn access(&mut self, tile: usize, line: LineAddr, is_write: bool, now: Cycle) -> Cycle {
         self.counts.dl1_accesses += 1;
-        let l1_latency = self.cfg.dl1.access_latency
-            + self.tiles[tile].dl1_refresh.access_penalty(now, line.raw());
+        let l1_stall = self.tiles[tile].dl1_refresh.access_penalty(now, line.raw());
+        let l1_latency = self.cfg.dl1.access_latency + l1_stall;
+        if self.obs.is_enabled() {
+            self.obs.record(
+                Subsystem::Cache,
+                "dl1.access",
+                now.raw(),
+                self.cfg.dl1.access_latency.raw(),
+                tile as u64,
+            );
+            if l1_stall > Cycle::ZERO {
+                self.obs.record(
+                    Subsystem::Refresh,
+                    "dl1.stall",
+                    now.raw(),
+                    l1_stall.raw(),
+                    tile as u64,
+                );
+            }
+        }
         let mut beyond = Cycle::ZERO;
 
         // One tag search resolves the access and hands back the pre-touch
@@ -355,8 +402,26 @@ impl CmpSystem {
         upgraded: &mut bool,
     ) -> Cycle {
         self.counts.l2_accesses += 1;
-        let mut beyond = self.cfg.l2.access_latency
-            + self.tiles[tile].l2_refresh.access_penalty(now, line.raw());
+        let l2_stall = self.tiles[tile].l2_refresh.access_penalty(now, line.raw());
+        let mut beyond = self.cfg.l2.access_latency + l2_stall;
+        if self.obs.is_enabled() {
+            self.obs.record(
+                Subsystem::Cache,
+                "l2.lookup",
+                now.raw(),
+                self.cfg.l2.access_latency.raw(),
+                tile as u64,
+            );
+            if l2_stall > Cycle::ZERO {
+                self.obs.record(
+                    Subsystem::Refresh,
+                    "l2.stall",
+                    now.raw(),
+                    l2_stall.raw(),
+                    tile as u64,
+                );
+            }
+        }
 
         let l2_prev = self.tiles[tile].l2.lookup_prev(line, now);
         if let Some((l, _)) = &l2_prev {
@@ -389,14 +454,39 @@ impl CmpSystem {
         let bank = line.bank(self.cfg.l3_banks);
         let hops = u64::from(self.hops(tile, bank));
         self.counts.noc_flit_hops += hops * (self.ctrl_flits + self.data_flits);
-        let mut beyond = self
+        let noc_latency = self
             .cfg
             .link
             .message_latency(hops as u32, self.cfg.link.control_bytes)
-            + self.cfg.link.message_latency(hops as u32, self.line_size)
-            + self.cfg.l3_bank.access_latency
-            + self.l3[bank].refresh.access_penalty(now, line.raw());
+            + self.cfg.link.message_latency(hops as u32, self.line_size);
+        let l3_stall = self.l3[bank].refresh.access_penalty(now, line.raw());
+        let mut beyond = noc_latency + self.cfg.l3_bank.access_latency + l3_stall;
         self.counts.l3_accesses += 1;
+        if self.obs.is_enabled() {
+            self.obs.record(
+                Subsystem::Noc,
+                "l3.request",
+                now.raw(),
+                noc_latency.raw(),
+                hops,
+            );
+            self.obs.record(
+                Subsystem::Cache,
+                "l3.access",
+                now.raw(),
+                self.cfg.l3_bank.access_latency.raw(),
+                bank as u64,
+            );
+            if l3_stall > Cycle::ZERO {
+                self.obs.record(
+                    Subsystem::Refresh,
+                    "l3.stall",
+                    now.raw(),
+                    l3_stall.raw(),
+                    bank as u64,
+                );
+            }
+        }
 
         // Settle the L3 line: it may have been refreshed, written back, or
         // invalidated by the policy since its last touch.
@@ -422,6 +512,16 @@ impl CmpSystem {
         if !present {
             // Fetch the line from DRAM.
             let ready = self.dram.access(line.raw(), DramOp::Read, now + beyond);
+            if self.obs.is_enabled() {
+                let dram_latency = (ready - now).raw().saturating_sub(beyond.raw());
+                self.obs.record(
+                    Subsystem::Dram,
+                    "dram.fetch",
+                    now.raw(),
+                    dram_latency,
+                    bank as u64,
+                );
+            }
             beyond = ready - now;
             self.counts.dram_reads += 1;
             if let Some(evicted) = self.l3[bank].cache.fill(line, MesiState::Shared, now) {
@@ -442,18 +542,30 @@ impl CmpSystem {
         // Invalidate or downgrade remote holders; their replies are on the
         // critical path of this request.
         let mut worst_remote = Cycle::ZERO;
+        let mut remote_messages = 0u64;
         for holder in outcome.invalidate.iter() {
             let d = self.invalidate_private_copy(holder, bank, line, now, true);
             worst_remote = worst_remote.max(d);
+            remote_messages += 1;
         }
         if let Some(owner) = outcome.downgrade_owner {
             if !outcome.invalidate.contains(owner) {
                 let d = self.downgrade_private_copy(owner, bank, line, now);
                 worst_remote = worst_remote.max(d);
+                remote_messages += 1;
             } else if outcome.owner_writeback {
                 // The owner's dirty data lands in the L3 as part of the
                 // invalidation handled above.
             }
+        }
+        if worst_remote > Cycle::ZERO {
+            self.obs.record(
+                Subsystem::Coherence,
+                "remote.stall",
+                now.raw(),
+                worst_remote.raw(),
+                remote_messages,
+            );
         }
         beyond += worst_remote;
 
@@ -648,6 +760,13 @@ impl CmpSystem {
         let Some(removed) = self.l3[bank].cache.invalidate(line) else {
             return;
         };
+        self.obs.record(
+            Subsystem::Refresh,
+            "policy.invalidate",
+            now.raw(),
+            0,
+            bank as u64,
+        );
         debug_assert!(
             !removed.is_dirty() || self.l3[bank].refresh.model().is_none(),
             "the WB/Dirty policies only invalidate clean lines"
@@ -708,8 +827,24 @@ impl CmpSystem {
                 .refresh
                 .settle(line_kind(&current), touch, ev.at);
             self.counts.l3_refreshes += s.refreshes;
+            if s.refreshes > 0 {
+                self.obs.record(
+                    Subsystem::Refresh,
+                    "settle.drain",
+                    ev.at.raw(),
+                    0,
+                    s.refreshes,
+                );
+            }
             if s.writeback_at.is_some() {
                 self.counts.dram_writes += 1;
+                self.obs.record(
+                    Subsystem::Dram,
+                    "dram.writeback",
+                    ev.at.raw(),
+                    0,
+                    bank as u64,
+                );
                 if let Some(lm) = self.l3[bank].cache.line_mut(line) {
                     lm.write_back();
                 }
@@ -729,6 +864,7 @@ impl CmpSystem {
     /// counts for the `All` policy and the statistically-modelled IL1.
     fn finalize(&mut self, end: Cycle) {
         self.drain_invalidations(end);
+        let refreshes_before = self.counts.total_refreshes();
 
         // One system-owned snapshot buffer serves every per-cache sweep
         // below (taken out of `self` so the loops can borrow the system
@@ -786,6 +922,13 @@ impl CmpSystem {
 
         self.scratch_lines = snapshot;
         self.counts.cycles = end.raw();
+        self.obs.record(
+            Subsystem::Refresh,
+            "settle.finalize",
+            end.raw(),
+            0,
+            self.counts.total_refreshes() - refreshes_before,
+        );
     }
 
     fn collect_stats(&self) -> StatRegistry {

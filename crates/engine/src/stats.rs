@@ -169,10 +169,14 @@ impl Histogram {
     /// An approximate p-quantile (0.0..=1.0) computed from bucket counts.
     ///
     /// Returns the upper bound of the bucket containing the quantile, which
-    /// is precise enough for reporting latency tails.
+    /// is precise enough for reporting latency tails. Degenerate requests
+    /// are typed, not bogus: an empty histogram or a NaN `p` returns
+    /// `None` (NaN used to slip through the clamp — `f64::clamp` passes
+    /// NaN along — and came back as the first bucket's bound), and
+    /// out-of-range `p` saturates to the nearest quantile.
     #[must_use]
     pub fn quantile(&self, p: f64) -> Option<u64> {
-        if self.count == 0 {
+        if self.count == 0 || p.is_nan() {
             return None;
         }
         let p = p.clamp(0.0, 1.0);
@@ -193,7 +197,9 @@ impl Histogram {
 
     /// An approximate percentile (`p` in `0..=100`), e.g. `percentile(99.0)`
     /// for the p99. A thin wrapper over [`Histogram::quantile`] for
-    /// reporting code that speaks percentiles.
+    /// reporting code that speaks percentiles; inherits its degenerate-input
+    /// guarantees (`None` on empty histograms and NaN, saturation beyond
+    /// the 0–100 range).
     #[must_use]
     pub fn percentile(&self, p: f64) -> Option<u64> {
         self.quantile(p / 100.0)
@@ -341,6 +347,27 @@ mod tests {
     #[should_panic(expected = "strictly ascending")]
     fn histogram_rejects_unordered_bounds() {
         let _ = Histogram::with_bounds(&[5, 5]);
+    }
+
+    #[test]
+    fn degenerate_quantile_requests_are_none_or_saturating() {
+        // Regression: NaN slipped through `f64::clamp` (which propagates
+        // NaN), made the rank target 0 and returned the first non-empty
+        // bucket's bound as a bogus Some.
+        let mut h = Histogram::with_bounds(&[10, 100]);
+        for s in [1, 50, 99] {
+            h.record(s);
+        }
+        assert_eq!(h.quantile(f64::NAN), None);
+        assert_eq!(h.percentile(f64::NAN), None);
+        // Out-of-range probabilities saturate instead of failing.
+        assert_eq!(h.quantile(-1.0), h.quantile(0.0));
+        assert_eq!(h.quantile(2.0), h.quantile(1.0));
+        assert_eq!(h.percentile(250.0), h.percentile(100.0));
+        // Empty histograms stay typed for every probability.
+        let empty = Histogram::with_bounds(&[10]);
+        assert_eq!(empty.quantile(0.5), None);
+        assert_eq!(empty.percentile(f64::NAN), None);
     }
 
     #[test]

@@ -1,0 +1,37 @@
+//! Span-based observability for the Refrint simulator.
+//!
+//! The paper's whole argument is an accounting argument — where do refresh
+//! energy and cycles actually go across the cache hierarchy — and this crate
+//! supplies the attribution layer: a cheap structured span/event recorder
+//! that the simulator threads through its access path, plus the analytics
+//! that turn sweeps into anomaly reports.
+//!
+//! Three pieces, all pure `std` like the rest of the workspace:
+//!
+//! * [`span`] — the [`Span`](span::Span) record, the
+//!   [`Subsystem`](span::Subsystem) taxonomy (cache / coherence / refresh /
+//!   NoC / DRAM) and a fixed-size overwriting ring buffer;
+//! * [`recorder`] — the [`Recorder`](recorder::Recorder) the simulator owns:
+//!   exact simulated-cycle attribution per subsystem, sampled host wall-time
+//!   attribution, and a sampled span ring, summarised into an
+//!   [`ObsSummary`](recorder::ObsSummary);
+//! * [`otlp`] — renders a summary as an OTLP-shaped JSON document through
+//!   the shared `refrint_engine::json` emitter;
+//! * [`anomaly`] — robust z-scores (median/MAD) and a neighbourhood-slice
+//!   outlier detector for sweep results.
+//!
+//! The hard invariant is that instrumentation **observes without
+//! perturbing**: a recorder never touches simulated state, so reports are
+//! byte-identical with spans on or off (pinned by
+//! `tests/hot_path_determinism.rs` at the workspace root).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod anomaly;
+pub mod otlp;
+pub mod recorder;
+pub mod span;
+
+pub use recorder::{ObsConfig, ObsSummary, Recorder, SubsystemTotals};
+pub use span::{Span, SpanRing, Subsystem};

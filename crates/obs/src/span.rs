@@ -1,0 +1,189 @@
+//! Spans, the subsystem taxonomy and the fixed-size span ring.
+
+/// The subsystems the simulator attributes time to.
+///
+/// Matches the paper's accounting: the on-chip cache hierarchy, the
+/// directory coherence protocol, the eDRAM refresh machinery, the torus
+/// interconnect and main memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Subsystem {
+    /// Cache array accesses (DL1 / L2 / L3 tag and data paths).
+    Cache,
+    /// Directory transactions and remote invalidations/downgrades.
+    Coherence,
+    /// Refresh engine work: stalls, settlements, policy invalidations.
+    Refresh,
+    /// On-chip network message latencies and flit hops.
+    Noc,
+    /// DRAM fetches and writebacks.
+    Dram,
+}
+
+impl Subsystem {
+    /// Number of subsystems (array dimension for attribution tables).
+    pub const COUNT: usize = 5;
+
+    /// Every subsystem, in display order.
+    pub const ALL: [Subsystem; Subsystem::COUNT] = [
+        Subsystem::Cache,
+        Subsystem::Coherence,
+        Subsystem::Refresh,
+        Subsystem::Noc,
+        Subsystem::Dram,
+    ];
+
+    /// Stable lowercase name, used in reports and metric labels.
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            Subsystem::Cache => "cache",
+            Subsystem::Coherence => "coherence",
+            Subsystem::Refresh => "refresh",
+            Subsystem::Noc => "noc",
+            Subsystem::Dram => "dram",
+        }
+    }
+
+    /// Dense index into attribution tables.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        match self {
+            Subsystem::Cache => 0,
+            Subsystem::Coherence => 1,
+            Subsystem::Refresh => 2,
+            Subsystem::Noc => 3,
+            Subsystem::Dram => 4,
+        }
+    }
+}
+
+/// One recorded event: a latency contribution attributed to a subsystem.
+///
+/// Times are in *simulated cycles* (`t_start` is the core-local cycle the
+/// event happened at, `dur` the cycles it contributed to the critical
+/// path); `meta` is a small event-specific payload (refresh count, hop
+/// count, bank index — whatever the `kind` documents).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// The subsystem this time belongs to.
+    pub subsystem: Subsystem,
+    /// A static event kind, e.g. `"dl1.access"` or `"dram.fetch"`.
+    pub kind: &'static str,
+    /// Simulated cycle the event started at.
+    pub t_start: u64,
+    /// Duration in simulated cycles (0 for pure point events).
+    pub dur: u64,
+    /// Event-specific payload.
+    pub meta: u64,
+}
+
+/// A fixed-capacity ring of sampled spans: inserts are O(1), and once the
+/// ring is full the oldest span is overwritten (`dropped` counts the
+/// overwrites, so exporters can say what fraction of samples survived).
+#[derive(Debug, Clone)]
+pub struct SpanRing {
+    spans: Vec<Span>,
+    capacity: usize,
+    head: usize,
+    dropped: u64,
+}
+
+impl SpanRing {
+    /// A ring holding at most `capacity` spans (minimum 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        SpanRing {
+            spans: Vec::new(),
+            capacity: capacity.max(1),
+            head: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Inserts a span, overwriting the oldest once full.
+    pub fn push(&mut self, span: Span) {
+        if self.spans.len() < self.capacity {
+            self.spans.push(span);
+        } else {
+            self.spans[self.head] = span;
+            self.head = (self.head + 1) % self.capacity;
+            self.dropped += 1;
+        }
+    }
+
+    /// Number of retained spans.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Whether the ring holds no spans.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// How many sampled spans were overwritten by newer ones.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The retained spans, oldest first.
+    #[must_use]
+    pub fn to_vec(&self) -> Vec<Span> {
+        let mut out = Vec::with_capacity(self.spans.len());
+        out.extend_from_slice(&self.spans[self.head..]);
+        out.extend_from_slice(&self.spans[..self.head]);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(t: u64) -> Span {
+        Span {
+            subsystem: Subsystem::Cache,
+            kind: "test",
+            t_start: t,
+            dur: 1,
+            meta: 0,
+        }
+    }
+
+    #[test]
+    fn subsystem_names_and_indices_are_dense_and_stable() {
+        let mut seen = [false; Subsystem::COUNT];
+        for s in Subsystem::ALL {
+            assert!(!seen[s.index()], "duplicate index {}", s.index());
+            seen[s.index()] = true;
+            assert!(!s.name().is_empty());
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn ring_keeps_newest_spans_in_order() {
+        let mut ring = SpanRing::new(3);
+        for t in 0..5 {
+            ring.push(span(t));
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.dropped(), 2);
+        let kept: Vec<u64> = ring.to_vec().iter().map(|s| s.t_start).collect();
+        assert_eq!(kept, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn ring_below_capacity_keeps_everything() {
+        let mut ring = SpanRing::new(8);
+        ring.push(span(1));
+        ring.push(span(2));
+        assert_eq!(ring.len(), 2);
+        assert_eq!(ring.dropped(), 0);
+        let kept: Vec<u64> = ring.to_vec().iter().map(|s| s.t_start).collect();
+        assert_eq!(kept, vec![1, 2]);
+    }
+}

@@ -13,9 +13,10 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use refrint::experiment::ExperimentConfig;
-use refrint::simulation::SimulationBuilder;
+use refrint::simulation::{ObsConfig, SimulationBuilder};
 use refrint::sweep::SweepRunner;
 use refrint_engine::json::escape;
+use refrint_obs::span::Subsystem;
 use refrint_workloads::apps::AppPreset;
 
 /// What a worker executes for one job.
@@ -84,6 +85,10 @@ pub struct JobOutput {
     pub refs: u64,
     /// Wall-clock seconds spent simulating, for the refs/sec gauge.
     pub sim_seconds: f64,
+    /// Simulated cycles attributed per subsystem (indexed by
+    /// [`Subsystem::index`]); run jobs execute with the observability
+    /// recorder at default sampling, sweep jobs report zeros.
+    pub subsystem_cycles: [u64; Subsystem::COUNT],
 }
 
 /// One tracked job.
@@ -286,11 +291,16 @@ fn failure(reason: &str) -> JobOutput {
         ),
         refs: 0,
         sim_seconds: 0.0,
+        subsystem_cycles: [0; Subsystem::COUNT],
     }
 }
 
 fn run_one(builder: &SimulationBuilder, app: Option<AppPreset>) -> JobOutput {
-    let mut sim = match builder.build() {
+    // Observability at default sampling feeds the per-subsystem cycle
+    // series on /metrics. Recording is non-perturbing, so the response
+    // bytes stay identical to the CLI's (the test below proves it).
+    let obs_builder = builder.clone().observability(ObsConfig::default());
+    let mut sim = match obs_builder.build() {
         Ok(sim) => sim,
         Err(e) => return failure(&e.to_string()),
     };
@@ -303,6 +313,10 @@ fn run_one(builder: &SimulationBuilder, app: Option<AppPreset>) -> JobOutput {
         },
     };
     let sim_seconds = start.elapsed().as_secs_f64();
+    let mut subsystem_cycles = [0; Subsystem::COUNT];
+    for t in sim.obs_summary().per_subsystem {
+        subsystem_cycles[t.subsystem.index()] = t.cycles;
+    }
     // Exactly the bytes `refrint-cli run --format json` prints.
     let body = format!("{}\n", refrint::json::report(&outcome.report));
     JobOutput {
@@ -310,6 +324,7 @@ fn run_one(builder: &SimulationBuilder, app: Option<AppPreset>) -> JobOutput {
         body: Arc::new(body.into_bytes()),
         refs: outcome.report.counts.dl1_accesses,
         sim_seconds,
+        subsystem_cycles,
     }
 }
 
@@ -335,6 +350,7 @@ fn run_sweep(config: &ExperimentConfig) -> JobOutput {
         body: Arc::new(body.into_bytes()),
         refs,
         sim_seconds,
+        subsystem_cycles: [0; Subsystem::COUNT],
     }
 }
 
@@ -409,6 +425,12 @@ mod tests {
         });
         assert_eq!(out.status, 200);
         assert!(out.refs > 0);
+        assert!(
+            out.subsystem_cycles.iter().sum::<u64>() > 0,
+            "run jobs attribute cycles for the /metrics series"
+        );
+        // The direct simulation runs WITHOUT observability; identical
+        // bytes double as a span-neutrality check.
         let mut direct = builder.build().unwrap();
         let expected = format!(
             "{}\n",
@@ -480,6 +502,7 @@ mod tests {
                     body: Arc::new(Vec::new()),
                     refs: 0,
                     sim_seconds: 0.0,
+                    subsystem_cycles: [0; Subsystem::COUNT],
                 },
             );
         }
@@ -511,6 +534,7 @@ mod tests {
                         body: Arc::new(b"ok".to_vec()),
                         refs: 1,
                         sim_seconds: 0.0,
+                        subsystem_cycles: [0; Subsystem::COUNT],
                     },
                 );
             })

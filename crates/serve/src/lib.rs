@@ -365,6 +365,7 @@ fn worker_loop(state: &Arc<ServerState>, rx: &Arc<Mutex<Receiver<String>>>) {
                 Err(_) => return, // queue closed: drain complete
             }
         };
+        state.metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
         state
             .jobs
             .table
@@ -385,11 +386,16 @@ fn worker_loop(state: &Arc<ServerState>, rx: &Arc<Mutex<Receiver<String>>>) {
         }) else {
             continue;
         };
+        state.metrics.workers_busy.fetch_add(1, Ordering::Relaxed);
         let output = jobs::execute(&work);
+        state.metrics.workers_busy.fetch_sub(1, Ordering::Relaxed);
         let ok = output.status == 200;
-        state
-            .metrics
-            .record_job(ok, output.refs, output.sim_seconds);
+        state.metrics.record_job(
+            ok,
+            output.refs,
+            output.sim_seconds,
+            &output.subsystem_cycles,
+        );
         if ok && !cache_key.is_empty() {
             state
                 .cache
@@ -402,6 +408,7 @@ fn worker_loop(state: &Arc<ServerState>, rx: &Arc<Mutex<Receiver<String>>>) {
 }
 
 fn handle_connection(state: &Arc<ServerState>, mut stream: TcpStream, over_capacity: bool) {
+    let started = std::time::Instant::now();
     // Accepted sockets may inherit the listener's non-blocking mode on
     // some platforms; force blocking + timeouts.
     let _ = stream.set_nonblocking(false);
@@ -429,6 +436,10 @@ fn handle_connection(state: &Arc<ServerState>, mut stream: TcpStream, over_capac
         state.metrics.http_errors.fetch_add(1, Ordering::Relaxed);
     }
     response.write(&mut stream);
+    // Latency includes routing and (for sync submissions) the simulation
+    // itself — the duration a client actually experienced.
+    let micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+    state.metrics.record_request_micros(micros);
     // Drain any unread request bytes before closing: dropping a socket
     // with data still queued (e.g. an over-limit body rejected before it
     // was read) can RST the connection and destroy the response we just
@@ -561,6 +572,7 @@ fn submit(state: &Arc<ServerState>, request: ValidatedRequest) -> Response {
                         body,
                         refs: 0,
                         sim_seconds: 0.0,
+                        subsystem_cycles: [0; refrint_obs::span::Subsystem::COUNT],
                     }),
                     cached: true,
                 };
@@ -600,11 +612,15 @@ fn submit(state: &Arc<ServerState>, request: ValidatedRequest) -> Response {
         .insert(id.clone(), work);
 
     let sender = state.queue.lock().expect("queue lock").clone();
+    // The gauge goes up before the send so a worker that claims the job
+    // immediately never decrements past zero.
+    state.metrics.queue_depth.fetch_add(1, Ordering::Relaxed);
     let enqueued = match sender {
         Some(tx) => tx.try_send(id.clone()),
         None => Err(TrySendError::Disconnected(id.clone())),
     };
     if let Err(e) = enqueued {
+        state.metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
         state.jobs.table.lock().expect("job table lock").remove(&id);
         state.work.lock().expect("work map lock").remove(&id);
         return match e {

@@ -6,9 +6,30 @@
 //! refs/sec gauge is derived from two monotonic counters — total simulated
 //! references and total busy seconds — mirroring how the `sim_throughput`
 //! bench reports throughput.
+//!
+//! Beyond the plain counters, the endpoint also exposes:
+//!
+//! * two load gauges — `refrint_queue_depth` (jobs enqueued but not yet
+//!   claimed) and `refrint_workers_busy` (workers currently simulating);
+//! * an HTTP request-latency histogram
+//!   (`refrint_http_request_duration_seconds`), recorded per connection in
+//!   microseconds and rendered in seconds with cumulative `le` buckets;
+//! * `refrint_subsystem_cycles_total{subsystem="…"}`, the simulated-cycle
+//!   attribution collected by the observability recorder that every `run`
+//!   job executes with (see `docs/observability.md`; sweep jobs do not
+//!   contribute).
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
+
+use refrint_engine::stats::Histogram;
+use refrint_obs::span::Subsystem;
+
+/// Request-latency bucket bounds, in microseconds.
+const LATENCY_BOUNDS_MICROS: [u64; 10] = [
+    100, 1_000, 5_000, 10_000, 50_000, 100_000, 500_000, 1_000_000, 5_000_000, 30_000_000,
+];
 
 /// The server's monotonic counters.
 #[derive(Debug)]
@@ -32,6 +53,15 @@ pub struct Metrics {
     pub refs_simulated: AtomicU64,
     /// Total wall-clock microseconds workers spent simulating.
     pub sim_micros: AtomicU64,
+    /// Jobs enqueued but not yet claimed by a worker (gauge).
+    pub queue_depth: AtomicU64,
+    /// Workers currently executing a job (gauge).
+    pub workers_busy: AtomicU64,
+    /// Simulated cycles attributed per subsystem by completed run jobs,
+    /// indexed by [`Subsystem::index`].
+    pub subsystem_cycles: [AtomicU64; Subsystem::COUNT],
+    /// HTTP request latency, in microseconds.
+    request_micros: Mutex<Histogram>,
 }
 
 impl Metrics {
@@ -49,6 +79,10 @@ impl Metrics {
             cache_misses: AtomicU64::new(0),
             refs_simulated: AtomicU64::new(0),
             sim_micros: AtomicU64::new(0),
+            queue_depth: AtomicU64::new(0),
+            workers_busy: AtomicU64::new(0),
+            subsystem_cycles: std::array::from_fn(|_| AtomicU64::new(0)),
+            request_micros: Mutex::new(Histogram::with_bounds(&LATENCY_BOUNDS_MICROS)),
         }
     }
 
@@ -58,8 +92,15 @@ impl Metrics {
         self.started.elapsed().as_secs_f64()
     }
 
-    /// Records a finished job's contribution to the throughput counters.
-    pub fn record_job(&self, ok: bool, refs: u64, sim_seconds: f64) {
+    /// Records a finished job's contribution to the throughput counters
+    /// and the per-subsystem cycle attribution.
+    pub fn record_job(
+        &self,
+        ok: bool,
+        refs: u64,
+        sim_seconds: f64,
+        subsystem_cycles: &[u64; Subsystem::COUNT],
+    ) {
         if ok {
             self.jobs_completed.fetch_add(1, Ordering::Relaxed);
         } else {
@@ -68,6 +109,17 @@ impl Metrics {
         self.refs_simulated.fetch_add(refs, Ordering::Relaxed);
         self.sim_micros
             .fetch_add((sim_seconds * 1e6) as u64, Ordering::Relaxed);
+        for (total, cycles) in self.subsystem_cycles.iter().zip(subsystem_cycles) {
+            total.fetch_add(*cycles, Ordering::Relaxed);
+        }
+    }
+
+    /// Records one HTTP request's wall-clock latency.
+    pub fn record_request_micros(&self, micros: u64) {
+        self.request_micros
+            .lock()
+            .expect("latency histogram lock")
+            .record(micros);
     }
 
     /// Renders the Prometheus text exposition document.
@@ -138,6 +190,57 @@ impl Metrics {
              refrint_refs_per_sec {refs_per_sec:.1}\n"
         ));
         out.push_str(&format!(
+            "# HELP refrint_queue_depth Jobs enqueued but not yet claimed by a worker.\n\
+             # TYPE refrint_queue_depth gauge\n\
+             refrint_queue_depth {}\n",
+            get(&self.queue_depth)
+        ));
+        out.push_str(&format!(
+            "# HELP refrint_workers_busy Workers currently executing a job.\n\
+             # TYPE refrint_workers_busy gauge\n\
+             refrint_workers_busy {}\n",
+            get(&self.workers_busy)
+        ));
+        out.push_str(
+            "# HELP refrint_subsystem_cycles_total Simulated cycles attributed per subsystem \
+             by completed run jobs.\n\
+             # TYPE refrint_subsystem_cycles_total counter\n",
+        );
+        for s in Subsystem::ALL {
+            out.push_str(&format!(
+                "refrint_subsystem_cycles_total{{subsystem=\"{}\"}} {}\n",
+                s.name(),
+                get(&self.subsystem_cycles[s.index()])
+            ));
+        }
+        {
+            let h = self.request_micros.lock().expect("latency histogram lock");
+            out.push_str(
+                "# HELP refrint_http_request_duration_seconds HTTP request latency.\n\
+                 # TYPE refrint_http_request_duration_seconds histogram\n",
+            );
+            let mut cumulative = 0u64;
+            for (bound, count) in h.bounds().iter().zip(h.buckets()) {
+                cumulative += count;
+                out.push_str(&format!(
+                    "refrint_http_request_duration_seconds_bucket{{le=\"{}\"}} {cumulative}\n",
+                    *bound as f64 / 1e6
+                ));
+            }
+            out.push_str(&format!(
+                "refrint_http_request_duration_seconds_bucket{{le=\"+Inf\"}} {}\n",
+                h.count()
+            ));
+            out.push_str(&format!(
+                "refrint_http_request_duration_seconds_sum {:.6}\n",
+                h.sum() as f64 / 1e6
+            ));
+            out.push_str(&format!(
+                "refrint_http_request_duration_seconds_count {}\n",
+                h.count()
+            ));
+        }
+        out.push_str(&format!(
             "# HELP refrint_uptime_seconds Seconds since the server started.\n\
              # TYPE refrint_uptime_seconds gauge\n\
              refrint_uptime_seconds {:.3}\n",
@@ -162,8 +265,8 @@ mod tests {
         let m = Metrics::new();
         m.http_requests.fetch_add(3, Ordering::Relaxed);
         m.cache_hits.fetch_add(1, Ordering::Relaxed);
-        m.record_job(true, 1000, 0.5);
-        m.record_job(false, 0, 0.0);
+        m.record_job(true, 1000, 0.5, &[10, 0, 20, 0, 30]);
+        m.record_job(false, 0, 0.0, &[0; Subsystem::COUNT]);
         let doc = m.render();
         assert!(doc.contains("refrint_http_requests_total 3"));
         assert!(doc.contains("refrint_cache_hits_total 1"));
@@ -179,5 +282,35 @@ mod tests {
                 "bad exposition line: {line}"
             );
         }
+    }
+
+    #[test]
+    fn load_gauges_and_subsystem_cycles_render() {
+        let m = Metrics::new();
+        m.queue_depth.fetch_add(3, Ordering::Relaxed);
+        m.workers_busy.fetch_add(2, Ordering::Relaxed);
+        m.record_job(true, 100, 0.1, &[7, 0, 0, 0, 9]);
+        let doc = m.render();
+        assert!(doc.contains("refrint_queue_depth 3"));
+        assert!(doc.contains("refrint_workers_busy 2"));
+        assert!(doc.contains("refrint_subsystem_cycles_total{subsystem=\"cache\"} 7"));
+        assert!(doc.contains("refrint_subsystem_cycles_total{subsystem=\"dram\"} 9"));
+        assert!(doc.contains("refrint_subsystem_cycles_total{subsystem=\"coherence\"} 0"));
+    }
+
+    #[test]
+    fn latency_histogram_buckets_are_cumulative_seconds() {
+        let m = Metrics::new();
+        m.record_request_micros(50); // below the first bound
+        m.record_request_micros(2_000); // in the 5ms bucket
+        m.record_request_micros(40_000_000); // beyond the last bound
+        let doc = m.render();
+        assert!(doc.contains("refrint_http_request_duration_seconds_bucket{le=\"0.0001\"} 1"));
+        assert!(doc.contains("refrint_http_request_duration_seconds_bucket{le=\"0.005\"} 2"));
+        assert!(doc.contains("refrint_http_request_duration_seconds_bucket{le=\"30\"} 2"));
+        assert!(doc.contains("refrint_http_request_duration_seconds_bucket{le=\"+Inf\"} 3"));
+        assert!(doc.contains("refrint_http_request_duration_seconds_count 3"));
+        // The sum is in seconds: 50us + 2ms + 40s ≈ 40.00205s.
+        assert!(doc.contains("refrint_http_request_duration_seconds_sum 40.002050"));
     }
 }

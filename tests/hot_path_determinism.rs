@@ -14,23 +14,33 @@
 //! CI even if it is internally self-consistent.
 
 use refrint::experiment::ExperimentConfig;
-use refrint::simulation::Simulation;
+use refrint::simulation::{ObsConfig, Simulation};
 use refrint::sweep::SweepRunner;
 use refrint_cli::json;
 use refrint_edram::policy::RefreshPolicy;
 use refrint_workloads::apps::AppPreset;
 
-/// Renders one small run of `app` under `policy` as a JSON report string.
-fn run_json(app: AppPreset, policy: RefreshPolicy) -> String {
-    let mut sim = Simulation::builder()
+/// Renders one small run of `app` under `policy` as a JSON report string,
+/// optionally with the observability recorder enabled.
+fn run_json_with(app: AppPreset, policy: RefreshPolicy, obs: Option<ObsConfig>) -> String {
+    let mut builder = Simulation::builder()
         .edram_recommended()
         .policy(policy)
         .cores(4)
         .refs_per_thread(600)
-        .seed(42)
+        .seed(42);
+    if let Some(obs) = obs {
+        builder = builder.observability(obs);
+    }
+    let mut sim = builder
         .build()
         .expect("paper policies build on the recommended configuration");
     json::report(&sim.run(app).report)
+}
+
+/// Renders one small run of `app` under `policy` as a JSON report string.
+fn run_json(app: AppPreset, policy: RefreshPolicy) -> String {
+    run_json_with(app, policy, None)
 }
 
 #[test]
@@ -43,6 +53,26 @@ fn every_preset_and_policy_is_byte_identical_across_runs() {
                 first,
                 second,
                 "non-deterministic report for {} under {}",
+                app.name(),
+                policy.label()
+            );
+        }
+    }
+}
+
+/// The observability invariant of `crates/obs`: recording observes without
+/// perturbing. Every preset × policy report must be byte-identical with
+/// the recorder at full sampling and with it disabled.
+#[test]
+fn observability_at_full_sampling_never_perturbs_reports() {
+    for app in AppPreset::ALL {
+        for policy in RefreshPolicy::paper_sweep() {
+            let plain = run_json(app, policy);
+            let observed = run_json_with(app, policy, Some(ObsConfig::full()));
+            assert_eq!(
+                plain,
+                observed,
+                "observability perturbed {} under {}",
                 app.name(),
                 policy.label()
             );

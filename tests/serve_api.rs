@@ -383,6 +383,106 @@ fn sweep_responses_match_the_cli_sweep_json() {
     .unwrap();
     assert_eq!(response.status, 200, "{}", response.body_str());
     assert_eq!(response.body, expected);
+    // The analytics pass reaches the service response: every sweep
+    // document carries the anomalies array (empty on a clean sweep).
+    assert!(
+        response.body_str().contains("\"anomalies\":["),
+        "sweep responses must include the anomaly report"
+    );
+    server.shutdown();
+}
+
+/// Reads one Prometheus sample (comment lines skipped); `name` may include
+/// a label set, e.g. `refrint_subsystem_cycles_total{subsystem="dram"}`.
+fn metric_value(metrics: &str, name: &str) -> f64 {
+    metrics
+        .lines()
+        .find(|l| !l.starts_with('#') && l.split(' ').next() == Some(name))
+        .and_then(|l| l.split(' ').nth(1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| panic!("missing metric {name} in:\n{metrics}"))
+}
+
+#[test]
+fn load_gauges_and_latency_histogram_move_under_load() {
+    // One worker, so queued jobs visibly pile up behind the busy one.
+    let server = start(ServerOptions {
+        workers: 1,
+        ..ServerOptions::default()
+    });
+    let addr = server.addr();
+
+    let scrape = || client::get(addr, "/metrics").unwrap().body_str().to_owned();
+    let idle = scrape();
+    assert_eq!(metric_value(&idle, "refrint_queue_depth"), 0.0);
+    assert_eq!(metric_value(&idle, "refrint_workers_busy"), 0.0);
+
+    // Three distinct heavy runs (different seeds, so no cache hits),
+    // submitted asynchronously: the single worker takes the first while
+    // the others wait in the queue.
+    for seed in [101, 102, 103] {
+        let body = format!(
+            "{{\"app\": \"lu\", \"refs\": 60000, \"cores\": 2, \"seed\": {seed}, \
+             \"mode\": \"async\"}}"
+        );
+        let accepted = client::post(addr, "/run", body.as_bytes()).unwrap();
+        assert_eq!(accepted.status, 202, "{}", accepted.body_str());
+    }
+
+    // Under load both gauges must be observably non-zero.
+    let mut saw_busy = false;
+    let mut saw_queued = false;
+    for _ in 0..500 {
+        let doc = scrape();
+        saw_busy |= metric_value(&doc, "refrint_workers_busy") >= 1.0;
+        saw_queued |= metric_value(&doc, "refrint_queue_depth") >= 1.0;
+        if (saw_busy && saw_queued) || metric_value(&doc, "refrint_jobs_completed_total") >= 3.0 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(saw_busy, "workers_busy must rise while a job executes");
+    assert!(saw_queued, "queue_depth must rise while jobs wait");
+
+    // Once everything drains, both gauges return to zero.
+    let mut done = String::new();
+    for _ in 0..600 {
+        done = scrape();
+        if metric_value(&done, "refrint_jobs_completed_total") >= 3.0 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    assert!(
+        metric_value(&done, "refrint_jobs_completed_total") >= 3.0,
+        "jobs must finish: \n{done}"
+    );
+    assert_eq!(metric_value(&done, "refrint_queue_depth"), 0.0);
+    assert_eq!(metric_value(&done, "refrint_workers_busy"), 0.0);
+
+    // The request-latency histogram counted every scrape and submission,
+    // in well-formed cumulative buckets.
+    let count = metric_value(&done, "refrint_http_request_duration_seconds_count");
+    assert!(count >= 4.0, "latency histogram must record requests");
+    assert_eq!(
+        metric_value(
+            &done,
+            "refrint_http_request_duration_seconds_bucket{le=\"+Inf\"}"
+        ),
+        count,
+        "the +Inf bucket equals the sample count"
+    );
+    assert!(metric_value(&done, "refrint_http_request_duration_seconds_sum") > 0.0);
+
+    // Run jobs fed the per-subsystem cycle attribution.
+    for subsystem in ["cache", "dram"] {
+        let name = format!("refrint_subsystem_cycles_total{{subsystem=\"{subsystem}\"}}");
+        assert!(
+            metric_value(&done, &name) > 0.0,
+            "{subsystem} cycles must be attributed after run jobs:\n{done}"
+        );
+    }
+
     server.shutdown();
 }
 
