@@ -7,7 +7,7 @@
 //! code path. This module only re-exports them under the CLI's historical
 //! `refrint_cli::json::*` paths.
 
-pub use refrint::json::{report, sweep, trace_summary};
+pub use refrint::json::{report, sweep, sweep_tuned, trace_summary};
 pub use refrint_engine::json::escape;
 
 #[cfg(test)]

@@ -15,6 +15,8 @@ use refrint::experiment::ExperimentConfig;
 use refrint::simulation::{ObsConfig, Simulation, SimulationBuilder};
 use refrint_edram::model::PolicyRegistry;
 use refrint_edram::policy::RefreshPolicy;
+use refrint_obs::anomaly::AnomalyTuning;
+use refrint_obs::log::LogFormat;
 use refrint_trace::TraceFormat;
 use refrint_workloads::apps::AppPreset;
 
@@ -73,6 +75,31 @@ pub fn parse_apps(list: &str) -> Result<Vec<AppPreset>, String> {
     list.split(',')
         .map(|name| name.trim().parse::<AppPreset>().map_err(|e| e.to_string()))
         .collect()
+}
+
+/// Parses the optional `--anomaly-threshold <z>` and `--min-slice <n>`
+/// flags into an [`AnomalyTuning`], rejecting non-finite or negative
+/// thresholds and a zero minimum slice with the tuning's typed error.
+///
+/// # Errors
+///
+/// Returns a usage message for unparsable values and the
+/// [`refrint_obs::anomaly::TuningError`] rendering for invalid ones.
+pub fn parse_anomaly_tuning(args: &[String]) -> Result<AnomalyTuning, String> {
+    let defaults = AnomalyTuning::default();
+    let threshold = match opt_value(args, "--anomaly-threshold") {
+        Some(v) => v
+            .parse::<f64>()
+            .map_err(|_| format!("bad --anomaly-threshold `{v}`"))?,
+        None => defaults.threshold,
+    };
+    let min_slice = match opt_value(args, "--min-slice") {
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| format!("bad --min-slice `{v}`"))?,
+        None => defaults.min_slice,
+    };
+    AnomalyTuning::new(threshold, min_slice).map_err(|e| e.to_string())
 }
 
 /// How a report is rendered to stdout.
@@ -190,7 +217,7 @@ impl RunOptions {
 /// Options of the `obs` subcommand: one fully-sampled run whose product is
 /// the observability export (OTLP-shaped JSON by default, the attribution
 /// table with `--format text`) rather than the simulation report.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ObsOptions {
     /// The application to run.
     pub app: AppPreset,
@@ -208,6 +235,11 @@ pub struct ObsOptions {
     pub cores: Option<usize>,
     /// Sample every Nth event (default 1: full sampling).
     pub sample_every: u32,
+    /// Print the subsystem critical-path report instead of the export
+    /// (`--critical-path`).
+    pub critical_path: bool,
+    /// Tuning of the span-duration anomaly scan printed to stderr.
+    pub anomaly: AnomalyTuning,
     /// Output rendering (JSON by default, unlike `run`).
     pub format: OutputFormat,
 }
@@ -274,6 +306,8 @@ impl ObsOptions {
             seed,
             cores,
             sample_every,
+            critical_path: has_flag(args, "--critical-path"),
+            anomaly: parse_anomaly_tuning(args)?,
             format,
         })
     }
@@ -307,7 +341,7 @@ impl ObsOptions {
 }
 
 /// Options of the `sweep` subcommand.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SweepOptions {
     /// References per thread, if overridden.
     pub refs: Option<u64>,
@@ -322,6 +356,9 @@ pub struct SweepOptions {
     pub progress: bool,
     /// Traces to sweep alongside the applications (`--trace`, repeatable).
     pub traces: Vec<PathBuf>,
+    /// Tuning of the sweep's anomaly pass (`--anomaly-threshold`,
+    /// `--min-slice`; the default reproduces PR-6 behaviour exactly).
+    pub anomaly: AnomalyTuning,
     /// Output rendering.
     pub format: OutputFormat,
 }
@@ -365,6 +402,7 @@ impl SweepOptions {
                 .into_iter()
                 .map(Into::into)
                 .collect(),
+            anomaly: parse_anomaly_tuning(args)?,
             format: parse_format(args)?,
         })
     }
@@ -568,6 +606,54 @@ pub struct ServeOptions {
     pub max_body: Option<usize>,
     /// Directory trace workloads are served from.
     pub trace_dir: Option<PathBuf>,
+    /// `/metrics` latency histogram bucket bounds in microseconds, if
+    /// overridden (`--latency-buckets 1ms,10ms,...`).
+    pub latency_buckets: Option<Vec<u64>>,
+    /// Structured-log format (`--log-format json|text`), if overridden.
+    pub log_format: Option<LogFormat>,
+}
+
+/// Parses one `--latency-buckets` bound — `250us`, `5ms`, `2s`, or a bare
+/// number of microseconds — into microseconds.
+#[must_use]
+pub fn parse_bucket_micros(v: &str) -> Option<u64> {
+    let v = v.trim();
+    let (digits, scale) = if let Some(d) = v.strip_suffix("us") {
+        (d, 1)
+    } else if let Some(d) = v.strip_suffix("ms") {
+        (d, 1_000)
+    } else if let Some(d) = v.strip_suffix('s') {
+        (d, 1_000_000)
+    } else {
+        (v, 1)
+    };
+    let n: u64 = digits.parse().ok()?;
+    n.checked_mul(scale).filter(|&micros| micros > 0)
+}
+
+/// Parses a comma-separated `--latency-buckets` list into strictly
+/// ascending microsecond bounds.
+///
+/// # Errors
+///
+/// Returns a usage message for unparsable, non-positive or non-ascending
+/// bounds.
+pub fn parse_latency_buckets(list: &str) -> Result<Vec<u64>, String> {
+    let bounds: Vec<u64> = list
+        .split(',')
+        .map(|item| {
+            parse_bucket_micros(item).ok_or_else(|| {
+                format!("bad --latency-buckets bound `{item}` (expected e.g. 250us, 5ms, 2s)")
+            })
+        })
+        .collect::<Result<_, _>>()?;
+    if bounds.is_empty() {
+        return Err("--latency-buckets needs at least one bound".into());
+    }
+    if !bounds.windows(2).all(|w| w[0] < w[1]) {
+        return Err("--latency-buckets bounds must be strictly ascending".into());
+    }
+    Ok(bounds)
 }
 
 /// Parsed options of the `check` subcommand (differential conformance
@@ -652,6 +738,20 @@ impl ServeOptions {
                 }
             }
         };
+        let latency_buckets = match opt_value(args, "--latency-buckets") {
+            Some(list) => Some(parse_latency_buckets(&list)?),
+            None => None,
+        };
+        let log_format = match opt_value(args, "--log-format").as_deref() {
+            None => None,
+            Some("text") => Some(LogFormat::Text),
+            Some("json") => Some(LogFormat::Json),
+            Some(other) => {
+                return Err(format!(
+                    "unknown --log-format `{other}` (expected `text` or `json`)"
+                ))
+            }
+        };
         Ok(ServeOptions {
             addr,
             workers: positive("--workers")?,
@@ -659,6 +759,8 @@ impl ServeOptions {
             cache: positive("--cache")?,
             max_body: positive("--max-body")?,
             trace_dir: opt_value(args, "--trace-dir").map(Into::into),
+            latency_buckets,
+            log_format,
         })
     }
 
@@ -680,6 +782,12 @@ impl ServeOptions {
             options.max_body_bytes = max_body;
         }
         options.trace_dir = self.trace_dir.clone();
+        if let Some(bounds) = &self.latency_buckets {
+            options.latency_bounds_micros.clone_from(bounds);
+        }
+        if let Some(format) = self.log_format {
+            options.log_format = format;
+        }
         options
     }
 }
@@ -977,6 +1085,78 @@ mod tests {
             opts.server_options().queue_capacity,
             defaults.queue_capacity
         );
+    }
+
+    #[test]
+    fn anomaly_tuning_flags_parse_and_validate() {
+        let opts = SweepOptions::parse(&args(&[])).unwrap();
+        assert!(opts.anomaly.is_default());
+        let opts = SweepOptions::parse(&args(&["--anomaly-threshold", "3.5", "--min-slice", "6"]))
+            .unwrap();
+        assert_eq!((opts.anomaly.threshold, opts.anomaly.min_slice), (3.5, 6));
+        let opts = ObsOptions::parse(&args(&[
+            "--app",
+            "lu",
+            "--critical-path",
+            "--anomaly-threshold",
+            "4.0",
+        ]))
+        .unwrap();
+        assert!(opts.critical_path);
+        assert_eq!(opts.anomaly.threshold, 4.0);
+
+        for bad in [
+            &["--anomaly-threshold", "-1"][..],
+            &["--anomaly-threshold", "NaN"],
+            &["--anomaly-threshold", "inf"],
+            &["--min-slice", "0"],
+            &["--min-slice", "many"],
+        ] {
+            assert!(
+                SweepOptions::parse(&args(bad)).is_err(),
+                "{bad:?} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn latency_bucket_flags_parse_suffixes_and_reject_disorder() {
+        assert_eq!(parse_bucket_micros("250us"), Some(250));
+        assert_eq!(parse_bucket_micros("5ms"), Some(5_000));
+        assert_eq!(parse_bucket_micros("2s"), Some(2_000_000));
+        assert_eq!(parse_bucket_micros("123"), Some(123));
+        assert_eq!(parse_bucket_micros("0ms"), None);
+        assert_eq!(parse_bucket_micros("fast"), None);
+
+        let opts = ServeOptions::parse(&args(&[
+            "--addr",
+            "127.0.0.1:0",
+            "--latency-buckets",
+            "1ms,10ms,100ms,1s",
+            "--log-format",
+            "json",
+        ]))
+        .unwrap();
+        let server = opts.server_options();
+        assert_eq!(
+            server.latency_bounds_micros,
+            vec![1_000, 10_000, 100_000, 1_000_000]
+        );
+        assert_eq!(server.log_format, LogFormat::Json);
+
+        // Defaults are untouched when the flags are absent.
+        let opts = ServeOptions::parse(&args(&["--addr", "127.0.0.1:0"])).unwrap();
+        let defaults = refrint_serve::ServerOptions::default();
+        assert_eq!(
+            opts.server_options().latency_bounds_micros,
+            defaults.latency_bounds_micros
+        );
+        assert_eq!(opts.server_options().log_format, LogFormat::Text);
+
+        assert!(parse_latency_buckets("10ms,1ms").is_err());
+        assert!(parse_latency_buckets("1ms,1ms").is_err());
+        assert!(parse_latency_buckets("soon").is_err());
+        assert!(ServeOptions::parse(&args(&["--addr", "x", "--log-format", "yaml"])).is_err());
     }
 
     #[test]

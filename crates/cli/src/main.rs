@@ -40,11 +40,13 @@ Commands:
                                    run one application and print the report
                                    (--timing adds the cycle/host-time table on stderr)
   obs --app <name> [--sram] [--policy <label>] [--retention <us>] [--refs <n>]
-      [--seed <n>] [--cores <n>] [--sample <n>] [--format json|text]
+      [--seed <n>] [--cores <n>] [--sample <n>] [--critical-path]
+      [--anomaly-threshold <z>] [--min-slice <n>] [--format json|text]
                                    run with full-sampling observability and print the
-                                   OTLP-shaped span export (docs/observability.md)
+                                   OTLP-shaped span export (docs/observability.md);
+                                   --critical-path prints the bounding-subsystem report
   sweep [--refs <n>] [--apps a,b] [--trace <file>]... [--cores <n>] [--jobs <n>]
-        [--progress] [--format text|json]
+        [--anomaly-threshold <z>] [--min-slice <n>] [--progress] [--format text|json]
                                    run the policy sweep across worker threads
   trace record --app <name> --out <file> [--cores <n>] [--refs <n>] [--seed <n>] [--text]
                                    capture a workload's reference streams to a trace
@@ -56,8 +58,10 @@ Commands:
   check [--seed <n>] [--scenarios <n>] [--scenario \"<spec>\"] [--self-test] [--progress]
                                    run the oracle conformance harness (docs/testing.md)
   serve --addr HOST:PORT [--workers <n>] [--queue <n>] [--cache <n>]
-        [--max-body <bytes>] [--trace-dir <dir>]
-                                   run the HTTP simulation service (see docs/serve.md)
+        [--max-body <bytes>] [--trace-dir <dir>] [--latency-buckets 1ms,10ms,...]
+        [--log-format text|json]
+                                   run the HTTP simulation service (see docs/serve.md);
+                                   REFRINT_LOG=error|warn|info|debug sets log verbosity
 ";
 
 fn main() -> ExitCode {
@@ -152,6 +156,14 @@ fn obs(args: &[String]) -> Result<(), String> {
     let mut simulation = options.builder().build().map_err(|e| e.to_string())?;
     let outcome = simulation.run(options.app);
     let summary = simulation.obs_summary();
+    anomaly_scan(&summary, options.anomaly);
+    if options.critical_path {
+        println!(
+            "{}",
+            refrint_obs::critical_path::subsystem_critical_path(&summary)
+        );
+        return Ok(());
+    }
     match options.format {
         OutputFormat::Json => println!(
             "{}",
@@ -160,6 +172,47 @@ fn obs(args: &[String]) -> Result<(), String> {
         OutputFormat::Text => println!("{summary}"),
     }
     Ok(())
+}
+
+/// Scores the sampled span durations per (subsystem, kind) slice and
+/// reports outliers on stderr, keeping stdout byte-identical whether or
+/// not anything is flagged.
+fn anomaly_scan(summary: &refrint_obs::ObsSummary, tuning: refrint_obs::anomaly::AnomalyTuning) {
+    use std::collections::BTreeMap;
+    let mut slices: BTreeMap<(&'static str, &'static str), Vec<f64>> = BTreeMap::new();
+    for span in &summary.sampled {
+        slices
+            .entry((span.subsystem.name(), span.kind))
+            .or_default()
+            .push(span.dur as f64);
+    }
+    // Cap the per-outlier lines so a jittery slice cannot flood stderr;
+    // the closing summary always carries the full count.
+    const MAX_LINES: usize = 8;
+    let mut flagged = 0usize;
+    for ((subsystem, kind), values) in &slices {
+        let flags =
+            refrint_obs::anomaly::flag_outliers_with(values, tuning.threshold, tuning.min_slice);
+        for f in &flags {
+            flagged += 1;
+            if flagged <= MAX_LINES {
+                eprintln!(
+                    "anomaly: {subsystem}/{kind} sample #{} dur {:.0} cycles (median {:.0}, robust z {:+.1})",
+                    f.index, f.value, f.median, f.robust_z
+                );
+            }
+        }
+    }
+    if flagged > MAX_LINES {
+        eprintln!("anomaly: ... and {} more", flagged - MAX_LINES);
+    }
+    eprintln!(
+        "anomaly scan: {flagged} outlier(s) in {} sampled span(s) across {} slice(s) (threshold {}, min slice {})",
+        summary.sampled.len(),
+        slices.len(),
+        tuning.threshold,
+        tuning.min_slice
+    );
 }
 
 fn sweep(args: &[String]) -> Result<(), String> {
@@ -184,7 +237,7 @@ fn sweep(args: &[String]) -> Result<(), String> {
     );
     let results = runner.run().map_err(|e| e.to_string())?;
     if options.format == OutputFormat::Json {
-        println!("{}", json::sweep(&results));
+        println!("{}", json::sweep_tuned(&results, options.anomaly));
         return Ok(());
     }
     for &retention in &results.retentions_us {
@@ -327,7 +380,12 @@ fn check(args: &[String]) -> Result<(), String> {
 fn serve(args: &[String]) -> Result<(), String> {
     let options = ServeOptions::parse(args)?;
     refrint_serve::install_sigterm_handler();
-    let server = refrint_serve::Server::bind(options.addr.as_str(), options.server_options())
+    let mut server_options = options.server_options();
+    // The library default is quiet (errors only); the CLI serves humans, so
+    // default to info and let REFRINT_LOG override in either direction.
+    server_options.log_level =
+        refrint_obs::log::Level::from_env("REFRINT_LOG", refrint_obs::log::Level::Info);
+    let server = refrint_serve::Server::bind(options.addr.as_str(), server_options)
         .map_err(|e| format!("cannot bind {}: {e}", options.addr))?;
     let addr = server.local_addr().map_err(|e| e.to_string())?;
     eprintln!("refrint-serve: listening on http://{addr} (POST /run, POST /sweep, GET /healthz)");

@@ -17,7 +17,7 @@
 
 use std::collections::BTreeMap;
 
-use refrint_obs::anomaly::{flag_outliers, DEFAULT_THRESHOLD};
+use refrint_obs::anomaly::{flag_outliers_with, AnomalyTuning};
 
 use crate::experiment::SweepResults;
 use crate::report::SimReport;
@@ -58,21 +58,35 @@ pub struct SweepAnomaly {
     pub robust_z: f64,
 }
 
-/// Scores `results` with the default threshold
-/// ([`refrint_obs::anomaly::DEFAULT_THRESHOLD`]).
+/// Scores `results` with the default tuning
+/// ([`refrint_obs::anomaly::DEFAULT_THRESHOLD`] over slices of at least
+/// [`refrint_obs::anomaly::MIN_SLICE`]).
 #[must_use]
 pub fn detect(results: &SweepResults) -> Vec<SweepAnomaly> {
-    detect_with(results, DEFAULT_THRESHOLD)
+    detect_tuned(results, AnomalyTuning::default())
+}
+
+/// [`detect_tuned`] with only the threshold overridden.
+#[must_use]
+pub fn detect_with(results: &SweepResults, threshold: f64) -> Vec<SweepAnomaly> {
+    detect_tuned(
+        results,
+        AnomalyTuning {
+            threshold,
+            ..AnomalyTuning::default()
+        },
+    )
 }
 
 /// Scores every eDRAM point in `results` against its three axis
 /// neighbourhoods and returns the points whose modified z-score magnitude
-/// reaches `threshold` for some metric. Each `(point, metric)` pair is
-/// reported at most once — the axis with the largest score. Output order
-/// follows the sweep's own (workload, retention, policy) order, so the
-/// report is deterministic.
+/// reaches the tuning's threshold for some metric (in slices of at least
+/// the tuning's minimum size). Each `(point, metric)` pair is reported at
+/// most once — the axis with the largest score. Output order follows the
+/// sweep's own (workload, retention, policy) order, so the report is
+/// deterministic.
 #[must_use]
-pub fn detect_with(results: &SweepResults, threshold: f64) -> Vec<SweepAnomaly> {
+pub fn detect_tuned(results: &SweepResults, tuning: AnomalyTuning) -> Vec<SweepAnomaly> {
     // The points in map order; indices below refer into this list.
     let points: Vec<(&(String, u64, String), &SimReport)> = results.edram.iter().collect();
 
@@ -93,7 +107,7 @@ pub fn detect_with(results: &SweepResults, threshold: f64) -> Vec<SweepAnomaly> 
             }
             for indices in slices.values() {
                 let slice: Vec<f64> = indices.iter().map(|&i| values[i]).collect();
-                for flag in flag_outliers(&slice, threshold) {
+                for flag in flag_outliers_with(&slice, tuning.threshold, tuning.min_slice) {
                     let i = indices[flag.index];
                     let (workload, retention_us, policy) = points[i].0;
                     let entry = SweepAnomaly {
@@ -180,5 +194,31 @@ mod tests {
             assert!(a.robust_z > 0.0);
             assert!(a.robust_z.is_finite());
         }
+    }
+
+    #[test]
+    fn tuned_detection_responds_to_threshold_and_min_slice() {
+        let mut results = small_sweep();
+        let victim = results
+            .edram
+            .keys()
+            .find(|(_, _, p)| p == "R.WB(32,32)")
+            .cloned()
+            .unwrap();
+        results.edram.get_mut(&victim).unwrap().breakdown.dram *= 400.0;
+
+        let default_flags = detect(&results);
+        assert!(!default_flags.is_empty());
+        assert_eq!(
+            default_flags,
+            detect_tuned(&results, AnomalyTuning::default()),
+            "default tuning must reproduce detect() exactly"
+        );
+        // A minimum slice larger than any neighbourhood silences the pass.
+        let silenced = detect_tuned(&results, AnomalyTuning::new(8.0, 10_000).unwrap());
+        assert!(silenced.is_empty(), "min_slice gates scoring: {silenced:?}");
+        // A looser threshold flags at least as much as the default.
+        let loose = detect_tuned(&results, AnomalyTuning::new(1.0, 4).unwrap());
+        assert!(loose.len() >= default_flags.len());
     }
 }

@@ -87,6 +87,14 @@ fn sweep_anomaly(a: &SweepAnomaly) -> String {
 /// deterministic.
 #[must_use]
 pub fn sweep(results: &SweepResults) -> String {
+    sweep_tuned(results, refrint_obs::anomaly::AnomalyTuning::default())
+}
+
+/// [`sweep`] with caller-chosen anomaly tunables. The default tuning
+/// reproduces [`sweep`] byte for byte; only the `anomalies` array can
+/// differ under a non-default tuning.
+#[must_use]
+pub fn sweep_tuned(results: &SweepResults, tuning: refrint_obs::anomaly::AnomalyTuning) -> String {
     let mut runs = Vec::with_capacity(results.sram.len() + results.edram.len());
     for (workload, r) in &results.sram {
         runs.push(format!(
@@ -115,7 +123,10 @@ pub fn sweep(results: &SweepResults) -> String {
         )
         .collect();
     let retentions: Vec<String> = results.retentions_us.iter().map(u64::to_string).collect();
-    let anomalies: Vec<String> = anomaly::detect(results).iter().map(sweep_anomaly).collect();
+    let anomalies: Vec<String> = anomaly::detect_tuned(results, tuning)
+        .iter()
+        .map(sweep_anomaly)
+        .collect();
     format!(
         "{{\"workloads\":[{}],\"retentions_us\":[{}],\"runs\":[{}],\"anomalies\":[{}]}}",
         workloads.join(","),

@@ -1,0 +1,203 @@
+//! Critical-path reduction over span trees.
+//!
+//! Two reductions share one report shape: for a single simulator run,
+//! which subsystem chain bounds `execution_cycles` (contributions in
+//! simulated cycles); for a served request, which lifecycle stage bounds
+//! wall latency (contributions in host nanoseconds). In both cases the
+//! spans at one tree level are mutually exclusive time, so the "path" is
+//! the contribution ranking and the bounding step is its head.
+
+use std::fmt;
+
+use crate::recorder::ObsSummary;
+use crate::span::StageSpan;
+
+/// One step on the critical path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathStep {
+    /// Step name (a subsystem or a request stage).
+    pub name: String,
+    /// Contribution in the report's unit (cycles or nanoseconds).
+    pub contribution: u64,
+    /// Fraction of the total attributed to this step (0..=1).
+    pub share: f64,
+}
+
+/// A critical-path report: steps ranked by contribution, largest first.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CriticalPath {
+    /// The unit `contribution` and `total` are measured in.
+    pub unit: &'static str,
+    /// Sum of every contribution (the denominator for shares).
+    pub total: u64,
+    /// Non-zero steps, descending by contribution (ties break by name).
+    pub steps: Vec<PathStep>,
+}
+
+impl CriticalPath {
+    /// Builds a report from raw `(name, contribution)` pairs; zero
+    /// contributions are dropped.
+    #[must_use]
+    pub fn from_contributions(unit: &'static str, items: &[(String, u64)]) -> CriticalPath {
+        let total: u64 = items.iter().map(|(_, c)| c).sum();
+        let mut steps: Vec<PathStep> = items
+            .iter()
+            .filter(|(_, c)| *c > 0)
+            .map(|(name, c)| PathStep {
+                name: name.clone(),
+                contribution: *c,
+                share: if total == 0 {
+                    0.0
+                } else {
+                    *c as f64 / total as f64
+                },
+            })
+            .collect();
+        steps.sort_by(|a, b| {
+            b.contribution
+                .cmp(&a.contribution)
+                .then_with(|| a.name.cmp(&b.name))
+        });
+        CriticalPath { unit, total, steps }
+    }
+
+    /// The step that bounds the total — the head of the ranking.
+    #[must_use]
+    pub fn bounding(&self) -> Option<&PathStep> {
+        self.steps.first()
+    }
+
+    /// The bounding step's name, or `"-"` when nothing contributed.
+    #[must_use]
+    pub fn bounding_name(&self) -> &str {
+        self.bounding().map_or("-", |s| s.name.as_str())
+    }
+}
+
+impl fmt::Display for CriticalPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<14} {:>14} {:>7} {:>7}",
+            "step", self.unit, "share", "cumul"
+        )?;
+        let mut cumulative = 0.0;
+        for step in &self.steps {
+            cumulative += step.share;
+            writeln!(
+                f,
+                "{:<14} {:>14} {:>6.1}% {:>6.1}%",
+                step.name,
+                step.contribution,
+                step.share * 100.0,
+                cumulative * 100.0,
+            )?;
+        }
+        write!(
+            f,
+            "bounding step: {} ({} of {} {})",
+            self.bounding_name(),
+            self.bounding().map_or(0, |s| s.contribution),
+            self.total,
+            self.unit,
+        )
+    }
+}
+
+/// The subsystem chain bounding a run's `execution_cycles`: per-subsystem
+/// exact cycle attribution, ranked. Exact regardless of `sample_every`
+/// because cycle totals are maintained for every event.
+#[must_use]
+pub fn subsystem_critical_path(summary: &ObsSummary) -> CriticalPath {
+    let items: Vec<(String, u64)> = summary
+        .per_subsystem
+        .iter()
+        .map(|t| (t.subsystem.name().to_owned(), t.cycles))
+        .collect();
+    CriticalPath::from_contributions("cycles", &items)
+}
+
+/// The lifecycle stage bounding a request's wall latency.
+#[must_use]
+pub fn request_critical_path(stages: &[StageSpan]) -> CriticalPath {
+    let items: Vec<(String, u64)> = stages
+        .iter()
+        .map(|s| (s.name.to_owned(), s.dur_nanos))
+        .collect();
+    CriticalPath::from_contributions("nanos", &items)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::{ObsConfig, Recorder};
+    use crate::span::Subsystem;
+
+    #[test]
+    fn run_path_ranks_subsystems_by_exact_cycles() {
+        let mut r = Recorder::enabled(ObsConfig::sampled(16));
+        for t in 0..50 {
+            r.record(Subsystem::Cache, "dl1.access", t, 2, 0);
+            r.record(Subsystem::Dram, "dram.fetch", t, 40, 0);
+            r.record(Subsystem::Noc, "l3.request", t, 7, 0);
+        }
+        let path = subsystem_critical_path(&r.summary());
+        assert_eq!(path.unit, "cycles");
+        assert_eq!(path.bounding_name(), "dram");
+        assert_eq!(path.bounding().unwrap().contribution, 2000);
+        assert_eq!(path.total, 50 * (2 + 40 + 7));
+        let names: Vec<&str> = path.steps.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, vec!["dram", "noc", "cache"]);
+        let shares: f64 = path.steps.iter().map(|s| s.share).sum();
+        assert!((shares - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn request_path_names_the_bounding_stage() {
+        let stages = [
+            StageSpan {
+                name: "parse",
+                start_nanos: 0,
+                dur_nanos: 900,
+            },
+            StageSpan {
+                name: "execute",
+                start_nanos: 900,
+                dur_nanos: 80_000,
+            },
+            StageSpan {
+                name: "write",
+                start_nanos: 80_900,
+                dur_nanos: 1_500,
+            },
+        ];
+        let path = request_critical_path(&stages);
+        assert_eq!(path.bounding_name(), "execute");
+        assert!(path.bounding().unwrap().share > 0.9);
+        let text = path.to_string();
+        assert!(text.contains("bounding step: execute"));
+        assert!(text.contains("nanos"));
+    }
+
+    #[test]
+    fn empty_input_has_no_bounding_step() {
+        let path = request_critical_path(&[]);
+        assert!(path.bounding().is_none());
+        assert_eq!(path.bounding_name(), "-");
+        assert_eq!(path.total, 0);
+    }
+
+    #[test]
+    fn ties_rank_deterministically_by_name() {
+        let path = CriticalPath::from_contributions(
+            "nanos",
+            &[
+                ("b".to_owned(), 10),
+                ("a".to_owned(), 10),
+                ("c".to_owned(), 0),
+            ],
+        );
+        let names: Vec<&str> = path.steps.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, vec!["a", "b"], "zero steps dropped, ties by name");
+    }
+}

@@ -16,9 +16,16 @@
 //!   attribution, and a sampled span ring, summarised into an
 //!   [`ObsSummary`](recorder::ObsSummary);
 //! * [`otlp`] — renders a summary as an OTLP-shaped JSON document through
-//!   the shared `refrint_engine::json` emitter;
+//!   the shared `refrint_engine::json` emitter, including the per-request
+//!   span-tree documents `refrint-serve` exposes at `GET /jobs/<id>/trace`;
 //! * [`anomaly`] — robust z-scores (median/MAD) and a neighbourhood-slice
-//!   outlier detector for sweep results.
+//!   outlier detector for sweep results, with validated tunables
+//!   ([`anomaly::AnomalyTuning`]);
+//! * [`critical_path`] — reduces a span tree to the chain that bounds it:
+//!   the subsystem bounding a run's `execution_cycles`, or the lifecycle
+//!   stage bounding a request's wall latency;
+//! * [`log`] — a tiny levelled JSON/text line logger so serve-layer events
+//!   carry the trace id of the request that caused them.
 //!
 //! The hard invariant is that instrumentation **observes without
 //! perturbing**: a recorder never touches simulated state, so reports are
@@ -29,9 +36,13 @@
 #![warn(missing_docs)]
 
 pub mod anomaly;
+pub mod critical_path;
+pub mod log;
 pub mod otlp;
 pub mod recorder;
 pub mod span;
 
+pub use critical_path::{CriticalPath, PathStep};
+pub use log::{Level, LogFormat, Logger};
 pub use recorder::{ObsConfig, ObsSummary, Recorder, SubsystemTotals};
-pub use span::{Span, SpanRing, Subsystem};
+pub use span::{RequestTrace, Span, SpanRing, StageSpan, Subsystem, TraceContext};

@@ -1,0 +1,310 @@
+//! Minimal structured logging: levelled JSON or logfmt-style text lines.
+//!
+//! Pure `std`, allocation-light, and deliberately tiny: `refrint-serve`
+//! needs log lines that carry a trace id so a request can be followed
+//! from access log to span tree, not a logging framework. Lines go to a
+//! caller-chosen writer (stderr in production — stdout and response
+//! bodies stay byte-identical with logging on or off).
+
+use std::fmt;
+use std::io::Write;
+use std::sync::Mutex;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use refrint_engine::json::escape;
+
+/// Log severity, ordered so `Error < Warn < Info < Debug`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Failures the operator must look at.
+    Error,
+    /// Degraded but recoverable conditions.
+    Warn,
+    /// Request and job lifecycle events (the access log lives here).
+    Info,
+    /// Per-stage chatter for debugging.
+    Debug,
+}
+
+impl Level {
+    /// Parses `error|warn|info|debug` (case-insensitive).
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Level> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "error" => Some(Level::Error),
+            "warn" | "warning" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" => Some(Level::Debug),
+            _ => None,
+        }
+    }
+
+    /// Reads a level from the environment variable `var`, falling back to
+    /// `default` when unset or unparseable.
+    #[must_use]
+    pub fn from_env(var: &str, default: Level) -> Level {
+        std::env::var(var)
+            .ok()
+            .and_then(|v| Level::parse(&v))
+            .unwrap_or(default)
+    }
+
+    /// The lowercase level name used in log lines.
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+}
+
+/// Output encoding for log lines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LogFormat {
+    /// `key=value` pairs, one line per event.
+    #[default]
+    Text,
+    /// One JSON object per line.
+    Json,
+}
+
+impl LogFormat {
+    /// Parses `json|text`.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<LogFormat> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "text" => Some(LogFormat::Text),
+            "json" => Some(LogFormat::Json),
+            _ => None,
+        }
+    }
+}
+
+enum Sink {
+    Stderr,
+    Writer(Mutex<Box<dyn Write + Send>>),
+    Disabled,
+}
+
+/// A levelled line logger. Cheap to share behind the server state; a
+/// disabled logger reduces every call to one branch.
+pub struct Logger {
+    level: Level,
+    format: LogFormat,
+    sink: Sink,
+}
+
+impl fmt::Debug for Logger {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Logger")
+            .field("level", &self.level)
+            .field("format", &self.format)
+            .field(
+                "sink",
+                &match self.sink {
+                    Sink::Stderr => "stderr",
+                    Sink::Writer(_) => "writer",
+                    Sink::Disabled => "disabled",
+                },
+            )
+            .finish()
+    }
+}
+
+impl Logger {
+    /// A logger that drops every line.
+    #[must_use]
+    pub fn disabled() -> Logger {
+        Logger {
+            level: Level::Error,
+            format: LogFormat::Text,
+            sink: Sink::Disabled,
+        }
+    }
+
+    /// A logger writing to stderr.
+    #[must_use]
+    pub fn to_stderr(level: Level, format: LogFormat) -> Logger {
+        Logger {
+            level,
+            format,
+            sink: Sink::Stderr,
+        }
+    }
+
+    /// A logger writing to an arbitrary writer (tests, capture buffers).
+    #[must_use]
+    pub fn to_writer(level: Level, format: LogFormat, writer: Box<dyn Write + Send>) -> Logger {
+        Logger {
+            level,
+            format,
+            sink: Sink::Writer(Mutex::new(writer)),
+        }
+    }
+
+    /// Whether lines at `level` would be emitted.
+    #[must_use]
+    pub fn enabled(&self, level: Level) -> bool {
+        !matches!(self.sink, Sink::Disabled) && level <= self.level
+    }
+
+    /// Emits one line. `fields` are `(key, value)` pairs appended after
+    /// the timestamp, level and event name; values are escaped as needed.
+    pub fn log(&self, level: Level, event: &str, fields: &[(&str, String)]) {
+        if !self.enabled(level) {
+            return;
+        }
+        let line = render_line(self.format, level, event, fields);
+        match &self.sink {
+            Sink::Stderr => {
+                let stderr = std::io::stderr();
+                let mut out = stderr.lock();
+                let _ = out.write_all(line.as_bytes());
+            }
+            Sink::Writer(w) => {
+                if let Ok(mut out) = w.lock() {
+                    let _ = out.write_all(line.as_bytes());
+                    let _ = out.flush();
+                }
+            }
+            Sink::Disabled => {}
+        }
+    }
+
+    /// `log` at [`Level::Error`].
+    pub fn error(&self, event: &str, fields: &[(&str, String)]) {
+        self.log(Level::Error, event, fields);
+    }
+
+    /// `log` at [`Level::Warn`].
+    pub fn warn(&self, event: &str, fields: &[(&str, String)]) {
+        self.log(Level::Warn, event, fields);
+    }
+
+    /// `log` at [`Level::Info`].
+    pub fn info(&self, event: &str, fields: &[(&str, String)]) {
+        self.log(Level::Info, event, fields);
+    }
+
+    /// `log` at [`Level::Debug`].
+    pub fn debug(&self, event: &str, fields: &[(&str, String)]) {
+        self.log(Level::Debug, event, fields);
+    }
+}
+
+fn unix_seconds() -> f64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs_f64())
+        .unwrap_or(0.0)
+}
+
+fn render_line(format: LogFormat, level: Level, event: &str, fields: &[(&str, String)]) -> String {
+    let ts = unix_seconds();
+    match format {
+        LogFormat::Json => {
+            let mut line = format!(
+                "{{\"ts\":{ts:.6},\"level\":\"{}\",\"event\":\"{}\"",
+                level.name(),
+                escape(event)
+            );
+            for (key, value) in fields {
+                line.push_str(&format!(",\"{}\":\"{}\"", escape(key), escape(value)));
+            }
+            line.push_str("}\n");
+            line
+        }
+        LogFormat::Text => {
+            let mut line = format!("ts={ts:.6} level={} event={event}", level.name());
+            for (key, value) in fields {
+                if value.contains(|c: char| c.is_whitespace() || c == '"') {
+                    line.push_str(&format!(" {key}={value:?}"));
+                } else {
+                    line.push_str(&format!(" {key}={value}"));
+                }
+            }
+            line.push('\n');
+            line
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    /// A writer that appends into a shared buffer, for asserting output.
+    #[derive(Clone, Default)]
+    struct Capture(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for Capture {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn captured(level: Level, format: LogFormat) -> (Logger, Capture) {
+        let cap = Capture::default();
+        let logger = Logger::to_writer(level, format, Box::new(cap.clone()));
+        (logger, cap)
+    }
+
+    #[test]
+    fn level_ordering_and_parsing() {
+        assert!(Level::Error < Level::Debug);
+        assert_eq!(Level::parse("INFO"), Some(Level::Info));
+        assert_eq!(Level::parse("warning"), Some(Level::Warn));
+        assert_eq!(Level::parse("verbose"), None);
+    }
+
+    #[test]
+    fn lines_below_the_level_are_dropped() {
+        let (logger, cap) = captured(Level::Warn, LogFormat::Text);
+        logger.info("http.request", &[]);
+        logger.debug("noise", &[]);
+        assert!(cap.0.lock().unwrap().is_empty());
+        logger.warn("queue.full", &[("depth", "64".to_owned())]);
+        let text = String::from_utf8(cap.0.lock().unwrap().clone()).unwrap();
+        assert!(text.contains("level=warn event=queue.full depth=64"));
+    }
+
+    #[test]
+    fn json_lines_parse_and_carry_fields() {
+        let (logger, cap) = captured(Level::Info, LogFormat::Json);
+        logger.info(
+            "http.request",
+            &[
+                ("trace_id", "4bf92f3577b34da6a3ce929d0e0e4736".to_owned()),
+                ("path", "/run".to_owned()),
+                ("quoted", "a \"b\" c".to_owned()),
+            ],
+        );
+        let text = String::from_utf8(cap.0.lock().unwrap().clone()).unwrap();
+        let line = text.lines().next().expect("one line");
+        let doc = refrint_engine::json::parse(line).expect("log line is valid JSON");
+        assert_eq!(doc.get("level").and_then(|v| v.as_str()), Some("info"));
+        assert_eq!(
+            doc.get("trace_id").and_then(|v| v.as_str()),
+            Some("4bf92f3577b34da6a3ce929d0e0e4736")
+        );
+        assert_eq!(
+            doc.get("quoted").and_then(|v| v.as_str()),
+            Some("a \"b\" c")
+        );
+    }
+
+    #[test]
+    fn disabled_logger_emits_nothing() {
+        let logger = Logger::disabled();
+        assert!(!logger.enabled(Level::Error));
+        logger.error("boom", &[]); // must not panic or print
+    }
+}

@@ -10,18 +10,9 @@
 
 use refrint_engine::json::{emit, Value};
 
+use crate::critical_path::{request_critical_path, subsystem_critical_path};
 use crate::recorder::ObsSummary;
-use crate::span::Span;
-
-/// FNV-1a, for deterministic trace/span ids.
-fn fnv1a(seed: u64, bytes: &[u8]) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ seed;
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
+use crate::span::{fnv1a, RequestTrace, Span};
 
 fn attr_str(key: &str, value: &str) -> Value {
     Value::Obj(vec![
@@ -47,11 +38,23 @@ fn attr_int(key: &str, value: u64) -> Value {
     ])
 }
 
-fn span_value(span: &Span, trace_id: &str, index: usize) -> Value {
-    let span_id = format!("{:016x}", fnv1a(index as u64, trace_id.as_bytes()));
-    Value::Obj(vec![
+/// A deterministic 16-hex span id derived from the trace id and a slot.
+fn span_id(trace_id: &str, slot: u64) -> String {
+    format!("{:016x}", fnv1a(slot, trace_id.as_bytes()))
+}
+
+fn span_value(span: &Span, trace_id: &str, index: usize, parent: Option<&str>) -> Value {
+    let mut fields = vec![
         ("traceId".to_owned(), Value::Str(trace_id.to_owned())),
-        ("spanId".to_owned(), Value::Str(span_id)),
+        (
+            "spanId".to_owned(),
+            Value::Str(span_id(trace_id, index as u64)),
+        ),
+    ];
+    if let Some(parent) = parent {
+        fields.push(("parentSpanId".to_owned(), Value::Str(parent.to_owned())));
+    }
+    fields.extend([
         (
             "name".to_owned(),
             Value::Str(format!("{}/{}", span.subsystem.name(), span.kind)),
@@ -73,7 +76,8 @@ fn span_value(span: &Span, trace_id: &str, index: usize) -> Value {
                 attr_int("refrint.meta", span.meta),
             ]),
         ),
-    ])
+    ]);
+    Value::Obj(fields)
 }
 
 /// Builds the OTLP-shaped document for one run.
@@ -108,9 +112,15 @@ pub fn document(summary: &ObsSummary, config_label: &str, workload: &str) -> Val
         .sampled
         .iter()
         .enumerate()
-        .map(|(i, s)| span_value(s, &trace_id, i))
+        .map(|(i, s)| span_value(s, &trace_id, i, None))
         .collect();
 
+    wrap_resource_spans(resource_attrs, spans)
+}
+
+/// Wraps resource attributes and a span list in the OTLP envelope
+/// (`resourceSpans` → `scopeSpans` → `spans`).
+fn wrap_resource_spans(resource_attrs: Vec<Value>, spans: Vec<Value>) -> Value {
     Value::Obj(vec![(
         "resourceSpans".to_owned(),
         Value::Arr(vec![Value::Obj(vec![
@@ -139,6 +149,150 @@ pub fn document(summary: &ObsSummary, config_label: &str, workload: &str) -> Val
 #[must_use]
 pub fn render(summary: &ObsSummary, config_label: &str, workload: &str) -> String {
     emit(&document(summary, config_label, workload))
+}
+
+/// The slot [`span_id`] derives a request's root span id from.
+pub const ROOT_SPAN_SLOT: u64 = 0x524f_4f54; // "ROOT"
+const STAGE_SPAN_SLOT: u64 = 0x1000;
+const SIM_SPAN_SLOT: u64 = 0x10_0000;
+
+/// The deterministic root span id for a trace id (exposed so servers can
+/// propagate `traceparent` onwards and tests can assert linkage).
+#[must_use]
+pub fn root_span_id(trace_id: &str) -> String {
+    span_id(trace_id, ROOT_SPAN_SLOT)
+}
+
+/// Builds the OTLP-shaped document for one served request: a `request`
+/// root span (parented on the caller's span when the request arrived with
+/// a `traceparent` header), one child span per lifecycle stage, and — for
+/// requests that actually executed a simulation — the run's sampled
+/// subsystem spans attached as children of the `execute` stage.
+///
+/// `extra` carries request-identity resource attributes (job id, kind,
+/// cache disposition); `sim` is `(summary, config_label, workload)` for
+/// executed runs. Stage timestamps are host nanoseconds from request
+/// start; simulator span timestamps remain simulated cycles, exactly as
+/// in [`document`].
+#[must_use]
+pub fn request_document(
+    trace: &RequestTrace,
+    extra: &[(String, String)],
+    sim: Option<(&ObsSummary, &str, &str)>,
+) -> Value {
+    let trace_id = trace.context.trace_id.as_str();
+    let root_id = root_span_id(trace_id);
+
+    let request_path = request_critical_path(&trace.stages);
+    let mut resource_attrs = vec![
+        attr_str("service.name", "refrint-serve"),
+        attr_int("refrint.request_total_nanos", trace.total_nanos),
+        attr_str(
+            "refrint.request_critical_stage",
+            request_path.bounding_name(),
+        ),
+    ];
+    for (key, value) in extra {
+        resource_attrs.push(attr_str(key, value));
+    }
+
+    let mut spans = Vec::with_capacity(trace.stages.len() + 1);
+    let mut root = vec![
+        ("traceId".to_owned(), Value::Str(trace_id.to_owned())),
+        ("spanId".to_owned(), Value::Str(root_id.clone())),
+    ];
+    if let Some(parent) = &trace.context.parent_span_id {
+        root.push(("parentSpanId".to_owned(), Value::Str(parent.clone())));
+    }
+    root.extend([
+        ("name".to_owned(), Value::Str("request".to_owned())),
+        ("kind".to_owned(), Value::Num(2.0)), // SPAN_KIND_SERVER
+        ("startTimeUnixNano".to_owned(), Value::Str("0".to_owned())),
+        (
+            "endTimeUnixNano".to_owned(),
+            Value::Str(trace.total_nanos.to_string()),
+        ),
+        ("attributes".to_owned(), Value::Arr(Vec::new())),
+    ]);
+    spans.push(Value::Obj(root));
+
+    let mut execute_id = None;
+    for (i, stage) in trace.stages.iter().enumerate() {
+        let id = span_id(trace_id, STAGE_SPAN_SLOT + i as u64);
+        if stage.name == "execute" {
+            execute_id = Some(id.clone());
+        }
+        spans.push(Value::Obj(vec![
+            ("traceId".to_owned(), Value::Str(trace_id.to_owned())),
+            ("spanId".to_owned(), Value::Str(id)),
+            ("parentSpanId".to_owned(), Value::Str(root_id.clone())),
+            (
+                "name".to_owned(),
+                Value::Str(format!("stage/{}", stage.name)),
+            ),
+            ("kind".to_owned(), Value::Num(1.0)),
+            (
+                "startTimeUnixNano".to_owned(),
+                Value::Str(stage.start_nanos.to_string()),
+            ),
+            (
+                "endTimeUnixNano".to_owned(),
+                Value::Str((stage.start_nanos + stage.dur_nanos).to_string()),
+            ),
+            (
+                "attributes".to_owned(),
+                Value::Arr(vec![
+                    attr_str("refrint.stage", stage.name),
+                    attr_int("refrint.stage_nanos", stage.dur_nanos),
+                ]),
+            ),
+        ]));
+    }
+
+    if let Some((summary, config_label, workload)) = sim {
+        let sim_path = subsystem_critical_path(summary);
+        resource_attrs.push(attr_str("refrint.config", config_label));
+        resource_attrs.push(attr_str("refrint.workload", workload));
+        resource_attrs.push(attr_int(
+            "refrint.sample_every",
+            u64::from(summary.sample_every),
+        ));
+        resource_attrs.push(attr_str(
+            "refrint.run_critical_subsystem",
+            sim_path.bounding_name(),
+        ));
+        for t in &summary.per_subsystem {
+            resource_attrs.push(attr_int(
+                &format!("refrint.sim_cycles.{}", t.subsystem.name()),
+                t.cycles,
+            ));
+            resource_attrs.push(attr_int(
+                &format!("refrint.host_nanos.{}", t.subsystem.name()),
+                t.host_nanos,
+            ));
+        }
+        let parent = execute_id.as_deref().unwrap_or(root_id.as_str());
+        for (i, s) in summary.sampled.iter().enumerate() {
+            spans.push(span_value(
+                s,
+                trace_id,
+                SIM_SPAN_SLOT as usize + i,
+                Some(parent),
+            ));
+        }
+    }
+
+    wrap_resource_spans(resource_attrs, spans)
+}
+
+/// Renders a request trace document as a compact JSON string.
+#[must_use]
+pub fn render_request(
+    trace: &RequestTrace,
+    extra: &[(String, String)],
+    sim: Option<(&ObsSummary, &str, &str)>,
+) -> String {
+    emit(&request_document(trace, extra, sim))
 }
 
 #[cfg(test)]
@@ -199,5 +353,104 @@ mod tests {
         assert!(text.contains("refrint.sim_cycles.dram"));
         assert!(text.contains("refrint.host_nanos.cache"));
         assert!(text.contains("\"service.name\""));
+    }
+
+    fn sample_trace() -> crate::span::RequestTrace {
+        crate::span::RequestTrace {
+            context: crate::span::TraceContext {
+                trace_id: "4bf92f3577b34da6a3ce929d0e0e4736".to_owned(),
+                parent_span_id: Some("00f067aa0ba902b7".to_owned()),
+            },
+            stages: vec![
+                crate::span::StageSpan {
+                    name: "parse",
+                    start_nanos: 0,
+                    dur_nanos: 500,
+                },
+                crate::span::StageSpan {
+                    name: "execute",
+                    start_nanos: 500,
+                    dur_nanos: 90_000,
+                },
+                crate::span::StageSpan {
+                    name: "write",
+                    start_nanos: 90_500,
+                    dur_nanos: 700,
+                },
+            ],
+            total_nanos: 91_200,
+        }
+    }
+
+    #[test]
+    fn request_document_links_root_stages_and_sim_spans() {
+        let summary = sample_summary();
+        let extra = [("refrint.job".to_owned(), "j00000001".to_owned())];
+        let text = render_request(&sample_trace(), &extra, Some((&summary, "cfg", "lu")));
+        let doc = refrint_engine::json::parse(&text).expect("request doc parses");
+        let spans = doc
+            .get("resourceSpans")
+            .and_then(|v| v.as_arr())
+            .and_then(|rs| rs[0].get("scopeSpans"))
+            .and_then(|v| v.as_arr())
+            .and_then(|ss| ss[0].get("spans"))
+            .and_then(|v| v.as_arr())
+            .expect("spans array exists");
+        // root + 3 stages + 2 sim spans
+        assert_eq!(spans.len(), 6);
+
+        let root = &spans[0];
+        assert_eq!(root.get("name").and_then(|v| v.as_str()), Some("request"));
+        assert_eq!(
+            root.get("parentSpanId").and_then(|v| v.as_str()),
+            Some("00f067aa0ba902b7"),
+            "root must be parented on the inbound traceparent span"
+        );
+        let root_id = root.get("spanId").and_then(|v| v.as_str()).unwrap();
+        assert_eq!(root_id, root_span_id("4bf92f3577b34da6a3ce929d0e0e4736"));
+
+        let execute = spans
+            .iter()
+            .find(|s| s.get("name").and_then(|v| v.as_str()) == Some("stage/execute"))
+            .expect("execute stage span");
+        assert_eq!(
+            execute.get("parentSpanId").and_then(|v| v.as_str()),
+            Some(root_id),
+            "stages are children of the root"
+        );
+        let execute_id = execute.get("spanId").and_then(|v| v.as_str()).unwrap();
+
+        let sim = spans
+            .iter()
+            .find(|s| s.get("name").and_then(|v| v.as_str()) == Some("cache/dl1.access"))
+            .expect("sim span attached");
+        assert_eq!(
+            sim.get("parentSpanId").and_then(|v| v.as_str()),
+            Some(execute_id),
+            "sim spans are children of the execute stage"
+        );
+
+        assert!(text.contains("refrint.request_critical_stage"));
+        assert!(text.contains("\"stringValue\":\"execute\""));
+        assert!(text.contains("refrint.run_critical_subsystem"));
+        assert!(text.contains("j00000001"));
+    }
+
+    #[test]
+    fn request_document_without_sim_keeps_the_stage_tree() {
+        let trace = sample_trace();
+        let text = render_request(&trace, &[], None);
+        let doc = refrint_engine::json::parse(&text).expect("parses");
+        let spans = doc
+            .get("resourceSpans")
+            .and_then(|v| v.as_arr())
+            .and_then(|rs| rs[0].get("scopeSpans"))
+            .and_then(|v| v.as_arr())
+            .and_then(|ss| ss[0].get("spans"))
+            .and_then(|v| v.as_arr())
+            .unwrap();
+        assert_eq!(spans.len(), 4, "root + 3 stages, no sim spans");
+        let a = render_request(&trace, &[], None);
+        assert_eq!(a, text, "request docs are deterministic");
     }
 }

@@ -1,4 +1,16 @@
-//! Spans, the subsystem taxonomy and the fixed-size span ring.
+//! Spans, the subsystem taxonomy, the fixed-size span ring, and the
+//! request-scoped trace context used by `refrint-serve`.
+
+/// FNV-1a, the workspace's deterministic id hash (trace ids, span ids).
+#[must_use]
+pub fn fnv1a(seed: u64, bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ seed;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
 
 /// The subsystems the simulator attributes time to.
 ///
@@ -139,6 +151,127 @@ impl SpanRing {
     }
 }
 
+/// The canonical request lifecycle stages `refrint-serve` records, in
+/// wall-clock order. The names double as the `stage` label values of the
+/// `refrint_request_stage_seconds` metrics family.
+pub const REQUEST_STAGES: [&str; 7] = [
+    "parse",
+    "read_body",
+    "validate",
+    "cache_lookup",
+    "queue_wait",
+    "execute",
+    "write",
+];
+
+/// One stage of a request's lifecycle, in host nanoseconds relative to
+/// the moment the connection handler started reading the request.
+///
+/// Stage spans are children of the implicit `request` root span; the
+/// simulator's [`Span`]s attach under the `execute` stage at export time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageSpan {
+    /// Stage name, one of [`REQUEST_STAGES`].
+    pub name: &'static str,
+    /// Nanoseconds from request start to stage start.
+    pub start_nanos: u64,
+    /// Stage duration in nanoseconds.
+    pub dur_nanos: u64,
+}
+
+/// W3C trace context: a request's trace id plus the caller's span id when
+/// the request arrived with a `traceparent` header.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceContext {
+    /// 32 lowercase hex chars.
+    pub trace_id: String,
+    /// The inbound parent span id (16 hex chars), if the caller sent one.
+    pub parent_span_id: Option<String>,
+}
+
+impl TraceContext {
+    /// Parses a W3C `traceparent` header value
+    /// (`00-<32 hex trace-id>-<16 hex span-id>-<2 hex flags>`). Returns
+    /// `None` for malformed values or all-zero ids, per the spec.
+    #[must_use]
+    pub fn parse_traceparent(value: &str) -> Option<TraceContext> {
+        let mut parts = value.trim().split('-');
+        let version = parts.next()?;
+        let trace_id = parts.next()?;
+        let span_id = parts.next()?;
+        let flags = parts.next()?;
+        if parts.next().is_some() && version == "00" {
+            return None; // version 00 allows exactly four fields
+        }
+        let hex = |s: &str, len: usize| {
+            s.len() == len
+                && s.bytes()
+                    .all(|b| b.is_ascii_hexdigit() && !b.is_ascii_uppercase())
+        };
+        if !hex(version, 2) || !hex(trace_id, 32) || !hex(span_id, 16) || !hex(flags, 2) {
+            return None;
+        }
+        if trace_id.bytes().all(|b| b == b'0') || span_id.bytes().all(|b| b == b'0') {
+            return None;
+        }
+        Some(TraceContext {
+            trace_id: trace_id.to_owned(),
+            parent_span_id: Some(span_id.to_owned()),
+        })
+    }
+
+    /// Mints a deterministic trace context from request identity material
+    /// (refrint-serve feeds the validated cache key, which carries the
+    /// seed — so identical requests mint identical trace ids).
+    #[must_use]
+    pub fn mint(material: &str) -> TraceContext {
+        let hi = fnv1a(0x0074_7261_6365, material.as_bytes()); // "trace"
+        let lo = fnv1a(hi, material.as_bytes());
+        TraceContext {
+            trace_id: format!("{hi:016x}{lo:016x}"),
+            parent_span_id: None,
+        }
+    }
+
+    /// Renders the context as a `traceparent` header value with the given
+    /// span id as the active span.
+    #[must_use]
+    pub fn to_traceparent(&self, span_id: &str) -> String {
+        format!("00-{}-{}-01", self.trace_id, span_id)
+    }
+}
+
+/// A request's recorded lifecycle: the trace context plus the stage spans
+/// the connection handler measured. Stored per job so `GET
+/// /jobs/<id>/trace` can replay the tree after the fact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestTrace {
+    /// The request's trace context (inbound or minted).
+    pub context: TraceContext,
+    /// Recorded stages, in wall-clock order.
+    pub stages: Vec<StageSpan>,
+    /// Total request wall time in nanoseconds (read start to write end).
+    pub total_nanos: u64,
+}
+
+impl RequestTrace {
+    /// Whether a stage with this name was recorded.
+    #[must_use]
+    pub fn has_stage(&self, name: &str) -> bool {
+        self.stages.iter().any(|s| s.name == name)
+    }
+
+    /// End of the last recorded stage, in nanoseconds from request start.
+    #[must_use]
+    pub fn last_stage_end(&self) -> u64 {
+        self.stages
+            .iter()
+            .map(|s| s.start_nanos + s.dur_nanos)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -185,5 +318,58 @@ mod tests {
         assert_eq!(ring.dropped(), 0);
         let kept: Vec<u64> = ring.to_vec().iter().map(|s| s.t_start).collect();
         assert_eq!(kept, vec![1, 2]);
+    }
+
+    #[test]
+    fn ring_wraparound_evicts_oldest_in_order() {
+        // Fill well past capacity and check the retained window is exactly
+        // the newest `capacity` spans, oldest first, at every fill level.
+        let capacity = 7;
+        let mut ring = SpanRing::new(capacity);
+        for t in 0..40u64 {
+            ring.push(span(t));
+            let kept: Vec<u64> = ring.to_vec().iter().map(|s| s.t_start).collect();
+            let expect: Vec<u64> = (t.saturating_sub(capacity as u64 - 1)..=t).collect();
+            assert_eq!(kept, expect, "after pushing span {t}");
+            assert_eq!(ring.dropped(), (t + 1).saturating_sub(capacity as u64));
+        }
+    }
+
+    #[test]
+    fn traceparent_roundtrip_and_rejects() {
+        let tp = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01";
+        let ctx = TraceContext::parse_traceparent(tp).expect("valid header parses");
+        assert_eq!(ctx.trace_id, "4bf92f3577b34da6a3ce929d0e0e4736");
+        assert_eq!(ctx.parent_span_id.as_deref(), Some("00f067aa0ba902b7"));
+        assert_eq!(ctx.to_traceparent("00f067aa0ba902b7"), tp);
+
+        for bad in [
+            "",
+            "00-xyz-00f067aa0ba902b7-01",
+            "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7", // missing flags
+            "00-00000000000000000000000000000000-00f067aa0ba902b7-01", // zero trace id
+            "00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01", // zero span id
+            "00-4BF92F3577B34DA6A3CE929D0E0E4736-00f067aa0ba902b7-01", // uppercase
+            "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-extra",
+        ] {
+            assert!(
+                TraceContext::parse_traceparent(bad).is_none(),
+                "must reject {bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn minted_trace_ids_are_deterministic_per_material() {
+        let a = TraceContext::mint("run|seed=1");
+        let b = TraceContext::mint("run|seed=1");
+        let c = TraceContext::mint("run|seed=2");
+        assert_eq!(a, b);
+        assert_ne!(a.trace_id, c.trace_id);
+        assert_eq!(a.trace_id.len(), 32);
+        assert!(a.parent_span_id.is_none());
+        // Minted ids must themselves be valid traceparent material.
+        let rt = TraceContext::parse_traceparent(&a.to_traceparent("00f067aa0ba902b7"));
+        assert_eq!(rt.expect("valid").trace_id, a.trace_id);
     }
 }

@@ -16,6 +16,7 @@ use refrint::simulation::Simulation;
 use refrint_edram::model::PolicyRegistry;
 use refrint_edram::policy::RefreshPolicy;
 use refrint_engine::json::{escape, Value};
+use refrint_obs::anomaly::AnomalyTuning;
 use refrint_workloads::apps::AppPreset;
 
 use crate::jobs::JobWork;
@@ -92,6 +93,11 @@ fn u64_field(v: &Value, key: &str) -> Result<u64, ApiError> {
 
 fn usize_field(v: &Value, key: &str) -> Result<usize, ApiError> {
     Ok(u64_field(v, key)? as usize)
+}
+
+fn f64_field(v: &Value, key: &str) -> Result<f64, ApiError> {
+    v.as_num()
+        .ok_or_else(|| schema_err(format!("\"{key}\" must be a number")))
 }
 
 fn bool_field(v: &Value, key: &str) -> Result<bool, ApiError> {
@@ -303,6 +309,8 @@ pub fn parse_sweep_request(
 
     let mut cfg = ExperimentConfig::quick();
     let mut mode = SubmitMode::Sync;
+    let mut anomaly_threshold: Option<f64> = None;
+    let mut anomaly_min_slice: Option<u64> = None;
 
     for (key, value) in fields {
         match key.as_str() {
@@ -350,14 +358,26 @@ pub fn parse_sweep_request(
             "seed" => cfg.seed = u64_field(value, "seed")?,
             "cores" => cfg.cores = usize_field(value, "cores")?,
             "mode" => mode = mode_field(value)?,
+            "anomaly_threshold" => {
+                anomaly_threshold = Some(f64_field(value, "anomaly_threshold")?);
+            }
+            "min_slice" => anomaly_min_slice = Some(u64_field(value, "min_slice")?),
             other => {
                 return Err(schema_err(format!(
                     "unknown field \"{other}\" (expected apps, traces, policies, \
-                     retentions_us, refs, seed, cores, mode)"
+                     retentions_us, refs, seed, cores, mode, anomaly_threshold, \
+                     min_slice)"
                 )))
             }
         }
     }
+
+    let defaults = AnomalyTuning::default();
+    let anomaly = AnomalyTuning::new(
+        anomaly_threshold.unwrap_or(defaults.threshold),
+        anomaly_min_slice.map_or(defaults.min_slice, |n| n as usize),
+    )
+    .map_err(|e| ApiError::new(422, "invalid_tuning", e.to_string()))?;
 
     if cfg.apps.is_empty() && cfg.traces.is_empty() {
         return Err(schema_err("a sweep needs at least one app or trace"));
@@ -390,7 +410,7 @@ pub fn parse_sweep_request(
         .collect();
     let retentions: Vec<String> = cfg.retentions_us.iter().map(u64::to_string).collect();
     let policies: Vec<String> = cfg.policies.iter().map(RefreshPolicy::label).collect();
-    let cache_key = format!(
+    let mut cache_key = format!(
         "sweep|apps={}|traces={}|ret={}|pol={}|refs={}|seed={}|cores={}",
         apps.join(","),
         traces.join(","),
@@ -400,9 +420,21 @@ pub fn parse_sweep_request(
         cfg.seed,
         cfg.cores,
     );
+    // Default-tuned sweeps keep their PR-4 cache keys (and thus their
+    // cached bytes); only a non-default tuning gets its own entries.
+    if !anomaly.is_default() {
+        cache_key.push_str(&format!(
+            "|z={}|slice={}",
+            refrint_engine::json::num(anomaly.threshold),
+            anomaly.min_slice
+        ));
+    }
 
     Ok(ValidatedRequest {
-        work: JobWork::Sweep { config: cfg },
+        work: JobWork::Sweep {
+            config: cfg,
+            anomaly,
+        },
         cache_key,
         mode,
     })
@@ -490,8 +522,9 @@ mod tests {
         assert!(v.cache_key.starts_with("sweep|apps=lu|"));
         assert!(v.cache_key.contains("pol=P.all"));
         match &v.work {
-            JobWork::Sweep { config } => {
+            JobWork::Sweep { config, anomaly } => {
                 assert_eq!(config.total_runs(), 2);
+                assert!(anomaly.is_default());
             }
             other => panic!("wrong work: {other:?}"),
         }
@@ -508,6 +541,54 @@ mod tests {
         )
         .unwrap_err();
         assert_eq!(err.kind, "invalid_config");
+    }
+
+    #[test]
+    fn sweep_anomaly_tuning_is_validated_and_keys_separately() {
+        let base = "{\"apps\": [\"lu\"], \"retentions_us\": [50], \
+                    \"policies\": [\"P.all\"], \"refs\": 1000, \"cores\": 2";
+        let default_key = parse_sweep_request(&parse(&format!("{base}}}")).unwrap(), None)
+            .unwrap()
+            .cache_key;
+        // Spelling out the defaults keeps the default cache key.
+        let spelled = parse_sweep_request(
+            &parse(&format!(
+                "{base}, \"anomaly_threshold\": 8.0, \"min_slice\": 4}}"
+            ))
+            .unwrap(),
+            None,
+        )
+        .unwrap();
+        assert_eq!(spelled.cache_key, default_key);
+        // A non-default tuning is carried and keyed separately.
+        let tuned = parse_sweep_request(
+            &parse(&format!(
+                "{base}, \"anomaly_threshold\": 3.5, \"min_slice\": 6}}"
+            ))
+            .unwrap(),
+            None,
+        )
+        .unwrap();
+        assert_ne!(tuned.cache_key, default_key);
+        match &tuned.work {
+            JobWork::Sweep { anomaly, .. } => {
+                assert_eq!((anomaly.threshold, anomaly.min_slice), (3.5, 6));
+            }
+            other => panic!("wrong work: {other:?}"),
+        }
+        // Invalid tunables are typed 422s.
+        let err = parse_sweep_request(
+            &parse(&format!("{base}, \"anomaly_threshold\": -1.0}}")).unwrap(),
+            None,
+        )
+        .unwrap_err();
+        assert_eq!((err.status, err.kind), (422, "invalid_tuning"));
+        let err = parse_sweep_request(
+            &parse(&format!("{base}, \"min_slice\": 0}}")).unwrap(),
+            None,
+        )
+        .unwrap_err();
+        assert_eq!((err.status, err.kind), (422, "invalid_tuning"));
     }
 
     #[test]

@@ -11,6 +11,8 @@
 //!   `refrint-cli run --format json`).
 //! * `sweep [--apps a,b] [--refs N] [--cores N]` — `POST /sweep`.
 //! * `job --id ID [--result]` — `GET /jobs/<id>[/result]`.
+//! * `trace <job-id>` — `GET /jobs/<id>/trace`, pretty-print the span
+//!   tree with per-stage durations and the critical path marked.
 //! * `shutdown` — `POST /shutdown`.
 //!
 //! Exit status is non-zero on any non-2xx response, and on an
@@ -19,7 +21,9 @@
 
 use std::net::SocketAddr;
 use std::process::ExitCode;
+use std::time::Duration;
 
+use refrint_engine::json::{parse, Value};
 use refrint_serve::client::{self, HttpResponse};
 
 const USAGE: &str = "\
@@ -30,10 +34,12 @@ Commands:
   metrics                          GET /metrics
   run --app <name> [--refs N] [--cores N] [--seed N] [--policy L]
       [--retention US] [--sram] [--trace NAME] [--mode sync|async]
-      [--expect-cache hit|miss]    POST /run and print the body
+      [--traceparent TP] [--expect-cache hit|miss]
+                                   POST /run and print the body
   sweep [--apps a,b] [--refs N] [--cores N] [--expect-cache hit|miss]
                                    POST /sweep and print the body
   job --id ID [--result]           GET /jobs/<id>[/result]
+  trace <job-id>                   GET /jobs/<id>/trace, pretty-printed
   shutdown                         POST /shutdown
 ";
 
@@ -52,9 +58,10 @@ fn has_flag(args: &[String], name: &str) -> bool {
     args.iter().any(|a| a == name)
 }
 
-/// The first positional argument: flags and their values are skipped, so
-/// flag order relative to the command does not matter.
-fn command(args: &[String]) -> Option<String> {
+/// The positional arguments in order: flags and their values are skipped,
+/// so flag order relative to the command does not matter.
+fn positionals(args: &[String]) -> Vec<String> {
+    let mut found = Vec::new();
     let mut i = 0;
     while i < args.len() {
         let arg = &args[i];
@@ -65,10 +72,16 @@ fn command(args: &[String]) -> Option<String> {
                 2
             };
         } else {
-            return Some(arg.clone());
+            found.push(arg.clone());
+            i += 1;
         }
     }
-    None
+    found
+}
+
+/// The first positional argument (the command name).
+fn command(args: &[String]) -> Option<String> {
+    positionals(args).into_iter().next()
 }
 
 fn main() -> ExitCode {
@@ -89,12 +102,15 @@ fn run(args: &[String]) -> Result<(), String> {
         .map_err(|e| format!("bad --addr: {e}"))?;
     let command = command(args).ok_or(format!("a command is required\n{USAGE}"))?;
 
+    if command == "trace" {
+        return trace_command(args, addr);
+    }
     let response = match command.as_str() {
         "health" => client::get(addr, "/healthz"),
         "metrics" => client::get(addr, "/metrics"),
         "shutdown" => client::post(addr, "/shutdown", b""),
-        "run" => client::post(addr, "/run", run_body(args)?.as_bytes()),
-        "sweep" => client::post(addr, "/sweep", sweep_body(args)?.as_bytes()),
+        "run" => post_traced(args, addr, "/run", &run_body(args)?),
+        "sweep" => post_traced(args, addr, "/sweep", &sweep_body(args)?),
         "job" => {
             let id = opt_value(args, "--id").ok_or("job requires --id ID")?;
             let path = if has_flag(args, "--result") {
@@ -161,6 +177,156 @@ fn run_body(args: &[String]) -> Result<String, String> {
         fields.push(format!("\"mode\":\"{}\"", escape(&mode)));
     }
     Ok(format!("{{{}}}", fields.join(",")))
+}
+
+/// `POST`s a body, forwarding a `--traceparent` header when given.
+fn post_traced(
+    args: &[String],
+    addr: SocketAddr,
+    path: &str,
+    body: &str,
+) -> std::io::Result<HttpResponse> {
+    match opt_value(args, "--traceparent") {
+        Some(tp) => client::request_with_headers(
+            addr,
+            "POST",
+            path,
+            Some(body.as_bytes()),
+            &[("traceparent", tp.as_str())],
+        ),
+        None => client::post(addr, path, body.as_bytes()),
+    }
+}
+
+/// `trace <job-id>`: fetches `/jobs/<id>/trace` (retrying briefly while
+/// the server answers 202) and pretty-prints the span tree.
+fn trace_command(args: &[String], addr: SocketAddr) -> Result<(), String> {
+    let id = opt_value(args, "--id")
+        .or_else(|| positionals(args).into_iter().nth(1))
+        .ok_or("trace requires a job id: trace <job-id>")?;
+    let path = format!("/jobs/{id}/trace");
+    let mut response = client::get(addr, &path).map_err(|e| format!("request failed: {e}"))?;
+    for _ in 0..40 {
+        if response.status != 202 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(250));
+        response = client::get(addr, &path).map_err(|e| format!("request failed: {e}"))?;
+    }
+    if response.status != 200 {
+        print!("{}", response.body_str());
+        return Err(format!("trace failed with HTTP {}", response.status));
+    }
+    print_trace(&response.body_str())
+}
+
+/// Returns the string or int value of the attribute named `key`.
+fn attr<'a>(attrs: &'a [Value], key: &str) -> Option<&'a str> {
+    attrs.iter().find_map(|a| {
+        if a.get("key").and_then(Value::as_str) == Some(key) {
+            let value = a.get("value")?;
+            value
+                .get("stringValue")
+                .or_else(|| value.get("intValue"))
+                .and_then(Value::as_str)
+        } else {
+            None
+        }
+    })
+}
+
+fn span_field<'a>(span: &'a Value, key: &str) -> &'a str {
+    span.get(key).and_then(Value::as_str).unwrap_or("")
+}
+
+fn span_nanos(span: &Value, key: &str) -> u64 {
+    span_field(span, key).parse().unwrap_or(0)
+}
+
+/// Pretty-prints one OTLP request-trace document as an indented span tree
+/// with durations, marking the critical stage and subsystem.
+fn print_trace(text: &str) -> Result<(), String> {
+    let doc = parse(text.trim_end()).map_err(|e| format!("bad trace document: {e}"))?;
+    let resource = doc
+        .get("resourceSpans")
+        .and_then(Value::as_arr)
+        .and_then(|rs| rs.first())
+        .ok_or("trace document has no resourceSpans")?;
+    let empty = Vec::new();
+    let resource_attrs = resource
+        .get("resource")
+        .and_then(|r| r.get("attributes"))
+        .and_then(Value::as_arr)
+        .unwrap_or(&empty);
+    let spans = resource
+        .get("scopeSpans")
+        .and_then(Value::as_arr)
+        .and_then(|ss| ss.first())
+        .and_then(|s| s.get("spans"))
+        .and_then(Value::as_arr)
+        .ok_or("trace document has no spans")?;
+
+    let critical_stage = attr(resource_attrs, "refrint.request_critical_stage").unwrap_or("-");
+    let critical_subsystem = attr(resource_attrs, "refrint.run_critical_subsystem");
+    if let Some(first) = spans.first() {
+        println!("trace {}", span_field(first, "traceId"));
+    }
+    for (key, label) in [
+        ("refrint.job", "job"),
+        ("refrint.job_kind", "kind"),
+        ("refrint.job_cached", "cached"),
+        ("refrint.request_total_nanos", "total_nanos"),
+    ] {
+        if let Some(v) = attr(resource_attrs, key) {
+            println!("{label}: {v}");
+        }
+    }
+
+    // Index spans by id and group children under their parent.
+    let known: Vec<&str> = spans.iter().map(|s| span_field(s, "spanId")).collect();
+    let roots: Vec<&Value> = spans
+        .iter()
+        .filter(|s| !known.contains(&span_field(s, "parentSpanId")))
+        .collect();
+    for root in roots {
+        print_span(root, spans, 0, critical_stage, critical_subsystem);
+    }
+    if let Some(subsystem) = critical_subsystem {
+        println!("run critical subsystem: {subsystem}");
+    }
+    println!("request critical stage: {critical_stage}");
+    Ok(())
+}
+
+fn print_span(
+    span: &Value,
+    all: &[Value],
+    depth: usize,
+    critical_stage: &str,
+    critical_subsystem: Option<&str>,
+) {
+    let name = span_field(span, "name");
+    let dur =
+        span_nanos(span, "endTimeUnixNano").saturating_sub(span_nanos(span, "startTimeUnixNano"));
+    let empty = Vec::new();
+    let attrs = span
+        .get("attributes")
+        .and_then(Value::as_arr)
+        .unwrap_or(&empty);
+    // Simulator spans carry cycle timestamps, not host nanoseconds.
+    let duration = if attr(attrs, "refrint.sim_cycles").is_some() {
+        format!("{dur} cycles")
+    } else {
+        format!("{:.3} ms", dur as f64 / 1e6)
+    };
+    let critical = name.strip_prefix("stage/") == Some(critical_stage)
+        || attr(attrs, "refrint.subsystem").is_some_and(|s| Some(s) == critical_subsystem);
+    let marker = if critical { "  <== critical" } else { "" };
+    println!("{}{name}  [{duration}]{marker}", "  ".repeat(depth));
+    let id = span_field(span, "spanId");
+    for child in all.iter().filter(|s| span_field(s, "parentSpanId") == id) {
+        print_span(child, all, depth + 1, critical_stage, critical_subsystem);
+    }
 }
 
 fn sweep_body(args: &[String]) -> Result<String, String> {

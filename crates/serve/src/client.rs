@@ -66,11 +66,30 @@ pub fn request(
     path: &str,
     body: Option<&[u8]>,
 ) -> std::io::Result<HttpResponse> {
+    request_with_headers(addr, method, path, body, &[])
+}
+
+/// [`request`] with extra request headers (e.g. a `traceparent` to
+/// propagate a trace context into the server).
+///
+/// # Errors
+///
+/// Any socket error, or a malformed response.
+pub fn request_with_headers(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&[u8]>,
+    headers: &[(&str, &str)],
+) -> std::io::Result<HttpResponse> {
     let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(10))?;
     stream.set_read_timeout(Some(Duration::from_secs(600)))?;
     stream.set_write_timeout(Some(Duration::from_secs(10)))?;
 
     let mut head = format!("{method} {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n");
+    for (name, value) in headers {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
     if let Some(body) = body {
         head.push_str(&format!("Content-Length: {}\r\n", body.len()));
     }

@@ -22,6 +22,24 @@ pub struct Request {
     pub path: String,
     /// The request body (empty when no `Content-Length` was sent).
     pub body: Vec<u8>,
+    /// Every header as `(lowercased-name, trimmed-value)`, in arrival
+    /// order (trace context propagation reads `traceparent` from here).
+    pub headers: Vec<(String, String)>,
+    /// Host nanoseconds spent reading and parsing the head.
+    pub head_nanos: u64,
+    /// Host nanoseconds spent reading the body.
+    pub body_nanos: u64,
+}
+
+impl Request {
+    /// The first value of a header, by case-insensitive name.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
 }
 
 /// Why a request could not be read. Each variant maps to one 4xx status.
@@ -90,6 +108,7 @@ impl HttpError {
 pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, HttpError> {
     let mut reader_ref = BufReader::new(stream);
     let mut head = 0usize;
+    let head_started = std::time::Instant::now();
 
     let request_line = read_head_line(&mut reader_ref, &mut head)?;
     let request_line = request_line.trim_end().to_owned();
@@ -109,6 +128,7 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, 
     }
 
     let mut content_length: Option<usize> = None;
+    let mut headers: Vec<(String, String)> = Vec::new();
     loop {
         let line = read_head_line(&mut reader_ref, &mut head)?;
         let header = line.trim_end();
@@ -118,14 +138,19 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, 
         let Some((name, value)) = header.split_once(':') else {
             return Err(HttpError::Malformed(format!("bad header `{header}`")));
         };
-        if name.trim().eq_ignore_ascii_case("content-length") {
-            let parsed = value.trim().parse::<usize>().map_err(|_| {
-                HttpError::Malformed(format!("bad Content-Length `{}`", value.trim()))
-            })?;
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim().to_owned();
+        if name == "content-length" {
+            let parsed = value
+                .parse::<usize>()
+                .map_err(|_| HttpError::Malformed(format!("bad Content-Length `{value}`")))?;
             content_length = Some(parsed);
         }
+        headers.push((name, value));
     }
+    let head_nanos = elapsed_nanos(head_started);
 
+    let body_started = std::time::Instant::now();
     let mut body = Vec::new();
     if let Some(len) = content_length {
         if len > max_body {
@@ -139,8 +164,21 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, 
             .read_exact(&mut body)
             .map_err(|e| HttpError::Incomplete(format!("body truncated: {e}")))?;
     }
+    let body_nanos = elapsed_nanos(body_started);
 
-    Ok(Request { method, path, body })
+    Ok(Request {
+        method,
+        path,
+        body,
+        headers,
+        head_nanos,
+        body_nanos,
+    })
+}
+
+/// Nanoseconds since `start`, saturating into `u64`.
+pub(crate) fn elapsed_nanos(start: std::time::Instant) -> u64 {
+    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
 /// Reads one head line (request line or header), enforcing
@@ -293,6 +331,19 @@ mod tests {
         assert_eq!(req.method, "POST");
         assert_eq!(req.path, "/run");
         assert_eq!(req.body, b"abcd");
+    }
+
+    #[test]
+    fn captures_headers_case_insensitively() {
+        let req = roundtrip(
+            b"POST /run HTTP/1.1\r\nHost: x\r\nTraceParent: 00-abc-def-01\r\nContent-Length: 2\r\n\r\nok",
+            1024,
+        )
+        .unwrap();
+        assert_eq!(req.header("traceparent"), Some("00-abc-def-01"));
+        assert_eq!(req.header("TRACEPARENT"), Some("00-abc-def-01"));
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.header("x-missing"), None);
     }
 
     #[test]

@@ -16,7 +16,9 @@ use refrint::experiment::ExperimentConfig;
 use refrint::simulation::{ObsConfig, SimulationBuilder};
 use refrint::sweep::SweepRunner;
 use refrint_engine::json::escape;
-use refrint_obs::span::Subsystem;
+use refrint_obs::anomaly::AnomalyTuning;
+use refrint_obs::recorder::ObsSummary;
+use refrint_obs::span::{RequestTrace, Subsystem};
 use refrint_workloads::apps::AppPreset;
 
 /// What a worker executes for one job.
@@ -34,6 +36,9 @@ pub enum JobWork {
     Sweep {
         /// The validated experiment configuration.
         config: ExperimentConfig,
+        /// Anomaly tunables for the `anomalies` array (the default tuning
+        /// reproduces the CLI's bytes exactly).
+        anomaly: AnomalyTuning,
     },
 }
 
@@ -89,6 +94,37 @@ pub struct JobOutput {
     /// [`Subsystem::index`]); run jobs execute with the observability
     /// recorder at default sampling, sweep jobs report zeros.
     pub subsystem_cycles: [u64; Subsystem::COUNT],
+    /// Host nanoseconds the job waited in the queue before a worker
+    /// claimed it (0 for cached results).
+    pub queue_nanos: u64,
+    /// Host nanoseconds the worker spent executing (0 for cached results).
+    pub execute_nanos: u64,
+    /// The run's full observability summary, for the `/jobs/<id>/trace`
+    /// span tree (run jobs only; sweeps and failures carry `None`).
+    pub obs: Option<Arc<ObsSummary>>,
+    /// Config label of the executed run (empty for sweeps/failures).
+    pub config_label: String,
+    /// Workload of the executed run (empty for sweeps/failures).
+    pub workload: String,
+}
+
+impl JobOutput {
+    /// An output that simply serves pre-existing bytes (cache hits).
+    #[must_use]
+    pub fn from_bytes(status: u16, body: Arc<Vec<u8>>) -> JobOutput {
+        JobOutput {
+            status,
+            body,
+            refs: 0,
+            sim_seconds: 0.0,
+            subsystem_cycles: [0; Subsystem::COUNT],
+            queue_nanos: 0,
+            execute_nanos: 0,
+            obs: None,
+            config_label: String::new(),
+            workload: String::new(),
+        }
+    }
 }
 
 /// One tracked job.
@@ -106,6 +142,9 @@ pub struct Job {
     pub output: Option<JobOutput>,
     /// Whether the result was served from the cache without simulating.
     pub cached: bool,
+    /// The request trace recorded by the connection handler, attached
+    /// after the response is written (`GET /jobs/<id>/trace`).
+    pub trace: Option<RequestTrace>,
 }
 
 impl Job {
@@ -183,6 +222,13 @@ impl JobTable {
     pub fn set_status(&mut self, id: &str, status: JobStatus) {
         if let Some(job) = self.jobs.get_mut(id) {
             job.status = status;
+        }
+    }
+
+    /// Attaches the request trace recorded by the connection handler.
+    pub fn attach_trace(&mut self, id: &str, trace: RequestTrace) {
+        if let Some(job) = self.jobs.get_mut(id) {
+            job.trace = Some(trace);
         }
     }
 
@@ -266,6 +312,12 @@ impl SharedJobs {
         table.finish(id, output);
         self.done.notify_all();
     }
+
+    /// Attaches a request trace to a job.
+    pub fn set_trace(&self, id: &str, trace: RequestTrace) {
+        let mut table = self.table.lock().expect("job table lock");
+        table.attach_trace(id, trace);
+    }
 }
 
 /// Executes one job's work. Never panics: runtime failures (e.g. a trace
@@ -275,24 +327,21 @@ impl SharedJobs {
 pub fn execute(work: &JobWork) -> JobOutput {
     match work {
         JobWork::Run { builder, app } => run_one(builder, *app),
-        JobWork::Sweep { config } => run_sweep(config),
+        JobWork::Sweep { config, anomaly } => run_sweep(config, *anomaly),
     }
 }
 
 fn failure(reason: &str) -> JobOutput {
-    JobOutput {
-        status: 500,
-        body: Arc::new(
+    JobOutput::from_bytes(
+        500,
+        Arc::new(
             format!(
                 "{{\"error\":{{\"kind\":\"execution_failed\",\"reason\":\"{}\"}}}}\n",
                 escape(reason)
             )
             .into_bytes(),
         ),
-        refs: 0,
-        sim_seconds: 0.0,
-        subsystem_cycles: [0; Subsystem::COUNT],
-    }
+    )
 }
 
 fn run_one(builder: &SimulationBuilder, app: Option<AppPreset>) -> JobOutput {
@@ -313,8 +362,9 @@ fn run_one(builder: &SimulationBuilder, app: Option<AppPreset>) -> JobOutput {
         },
     };
     let sim_seconds = start.elapsed().as_secs_f64();
+    let summary = sim.obs_summary();
     let mut subsystem_cycles = [0; Subsystem::COUNT];
-    for t in sim.obs_summary().per_subsystem {
+    for t in &summary.per_subsystem {
         subsystem_cycles[t.subsystem.index()] = t.cycles;
     }
     // Exactly the bytes `refrint-cli run --format json` prints.
@@ -325,10 +375,15 @@ fn run_one(builder: &SimulationBuilder, app: Option<AppPreset>) -> JobOutput {
         refs: outcome.report.counts.dl1_accesses,
         sim_seconds,
         subsystem_cycles,
+        queue_nanos: 0,
+        execute_nanos: 0,
+        obs: Some(Arc::new(summary)),
+        config_label: outcome.config_label().to_owned(),
+        workload: outcome.workload().to_owned(),
     }
 }
 
-fn run_sweep(config: &ExperimentConfig) -> JobOutput {
+fn run_sweep(config: &ExperimentConfig, anomaly: AnomalyTuning) -> JobOutput {
     // Sequential inside the worker: concurrency comes from the worker
     // pool, and the merged results are identical for any worker count.
     let start = Instant::now();
@@ -343,15 +398,13 @@ fn run_sweep(config: &ExperimentConfig) -> JobOutput {
         .chain(results.edram.values())
         .map(|r| r.counts.dl1_accesses)
         .sum();
-    // Exactly the bytes `refrint-cli sweep --format json` prints.
-    let body = format!("{}\n", refrint::json::sweep(&results));
-    JobOutput {
-        status: 200,
-        body: Arc::new(body.into_bytes()),
-        refs,
-        sim_seconds,
-        subsystem_cycles: [0; Subsystem::COUNT],
-    }
+    // With the default tuning these are exactly the bytes
+    // `refrint-cli sweep --format json` prints.
+    let body = format!("{}\n", refrint::json::sweep_tuned(&results, anomaly));
+    let mut output = JobOutput::from_bytes(200, Arc::new(body.into_bytes()));
+    output.refs = refs;
+    output.sim_seconds = sim_seconds;
+    output
 }
 
 /// A small LRU cache from canonical request keys to result bytes.
@@ -459,6 +512,7 @@ mod tests {
         };
         let out = execute(&JobWork::Sweep {
             config: config.clone(),
+            anomaly: AnomalyTuning::default(),
         });
         assert_eq!(out.status, 200);
         let results = SweepRunner::new(config).sequential().run().unwrap();
@@ -491,19 +545,14 @@ mod tests {
                 status: JobStatus::Queued,
                 output: None,
                 cached: false,
+                trace: None,
             });
         }
         assert_eq!(table.len(), 5, "queued jobs are never pruned");
         for i in 0..5 {
             table.finish(
                 &format!("j{i}"),
-                JobOutput {
-                    status: 200,
-                    body: Arc::new(Vec::new()),
-                    refs: 0,
-                    sim_seconds: 0.0,
-                    subsystem_cycles: [0; Subsystem::COUNT],
-                },
+                JobOutput::from_bytes(200, Arc::new(Vec::new())),
             );
         }
         assert_eq!(table.len(), 2, "finished jobs are pruned FIFO");
@@ -521,22 +570,14 @@ mod tests {
             status: JobStatus::Queued,
             output: None,
             cached: false,
+            trace: None,
         });
         assert!(shared.wait_for("j1", Duration::from_millis(50)).is_none());
         let bg = {
             let shared = Arc::clone(&shared);
             std::thread::spawn(move || {
                 std::thread::sleep(Duration::from_millis(30));
-                shared.finish(
-                    "j1",
-                    JobOutput {
-                        status: 200,
-                        body: Arc::new(b"ok".to_vec()),
-                        refs: 1,
-                        sim_seconds: 0.0,
-                        subsystem_cycles: [0; Subsystem::COUNT],
-                    },
-                );
+                shared.finish("j1", JobOutput::from_bytes(200, Arc::new(b"ok".to_vec())));
             })
         };
         let out = shared.wait_for("j1", Duration::from_secs(5)).unwrap();

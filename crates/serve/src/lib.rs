@@ -55,12 +55,15 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use refrint_engine::json::{escape, num};
+use refrint_obs::log::{Level, LogFormat, Logger};
+use refrint_obs::otlp;
+use refrint_obs::span::{RequestTrace, StageSpan, TraceContext};
 
 use crate::api::{ApiError, SubmitMode, ValidatedRequest};
-use crate::http::{HttpError, Request, Response};
+use crate::http::{elapsed_nanos, HttpError, Request, Response};
 use crate::jobs::{Job, JobOutput, JobStatus, JobWork, ResultCache, SharedJobs};
 use crate::metrics::Metrics;
 
@@ -132,6 +135,14 @@ pub struct ServerOptions {
     pub retained_jobs: usize,
     /// Directory trace workloads are served from (`"trace": "name.rft"`).
     pub trace_dir: Option<PathBuf>,
+    /// Upper bounds (in microseconds) of the `/metrics` latency histogram
+    /// buckets, shared by the request and per-stage families.
+    pub latency_bounds_micros: Vec<u64>,
+    /// Structured-log line format (stderr).
+    pub log_format: LogFormat,
+    /// Minimum level logged. The library default is [`Level::Error`]
+    /// (quiet); the CLI raises it from `REFRINT_LOG`.
+    pub log_level: Level,
 }
 
 impl Default for ServerOptions {
@@ -147,6 +158,9 @@ impl Default for ServerOptions {
             max_connections: 64,
             retained_jobs: 256,
             trace_dir: None,
+            latency_bounds_micros: metrics::LATENCY_BOUNDS_MICROS.to_vec(),
+            log_format: LogFormat::Text,
+            log_level: Level::Error,
         }
     }
 }
@@ -156,9 +170,10 @@ impl Default for ServerOptions {
 struct ServerState {
     options: ServerOptions,
     jobs: SharedJobs,
-    work: Mutex<HashMap<String, JobWork>>,
+    work: Mutex<HashMap<String, (JobWork, Instant)>>,
     cache: Mutex<ResultCache>,
     metrics: Metrics,
+    logger: Logger,
     queue: Mutex<Option<SyncSender<String>>>,
     shutdown: AtomicBool,
     active_connections: AtomicUsize,
@@ -213,7 +228,8 @@ impl Server {
             jobs: SharedJobs::new(options.retained_jobs),
             work: Mutex::new(HashMap::new()),
             cache: Mutex::new(ResultCache::new(options.cache_capacity)),
-            metrics: Metrics::new(),
+            metrics: Metrics::with_latency_bounds(&options.latency_bounds_micros),
+            logger: Logger::to_stderr(options.log_level, options.log_format),
             queue: Mutex::new(Some(tx)),
             shutdown: AtomicBool::new(false),
             active_connections: AtomicUsize::new(0),
@@ -288,6 +304,7 @@ impl Server {
         // backlog nobody will ever read. Then close the queue (workers
         // finish what is queued and exit), join the pool, and give
         // in-flight connections a moment to write their responses.
+        state.logger.info("drain_start", &[]);
         drop(listener);
         state.queue.lock().expect("queue lock").take();
         for worker in workers {
@@ -299,6 +316,7 @@ impl Server {
         {
             std::thread::sleep(Duration::from_millis(10));
         }
+        state.logger.info("drain_done", &[]);
         Ok(())
     }
 
@@ -373,7 +391,7 @@ fn worker_loop(state: &Arc<ServerState>, rx: &Arc<Mutex<Receiver<String>>>) {
             .expect("job table lock")
             .set_status(&id, JobStatus::Running);
         let entry = state.work.lock().expect("work map lock").remove(&id);
-        let Some((work, cache_key)) = entry.map(|w| {
+        let Some((work, enqueued_at, cache_key)) = entry.map(|(w, at)| {
             let key = state
                 .jobs
                 .table
@@ -382,12 +400,24 @@ fn worker_loop(state: &Arc<ServerState>, rx: &Arc<Mutex<Receiver<String>>>) {
                 .get(&id)
                 .map(|j| j.cache_key.clone())
                 .unwrap_or_default();
-            (w, key)
+            (w, at, key)
         }) else {
             continue;
         };
+        let queue_nanos = elapsed_nanos(enqueued_at);
+        state.logger.debug(
+            "job_claimed",
+            &[
+                ("job", id.clone()),
+                ("kind", work.kind().to_owned()),
+                ("queue_ms", format!("{:.3}", queue_nanos as f64 / 1e6)),
+            ],
+        );
         state.metrics.workers_busy.fetch_add(1, Ordering::Relaxed);
-        let output = jobs::execute(&work);
+        let execute_started = Instant::now();
+        let mut output = jobs::execute(&work);
+        output.queue_nanos = queue_nanos;
+        output.execute_nanos = elapsed_nanos(execute_started);
         state.metrics.workers_busy.fetch_sub(1, Ordering::Relaxed);
         let ok = output.status == 200;
         state.metrics.record_job(
@@ -395,6 +425,26 @@ fn worker_loop(state: &Arc<ServerState>, rx: &Arc<Mutex<Receiver<String>>>) {
             output.refs,
             output.sim_seconds,
             &output.subsystem_cycles,
+        );
+        // The queue_wait/execute stage histograms are fed here, from the
+        // worker, so sync and async submissions are counted exactly once.
+        state
+            .metrics
+            .record_stage_micros("queue_wait", queue_nanos / 1_000);
+        state
+            .metrics
+            .record_stage_micros("execute", output.execute_nanos / 1_000);
+        state.logger.info(
+            "job_done",
+            &[
+                ("job", id.clone()),
+                ("kind", work.kind().to_owned()),
+                ("status", output.status.to_string()),
+                (
+                    "execute_ms",
+                    format!("{:.3}", output.execute_nanos as f64 / 1e6),
+                ),
+            ],
         );
         if ok && !cache_key.is_empty() {
             state
@@ -407,6 +457,31 @@ fn worker_loop(state: &Arc<ServerState>, rx: &Arc<Mutex<Receiver<String>>>) {
     }
 }
 
+/// Per-request tracing state threaded through routing: the trace context
+/// (inbound `traceparent` or minted from the canonical cache key), the
+/// lifecycle stages recorded so far on a contiguous nanosecond timeline,
+/// and the job the request resolved to, if any.
+#[derive(Debug, Default)]
+struct RequestCtx {
+    trace: Option<TraceContext>,
+    stages: Vec<StageSpan>,
+    cursor: u64,
+    job_id: Option<String>,
+    cache: Option<&'static str>,
+}
+
+impl RequestCtx {
+    /// Appends a stage of `dur_nanos` at the current cursor.
+    fn stage(&mut self, name: &'static str, dur_nanos: u64) {
+        self.stages.push(StageSpan {
+            name,
+            start_nanos: self.cursor,
+            dur_nanos,
+        });
+        self.cursor += dur_nanos;
+    }
+}
+
 fn handle_connection(state: &Arc<ServerState>, mut stream: TcpStream, over_capacity: bool) {
     let started = std::time::Instant::now();
     // Accepted sockets may inherit the listener's non-blocking mode on
@@ -416,6 +491,9 @@ fn handle_connection(state: &Arc<ServerState>, mut stream: TcpStream, over_capac
     let _ = stream.set_write_timeout(Some(state.options.read_timeout));
     state.metrics.http_requests.fetch_add(1, Ordering::Relaxed);
 
+    let mut ctx = RequestCtx::default();
+    let mut method = "-".to_owned();
+    let mut path = "-".to_owned();
     let response = if over_capacity {
         ApiError::new(
             503,
@@ -428,18 +506,65 @@ fn handle_connection(state: &Arc<ServerState>, mut stream: TcpStream, over_capac
         .into()
     } else {
         match http::read_request(&mut stream, state.options.max_body_bytes) {
-            Ok(request) => route(state, &request),
+            Ok(request) => {
+                method.clone_from(&request.method);
+                path.clone_from(&request.path);
+                ctx.stage("parse", request.head_nanos);
+                ctx.stage("read_body", request.body_nanos);
+                ctx.trace = request
+                    .header("traceparent")
+                    .and_then(TraceContext::parse_traceparent);
+                route(state, &request, &mut ctx)
+            }
             Err(e) => error_response(&e),
         }
     };
     if response.status >= 400 {
         state.metrics.http_errors.fetch_add(1, Ordering::Relaxed);
     }
+    let write_started = Instant::now();
     response.write(&mut stream);
+    ctx.stage("write", elapsed_nanos(write_started));
     // Latency includes routing and (for sync submissions) the simulation
     // itself — the duration a client actually experienced.
     let micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
     state.metrics.record_request_micros(micros);
+    for stage in &ctx.stages {
+        state
+            .metrics
+            .record_stage_micros(stage.name, stage.dur_nanos / 1_000);
+    }
+    let total_nanos = elapsed_nanos(started);
+    let trace_id = ctx
+        .trace
+        .as_ref()
+        .map_or_else(|| "-".to_owned(), |t| t.trace_id.clone());
+    if let (Some(context), Some(job_id)) = (ctx.trace, ctx.job_id.as_ref()) {
+        // Attached after the response is written so the trace includes the
+        // `write` stage; `/jobs/<id>/trace` answers 202 until then.
+        state.jobs.set_trace(
+            job_id,
+            RequestTrace {
+                context,
+                stages: ctx.stages,
+                total_nanos,
+            },
+        );
+    }
+    if state.logger.enabled(Level::Info) {
+        state.logger.info(
+            "request",
+            &[
+                ("method", method),
+                ("path", path),
+                ("status", response.status.to_string()),
+                ("duration_ms", format!("{:.3}", total_nanos as f64 / 1e6)),
+                ("trace_id", trace_id),
+                ("job", ctx.job_id.unwrap_or_else(|| "-".to_owned())),
+                ("cache", ctx.cache.unwrap_or("-").to_owned()),
+            ],
+        );
+    }
     // Drain any unread request bytes before closing: dropping a socket
     // with data still queued (e.g. an over-limit body rejected before it
     // was read) can RST the connection and destroy the response we just
@@ -473,7 +598,7 @@ impl From<ApiError> for Response {
     }
 }
 
-fn route(state: &Arc<ServerState>, request: &Request) -> Response {
+fn route(state: &Arc<ServerState>, request: &Request, ctx: &mut RequestCtx) -> Response {
     let method = request.method.as_str();
     let path = request.path.as_str();
     match path {
@@ -499,7 +624,7 @@ fn route(state: &Arc<ServerState>, request: &Request) -> Response {
             _ => method_not_allowed("POST"),
         },
         "/run" | "/sweep" => match method {
-            "POST" => submit_endpoint(state, path, &request.body),
+            "POST" => submit_endpoint(state, path, &request.body, ctx),
             _ => method_not_allowed("POST"),
         },
         _ if path.starts_with("/jobs/") => match method {
@@ -519,70 +644,86 @@ fn method_not_allowed(allowed: &str) -> Response {
     .with_header("Allow", allowed)
 }
 
-fn submit_endpoint(state: &Arc<ServerState>, path: &str, body: &[u8]) -> Response {
-    let Ok(text) = std::str::from_utf8(body) else {
-        return ApiError::new(400, "bad_json", "request body is not UTF-8").into();
-    };
-    let root = match refrint_engine::json::parse(text) {
-        Ok(root) => root,
-        Err(e) => return ApiError::new(400, "bad_json", e.to_string()).into(),
-    };
-    let trace_dir = state.options.trace_dir.as_deref();
-    let parsed = match path {
-        "/run" => api::parse_run_request(&root, trace_dir),
-        _ => api::parse_sweep_request(&root, trace_dir),
-    };
+fn submit_endpoint(
+    state: &Arc<ServerState>,
+    path: &str,
+    body: &[u8],
+    ctx: &mut RequestCtx,
+) -> Response {
+    let validate_started = Instant::now();
+    let parsed = (|| {
+        let Ok(text) = std::str::from_utf8(body) else {
+            return Err(ApiError::new(400, "bad_json", "request body is not UTF-8"));
+        };
+        let root = refrint_engine::json::parse(text)
+            .map_err(|e| ApiError::new(400, "bad_json", e.to_string()))?;
+        let trace_dir = state.options.trace_dir.as_deref();
+        match path {
+            "/run" => api::parse_run_request(&root, trace_dir),
+            _ => api::parse_sweep_request(&root, trace_dir),
+        }
+    })();
+    ctx.stage("validate", elapsed_nanos(validate_started));
     match parsed {
-        Ok(request) => submit(state, request),
+        Ok(request) => submit(state, request, ctx),
         Err(e) => e.into(),
     }
 }
 
-fn submit(state: &Arc<ServerState>, request: ValidatedRequest) -> Response {
+fn submit(state: &Arc<ServerState>, request: ValidatedRequest, ctx: &mut RequestCtx) -> Response {
     let ValidatedRequest {
         work,
         cache_key,
         mode,
     } = request;
 
+    // A request that arrived without (a valid) `traceparent` gets a trace
+    // id minted deterministically from the canonical cache key — which
+    // carries the seed — so identical requests are identically traceable.
+    if ctx.trace.is_none() {
+        ctx.trace = Some(TraceContext::mint(&cache_key));
+    }
+
     // Cache first: identical requests are answered with the same bytes.
+    let lookup_started = Instant::now();
     let cached = state
         .cache
         .lock()
         .expect("cache lock")
         .get(&cache_key)
         .clone();
+    ctx.stage("cache_lookup", elapsed_nanos(lookup_started));
     if let Some(body) = cached {
         state.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+        ctx.cache = Some("hit");
+        // Register an already-finished job for hits in both modes, so
+        // `/jobs/<id>` polling and `/jobs/<id>/trace` work uniformly
+        // across hits and misses. Not counted as a submission: no worker
+        // ever ran.
+        let id = state.next_job_id();
+        let job = Job {
+            id: id.clone(),
+            kind: work.kind(),
+            cache_key,
+            status: JobStatus::Done,
+            output: Some(JobOutput::from_bytes(200, body.clone())),
+            cached: true,
+            trace: None,
+        };
+        let doc = job.status_doc();
+        state.jobs.table.lock().expect("job table lock").insert(job);
+        ctx.job_id = Some(id.clone());
         return match mode {
-            SubmitMode::Sync => {
-                Response::json(200, body.as_ref().clone()).with_header("X-Refrint-Cache", "hit")
-            }
-            SubmitMode::Async => {
-                // Register an already-finished job so the client's poll
-                // loop is uniform across hits and misses.
-                let id = state.next_job_id();
-                let job = Job {
-                    id: id.clone(),
-                    kind: work.kind(),
-                    cache_key,
-                    status: JobStatus::Done,
-                    output: Some(JobOutput {
-                        status: 200,
-                        body,
-                        refs: 0,
-                        sim_seconds: 0.0,
-                        subsystem_cycles: [0; refrint_obs::span::Subsystem::COUNT],
-                    }),
-                    cached: true,
-                };
-                let doc = job.status_doc();
-                state.jobs.table.lock().expect("job table lock").insert(job);
-                Response::json(202, doc).with_header("X-Refrint-Cache", "hit")
-            }
+            SubmitMode::Sync => Response::json(200, body.as_ref().clone())
+                .with_header("X-Refrint-Cache", "hit")
+                .with_header("X-Refrint-Job", id),
+            SubmitMode::Async => Response::json(202, doc)
+                .with_header("X-Refrint-Cache", "hit")
+                .with_header("X-Refrint-Job", id),
         };
     }
     state.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
+    ctx.cache = Some("miss");
 
     if state.shutting_down() {
         return ApiError::new(
@@ -602,6 +743,7 @@ fn submit(state: &Arc<ServerState>, request: ValidatedRequest) -> Response {
         status: JobStatus::Queued,
         output: None,
         cached: false,
+        trace: None,
     };
     let doc = job.status_doc();
     state.jobs.table.lock().expect("job table lock").insert(job);
@@ -609,7 +751,7 @@ fn submit(state: &Arc<ServerState>, request: ValidatedRequest) -> Response {
         .work
         .lock()
         .expect("work map lock")
-        .insert(id.clone(), work);
+        .insert(id.clone(), (work, Instant::now()));
 
     let sender = state.queue.lock().expect("queue lock").clone();
     // The gauge goes up before the send so a worker that claims the job
@@ -642,6 +784,7 @@ fn submit(state: &Arc<ServerState>, request: ValidatedRequest) -> Response {
         };
     }
     state.metrics.jobs_submitted.fetch_add(1, Ordering::Relaxed);
+    ctx.job_id = Some(id.clone());
 
     match mode {
         SubmitMode::Async => Response::json(202, doc)
@@ -664,25 +807,86 @@ fn submit(state: &Arc<ServerState>, request: ValidatedRequest) -> Response {
     }
 }
 
+enum JobView {
+    Status,
+    Result,
+    Trace,
+}
+
 fn jobs_endpoint(state: &Arc<ServerState>, path: &str) -> Response {
     let rest = &path["/jobs/".len()..];
-    let (id, want_result) = match rest.strip_suffix("/result") {
-        Some(id) => (id, true),
-        None => (rest, false),
+    let (id, view) = if let Some(id) = rest.strip_suffix("/result") {
+        (id, JobView::Result)
+    } else if let Some(id) = rest.strip_suffix("/trace") {
+        (id, JobView::Trace)
+    } else {
+        (rest, JobView::Status)
     };
-    let table = state.jobs.table.lock().expect("job table lock");
-    let Some(job) = table.get(id) else {
-        return ApiError::new(404, "not_found", format!("no job `{}`", escape(id))).into();
+    let job = {
+        let table = state.jobs.table.lock().expect("job table lock");
+        let Some(job) = table.get(id) else {
+            return ApiError::new(404, "not_found", format!("no job `{}`", escape(id))).into();
+        };
+        job.clone()
     };
-    if want_result {
-        match &job.output {
+    match view {
+        JobView::Result => match &job.output {
             Some(output) => Response::json(output.status, output.body.as_ref().clone())
                 .with_header("X-Refrint-Cache", if job.cached { "hit" } else { "miss" }),
             None => Response::json(202, job.status_doc()),
-        }
-    } else {
-        Response::json(200, job.status_doc())
+        },
+        JobView::Trace => trace_response(&job),
+        JobView::Status => Response::json(200, job.status_doc()),
     }
+}
+
+/// Builds the OTLP-shaped `/jobs/<id>/trace` document for a finished,
+/// trace-carrying job. 202 (the status document) while the trace has not
+/// been attached yet — the connection handler attaches it only after the
+/// response bytes are on the wire.
+fn trace_response(job: &Job) -> Response {
+    let Some(trace) = &job.trace else {
+        return Response::json(202, job.status_doc());
+    };
+    let mut trace = trace.clone();
+    // The worker's queue-wait/execute timings live in the job output, not
+    // in the connection handler's stage record (for async submissions they
+    // happen long after the response was written). Splice them in here.
+    if !job.cached {
+        if let Some(output) = &job.output {
+            for (name, dur) in [
+                ("queue_wait", output.queue_nanos),
+                ("execute", output.execute_nanos),
+            ] {
+                if !trace.has_stage(name) {
+                    let start_nanos = trace.last_stage_end();
+                    trace.stages.push(StageSpan {
+                        name,
+                        start_nanos,
+                        dur_nanos: dur,
+                    });
+                }
+            }
+        }
+    }
+    let extra = [
+        ("refrint.job".to_owned(), job.id.clone()),
+        ("refrint.job_kind".to_owned(), job.kind.to_owned()),
+        ("refrint.job_cached".to_owned(), job.cached.to_string()),
+        (
+            "refrint.job_status".to_owned(),
+            job.status.label().to_owned(),
+        ),
+    ];
+    let output = job.output.as_ref().filter(|_| !job.cached);
+    let sim = output.and_then(|o| {
+        o.obs
+            .as_ref()
+            .map(|obs| (obs.as_ref(), o.config_label.as_str(), o.workload.as_str()))
+    });
+    let mut body = otlp::render_request(&trace, &extra, sim);
+    body.push('\n');
+    Response::json(200, body)
 }
 
 #[cfg(test)]

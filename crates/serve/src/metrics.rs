@@ -24,10 +24,11 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 use refrint_engine::stats::Histogram;
-use refrint_obs::span::Subsystem;
+use refrint_obs::span::{Subsystem, REQUEST_STAGES};
 
-/// Request-latency bucket bounds, in microseconds.
-const LATENCY_BOUNDS_MICROS: [u64; 10] = [
+/// The default request-latency bucket bounds, in microseconds. Scrapes of
+/// a server started without `--latency-buckets` see exactly these.
+pub const LATENCY_BOUNDS_MICROS: [u64; 10] = [
     100, 1_000, 5_000, 10_000, 50_000, 100_000, 500_000, 1_000_000, 5_000_000, 30_000_000,
 ];
 
@@ -62,12 +63,22 @@ pub struct Metrics {
     pub subsystem_cycles: [AtomicU64; Subsystem::COUNT],
     /// HTTP request latency, in microseconds.
     request_micros: Mutex<Histogram>,
+    /// Per-lifecycle-stage latency, in microseconds, indexed like
+    /// [`REQUEST_STAGES`].
+    stage_micros: [Mutex<Histogram>; REQUEST_STAGES.len()],
 }
 
 impl Metrics {
-    /// Fresh counters; uptime starts now.
+    /// Fresh counters with the default latency buckets; uptime starts now.
     #[must_use]
     pub fn new() -> Self {
+        Self::with_latency_bounds(&LATENCY_BOUNDS_MICROS)
+    }
+
+    /// Fresh counters with caller-chosen latency bucket bounds (ascending
+    /// microseconds), shared by the request and per-stage histograms.
+    #[must_use]
+    pub fn with_latency_bounds(bounds_micros: &[u64]) -> Self {
         Metrics {
             started: Instant::now(),
             http_requests: AtomicU64::new(0),
@@ -82,7 +93,10 @@ impl Metrics {
             queue_depth: AtomicU64::new(0),
             workers_busy: AtomicU64::new(0),
             subsystem_cycles: std::array::from_fn(|_| AtomicU64::new(0)),
-            request_micros: Mutex::new(Histogram::with_bounds(&LATENCY_BOUNDS_MICROS)),
+            request_micros: Mutex::new(Histogram::with_bounds(bounds_micros)),
+            stage_micros: std::array::from_fn(|_| {
+                Mutex::new(Histogram::with_bounds(bounds_micros))
+            }),
         }
     }
 
@@ -120,6 +134,17 @@ impl Metrics {
             .lock()
             .expect("latency histogram lock")
             .record(micros);
+    }
+
+    /// Records one lifecycle stage's wall-clock latency. Unknown stage
+    /// names are ignored (the label set is fixed at [`REQUEST_STAGES`]).
+    pub fn record_stage_micros(&self, stage: &str, micros: u64) {
+        if let Some(i) = REQUEST_STAGES.iter().position(|s| *s == stage) {
+            self.stage_micros[i]
+                .lock()
+                .expect("stage histogram lock")
+                .record(micros);
+        }
     }
 
     /// Renders the Prometheus text exposition document.
@@ -240,6 +265,35 @@ impl Metrics {
                 h.count()
             ));
         }
+        out.push_str(
+            "# HELP refrint_request_stage_seconds Wall-clock latency per request lifecycle \
+             stage.\n\
+             # TYPE refrint_request_stage_seconds histogram\n",
+        );
+        for (i, stage) in REQUEST_STAGES.iter().enumerate() {
+            let h = self.stage_micros[i].lock().expect("stage histogram lock");
+            let mut cumulative = 0u64;
+            for (bound, count) in h.bounds().iter().zip(h.buckets()) {
+                cumulative += count;
+                out.push_str(&format!(
+                    "refrint_request_stage_seconds_bucket{{stage=\"{stage}\",le=\"{}\"}} \
+                     {cumulative}\n",
+                    *bound as f64 / 1e6
+                ));
+            }
+            out.push_str(&format!(
+                "refrint_request_stage_seconds_bucket{{stage=\"{stage}\",le=\"+Inf\"}} {}\n",
+                h.count()
+            ));
+            out.push_str(&format!(
+                "refrint_request_stage_seconds_sum{{stage=\"{stage}\"}} {:.6}\n",
+                h.sum() as f64 / 1e6
+            ));
+            out.push_str(&format!(
+                "refrint_request_stage_seconds_count{{stage=\"{stage}\"}} {}\n",
+                h.count()
+            ));
+        }
         out.push_str(&format!(
             "# HELP refrint_uptime_seconds Seconds since the server started.\n\
              # TYPE refrint_uptime_seconds gauge\n\
@@ -312,5 +366,46 @@ mod tests {
         assert!(doc.contains("refrint_http_request_duration_seconds_count 3"));
         // The sum is in seconds: 50us + 2ms + 40s ≈ 40.00205s.
         assert!(doc.contains("refrint_http_request_duration_seconds_sum 40.002050"));
+    }
+
+    #[test]
+    fn stage_histograms_render_per_stage_labels() {
+        let m = Metrics::new();
+        m.record_stage_micros("execute", 2_000);
+        m.record_stage_micros("parse", 50);
+        m.record_stage_micros("not_a_stage", 1); // must be ignored
+        let doc = m.render();
+        assert!(doc.contains("# TYPE refrint_request_stage_seconds histogram"));
+        assert!(
+            doc.contains("refrint_request_stage_seconds_bucket{stage=\"execute\",le=\"0.005\"} 1")
+        );
+        assert!(doc.contains("refrint_request_stage_seconds_count{stage=\"execute\"} 1"));
+        assert!(doc.contains("refrint_request_stage_seconds_count{stage=\"parse\"} 1"));
+        // Every declared stage renders, even with no samples.
+        for stage in REQUEST_STAGES {
+            assert!(
+                doc.contains(&format!(
+                    "refrint_request_stage_seconds_count{{stage=\"{stage}\"}} "
+                )),
+                "missing stage {stage}"
+            );
+        }
+        assert!(!doc.contains("not_a_stage"));
+    }
+
+    #[test]
+    fn custom_latency_bounds_reshape_both_histogram_families() {
+        let m = Metrics::with_latency_bounds(&[10, 100]);
+        m.record_request_micros(50);
+        m.record_stage_micros("write", 5);
+        let doc = m.render();
+        assert!(doc.contains("refrint_http_request_duration_seconds_bucket{le=\"0.00001\"} 0"));
+        assert!(doc.contains("refrint_http_request_duration_seconds_bucket{le=\"0.0001\"} 1"));
+        assert!(
+            doc.contains("refrint_request_stage_seconds_bucket{stage=\"write\",le=\"0.00001\"} 1")
+        );
+        // The default bounds are unchanged by the knob existing.
+        let default_doc = Metrics::new().render();
+        assert!(default_doc.contains("refrint_http_request_duration_seconds_bucket{le=\"30\"} 0"));
     }
 }

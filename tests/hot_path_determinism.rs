@@ -95,6 +95,73 @@ fn sram_baseline_is_byte_identical_across_runs() {
     assert_eq!(run(), run());
 }
 
+/// The span ring's contents are a pure function of the configuration:
+/// two identically-seeded runs carry identical sampled spans, identical
+/// per-subsystem event/cycle attribution, and identical overwrite counts
+/// at every sampling rate. Host wall-time is the one field that may (and
+/// will) differ, so it is excluded.
+#[test]
+fn span_ring_contents_are_deterministic_at_every_sampling_rate() {
+    let summarize = |cfg: ObsConfig| {
+        let mut sim = Simulation::builder()
+            .edram_recommended()
+            .cores(2)
+            .refs_per_thread(600)
+            .seed(42)
+            .observability(cfg)
+            .build()
+            .expect("the recommended configuration builds");
+        sim.run(AppPreset::Lu);
+        sim.obs_summary()
+    };
+    for sample_every in [1, 2, 7, 64] {
+        let cfg = ObsConfig::sampled(sample_every);
+        let first = summarize(cfg);
+        let second = summarize(cfg);
+        assert_eq!(
+            first.sampled, second.sampled,
+            "ring contents diverged at sample_every = {sample_every}"
+        );
+        assert_eq!(first.overwritten, second.overwritten);
+        for (a, b) in first.per_subsystem.iter().zip(&second.per_subsystem) {
+            assert_eq!(a.subsystem, b.subsystem);
+            assert_eq!(a.spans, b.spans, "{} event count", a.subsystem.name());
+            assert_eq!(a.cycles, b.cycles, "{} cycles", a.subsystem.name());
+        }
+    }
+}
+
+/// Wraparound does not break determinism: with a ring far smaller than
+/// the event stream the oldest spans are overwritten, and two seeded runs
+/// still agree on exactly which spans survived.
+#[test]
+fn span_ring_wraparound_is_deterministic() {
+    let summarize = || {
+        let mut sim = Simulation::builder()
+            .edram_recommended()
+            .cores(2)
+            .refs_per_thread(600)
+            .seed(7)
+            .observability(ObsConfig {
+                sample_every: 1,
+                ring_capacity: 64,
+            })
+            .build()
+            .expect("the recommended configuration builds");
+        sim.run(AppPreset::Fft);
+        sim.obs_summary()
+    };
+    let first = summarize();
+    let second = summarize();
+    assert!(
+        first.overwritten > 0,
+        "a 64-slot ring at full sampling must wrap"
+    );
+    assert_eq!(first.sampled.len(), 64, "the ring stays at capacity");
+    assert_eq!(first.sampled, second.sampled);
+    assert_eq!(first.overwritten, second.overwritten);
+}
+
 #[test]
 fn sweep_output_is_byte_identical_for_worker_counts_1_2_8() {
     let config = ExperimentConfig {

@@ -610,3 +610,325 @@ fn cache_key_ignores_field_order_and_spelled_out_defaults() {
 
     server.shutdown();
 }
+
+// ---------------------------------------------------------------------------
+// Request-scoped tracing
+// ---------------------------------------------------------------------------
+
+use refrint_engine::json::{parse, Value};
+
+/// Polls `/jobs/<id>/trace` until the trace is attached (202 until the
+/// connection handler has written the response bytes) and parses it.
+fn fetch_trace(addr: std::net::SocketAddr, id: &str) -> Value {
+    for _ in 0..400 {
+        let r = client::get(addr, &format!("/jobs/{id}/trace")).unwrap();
+        if r.status == 200 {
+            return parse(&r.body_str()).expect("trace documents are valid JSON");
+        }
+        assert_eq!(r.status, 202, "unexpected trace status: {}", r.body_str());
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    panic!("trace for job {id} never became available");
+}
+
+/// The flat span list of an OTLP-shaped trace document.
+fn trace_spans(doc: &Value) -> &[Value] {
+    doc.get("resourceSpans")
+        .and_then(Value::as_arr)
+        .and_then(|rs| rs.first())
+        .and_then(|r| r.get("scopeSpans"))
+        .and_then(Value::as_arr)
+        .and_then(|ss| ss.first())
+        .and_then(|s| s.get("spans"))
+        .and_then(Value::as_arr)
+        .expect("resourceSpans[0].scopeSpans[0].spans")
+}
+
+/// Reads one resource attribute (stringValue or intValue) by key.
+fn resource_attr(doc: &Value, key: &str) -> Option<String> {
+    let attrs = doc
+        .get("resourceSpans")
+        .and_then(Value::as_arr)
+        .and_then(|rs| rs.first())
+        .and_then(|r| r.get("resource"))
+        .and_then(|r| r.get("attributes"))
+        .and_then(Value::as_arr)?;
+    attrs
+        .iter()
+        .find(|a| a.get("key").and_then(Value::as_str) == Some(key))
+        .and_then(|a| a.get("value"))
+        .and_then(|v| {
+            v.get("stringValue")
+                .or_else(|| v.get("intValue"))
+                .and_then(Value::as_str)
+        })
+        .map(str::to_owned)
+}
+
+fn span_field<'a>(span: &'a Value, field: &str) -> Option<&'a str> {
+    span.get(field).and_then(Value::as_str)
+}
+
+#[test]
+fn traceparent_requests_are_followable_end_to_end() {
+    let server = start(ServerOptions::default());
+    let addr = server.addr();
+
+    let inbound_trace = "4bf92f3577b34da6a3ce929d0e0e4736";
+    let inbound_span = "00f067aa0ba902b7";
+    let traceparent = format!("00-{inbound_trace}-{inbound_span}-01");
+
+    let response = client::request_with_headers(
+        addr,
+        "POST",
+        "/run",
+        Some(b"{\"app\": \"lu\", \"refs\": 500, \"cores\": 2, \"seed\": 21}"),
+        &[("traceparent", traceparent.as_str())],
+    )
+    .unwrap();
+    assert_eq!(response.status, 200, "{}", response.body_str());
+    let id = response
+        .header("X-Refrint-Job")
+        .expect("traced submissions carry the job id")
+        .to_owned();
+
+    let doc = fetch_trace(addr, &id);
+    let spans = trace_spans(&doc);
+
+    // The root `request` span carries the inbound trace id and is parented
+    // on the caller's span — the trace continues, not restarts.
+    let root = spans
+        .iter()
+        .find(|s| span_field(s, "name") == Some("request"))
+        .expect("a request root span");
+    assert_eq!(span_field(root, "traceId"), Some(inbound_trace));
+    assert_eq!(span_field(root, "parentSpanId"), Some(inbound_span));
+
+    // Every lifecycle stage appears as a child of the root, in timeline
+    // order, and a cache-missing sync run is bounded by `execute`.
+    let root_id = span_field(root, "spanId").unwrap().to_owned();
+    for stage in [
+        "parse",
+        "read_body",
+        "validate",
+        "cache_lookup",
+        "queue_wait",
+        "execute",
+        "write",
+    ] {
+        let name = format!("stage/{stage}");
+        let span = spans
+            .iter()
+            .find(|s| span_field(s, "name") == Some(name.as_str()))
+            .unwrap_or_else(|| panic!("missing {name} span"));
+        assert_eq!(span_field(span, "traceId"), Some(inbound_trace));
+        assert_eq!(span_field(span, "parentSpanId"), Some(root_id.as_str()));
+    }
+    assert_eq!(
+        resource_attr(&doc, "refrint.request_critical_stage").as_deref(),
+        Some("execute"),
+        "a cache miss spends its time executing the simulation"
+    );
+
+    // The executed run's subsystem spans hang off the execute stage, and
+    // the run-level critical subsystem is named.
+    let execute_id = spans
+        .iter()
+        .find(|s| span_field(s, "name") == Some("stage/execute"))
+        .and_then(|s| span_field(s, "spanId"))
+        .unwrap()
+        .to_owned();
+    assert!(
+        spans
+            .iter()
+            .any(|s| span_field(s, "parentSpanId") == Some(execute_id.as_str())),
+        "simulation subsystem spans must be children of stage/execute"
+    );
+    assert!(resource_attr(&doc, "refrint.run_critical_subsystem").is_some());
+
+    // The per-stage latency histogram is live on /metrics.
+    let metrics = client::get(addr, "/metrics").unwrap().body_str();
+    for stage in ["parse", "validate", "execute", "write"] {
+        let needle = format!("refrint_request_stage_seconds_count{{stage=\"{stage}\"}}");
+        assert!(
+            metrics.lines().any(|l| l.starts_with(&needle)),
+            "missing {needle} in:\n{metrics}"
+        );
+    }
+
+    server.shutdown();
+}
+
+#[test]
+fn untraced_requests_mint_deterministic_trace_ids_and_hits_are_traceable() {
+    let server = start(ServerOptions::default());
+    let addr = server.addr();
+    let body: &[u8] = b"{\"app\": \"fft\", \"refs\": 500, \"cores\": 2, \"seed\": 33}";
+
+    let miss = client::post(addr, "/run", body).unwrap();
+    assert_eq!(miss.status, 200, "{}", miss.body_str());
+    assert_eq!(miss.header("X-Refrint-Cache"), Some("miss"));
+    let miss_id = miss.header("X-Refrint-Job").unwrap().to_owned();
+    let miss_doc = fetch_trace(addr, &miss_id);
+    let miss_trace_id = span_field(
+        trace_spans(&miss_doc)
+            .iter()
+            .find(|s| span_field(s, "name") == Some("request"))
+            .unwrap(),
+        "traceId",
+    )
+    .unwrap()
+    .to_owned();
+
+    // A cache hit gets its own job id and its own trace: the handler-side
+    // stages are all there, the critical stage is one of them (there is no
+    // execute stage to blame), and the minted trace id — derived from the
+    // canonical cache key — matches the miss's.
+    let hit = client::post(addr, "/run", body).unwrap();
+    assert_eq!(hit.header("X-Refrint-Cache"), Some("hit"));
+    assert_eq!(hit.body, miss.body, "hits replay the exact bytes");
+    let hit_id = hit.header("X-Refrint-Job").unwrap().to_owned();
+    assert_ne!(hit_id, miss_id, "each request is its own job");
+    let hit_doc = fetch_trace(addr, &hit_id);
+    let hit_spans = trace_spans(&hit_doc);
+    let hit_trace_id = span_field(
+        hit_spans
+            .iter()
+            .find(|s| span_field(s, "name") == Some("request"))
+            .unwrap(),
+        "traceId",
+    )
+    .unwrap();
+    assert_eq!(
+        hit_trace_id, miss_trace_id,
+        "minted trace ids are a pure function of the validated cache key"
+    );
+
+    let critical = resource_attr(&hit_doc, "refrint.request_critical_stage")
+        .expect("hits name their bounding stage");
+    assert!(
+        ["parse", "read_body", "validate", "cache_lookup", "write"].contains(&critical.as_str()),
+        "a cache hit never executes: bounding stage was {critical}"
+    );
+    assert!(
+        !hit_spans
+            .iter()
+            .any(|s| span_field(s, "name") == Some("stage/execute")),
+        "cache hits must not claim an execute stage"
+    );
+    assert_eq!(
+        resource_attr(&hit_doc, "refrint.job_cached").as_deref(),
+        Some("true")
+    );
+
+    server.shutdown();
+}
+
+/// Tracing and logging observe without perturbing: the exact bytes of a
+/// `/run` response are identical whether the request carried a
+/// `traceparent`, whether debug JSON logging is on, and whether the
+/// latency buckets were customised.
+#[test]
+fn tracing_and_logging_never_change_response_bytes() {
+    use refrint_obs::log::{Level, LogFormat};
+    let expected = direct_run_bytes(AppPreset::Lu, 500, 2, Some(77));
+    let body: &[u8] = b"{\"app\": \"lu\", \"refs\": 500, \"cores\": 2, \"seed\": 77}";
+
+    let quiet = start(ServerOptions::default());
+    let plain = client::post(quiet.addr(), "/run", body).unwrap();
+    assert_eq!(plain.status, 200, "{}", plain.body_str());
+    assert_eq!(plain.body, expected);
+    quiet.shutdown();
+
+    let noisy = start(ServerOptions {
+        log_level: Level::Debug,
+        log_format: LogFormat::Json,
+        latency_bounds_micros: vec![1_000, 100_000, 10_000_000],
+        ..ServerOptions::default()
+    });
+    let traced = client::request_with_headers(
+        noisy.addr(),
+        "POST",
+        "/run",
+        Some(body),
+        &[(
+            "traceparent",
+            "00-0123456789abcdef0123456789abcdef-fedcba9876543210-01",
+        )],
+    )
+    .unwrap();
+    assert_eq!(traced.status, 200, "{}", traced.body_str());
+    assert_eq!(
+        traced.body, expected,
+        "debug logging + tracing + custom buckets must not change the body"
+    );
+
+    // The custom buckets really are live.
+    let metrics = client::get(noisy.addr(), "/metrics").unwrap().body_str();
+    assert!(
+        metrics.contains("refrint_http_request_duration_seconds_bucket{le=\"0.001\"}"),
+        "custom latency buckets must reach the histogram:\n{metrics}"
+    );
+    noisy.shutdown();
+}
+
+#[test]
+fn sweep_anomaly_tuning_is_honoured_and_validated() {
+    let server = start(ServerOptions::default());
+    let addr = server.addr();
+
+    // A custom tuning renders through the same emitter as the CLI's
+    // --anomaly-threshold/--min-slice flags.
+    let tuned_expected = {
+        let mut cfg = ExperimentConfig::quick().with_refs_per_thread(400);
+        cfg.apps = vec![AppPreset::Lu];
+        cfg.cores = 2;
+        let results = SweepRunner::new(cfg).sequential().run().unwrap();
+        let tuning = refrint_obs::anomaly::AnomalyTuning::new(2.5, 3).unwrap();
+        format!("{}\n", refrint::json::sweep_tuned(&results, tuning)).into_bytes()
+    };
+    let tuned = client::post(
+        addr,
+        "/sweep",
+        b"{\"apps\": [\"lu\"], \"refs\": 400, \"cores\": 2, \
+          \"anomaly_threshold\": 2.5, \"min_slice\": 3}",
+    )
+    .unwrap();
+    assert_eq!(tuned.status, 200, "{}", tuned.body_str());
+    assert_eq!(tuned.body, tuned_expected);
+
+    // The default-tuned sweep of the same config is a different cache
+    // entry (PR-4 keys unchanged), and repeating the tuned request hits.
+    let default_tuned = client::post(
+        addr,
+        "/sweep",
+        b"{\"apps\": [\"lu\"], \"refs\": 400, \"cores\": 2}",
+    )
+    .unwrap();
+    assert_eq!(default_tuned.header("X-Refrint-Cache"), Some("miss"));
+    let again = client::post(
+        addr,
+        "/sweep",
+        b"{\"apps\": [\"lu\"], \"refs\": 400, \"cores\": 2, \
+          \"anomaly_threshold\": 2.5, \"min_slice\": 3}",
+    )
+    .unwrap();
+    assert_eq!(again.header("X-Refrint-Cache"), Some("hit"));
+    assert_eq!(again.body, tuned_expected);
+
+    // Bad tuning values get typed 422s, never a panic.
+    for bad in [
+        "{\"apps\": [\"lu\"], \"anomaly_threshold\": -2.0}",
+        "{\"apps\": [\"lu\"], \"min_slice\": 0}",
+    ] {
+        let response = client::post(addr, "/sweep", bad.as_bytes()).unwrap();
+        assert_eq!(response.status, 422, "{bad}: {}", response.body_str());
+        assert!(
+            response.body_str().contains("invalid_tuning"),
+            "{bad}: {}",
+            response.body_str()
+        );
+    }
+
+    server.shutdown();
+}
