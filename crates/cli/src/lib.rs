@@ -611,6 +611,13 @@ pub struct ServeOptions {
     pub latency_buckets: Option<Vec<u64>>,
     /// Structured-log format (`--log-format json|text`), if overridden.
     pub log_format: Option<LogFormat>,
+    /// Coordinator mode: dispatch jobs to backends instead of simulating
+    /// locally (`--coordinator`).
+    pub coordinator: bool,
+    /// Backend addresses to register at startup (repeatable `--backend`).
+    pub backends: Vec<String>,
+    /// Directory of the persistent result cache (`--cache-dir`).
+    pub cache_dir: Option<PathBuf>,
 }
 
 /// Parses one `--latency-buckets` bound — `250us`, `5ms`, `2s`, or a bare
@@ -752,6 +759,11 @@ impl ServeOptions {
                 ))
             }
         };
+        let coordinator = has_flag(args, "--coordinator");
+        let backends = opt_values(args, "--backend");
+        if !coordinator && !backends.is_empty() {
+            return Err("--backend only makes sense with --coordinator".into());
+        }
         Ok(ServeOptions {
             addr,
             workers: positive("--workers")?,
@@ -761,6 +773,9 @@ impl ServeOptions {
             trace_dir: opt_value(args, "--trace-dir").map(Into::into),
             latency_buckets,
             log_format,
+            coordinator,
+            backends,
+            cache_dir: opt_value(args, "--cache-dir").map(Into::into),
         })
     }
 
@@ -788,6 +803,13 @@ impl ServeOptions {
         if let Some(format) = self.log_format {
             options.log_format = format;
         }
+        if self.coordinator {
+            options.coordinator = Some(refrint_serve::coordinator::CoordinatorOptions {
+                backends: self.backends.clone(),
+                ..refrint_serve::coordinator::CoordinatorOptions::default()
+            });
+        }
+        options.disk_cache_dir = self.cache_dir.clone();
         options
     }
 }
@@ -1085,6 +1107,43 @@ mod tests {
             opts.server_options().queue_capacity,
             defaults.queue_capacity
         );
+        assert!(opts.server_options().coordinator.is_none());
+        assert_eq!(opts.server_options().disk_cache_dir, None);
+    }
+
+    #[test]
+    fn serve_options_parse_coordinator_flags() {
+        let opts = ServeOptions::parse(&args(&[
+            "--addr",
+            "127.0.0.1:0",
+            "--coordinator",
+            "--backend",
+            "127.0.0.1:7001",
+            "--backend",
+            "127.0.0.1:7002",
+            "--cache-dir",
+            "/tmp/refrint-cache",
+        ]))
+        .unwrap();
+        assert!(opts.coordinator);
+        assert_eq!(opts.backends, vec!["127.0.0.1:7001", "127.0.0.1:7002"]);
+        let server = opts.server_options();
+        let coordinator = server.coordinator.expect("coordinator options are set");
+        assert_eq!(coordinator.backends.len(), 2);
+        assert_eq!(
+            server.disk_cache_dir,
+            Some(PathBuf::from("/tmp/refrint-cache"))
+        );
+
+        // --backend without --coordinator is a usage error.
+        assert!(ServeOptions::parse(&args(&[
+            "--addr",
+            "127.0.0.1:0",
+            "--backend",
+            "127.0.0.1:7001"
+        ]))
+        .unwrap_err()
+        .contains("--coordinator"));
     }
 
     #[test]

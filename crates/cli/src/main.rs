@@ -59,9 +59,13 @@ Commands:
                                    run the oracle conformance harness (docs/testing.md)
   serve --addr HOST:PORT [--workers <n>] [--queue <n>] [--cache <n>]
         [--max-body <bytes>] [--trace-dir <dir>] [--latency-buckets 1ms,10ms,...]
-        [--log-format text|json]
+        [--log-format text|json] [--cache-dir <dir>]
+        [--coordinator] [--backend HOST:PORT]...
                                    run the HTTP simulation service (see docs/serve.md);
-                                   REFRINT_LOG=error|warn|info|debug sets log verbosity
+                                   REFRINT_LOG=error|warn|info|debug sets log verbosity;
+                                   --coordinator dispatches jobs to --backend servers
+                                   instead of simulating locally (docs/coordinator.md);
+                                   --cache-dir persists results across restarts
 ";
 
 fn main() -> ExitCode {
@@ -388,6 +392,16 @@ fn serve(args: &[String]) -> Result<(), String> {
     let server = refrint_serve::Server::bind(options.addr.as_str(), server_options)
         .map_err(|e| format!("cannot bind {}: {e}", options.addr))?;
     let addr = server.local_addr().map_err(|e| e.to_string())?;
-    eprintln!("refrint-serve: listening on http://{addr} (POST /run, POST /sweep, GET /healthz)");
+    if options.coordinator {
+        eprintln!(
+            "refrint-serve: coordinating {} backend(s) on http://{addr} \
+             (POST /run, POST /sweep, POST /backends)",
+            options.backends.len()
+        );
+    } else {
+        eprintln!(
+            "refrint-serve: listening on http://{addr} (POST /run, POST /sweep, GET /healthz)"
+        );
+    }
     server.run().map_err(|e| e.to_string())
 }

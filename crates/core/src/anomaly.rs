@@ -22,8 +22,8 @@ use refrint_obs::anomaly::{flag_outliers_with, AnomalyTuning};
 use crate::experiment::SweepResults;
 use crate::report::SimReport;
 
-/// Extracts one scored metric from a report.
-type MetricFn = fn(&SimReport) -> f64;
+/// Extracts one scored metric from a point's [`PointMetrics`].
+type MetricFn = fn(&PointMetrics) -> f64;
 
 /// Builds, from a point's `(workload, retention, policy)` key, the slice
 /// key shared by the points that agree on everything except one axis.
@@ -31,9 +31,32 @@ type SliceKeyFn = fn(&(String, u64, String)) -> (String, String);
 
 /// The metrics the analytics pass scores, as `(name, extractor)` pairs.
 const METRICS: [(&str, MetricFn); 2] = [
-    ("system_energy_j", |r| r.breakdown.total_system()),
-    ("execution_cycles", |r| r.execution_cycles as f64),
+    ("system_energy_j", |m| m.system_energy_j),
+    ("execution_cycles", |m| m.execution_cycles as f64),
 ];
+
+/// The two quantities anomaly scoring reads from a sweep point. Callers
+/// that hold full [`SimReport`]s go through [`detect_tuned`]; callers that
+/// only hold rendered report JSON (the serve coordinator) parse these two
+/// fields back out and call [`detect_points`] directly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PointMetrics {
+    /// `energy_j.system_total` of the run.
+    pub system_energy_j: f64,
+    /// `execution_cycles` of the run.
+    pub execution_cycles: u64,
+}
+
+impl PointMetrics {
+    /// Extracts the scored metrics from a full report.
+    #[must_use]
+    pub fn of(report: &SimReport) -> Self {
+        Self {
+            system_energy_j: report.breakdown.total_system(),
+            execution_cycles: report.execution_cycles,
+        }
+    }
+}
 
 /// One flagged sweep point.
 #[derive(Debug, Clone, PartialEq)]
@@ -88,11 +111,30 @@ pub fn detect_with(results: &SweepResults, threshold: f64) -> Vec<SweepAnomaly> 
 #[must_use]
 pub fn detect_tuned(results: &SweepResults, tuning: AnomalyTuning) -> Vec<SweepAnomaly> {
     // The points in map order; indices below refer into this list.
-    let points: Vec<(&(String, u64, String), &SimReport)> = results.edram.iter().collect();
+    let points: Vec<((String, u64, String), PointMetrics)> = results
+        .edram
+        .iter()
+        .map(|(key, r)| (key.clone(), PointMetrics::of(r)))
+        .collect();
+    detect_points(&points, tuning)
+}
 
+/// [`detect_tuned`] over bare `(key, metrics)` pairs instead of full
+/// [`SweepResults`]. `points` must be sorted ascending by key — the order
+/// a `BTreeMap` iterates in — or the output order (and the slice grouping
+/// tie-breaks) will not match the local sweep path byte for byte.
+#[must_use]
+pub fn detect_points(
+    points: &[((String, u64, String), PointMetrics)],
+    tuning: AnomalyTuning,
+) -> Vec<SweepAnomaly> {
+    debug_assert!(
+        points.windows(2).all(|w| w[0].0 < w[1].0),
+        "points must be strictly sorted by (workload, retention, policy)"
+    );
     let mut best: BTreeMap<(usize, &'static str), SweepAnomaly> = BTreeMap::new();
     for (metric, extract) in METRICS {
-        let values: Vec<f64> = points.iter().map(|(_, r)| extract(r)).collect();
+        let values: Vec<f64> = points.iter().map(|(_, m)| extract(m)).collect();
         // axis name -> slice key builder: the slice holds the points that
         // agree on everything *except* that axis.
         let axes: [(&'static str, SliceKeyFn); 3] = [
@@ -109,7 +151,7 @@ pub fn detect_tuned(results: &SweepResults, tuning: AnomalyTuning) -> Vec<SweepA
                 let slice: Vec<f64> = indices.iter().map(|&i| values[i]).collect();
                 for flag in flag_outliers_with(&slice, tuning.threshold, tuning.min_slice) {
                     let i = indices[flag.index];
-                    let (workload, retention_us, policy) = points[i].0;
+                    let (workload, retention_us, policy) = &points[i].0;
                     let entry = SweepAnomaly {
                         workload: workload.clone(),
                         retention_us: *retention_us,

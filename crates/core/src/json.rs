@@ -90,43 +90,43 @@ pub fn sweep(results: &SweepResults) -> String {
     sweep_tuned(results, refrint_obs::anomaly::AnomalyTuning::default())
 }
 
-/// [`sweep`] with caller-chosen anomaly tunables. The default tuning
-/// reproduces [`sweep`] byte for byte; only the `anomalies` array can
-/// differ under a non-default tuning.
+/// Renders one entry of a sweep document's `runs` array from an
+/// already-rendered report object. `point` is `None` for the SRAM
+/// baseline, `Some((retention_us, policy_label))` for an eDRAM point.
+/// Shared between the local sweep path and the serve coordinator, which
+/// wraps report bodies it received from backends — one implementation is
+/// what keeps the two byte-identical.
 #[must_use]
-pub fn sweep_tuned(results: &SweepResults, tuning: refrint_obs::anomaly::AnomalyTuning) -> String {
-    let mut runs = Vec::with_capacity(results.sram.len() + results.edram.len());
-    for (workload, r) in &results.sram {
-        runs.push(format!(
-            "{{\"workload\":\"{}\",\"retention_us\":null,\"policy\":null,\"report\":{}}}",
+pub fn sweep_run_entry(workload: &str, point: Option<(u64, &str)>, report_json: &str) -> String {
+    match point {
+        None => format!(
+            "{{\"workload\":\"{}\",\"retention_us\":null,\"policy\":null,\"report\":{report_json}}}",
             escape(workload),
-            report(r)
-        ));
-    }
-    for ((workload, retention_us, label), r) in &results.edram {
-        runs.push(format!(
-            "{{\"workload\":\"{}\",\"retention_us\":{retention_us},\"policy\":\"{}\",\"report\":{}}}",
+        ),
+        Some((retention_us, label)) => format!(
+            "{{\"workload\":\"{}\",\"retention_us\":{retention_us},\"policy\":\"{}\",\"report\":{report_json}}}",
             escape(workload),
             escape(label),
-            report(r)
-        ));
+        ),
     }
-    let workloads: Vec<String> = results
-        .apps
+}
+
+/// Assembles the final sweep document from pre-rendered `runs` entries
+/// (see [`sweep_run_entry`]) and detected anomalies. `workloads` are raw
+/// names; escaping and quoting happen here.
+#[must_use]
+pub fn sweep_document(
+    workloads: &[String],
+    retentions_us: &[u64],
+    runs: &[String],
+    anomalies: &[SweepAnomaly],
+) -> String {
+    let workloads: Vec<String> = workloads
         .iter()
-        .map(|a| format!("\"{}\"", escape(a.name())))
-        .chain(
-            results
-                .traces
-                .iter()
-                .map(|t| format!("\"{}\"", escape(&t.name))),
-        )
+        .map(|w| format!("\"{}\"", escape(w)))
         .collect();
-    let retentions: Vec<String> = results.retentions_us.iter().map(u64::to_string).collect();
-    let anomalies: Vec<String> = anomaly::detect_tuned(results, tuning)
-        .iter()
-        .map(sweep_anomaly)
-        .collect();
+    let retentions: Vec<String> = retentions_us.iter().map(u64::to_string).collect();
+    let anomalies: Vec<String> = anomalies.iter().map(sweep_anomaly).collect();
     format!(
         "{{\"workloads\":[{}],\"retentions_us\":[{}],\"runs\":[{}],\"anomalies\":[{}]}}",
         workloads.join(","),
@@ -134,6 +134,32 @@ pub fn sweep_tuned(results: &SweepResults, tuning: refrint_obs::anomaly::Anomaly
         runs.join(","),
         anomalies.join(",")
     )
+}
+
+/// [`sweep`] with caller-chosen anomaly tunables. The default tuning
+/// reproduces [`sweep`] byte for byte; only the `anomalies` array can
+/// differ under a non-default tuning.
+#[must_use]
+pub fn sweep_tuned(results: &SweepResults, tuning: refrint_obs::anomaly::AnomalyTuning) -> String {
+    let mut runs = Vec::with_capacity(results.sram.len() + results.edram.len());
+    for (workload, r) in &results.sram {
+        runs.push(sweep_run_entry(workload, None, &report(r)));
+    }
+    for ((workload, retention_us, label), r) in &results.edram {
+        runs.push(sweep_run_entry(
+            workload,
+            Some((*retention_us, label)),
+            &report(r),
+        ));
+    }
+    let workloads: Vec<String> = results
+        .apps
+        .iter()
+        .map(|a| a.name().to_owned())
+        .chain(results.traces.iter().map(|t| t.name.clone()))
+        .collect();
+    let anomalies = anomaly::detect_tuned(results, tuning);
+    sweep_document(&workloads, &results.retentions_us, &runs, &anomalies)
 }
 
 /// Renders one histogram as `{"mean":…,"p50":…,"p90":…,"p99":…,"max":…}`

@@ -45,4 +45,4 @@ pub mod span;
 pub use critical_path::{CriticalPath, PathStep};
 pub use log::{Level, LogFormat, Logger};
 pub use recorder::{ObsConfig, ObsSummary, Recorder, SubsystemTotals};
-pub use span::{RequestTrace, Span, SpanRing, StageSpan, Subsystem, TraceContext};
+pub use span::{DispatchSpan, RequestTrace, Span, SpanRing, StageSpan, Subsystem, TraceContext};

@@ -12,7 +12,7 @@ use refrint_engine::json::{emit, Value};
 
 use crate::critical_path::{request_critical_path, subsystem_critical_path};
 use crate::recorder::ObsSummary;
-use crate::span::{fnv1a, RequestTrace, Span};
+use crate::span::{fnv1a, DispatchSpan, RequestTrace, Span};
 
 fn attr_str(key: &str, value: &str) -> Value {
     Value::Obj(vec![
@@ -154,6 +154,7 @@ pub fn render(summary: &ObsSummary, config_label: &str, workload: &str) -> Strin
 /// The slot [`span_id`] derives a request's root span id from.
 pub const ROOT_SPAN_SLOT: u64 = 0x524f_4f54; // "ROOT"
 const STAGE_SPAN_SLOT: u64 = 0x1000;
+const DISPATCH_SPAN_SLOT: u64 = 0x2000;
 const SIM_SPAN_SLOT: u64 = 0x10_0000;
 
 /// The deterministic root span id for a trace id (exposed so servers can
@@ -179,6 +180,20 @@ pub fn request_document(
     trace: &RequestTrace,
     extra: &[(String, String)],
     sim: Option<(&ObsSummary, &str, &str)>,
+) -> Value {
+    request_document_with_dispatch(trace, extra, sim, &[])
+}
+
+/// [`request_document`] for requests a coordinator fanned out to backend
+/// nodes: each [`DispatchSpan`] becomes a `backend/<addr>` child of the
+/// `execute` stage, so the trace shows where every point ran and where
+/// retries went.
+#[must_use]
+pub fn request_document_with_dispatch(
+    trace: &RequestTrace,
+    extra: &[(String, String)],
+    sim: Option<(&ObsSummary, &str, &str)>,
+    dispatch: &[DispatchSpan],
 ) -> Value {
     let trace_id = trace.context.trace_id.as_str();
     let root_id = root_span_id(trace_id);
@@ -249,6 +264,40 @@ pub fn request_document(
         ]));
     }
 
+    for (i, d) in dispatch.iter().enumerate() {
+        let parent = execute_id.as_deref().unwrap_or(root_id.as_str());
+        spans.push(Value::Obj(vec![
+            ("traceId".to_owned(), Value::Str(trace_id.to_owned())),
+            (
+                "spanId".to_owned(),
+                Value::Str(span_id(trace_id, DISPATCH_SPAN_SLOT + i as u64)),
+            ),
+            ("parentSpanId".to_owned(), Value::Str(parent.to_owned())),
+            (
+                "name".to_owned(),
+                Value::Str(format!("backend/{}", d.backend)),
+            ),
+            ("kind".to_owned(), Value::Num(3.0)), // SPAN_KIND_CLIENT
+            (
+                "startTimeUnixNano".to_owned(),
+                Value::Str(d.start_nanos.to_string()),
+            ),
+            (
+                "endTimeUnixNano".to_owned(),
+                Value::Str((d.start_nanos + d.dur_nanos).to_string()),
+            ),
+            (
+                "attributes".to_owned(),
+                Value::Arr(vec![
+                    attr_str("refrint.backend", &d.backend),
+                    attr_int("refrint.attempt", u64::from(d.attempt)),
+                    attr_str("refrint.outcome", d.outcome),
+                    attr_int("refrint.dispatch_nanos", d.dur_nanos),
+                ]),
+            ),
+        ]));
+    }
+
     if let Some((summary, config_label, workload)) = sim {
         let sim_path = subsystem_critical_path(summary);
         resource_attrs.push(attr_str("refrint.config", config_label));
@@ -293,6 +342,18 @@ pub fn render_request(
     sim: Option<(&ObsSummary, &str, &str)>,
 ) -> String {
     emit(&request_document(trace, extra, sim))
+}
+
+/// Renders a request trace document with coordinator dispatch spans as a
+/// compact JSON string.
+#[must_use]
+pub fn render_request_with_dispatch(
+    trace: &RequestTrace,
+    extra: &[(String, String)],
+    sim: Option<(&ObsSummary, &str, &str)>,
+    dispatch: &[DispatchSpan],
+) -> String {
+    emit(&request_document_with_dispatch(trace, extra, sim, dispatch))
 }
 
 #[cfg(test)]
@@ -434,6 +495,68 @@ mod tests {
         assert!(text.contains("\"stringValue\":\"execute\""));
         assert!(text.contains("refrint.run_critical_subsystem"));
         assert!(text.contains("j00000001"));
+    }
+
+    #[test]
+    fn dispatch_spans_attach_under_the_execute_stage() {
+        let trace = sample_trace();
+        let dispatch = vec![
+            DispatchSpan {
+                backend: "127.0.0.1:7878".to_owned(),
+                attempt: 1,
+                start_nanos: 600,
+                dur_nanos: 40_000,
+                outcome: "error",
+            },
+            DispatchSpan {
+                backend: "127.0.0.1:7879".to_owned(),
+                attempt: 2,
+                start_nanos: 41_000,
+                dur_nanos: 45_000,
+                outcome: "ok",
+            },
+        ];
+        let text = render_request_with_dispatch(&trace, &[], None, &dispatch);
+        let doc = refrint_engine::json::parse(&text).expect("parses");
+        let spans = doc
+            .get("resourceSpans")
+            .and_then(|v| v.as_arr())
+            .and_then(|rs| rs[0].get("scopeSpans"))
+            .and_then(|v| v.as_arr())
+            .and_then(|ss| ss[0].get("spans"))
+            .and_then(|v| v.as_arr())
+            .unwrap();
+        assert_eq!(spans.len(), 6, "root + 3 stages + 2 dispatch spans");
+
+        let execute = spans
+            .iter()
+            .find(|s| s.get("name").and_then(|v| v.as_str()) == Some("stage/execute"))
+            .expect("execute stage span");
+        let execute_id = execute.get("spanId").and_then(|v| v.as_str()).unwrap();
+
+        let backend = spans
+            .iter()
+            .find(|s| s.get("name").and_then(|v| v.as_str()) == Some("backend/127.0.0.1:7879"))
+            .expect("dispatch span attached");
+        assert_eq!(
+            backend.get("parentSpanId").and_then(|v| v.as_str()),
+            Some(execute_id),
+            "dispatch spans are children of the execute stage"
+        );
+        assert_eq!(
+            backend.get("endTimeUnixNano").and_then(|v| v.as_str()),
+            Some("86000")
+        );
+        assert!(text.contains("refrint.outcome"));
+        assert!(text.contains("refrint.attempt"));
+
+        let plain = render_request(&trace, &[], None);
+        assert_ne!(plain, text);
+        assert_eq!(
+            render_request_with_dispatch(&trace, &[], None, &[]),
+            plain,
+            "empty dispatch list matches the plain request document"
+        );
     }
 
     #[test]

@@ -241,6 +241,26 @@ impl TraceContext {
     }
 }
 
+/// One dispatch attempt of a coordinator fanning a point job out to a
+/// backend node. Recorded per attempt (retries produce several spans for
+/// the same point) and rendered as children of the `execute` stage in the
+/// OTLP request tree, so a sweep's trace shows which backends did the work
+/// and where retries went.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DispatchSpan {
+    /// The backend's address label (e.g. `127.0.0.1:7878`).
+    pub backend: String,
+    /// 1-based attempt number for the point this span belongs to.
+    pub attempt: u32,
+    /// Nanoseconds from execute start to the attempt's start.
+    pub start_nanos: u64,
+    /// Attempt duration in nanoseconds.
+    pub dur_nanos: u64,
+    /// `"ok"`, `"error"` or `"cache"` (the point was answered from the
+    /// coordinator's result cache without dispatching).
+    pub outcome: &'static str,
+}
+
 /// A request's recorded lifecycle: the trace context plus the stage spans
 /// the connection handler measured. Stored per job so `GET
 /// /jobs/<id>/trace` can replay the tree after the fact.

@@ -19,6 +19,7 @@ use refrint_engine::json::{escape, Value};
 use refrint_obs::anomaly::AnomalyTuning;
 use refrint_workloads::apps::AppPreset;
 
+use crate::coordinator::PointRequest;
 use crate::jobs::JobWork;
 
 /// A typed API failure: HTTP status, machine-readable kind, human reason.
@@ -207,6 +208,7 @@ pub fn parse_run_request(
 
     let mut app: Option<AppPreset> = None;
     let mut trace: Option<PathBuf> = None;
+    let mut trace_name: Option<String> = None;
     let mut sram = false;
     let mut policy: Option<RefreshPolicy> = None;
     let mut retention_us: Option<u64> = None;
@@ -218,7 +220,11 @@ pub fn parse_run_request(
     for (key, value) in fields {
         match key.as_str() {
             "app" => app = Some(parse_app(&str_field(value, "app")?)?),
-            "trace" => trace = Some(resolve_trace(&str_field(value, "trace")?, trace_dir)?),
+            "trace" => {
+                let name = str_field(value, "trace")?;
+                trace = Some(resolve_trace(&name, trace_dir)?);
+                trace_name = Some(name);
+            }
             "sram" => sram = bool_field(value, "sram")?,
             "policy" => policy = Some(parse_policy(&str_field(value, "policy")?)?),
             "retention_us" => retention_us = Some(u64_field(value, "retention_us")?),
@@ -286,8 +292,26 @@ pub fn parse_run_request(
             .map_or_else(|| "default".to_owned(), |r| r.to_string()),
     );
 
+    // The request re-expressed from its *raw* fields (the trace name
+    // before resolution), so a coordinator can forward it to a backend
+    // that resolves against its own --trace-dir.
+    let point = PointRequest {
+        app: app.map(|a| a.name().to_owned()),
+        trace: trace_name,
+        sram,
+        policy: policy.map(|p| p.label()),
+        retention_us,
+        refs,
+        seed,
+        cores,
+    };
+
     Ok(ValidatedRequest {
-        work: JobWork::Run { builder, app },
+        work: JobWork::Run {
+            builder: Box::new(builder),
+            app,
+            point,
+        },
         cache_key,
         mode,
     })

@@ -82,9 +82,49 @@ pub fn request_with_headers(
     body: Option<&[u8]>,
     headers: &[(&str, &str)],
 ) -> std::io::Result<HttpResponse> {
-    let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(10))?;
-    stream.set_read_timeout(Some(Duration::from_secs(600)))?;
-    stream.set_write_timeout(Some(Duration::from_secs(10)))?;
+    request_with_timeouts(
+        addr,
+        method,
+        path,
+        body,
+        headers,
+        Timeouts {
+            connect: Duration::from_secs(10),
+            read: Duration::from_secs(600),
+            write: Duration::from_secs(10),
+        },
+    )
+}
+
+/// Per-request socket deadlines for [`request_with_timeouts`].
+#[derive(Debug, Clone, Copy)]
+pub struct Timeouts {
+    /// Deadline for the TCP connect.
+    pub connect: Duration,
+    /// Deadline for each read from the socket.
+    pub read: Duration,
+    /// Deadline for each write to the socket.
+    pub write: Duration,
+}
+
+/// [`request_with_headers`] with caller-chosen socket deadlines — the
+/// coordinator's dispatch path wants a bounded read timeout instead of
+/// the interactive client's generous 600 s.
+///
+/// # Errors
+///
+/// Any socket error, a deadline overrun, or a malformed response.
+pub fn request_with_timeouts(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&[u8]>,
+    headers: &[(&str, &str)],
+    timeouts: Timeouts,
+) -> std::io::Result<HttpResponse> {
+    let mut stream = TcpStream::connect_timeout(&addr, timeouts.connect)?;
+    stream.set_read_timeout(Some(timeouts.read))?;
+    stream.set_write_timeout(Some(timeouts.write))?;
 
     let mut head = format!("{method} {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n");
     for (name, value) in headers {

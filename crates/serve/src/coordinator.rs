@@ -1,0 +1,1097 @@
+//! Scale-out sweep coordination across `refrint-serve` backends.
+//!
+//! A coordinator is an ordinary server whose workers, instead of
+//! simulating locally, split each job into point-level `POST /run`
+//! requests and fan them out over the existing HTTP API to a pool of
+//! backend nodes. Because every point is an independent simulation with
+//! its own seed-derived streams, and because the merge below replays the
+//! exact `BTreeMap` ordering of the local
+//! [`SweepRunner`](refrint::sweep::SweepRunner), the coordinator's sweep
+//! response is **byte-identical** to a local run at any backend count —
+//! the same invariant the thread-level runner already clears, lifted one
+//! level up.
+//!
+//! Failure handling: each point is retried with bounded exponential
+//! backoff across the pool; a backend that fails repeatedly trips a
+//! per-backend circuit breaker and is skipped until a cooldown passes
+//! (half-open probing). Every dispatch attempt is recorded as a
+//! [`DispatchSpan`] and rendered under the request's `execute` stage in
+//! `/jobs/<id>/trace`.
+//!
+//! Custom [`PolicyFactory`](refrint_edram::model::PolicyFactory) models
+//! are not expressible over the HTTP API (they are in-process trait
+//! objects), so sweeps carrying them are rejected with a typed error —
+//! everything `POST /sweep` accepts is coverable.
+
+use std::collections::BTreeMap;
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use refrint::anomaly::{detect_points, PointMetrics};
+use refrint::experiment::ExperimentConfig;
+use refrint_edram::policy::RefreshPolicy;
+use refrint_engine::json::{escape, parse, Value};
+use refrint_obs::anomaly::AnomalyTuning;
+use refrint_obs::log::{Level, LogFormat, Logger};
+use refrint_obs::span::DispatchSpan;
+
+use crate::api::{self, ApiError};
+use crate::client::{self, Timeouts};
+use crate::disk_cache::DiskCache;
+use crate::http::elapsed_nanos;
+use crate::jobs::{JobOutput, JobWork, ResultCache};
+use crate::metrics::Metrics;
+
+/// Dispatch attempts recorded per job before the span list is capped (a
+/// huge sweep should not balloon its own trace document).
+const MAX_RECORDED_DISPATCH: usize = 64;
+
+/// Tunables of a [`Coordinator`].
+#[derive(Debug, Clone)]
+pub struct CoordinatorOptions {
+    /// Initial backend addresses (`host:port`), resolved at bind time.
+    /// More can join later via `POST /backends`.
+    pub backends: Vec<String>,
+    /// Dispatch attempts per point before the job fails.
+    pub max_attempts: u32,
+    /// First retry delay; doubled per attempt up to [`Self::backoff_cap`].
+    pub backoff_base: Duration,
+    /// Upper bound on the exponential backoff delay.
+    pub backoff_cap: Duration,
+    /// Consecutive failures that trip a backend's circuit breaker.
+    pub breaker_threshold: u32,
+    /// How long a tripped breaker stays open before half-open probing.
+    pub breaker_cooldown: Duration,
+    /// Target concurrent dispatches per backend (sizes the fan-out pool).
+    pub per_backend_inflight: usize,
+    /// Socket read deadline for one point dispatch.
+    pub dispatch_timeout: Duration,
+}
+
+impl Default for CoordinatorOptions {
+    fn default() -> Self {
+        CoordinatorOptions {
+            backends: Vec::new(),
+            max_attempts: 4,
+            backoff_base: Duration::from_millis(50),
+            backoff_cap: Duration::from_secs(2),
+            breaker_threshold: 3,
+            breaker_cooldown: Duration::from_secs(5),
+            per_backend_inflight: 4,
+            dispatch_timeout: Duration::from_secs(120),
+        }
+    }
+}
+
+/// A `POST /run` request re-expressed from its raw fields, so the
+/// coordinator can forward a validated job to a backend unchanged. The
+/// trace name is the client-supplied plain file name (pre-resolution):
+/// backends resolve it against their *own* `--trace-dir`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PointRequest {
+    /// Application preset name.
+    pub app: Option<String>,
+    /// Trace file name (plain, relative to the backend's trace dir).
+    pub trace: Option<String>,
+    /// SRAM baseline instead of the eDRAM configuration.
+    pub sram: bool,
+    /// Refresh-policy label.
+    pub policy: Option<String>,
+    /// Retention time in microseconds.
+    pub retention_us: Option<u64>,
+    /// References per thread.
+    pub refs: Option<u64>,
+    /// Seed override.
+    pub seed: Option<u64>,
+    /// Core-count override.
+    pub cores: Option<usize>,
+}
+
+impl PointRequest {
+    /// The `POST /run` body this request serializes to (only the fields
+    /// that were actually set, so backend-side defaulting matches).
+    #[must_use]
+    pub fn body(&self) -> String {
+        let mut fields = Vec::new();
+        if let Some(app) = &self.app {
+            fields.push(format!("\"app\":\"{}\"", escape(app)));
+        }
+        if let Some(trace) = &self.trace {
+            fields.push(format!("\"trace\":\"{}\"", escape(trace)));
+        }
+        if self.sram {
+            fields.push("\"sram\":true".to_owned());
+        }
+        if let Some(policy) = &self.policy {
+            fields.push(format!("\"policy\":\"{}\"", escape(policy)));
+        }
+        if let Some(us) = self.retention_us {
+            fields.push(format!("\"retention_us\":{us}"));
+        }
+        if let Some(refs) = self.refs {
+            fields.push(format!("\"refs\":{refs}"));
+        }
+        if let Some(seed) = self.seed {
+            fields.push(format!("\"seed\":{seed}"));
+        }
+        if let Some(cores) = self.cores {
+            fields.push(format!("\"cores\":{cores}"));
+        }
+        format!("{{{}}}", fields.join(","))
+    }
+}
+
+/// One backend of the pool, with its health and dispatch accounting.
+#[derive(Debug)]
+struct BackendSlot {
+    addr: SocketAddr,
+    label: String,
+    inflight: usize,
+    consecutive_failures: u32,
+    open_until: Option<Instant>,
+    dispatched: u64,
+    ok: u64,
+    failed: u64,
+}
+
+impl BackendSlot {
+    fn new(addr: SocketAddr, label: String) -> Self {
+        BackendSlot {
+            addr,
+            label,
+            inflight: 0,
+            consecutive_failures: 0,
+            open_until: None,
+            dispatched: 0,
+            ok: 0,
+            failed: 0,
+        }
+    }
+
+    fn healthy(&self, now: Instant) -> bool {
+        self.open_until.is_none_or(|until| until <= now)
+    }
+}
+
+/// What a dispatched job may consult and update: the server's trace
+/// directory (per-point cache keys), its two result caches, and its
+/// metrics counters.
+#[derive(Debug)]
+pub struct DispatchEnv<'a> {
+    /// The server's trace directory, for canonical per-point cache keys.
+    pub trace_dir: Option<&'a Path>,
+    /// The in-memory result cache, consulted and fed per point.
+    pub memory_cache: &'a Mutex<ResultCache>,
+    /// The persistent result cache, when the server has one.
+    pub disk_cache: Option<&'a DiskCache>,
+    /// The server's metrics (disk-cache hit/miss counters).
+    pub metrics: &'a Metrics,
+}
+
+/// The backend pool and dispatch logic of a coordinator-mode server.
+#[derive(Debug)]
+pub struct Coordinator {
+    opts: CoordinatorOptions,
+    pool: Mutex<Vec<BackendSlot>>,
+    logger: Logger,
+}
+
+impl Coordinator {
+    /// Builds a coordinator and registers the configured backends
+    /// (addresses are resolved now; reachability is probed lazily, so
+    /// backends may come up after the coordinator does).
+    ///
+    /// # Errors
+    ///
+    /// When a configured backend address does not resolve.
+    pub fn new(
+        opts: CoordinatorOptions,
+        log_level: Level,
+        log_format: LogFormat,
+    ) -> Result<Coordinator, ApiError> {
+        let coordinator = Coordinator {
+            opts: opts.clone(),
+            pool: Mutex::new(Vec::new()),
+            logger: Logger::to_stderr(log_level, log_format),
+        };
+        for addr in &opts.backends {
+            coordinator.register(addr, false)?;
+        }
+        Ok(coordinator)
+    }
+
+    /// Registers a backend by address, deduplicating on the resolved
+    /// socket address. With `probe`, the backend must answer
+    /// `GET /healthz` first.
+    ///
+    /// # Errors
+    ///
+    /// `bad_backend` (422) when the address does not resolve;
+    /// `backend_unreachable` (502) when a probed backend does not answer.
+    pub fn register(&self, addr: &str, probe: bool) -> Result<SocketAddr, ApiError> {
+        let resolved = addr
+            .to_socket_addrs()
+            .ok()
+            .and_then(|mut it| it.next())
+            .ok_or_else(|| {
+                ApiError::new(
+                    422,
+                    "bad_backend",
+                    format!("cannot resolve backend address `{addr}`"),
+                )
+            })?;
+        if probe {
+            let answer = client::request_with_timeouts(
+                resolved,
+                "GET",
+                "/healthz",
+                None,
+                &[],
+                Timeouts {
+                    connect: Duration::from_secs(2),
+                    read: Duration::from_secs(5),
+                    write: Duration::from_secs(2),
+                },
+            );
+            if !answer.is_ok_and(|r| r.status == 200) {
+                return Err(ApiError::new(
+                    502,
+                    "backend_unreachable",
+                    format!("backend {resolved} did not answer GET /healthz"),
+                ));
+            }
+        }
+        let mut pool = self.pool.lock().expect("backend pool lock");
+        if !pool.iter().any(|slot| slot.addr == resolved) {
+            self.logger
+                .info("backend_registered", &[("backend", resolved.to_string())]);
+            pool.push(BackendSlot::new(resolved, addr.to_owned()));
+        }
+        Ok(resolved)
+    }
+
+    /// Number of registered backends.
+    #[must_use]
+    pub fn backend_count(&self) -> usize {
+        self.pool.lock().expect("backend pool lock").len()
+    }
+
+    /// The `GET /backends` JSON document.
+    #[must_use]
+    pub fn backends_doc(&self) -> String {
+        let now = Instant::now();
+        let pool = self.pool.lock().expect("backend pool lock");
+        let entries: Vec<String> = pool
+            .iter()
+            .map(|slot| {
+                format!(
+                    concat!(
+                        "{{\"addr\":\"{}\",\"label\":\"{}\",\"healthy\":{},",
+                        "\"inflight\":{},\"consecutive_failures\":{},",
+                        "\"dispatched\":{},\"ok\":{},\"failed\":{}}}"
+                    ),
+                    slot.addr,
+                    escape(&slot.label),
+                    slot.healthy(now),
+                    slot.inflight,
+                    slot.consecutive_failures,
+                    slot.dispatched,
+                    slot.ok,
+                    slot.failed,
+                )
+            })
+            .collect();
+        format!("{{\"backends\":[{}]}}\n", entries.join(","))
+    }
+
+    /// Prometheus text lines for the per-backend counters, appended to the
+    /// server's `/metrics` rendering.
+    #[must_use]
+    pub fn render_metrics(&self) -> String {
+        let now = Instant::now();
+        let pool = self.pool.lock().expect("backend pool lock");
+        let mut out = String::new();
+        for (name, help, kind) in [
+            (
+                "refrint_backend_dispatched_total",
+                "Point dispatches attempted per backend.",
+                "counter",
+            ),
+            (
+                "refrint_backend_ok_total",
+                "Successful point dispatches per backend.",
+                "counter",
+            ),
+            (
+                "refrint_backend_failed_total",
+                "Failed point dispatches per backend.",
+                "counter",
+            ),
+            (
+                "refrint_backend_inflight",
+                "Dispatches currently in flight per backend.",
+                "gauge",
+            ),
+            (
+                "refrint_backend_breaker_open",
+                "Whether the backend's circuit breaker is open (1) or closed (0).",
+                "gauge",
+            ),
+        ] {
+            out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} {kind}\n"));
+            for slot in pool.iter() {
+                let value = match name {
+                    "refrint_backend_dispatched_total" => slot.dispatched,
+                    "refrint_backend_ok_total" => slot.ok,
+                    "refrint_backend_failed_total" => slot.failed,
+                    "refrint_backend_inflight" => slot.inflight as u64,
+                    _ => u64::from(!slot.healthy(now)),
+                };
+                out.push_str(&format!("{name}{{backend=\"{}\"}} {value}\n", slot.addr));
+            }
+        }
+        out
+    }
+
+    /// Picks the healthiest, least-loaded backend, preferring any other
+    /// candidate over `exclude` (the backend that just failed). `None`
+    /// when every backend's breaker is open or the pool is empty.
+    fn acquire(&self, exclude: Option<SocketAddr>) -> Option<SocketAddr> {
+        let now = Instant::now();
+        let mut pool = self.pool.lock().expect("backend pool lock");
+        let pick = |pool: &Vec<BackendSlot>, skip: Option<SocketAddr>| {
+            let mut best: Option<usize> = None;
+            for (i, slot) in pool.iter().enumerate() {
+                if !slot.healthy(now) || Some(slot.addr) == skip {
+                    continue;
+                }
+                if best.is_none_or(|b: usize| slot.inflight < pool[b].inflight) {
+                    best = Some(i);
+                }
+            }
+            best
+        };
+        let best = pick(&pool, exclude).or_else(|| pick(&pool, None))?;
+        let slot = &mut pool[best];
+        slot.inflight += 1;
+        slot.dispatched += 1;
+        Some(slot.addr)
+    }
+
+    /// Returns a backend after a dispatch, updating its breaker state.
+    fn release(&self, addr: SocketAddr, ok: bool) {
+        let mut pool = self.pool.lock().expect("backend pool lock");
+        if let Some(slot) = pool.iter_mut().find(|slot| slot.addr == addr) {
+            slot.inflight = slot.inflight.saturating_sub(1);
+            if ok {
+                slot.ok += 1;
+                slot.consecutive_failures = 0;
+                slot.open_until = None;
+            } else {
+                slot.failed += 1;
+                slot.consecutive_failures += 1;
+                if slot.consecutive_failures >= self.opts.breaker_threshold {
+                    slot.open_until = Some(Instant::now() + self.opts.breaker_cooldown);
+                    self.logger.warn(
+                        "backend_breaker_open",
+                        &[
+                            ("backend", addr.to_string()),
+                            (
+                                "cooldown_ms",
+                                self.opts.breaker_cooldown.as_millis().to_string(),
+                            ),
+                        ],
+                    );
+                }
+            }
+        }
+    }
+
+    fn backoff(&self, attempt: u32) -> Duration {
+        let factor = 1u32 << attempt.saturating_sub(1).min(10);
+        (self.opts.backoff_base * factor).min(self.opts.backoff_cap)
+    }
+
+    /// Dispatches one `POST /run` body, retrying across the pool with
+    /// exponential backoff. Returns the backend's response body (bytes
+    /// identical to a local run).
+    fn dispatch_point(
+        &self,
+        body: &str,
+        spans: &Mutex<Vec<DispatchSpan>>,
+        epoch: Instant,
+    ) -> Result<String, ApiError> {
+        let mut exclude = None;
+        let mut last: Option<ApiError> = None;
+        for attempt in 1..=self.opts.max_attempts {
+            let Some(addr) = self.acquire(exclude) else {
+                last.get_or_insert_with(|| {
+                    ApiError::new(
+                        502,
+                        "no_backends",
+                        "no healthy backend is registered; POST /backends to add one",
+                    )
+                });
+                std::thread::sleep(self.backoff(attempt));
+                continue;
+            };
+            let start_nanos = elapsed_nanos(epoch);
+            let sent = Instant::now();
+            let answer = client::request_with_timeouts(
+                addr,
+                "POST",
+                "/run",
+                Some(body.as_bytes()),
+                &[],
+                Timeouts {
+                    connect: Duration::from_secs(5),
+                    read: self.opts.dispatch_timeout,
+                    write: Duration::from_secs(10),
+                },
+            );
+            let dur_nanos = elapsed_nanos(sent);
+            match answer {
+                Ok(response) if response.status == 200 => {
+                    self.release(addr, true);
+                    record_dispatch(spans, addr, attempt, start_nanos, dur_nanos, "ok");
+                    return Ok(response.body_str());
+                }
+                Ok(response) if (400..500).contains(&response.status) => {
+                    // The backend is healthy — it answered — but the point
+                    // itself was rejected; retrying elsewhere cannot help.
+                    self.release(addr, true);
+                    record_dispatch(spans, addr, attempt, start_nanos, dur_nanos, "error");
+                    return Err(ApiError::new(
+                        502,
+                        "backend_rejected",
+                        format!(
+                            "backend {addr} rejected the point with {}: {}",
+                            response.status,
+                            response.body_str().trim()
+                        ),
+                    ));
+                }
+                Ok(response) => {
+                    self.release(addr, false);
+                    record_dispatch(spans, addr, attempt, start_nanos, dur_nanos, "error");
+                    self.logger.warn(
+                        "dispatch_failed",
+                        &[
+                            ("backend", addr.to_string()),
+                            ("status", response.status.to_string()),
+                            ("attempt", attempt.to_string()),
+                        ],
+                    );
+                    last = Some(ApiError::new(
+                        502,
+                        "backend_failed",
+                        format!(
+                            "backend {addr} answered {} on attempt {attempt}",
+                            response.status
+                        ),
+                    ));
+                    exclude = Some(addr);
+                }
+                Err(e) => {
+                    self.release(addr, false);
+                    record_dispatch(spans, addr, attempt, start_nanos, dur_nanos, "error");
+                    self.logger.warn(
+                        "dispatch_failed",
+                        &[
+                            ("backend", addr.to_string()),
+                            ("error", e.to_string()),
+                            ("attempt", attempt.to_string()),
+                        ],
+                    );
+                    last = Some(ApiError::new(
+                        502,
+                        "backend_failed",
+                        format!("backend {addr} failed on attempt {attempt}: {e}"),
+                    ));
+                    exclude = Some(addr);
+                }
+            }
+            if attempt < self.opts.max_attempts {
+                std::thread::sleep(self.backoff(attempt));
+            }
+        }
+        Err(last.unwrap_or_else(|| {
+            ApiError::new(
+                502,
+                "no_backends",
+                "no healthy backend is registered; POST /backends to add one",
+            )
+        }))
+    }
+
+    /// Executes a job by dispatching it to the backend pool. The
+    /// counterpart of [`crate::jobs::execute`] for coordinator-mode
+    /// workers: same inputs, same output contract, same bytes on success.
+    #[must_use]
+    pub fn execute(&self, work: &JobWork, env: &DispatchEnv<'_>) -> JobOutput {
+        match work {
+            JobWork::Run { point, .. } => self.execute_run(point),
+            JobWork::Sweep { config, anomaly } => self.execute_sweep(config, *anomaly, env),
+        }
+    }
+
+    fn execute_run(&self, point: &PointRequest) -> JobOutput {
+        let epoch = Instant::now();
+        let spans = Mutex::new(Vec::new());
+        match self.dispatch_point(&point.body(), &spans, epoch) {
+            Ok(body) => {
+                let refs = parse_report(body.trim_end()).map_or(0, |r| r.dl1_accesses);
+                let mut output = JobOutput::from_bytes(200, Arc::new(body.into_bytes()));
+                output.refs = refs;
+                output.sim_seconds = epoch.elapsed().as_secs_f64();
+                output.dispatch = spans.into_inner().expect("dispatch span lock");
+                output
+            }
+            Err(e) => dispatch_failure(&e, spans),
+        }
+    }
+
+    fn execute_sweep(
+        &self,
+        config: &ExperimentConfig,
+        anomaly: AnomalyTuning,
+        env: &DispatchEnv<'_>,
+    ) -> JobOutput {
+        let epoch = Instant::now();
+        let spans = Mutex::new(Vec::new());
+        let points = match sweep_points(config) {
+            Ok(points) => points,
+            Err(e) => return dispatch_failure(&e, spans),
+        };
+
+        let total = points.len();
+        let next = AtomicUsize::new(0);
+        let aborted = AtomicBool::new(false);
+        let results: Mutex<Vec<Option<Result<String, ApiError>>>> =
+            Mutex::new((0..total).map(|_| None).collect());
+        let workers = {
+            let backends = self.backend_count().max(1);
+            total
+                .min(backends * self.opts.per_backend_inflight.max(1))
+                .max(1)
+        };
+        let worker = || loop {
+            if aborted.load(Ordering::Relaxed) {
+                break;
+            }
+            let index = next.fetch_add(1, Ordering::Relaxed);
+            if index >= total {
+                break;
+            }
+            let result = self.run_point(&points[index], env, &spans, epoch);
+            if result.is_err() {
+                aborted.store(true, Ordering::Relaxed);
+            }
+            results.lock().expect("sweep results lock")[index] = Some(result);
+        };
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(worker);
+            }
+        });
+
+        let results = results.into_inner().expect("sweep results lock");
+        // First-error-in-job-order, mirroring the local runner's contract.
+        for slot in &results {
+            if let Some(Err(e)) = slot {
+                return dispatch_failure(e, spans);
+            }
+        }
+
+        // Merge in the local runner's exact order: SRAM reports keyed by
+        // workload, eDRAM reports keyed by (workload, retention, policy) —
+        // both BTreeMaps, both iterated ascending.
+        let mut sram: BTreeMap<String, String> = BTreeMap::new();
+        let mut edram: BTreeMap<(String, u64, String), String> = BTreeMap::new();
+        for (point, slot) in points.iter().zip(results) {
+            let Some(Ok(body)) = slot else {
+                return dispatch_failure(
+                    &ApiError::new(502, "backend_failed", "a sweep point was never dispatched"),
+                    spans,
+                );
+            };
+            let report = body.trim_end().to_owned();
+            match &point.kind {
+                PointKind::Sram => {
+                    sram.insert(point.workload.clone(), report);
+                }
+                PointKind::Edram {
+                    retention_us,
+                    policy,
+                } => {
+                    edram.insert(
+                        (point.workload.clone(), *retention_us, policy.clone()),
+                        report,
+                    );
+                }
+            }
+        }
+
+        let mut refs = 0u64;
+        let mut runs = Vec::with_capacity(sram.len() + edram.len());
+        let mut metric_points = Vec::with_capacity(edram.len());
+        for (workload, report) in &sram {
+            match parse_report(report) {
+                Ok(parsed) => refs += parsed.dl1_accesses,
+                Err(e) => return dispatch_failure(&e, spans),
+            }
+            runs.push(refrint::json::sweep_run_entry(workload, None, report));
+        }
+        for ((workload, retention_us, policy), report) in &edram {
+            let parsed = match parse_report(report) {
+                Ok(parsed) => parsed,
+                Err(e) => return dispatch_failure(&e, spans),
+            };
+            refs += parsed.dl1_accesses;
+            runs.push(refrint::json::sweep_run_entry(
+                workload,
+                Some((*retention_us, policy)),
+                report,
+            ));
+            metric_points.push((
+                (workload.clone(), *retention_us, policy.clone()),
+                PointMetrics {
+                    system_energy_j: parsed.system_energy_j,
+                    execution_cycles: parsed.execution_cycles,
+                },
+            ));
+        }
+        let anomalies = detect_points(&metric_points, anomaly);
+        let workloads: Vec<String> = config
+            .apps
+            .iter()
+            .map(|a| a.name().to_owned())
+            .chain(config.traces.iter().map(|t| t.name.clone()))
+            .collect();
+        let doc =
+            refrint::json::sweep_document(&workloads, &config.retentions_us, &runs, &anomalies);
+        let mut output = JobOutput::from_bytes(200, Arc::new(format!("{doc}\n").into_bytes()));
+        output.refs = refs;
+        output.sim_seconds = epoch.elapsed().as_secs_f64();
+        output.dispatch = spans.into_inner().expect("dispatch span lock");
+        output
+    }
+
+    /// Runs one sweep point: result caches first (memory, then disk),
+    /// then a dispatched `POST /run`. Fresh results feed both caches, so
+    /// a restarted coordinator with the same `--cache-dir` resumes where
+    /// it left off.
+    fn run_point(
+        &self,
+        point: &SweepPoint,
+        env: &DispatchEnv<'_>,
+        spans: &Mutex<Vec<DispatchSpan>>,
+        epoch: Instant,
+    ) -> Result<String, ApiError> {
+        let key = point_cache_key(&point.request, env.trace_dir);
+        if let Some(key) = &key {
+            let lookup = Instant::now();
+            let memory_hit = env
+                .memory_cache
+                .lock()
+                .expect("cache lock")
+                .get(key)
+                .map(|b| String::from_utf8_lossy(&b).into_owned());
+            if let Some(body) = memory_hit {
+                record_cache_hit(spans, epoch, lookup);
+                return Ok(body);
+            }
+            if let Some(disk) = env.disk_cache {
+                if let Some(bytes) = disk.get(key) {
+                    env.metrics.disk_cache_hits.fetch_add(1, Ordering::Relaxed);
+                    env.memory_cache
+                        .lock()
+                        .expect("cache lock")
+                        .insert(key.clone(), Arc::new(bytes.clone()));
+                    record_cache_hit(spans, epoch, lookup);
+                    return Ok(String::from_utf8_lossy(&bytes).into_owned());
+                }
+                env.metrics
+                    .disk_cache_misses
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let body = self.dispatch_point(&point.request.body(), spans, epoch)?;
+        if let Some(key) = &key {
+            env.memory_cache
+                .lock()
+                .expect("cache lock")
+                .insert(key.clone(), Arc::new(body.clone().into_bytes()));
+            if let Some(disk) = env.disk_cache {
+                if let Err(e) = disk.put(key, body.as_bytes()) {
+                    self.logger
+                        .warn("disk_cache_put_failed", &[("error", e.to_string())]);
+                }
+            }
+        }
+        Ok(body)
+    }
+}
+
+/// A failed dispatch as a job output: the typed error document, with the
+/// dispatch spans preserved so `/jobs/<id>/trace` shows what was tried.
+fn dispatch_failure(e: &ApiError, spans: Mutex<Vec<DispatchSpan>>) -> JobOutput {
+    let mut output = JobOutput::from_bytes(e.status, Arc::new(e.body()));
+    output.dispatch = spans.into_inner().expect("dispatch span lock");
+    output
+}
+
+fn record_dispatch(
+    spans: &Mutex<Vec<DispatchSpan>>,
+    addr: SocketAddr,
+    attempt: u32,
+    start_nanos: u64,
+    dur_nanos: u64,
+    outcome: &'static str,
+) {
+    let mut spans = spans.lock().expect("dispatch span lock");
+    if spans.len() < MAX_RECORDED_DISPATCH {
+        spans.push(DispatchSpan {
+            backend: addr.to_string(),
+            attempt,
+            start_nanos,
+            dur_nanos,
+            outcome,
+        });
+    }
+}
+
+fn record_cache_hit(spans: &Mutex<Vec<DispatchSpan>>, epoch: Instant, lookup: Instant) {
+    let mut spans = spans.lock().expect("dispatch span lock");
+    if spans.len() < MAX_RECORDED_DISPATCH {
+        spans.push(DispatchSpan {
+            backend: "result-cache".to_owned(),
+            attempt: 1,
+            start_nanos: elapsed_nanos(epoch).saturating_sub(elapsed_nanos(lookup)),
+            dur_nanos: elapsed_nanos(lookup),
+            outcome: "cache",
+        });
+    }
+}
+
+/// The role of one sweep point in the merge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum PointKind {
+    Sram,
+    Edram { retention_us: u64, policy: String },
+}
+
+/// One point-level job of a fanned-out sweep.
+#[derive(Debug, Clone)]
+struct SweepPoint {
+    workload: String,
+    kind: PointKind,
+    request: PointRequest,
+}
+
+/// Enumerates a sweep's point jobs in the local runner's deterministic
+/// order, with its duplicate-label/workload pre-checks.
+fn sweep_points(config: &ExperimentConfig) -> Result<Vec<SweepPoint>, ApiError> {
+    if !config.models.is_empty() {
+        return Err(ApiError::new(
+            422,
+            "unsupported",
+            "custom policy models are in-process trait objects and cannot be \
+             dispatched to backends; run them with a local SweepRunner",
+        ));
+    }
+    let mut labels = std::collections::BTreeSet::new();
+    for label in config.policies.iter().map(RefreshPolicy::label) {
+        if !labels.insert(label.clone()) {
+            return Err(ApiError::new(
+                422,
+                "invalid_config",
+                format!(
+                    "duplicate refresh-policy label `{label}` in the sweep \
+                     (reports are keyed by label)"
+                ),
+            ));
+        }
+    }
+    // (name, forwardable trace file name) per workload, apps first — the
+    // same workload order the local runner enumerates.
+    let mut workloads: Vec<(String, Option<String>)> = Vec::new();
+    for app in &config.apps {
+        workloads.push((app.name().to_owned(), None));
+    }
+    for spec in &config.traces {
+        let file = spec
+            .path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .ok_or_else(|| {
+                ApiError::new(
+                    422,
+                    "invalid_config",
+                    format!("trace path `{}` has no file name", spec.path.display()),
+                )
+            })?;
+        workloads.push((spec.name.clone(), Some(file)));
+    }
+    let mut keys = std::collections::BTreeSet::new();
+    for (key, _) in &workloads {
+        if !keys.insert(key.clone()) {
+            return Err(ApiError::new(
+                422,
+                "invalid_config",
+                format!(
+                    "duplicate workload `{key}` in the sweep \
+                     (reports are keyed by workload name)"
+                ),
+            ));
+        }
+    }
+
+    let mut points = Vec::with_capacity(config.total_runs());
+    for (workload, trace_file) in &workloads {
+        let base = PointRequest {
+            app: trace_file.is_none().then(|| workload.clone()),
+            trace: trace_file.clone(),
+            refs: Some(config.refs_per_thread),
+            seed: Some(config.seed),
+            cores: Some(config.cores),
+            ..PointRequest::default()
+        };
+        points.push(SweepPoint {
+            workload: workload.clone(),
+            kind: PointKind::Sram,
+            request: PointRequest {
+                sram: true,
+                ..base.clone()
+            },
+        });
+        for &retention_us in &config.retentions_us {
+            for policy in &config.policies {
+                points.push(SweepPoint {
+                    workload: workload.clone(),
+                    kind: PointKind::Edram {
+                        retention_us,
+                        policy: policy.label(),
+                    },
+                    request: PointRequest {
+                        policy: Some(policy.label()),
+                        retention_us: Some(retention_us),
+                        ..base.clone()
+                    },
+                });
+            }
+        }
+    }
+    Ok(points)
+}
+
+/// The canonical cache key of one point, derived through the same
+/// validation path `POST /run` uses — so a coordinator's per-point cache
+/// entries are interchangeable with direct run requests.
+fn point_cache_key(request: &PointRequest, trace_dir: Option<&Path>) -> Option<String> {
+    let root = parse(&request.body()).ok()?;
+    api::parse_run_request(&root, trace_dir)
+        .ok()
+        .map(|v| v.cache_key)
+}
+
+/// The fields the coordinator reads back out of a report body.
+struct ParsedReport {
+    execution_cycles: u64,
+    system_energy_j: f64,
+    dl1_accesses: u64,
+}
+
+/// Parses the three fields the merge needs from a backend's report JSON.
+/// The engine parser round-trips floats bit-exactly (the PR 5 property),
+/// so anomaly scores computed from these values match a local sweep's.
+fn parse_report(report: &str) -> Result<ParsedReport, ApiError> {
+    let malformed = || {
+        ApiError::new(
+            502,
+            "backend_failed",
+            "a backend returned a malformed report body",
+        )
+    };
+    let doc = parse(report).map_err(|_| malformed())?;
+    let execution_cycles = doc
+        .get("execution_cycles")
+        .and_then(Value::as_u64)
+        .ok_or_else(malformed)?;
+    let system_energy_j = doc
+        .get("energy_j")
+        .and_then(|e| e.get("system_total"))
+        .and_then(Value::as_num)
+        .ok_or_else(malformed)?;
+    let dl1_accesses = doc
+        .get("counts")
+        .and_then(|c| c.get("dl1_accesses"))
+        .and_then(Value::as_u64)
+        .ok_or_else(malformed)?;
+    Ok(ParsedReport {
+        execution_cycles,
+        system_energy_j,
+        dl1_accesses,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use refrint_workloads::apps::AppPreset;
+
+    #[test]
+    fn point_request_bodies_only_carry_set_fields() {
+        let point = PointRequest {
+            app: Some("lu".to_owned()),
+            refs: Some(400),
+            cores: Some(2),
+            ..PointRequest::default()
+        };
+        assert_eq!(point.body(), "{\"app\":\"lu\",\"refs\":400,\"cores\":2}");
+        assert_eq!(PointRequest::default().body(), "{}");
+        let sram = PointRequest {
+            trace: Some("lu.rft".to_owned()),
+            sram: true,
+            seed: Some(7),
+            ..PointRequest::default()
+        };
+        assert_eq!(
+            sram.body(),
+            "{\"trace\":\"lu.rft\",\"sram\":true,\"seed\":7}"
+        );
+    }
+
+    #[test]
+    fn sweep_points_mirror_the_runner_enumeration() {
+        let config = ExperimentConfig {
+            apps: vec![AppPreset::Lu, AppPreset::Fft],
+            retentions_us: vec![50, 100],
+            policies: vec![
+                RefreshPolicy::edram_baseline(),
+                RefreshPolicy::recommended(),
+            ],
+            refs_per_thread: 500,
+            seed: 9,
+            cores: 2,
+            ..ExperimentConfig::default()
+        };
+        let points = sweep_points(&config).unwrap();
+        // Per workload: SRAM, then retention-major × policy-minor.
+        assert_eq!(points.len(), 2 * (1 + 2 * 2));
+        assert_eq!(points[0].workload, "lu");
+        assert_eq!(points[0].kind, PointKind::Sram);
+        assert!(points[0].request.sram);
+        assert_eq!(
+            points[1].kind,
+            PointKind::Edram {
+                retention_us: 50,
+                policy: RefreshPolicy::edram_baseline().label()
+            }
+        );
+        assert_eq!(
+            points[2].kind,
+            PointKind::Edram {
+                retention_us: 50,
+                policy: RefreshPolicy::recommended().label()
+            }
+        );
+        assert_eq!(
+            points[3].kind,
+            PointKind::Edram {
+                retention_us: 100,
+                policy: RefreshPolicy::edram_baseline().label()
+            }
+        );
+        assert_eq!(points[5].workload, "fft");
+        for p in &points {
+            assert_eq!(p.request.refs, Some(500));
+            assert_eq!(p.request.seed, Some(9));
+            assert_eq!(p.request.cores, Some(2));
+        }
+    }
+
+    #[test]
+    fn duplicate_labels_and_workloads_are_rejected() {
+        let config = ExperimentConfig {
+            apps: vec![AppPreset::Lu],
+            retentions_us: vec![50],
+            policies: vec![RefreshPolicy::recommended(), RefreshPolicy::recommended()],
+            cores: 2,
+            ..ExperimentConfig::default()
+        };
+        let err = sweep_points(&config).unwrap_err();
+        assert!(err.reason.contains("duplicate refresh-policy label"));
+
+        let config = ExperimentConfig {
+            apps: vec![AppPreset::Lu, AppPreset::Lu],
+            retentions_us: vec![50],
+            policies: vec![RefreshPolicy::recommended()],
+            cores: 2,
+            ..ExperimentConfig::default()
+        };
+        let err = sweep_points(&config).unwrap_err();
+        assert!(err.reason.contains("duplicate workload"));
+    }
+
+    #[test]
+    fn breaker_opens_after_threshold_and_recovers() {
+        let coordinator = Coordinator::new(
+            CoordinatorOptions {
+                breaker_threshold: 2,
+                breaker_cooldown: Duration::from_millis(30),
+                ..CoordinatorOptions::default()
+            },
+            Level::Error,
+            LogFormat::Text,
+        )
+        .unwrap();
+        coordinator.register("127.0.0.1:1", false).unwrap();
+        let addr = coordinator.acquire(None).unwrap();
+        coordinator.release(addr, false);
+        assert!(coordinator.acquire(None).is_some(), "one failure: closed");
+        coordinator.release(addr, false);
+        assert!(
+            coordinator.acquire(None).is_none(),
+            "second failure trips the breaker"
+        );
+        std::thread::sleep(Duration::from_millis(40));
+        let probe = coordinator.acquire(None);
+        assert_eq!(probe, Some(addr), "half-open after the cooldown");
+        coordinator.release(addr, true);
+        assert!(
+            coordinator.acquire(None).is_some(),
+            "a success closes the breaker"
+        );
+    }
+
+    #[test]
+    fn unresolvable_backends_are_a_typed_error() {
+        let err = Coordinator::new(
+            CoordinatorOptions {
+                backends: vec!["definitely-not-a-host-9f3a:0:bad".to_owned()],
+                ..CoordinatorOptions::default()
+            },
+            Level::Error,
+            LogFormat::Text,
+        )
+        .map(|_| ())
+        .unwrap_err();
+        assert_eq!(err.kind, "bad_backend");
+    }
+
+    #[test]
+    fn registration_deduplicates_resolved_addresses() {
+        let coordinator =
+            Coordinator::new(CoordinatorOptions::default(), Level::Error, LogFormat::Text).unwrap();
+        coordinator.register("127.0.0.1:7878", false).unwrap();
+        coordinator.register("127.0.0.1:7878", false).unwrap();
+        assert_eq!(coordinator.backend_count(), 1);
+        assert!(coordinator
+            .backends_doc()
+            .contains("\"addr\":\"127.0.0.1:7878\""));
+    }
+}

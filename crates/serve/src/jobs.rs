@@ -18,8 +18,10 @@ use refrint::sweep::SweepRunner;
 use refrint_engine::json::escape;
 use refrint_obs::anomaly::AnomalyTuning;
 use refrint_obs::recorder::ObsSummary;
-use refrint_obs::span::{RequestTrace, Subsystem};
+use refrint_obs::span::{DispatchSpan, RequestTrace, Subsystem};
 use refrint_workloads::apps::AppPreset;
+
+use crate::coordinator::PointRequest;
 
 /// What a worker executes for one job.
 #[derive(Debug, Clone)]
@@ -27,10 +29,14 @@ pub enum JobWork {
     /// One simulation: run `app`, or replay the builder's trace when `app`
     /// is `None`.
     Run {
-        /// The validated builder (presets and overrides already applied).
-        builder: SimulationBuilder,
+        /// The validated builder (presets and overrides already applied),
+        /// boxed to keep the enum's variants comparably sized.
+        builder: Box<SimulationBuilder>,
         /// The preset to run; `None` replays the configured trace.
         app: Option<AppPreset>,
+        /// The request re-expressed as forwardable `POST /run` fields, so
+        /// a coordinator can dispatch it to a backend unchanged.
+        point: PointRequest,
     },
     /// A full experiment sweep, run sequentially inside the worker.
     Sweep {
@@ -106,6 +112,9 @@ pub struct JobOutput {
     pub config_label: String,
     /// Workload of the executed run (empty for sweeps/failures).
     pub workload: String,
+    /// Per-backend dispatch attempts recorded by the coordinator (empty
+    /// for locally-executed jobs), spliced into `/jobs/<id>/trace`.
+    pub dispatch: Vec<DispatchSpan>,
 }
 
 impl JobOutput {
@@ -123,6 +132,7 @@ impl JobOutput {
             obs: None,
             config_label: String::new(),
             workload: String::new(),
+            dispatch: Vec::new(),
         }
     }
 }
@@ -326,7 +336,7 @@ impl SharedJobs {
 #[must_use]
 pub fn execute(work: &JobWork) -> JobOutput {
     match work {
-        JobWork::Run { builder, app } => run_one(builder, *app),
+        JobWork::Run { builder, app, .. } => run_one(builder, *app),
         JobWork::Sweep { config, anomaly } => run_sweep(config, *anomaly),
     }
 }
@@ -380,6 +390,7 @@ fn run_one(builder: &SimulationBuilder, app: Option<AppPreset>) -> JobOutput {
         obs: Some(Arc::new(summary)),
         config_label: outcome.config_label().to_owned(),
         workload: outcome.workload().to_owned(),
+        dispatch: Vec::new(),
     }
 }
 
@@ -473,8 +484,9 @@ mod tests {
     fn run_jobs_produce_the_cli_bytes() {
         let builder = Simulation::builder().cores(2).refs_per_thread(400).seed(3);
         let out = execute(&JobWork::Run {
-            builder: builder.clone(),
+            builder: Box::new(builder.clone()),
             app: Some(AppPreset::Lu),
+            point: PointRequest::default(),
         });
         assert_eq!(out.status, 200);
         assert!(out.refs > 0);
@@ -495,7 +507,11 @@ mod tests {
     #[test]
     fn failed_runs_are_500_json_not_panics() {
         let builder = Simulation::builder().cores(2).trace("/nonexistent/x.rft");
-        let out = execute(&JobWork::Run { builder, app: None });
+        let out = execute(&JobWork::Run {
+            builder: Box::new(builder),
+            app: None,
+            point: PointRequest::default(),
+        });
         assert_eq!(out.status, 500);
         assert!(String::from_utf8_lossy(&out.body).contains("execution_failed"));
     }

@@ -16,6 +16,8 @@
 //! | `GET /jobs/<id>/result` | the job's result bytes (202 while pending) |
 //! | `GET /healthz` | liveness + uptime |
 //! | `GET /metrics` | Prometheus text counters |
+//! | `GET /backends` | coordinator mode: the backend pool and its health |
+//! | `POST /backends` | coordinator mode: register a backend (`{"addr":"host:port"}`) |
 //! | `POST /shutdown` | graceful shutdown (also triggered by SIGTERM) |
 //!
 //! # Architecture
@@ -39,6 +41,8 @@
 
 pub mod api;
 pub mod client;
+pub mod coordinator;
+pub mod disk_cache;
 pub mod http;
 pub mod jobs;
 pub mod metrics;
@@ -63,6 +67,8 @@ use refrint_obs::otlp;
 use refrint_obs::span::{RequestTrace, StageSpan, TraceContext};
 
 use crate::api::{ApiError, SubmitMode, ValidatedRequest};
+use crate::coordinator::{Coordinator, CoordinatorOptions, DispatchEnv};
+use crate::disk_cache::DiskCache;
 use crate::http::{elapsed_nanos, HttpError, Request, Response};
 use crate::jobs::{Job, JobOutput, JobStatus, JobWork, ResultCache, SharedJobs};
 use crate::metrics::Metrics;
@@ -143,6 +149,14 @@ pub struct ServerOptions {
     /// Minimum level logged. The library default is [`Level::Error`]
     /// (quiet); the CLI raises it from `REFRINT_LOG`.
     pub log_level: Level,
+    /// Coordinator mode: instead of simulating locally, split jobs into
+    /// point-level `POST /run` requests and dispatch them to this pool of
+    /// backend servers (see [`coordinator`]).
+    pub coordinator: Option<CoordinatorOptions>,
+    /// Directory of the persistent result cache; `None` disables it.
+    pub disk_cache_dir: Option<PathBuf>,
+    /// Bodies retained in the persistent result cache (LRU).
+    pub disk_cache_capacity: usize,
 }
 
 impl Default for ServerOptions {
@@ -161,6 +175,9 @@ impl Default for ServerOptions {
             latency_bounds_micros: metrics::LATENCY_BOUNDS_MICROS.to_vec(),
             log_format: LogFormat::Text,
             log_level: Level::Error,
+            coordinator: None,
+            disk_cache_dir: None,
+            disk_cache_capacity: 512,
         }
     }
 }
@@ -178,6 +195,8 @@ struct ServerState {
     shutdown: AtomicBool,
     active_connections: AtomicUsize,
     next_job: AtomicU64,
+    coordinator: Option<Coordinator>,
+    disk_cache: Option<DiskCache>,
 }
 
 impl ServerState {
@@ -224,6 +243,17 @@ impl Server {
         let listener = TcpListener::bind(addr)?;
         let (tx, rx) = std::sync::mpsc::sync_channel::<String>(options.queue_capacity.max(1));
         let worker_count = options.workers.max(1);
+        let disk_cache = options
+            .disk_cache_dir
+            .as_deref()
+            .map(|dir| DiskCache::open(dir, options.disk_cache_capacity))
+            .transpose()?;
+        let coordinator = options
+            .coordinator
+            .clone()
+            .map(|opts| Coordinator::new(opts, options.log_level, options.log_format))
+            .transpose()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.reason))?;
         let state = Arc::new(ServerState {
             jobs: SharedJobs::new(options.retained_jobs),
             work: Mutex::new(HashMap::new()),
@@ -234,6 +264,8 @@ impl Server {
             shutdown: AtomicBool::new(false),
             active_connections: AtomicUsize::new(0),
             next_job: AtomicU64::new(1),
+            coordinator,
+            disk_cache,
             options,
         });
         let rx = Arc::new(Mutex::new(rx));
@@ -415,7 +447,18 @@ fn worker_loop(state: &Arc<ServerState>, rx: &Arc<Mutex<Receiver<String>>>) {
         );
         state.metrics.workers_busy.fetch_add(1, Ordering::Relaxed);
         let execute_started = Instant::now();
-        let mut output = jobs::execute(&work);
+        let mut output = match &state.coordinator {
+            Some(coordinator) => coordinator.execute(
+                &work,
+                &DispatchEnv {
+                    trace_dir: state.options.trace_dir.as_deref(),
+                    memory_cache: &state.cache,
+                    disk_cache: state.disk_cache.as_ref(),
+                    metrics: &state.metrics,
+                },
+            ),
+            None => jobs::execute(&work),
+        };
         output.queue_nanos = queue_nanos;
         output.execute_nanos = elapsed_nanos(execute_started);
         state.metrics.workers_busy.fetch_sub(1, Ordering::Relaxed);
@@ -451,7 +494,14 @@ fn worker_loop(state: &Arc<ServerState>, rx: &Arc<Mutex<Receiver<String>>>) {
                 .cache
                 .lock()
                 .expect("cache lock")
-                .insert(cache_key, Arc::clone(&output.body));
+                .insert(cache_key.clone(), Arc::clone(&output.body));
+            if let Some(disk) = &state.disk_cache {
+                if let Err(e) = disk.put(&cache_key, &output.body) {
+                    state
+                        .logger
+                        .warn("disk_cache_put_failed", &[("error", e.to_string())]);
+                }
+            }
         }
         state.jobs.finish(&id, output);
     }
@@ -613,9 +663,16 @@ fn route(state: &Arc<ServerState>, request: &Request, ctx: &mut RequestCtx) -> R
             _ => method_not_allowed("GET"),
         },
         "/metrics" => match method {
-            "GET" => Response::text(200, state.metrics.render()),
+            "GET" => {
+                let mut doc = state.metrics.render();
+                if let Some(coordinator) = &state.coordinator {
+                    doc.push_str(&coordinator.render_metrics());
+                }
+                Response::text(200, doc)
+            }
             _ => method_not_allowed("GET"),
         },
+        "/backends" => backends_endpoint(state, method, &request.body),
         "/shutdown" => match method {
             "POST" => {
                 state.request_shutdown();
@@ -632,6 +689,45 @@ fn route(state: &Arc<ServerState>, request: &Request, ctx: &mut RequestCtx) -> R
             _ => method_not_allowed("GET"),
         },
         other => ApiError::new(404, "not_found", format!("no such endpoint `{other}`")).into(),
+    }
+}
+
+fn backends_endpoint(state: &Arc<ServerState>, method: &str, body: &[u8]) -> Response {
+    let Some(coordinator) = &state.coordinator else {
+        return ApiError::new(
+            404,
+            "not_found",
+            "this server is not a coordinator; start it with --coordinator",
+        )
+        .into();
+    };
+    match method {
+        "GET" => Response::json(200, coordinator.backends_doc()),
+        "POST" => {
+            let parsed = std::str::from_utf8(body)
+                .ok()
+                .and_then(|text| refrint_engine::json::parse(text).ok());
+            let Some(addr) = parsed
+                .as_ref()
+                .and_then(|root| root.get("addr"))
+                .and_then(|v| v.as_str().map(str::to_owned))
+            else {
+                return ApiError::new(
+                    400,
+                    "bad_json",
+                    "expected a JSON body like {\"addr\":\"host:port\"}",
+                )
+                .into();
+            };
+            match coordinator.register(&addr, true) {
+                Ok(resolved) => Response::json(
+                    200,
+                    format!("{{\"status\":\"registered\",\"addr\":\"{resolved}\"}}\n"),
+                ),
+                Err(e) => e.into(),
+            }
+        }
+        _ => method_not_allowed("GET, POST"),
     }
 }
 
@@ -685,13 +781,37 @@ fn submit(state: &Arc<ServerState>, request: ValidatedRequest, ctx: &mut Request
     }
 
     // Cache first: identical requests are answered with the same bytes.
+    // Memory, then disk — a disk hit is promoted into the memory cache, so
+    // a restarted server with the same `--cache-dir` answers warm.
     let lookup_started = Instant::now();
-    let cached = state
+    let mut cached = state
         .cache
         .lock()
         .expect("cache lock")
         .get(&cache_key)
         .clone();
+    if cached.is_none() {
+        if let Some(disk) = &state.disk_cache {
+            if let Some(bytes) = disk.get(&cache_key) {
+                state
+                    .metrics
+                    .disk_cache_hits
+                    .fetch_add(1, Ordering::Relaxed);
+                let body = Arc::new(bytes);
+                state
+                    .cache
+                    .lock()
+                    .expect("cache lock")
+                    .insert(cache_key.clone(), Arc::clone(&body));
+                cached = Some(body);
+            } else {
+                state
+                    .metrics
+                    .disk_cache_misses
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
     ctx.stage("cache_lookup", elapsed_nanos(lookup_started));
     if let Some(body) = cached {
         state.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
@@ -884,7 +1004,11 @@ fn trace_response(job: &Job) -> Response {
             .as_ref()
             .map(|obs| (obs.as_ref(), o.config_label.as_str(), o.workload.as_str()))
     });
-    let mut body = otlp::render_request(&trace, &extra, sim);
+    let dispatch = job
+        .output
+        .as_ref()
+        .map_or(&[] as &[_], |o| o.dispatch.as_slice());
+    let mut body = otlp::render_request_with_dispatch(&trace, &extra, sim, dispatch);
     body.push('\n');
     Response::json(200, body)
 }

@@ -50,6 +50,10 @@ pub struct Metrics {
     pub cache_hits: AtomicU64,
     /// Requests that missed the cache and simulated.
     pub cache_misses: AtomicU64,
+    /// Lookups answered from the persistent disk cache.
+    pub disk_cache_hits: AtomicU64,
+    /// Lookups that missed the persistent disk cache.
+    pub disk_cache_misses: AtomicU64,
     /// Total data references simulated by completed jobs.
     pub refs_simulated: AtomicU64,
     /// Total wall-clock microseconds workers spent simulating.
@@ -88,6 +92,8 @@ impl Metrics {
             jobs_failed: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
+            disk_cache_hits: AtomicU64::new(0),
+            disk_cache_misses: AtomicU64::new(0),
             refs_simulated: AtomicU64::new(0),
             sim_micros: AtomicU64::new(0),
             queue_depth: AtomicU64::new(0),
@@ -198,6 +204,16 @@ impl Metrics {
             "refrint_cache_misses_total",
             "Requests that missed the result cache.",
             get(&self.cache_misses),
+        );
+        counter(
+            "refrint_disk_cache_hits_total",
+            "Lookups served from the persistent disk cache.",
+            get(&self.disk_cache_hits),
+        );
+        counter(
+            "refrint_disk_cache_misses_total",
+            "Lookups that missed the persistent disk cache.",
+            get(&self.disk_cache_misses),
         );
         counter(
             "refrint_refs_simulated_total",

@@ -1,0 +1,204 @@
+//! End-to-end tests of coordinator mode: a `refrint-serve` instance that
+//! splits sweeps into point-level `POST /run` jobs and fans them out over
+//! the HTTP API to a pool of backend servers.
+//!
+//! The headline guarantee: a coordinator's `/sweep` response is
+//! **byte-identical** to a local `SweepRunner` (i.e. to
+//! `refrint-cli sweep --format json`) at any backend count — including
+//! when a backend is killed mid-sweep and its points are reassigned —
+//! and the persistent `--cache-dir` result cache replays those bytes
+//! across a coordinator restart without touching a backend.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use refrint::prelude::*;
+use refrint_serve::client;
+use refrint_serve::coordinator::CoordinatorOptions;
+use refrint_serve::{RunningServer, Server, ServerOptions};
+
+/// Starts a plain (simulating) backend server on an ephemeral port.
+fn start_backend() -> RunningServer {
+    Server::bind("127.0.0.1:0", ServerOptions::default())
+        .expect("bind an ephemeral backend port")
+        .spawn()
+        .expect("spawn the backend accept loop")
+}
+
+/// Starts a coordinator over the given backends.
+fn start_coordinator(backends: &[&RunningServer], cache_dir: Option<PathBuf>) -> RunningServer {
+    let options = ServerOptions {
+        coordinator: Some(CoordinatorOptions {
+            backends: backends.iter().map(|b| b.addr().to_string()).collect(),
+            ..CoordinatorOptions::default()
+        }),
+        disk_cache_dir: cache_dir,
+        ..ServerOptions::default()
+    };
+    Server::bind("127.0.0.1:0", options)
+        .expect("bind an ephemeral coordinator port")
+        .spawn()
+        .expect("spawn the coordinator accept loop")
+}
+
+/// The sweep request used throughout: 2 workloads x (1 SRAM + 2
+/// retentions x 3 policies) = 14 point jobs, small enough to stay fast.
+const SWEEP_BODY: &str = "{\"apps\":[\"lu\",\"fft\"],\"refs\":400,\"cores\":2,\
+                          \"policies\":[\"P.all\",\"R.valid\",\"R.WB(32,32)\"],\
+                          \"retentions_us\":[50,100]}";
+
+/// The bytes `refrint-cli sweep --format json` prints for [`SWEEP_BODY`]'s
+/// configuration, computed with no server involved.
+fn local_sweep_bytes() -> Vec<u8> {
+    let mut cfg = ExperimentConfig::quick()
+        .with_apps(vec![AppPreset::Lu, AppPreset::Fft])
+        .with_refs_per_thread(400);
+    cfg.cores = 2;
+    cfg.policies = ["P.all", "R.valid", "R.WB(32,32)"]
+        .iter()
+        .map(|l| l.parse::<RefreshPolicy>().expect("valid label"))
+        .collect();
+    cfg.retentions_us = vec![50, 100];
+    let results = SweepRunner::new(cfg)
+        .sequential()
+        .run()
+        .expect("valid sweep");
+    format!("{}\n", refrint::json::sweep(&results)).into_bytes()
+}
+
+#[test]
+fn coordinator_sweeps_are_byte_identical_at_any_backend_count() {
+    let expected = local_sweep_bytes();
+    let backends: Vec<RunningServer> = (0..4).map(|_| start_backend()).collect();
+    let views: Vec<&RunningServer> = backends.iter().collect();
+    for count in [1usize, 2, 4] {
+        let coordinator = start_coordinator(&views[..count], None);
+        let response = client::post(coordinator.addr(), "/sweep", SWEEP_BODY.as_bytes())
+            .expect("sweep request reaches the coordinator");
+        assert_eq!(response.status, 200, "{}", response.body_str());
+        assert_eq!(
+            response.body, expected,
+            "{count}-backend sweep must be byte-identical to a local SweepRunner"
+        );
+        coordinator.shutdown();
+    }
+    for backend in backends {
+        backend.shutdown();
+    }
+}
+
+#[test]
+fn backend_killed_mid_sweep_is_reassigned_without_changing_the_bytes() {
+    let expected = local_sweep_bytes();
+    let survivors: Vec<RunningServer> = (0..2).map(|_| start_backend()).collect();
+    let victim = start_backend();
+    let views: Vec<&RunningServer> = survivors.iter().chain(std::iter::once(&victim)).collect();
+    let coordinator = start_coordinator(&views, None);
+    let addr = coordinator.addr();
+
+    // Issue the sweep from a thread and kill one backend shortly after the
+    // dispatch fan-out starts; its in-flight and remaining points must be
+    // retried on the survivors.
+    let request = std::thread::spawn(move || client::post(addr, "/sweep", SWEEP_BODY.as_bytes()));
+    std::thread::sleep(Duration::from_millis(100));
+    victim.shutdown();
+    let response = request
+        .join()
+        .expect("request thread")
+        .expect("sweep request completes despite the killed backend");
+
+    assert_eq!(response.status, 200, "{}", response.body_str());
+    assert_eq!(
+        response.body, expected,
+        "losing a backend mid-sweep must not change the merged bytes"
+    );
+    coordinator.shutdown();
+    for backend in survivors {
+        backend.shutdown();
+    }
+}
+
+#[test]
+fn disk_cache_survives_a_coordinator_restart() {
+    let cache_dir =
+        std::env::temp_dir().join(format!("refrint-coordinator-cache-{}", std::process::id()));
+    std::fs::remove_dir_all(&cache_dir).ok();
+    let expected = local_sweep_bytes();
+
+    // First life: one backend, a cold cache.
+    let backend = start_backend();
+    let coordinator = start_coordinator(&[&backend], Some(cache_dir.clone()));
+    let first =
+        client::post(coordinator.addr(), "/sweep", SWEEP_BODY.as_bytes()).expect("sweep request");
+    assert_eq!(first.status, 200, "{}", first.body_str());
+    assert_eq!(first.body, expected);
+    assert_eq!(first.header("X-Refrint-Cache"), Some("miss"));
+    coordinator.shutdown();
+    backend.shutdown();
+
+    // Second life: same cache directory, ZERO backends. The sweep must be
+    // answered from disk — there is nothing to dispatch to.
+    let revived = start_coordinator(&[], Some(cache_dir.clone()));
+    let second = client::post(revived.addr(), "/sweep", SWEEP_BODY.as_bytes())
+        .expect("sweep request after restart");
+    assert_eq!(second.status, 200, "{}", second.body_str());
+    assert_eq!(second.header("X-Refrint-Cache"), Some("hit"));
+    assert_eq!(
+        second.body, expected,
+        "the disk cache must replay the exact pre-restart bytes"
+    );
+
+    // Individual points of the sweep are cached under the same canonical
+    // keys `POST /run` uses, so they replay too.
+    let run = client::post(
+        revived.addr(),
+        "/run",
+        b"{\"app\":\"lu\",\"sram\":true,\"refs\":400,\"seed\":48879,\"cores\":2}",
+    )
+    .expect("run request after restart");
+    assert_eq!(run.status, 200, "{}", run.body_str());
+    assert_eq!(run.header("X-Refrint-Cache"), Some("hit"));
+
+    revived.shutdown();
+    std::fs::remove_dir_all(&cache_dir).ok();
+}
+
+#[test]
+fn backends_register_dynamically_over_http() {
+    let coordinator = start_coordinator(&[], None);
+    let addr = coordinator.addr();
+    let run_body = b"{\"app\":\"lu\",\"refs\":400,\"cores\":2}";
+
+    // No backends yet: dispatch fails with a typed 502.
+    let refused = client::post(addr, "/run", run_body).expect("request reaches the coordinator");
+    assert_eq!(refused.status, 502, "{}", refused.body_str());
+    assert!(refused.body_str().contains("no_backends"));
+
+    // Register a live backend, then the same request succeeds.
+    let backend = start_backend();
+    let registration = client::post(
+        addr,
+        "/backends",
+        format!("{{\"addr\":\"{}\"}}", backend.addr()).as_bytes(),
+    )
+    .expect("registration request");
+    assert_eq!(registration.status, 200, "{}", registration.body_str());
+    let listing = client::get(addr, "/backends").expect("backend listing");
+    assert!(listing.body_str().contains(&backend.addr().to_string()));
+
+    let accepted = client::post(addr, "/run", run_body).expect("run request");
+    assert_eq!(accepted.status, 200, "{}", accepted.body_str());
+
+    // Unresolvable and unreachable registrations are typed errors.
+    let bad = client::post(addr, "/backends", b"{\"addr\":\"no-such-host-3f9a:bad\"}")
+        .expect("bad registration request");
+    assert_eq!(bad.status, 422, "{}", bad.body_str());
+
+    // A plain backend is not a coordinator: /backends is 404 there.
+    let not_coordinator =
+        client::get(backend.addr(), "/backends").expect("backend /backends request");
+    assert_eq!(not_coordinator.status, 404);
+
+    coordinator.shutdown();
+    backend.shutdown();
+}
