@@ -127,6 +127,62 @@ pub fn request_critical_path(stages: &[StageSpan]) -> CriticalPath {
     CriticalPath::from_contributions("nanos", &items)
 }
 
+/// One stitched point of a fanned-out request, as seen from the
+/// coordinator: how long the dispatch round-trip took on the wire and how
+/// much of it the backend itself reports having spent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetPoint {
+    /// The point's label (e.g. `lu/sram`).
+    pub label: String,
+    /// Coordinator-observed round-trip nanoseconds for the dispatch.
+    pub dispatch_nanos: u64,
+    /// Backend-reported total request nanoseconds for the same point.
+    pub backend_nanos: u64,
+}
+
+/// The cross-node critical path of a fanned-out request.
+///
+/// Non-`execute` stages contribute as in [`request_critical_path`]; the
+/// `execute` stage is decomposed against the straggler point (the longest
+/// dispatch round-trip): its backend-reported time is `backend_sim`, the
+/// round-trip remainder is `network`, and whatever the coordinator spent
+/// beyond the straggler (cache feeding, merging, waiting out local queue
+/// contention) is `merge`. With no stitched points this degrades to the
+/// plain request path.
+#[must_use]
+pub fn fleet_critical_path(stages: &[StageSpan], points: &[FleetPoint]) -> CriticalPath {
+    let Some(straggler) = fleet_straggler(points) else {
+        return request_critical_path(stages);
+    };
+    let mut items: Vec<(String, u64)> = Vec::with_capacity(stages.len() + 2);
+    let mut execute_nanos = 0;
+    for stage in stages {
+        if stage.name == "execute" {
+            execute_nanos = stage.dur_nanos;
+        } else {
+            items.push((stage.name.to_owned(), stage.dur_nanos));
+        }
+    }
+    let backend_sim = straggler.backend_nanos.min(straggler.dispatch_nanos);
+    let network = straggler.dispatch_nanos - backend_sim;
+    let merge = execute_nanos.saturating_sub(straggler.dispatch_nanos);
+    items.push(("backend_sim".to_owned(), backend_sim));
+    items.push(("network".to_owned(), network));
+    items.push(("merge".to_owned(), merge));
+    CriticalPath::from_contributions("nanos", &items)
+}
+
+/// The straggler point of a fanned-out request: the longest dispatch
+/// round-trip, ties broken by label for determinism.
+#[must_use]
+pub fn fleet_straggler(points: &[FleetPoint]) -> Option<&FleetPoint> {
+    points.iter().max_by(|a, b| {
+        a.dispatch_nanos
+            .cmp(&b.dispatch_nanos)
+            .then_with(|| b.label.cmp(&a.label))
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -185,6 +241,92 @@ mod tests {
         assert!(path.bounding().is_none());
         assert_eq!(path.bounding_name(), "-");
         assert_eq!(path.total, 0);
+    }
+
+    #[test]
+    fn fleet_path_decomposes_execute_against_the_straggler() {
+        let stages = [
+            StageSpan {
+                name: "parse",
+                start_nanos: 0,
+                dur_nanos: 1_000,
+            },
+            StageSpan {
+                name: "execute",
+                start_nanos: 1_000,
+                dur_nanos: 100_000,
+            },
+            StageSpan {
+                name: "write",
+                start_nanos: 101_000,
+                dur_nanos: 2_000,
+            },
+        ];
+        let points = [
+            FleetPoint {
+                label: "lu/sram".to_owned(),
+                dispatch_nanos: 40_000,
+                backend_nanos: 35_000,
+            },
+            FleetPoint {
+                label: "fft/sram".to_owned(),
+                dispatch_nanos: 90_000,
+                backend_nanos: 70_000,
+            },
+        ];
+        let path = fleet_critical_path(&stages, &points);
+        assert_eq!(path.unit, "nanos");
+        assert_eq!(path.bounding_name(), "backend_sim");
+        let find = |name: &str| {
+            path.steps
+                .iter()
+                .find(|s| s.name == name)
+                .map(|s| s.contribution)
+        };
+        assert_eq!(find("backend_sim"), Some(70_000), "straggler's own time");
+        assert_eq!(find("network"), Some(20_000), "round-trip minus backend");
+        assert_eq!(find("merge"), Some(10_000), "execute beyond the straggler");
+        assert_eq!(find("parse"), Some(1_000));
+        assert_eq!(find("write"), Some(2_000));
+        assert!(find("execute").is_none(), "execute is decomposed away");
+        assert_eq!(
+            fleet_straggler(&points).map(|p| p.label.as_str()),
+            Some("fft/sram")
+        );
+    }
+
+    #[test]
+    fn fleet_path_without_points_is_the_request_path() {
+        let stages = [StageSpan {
+            name: "execute",
+            start_nanos: 0,
+            dur_nanos: 500,
+        }];
+        assert_eq!(
+            fleet_critical_path(&stages, &[]),
+            request_critical_path(&stages)
+        );
+    }
+
+    #[test]
+    fn fleet_straggler_breaks_ties_by_label() {
+        let points = [
+            FleetPoint {
+                label: "b".to_owned(),
+                dispatch_nanos: 10,
+                backend_nanos: 5,
+            },
+            FleetPoint {
+                label: "a".to_owned(),
+                dispatch_nanos: 10,
+                backend_nanos: 5,
+            },
+        ];
+        assert_eq!(
+            fleet_straggler(&points).map(|p| p.label.as_str()),
+            Some("a"),
+            "equal round-trips pick the lexicographically first label"
+        );
     }
 
     #[test]

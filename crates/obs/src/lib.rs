@@ -22,8 +22,13 @@
 //!   outlier detector for sweep results, with validated tunables
 //!   ([`anomaly::AnomalyTuning`]);
 //! * [`critical_path`] — reduces a span tree to the chain that bounds it:
-//!   the subsystem bounding a run's `execution_cycles`, or the lifecycle
-//!   stage bounding a request's wall latency;
+//!   the subsystem bounding a run's `execution_cycles`, the lifecycle
+//!   stage bounding a request's wall latency, or — for a coordinator —
+//!   whether a fanned-out request was bound by queueing, the network, or
+//!   a straggler backend's sim time;
+//! * [`timeseries`] — a fixed-capacity ring of timestamped counter
+//!   snapshots (zero allocation at steady state) behind
+//!   `GET /metrics/history`;
 //! * [`log`] — a tiny levelled JSON/text line logger so serve-layer events
 //!   carry the trace id of the request that caused them.
 //!
@@ -41,8 +46,10 @@ pub mod log;
 pub mod otlp;
 pub mod recorder;
 pub mod span;
+pub mod timeseries;
 
-pub use critical_path::{CriticalPath, PathStep};
+pub use critical_path::{fleet_critical_path, CriticalPath, FleetPoint, PathStep};
 pub use log::{Level, LogFormat, Logger};
 pub use recorder::{ObsConfig, ObsSummary, Recorder, SubsystemTotals};
 pub use span::{DispatchSpan, RequestTrace, Span, SpanRing, StageSpan, Subsystem, TraceContext};
+pub use timeseries::TimeSeriesRing;

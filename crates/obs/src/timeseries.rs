@@ -1,0 +1,371 @@
+//! A fixed-capacity ring of timestamped counter snapshots.
+//!
+//! `/metrics` is a point-in-time snapshot; answering "why was minute 3
+//! slow" needs history. [`TimeSeriesRing`] retains the last N windows of a
+//! fixed counter vector (one `u64` per registered name), pushed on a
+//! background tick. The ring pre-sizes every window at construction, so a
+//! steady-state push copies into an existing slot — **zero allocation on
+//! the hot path** — and the oldest window is overwritten once capacity is
+//! reached.
+//!
+//! Counters are assumed monotonic (Prometheus-counter semantics), so a
+//! rate over a horizon is simply the delta between the newest window and
+//! the oldest window inside that horizon. Histogram families are stored
+//! as their per-bucket cumulative counts; merging two snapshots of the
+//! same family is the per-bucket delta, which [`delta`](TimeSeriesRing::delta)
+//! already computes — a histogram is just more columns.
+//!
+//! Timestamps must be non-decreasing: a push older than the newest window
+//! is rejected (and counted), a push at the same timestamp replaces the
+//! newest window in place. Both rules keep the ring strictly ordered so
+//! window lookups can binary-search-free scan from the tail.
+
+/// One retained window: a timestamp and a snapshot of every counter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Window {
+    /// Milliseconds since the ring's owner-defined epoch.
+    pub t_millis: u64,
+    /// Counter values, index-aligned with [`TimeSeriesRing::names`].
+    pub values: Vec<u64>,
+}
+
+/// A fixed-capacity ring of timestamped counter snapshots.
+#[derive(Debug)]
+pub struct TimeSeriesRing {
+    names: Vec<String>,
+    windows: Vec<Window>,
+    capacity: usize,
+    /// Index of the oldest window once the ring is full.
+    head: usize,
+    dropped: u64,
+    rejected: u64,
+}
+
+impl TimeSeriesRing {
+    /// Creates a ring retaining up to `capacity` windows of the named
+    /// counters. Capacity is clamped to at least 2 (a single window has
+    /// no deltas).
+    #[must_use]
+    pub fn new(names: Vec<String>, capacity: usize) -> Self {
+        Self {
+            names,
+            windows: Vec::new(),
+            capacity: capacity.max(2),
+            head: 0,
+            dropped: 0,
+            rejected: 0,
+        }
+    }
+
+    /// The registered counter names, index-aligned with window values.
+    #[must_use]
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Number of retained windows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// Whether no window has been pushed yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// The ring's capacity in windows.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Windows overwritten because the ring was full.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Pushes rejected for running backwards in time.
+    #[must_use]
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Records a snapshot. `values` must be index-aligned with `names`
+    /// (extra values are truncated, missing values zero-filled). Returns
+    /// `false` — counting the rejection — when `t_millis` is older than
+    /// the newest window; a push at the newest window's exact timestamp
+    /// replaces it in place.
+    pub fn push(&mut self, t_millis: u64, values: &[u64]) -> bool {
+        let width = self.names.len();
+        if let Some(newest) = self.newest() {
+            if t_millis < newest.t_millis {
+                self.rejected += 1;
+                return false;
+            }
+            if t_millis == newest.t_millis {
+                let slot = self.newest_index();
+                copy_values(&mut self.windows[slot].values, values, width);
+                return true;
+            }
+        }
+        if self.windows.len() < self.capacity {
+            // Warm-up: allocate this window once; it is reused forever.
+            let mut stored = vec![0; width];
+            copy_values(&mut stored, values, width);
+            self.windows.push(Window {
+                t_millis,
+                values: stored,
+            });
+        } else {
+            // Steady state: overwrite the oldest slot in place.
+            let slot = self.head;
+            self.windows[slot].t_millis = t_millis;
+            copy_values(&mut self.windows[slot].values, values, width);
+            self.head = (self.head + 1) % self.capacity;
+            self.dropped += 1;
+        }
+        true
+    }
+
+    fn newest_index(&self) -> usize {
+        if self.windows.len() < self.capacity || self.head == 0 {
+            self.windows.len() - 1
+        } else {
+            self.head - 1
+        }
+    }
+
+    /// The newest retained window, if any.
+    #[must_use]
+    pub fn newest(&self) -> Option<&Window> {
+        if self.windows.is_empty() {
+            None
+        } else {
+            Some(&self.windows[self.newest_index()])
+        }
+    }
+
+    /// The oldest retained window, if any.
+    #[must_use]
+    pub fn oldest(&self) -> Option<&Window> {
+        if self.windows.is_empty() {
+            None
+        } else if self.windows.len() < self.capacity {
+            Some(&self.windows[0])
+        } else {
+            Some(&self.windows[self.head])
+        }
+    }
+
+    /// Iterates the retained windows oldest → newest.
+    pub fn iter(&self) -> impl Iterator<Item = &Window> {
+        let (older, newer) = if self.windows.len() < self.capacity {
+            (&self.windows[..], &self.windows[..0])
+        } else {
+            let (tail, head) = self.windows.split_at(self.head);
+            (head, tail)
+        };
+        older.iter().chain(newer.iter())
+    }
+
+    /// The column index of a counter name.
+    #[must_use]
+    pub fn column(&self, name: &str) -> Option<usize> {
+        self.names.iter().position(|n| n == name)
+    }
+
+    /// The baseline window for a horizon: the oldest window within
+    /// `window_millis` of the newest (or the overall oldest when the
+    /// horizon exceeds retention). `None` until two windows exist.
+    #[must_use]
+    pub fn baseline(&self, window_millis: u64) -> Option<&Window> {
+        let newest = self.newest()?;
+        if self.len() < 2 {
+            return None;
+        }
+        let cutoff = newest.t_millis.saturating_sub(window_millis);
+        self.iter().find(|w| w.t_millis >= cutoff)
+    }
+
+    /// The counter's increase over the horizon (newest minus the baseline
+    /// window inside it), saturating at zero so a counter reset cannot go
+    /// negative. `None` for unknown names or fewer than two windows.
+    #[must_use]
+    pub fn delta(&self, name: &str, window_millis: u64) -> Option<u64> {
+        let col = self.column(name)?;
+        let newest = self.newest()?;
+        let base = self.baseline(window_millis)?;
+        Some(newest.values[col].saturating_sub(base.values[col]))
+    }
+
+    /// The counter's per-second rate over the horizon. `None` when the
+    /// delta is unavailable or the horizon spans no elapsed time.
+    #[must_use]
+    pub fn rate_per_sec(&self, name: &str, window_millis: u64) -> Option<f64> {
+        let col = self.column(name)?;
+        let newest = self.newest()?;
+        let base = self.baseline(window_millis)?;
+        let elapsed = newest.t_millis.saturating_sub(base.t_millis);
+        if elapsed == 0 {
+            return None;
+        }
+        let delta = newest.values[col].saturating_sub(base.values[col]);
+        Some(delta as f64 * 1000.0 / elapsed as f64)
+    }
+
+    /// Merges a histogram family over the horizon: per-column deltas for
+    /// every name with the given prefix, in registration order. Cumulative
+    /// `le`-bucket snapshots stay cumulative under subtraction, so the
+    /// result is the histogram of the horizon alone.
+    #[must_use]
+    pub fn merge_histogram(&self, prefix: &str, window_millis: u64) -> Vec<(String, u64)> {
+        let Some(newest) = self.newest() else {
+            return Vec::new();
+        };
+        let Some(base) = self.baseline(window_millis) else {
+            return Vec::new();
+        };
+        self.names
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.starts_with(prefix))
+            .map(|(col, n)| {
+                (
+                    n.clone(),
+                    newest.values[col].saturating_sub(base.values[col]),
+                )
+            })
+            .collect()
+    }
+}
+
+fn copy_values(stored: &mut [u64], values: &[u64], width: usize) {
+    for (i, slot) in stored.iter_mut().enumerate().take(width) {
+        *slot = values.get(i).copied().unwrap_or(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring(capacity: usize) -> TimeSeriesRing {
+        TimeSeriesRing::new(vec!["a".to_owned(), "b".to_owned()], capacity)
+    }
+
+    #[test]
+    fn warm_up_then_wraparound_keeps_the_newest_windows() {
+        let mut r = ring(4);
+        assert!(r.is_empty());
+        for t in 0..10u64 {
+            assert!(r.push(t * 100, &[t, t * 2]));
+            // Order is oldest -> newest at EVERY fill level, including
+            // mid-wrap.
+            let ts: Vec<u64> = r.iter().map(|w| w.t_millis).collect();
+            let mut sorted = ts.clone();
+            sorted.sort_unstable();
+            assert_eq!(ts, sorted, "iteration must be chronological at t={t}");
+            assert_eq!(r.newest().unwrap().t_millis, t * 100);
+        }
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.dropped(), 6);
+        let ts: Vec<u64> = r.iter().map(|w| w.t_millis).collect();
+        assert_eq!(ts, vec![600, 700, 800, 900]);
+        assert_eq!(r.oldest().unwrap().values, vec![6, 12]);
+        assert_eq!(r.newest().unwrap().values, vec![9, 18]);
+    }
+
+    #[test]
+    fn monotonic_timestamp_edges() {
+        let mut r = ring(4);
+        assert!(r.push(100, &[1, 1]));
+        // Same timestamp replaces in place, no new window.
+        assert!(r.push(100, &[5, 5]));
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.newest().unwrap().values, vec![5, 5]);
+        // Going backwards is rejected and counted.
+        assert!(!r.push(99, &[9, 9]));
+        assert_eq!(r.rejected(), 1);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.newest().unwrap().values, vec![5, 5]);
+        // Forward progress resumes normally.
+        assert!(r.push(200, &[6, 6]));
+        assert_eq!(r.len(), 2);
+        // Replace-in-place also works on a full, wrapped ring.
+        for t in [300u64, 400, 500] {
+            assert!(r.push(t, &[7, 7]));
+        }
+        assert_eq!(r.len(), 4);
+        assert!(r.push(500, &[8, 8]));
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.newest().unwrap().values, vec![8, 8]);
+        assert!(!r.push(450, &[0, 0]));
+        assert_eq!(r.rejected(), 2);
+    }
+
+    #[test]
+    fn delta_and_rate_cross_the_wraparound() {
+        let mut r = ring(3);
+        for (t, v) in [(0u64, 0u64), (1000, 10), (2000, 30), (3000, 60)] {
+            assert!(r.push(t, &[v, 0]));
+        }
+        // Retained windows: 1000->10, 2000->30, 3000->60.
+        assert_eq!(r.delta("a", 10_000), Some(50));
+        assert_eq!(r.delta("a", 1_000), Some(30));
+        assert_eq!(r.rate_per_sec("a", 10_000), Some(25.0));
+        assert_eq!(r.rate_per_sec("a", 1_000), Some(30.0));
+        assert_eq!(r.delta("missing", 1_000), None);
+    }
+
+    #[test]
+    fn delta_needs_two_windows_and_saturates_on_reset() {
+        let mut r = ring(4);
+        assert_eq!(r.delta("a", 1_000), None, "empty ring");
+        r.push(0, &[100, 0]);
+        assert_eq!(r.delta("a", 1_000), None, "single window has no delta");
+        r.push(1000, &[40, 0]); // counter reset (restart)
+        assert_eq!(r.delta("a", 10_000), Some(0), "resets saturate to zero");
+    }
+
+    #[test]
+    fn histogram_merge_is_the_per_bucket_delta() {
+        let names = vec![
+            "lat_bucket_100".to_owned(),
+            "lat_bucket_1000".to_owned(),
+            "lat_count".to_owned(),
+            "other".to_owned(),
+        ];
+        let mut r = TimeSeriesRing::new(names, 8);
+        r.push(0, &[2, 5, 5, 1]);
+        r.push(1000, &[3, 9, 9, 2]);
+        let merged = r.merge_histogram("lat_", 10_000);
+        assert_eq!(
+            merged,
+            vec![
+                ("lat_bucket_100".to_owned(), 1),
+                ("lat_bucket_1000".to_owned(), 4),
+                ("lat_count".to_owned(), 4),
+            ]
+        );
+    }
+
+    #[test]
+    fn steady_state_push_does_not_grow_storage() {
+        let mut r = ring(3);
+        for t in 0..3u64 {
+            r.push(t, &[t, t]);
+        }
+        let addr_before: Vec<*const u64> = r.windows.iter().map(|w| w.values.as_ptr()).collect();
+        for t in 3..20u64 {
+            r.push(t, &[t, t]);
+        }
+        let addr_after: Vec<*const u64> = r.windows.iter().map(|w| w.values.as_ptr()).collect();
+        assert_eq!(
+            addr_before, addr_after,
+            "wraparound must reuse the warm-up allocations"
+        );
+    }
+}

@@ -12,7 +12,16 @@
 //! * `sweep [--apps a,b] [--refs N] [--cores N]` — `POST /sweep`.
 //! * `job --id ID [--result]` — `GET /jobs/<id>[/result]`.
 //! * `trace <job-id>` — `GET /jobs/<id>/trace`, pretty-print the span
-//!   tree with per-stage durations and the critical path marked.
+//!   tree with per-stage durations and the critical path marked. Fleet
+//!   traces from a coordinator are stitched across every resource group,
+//!   so backend subtrees appear under their dispatch anchors.
+//! * `watch <job-id> [--raw]` — follow `GET /jobs/<id>/progress`, a
+//!   chunked ndjson stream, printing one live status line per snapshot
+//!   (or the raw ndjson with `--raw`).
+//! * `obs-verify [--refs N] [--cores N]` — replay a known workload (two
+//!   distinct runs plus one repeat) and cross-check the `/metrics` deltas
+//!   against ground truth computed from the responses; exits non-zero on
+//!   any counter drift.
 //! * `loadtest [--clients N] [--requests N] [--app NAME] [--refs N]`
 //!   `[--cores N] [--out FILE]` — hammer `POST /run` from N concurrent
 //!   clients and print a latency-percentile summary as JSON
@@ -40,10 +49,15 @@ Commands:
       [--retention US] [--sram] [--trace NAME] [--mode sync|async]
       [--traceparent TP] [--expect-cache hit|miss]
                                    POST /run and print the body
-  sweep [--apps a,b] [--refs N] [--cores N] [--expect-cache hit|miss]
-                                   POST /sweep and print the body
+  sweep [--apps a,b] [--refs N] [--cores N] [--mode sync|async]
+        [--expect-cache hit|miss]  POST /sweep and print the body
   job --id ID [--result]           GET /jobs/<id>[/result]
   trace <job-id>                   GET /jobs/<id>/trace, pretty-printed
+  watch <job-id> [--raw]           GET /jobs/<id>/progress and follow the
+                                   live progress stream (--raw: ndjson)
+  obs-verify [--refs N] [--cores N]
+                                   replay a known workload and cross-check
+                                   /metrics deltas against the responses
   loadtest [--clients N] [--requests N] [--app NAME] [--refs N] [--cores N]
            [--out FILE]            POST /run from N concurrent clients and
                                    print a latency summary as JSON
@@ -52,7 +66,7 @@ Commands:
 
 /// Flags that take no value; every other `--flag` consumes the next
 /// argument.
-const BARE_FLAGS: &[&str] = &["--sram", "--result"];
+const BARE_FLAGS: &[&str] = &["--sram", "--result", "--raw"];
 
 fn opt_value(args: &[String], name: &str) -> Option<String> {
     args.iter()
@@ -111,6 +125,12 @@ fn run(args: &[String]) -> Result<(), String> {
 
     if command == "trace" {
         return trace_command(args, addr);
+    }
+    if command == "watch" {
+        return watch_command(args, addr);
+    }
+    if command == "obs-verify" {
+        return obs_verify_command(args, addr);
     }
     if command == "loadtest" {
         return loadtest_command(args, addr);
@@ -254,27 +274,39 @@ fn span_nanos(span: &Value, key: &str) -> u64 {
 }
 
 /// Pretty-prints one OTLP request-trace document as an indented span tree
-/// with durations, marking the critical stage and subsystem.
+/// with durations, marking the critical stage and subsystem. Fleet traces
+/// hold one resource group per node: spans from every group are merged
+/// into a single tree (backend subtrees arrive parented on the
+/// coordinator's per-point anchors), while the summary attributes come
+/// from the first (coordinator) group.
 fn print_trace(text: &str) -> Result<(), String> {
     let doc = parse(text.trim_end()).map_err(|e| format!("bad trace document: {e}"))?;
-    let resource = doc
+    let groups = doc
         .get("resourceSpans")
         .and_then(Value::as_arr)
-        .and_then(|rs| rs.first())
         .ok_or("trace document has no resourceSpans")?;
     let empty = Vec::new();
-    let resource_attrs = resource
-        .get("resource")
+    let resource_attrs = groups
+        .first()
+        .and_then(|g| g.get("resource"))
         .and_then(|r| r.get("attributes"))
         .and_then(Value::as_arr)
         .unwrap_or(&empty);
-    let spans = resource
-        .get("scopeSpans")
-        .and_then(Value::as_arr)
-        .and_then(|ss| ss.first())
-        .and_then(|s| s.get("spans"))
-        .and_then(Value::as_arr)
-        .ok_or("trace document has no spans")?;
+    let mut spans: Vec<&Value> = Vec::new();
+    for group in groups {
+        if let Some(group_spans) = group
+            .get("scopeSpans")
+            .and_then(Value::as_arr)
+            .and_then(|ss| ss.first())
+            .and_then(|s| s.get("spans"))
+            .and_then(Value::as_arr)
+        {
+            spans.extend(group_spans.iter());
+        }
+    }
+    if spans.is_empty() {
+        return Err("trace document has no spans".to_owned());
+    }
 
     let critical_stage = attr(resource_attrs, "refrint.request_critical_stage").unwrap_or("-");
     let critical_subsystem = attr(resource_attrs, "refrint.run_critical_subsystem");
@@ -286,6 +318,9 @@ fn print_trace(text: &str) -> Result<(), String> {
         ("refrint.job_kind", "kind"),
         ("refrint.job_cached", "cached"),
         ("refrint.request_total_nanos", "total_nanos"),
+        ("refrint.points_total", "points"),
+        ("refrint.points_stitched", "points stitched"),
+        ("refrint.fleet_straggler", "fleet straggler"),
     ] {
         if let Some(v) = attr(resource_attrs, key) {
             println!("{label}: {v}");
@@ -297,12 +332,16 @@ fn print_trace(text: &str) -> Result<(), String> {
     let roots: Vec<&Value> = spans
         .iter()
         .filter(|s| !known.contains(&span_field(s, "parentSpanId")))
+        .copied()
         .collect();
     for root in roots {
-        print_span(root, spans, 0, critical_stage, critical_subsystem);
+        print_span(root, &spans, 0, critical_stage, critical_subsystem);
     }
     if let Some(subsystem) = critical_subsystem {
         println!("run critical subsystem: {subsystem}");
+    }
+    if let Some(step) = attr(resource_attrs, "refrint.fleet_critical_step") {
+        println!("fleet critical step: {step}");
     }
     println!("request critical stage: {critical_stage}");
     Ok(())
@@ -310,7 +349,7 @@ fn print_trace(text: &str) -> Result<(), String> {
 
 fn print_span(
     span: &Value,
-    all: &[Value],
+    all: &[&Value],
     depth: usize,
     critical_stage: &str,
     critical_subsystem: Option<&str>,
@@ -332,10 +371,332 @@ fn print_span(
     let critical = name.strip_prefix("stage/") == Some(critical_stage)
         || attr(attrs, "refrint.subsystem").is_some_and(|s| Some(s) == critical_subsystem);
     let marker = if critical { "  <== critical" } else { "" };
-    println!("{}{name}  [{duration}]{marker}", "  ".repeat(depth));
+    let node = attr(attrs, "refrint.node")
+        .map(|n| format!("  @{n}"))
+        .unwrap_or_default();
+    println!("{}{name}  [{duration}]{node}{marker}", "  ".repeat(depth));
     let id = span_field(span, "spanId");
-    for child in all.iter().filter(|s| span_field(s, "parentSpanId") == id) {
-        print_span(child, all, depth + 1, critical_stage, critical_subsystem);
+    for &child in all {
+        if span_field(child, "parentSpanId") == id {
+            print_span(child, all, depth + 1, critical_stage, critical_subsystem);
+        }
+    }
+}
+
+fn find_bytes(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    haystack.windows(needle.len()).position(|w| w == needle)
+}
+
+/// `watch <job-id>`: follows the chunked ndjson stream from
+/// `GET /jobs/<id>/progress`, printing one line per snapshot. The stream
+/// is read incrementally off a raw socket (the shared client helper waits
+/// for EOF, which would defeat a live view).
+fn watch_command(args: &[String], addr: SocketAddr) -> Result<(), String> {
+    let id = opt_value(args, "--id")
+        .or_else(|| positionals(args).into_iter().nth(1))
+        .ok_or("watch requires a job id: watch <job-id>")?;
+    let raw = has_flag(args, "--raw");
+
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .map_err(|e| format!("socket: {e}"))?;
+    let request =
+        format!("GET /jobs/{id}/progress HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n");
+    stream
+        .write_all(request.as_bytes())
+        .map_err(|e| format!("send: {e}"))?;
+
+    let mut buf: Vec<u8> = Vec::new();
+    let mut tmp = [0u8; 4096];
+    let header_end = loop {
+        if let Some(pos) = find_bytes(&buf, b"\r\n\r\n") {
+            break pos + 4;
+        }
+        let n = stream.read(&mut tmp).map_err(|e| format!("read: {e}"))?;
+        if n == 0 {
+            return Err("connection closed before the response header".to_owned());
+        }
+        buf.extend_from_slice(&tmp[..n]);
+    };
+    let header = String::from_utf8_lossy(&buf[..header_end]).into_owned();
+    let status: u16 = header
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    if status != 200 {
+        while let Ok(n) = stream.read(&mut tmp) {
+            if n == 0 {
+                break;
+            }
+            buf.extend_from_slice(&tmp[..n]);
+        }
+        print!("{}", String::from_utf8_lossy(&buf[header_end..]));
+        return Err(format!("watch failed with HTTP {status}"));
+    }
+    buf.drain(..header_end);
+
+    let mut last_status = String::new();
+    'stream: loop {
+        // Drain every complete chunk already buffered; each chunk is one
+        // ndjson snapshot line.
+        while let Some(size_end) = find_bytes(&buf, b"\r\n") {
+            let size_hex = String::from_utf8_lossy(&buf[..size_end]).trim().to_owned();
+            let size = usize::from_str_radix(&size_hex, 16)
+                .map_err(|_| format!("bad chunk size `{size_hex}`"))?;
+            if size == 0 {
+                break 'stream;
+            }
+            if buf.len() < size_end + 2 + size + 2 {
+                break;
+            }
+            let line = String::from_utf8_lossy(&buf[size_end + 2..size_end + 2 + size])
+                .trim_end()
+                .to_owned();
+            buf.drain(..size_end + 2 + size + 2);
+            if let Ok(doc) = parse(&line) {
+                if let Some(s) = doc.get("status").and_then(Value::as_str) {
+                    last_status = s.to_owned();
+                }
+                if raw {
+                    println!("{line}");
+                } else {
+                    println!("{}", format_progress(&doc));
+                }
+            } else if raw {
+                println!("{line}");
+            }
+        }
+        let n = stream.read(&mut tmp).map_err(|e| format!("read: {e}"))?;
+        if n == 0 {
+            break;
+        }
+        buf.extend_from_slice(&tmp[..n]);
+    }
+    if last_status == "failed" {
+        Err("job failed".to_owned())
+    } else {
+        Ok(())
+    }
+}
+
+/// Renders one progress snapshot as a single human-readable line.
+fn format_progress(doc: &Value) -> String {
+    let status = doc.get("status").and_then(Value::as_str).unwrap_or("?");
+    let Some(total) = doc.get("total").and_then(Value::as_u64) else {
+        return format!("status {status}");
+    };
+    let done = doc.get("done").and_then(Value::as_u64).unwrap_or(0);
+    let pct = (done * 100).checked_div(total).unwrap_or(0);
+    let rate = doc
+        .get("refs_per_sec")
+        .and_then(Value::as_num)
+        .unwrap_or(0.0);
+    let eta = doc
+        .get("eta_seconds")
+        .and_then(Value::as_num)
+        .map(|e| format!("{e:.1}s"))
+        .unwrap_or_else(|| "-".to_owned());
+    let nodes = match doc.get("per_node") {
+        Some(Value::Obj(entries)) => entries
+            .iter()
+            .map(|(node, count)| format!("{node}:{}", count.as_u64().unwrap_or(0)))
+            .collect::<Vec<_>>()
+            .join(" "),
+        _ => String::new(),
+    };
+    format!("{status} {done}/{total} ({pct}%)  refs/s {rate:.0}  eta {eta}  [{nodes}]")
+}
+
+/// Scrapes `GET /metrics` into a map from metric name to the sum of its
+/// sample values (labelled series collapse onto their base name, which is
+/// exactly what the subsystem-cycle consistency check wants).
+fn scrape_counters(addr: SocketAddr) -> Result<std::collections::HashMap<String, f64>, String> {
+    let response = client::get(addr, "/metrics").map_err(|e| format!("metrics: {e}"))?;
+    if response.status != 200 {
+        return Err(format!("metrics returned HTTP {}", response.status));
+    }
+    let mut map = std::collections::HashMap::new();
+    for line in response.body_str().lines() {
+        if line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (Some(name), Some(value)) = (parts.next(), parts.next()) else {
+            continue;
+        };
+        let base = name.split('{').next().unwrap_or(name);
+        if let Ok(v) = value.parse::<f64>() {
+            *map.entry(base.to_owned()).or_insert(0.0) += v;
+        }
+    }
+    Ok(map)
+}
+
+/// `obs-verify`: replays a known workload — two distinct runs and one
+/// repeat of the first — against a live node or fleet, then cross-checks
+/// the `/metrics` deltas against ground truth computed from the responses
+/// themselves. Every run uses fresh seeds so warm caches from earlier
+/// traffic cannot skew the counts. Fails loudly on any drift.
+fn obs_verify_command(args: &[String], addr: SocketAddr) -> Result<(), String> {
+    let numeric = |flag: &str, default: u64| -> Result<u64, String> {
+        match opt_value(args, flag) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("bad {flag} `{v}`")),
+        }
+    };
+    let refs = numeric("--refs", 400)?;
+    let cores = numeric("--cores", 2)?;
+    // Seeds unique to this invocation, so the first two runs are always
+    // cache misses even against a long-lived server. Kept well below 2^53:
+    // JSON numbers travel as f64, where bigger integers collapse onto
+    // their neighbours.
+    let nonce = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0)
+        ^ u64::from(std::process::id());
+    let seed_a = nonce % 1_000_000_000_000 + 1_000;
+    let seed_b = seed_a + 1;
+
+    // Probe the topology before the first snapshot so the probe itself
+    // stays out of the delta window.
+    let coordinator = client::get(addr, "/backends")
+        .map_err(|e| format!("probe: {e}"))?
+        .status
+        == 200;
+    let mode = if coordinator {
+        "coordinator"
+    } else {
+        "single node"
+    };
+    println!("obs-verify: target {addr} ({mode}), refs {refs}, cores {cores}");
+
+    let before = scrape_counters(addr)?;
+    let run = |seed: u64| -> Result<HttpResponse, String> {
+        let body = format!("{{\"app\":\"lu\",\"refs\":{refs},\"cores\":{cores},\"seed\":{seed}}}");
+        client::post(addr, "/run", body.as_bytes()).map_err(|e| format!("run: {e}"))
+    };
+    let first = run(seed_a)?;
+    let second = run(seed_b)?;
+    let repeat = run(seed_a)?;
+    let after = scrape_counters(addr)?;
+
+    let mut failures: Vec<&str> = Vec::new();
+    let mut check = |name: &'static str, ok: bool, detail: String| {
+        if ok {
+            println!("ok:   {name} ({detail})");
+        } else {
+            println!("FAIL: {name} ({detail})");
+            failures.push(name);
+        }
+    };
+    let delta = |name: &str| -> f64 {
+        after.get(name).copied().unwrap_or(0.0) - before.get(name).copied().unwrap_or(0.0)
+    };
+    let refs_of = |r: &HttpResponse| -> u64 {
+        parse(r.body_str().trim_end())
+            .ok()
+            .and_then(|doc| doc.get("counts")?.get("dl1_accesses")?.as_u64())
+            .unwrap_or(0)
+    };
+
+    check(
+        "runs succeed",
+        first.status == 200 && second.status == 200 && repeat.status == 200,
+        format!(
+            "HTTP {} / {} / {}",
+            first.status, second.status, repeat.status
+        ),
+    );
+    check(
+        "cache headers",
+        first.header("X-Refrint-Cache") == Some("miss")
+            && second.header("X-Refrint-Cache") == Some("miss")
+            && repeat.header("X-Refrint-Cache") == Some("hit"),
+        format!(
+            "miss/miss/hit expected, got {}/{}/{}",
+            first.header("X-Refrint-Cache").unwrap_or("-"),
+            second.header("X-Refrint-Cache").unwrap_or("-"),
+            repeat.header("X-Refrint-Cache").unwrap_or("-"),
+        ),
+    );
+    check(
+        "cache hit is byte-identical",
+        repeat.body == first.body,
+        format!("{} vs {} bytes", repeat.body.len(), first.body.len()),
+    );
+    // Between the two snapshots this client sent exactly three /run
+    // requests plus the closing /metrics scrape, which counts itself.
+    check(
+        "http requests counted once each",
+        delta("refrint_http_requests_total") == 4.0,
+        format!("delta {}", delta("refrint_http_requests_total")),
+    );
+    check(
+        "no http errors",
+        delta("refrint_http_errors_total") == 0.0,
+        format!("delta {}", delta("refrint_http_errors_total")),
+    );
+    check(
+        "jobs counted once",
+        delta("refrint_jobs_submitted_total") == 2.0
+            && delta("refrint_jobs_completed_total") == 2.0
+            && delta("refrint_jobs_failed_total") == 0.0,
+        format!(
+            "submitted {} completed {} failed {}",
+            delta("refrint_jobs_submitted_total"),
+            delta("refrint_jobs_completed_total"),
+            delta("refrint_jobs_failed_total"),
+        ),
+    );
+    check(
+        "cache hits + misses = run requests",
+        delta("refrint_cache_hits_total") == 1.0 && delta("refrint_cache_misses_total") == 2.0,
+        format!(
+            "hits {} misses {}",
+            delta("refrint_cache_hits_total"),
+            delta("refrint_cache_misses_total"),
+        ),
+    );
+    let refs_truth = refs_of(&first) + refs_of(&second);
+    check(
+        "refs_simulated matches response ground truth",
+        delta("refrint_refs_simulated_total") == refs_truth as f64,
+        format!(
+            "delta {} vs {} from response bodies",
+            delta("refrint_refs_simulated_total"),
+            refs_truth,
+        ),
+    );
+    let cycles = delta("refrint_subsystem_cycles_total");
+    if coordinator {
+        // A coordinator never simulates locally; the cycles land on its
+        // backends.
+        check(
+            "coordinator attributes no local subsystem cycles",
+            cycles == 0.0,
+            format!("delta {cycles}"),
+        );
+    } else {
+        check(
+            "subsystem cycles attributed to the simulation",
+            cycles > 0.0,
+            format!("delta {cycles}"),
+        );
+    }
+
+    if failures.is_empty() {
+        println!("obs-verify: all checks passed against {mode}");
+        Ok(())
+    } else {
+        Err(format!(
+            "obs-verify: {} check(s) drifted: {}",
+            failures.len(),
+            failures.join(", ")
+        ))
     }
 }
 
@@ -467,6 +828,9 @@ fn sweep_body(args: &[String]) -> Result<String, String> {
             let n: u64 = v.parse().map_err(|_| format!("bad {flag} `{v}`"))?;
             fields.push(format!("\"{key}\":{n}"));
         }
+    }
+    if let Some(mode) = opt_value(args, "--mode") {
+        fields.push(format!("\"mode\":\"{}\"", escape(&mode)));
     }
     Ok(format!("{{{}}}", fields.join(",")))
 }

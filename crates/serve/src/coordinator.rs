@@ -34,16 +34,18 @@ use refrint::anomaly::{detect_points, PointMetrics};
 use refrint::experiment::ExperimentConfig;
 use refrint_edram::policy::RefreshPolicy;
 use refrint_engine::json::{escape, parse, Value};
+use refrint_engine::stats::Histogram;
 use refrint_obs::anomaly::AnomalyTuning;
 use refrint_obs::log::{Level, LogFormat, Logger};
-use refrint_obs::span::DispatchSpan;
+use refrint_obs::otlp::point_span_id;
+use refrint_obs::span::{DispatchSpan, TraceContext};
 
 use crate::api::{self, ApiError};
 use crate::client::{self, Timeouts};
 use crate::disk_cache::DiskCache;
 use crate::http::elapsed_nanos;
-use crate::jobs::{JobOutput, JobWork, ResultCache};
-use crate::metrics::Metrics;
+use crate::jobs::{JobOutput, JobProgress, JobWork, PointOutcome, ResultCache};
+use crate::metrics::{Metrics, LATENCY_BOUNDS_MICROS};
 
 /// Dispatch attempts recorded per job before the span list is capped (a
 /// huge sweep should not balloon its own trace document).
@@ -177,8 +179,9 @@ impl BackendSlot {
 }
 
 /// What a dispatched job may consult and update: the server's trace
-/// directory (per-point cache keys), its two result caches, and its
-/// metrics counters.
+/// directory (per-point cache keys), its two result caches, its metrics
+/// counters, the request's trace context (propagated as `traceparent` on
+/// every dispatched `POST /run`) and the job's live progress.
 #[derive(Debug)]
 pub struct DispatchEnv<'a> {
     /// The server's trace directory, for canonical per-point cache keys.
@@ -189,6 +192,28 @@ pub struct DispatchEnv<'a> {
     pub disk_cache: Option<&'a DiskCache>,
     /// The server's metrics (disk-cache hit/miss counters).
     pub metrics: &'a Metrics,
+    /// The job's trace context; point `i` is dispatched with a
+    /// `traceparent` naming the deterministic point anchor span, so the
+    /// backend's trace arrives pre-parented for stitching.
+    pub trace: Option<&'a TraceContext>,
+    /// Live progress for `GET /jobs/<id>/progress`, updated per point.
+    pub progress: Option<&'a JobProgress>,
+}
+
+/// One finished sweep point: the verbatim report text to merge plus the
+/// [`PointOutcome`] describing where it ran.
+type PointResult = Result<(String, PointOutcome), ApiError>;
+
+/// A successfully dispatched point: the backend's verbatim response body
+/// plus where and when it ran, for trace stitching and live progress.
+#[derive(Debug)]
+struct Dispatched {
+    body: String,
+    backend: SocketAddr,
+    /// The backend-side job id (`x-refrint-job`), for fetching its trace.
+    job: Option<String>,
+    start_nanos: u64,
+    dur_nanos: u64,
 }
 
 /// The backend pool and dispatch logic of a coordinator-mode server.
@@ -197,6 +222,10 @@ pub struct Coordinator {
     opts: CoordinatorOptions,
     pool: Mutex<Vec<BackendSlot>>,
     logger: Logger,
+    /// Per-backend dispatch round-trip latency (microseconds recorded,
+    /// seconds rendered), keyed by resolved address. Separates network +
+    /// backend-queue latency from the coordinator's own sim-free view.
+    durations: Mutex<BTreeMap<String, Histogram>>,
 }
 
 impl Coordinator {
@@ -216,6 +245,7 @@ impl Coordinator {
             opts: opts.clone(),
             pool: Mutex::new(Vec::new()),
             logger: Logger::to_stderr(log_level, log_format),
+            durations: Mutex::new(BTreeMap::new()),
         };
         for addr in &opts.backends {
             coordinator.register(addr, false)?;
@@ -277,6 +307,18 @@ impl Coordinator {
     #[must_use]
     pub fn backend_count(&self) -> usize {
         self.pool.lock().expect("backend pool lock").len()
+    }
+
+    /// The resolved addresses of every registered backend (scrape list
+    /// for the coordinator's per-backend metrics history).
+    #[must_use]
+    pub fn backend_addrs(&self) -> Vec<SocketAddr> {
+        self.pool
+            .lock()
+            .expect("backend pool lock")
+            .iter()
+            .map(|slot| slot.addr)
+            .collect()
     }
 
     /// The `GET /backends` JSON document.
@@ -353,7 +395,47 @@ impl Coordinator {
                 out.push_str(&format!("{name}{{backend=\"{}\"}} {value}\n", slot.addr));
             }
         }
+        drop(pool);
+        let durations = self.durations.lock().expect("dispatch duration lock");
+        out.push_str(
+            "# HELP refrint_dispatch_duration_seconds Dispatch round-trip latency per backend \
+             (network + backend queue + backend sim).\n\
+             # TYPE refrint_dispatch_duration_seconds histogram\n",
+        );
+        for (backend, h) in durations.iter() {
+            let mut cumulative = 0u64;
+            for (bound, count) in h.bounds().iter().zip(h.buckets()) {
+                cumulative += count;
+                out.push_str(&format!(
+                    "refrint_dispatch_duration_seconds_bucket{{backend=\"{backend}\",le=\"{}\"}} \
+                     {cumulative}\n",
+                    *bound as f64 / 1e6
+                ));
+            }
+            out.push_str(&format!(
+                "refrint_dispatch_duration_seconds_bucket{{backend=\"{backend}\",le=\"+Inf\"}} \
+                 {}\n",
+                h.count()
+            ));
+            out.push_str(&format!(
+                "refrint_dispatch_duration_seconds_sum{{backend=\"{backend}\"}} {:.6}\n",
+                h.sum() as f64 / 1e6
+            ));
+            out.push_str(&format!(
+                "refrint_dispatch_duration_seconds_count{{backend=\"{backend}\"}} {}\n",
+                h.count()
+            ));
+        }
         out
+    }
+
+    /// Records one dispatch round-trip into the per-backend histogram.
+    fn record_duration(&self, addr: SocketAddr, dur_nanos: u64) {
+        let mut durations = self.durations.lock().expect("dispatch duration lock");
+        durations
+            .entry(addr.to_string())
+            .or_insert_with(|| Histogram::with_bounds(&LATENCY_BOUNDS_MICROS))
+            .record(dur_nanos / 1_000);
     }
 
     /// Picks the healthiest, least-loaded backend, preferring any other
@@ -417,13 +499,19 @@ impl Coordinator {
 
     /// Dispatches one `POST /run` body, retrying across the pool with
     /// exponential backoff. Returns the backend's response body (bytes
-    /// identical to a local run).
+    /// identical to a local run) plus where it ran and when, for trace
+    /// stitching. `traceparent` is propagated verbatim on every attempt —
+    /// it only affects the backend's trace document, never its response
+    /// bytes, so byte-identity is preserved.
     fn dispatch_point(
         &self,
         body: &str,
+        traceparent: Option<&str>,
         spans: &Mutex<Vec<DispatchSpan>>,
         epoch: Instant,
-    ) -> Result<String, ApiError> {
+    ) -> Result<Dispatched, ApiError> {
+        let headers: Vec<(&str, &str)> =
+            traceparent.iter().map(|tp| ("traceparent", *tp)).collect();
         let mut exclude = None;
         let mut last: Option<ApiError> = None;
         for attempt in 1..=self.opts.max_attempts {
@@ -445,7 +533,7 @@ impl Coordinator {
                 "POST",
                 "/run",
                 Some(body.as_bytes()),
-                &[],
+                &headers,
                 Timeouts {
                     connect: Duration::from_secs(5),
                     read: self.opts.dispatch_timeout,
@@ -453,11 +541,19 @@ impl Coordinator {
                 },
             );
             let dur_nanos = elapsed_nanos(sent);
+            self.record_duration(addr, dur_nanos);
             match answer {
                 Ok(response) if response.status == 200 => {
                     self.release(addr, true);
                     record_dispatch(spans, addr, attempt, start_nanos, dur_nanos, "ok");
-                    return Ok(response.body_str());
+                    let job = response.header("x-refrint-job").map(str::to_owned);
+                    return Ok(Dispatched {
+                        body: response.body_str(),
+                        backend: addr,
+                        job,
+                        start_nanos,
+                        dur_nanos,
+                    });
                 }
                 Ok(response) if (400..500).contains(&response.status) => {
                     // The backend is healthy — it answered — but the point
@@ -533,21 +629,36 @@ impl Coordinator {
     #[must_use]
     pub fn execute(&self, work: &JobWork, env: &DispatchEnv<'_>) -> JobOutput {
         match work {
-            JobWork::Run { point, .. } => self.execute_run(point),
+            JobWork::Run { point, .. } => self.execute_run(point, env),
             JobWork::Sweep { config, anomaly } => self.execute_sweep(config, *anomaly, env),
         }
     }
 
-    fn execute_run(&self, point: &PointRequest) -> JobOutput {
+    fn execute_run(&self, point: &PointRequest, env: &DispatchEnv<'_>) -> JobOutput {
         let epoch = Instant::now();
         let spans = Mutex::new(Vec::new());
-        match self.dispatch_point(&point.body(), &spans, epoch) {
-            Ok(body) => {
-                let refs = parse_report(body.trim_end()).map_or(0, |r| r.dl1_accesses);
-                let mut output = JobOutput::from_bytes(200, Arc::new(body.into_bytes()));
+        let traceparent = env
+            .trace
+            .map(|t| t.to_traceparent(&point_span_id(&t.trace_id, 0)));
+        match self.dispatch_point(&point.body(), traceparent.as_deref(), &spans, epoch) {
+            Ok(dispatched) => {
+                let refs = parse_report(dispatched.body.trim_end()).map_or(0, |r| r.dl1_accesses);
+                let outcome = PointOutcome {
+                    index: 0,
+                    label: run_label(point),
+                    node: dispatched.backend.to_string(),
+                    backend_job: dispatched.job,
+                    start_nanos: dispatched.start_nanos,
+                    dur_nanos: dispatched.dur_nanos,
+                };
+                if let Some(progress) = env.progress {
+                    progress.record_point(&outcome.node, refs);
+                }
+                let mut output = JobOutput::from_bytes(200, Arc::new(dispatched.body.into_bytes()));
                 output.refs = refs;
                 output.sim_seconds = epoch.elapsed().as_secs_f64();
                 output.dispatch = spans.into_inner().expect("dispatch span lock");
+                output.points = vec![outcome];
                 output
             }
             Err(e) => dispatch_failure(&e, spans),
@@ -570,7 +681,7 @@ impl Coordinator {
         let total = points.len();
         let next = AtomicUsize::new(0);
         let aborted = AtomicBool::new(false);
-        let results: Mutex<Vec<Option<Result<String, ApiError>>>> =
+        let results: Mutex<Vec<Option<PointResult>>> =
             Mutex::new((0..total).map(|_| None).collect());
         let workers = {
             let backends = self.backend_count().max(1);
@@ -586,7 +697,7 @@ impl Coordinator {
             if index >= total {
                 break;
             }
-            let result = self.run_point(&points[index], env, &spans, epoch);
+            let result = self.run_point(index, &points[index], env, &spans, epoch);
             if result.is_err() {
                 aborted.store(true, Ordering::Relaxed);
             }
@@ -611,13 +722,15 @@ impl Coordinator {
         // both BTreeMaps, both iterated ascending.
         let mut sram: BTreeMap<String, String> = BTreeMap::new();
         let mut edram: BTreeMap<(String, u64, String), String> = BTreeMap::new();
+        let mut outcomes = Vec::with_capacity(total);
         for (point, slot) in points.iter().zip(results) {
-            let Some(Ok(body)) = slot else {
+            let Some(Ok((body, outcome))) = slot else {
                 return dispatch_failure(
                     &ApiError::new(502, "backend_failed", "a sweep point was never dispatched"),
                     spans,
                 );
             };
+            outcomes.push(outcome);
             let report = body.trim_end().to_owned();
             match &point.kind {
                 PointKind::Sram => {
@@ -677,6 +790,7 @@ impl Coordinator {
         output.refs = refs;
         output.sim_seconds = epoch.elapsed().as_secs_f64();
         output.dispatch = spans.into_inner().expect("dispatch span lock");
+        output.points = outcomes;
         output
     }
 
@@ -686,11 +800,12 @@ impl Coordinator {
     /// it left off.
     fn run_point(
         &self,
+        index: usize,
         point: &SweepPoint,
         env: &DispatchEnv<'_>,
         spans: &Mutex<Vec<DispatchSpan>>,
         epoch: Instant,
-    ) -> Result<String, ApiError> {
+    ) -> PointResult {
         let key = point_cache_key(&point.request, env.trace_dir);
         if let Some(key) = &key {
             let lookup = Instant::now();
@@ -702,7 +817,7 @@ impl Coordinator {
                 .map(|b| String::from_utf8_lossy(&b).into_owned());
             if let Some(body) = memory_hit {
                 record_cache_hit(spans, epoch, lookup);
-                return Ok(body);
+                return Ok(self.finish_point(index, point, body, None, env, epoch, lookup));
             }
             if let Some(disk) = env.disk_cache {
                 if let Some(bytes) = disk.get(key) {
@@ -712,27 +827,89 @@ impl Coordinator {
                         .expect("cache lock")
                         .insert(key.clone(), Arc::new(bytes.clone()));
                     record_cache_hit(spans, epoch, lookup);
-                    return Ok(String::from_utf8_lossy(&bytes).into_owned());
+                    let body = String::from_utf8_lossy(&bytes).into_owned();
+                    return Ok(self.finish_point(index, point, body, None, env, epoch, lookup));
                 }
                 env.metrics
                     .disk_cache_misses
                     .fetch_add(1, Ordering::Relaxed);
             }
         }
-        let body = self.dispatch_point(&point.request.body(), spans, epoch)?;
+        let traceparent = env
+            .trace
+            .map(|t| t.to_traceparent(&point_span_id(&t.trace_id, index)));
+        let dispatched =
+            self.dispatch_point(&point.request.body(), traceparent.as_deref(), spans, epoch)?;
         if let Some(key) = &key {
             env.memory_cache
                 .lock()
                 .expect("cache lock")
-                .insert(key.clone(), Arc::new(body.clone().into_bytes()));
+                .insert(key.clone(), Arc::new(dispatched.body.clone().into_bytes()));
             if let Some(disk) = env.disk_cache {
-                if let Err(e) = disk.put(key, body.as_bytes()) {
+                if let Err(e) = disk.put(key, dispatched.body.as_bytes()) {
                     self.logger
                         .warn("disk_cache_put_failed", &[("error", e.to_string())]);
                 }
             }
         }
-        Ok(body)
+        let outcome = PointOutcome {
+            index,
+            label: point.label(),
+            node: dispatched.backend.to_string(),
+            backend_job: dispatched.job,
+            start_nanos: dispatched.start_nanos,
+            dur_nanos: dispatched.dur_nanos,
+        };
+        if let Some(progress) = env.progress {
+            let refs = parse_report(dispatched.body.trim_end()).map_or(0, |r| r.dl1_accesses);
+            progress.record_point(&outcome.node, refs);
+        }
+        Ok((dispatched.body, outcome))
+    }
+
+    /// Wraps a cache-served point body into the `(body, outcome)` pair and
+    /// records its progress, attributing the point to `result-cache`.
+    #[allow(clippy::too_many_arguments)]
+    fn finish_point(
+        &self,
+        index: usize,
+        point: &SweepPoint,
+        body: String,
+        backend_job: Option<String>,
+        env: &DispatchEnv<'_>,
+        epoch: Instant,
+        lookup: Instant,
+    ) -> (String, PointOutcome) {
+        let outcome = PointOutcome {
+            index,
+            label: point.label(),
+            node: "result-cache".to_owned(),
+            backend_job,
+            start_nanos: elapsed_nanos(epoch).saturating_sub(elapsed_nanos(lookup)),
+            dur_nanos: elapsed_nanos(lookup),
+        };
+        if let Some(progress) = env.progress {
+            let refs = parse_report(body.trim_end()).map_or(0, |r| r.dl1_accesses);
+            progress.record_point(&outcome.node, refs);
+        }
+        (body, outcome)
+    }
+}
+
+/// The display label of a single-point `POST /run` job: workload plus the
+/// configuration axis it exercises.
+fn run_label(point: &PointRequest) -> String {
+    let workload = point
+        .app
+        .clone()
+        .or_else(|| point.trace.clone())
+        .unwrap_or_else(|| "run".to_owned());
+    if point.sram {
+        format!("{workload}/sram")
+    } else if let (Some(us), Some(policy)) = (point.retention_us, &point.policy) {
+        format!("{workload}/{us}us/{policy}")
+    } else {
+        workload
     }
 }
 
@@ -790,6 +967,19 @@ struct SweepPoint {
     workload: String,
     kind: PointKind,
     request: PointRequest,
+}
+
+impl SweepPoint {
+    /// The point's stable display label (`lu/sram`, `fft/50us/R.valid`).
+    fn label(&self) -> String {
+        match &self.kind {
+            PointKind::Sram => format!("{}/sram", self.workload),
+            PointKind::Edram {
+                retention_us,
+                policy,
+            } => format!("{}/{}us/{}", self.workload, retention_us, policy),
+        }
+    }
 }
 
 /// Enumerates a sweep's point jobs in the local runner's deterministic

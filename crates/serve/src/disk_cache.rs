@@ -23,9 +23,11 @@
 
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use refrint_engine::json::{escape, parse, Value};
+use refrint_obs::log::Logger;
 use refrint_obs::span::fnv1a;
 
 /// One index entry: a cache key, the body file it maps to, and the
@@ -54,8 +56,46 @@ impl DiskCache {
     ///
     /// Only if the directory cannot be created.
     pub fn open(dir: &Path, capacity: usize) -> io::Result<Self> {
+        Self::open_observed(dir, capacity, &Logger::disabled(), None)
+    }
+
+    /// [`open`](DiskCache::open) with corruption observability: a corrupt
+    /// `index.json` (unparseable, wrong version, or missing its `entries`
+    /// array) still degrades to an empty index, but emits a structured
+    /// warn line and bumps `resets` (the
+    /// `refrint_disk_cache_resets_total` counter) instead of doing so
+    /// silently. A merely *missing* index — a fresh cache directory — is
+    /// normal and stays quiet.
+    ///
+    /// # Errors
+    ///
+    /// Only if the directory cannot be created.
+    pub fn open_observed(
+        dir: &Path,
+        capacity: usize,
+        logger: &Logger,
+        resets: Option<&AtomicU64>,
+    ) -> io::Result<Self> {
         std::fs::create_dir_all(dir)?;
-        let index = load_index(&dir.join("index.json"))
+        let index_path = dir.join("index.json");
+        let index = match load_index(&index_path) {
+            IndexLoad::Missing => Vec::new(),
+            IndexLoad::Corrupt => {
+                logger.warn(
+                    "disk_cache_index_corrupt",
+                    &[
+                        ("path", index_path.display().to_string()),
+                        ("action", "reset_to_empty".to_owned()),
+                    ],
+                );
+                if let Some(counter) = resets {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                }
+                Vec::new()
+            }
+            IndexLoad::Loaded(entries) => entries,
+        };
+        let index = index
             .into_iter()
             .filter(|e| dir.join(format!("{}.body", e.hash)).is_file())
             .collect();
@@ -145,29 +185,39 @@ fn index_document(index: &[IndexEntry]) -> String {
     format!("{{\"version\":1,\"entries\":[{}]}}", entries.join(","))
 }
 
-fn load_index(path: &Path) -> Vec<IndexEntry> {
+/// How the on-disk index read went: absent (a fresh directory), corrupt
+/// (present but unusable — worth warning about), or loaded.
+enum IndexLoad {
+    Missing,
+    Corrupt,
+    Loaded(Vec<IndexEntry>),
+}
+
+fn load_index(path: &Path) -> IndexLoad {
     let Ok(text) = std::fs::read_to_string(path) else {
-        return Vec::new();
+        return IndexLoad::Missing;
     };
     let Ok(doc) = parse(&text) else {
-        return Vec::new();
+        return IndexLoad::Corrupt;
     };
     if doc.get("version").and_then(Value::as_u64) != Some(1) {
-        return Vec::new();
+        return IndexLoad::Corrupt;
     }
     let Some(entries) = doc.get("entries").and_then(Value::as_arr) else {
-        return Vec::new();
+        return IndexLoad::Corrupt;
     };
-    entries
-        .iter()
-        .filter_map(|e| {
-            Some(IndexEntry {
-                key: e.get("key")?.as_str()?.to_owned(),
-                hash: e.get("hash")?.as_str()?.to_owned(),
-                len: usize::try_from(e.get("len")?.as_u64()?).ok()?,
+    IndexLoad::Loaded(
+        entries
+            .iter()
+            .filter_map(|e| {
+                Some(IndexEntry {
+                    key: e.get("key")?.as_str()?.to_owned(),
+                    hash: e.get("hash")?.as_str()?.to_owned(),
+                    len: usize::try_from(e.get("len")?.as_u64()?).ok()?,
+                })
             })
-        })
-        .collect()
+            .collect(),
+    )
 }
 
 #[cfg(test)]
@@ -239,6 +289,50 @@ mod tests {
         }
         let reopened = DiskCache::open(&dir, 4).unwrap();
         assert!(reopened.is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_index_warns_and_counts_a_reset() {
+        use refrint_obs::log::{Level, LogFormat};
+        use std::sync::Arc;
+
+        #[derive(Clone, Default)]
+        struct Capture(Arc<Mutex<Vec<u8>>>);
+        impl std::io::Write for Capture {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let dir = temp_dir("reset-observed");
+        let resets = AtomicU64::new(0);
+        let cap = Capture::default();
+        let logger = Logger::to_writer(Level::Warn, LogFormat::Json, Box::new(cap.clone()));
+
+        // A fresh directory (missing index) is normal: no warn, no count.
+        let fresh = DiskCache::open_observed(&dir, 4, &logger, Some(&resets)).unwrap();
+        assert!(fresh.is_empty());
+        assert_eq!(resets.load(Ordering::Relaxed), 0);
+        assert!(cap.0.lock().unwrap().is_empty(), "missing index is silent");
+
+        // A corrupt index degrades to empty, loudly.
+        std::fs::write(dir.join("index.json"), b"not json").unwrap();
+        let corrupt = DiskCache::open_observed(&dir, 4, &logger, Some(&resets)).unwrap();
+        assert!(corrupt.is_empty());
+        assert_eq!(resets.load(Ordering::Relaxed), 1);
+        let log = String::from_utf8(cap.0.lock().unwrap().clone()).unwrap();
+        assert!(log.contains("disk_cache_index_corrupt"), "{log}");
+        assert!(log.contains("reset_to_empty"), "{log}");
+
+        // Wrong version and missing entries are corruption too.
+        std::fs::write(dir.join("index.json"), b"{\"version\":2,\"entries\":[]}").unwrap();
+        DiskCache::open_observed(&dir, 4, &logger, Some(&resets)).unwrap();
+        assert_eq!(resets.load(Ordering::Relaxed), 2);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -13,6 +13,7 @@ use std::path::PathBuf;
 use std::time::Duration;
 
 use refrint::prelude::*;
+use refrint_engine::json::{parse, Value};
 use refrint_serve::client;
 use refrint_serve::coordinator::CoordinatorOptions;
 use refrint_serve::{RunningServer, Server, ServerOptions};
@@ -161,6 +162,269 @@ fn disk_cache_survives_a_coordinator_restart() {
 
     revived.shutdown();
     std::fs::remove_dir_all(&cache_dir).ok();
+}
+
+/// A fixed inbound trace context so span ids — which derive
+/// deterministically from the trace id — are comparable across runs.
+const TRACEPARENT: &str = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01";
+
+/// Fetches `/jobs/<id>/trace`, retrying briefly while the trace is still
+/// being attached (202).
+fn fetch_trace(addr: std::net::SocketAddr, id: &str) -> Value {
+    let path = format!("/jobs/{id}/trace");
+    let mut response = client::get(addr, &path).expect("trace request");
+    for _ in 0..100 {
+        if response.status != 202 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+        response = client::get(addr, &path).expect("trace request");
+    }
+    assert_eq!(response.status, 200, "{}", response.body_str());
+    parse(response.body_str().trim_end()).expect("trace document parses")
+}
+
+/// Collapses a fleet trace document to its deterministic skeleton: the
+/// sorted `(spanId, parentSpanId, name)` tuples across **all** resource
+/// groups. `backend/<addr>` dispatch spans are excluded — they carry the
+/// backends' ephemeral ports, the one part of the tree that legitimately
+/// varies between fleets.
+fn canonical_spans(doc: &Value) -> Vec<(String, String, String)> {
+    let groups = doc
+        .get("resourceSpans")
+        .and_then(Value::as_arr)
+        .expect("trace document has resourceSpans");
+    let mut tuples = Vec::new();
+    for group in groups {
+        let Some(spans) = group
+            .get("scopeSpans")
+            .and_then(Value::as_arr)
+            .and_then(|ss| ss.first())
+            .and_then(|s| s.get("spans"))
+            .and_then(Value::as_arr)
+        else {
+            continue;
+        };
+        for span in spans {
+            let field = |key: &str| {
+                span.get(key)
+                    .and_then(Value::as_str)
+                    .unwrap_or("")
+                    .to_owned()
+            };
+            let name = field("name");
+            if name.starts_with("backend/") {
+                continue;
+            }
+            tuples.push((field("spanId"), field("parentSpanId"), name));
+        }
+    }
+    tuples.sort();
+    tuples
+}
+
+#[test]
+fn stitched_fleet_trace_is_deterministic_across_backend_counts() {
+    // Fresh backends for every fleet size: reusing them would turn later
+    // sweeps into backend cache hits, which legitimately produce different
+    // (simulation-free) subtrees.
+    let mut skeletons: Vec<Vec<(String, String, String)>> = Vec::new();
+    for count in [1usize, 2, 4] {
+        let backends: Vec<RunningServer> = (0..count).map(|_| start_backend()).collect();
+        let views: Vec<&RunningServer> = backends.iter().collect();
+        let coordinator = start_coordinator(&views, None);
+        let addr = coordinator.addr();
+
+        let response = client::request_with_headers(
+            addr,
+            "POST",
+            "/sweep",
+            Some(SWEEP_BODY.as_bytes()),
+            &[("traceparent", TRACEPARENT)],
+        )
+        .expect("sweep request");
+        assert_eq!(response.status, 200, "{}", response.body_str());
+        let id = response
+            .header("X-Refrint-Job")
+            .expect("sweep response names its job")
+            .to_owned();
+
+        let doc = fetch_trace(addr, &id);
+        let skeleton = canonical_spans(&doc);
+        // Every point must be stitched: 14 anchors plus their backend
+        // subtrees, far more spans than the coordinator's own stages.
+        let anchors = skeleton
+            .iter()
+            .filter(|(_, _, name)| name.starts_with("point/"))
+            .count();
+        assert_eq!(anchors, 14, "one anchor span per sweep point");
+        assert!(
+            skeleton.len() > 14 * 2,
+            "backend subtrees must be stitched under the anchors, got {} spans",
+            skeleton.len()
+        );
+        skeletons.push(skeleton);
+
+        coordinator.shutdown();
+        for backend in backends {
+            backend.shutdown();
+        }
+    }
+    assert_eq!(
+        skeletons[0], skeletons[1],
+        "1-backend and 2-backend fleet traces must have identical skeletons"
+    );
+    assert_eq!(
+        skeletons[1], skeletons[2],
+        "2-backend and 4-backend fleet traces must have identical skeletons"
+    );
+}
+
+#[test]
+fn metrics_history_tracks_node_and_backend_series() {
+    let backend = start_backend();
+    let options = ServerOptions {
+        coordinator: Some(CoordinatorOptions {
+            backends: vec![backend.addr().to_string()],
+            ..CoordinatorOptions::default()
+        }),
+        metrics_interval: Duration::from_millis(25),
+        ..ServerOptions::default()
+    };
+    let coordinator = Server::bind("127.0.0.1:0", options)
+        .expect("bind an ephemeral coordinator port")
+        .spawn()
+        .expect("spawn the coordinator accept loop");
+    let addr = coordinator.addr();
+
+    let run = client::post(addr, "/run", b"{\"app\":\"lu\",\"refs\":400,\"cores\":2}")
+        .expect("run request");
+    assert_eq!(run.status, 200, "{}", run.body_str());
+
+    // The tick thread fills the local ring and scrapes the backend every
+    // 25 ms; the backend's http_requests counter moves on every scrape, so
+    // its windowed delta must become positive.
+    let mut settled = false;
+    for _ in 0..400 {
+        let history = client::get(addr, "/metrics/history?window=60").expect("history request");
+        assert_eq!(history.status, 200, "{}", history.body_str());
+        let doc = parse(history.body_str().trim_end()).expect("history document parses");
+        let node_windows = doc
+            .get("node")
+            .and_then(|n| n.get("windows"))
+            .and_then(Value::as_u64)
+            .unwrap_or(0);
+        let node_has_series = doc
+            .get("node")
+            .and_then(|n| n.get("series"))
+            .and_then(|s| s.get("jobs_completed"))
+            .is_some();
+        let backend_requests_delta = doc
+            .get("backends")
+            .and_then(|b| b.get(&backend.addr().to_string()))
+            .and_then(|r| r.get("series"))
+            .and_then(|s| s.get("http_requests"))
+            .and_then(|s| s.get("delta"))
+            .and_then(Value::as_u64)
+            .unwrap_or(0);
+        if node_windows >= 2 && node_has_series && backend_requests_delta >= 1 {
+            settled = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    assert!(
+        settled,
+        "the history rings never accumulated local windows and backend scrapes"
+    );
+
+    // A malformed window is a typed 400, not a crash or a default.
+    let bad = client::get(addr, "/metrics/history?window=nope").expect("bad-window request");
+    assert_eq!(bad.status, 400, "{}", bad.body_str());
+    assert!(bad.body_str().contains("bad_query"));
+
+    coordinator.shutdown();
+    backend.shutdown();
+}
+
+/// Splits a chunked transfer-encoded body back into its payload bytes.
+fn dechunk(raw: &[u8]) -> Vec<u8> {
+    let mut out = Vec::new();
+    let mut rest = raw;
+    while let Some(pos) = rest.windows(2).position(|w| w == b"\r\n") {
+        let size_hex = std::str::from_utf8(&rest[..pos])
+            .expect("chunk size line")
+            .trim();
+        let size = usize::from_str_radix(size_hex, 16).expect("hex chunk size");
+        if size == 0 {
+            break;
+        }
+        out.extend_from_slice(&rest[pos + 2..pos + 2 + size]);
+        rest = &rest[pos + 2 + size + 2..];
+    }
+    out
+}
+
+#[test]
+fn progress_stream_follows_an_async_sweep_to_done() {
+    let backend = start_backend();
+    let coordinator = start_coordinator(&[&backend], None);
+    let addr = coordinator.addr();
+
+    let async_body = SWEEP_BODY.replacen('{', "{\"mode\":\"async\",", 1);
+    let accepted =
+        client::post(addr, "/sweep", async_body.as_bytes()).expect("async sweep request");
+    assert_eq!(accepted.status, 202, "{}", accepted.body_str());
+    let id = accepted
+        .header("X-Refrint-Job")
+        .expect("async response names its job")
+        .to_owned();
+
+    // The stream has no Content-Length, so the client helper reads the
+    // whole chunked body to EOF — i.e. until the job reaches a terminal
+    // status and the server closes the stream.
+    let response =
+        client::get(addr, &format!("/jobs/{id}/progress")).expect("progress stream request");
+    assert_eq!(response.status, 200);
+    assert_eq!(response.header("Transfer-Encoding"), Some("chunked"));
+
+    let body = dechunk(&response.body);
+    let text = String::from_utf8(body).expect("ndjson stream is UTF-8");
+    let lines: Vec<Value> = text
+        .lines()
+        .map(|l| parse(l).expect("each progress line parses"))
+        .collect();
+    assert!(!lines.is_empty(), "the stream must carry at least one line");
+
+    // `done` only ever grows, and the final snapshot is the finished job.
+    let done_of = |doc: &Value| doc.get("done").and_then(Value::as_u64).unwrap_or(0);
+    for pair in lines.windows(2) {
+        assert!(done_of(&pair[1]) >= done_of(&pair[0]), "progress regressed");
+    }
+    let last = lines.last().expect("at least one line");
+    assert_eq!(last.get("status").and_then(Value::as_str), Some("done"));
+    assert_eq!(last.get("total").and_then(Value::as_u64), Some(14));
+    assert_eq!(done_of(last), 14);
+    assert!(
+        last.get("refs").and_then(Value::as_u64).unwrap_or(0) > 0,
+        "the terminal snapshot reports simulated refs"
+    );
+    let per_node = last
+        .get("per_node")
+        .and_then(|p| p.get(&backend.addr().to_string()))
+        .and_then(Value::as_u64);
+    assert_eq!(
+        per_node,
+        Some(14),
+        "all 14 points ran on the single backend"
+    );
+
+    // Unknown jobs get a plain 404, not a stream.
+    let missing = client::get(addr, "/jobs/zzz/progress").expect("missing-job request");
+    assert_eq!(missing.status, 404);
+
+    coordinator.shutdown();
+    backend.shutdown();
 }
 
 #[test]
