@@ -31,8 +31,7 @@ fn fig6_1(c: &mut Criterion) {
         refs_per_thread: 1_500,
         seed: 0xBEEF,
         cores: 16,
-        models: Vec::new(),
-        traces: Vec::new(),
+        ..refrint::experiment::ExperimentConfig::default()
     };
     group.bench_function("sweep_tiny_end_to_end", |b| {
         b.iter(|| std::hint::black_box(sweep(&tiny)));

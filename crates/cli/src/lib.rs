@@ -13,6 +13,7 @@ use std::path::PathBuf;
 
 use refrint::experiment::ExperimentConfig;
 use refrint::simulation::{ObsConfig, Simulation, SimulationBuilder};
+use refrint::{CoherenceProtocol, RetentionProfile};
 use refrint_edram::model::PolicyRegistry;
 use refrint_edram::policy::RefreshPolicy;
 use refrint_obs::anomaly::AnomalyTuning;
@@ -77,6 +78,26 @@ pub fn parse_apps(list: &str) -> Result<Vec<AppPreset>, String> {
         .collect()
 }
 
+/// Parses a `--protocol` label (`mesi` or `dragon`).
+///
+/// # Errors
+///
+/// Returns a message listing the valid protocol labels.
+pub fn parse_protocol(label: &str) -> Result<CoherenceProtocol, String> {
+    label.parse::<CoherenceProtocol>()
+}
+
+/// Parses a `--retention-profile` label — exactly what
+/// [`RetentionProfile::label`] prints: `uniform`, `normal(SIGMA)`, or
+/// `bimodal(WEAK,RETENTION)`.
+///
+/// # Errors
+///
+/// Returns the profile grammar error as a string.
+pub fn parse_retention_profile(label: &str) -> Result<RetentionProfile, String> {
+    label.parse::<RetentionProfile>().map_err(|e| e.to_string())
+}
+
 /// Parses the optional `--anomaly-threshold <z>` and `--min-slice <n>`
 /// flags into an [`AnomalyTuning`], rejecting non-finite or negative
 /// thresholds and a zero minimum slice with the tuning's typed error.
@@ -138,6 +159,11 @@ pub struct RunOptions {
     pub policy: Option<RefreshPolicy>,
     /// Retention time in microseconds, if overridden.
     pub retention_us: Option<u64>,
+    /// Per-bank retention distribution (`--retention-profile`), if
+    /// overridden.
+    pub retention_profile: Option<RetentionProfile>,
+    /// Coherence protocol (`--protocol mesi|dragon`), if overridden.
+    pub protocol: Option<CoherenceProtocol>,
     /// References per thread, if overridden.
     pub refs: Option<u64>,
     /// Workload seed, if overridden.
@@ -167,6 +193,14 @@ impl RunOptions {
             Some(r) => Some(r.parse().map_err(|_| format!("bad retention `{r}`"))?),
             None => None,
         };
+        let retention_profile = match opt_value(args, "--retention-profile") {
+            Some(p) => Some(parse_retention_profile(&p)?),
+            None => None,
+        };
+        let protocol = match opt_value(args, "--protocol") {
+            Some(p) => Some(parse_protocol(&p)?),
+            None => None,
+        };
         let refs = match opt_value(args, "--refs") {
             Some(n) => Some(n.parse().map_err(|_| format!("bad --refs `{n}`"))?),
             None => None,
@@ -180,6 +214,8 @@ impl RunOptions {
             sram,
             policy,
             retention_us,
+            retention_profile,
+            protocol,
             refs,
             seed,
             timing: has_flag(args, "--timing"),
@@ -200,6 +236,12 @@ impl RunOptions {
         }
         if let Some(us) = self.retention_us {
             builder = builder.retention_us(us);
+        }
+        if let Some(profile) = self.retention_profile {
+            builder = builder.retention_profile(profile);
+        }
+        if let Some(protocol) = self.protocol {
+            builder = builder.protocol(protocol);
         }
         if let Some(refs) = self.refs {
             builder = builder.refs_per_thread(refs);
@@ -227,6 +269,10 @@ pub struct ObsOptions {
     pub policy: Option<RefreshPolicy>,
     /// Retention time in microseconds, if overridden.
     pub retention_us: Option<u64>,
+    /// Per-bank retention distribution, if overridden.
+    pub retention_profile: Option<RetentionProfile>,
+    /// Coherence protocol, if overridden.
+    pub protocol: Option<CoherenceProtocol>,
     /// References per thread, if overridden.
     pub refs: Option<u64>,
     /// Workload seed, if overridden.
@@ -262,6 +308,14 @@ impl ObsOptions {
         };
         let retention_us = match opt_value(args, "--retention") {
             Some(r) => Some(r.parse().map_err(|_| format!("bad retention `{r}`"))?),
+            None => None,
+        };
+        let retention_profile = match opt_value(args, "--retention-profile") {
+            Some(p) => Some(parse_retention_profile(&p)?),
+            None => None,
+        };
+        let protocol = match opt_value(args, "--protocol") {
+            Some(p) => Some(parse_protocol(&p)?),
             None => None,
         };
         let refs = match opt_value(args, "--refs") {
@@ -302,6 +356,8 @@ impl ObsOptions {
             sram,
             policy,
             retention_us,
+            retention_profile,
+            protocol,
             refs,
             seed,
             cores,
@@ -326,6 +382,12 @@ impl ObsOptions {
         }
         if let Some(us) = self.retention_us {
             builder = builder.retention_us(us);
+        }
+        if let Some(profile) = self.retention_profile {
+            builder = builder.retention_profile(profile);
+        }
+        if let Some(protocol) = self.protocol {
+            builder = builder.protocol(protocol);
         }
         if let Some(refs) = self.refs {
             builder = builder.refs_per_thread(refs);
@@ -354,6 +416,13 @@ pub struct SweepOptions {
     pub cores: Option<usize>,
     /// Print per-run progress to stderr.
     pub progress: bool,
+    /// Coherence protocols to sweep (`--protocol`, repeatable); empty
+    /// means MESI only.
+    pub protocols: Vec<CoherenceProtocol>,
+    /// Per-bank retention distributions to sweep (`--retention-profile`,
+    /// repeatable; labels may contain commas, hence no comma-list form);
+    /// empty means uniform only.
+    pub retention_profiles: Vec<RetentionProfile>,
     /// Traces to sweep alongside the applications (`--trace`, repeatable).
     pub traces: Vec<PathBuf>,
     /// Tuning of the sweep's anomaly pass (`--anomaly-threshold`,
@@ -392,12 +461,22 @@ impl SweepOptions {
             Some(c) => Some(c.parse().map_err(|_| format!("bad --cores `{c}`"))?),
             None => None,
         };
+        let protocols = opt_values(args, "--protocol")
+            .iter()
+            .map(|p| parse_protocol(p))
+            .collect::<Result<Vec<_>, _>>()?;
+        let retention_profiles = opt_values(args, "--retention-profile")
+            .iter()
+            .map(|p| parse_retention_profile(p))
+            .collect::<Result<Vec<_>, _>>()?;
         Ok(SweepOptions {
             refs,
             apps,
             jobs,
             cores,
             progress: has_flag(args, "--progress"),
+            protocols,
+            retention_profiles,
             traces: opt_values(args, "--trace")
                 .into_iter()
                 .map(Into::into)
@@ -424,6 +503,12 @@ impl SweepOptions {
         }
         if let Some(cores) = self.cores {
             cfg.cores = cores;
+        }
+        if !self.protocols.is_empty() {
+            cfg = cfg.with_protocols(self.protocols.clone());
+        }
+        if !self.retention_profiles.is_empty() {
+            cfg = cfg.with_retention_profiles(self.retention_profiles.clone());
         }
         for path in &self.traces {
             let spec =
@@ -674,6 +759,9 @@ pub struct CheckOptions {
     /// A single explicit scenario spec (repro mode), overriding the
     /// seeded stream.
     pub scenario: Option<String>,
+    /// Pin every generated scenario's coherence protocol (the CI
+    /// conformance matrix runs one leg per protocol).
+    pub protocol: Option<CoherenceProtocol>,
     /// Run with the off-by-one fault injected into the oracle and expect
     /// the harness to catch it (harness self-test).
     pub self_test: bool,
@@ -705,10 +793,15 @@ impl CheckOptions {
                 n
             }
         };
+        let protocol = match opt_value(args, "--protocol") {
+            Some(p) => Some(parse_protocol(&p)?),
+            None => None,
+        };
         Ok(CheckOptions {
             seed,
             scenarios,
             scenario: opt_value(args, "--scenario"),
+            protocol,
             self_test: has_flag(args, "--self-test"),
             progress: has_flag(args, "--progress"),
         })
@@ -927,6 +1020,110 @@ mod tests {
     }
 
     #[test]
+    fn run_protocol_and_retention_profile_flags_parse_and_build() {
+        let opts = RunOptions::parse(&args(&[
+            "--app",
+            "lu",
+            "--protocol",
+            "dragon",
+            "--retention-profile",
+            "bimodal(25,60)",
+        ]))
+        .unwrap();
+        assert_eq!(opts.protocol, Some(CoherenceProtocol::Dragon));
+        assert_eq!(
+            opts.retention_profile,
+            Some(RetentionProfile::Bimodal {
+                weak_pct: 25,
+                weak_retention_pct: 60
+            })
+        );
+        let config = opts.builder().build_config().unwrap();
+        assert_eq!(config.protocol, CoherenceProtocol::Dragon);
+        assert_eq!(
+            config.retention_profile,
+            RetentionProfile::Bimodal {
+                weak_pct: 25,
+                weak_retention_pct: 60
+            }
+        );
+        assert_eq!(
+            config.label(),
+            "eDRAM 50us R.WB(32,32) dragon bimodal(25,60)"
+        );
+
+        // Omitting the flags leaves the defaults untouched.
+        let opts = RunOptions::parse(&args(&["--app", "lu"])).unwrap();
+        assert_eq!(opts.protocol, None);
+        let config = opts.builder().build_config().unwrap();
+        assert_eq!(config.protocol, CoherenceProtocol::Mesi);
+        assert_eq!(config.retention_profile, RetentionProfile::Uniform);
+
+        // Unknown labels are usage errors that name the valid forms.
+        let err = RunOptions::parse(&args(&["--app", "lu", "--protocol", "moesi"])).unwrap_err();
+        assert!(err.contains("mesi"), "{err}");
+        let err =
+            RunOptions::parse(&args(&["--app", "lu", "--retention-profile", "zipf"])).unwrap_err();
+        assert!(err.contains("uniform"), "{err}");
+        // SRAM composes with --protocol but rejects a non-uniform profile.
+        let opts =
+            RunOptions::parse(&args(&["--app", "fft", "--sram", "--protocol", "dragon"])).unwrap();
+        assert!(opts.builder().build_config().is_ok());
+        let opts = RunOptions::parse(&args(&[
+            "--app",
+            "fft",
+            "--sram",
+            "--retention-profile",
+            "normal(10)",
+        ]))
+        .unwrap();
+        assert!(opts.builder().build_config().is_err());
+    }
+
+    #[test]
+    fn sweep_protocol_and_retention_profile_axes_parse() {
+        let opts = SweepOptions::parse(&args(&[
+            "--apps",
+            "lu",
+            "--protocol",
+            "mesi",
+            "--protocol",
+            "dragon",
+            "--retention-profile",
+            "uniform",
+            "--retention-profile",
+            "normal(15)",
+        ]))
+        .unwrap();
+        assert_eq!(
+            opts.protocols,
+            vec![CoherenceProtocol::Mesi, CoherenceProtocol::Dragon]
+        );
+        assert_eq!(
+            opts.retention_profiles,
+            vec![
+                RetentionProfile::Uniform,
+                RetentionProfile::Normal { sigma_pct: 15 }
+            ]
+        );
+        let cfg = opts.experiment().unwrap();
+        assert_eq!(cfg.protocols.len(), 2);
+        assert_eq!(cfg.retention_profiles.len(), 2);
+
+        // Absent flags keep the experiment's default single-point axes, so
+        // the default sweep stays byte-identical.
+        let cfg = SweepOptions::parse(&args(&[]))
+            .unwrap()
+            .experiment()
+            .unwrap();
+        assert_eq!(cfg.protocols, vec![CoherenceProtocol::Mesi]);
+        assert_eq!(cfg.retention_profiles, vec![RetentionProfile::Uniform]);
+
+        assert!(SweepOptions::parse(&args(&["--protocol", "dragonfly"])).is_err());
+        assert!(SweepOptions::parse(&args(&["--retention-profile", "normal(0)"])).is_err());
+    }
+
+    #[test]
     fn format_flag_parses_and_rejects_unknowns() {
         assert_eq!(parse_format(&args(&[])).unwrap(), OutputFormat::Text);
         assert_eq!(
@@ -987,6 +1184,24 @@ mod tests {
         assert_eq!(opts.sample_every, 64);
         assert_eq!(opts.format, OutputFormat::Text);
 
+        // The axis flags mirror `run`: they reach the built config's label.
+        let opts = ObsOptions::parse(&args(&[
+            "--app",
+            "lu",
+            "--protocol",
+            "dragon",
+            "--retention-profile",
+            "normal(10)",
+        ]))
+        .unwrap();
+        let config = opts.builder().build_config().unwrap();
+        assert_eq!(config.label(), "eDRAM 50us R.WB(32,32) dragon normal(10)");
+        assert!(
+            ObsOptions::parse(&args(&["--app", "lu", "--protocol", "moesi"]))
+                .unwrap_err()
+                .contains("moesi")
+        );
+
         assert!(ObsOptions::parse(&args(&[])).unwrap_err().contains("--app"));
         assert!(ObsOptions::parse(&args(&["--app", "lu", "--sample", "0"]))
             .unwrap_err()
@@ -996,6 +1211,20 @@ mod tests {
                 .unwrap_err()
                 .contains("xml")
         );
+    }
+
+    #[test]
+    fn check_options_protocol_pin_parses() {
+        let opts =
+            CheckOptions::parse(&args(&["--protocol", "dragon", "--scenarios", "5"])).unwrap();
+        assert_eq!(opts.protocol, Some(CoherenceProtocol::Dragon));
+        assert_eq!(opts.scenarios, 5);
+        let opts = CheckOptions::parse(&args(&[])).unwrap();
+        assert_eq!(opts.protocol, None, "unpinned by default");
+        assert_eq!(opts.seed, CheckOptions::DEFAULT_SEED);
+        assert!(CheckOptions::parse(&args(&["--protocol", "moesi"]))
+            .unwrap_err()
+            .contains("moesi"));
     }
 
     #[test]

@@ -36,18 +36,23 @@ Commands:
   show-config                      print the simulated architecture (paper Table 5.1)
   classify                         classify applications into Class 1/2/3 (paper Table 6.1)
   run --app <name> [--sram] [--policy P.all|R.WB(32,32)|...] [--retention 50|100|200]
+      [--protocol mesi|dragon] [--retention-profile uniform|normal(S)|bimodal(W,R)]
       [--refs <n>] [--seed <n>] [--timing] [--format text|json]
                                    run one application and print the report
                                    (--timing adds the cycle/host-time table on stderr)
-  obs --app <name> [--sram] [--policy <label>] [--retention <us>] [--refs <n>]
+  obs --app <name> [--sram] [--policy <label>] [--retention <us>]
+      [--protocol mesi|dragon] [--retention-profile <label>] [--refs <n>]
       [--seed <n>] [--cores <n>] [--sample <n>] [--critical-path]
       [--anomaly-threshold <z>] [--min-slice <n>] [--format json|text]
                                    run with full-sampling observability and print the
                                    OTLP-shaped span export (docs/observability.md);
                                    --critical-path prints the bounding-subsystem report
   sweep [--refs <n>] [--apps a,b] [--trace <file>]... [--cores <n>] [--jobs <n>]
+        [--protocol mesi|dragon]... [--retention-profile <label>]...
         [--anomaly-threshold <z>] [--min-slice <n>] [--progress] [--format text|json]
                                    run the policy sweep across worker threads
+                                   (repeat --protocol / --retention-profile to add
+                                   coherence and per-bank retention axes)
   trace record --app <name> --out <file> [--cores <n>] [--refs <n>] [--seed <n>] [--text]
                                    capture a workload's reference streams to a trace
   trace replay --trace <file> [--sram] [--policy <label>] [--retention <us>]
@@ -55,8 +60,11 @@ Commands:
                                    replay a recorded trace through a configuration
   trace info --trace <file> [--format text|json]
                                    summarize a trace (threads, gaps, strides)
-  check [--seed <n>] [--scenarios <n>] [--scenario \"<spec>\"] [--self-test] [--progress]
-                                   run the oracle conformance harness (docs/testing.md)
+  check [--seed <n>] [--scenarios <n>] [--scenario \"<spec>\"] [--protocol mesi|dragon]
+        [--self-test] [--progress]
+                                   run the oracle conformance harness (docs/testing.md;
+                                   --protocol pins every scenario's coherence protocol,
+                                   which is how CI runs one conformance leg per protocol)
   serve --addr HOST:PORT [--workers <n>] [--queue <n>] [--cache <n>]
         [--max-body <bytes>] [--trace-dir <dir>] [--latency-buckets 1ms,10ms,...]
         [--log-format text|json] [--cache-dir <dir>]
@@ -314,7 +322,7 @@ fn trace_info(args: &[String]) -> Result<(), String> {
 /// Differential conformance against the independent oracle.
 fn check(args: &[String]) -> Result<(), String> {
     use refrint_cli::CheckOptions;
-    use refrint_oracle::harness::{run_check, run_scenario_with};
+    use refrint_oracle::harness::{run_check_pinned, run_scenario_with};
     use refrint_oracle::scenario::Scenario;
     use refrint_oracle::system::Fault;
 
@@ -346,15 +354,29 @@ fn check(args: &[String]) -> Result<(), String> {
              the harness must catch it"
         );
     }
-    eprintln!(
-        "running {} scenarios (seed {:#x})...",
-        options.scenarios, options.seed
-    );
-    let outcome = run_check(options.seed, options.scenarios, fault, |index, scenario| {
-        if options.progress {
-            eprintln!("[{}/{}] {scenario}", index + 1, options.scenarios);
-        }
-    })
+    match options.protocol {
+        Some(protocol) => eprintln!(
+            "running {} scenarios (seed {:#x}, protocol pinned to {})...",
+            options.scenarios,
+            options.seed,
+            protocol.label()
+        ),
+        None => eprintln!(
+            "running {} scenarios (seed {:#x})...",
+            options.scenarios, options.seed
+        ),
+    }
+    let outcome = run_check_pinned(
+        options.seed,
+        options.scenarios,
+        options.protocol,
+        fault,
+        |index, scenario| {
+            if options.progress {
+                eprintln!("[{}/{}] {scenario}", index + 1, options.scenarios);
+            }
+        },
+    )
     .map_err(|e| e.to_string())?;
 
     match (outcome.divergence, options.self_test) {

@@ -128,6 +128,15 @@ pub enum DirectoryEntry {
         /// The owning tile.
         owner: usize,
     },
+    /// One tile owns a dirty copy (Dragon `Sm`) while other tiles hold
+    /// clean replicas that receive word updates on writes. Only the Dragon
+    /// protocol creates this entry; MESI never does.
+    OwnedShared {
+        /// The tile responsible for the eventual write-back.
+        owner: usize,
+        /// The clean replicas (never contains `owner`).
+        sharers: SharerSet,
+    },
 }
 
 impl DirectoryEntry {
@@ -138,6 +147,11 @@ impl DirectoryEntry {
             DirectoryEntry::Uncached => SharerSet::empty(),
             DirectoryEntry::Shared(s) => s,
             DirectoryEntry::Owned { owner } => SharerSet::single(owner),
+            DirectoryEntry::OwnedShared { owner, sharers } => {
+                let mut all = sharers;
+                all.insert(owner);
+                all
+            }
         }
     }
 
@@ -147,10 +161,13 @@ impl DirectoryEntry {
         !self.holders().is_empty()
     }
 
-    /// Whether a single tile owns the line with write permission.
+    /// Whether some tile is responsible for a (possibly dirty) owned copy.
     #[must_use]
     pub fn is_owned(self) -> bool {
-        matches!(self, DirectoryEntry::Owned { .. })
+        matches!(
+            self,
+            DirectoryEntry::Owned { .. } | DirectoryEntry::OwnedShared { .. }
+        )
     }
 }
 
@@ -223,6 +240,23 @@ impl Directory {
                     DirectoryEntry::Shared(s)
                 }
             }
+            DirectoryEntry::OwnedShared { owner, sharers } if owner == tile => {
+                // The owner leaves: the remaining replicas are clean
+                // (the dirty data was written back by the eviction).
+                if sharers.is_empty() {
+                    DirectoryEntry::Uncached
+                } else {
+                    DirectoryEntry::Shared(sharers)
+                }
+            }
+            DirectoryEntry::OwnedShared { owner, sharers } => {
+                let sharers = sharers.without(tile);
+                if sharers.is_empty() {
+                    DirectoryEntry::Owned { owner }
+                } else {
+                    DirectoryEntry::OwnedShared { owner, sharers }
+                }
+            }
         };
         self.set_entry(line, new);
     }
@@ -240,13 +274,20 @@ impl Directory {
 
     /// Checks the directory invariants for `line`:
     /// an `Owned` entry names a valid tile; a `Shared` entry is non-empty and
-    /// all its tiles are valid.
+    /// all its tiles are valid; an `OwnedShared` entry has a valid owner,
+    /// non-empty valid sharers, and the owner is not among them.
     #[must_use]
     pub fn check_invariants(&self, line: LineAddr) -> bool {
         match self.entry(line) {
             DirectoryEntry::Uncached => true,
             DirectoryEntry::Owned { owner } => owner < self.num_tiles,
             DirectoryEntry::Shared(s) => !s.is_empty() && s.iter().all(|t| t < self.num_tiles),
+            DirectoryEntry::OwnedShared { owner, sharers } => {
+                owner < self.num_tiles
+                    && !sharers.is_empty()
+                    && !sharers.contains(owner)
+                    && sharers.iter().all(|t| t < self.num_tiles)
+            }
         }
     }
 }
@@ -361,6 +402,60 @@ mod tests {
         // An explicitly-stored empty Shared set violates the invariant...
         // ...but set_entry stores it, so check_invariants flags it.
         assert!(!d.check_invariants(line) || d.entry(line) == DirectoryEntry::Uncached);
+    }
+
+    #[test]
+    fn owned_shared_holders_and_removal() {
+        let mut d = Directory::new(16);
+        let line = LineAddr::new(0x30);
+        let sharers: SharerSet = [1usize, 4].into_iter().collect();
+        d.set_entry(line, DirectoryEntry::OwnedShared { owner: 2, sharers });
+        assert_eq!(
+            d.entry(line).holders().iter().collect::<Vec<_>>(),
+            vec![1, 2, 4]
+        );
+        assert!(d.entry(line).is_owned());
+        assert!(d.check_invariants(line));
+        // A sharer leaves: the owner keeps the dirty copy.
+        d.remove_holder(line, 4);
+        assert_eq!(
+            d.entry(line),
+            DirectoryEntry::OwnedShared {
+                owner: 2,
+                sharers: SharerSet::single(1)
+            }
+        );
+        // The last sharer leaves: collapse to a plain owner.
+        d.remove_holder(line, 1);
+        assert_eq!(d.entry(line), DirectoryEntry::Owned { owner: 2 });
+        // The owner leaves while replicas remain: they stay as clean sharers.
+        d.set_entry(line, DirectoryEntry::OwnedShared { owner: 2, sharers });
+        d.remove_holder(line, 2);
+        assert_eq!(d.entry(line), DirectoryEntry::Shared(sharers));
+    }
+
+    #[test]
+    fn owned_shared_invariants() {
+        let mut d = Directory::new(4);
+        let line = LineAddr::new(0x31);
+        // Owner inside the sharer set is a violation.
+        d.set_entry(
+            line,
+            DirectoryEntry::OwnedShared {
+                owner: 1,
+                sharers: SharerSet::single(1),
+            },
+        );
+        assert!(!d.check_invariants(line));
+        // Empty sharer set is a violation (it should be Owned instead).
+        d.set_entry(
+            line,
+            DirectoryEntry::OwnedShared {
+                owner: 1,
+                sharers: SharerSet::empty(),
+            },
+        );
+        assert!(!d.check_invariants(line));
     }
 
     #[test]

@@ -1,15 +1,19 @@
-//! Directory MESI coherence protocol for the Refrint reproduction.
+//! Directory coherence protocols (MESI and Dragon) for the Refrint
+//! reproduction.
 //!
 //! The paper employs a directory MESI protocol with the directory maintained
-//! at the shared, inclusive L3 (Chapter 5). This crate provides the
-//! protocol-level pieces:
+//! at the shared, inclusive L3 (Chapter 5); an update-based Dragon variant
+//! is provided behind the same directory abstraction as an experiment axis.
+//! This crate provides the protocol-level pieces:
 //!
 //! * [`directory`] — per-line directory entries (owner / sharer bit-vector)
 //!   and the directory array kept alongside each L3 bank.
-//! * [`protocol`] — the transaction-level MESI transition logic: given a
-//!   request (read / write / eviction / write-back) and the current directory
-//!   entry, it computes the new states, the set of caches to invalidate or
-//!   downgrade, and the messages that must cross the network.
+//! * [`protocol`] — the transaction-level transition logic: given a request
+//!   (read / write / eviction / write-back) and the current directory entry,
+//!   it computes the new states, the set of caches to invalidate, downgrade,
+//!   or update, and the messages that must cross the network. The
+//!   [`protocol::CoherenceEngine`] enum selects MESI or Dragon at
+//!   construction time.
 //! * [`msg`] — coherence message descriptors used for traffic/energy
 //!   accounting.
 //!
@@ -43,4 +47,7 @@ pub mod protocol;
 
 pub use directory::{Directory, DirectoryEntry, SharerSet};
 pub use error::CoherenceError;
-pub use protocol::{AccessOutcome, CoreRequest, DirectoryProtocol};
+pub use protocol::{
+    AccessOutcome, CoherenceEngine, CoherenceProtocol, CoreRequest, DirectoryProtocol,
+    DragonProtocol,
+};

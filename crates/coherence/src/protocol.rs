@@ -1,4 +1,4 @@
-//! Transaction-level directory MESI protocol.
+//! Transaction-level directory coherence protocols.
 //!
 //! [`DirectoryProtocol::access`] resolves one core request against the
 //! directory: it computes the new directory entry, which private copies must
@@ -7,12 +7,74 @@
 //! The caller (the CMP simulator) applies the corresponding changes to the
 //! actual cache arrays and converts the outcome into latency and energy;
 //! cumulative message traffic is reported via the protocol's statistics.
+//!
+//! [`DragonProtocol`] is the update-based alternative: writes to shared
+//! lines broadcast word updates to the other holders instead of
+//! invalidating them, using the [`MesiState::SharedModified`] (`Sm`) state
+//! and the [`DirectoryEntry::OwnedShared`] directory entry. Both engines
+//! sit behind the [`CoherenceEngine`] dispatcher, selected by a
+//! [`CoherenceProtocol`] axis value.
+
+use std::fmt;
+use std::str::FromStr;
 
 use refrint_engine::stats::StatRegistry;
 use refrint_mem::addr::LineAddr;
 use refrint_mem::line::MesiState;
 
 use crate::directory::{Directory, DirectoryEntry, SharerSet};
+
+/// The coherence protocol a simulated chip runs. The invalidation-based
+/// directory MESI protocol is the default (and the paper's baseline); the
+/// update-based Dragon protocol is the alternative sweep axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CoherenceProtocol {
+    /// Invalidation-based directory MESI (the default).
+    #[default]
+    Mesi,
+    /// Update-based Dragon: writes to shared lines broadcast updates.
+    Dragon,
+}
+
+impl CoherenceProtocol {
+    /// Every protocol, default first.
+    pub const ALL: [CoherenceProtocol; 2] = [CoherenceProtocol::Mesi, CoherenceProtocol::Dragon];
+
+    /// The canonical lower-case label (`mesi` / `dragon`) used by CLI
+    /// flags, scenario specs and sweep config fields.
+    #[must_use]
+    pub const fn label(self) -> &'static str {
+        match self {
+            CoherenceProtocol::Mesi => "mesi",
+            CoherenceProtocol::Dragon => "dragon",
+        }
+    }
+
+    /// Whether this is the default protocol (labels and cache keys omit
+    /// the axis entirely for the default, keeping them byte-identical to
+    /// their pre-Dragon form).
+    #[must_use]
+    pub fn is_default(self) -> bool {
+        self == CoherenceProtocol::default()
+    }
+}
+
+impl fmt::Display for CoherenceProtocol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl FromStr for CoherenceProtocol {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Self::ALL
+            .into_iter()
+            .find(|p| p.label() == s)
+            .ok_or_else(|| format!("unknown coherence protocol `{s}` (expected mesi or dragon)"))
+    }
+}
 
 /// A request from a core's private hierarchy to the directory.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -44,14 +106,22 @@ pub struct AccessOutcome {
     /// Tiles whose private copies must be invalidated, excluding the
     /// requester.
     pub invalidate: SharerSet,
-    /// Tile whose Modified copy must be downgraded (and written back to L3)
-    /// before the request completes.
+    /// Tile whose owned copy must be downgraded before the request
+    /// completes. Under MESI the owner's dirty data is written back to the
+    /// L3 (`owner_writeback` is true); under Dragon the owner keeps its
+    /// dirty data in `Sm` (`owner_writeback` is false) and supplies the
+    /// requester cache-to-cache.
     pub downgrade_owner: Option<usize>,
     /// Whether the previous owner's dirty data is written back into the L3
     /// as part of this transaction.
     pub owner_writeback: bool,
+    /// Tiles whose private copies receive a word update (Dragon writes to
+    /// shared lines). They stay valid as clean sharers; a dirty copy among
+    /// them hands its write-back responsibility to the requester. Always
+    /// empty under MESI.
+    pub update: SharerSet,
     /// On-chip messages this transaction exchanged (request, forwarded
-    /// invalidations/acks, data reply), for traffic accounting.
+    /// invalidations/updates/acks, data reply), for traffic accounting.
     pub message_count: u64,
 }
 
@@ -63,6 +133,7 @@ impl AccessOutcome {
             invalidate: SharerSet::empty(),
             downgrade_owner: None,
             owner_writeback: false,
+            update: SharerSet::empty(),
             message_count: 0,
         }
     }
@@ -84,6 +155,36 @@ struct ProtocolCounters {
     dirty_evictions_absorbed: u64,
     clean_evictions: u64,
     inclusive_invalidations: u64,
+    /// Word updates broadcast to remote holders; only the Dragon engine
+    /// increments this, so MESI statistics stay byte-identical.
+    updates_sent: u64,
+}
+
+impl ProtocolCounters {
+    /// Materializes the fired counters into a [`StatRegistry`].
+    fn stats(&self) -> StatRegistry {
+        let c = self;
+        let mut out = StatRegistry::new();
+        for (name, value) in [
+            ("messages", c.messages),
+            ("reads", c.reads),
+            ("writes", c.writes),
+            ("redundant_reads", c.redundant_reads),
+            ("owner_downgrades", c.owner_downgrades),
+            ("invalidations_sent", c.invalidations_sent),
+            ("silent_upgrades", c.silent_upgrades),
+            ("owner_transfers", c.owner_transfers),
+            ("dirty_evictions_absorbed", c.dirty_evictions_absorbed),
+            ("clean_evictions", c.clean_evictions),
+            ("inclusive_invalidations", c.inclusive_invalidations),
+            ("updates_sent", c.updates_sent),
+        ] {
+            if value > 0 {
+                out.add(name, value);
+            }
+        }
+        out
+    }
 }
 
 /// The directory-side protocol engine.
@@ -117,26 +218,7 @@ impl DirectoryProtocol {
     /// the shape of an incrementally built registry.
     #[must_use]
     pub fn stats(&self) -> StatRegistry {
-        let c = &self.counters;
-        let mut out = StatRegistry::new();
-        for (name, value) in [
-            ("messages", c.messages),
-            ("reads", c.reads),
-            ("writes", c.writes),
-            ("redundant_reads", c.redundant_reads),
-            ("owner_downgrades", c.owner_downgrades),
-            ("invalidations_sent", c.invalidations_sent),
-            ("silent_upgrades", c.silent_upgrades),
-            ("owner_transfers", c.owner_transfers),
-            ("dirty_evictions_absorbed", c.dirty_evictions_absorbed),
-            ("clean_evictions", c.clean_evictions),
-            ("inclusive_invalidations", c.inclusive_invalidations),
-        ] {
-            if value > 0 {
-                out.add(name, value);
-            }
-        }
-        out
+        self.counters.stats()
     }
 
     /// Resolves `request` from `tile` for `line` against `dir`.
@@ -175,6 +257,7 @@ impl DirectoryProtocol {
             invalidate: SharerSet::empty(),
             downgrade_owner: None,
             owner_writeback: false,
+            update: SharerSet::empty(),
             message_count: 2,
         };
         match dir.entry(line) {
@@ -211,6 +294,9 @@ impl DirectoryProtocol {
                 let sharers: SharerSet = [owner, tile].into_iter().collect();
                 dir.set_entry(line, DirectoryEntry::Shared(sharers));
             }
+            DirectoryEntry::OwnedShared { .. } => {
+                unreachable!("MESI never creates OwnedShared entries")
+            }
         }
         debug_assert!(dir.check_invariants(line));
         out
@@ -225,6 +311,7 @@ impl DirectoryProtocol {
             invalidate: SharerSet::empty(),
             downgrade_owner: None,
             owner_writeback: false,
+            update: SharerSet::empty(),
             message_count: 2,
         };
         match dir.entry(line) {
@@ -245,6 +332,9 @@ impl DirectoryProtocol {
                 out.owner_writeback = true;
                 out.invalidate = SharerSet::single(owner);
                 out.message_count += 2; // forwarded invalidation + ack
+            }
+            DirectoryEntry::OwnedShared { .. } => {
+                unreachable!("MESI never creates OwnedShared entries")
             }
         }
         dir.set_entry(line, DirectoryEntry::Owned { owner: tile });
@@ -282,6 +372,323 @@ impl DirectoryProtocol {
         self.counters.inclusive_invalidations += holders.len() as u64;
         dir.forget(line);
         (holders, had_dirty)
+    }
+}
+
+/// The directory-side Dragon (update-based) protocol engine.
+///
+/// Dragon keeps writes visible instead of exclusive: a write to a line
+/// other tiles hold broadcasts the written word to them (they stay valid,
+/// clean sharers) and leaves the writer in [`MesiState::SharedModified`],
+/// responsible for the eventual write-back. Reads of an owned line are
+/// served cache-to-cache without forcing the owner's dirty data into the
+/// L3. The request surface, outcome shape and statistics match
+/// [`DirectoryProtocol`], so the simulator drives both through one code
+/// path.
+#[derive(Debug, Clone)]
+pub struct DragonProtocol {
+    num_tiles: usize,
+    counters: ProtocolCounters,
+}
+
+impl DragonProtocol {
+    /// Creates a Dragon engine for `num_tiles` tiles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_tiles` is zero or greater than 64.
+    #[must_use]
+    pub fn new(num_tiles: usize) -> Self {
+        assert!(
+            num_tiles > 0 && num_tiles <= 64,
+            "protocol supports 1..=64 tiles"
+        );
+        DragonProtocol {
+            num_tiles,
+            counters: ProtocolCounters::default(),
+        }
+    }
+
+    /// Protocol statistics; same shape as [`DirectoryProtocol::stats`],
+    /// plus `updates_sent` once updates have been broadcast.
+    #[must_use]
+    pub fn stats(&self) -> StatRegistry {
+        self.counters.stats()
+    }
+
+    /// Resolves `request` from `tile` for `line` against `dir`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tile` is out of range.
+    pub fn access(
+        &mut self,
+        dir: &mut Directory,
+        line: LineAddr,
+        tile: usize,
+        request: CoreRequest,
+    ) -> AccessOutcome {
+        assert!(tile < self.num_tiles, "tile {tile} out of range");
+        let out = match request {
+            CoreRequest::Read => self.read(dir, line, tile),
+            CoreRequest::Write => self.write(dir, line, tile),
+            CoreRequest::EvictClean => self.evict(dir, line, tile, false),
+            CoreRequest::EvictDirty => self.evict(dir, line, tile, true),
+        };
+        self.counters.messages += out.message_count;
+        out
+    }
+
+    fn read(&mut self, dir: &mut Directory, line: LineAddr, tile: usize) -> AccessOutcome {
+        self.counters.reads += 1;
+        // Request to the home node plus the data reply.
+        let mut out = AccessOutcome {
+            fill_state: MesiState::Shared,
+            fills_requester: true,
+            invalidate: SharerSet::empty(),
+            downgrade_owner: None,
+            owner_writeback: false,
+            update: SharerSet::empty(),
+            message_count: 2,
+        };
+        match dir.entry(line) {
+            DirectoryEntry::Uncached => {
+                out.fill_state = MesiState::Exclusive;
+                dir.set_entry(line, DirectoryEntry::Owned { owner: tile });
+            }
+            DirectoryEntry::Shared(mut sharers) => {
+                if sharers.contains(tile) {
+                    self.counters.redundant_reads += 1;
+                } else {
+                    sharers.insert(tile);
+                }
+                dir.set_entry(line, DirectoryEntry::Shared(sharers));
+            }
+            DirectoryEntry::Owned { owner } if owner == tile => {
+                out.fill_state = MesiState::Exclusive;
+                self.counters.redundant_reads += 1;
+            }
+            DirectoryEntry::Owned { owner } => {
+                // Dragon: the owner supplies the data cache-to-cache and
+                // keeps its dirty copy in Sm — no write-back into the L3
+                // (owner_writeback stays false).
+                self.counters.owner_downgrades += 1;
+                out.downgrade_owner = Some(owner);
+                out.message_count += 2; // forwarded request + data reply
+                dir.set_entry(
+                    line,
+                    DirectoryEntry::OwnedShared {
+                        owner,
+                        sharers: SharerSet::single(tile),
+                    },
+                );
+            }
+            DirectoryEntry::OwnedShared { owner, sharers: _ } if owner == tile => {
+                // The Sm owner re-reads (e.g. refilling after a policy
+                // invalidation of its private copy); it keeps write-back
+                // responsibility.
+                out.fill_state = MesiState::SharedModified;
+                self.counters.redundant_reads += 1;
+            }
+            DirectoryEntry::OwnedShared { owner, mut sharers } => {
+                if sharers.contains(tile) {
+                    self.counters.redundant_reads += 1;
+                } else {
+                    // A new reader joins; the Sm owner forwards the data.
+                    sharers.insert(tile);
+                    out.message_count += 2; // forwarded request + data reply
+                    dir.set_entry(line, DirectoryEntry::OwnedShared { owner, sharers });
+                }
+            }
+        }
+        debug_assert!(dir.check_invariants(line));
+        out
+    }
+
+    fn write(&mut self, dir: &mut Directory, line: LineAddr, tile: usize) -> AccessOutcome {
+        self.counters.writes += 1;
+        // Request to the home node plus the data reply.
+        let mut out = AccessOutcome {
+            fill_state: MesiState::Modified,
+            fills_requester: true,
+            invalidate: SharerSet::empty(),
+            downgrade_owner: None,
+            owner_writeback: false,
+            update: SharerSet::empty(),
+            message_count: 2,
+        };
+        match dir.entry(line) {
+            DirectoryEntry::Uncached => {
+                dir.set_entry(line, DirectoryEntry::Owned { owner: tile });
+            }
+            DirectoryEntry::Shared(sharers) => {
+                let targets = sharers.without(tile);
+                if targets.is_empty() {
+                    // Sole sharer: the write promotes to a private M copy.
+                    dir.set_entry(line, DirectoryEntry::Owned { owner: tile });
+                } else {
+                    // Broadcast the written word; every other sharer stays
+                    // a valid clean replica and the writer becomes the Sm
+                    // owner.
+                    self.counters.updates_sent += targets.len() as u64;
+                    out.message_count += 2 * targets.len() as u64; // update + ack each
+                    out.update = targets;
+                    out.fill_state = MesiState::SharedModified;
+                    dir.set_entry(
+                        line,
+                        DirectoryEntry::OwnedShared {
+                            owner: tile,
+                            sharers: targets,
+                        },
+                    );
+                }
+            }
+            DirectoryEntry::Owned { owner } if owner == tile => {
+                self.counters.silent_upgrades += 1;
+            }
+            DirectoryEntry::Owned { owner } => {
+                // Ownership transfers: the old owner's copy is brought up
+                // to date (its dirty words migrate to the writer cache-to-
+                // cache) and it stays as a clean sharer.
+                self.counters.owner_transfers += 1;
+                self.counters.updates_sent += 1;
+                out.update = SharerSet::single(owner);
+                out.fill_state = MesiState::SharedModified;
+                out.message_count += 2; // forwarded update + ack
+                dir.set_entry(
+                    line,
+                    DirectoryEntry::OwnedShared {
+                        owner: tile,
+                        sharers: SharerSet::single(owner),
+                    },
+                );
+            }
+            DirectoryEntry::OwnedShared { owner, sharers } if owner == tile => {
+                // The Sm owner writes again: update every replica, keep
+                // the entry as is.
+                self.counters.updates_sent += sharers.len() as u64;
+                out.message_count += 2 * sharers.len() as u64;
+                out.update = sharers;
+                out.fill_state = MesiState::SharedModified;
+            }
+            DirectoryEntry::OwnedShared { owner, sharers } => {
+                // A replica (or a newcomer) writes: it takes over as Sm
+                // owner; the old owner and every other replica receive the
+                // update and become clean sharers.
+                let mut targets = sharers.without(tile);
+                targets.insert(owner);
+                self.counters.owner_transfers += 1;
+                self.counters.updates_sent += targets.len() as u64;
+                out.update = targets;
+                out.fill_state = MesiState::SharedModified;
+                out.message_count += 2 * targets.len() as u64;
+                dir.set_entry(
+                    line,
+                    DirectoryEntry::OwnedShared {
+                        owner: tile,
+                        sharers: targets,
+                    },
+                );
+            }
+        }
+        debug_assert!(dir.check_invariants(line));
+        out
+    }
+
+    fn evict(
+        &mut self,
+        dir: &mut Directory,
+        line: LineAddr,
+        tile: usize,
+        dirty: bool,
+    ) -> AccessOutcome {
+        let mut out = AccessOutcome::eviction();
+        out.message_count = 1; // the PutS/PutM notification
+        if dirty {
+            self.counters.dirty_evictions_absorbed += 1;
+            out.owner_writeback = true;
+        } else {
+            self.counters.clean_evictions += 1;
+        }
+        dir.remove_holder(line, tile);
+        debug_assert!(dir.check_invariants(line));
+        out
+    }
+
+    /// See [`DirectoryProtocol::invalidate_all`].
+    pub fn invalidate_all(&mut self, dir: &mut Directory, line: LineAddr) -> (SharerSet, bool) {
+        let entry = dir.entry(line);
+        let holders = entry.holders();
+        let had_dirty = entry.is_owned();
+        self.counters.inclusive_invalidations += holders.len() as u64;
+        dir.forget(line);
+        (holders, had_dirty)
+    }
+}
+
+/// The protocol engine a [`CoherenceProtocol`] axis value selects — one
+/// enum so the simulator stores and drives either protocol through a
+/// single field with no dynamic dispatch.
+#[derive(Debug, Clone)]
+pub enum CoherenceEngine {
+    /// Invalidation-based directory MESI.
+    Mesi(DirectoryProtocol),
+    /// Update-based Dragon.
+    Dragon(DragonProtocol),
+}
+
+impl CoherenceEngine {
+    /// Creates the engine `protocol` names for `num_tiles` tiles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_tiles` is zero or greater than 64.
+    #[must_use]
+    pub fn new(protocol: CoherenceProtocol, num_tiles: usize) -> Self {
+        match protocol {
+            CoherenceProtocol::Mesi => CoherenceEngine::Mesi(DirectoryProtocol::new(num_tiles)),
+            CoherenceProtocol::Dragon => CoherenceEngine::Dragon(DragonProtocol::new(num_tiles)),
+        }
+    }
+
+    /// Which protocol this engine runs.
+    #[must_use]
+    pub fn protocol(&self) -> CoherenceProtocol {
+        match self {
+            CoherenceEngine::Mesi(_) => CoherenceProtocol::Mesi,
+            CoherenceEngine::Dragon(_) => CoherenceProtocol::Dragon,
+        }
+    }
+
+    /// Resolves `request`; see [`DirectoryProtocol::access`].
+    pub fn access(
+        &mut self,
+        dir: &mut Directory,
+        line: LineAddr,
+        tile: usize,
+        request: CoreRequest,
+    ) -> AccessOutcome {
+        match self {
+            CoherenceEngine::Mesi(p) => p.access(dir, line, tile, request),
+            CoherenceEngine::Dragon(p) => p.access(dir, line, tile, request),
+        }
+    }
+
+    /// See [`DirectoryProtocol::invalidate_all`].
+    pub fn invalidate_all(&mut self, dir: &mut Directory, line: LineAddr) -> (SharerSet, bool) {
+        match self {
+            CoherenceEngine::Mesi(p) => p.invalidate_all(dir, line),
+            CoherenceEngine::Dragon(p) => p.invalidate_all(dir, line),
+        }
+    }
+
+    /// Protocol statistics; see [`DirectoryProtocol::stats`].
+    #[must_use]
+    pub fn stats(&self) -> StatRegistry {
+        match self {
+            CoherenceEngine::Mesi(p) => p.stats(),
+            CoherenceEngine::Dragon(p) => p.stats(),
+        }
     }
 }
 
@@ -436,5 +843,210 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn protocol_labels_round_trip() {
+        for p in CoherenceProtocol::ALL {
+            assert_eq!(p.label().parse::<CoherenceProtocol>().unwrap(), p);
+            assert_eq!(p.to_string(), p.label());
+        }
+        assert_eq!(CoherenceProtocol::default(), CoherenceProtocol::Mesi);
+        assert!(CoherenceProtocol::Mesi.is_default());
+        assert!(!CoherenceProtocol::Dragon.is_default());
+        assert!("moesi".parse::<CoherenceProtocol>().is_err());
+    }
+
+    fn dragon_setup() -> (Directory, DragonProtocol, LineAddr) {
+        (
+            Directory::new(16),
+            DragonProtocol::new(16),
+            LineAddr::new(0x40),
+        )
+    }
+
+    #[test]
+    fn dragon_write_to_shared_updates_instead_of_invalidating() {
+        let (mut dir, mut p, line) = dragon_setup();
+        p.access(&mut dir, line, 0, CoreRequest::Read);
+        p.access(&mut dir, line, 1, CoreRequest::Read);
+        p.access(&mut dir, line, 2, CoreRequest::Read);
+        let out = p.access(&mut dir, line, 3, CoreRequest::Write);
+        assert!(
+            out.invalidate.is_empty(),
+            "Dragon never invalidates on write"
+        );
+        assert_eq!(out.update.iter().collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(out.fill_state, MesiState::SharedModified);
+        assert_eq!(out.message_count, 2 + 2 * 3);
+        assert_eq!(
+            dir.entry(line),
+            DirectoryEntry::OwnedShared {
+                owner: 3,
+                sharers: [0, 1, 2].into_iter().collect(),
+            }
+        );
+        assert_eq!(p.stats().get("updates_sent"), 3);
+        assert_eq!(p.stats().get("invalidations_sent"), 0);
+    }
+
+    #[test]
+    fn dragon_sole_sharer_write_promotes_to_modified() {
+        let (mut dir, mut p, line) = dragon_setup();
+        p.access(&mut dir, line, 0, CoreRequest::Read);
+        p.access(&mut dir, line, 1, CoreRequest::Read);
+        p.access(&mut dir, line, 1, CoreRequest::EvictClean);
+        let out = p.access(&mut dir, line, 0, CoreRequest::Write);
+        assert_eq!(out.fill_state, MesiState::Modified);
+        assert!(out.update.is_empty());
+        assert_eq!(dir.entry(line), DirectoryEntry::Owned { owner: 0 });
+    }
+
+    #[test]
+    fn dragon_read_of_owned_keeps_dirty_in_owner() {
+        let (mut dir, mut p, line) = dragon_setup();
+        p.access(&mut dir, line, 0, CoreRequest::Write);
+        let out = p.access(&mut dir, line, 1, CoreRequest::Read);
+        assert_eq!(out.downgrade_owner, Some(0));
+        assert!(
+            !out.owner_writeback,
+            "Dragon forwards cache-to-cache; the owner keeps its dirty copy"
+        );
+        assert_eq!(out.fill_state, MesiState::Shared);
+        assert_eq!(out.message_count, 2 + 2);
+        assert_eq!(
+            dir.entry(line),
+            DirectoryEntry::OwnedShared {
+                owner: 0,
+                sharers: SharerSet::single(1),
+            }
+        );
+        // A third reader is served by the Sm owner without another downgrade.
+        let out = p.access(&mut dir, line, 2, CoreRequest::Read);
+        assert_eq!(out.downgrade_owner, None);
+        assert_eq!(out.message_count, 2 + 2);
+        assert_eq!(dir.entry(line).holders().len(), 3);
+    }
+
+    #[test]
+    fn dragon_write_steals_ownership_via_update() {
+        let (mut dir, mut p, line) = dragon_setup();
+        p.access(&mut dir, line, 0, CoreRequest::Write);
+        let out = p.access(&mut dir, line, 1, CoreRequest::Write);
+        assert!(out.invalidate.is_empty());
+        assert_eq!(out.update, SharerSet::single(0));
+        assert_eq!(out.fill_state, MesiState::SharedModified);
+        assert_eq!(
+            dir.entry(line),
+            DirectoryEntry::OwnedShared {
+                owner: 1,
+                sharers: SharerSet::single(0),
+            }
+        );
+        assert_eq!(p.stats().get("owner_transfers"), 1);
+        assert_eq!(p.stats().get("updates_sent"), 1);
+    }
+
+    #[test]
+    fn dragon_sm_owner_rewrites_keep_broadcasting() {
+        let (mut dir, mut p, line) = dragon_setup();
+        p.access(&mut dir, line, 0, CoreRequest::Read);
+        p.access(&mut dir, line, 1, CoreRequest::Read);
+        p.access(&mut dir, line, 0, CoreRequest::Write); // 0 becomes Sm owner
+        let out = p.access(&mut dir, line, 0, CoreRequest::Write);
+        assert_eq!(out.update, SharerSet::single(1));
+        assert_eq!(out.fill_state, MesiState::SharedModified);
+        assert_eq!(p.stats().get("updates_sent"), 2);
+        assert_eq!(p.stats().get("silent_upgrades"), 0);
+        // A sharer writing takes over ownership; the old owner joins the
+        // update targets.
+        let out = p.access(&mut dir, line, 1, CoreRequest::Write);
+        assert_eq!(out.update, SharerSet::single(0));
+        assert_eq!(
+            dir.entry(line),
+            DirectoryEntry::OwnedShared {
+                owner: 1,
+                sharers: SharerSet::single(0),
+            }
+        );
+        assert_eq!(p.stats().get("owner_transfers"), 1);
+    }
+
+    #[test]
+    fn dragon_owner_eviction_leaves_sharers() {
+        let (mut dir, mut p, line) = dragon_setup();
+        p.access(&mut dir, line, 0, CoreRequest::Read);
+        p.access(&mut dir, line, 1, CoreRequest::Read);
+        p.access(&mut dir, line, 0, CoreRequest::Write);
+        // The Sm owner evicts its dirty copy: the write-back is real, the
+        // remaining replica becomes a plain sharer.
+        let out = p.access(&mut dir, line, 0, CoreRequest::EvictDirty);
+        assert!(out.owner_writeback);
+        assert_eq!(
+            dir.entry(line),
+            DirectoryEntry::Shared(SharerSet::single(1))
+        );
+        // And a sharer evicting under an Sm owner collapses back to Owned.
+        p.access(&mut dir, line, 0, CoreRequest::Read);
+        p.access(&mut dir, line, 0, CoreRequest::Write);
+        p.access(&mut dir, line, 1, CoreRequest::EvictClean);
+        assert_eq!(dir.entry(line), DirectoryEntry::Owned { owner: 0 });
+    }
+
+    #[test]
+    fn dragon_invalidate_all_reports_sm_dirty() {
+        let (mut dir, mut p, line) = dragon_setup();
+        p.access(&mut dir, line, 0, CoreRequest::Read);
+        p.access(&mut dir, line, 1, CoreRequest::Read);
+        p.access(&mut dir, line, 0, CoreRequest::Write);
+        let (holders, dirty) = p.invalidate_all(&mut dir, line);
+        assert_eq!(holders.iter().collect::<Vec<_>>(), vec![0, 1]);
+        assert!(dirty, "the Sm owner held the only up-to-date copy");
+        assert_eq!(dir.entry(line), DirectoryEntry::Uncached);
+    }
+
+    #[test]
+    fn dragon_invariants_over_random_traffic() {
+        use refrint_engine::rng::DeterministicRng;
+        let mut dir = Directory::new(16);
+        let mut p = DragonProtocol::new(16);
+        let mut rng = DeterministicRng::from_seed(4096);
+        let lines: Vec<LineAddr> = (0..8).map(LineAddr::new).collect();
+        for _ in 0..5000 {
+            let line = lines[rng.below(8) as usize];
+            let tile = rng.below(16) as usize;
+            let req = match rng.below(4) {
+                0 => CoreRequest::Read,
+                1 => CoreRequest::Write,
+                2 => CoreRequest::EvictClean,
+                _ => CoreRequest::EvictDirty,
+            };
+            let out = p.access(&mut dir, line, tile, req);
+            // Dragon resolves writes with updates, never invalidations.
+            assert!(out.invalidate.is_empty());
+            for &l in &lines {
+                assert!(dir.check_invariants(l));
+            }
+        }
+        assert_eq!(p.stats().get("invalidations_sent"), 0);
+    }
+
+    #[test]
+    fn engine_dispatches_by_protocol() {
+        let mut dir = Directory::new(4);
+        let mut engine = CoherenceEngine::new(CoherenceProtocol::Dragon, 4);
+        assert_eq!(engine.protocol(), CoherenceProtocol::Dragon);
+        let line = LineAddr::new(0x9);
+        engine.access(&mut dir, line, 0, CoreRequest::Read);
+        engine.access(&mut dir, line, 1, CoreRequest::Read);
+        let out = engine.access(&mut dir, line, 2, CoreRequest::Write);
+        assert_eq!(out.fill_state, MesiState::SharedModified);
+        assert_eq!(engine.stats().get("updates_sent"), 2);
+        let (holders, dirty) = engine.invalidate_all(&mut dir, line);
+        assert_eq!(holders.len(), 3);
+        assert!(dirty);
+
+        let mesi = CoherenceEngine::new(CoherenceProtocol::Mesi, 4);
+        assert_eq!(mesi.protocol(), CoherenceProtocol::Mesi);
     }
 }

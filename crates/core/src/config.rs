@@ -4,10 +4,13 @@
 use std::fmt;
 use std::sync::Arc;
 
+use refrint_coherence::protocol::CoherenceProtocol;
 use refrint_edram::model::PolicyFactory;
 use refrint_edram::policy::{DataPolicy, RefreshPolicy, TimePolicy};
 use refrint_edram::retention::RetentionConfig;
+use refrint_edram::variation::RetentionProfile;
 use refrint_energy::tech::{CellTech, TechnologyParams};
+use refrint_engine::time::Cycle;
 use refrint_mem::config::CacheLevelConfig;
 use refrint_noc::latency::LinkParams;
 use refrint_noc::topology::Torus;
@@ -41,6 +44,13 @@ pub struct SystemConfig {
     pub cells: CellTech,
     /// eDRAM retention configuration (ignored for SRAM).
     pub retention: RetentionConfig,
+    /// Per-bank retention variation profile (eDRAM only): how each L3
+    /// bank's actual retention is drawn around the nominal `retention`.
+    /// The default [`RetentionProfile::Uniform`] assigns nominal retention
+    /// everywhere and samples no randomness.
+    pub retention_profile: RetentionProfile,
+    /// The coherence protocol the chip runs (default MESI).
+    pub protocol: CoherenceProtocol,
     /// Refresh policy applied to the L3 (L1/L2 use the same time policy with
     /// the `Valid` data policy, per Section 6.2). Ignored for SRAM.
     pub policy: RefreshPolicy,
@@ -74,6 +84,8 @@ impl SystemConfig {
             core: CoreTimingModel::paper_default(),
             cells: CellTech::Sram,
             retention: RetentionConfig::microseconds_50(),
+            retention_profile: RetentionProfile::Uniform,
+            protocol: CoherenceProtocol::Mesi,
             policy: RefreshPolicy::edram_baseline(),
             l3_policy_model: None,
             tech: TechnologyParams::paper_default(),
@@ -134,6 +146,46 @@ impl SystemConfig {
     pub fn with_retention(mut self, retention: RetentionConfig) -> Self {
         self.retention = retention;
         self
+    }
+
+    /// Sets the per-bank retention variation profile (eDRAM only).
+    #[must_use]
+    pub fn with_retention_profile(mut self, profile: RetentionProfile) -> Self {
+        self.retention_profile = profile;
+        self
+    }
+
+    /// Sets the coherence protocol.
+    #[must_use]
+    pub fn with_protocol(mut self, protocol: CoherenceProtocol) -> Self {
+        self.protocol = protocol;
+        self
+    }
+
+    /// The actual retention configuration of each L3 bank: the nominal
+    /// retention scaled by the profile's sampled per-bank factor, floored
+    /// so the sentry margin (one cycle per line) always fits. With the
+    /// default uniform profile this is exactly the nominal retention in
+    /// every bank — no sampling, no rounding.
+    #[must_use]
+    pub fn bank_retentions(&self) -> Vec<RetentionConfig> {
+        if !self.cells.needs_refresh() || self.retention_profile.is_default() {
+            return vec![self.retention; self.l3_banks];
+        }
+        let factors = self
+            .retention_profile
+            .factors_per_mille(self.seed, self.l3_banks);
+        let base = self.retention.line_retention_cycles().raw();
+        let freq = self.retention.frequency();
+        let floor = self.l3_bank.geometry.num_lines() + 1;
+        factors
+            .into_iter()
+            .map(|f| {
+                let cycles = (base.saturating_mul(f) / 1000).max(floor);
+                RetentionConfig::new(freq.duration_of(Cycle::new(cycles)), freq)
+                    .expect("per-bank retention is at least the sentry margin")
+            })
+            .collect()
     }
 
     /// Sets the cell technology.
@@ -207,6 +259,8 @@ impl SystemConfig {
             }
         } else if self.l3_policy_model.is_some() {
             return Err(ConfigError::SramWithPolicyModel);
+        } else if !self.retention_profile.is_default() {
+            return Err(ConfigError::SramWithRetentionProfile);
         }
         Ok(())
     }
@@ -223,17 +277,27 @@ impl SystemConfig {
     }
 
     /// A short human-readable description of the technology/policy point,
-    /// e.g. `SRAM`, `eDRAM 50us P.all`, `eDRAM 100us R.WB(32,32)`.
+    /// e.g. `SRAM`, `eDRAM 50us P.all`, `eDRAM 100us R.WB(32,32)`. The
+    /// coherence protocol and retention profile are appended only when they
+    /// differ from the defaults, so every pre-existing label (and anything
+    /// keyed on it, such as the serve cache) is unchanged for default runs.
     #[must_use]
     pub fn label(&self) -> String {
-        match self.cells {
+        let mut label = match self.cells {
             CellTech::Sram => "SRAM".to_owned(),
             CellTech::Edram => format!(
                 "eDRAM {}us {}",
                 self.retention.retention().as_micros(),
                 self.l3_policy_factory().label()
             ),
+        };
+        if !self.protocol.is_default() {
+            label.push_str(&format!(" {}", self.protocol.label()));
         }
+        if !self.retention_profile.is_default() {
+            label.push_str(&format!(" {}", self.retention_profile.label()));
+        }
+        label
     }
 
     /// The workload model as a system with this configuration actually runs
@@ -298,8 +362,14 @@ impl fmt::Display for SystemConfig {
             self.l3_bank.geometry, self.l3_bank.access_latency
         )?;
         writeln!(f, "Cells           : {}", self.cells)?;
+        if !self.protocol.is_default() {
+            writeln!(f, "Coherence       : {}", self.protocol)?;
+        }
         if self.cells.needs_refresh() {
             writeln!(f, "Retention       : {}", self.retention)?;
+            if !self.retention_profile.is_default() {
+                writeln!(f, "Retention var.  : {}", self.retention_profile)?;
+            }
             writeln!(f, "Refresh policy  : {}", self.l3_policy_factory().label())?;
         }
         write!(f, "Seed            : {:#x}", self.seed)
@@ -384,5 +454,57 @@ mod tests {
     #[test]
     fn default_is_recommended() {
         assert_eq!(SystemConfig::default().label(), "eDRAM 50us R.WB(32,32)");
+    }
+
+    #[test]
+    fn non_default_axes_appear_in_label() {
+        let c = SystemConfig::edram_recommended()
+            .with_protocol(CoherenceProtocol::Dragon)
+            .with_retention_profile(RetentionProfile::Bimodal {
+                weak_pct: 25,
+                weak_retention_pct: 60,
+            });
+        assert_eq!(c.label(), "eDRAM 50us R.WB(32,32) dragon bimodal(25,60)");
+        c.validate().unwrap();
+        let sram = SystemConfig::sram_baseline().with_protocol(CoherenceProtocol::Dragon);
+        assert_eq!(sram.label(), "SRAM dragon");
+        sram.validate().unwrap();
+    }
+
+    #[test]
+    fn retention_profile_requires_edram() {
+        let c = SystemConfig::sram_baseline()
+            .with_retention_profile(RetentionProfile::Normal { sigma_pct: 10 });
+        assert_eq!(
+            c.validate_typed(),
+            Err(ConfigError::SramWithRetentionProfile)
+        );
+    }
+
+    #[test]
+    fn uniform_bank_retentions_are_nominal() {
+        let c = SystemConfig::edram_recommended();
+        let banks = c.bank_retentions();
+        assert_eq!(banks, vec![c.retention; 16]);
+    }
+
+    #[test]
+    fn varied_bank_retentions_respect_sentry_floor() {
+        let c =
+            SystemConfig::edram_recommended().with_retention_profile(RetentionProfile::Bimodal {
+                weak_pct: 100,
+                // 10% of 50 us = 5000 cycles, below the 16K-line margin:
+                // the floor must kick in.
+                weak_retention_pct: 10,
+            });
+        let floor = c.l3_bank.geometry.num_lines() + 1;
+        for r in c.bank_retentions() {
+            assert_eq!(r.line_retention_cycles().raw(), floor);
+        }
+        // And the sampled assignment is a pure function of the seed.
+        let again = c.clone().bank_retentions();
+        assert_eq!(c.bank_retentions(), again);
+        let other_seed = c.with_seed(999).bank_retentions();
+        assert_eq!(other_seed.len(), 16);
     }
 }

@@ -85,6 +85,8 @@ pub enum ConfigError {
     },
     /// A custom refresh-policy model was installed on SRAM cells.
     SramWithPolicyModel,
+    /// A retention-variation profile was configured on SRAM cells.
+    SramWithRetentionProfile,
     /// A policy model declared a global burst period too short to refresh
     /// the whole cache within it.
     InvalidBurstPeriod {
@@ -120,6 +122,10 @@ impl fmt::Display for ConfigError {
             ConfigError::SramWithPolicyModel => write!(
                 f,
                 "a custom refresh-policy model requires eDRAM cells (SRAM never refreshes)"
+            ),
+            ConfigError::SramWithRetentionProfile => write!(
+                f,
+                "a retention-variation profile requires eDRAM cells (SRAM never decays)"
             ),
             ConfigError::InvalidBurstPeriod {
                 period_cycles,

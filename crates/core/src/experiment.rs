@@ -7,9 +7,11 @@ use std::fmt;
 use std::path::PathBuf;
 use std::sync::Arc;
 
+use refrint_coherence::protocol::CoherenceProtocol;
 use refrint_edram::model::PolicyFactory;
 use refrint_edram::policy::RefreshPolicy;
 use refrint_edram::retention::RetentionConfig;
+use refrint_edram::variation::RetentionProfile;
 use refrint_trace::TraceFile;
 use refrint_workloads::apps::AppPreset;
 use refrint_workloads::classify::AppClass;
@@ -105,6 +107,16 @@ pub struct ExperimentConfig {
     /// Recorded traces swept alongside `apps` at every configuration point.
     /// Each trace's thread count must match `cores`.
     pub traces: Vec<TraceSpec>,
+    /// Coherence protocols to sweep (defaults to `[Mesi]`). Every workload
+    /// runs its SRAM baseline and every eDRAM point once per protocol;
+    /// non-default protocols suffix the report keys (e.g. `lu dragon`,
+    /// `R.WB(32,32) dragon`).
+    pub protocols: Vec<CoherenceProtocol>,
+    /// Per-bank retention-variation profiles to sweep (defaults to
+    /// `[Uniform]`). Profiles apply to eDRAM points only — the SRAM
+    /// baseline never decays — and non-default profiles suffix the policy
+    /// key (e.g. `R.WB(32,32) bimodal(25,60)`).
+    pub retention_profiles: Vec<RetentionProfile>,
 }
 
 impl ExperimentConfig {
@@ -120,6 +132,8 @@ impl ExperimentConfig {
             cores: 16,
             models: Vec::new(),
             traces: Vec::new(),
+            protocols: vec![CoherenceProtocol::Mesi],
+            retention_profiles: vec![RetentionProfile::Uniform],
         }
     }
 
@@ -136,6 +150,8 @@ impl ExperimentConfig {
             cores: 16,
             models: Vec::new(),
             traces: Vec::new(),
+            protocols: vec![CoherenceProtocol::Mesi],
+            retention_profiles: vec![RetentionProfile::Uniform],
         }
     }
 
@@ -167,13 +183,30 @@ impl ExperimentConfig {
         self
     }
 
+    /// Replaces the coherence-protocol axis.
+    #[must_use]
+    pub fn with_protocols(mut self, protocols: Vec<CoherenceProtocol>) -> Self {
+        self.protocols = protocols;
+        self
+    }
+
+    /// Replaces the retention-variation axis.
+    #[must_use]
+    pub fn with_retention_profiles(mut self, profiles: Vec<RetentionProfile>) -> Self {
+        self.retention_profiles = profiles;
+        self
+    }
+
     /// Total number of (workload × configuration) simulations the sweep
     /// will run, including the SRAM baselines. Applications and traces are
     /// both workloads.
     #[must_use]
     pub fn total_runs(&self) -> usize {
+        let protocols = self.protocols.len().max(1);
+        let profiles = self.retention_profiles.len().max(1);
         (self.apps.len() + self.traces.len())
-            * (1 + self.retentions_us.len() * (self.policies.len() + self.models.len()))
+            * protocols
+            * (1 + self.retentions_us.len() * (self.policies.len() + self.models.len()) * profiles)
     }
 
     pub(crate) fn retention(us: u64) -> Result<RetentionConfig, RefrintError> {
@@ -342,6 +375,7 @@ mod tests {
             cores: 4,
             models: Vec::new(),
             traces: Vec::new(),
+            ..ExperimentConfig::default()
         };
         let results = run_sweep(&cfg).unwrap();
         assert_eq!(results.sram.len(), 2);

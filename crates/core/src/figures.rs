@@ -240,6 +240,7 @@ mod tests {
             cores: 4,
             models: Vec::new(),
             traces: Vec::new(),
+            ..ExperimentConfig::default()
         };
         run_sweep(&cfg).unwrap()
     }

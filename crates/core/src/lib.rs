@@ -88,6 +88,8 @@ pub use anomaly::SweepAnomaly;
 pub use config::SystemConfig;
 pub use error::RefrintError;
 pub use experiment::{ExperimentConfig, SweepResults, TraceSpec};
+pub use refrint_coherence::protocol::CoherenceProtocol;
+pub use refrint_edram::variation::RetentionProfile;
 pub use report::SimReport;
 pub use simulation::{
     BuildError, ObsConfig, ObsSummary, RelativeMetrics, RunOutcome, Simulation, SimulationBuilder,
@@ -103,12 +105,14 @@ pub mod prelude {
     pub use crate::simulation::{BuildError, RunOutcome, Simulation, SimulationBuilder};
     pub use crate::sweep::{ProgressObserver, SweepProgress, SweepRunner};
     pub use crate::system::CmpSystem;
+    pub use refrint_coherence::protocol::CoherenceProtocol;
     pub use refrint_edram::model::{
         PolicyBinding, PolicyFactory, PolicyRegistry, RefreshAction, RefreshPolicyModel,
     };
     pub use refrint_edram::policy::{DataPolicy, RefreshPolicy, TimePolicy};
     pub use refrint_edram::retention::RetentionConfig;
     pub use refrint_edram::schedule::LineKind;
+    pub use refrint_edram::variation::RetentionProfile;
     pub use refrint_energy::tech::CellTech;
     pub use refrint_trace::{TraceError, TraceFile, TraceFormat, TraceMeta, TraceSummary};
     pub use refrint_workloads::apps::AppPreset;

@@ -43,9 +43,11 @@ use std::fmt;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
+use refrint_coherence::protocol::CoherenceProtocol;
 use refrint_edram::model::{PolicyFactory, PolicyRegistry};
 use refrint_edram::policy::RefreshPolicy;
 use refrint_edram::retention::RetentionConfig;
+use refrint_edram::variation::RetentionProfile;
 use refrint_energy::breakdown::EnergyBreakdown;
 use refrint_energy::tech::CellTech;
 use refrint_trace::{TraceFile, TraceFormat, TraceMeta};
@@ -186,6 +188,8 @@ pub struct SimulationBuilder {
     policy_model: Option<Arc<dyn PolicyFactory>>,
     retention: Option<RetentionConfig>,
     retention_us: Option<u64>,
+    retention_profile: Option<RetentionProfile>,
+    protocol: Option<CoherenceProtocol>,
     cores: Option<usize>,
     l3_banks: Option<usize>,
     seed: Option<u64>,
@@ -254,6 +258,23 @@ impl SimulationBuilder {
     #[must_use]
     pub fn policy_model(mut self, factory: Arc<dyn PolicyFactory>) -> Self {
         self.policy_model = Some(factory);
+        self
+    }
+
+    /// Sets the coherence protocol (invalidation-based MESI — the default —
+    /// or update-based Dragon).
+    #[must_use]
+    pub fn protocol(mut self, protocol: CoherenceProtocol) -> Self {
+        self.protocol = Some(protocol);
+        self
+    }
+
+    /// Sets the per-bank retention-variation profile (eDRAM only; the
+    /// default `Uniform` profile leaves every bank at the nominal
+    /// retention).
+    #[must_use]
+    pub fn retention_profile(mut self, profile: RetentionProfile) -> Self {
+        self.retention_profile = Some(profile);
         self
     }
 
@@ -403,6 +424,11 @@ impl SimulationBuilder {
                     setting: "retention",
                 });
             }
+            if self.retention_profile.is_some_and(|p| !p.is_default()) {
+                return Err(BuildError::SramWithRefreshSettings {
+                    setting: "retention profile",
+                });
+            }
         }
         if let Some(policy) = self.policy {
             config = config.with_policy(policy);
@@ -433,6 +459,13 @@ impl SimulationBuilder {
                     reason: e.to_string(),
                 })?;
             config = config.with_retention(retention);
+        }
+
+        if let Some(profile) = self.retention_profile {
+            config = config.with_retention_profile(profile);
+        }
+        if let Some(protocol) = self.protocol {
+            config = config.with_protocol(protocol);
         }
 
         if let Some(cores) = self.cores {
@@ -474,6 +507,9 @@ impl SimulationBuilder {
             ConfigError::SramWithPolicyModel => {
                 BuildError::SramWithRefreshSettings { setting: "policy" }
             }
+            ConfigError::SramWithRetentionProfile => BuildError::SramWithRefreshSettings {
+                setting: "retention profile",
+            },
             other => BuildError::Invalid {
                 reason: other.to_string(),
             },
@@ -1086,6 +1122,64 @@ mod tests {
             other => panic!("unexpected error {other:?}"),
         }
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn builder_plumbs_protocol_and_retention_profile() {
+        let cfg = Simulation::builder()
+            .edram_recommended()
+            .protocol(CoherenceProtocol::Dragon)
+            .retention_profile(RetentionProfile::Normal { sigma_pct: 10 })
+            .cores(2)
+            .build_config()
+            .unwrap();
+        assert_eq!(cfg.protocol, CoherenceProtocol::Dragon);
+        assert_eq!(
+            cfg.retention_profile,
+            RetentionProfile::Normal { sigma_pct: 10 }
+        );
+        assert!(cfg.label().contains("dragon"), "{}", cfg.label());
+        assert!(cfg.label().contains("normal(10)"), "{}", cfg.label());
+    }
+
+    #[test]
+    fn sram_rejects_retention_profiles_with_a_typed_error() {
+        let err = Simulation::builder()
+            .sram_baseline()
+            .retention_profile(RetentionProfile::Bimodal {
+                weak_pct: 25,
+                weak_retention_pct: 60,
+            })
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            BuildError::SramWithRefreshSettings {
+                setting: "retention profile"
+            }
+        );
+        // A spelled-out Uniform profile is the default: SRAM accepts it.
+        let cfg = Simulation::builder()
+            .sram_baseline()
+            .retention_profile(RetentionProfile::Uniform)
+            .build_config()
+            .unwrap();
+        assert_eq!(
+            format!("{cfg:?}"),
+            format!("{:?}", SystemConfig::sram_baseline())
+        );
+    }
+
+    #[test]
+    fn dragon_on_sram_is_accepted() {
+        // Coherence is orthogonal to the cell technology.
+        let cfg = Simulation::builder()
+            .sram_baseline()
+            .protocol(CoherenceProtocol::Dragon)
+            .cores(2)
+            .build_config()
+            .unwrap();
+        assert_eq!(cfg.protocol, CoherenceProtocol::Dragon);
     }
 
     #[test]

@@ -38,8 +38,10 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
+use refrint_coherence::protocol::CoherenceProtocol;
 use refrint_edram::model::PolicyFactory;
 use refrint_edram::policy::RefreshPolicy;
+use refrint_edram::variation::RetentionProfile;
 use refrint_energy::tech::CellTech;
 use refrint_workloads::apps::AppPreset;
 
@@ -129,20 +131,42 @@ impl Workload {
 enum Job {
     Sram {
         workload: Workload,
+        protocol: CoherenceProtocol,
     },
     Edram {
         workload: Workload,
         retention_us: u64,
         policy: PolicyChoice,
+        protocol: CoherenceProtocol,
+        profile: RetentionProfile,
     },
 }
 
 impl Job {
     fn workload(&self) -> &Workload {
         match self {
-            Job::Sram { workload } | Job::Edram { workload, .. } => workload,
+            Job::Sram { workload, .. } | Job::Edram { workload, .. } => workload,
         }
     }
+}
+
+/// The report-key suffix carrying a point's non-default axes — empty for
+/// the default MESI + uniform combination, so default sweeps keep their
+/// historical keys (and JSON documents) byte for byte. Public because the
+/// serve coordinator composes the same keys when it merges fanned-out
+/// point reports; one implementation keeps the two byte-identical.
+#[must_use]
+pub fn axis_suffix(protocol: CoherenceProtocol, profile: RetentionProfile) -> String {
+    let mut suffix = String::new();
+    if !protocol.is_default() {
+        suffix.push(' ');
+        suffix.push_str(protocol.label());
+    }
+    if !profile.is_default() {
+        suffix.push(' ');
+        suffix.push_str(&profile.label());
+    }
+    suffix
 }
 
 /// Runs an experiment sweep across a configurable number of worker threads.
@@ -218,25 +242,46 @@ impl SweepRunner {
             .iter()
             .map(|&app| Workload::App(app))
             .chain(self.config.traces.iter().cloned().map(Workload::Trace));
+        let protocols: &[CoherenceProtocol] = if self.config.protocols.is_empty() {
+            &[CoherenceProtocol::Mesi]
+        } else {
+            &self.config.protocols
+        };
+        let profiles: &[RetentionProfile] = if self.config.retention_profiles.is_empty() {
+            &[RetentionProfile::Uniform]
+        } else {
+            &self.config.retention_profiles
+        };
         let mut jobs = Vec::with_capacity(self.config.total_runs());
         for workload in workloads {
-            jobs.push(Job::Sram {
-                workload: workload.clone(),
-            });
-            for &retention_us in &self.config.retentions_us {
-                for &policy in &self.config.policies {
-                    jobs.push(Job::Edram {
-                        workload: workload.clone(),
-                        retention_us,
-                        policy: PolicyChoice::Builtin(policy),
-                    });
-                }
-                for factory in &self.config.models {
-                    jobs.push(Job::Edram {
-                        workload: workload.clone(),
-                        retention_us,
-                        policy: PolicyChoice::Custom(Arc::clone(factory)),
-                    });
+            for &protocol in protocols {
+                jobs.push(Job::Sram {
+                    workload: workload.clone(),
+                    protocol,
+                });
+                for &retention_us in &self.config.retentions_us {
+                    for &policy in &self.config.policies {
+                        for &profile in profiles {
+                            jobs.push(Job::Edram {
+                                workload: workload.clone(),
+                                retention_us,
+                                policy: PolicyChoice::Builtin(policy),
+                                protocol,
+                                profile,
+                            });
+                        }
+                    }
+                    for factory in &self.config.models {
+                        for &profile in profiles {
+                            jobs.push(Job::Edram {
+                                workload: workload.clone(),
+                                retention_us,
+                                policy: PolicyChoice::Custom(Arc::clone(factory)),
+                                protocol,
+                                profile,
+                            });
+                        }
+                    }
                 }
             }
         }
@@ -249,15 +294,19 @@ impl SweepRunner {
             .with_seed(self.config.seed)
             .with_scale(self.config.refs_per_thread);
         Ok(match job {
-            Job::Sram { .. } => base,
+            Job::Sram { protocol, .. } => base.with_protocol(*protocol),
             Job::Edram {
                 retention_us,
                 policy,
+                protocol,
+                profile,
                 ..
             } => {
                 let base = base
                     .with_cells(CellTech::Edram)
-                    .with_retention(ExperimentConfig::retention(*retention_us)?);
+                    .with_retention(ExperimentConfig::retention(*retention_us)?)
+                    .with_protocol(*protocol)
+                    .with_retention_profile(*profile);
                 match policy {
                     PolicyChoice::Builtin(policy) => base.with_policy(*policy),
                     PolicyChoice::Custom(factory) => base
@@ -439,17 +488,25 @@ impl SweepRunner {
                 .expect("with no failed job, every index was claimed and filled")
                 .expect("errors were returned above");
             match job {
-                Job::Sram { workload } => {
-                    results.sram.insert(workload.key(), report);
+                Job::Sram { workload, protocol } => {
+                    let key = format!(
+                        "{}{}",
+                        workload.key(),
+                        axis_suffix(*protocol, RetentionProfile::Uniform)
+                    );
+                    results.sram.insert(key, report);
                 }
                 Job::Edram {
                     workload,
                     retention_us,
                     policy,
+                    protocol,
+                    profile,
                 } => {
+                    let label = format!("{}{}", policy.label(), axis_suffix(*protocol, *profile));
                     results
                         .edram
-                        .insert((workload.key(), *retention_us, policy.label()), report);
+                        .insert((workload.key(), *retention_us, label), report);
                 }
             }
         }
@@ -476,6 +533,7 @@ mod tests {
             cores: 4,
             models: Vec::new(),
             traces: Vec::new(),
+            ..ExperimentConfig::default()
         }
     }
 
@@ -568,6 +626,52 @@ mod tests {
         config.traces = vec![TraceSpec::named("ghost", "/nonexistent/ghost.rft")];
         let err = SweepRunner::new(config).workers(2).run().unwrap_err();
         assert!(matches!(err, RefrintError::Trace { .. }), "{err}");
+    }
+
+    #[test]
+    fn protocol_and_profile_axes_expand_and_compose_keys() {
+        let mut config = tiny_config();
+        config.apps = vec![AppPreset::Lu];
+        config.policies = vec![RefreshPolicy::recommended()];
+        config.protocols = vec![CoherenceProtocol::Mesi, CoherenceProtocol::Dragon];
+        config.retention_profiles = vec![
+            RetentionProfile::Uniform,
+            RetentionProfile::Bimodal {
+                weak_pct: 25,
+                weak_retention_pct: 60,
+            },
+        ];
+        // 1 app x 2 protocols x (1 SRAM + 1 retention x 1 policy x 2 profiles).
+        assert_eq!(config.total_runs(), 6);
+        let results = SweepRunner::new(config).workers(3).run().unwrap();
+        assert_eq!(results.sram.len(), 2);
+        assert_eq!(results.edram.len(), 4);
+        assert!(results.sram.contains_key("lu"));
+        assert!(results.sram.contains_key("lu dragon"));
+        for label in [
+            "R.WB(32,32)",
+            "R.WB(32,32) bimodal(25,60)",
+            "R.WB(32,32) dragon",
+            "R.WB(32,32) dragon bimodal(25,60)",
+        ] {
+            assert!(
+                results.edram_report_named("lu", 50, label).is_some(),
+                "missing point `{label}`"
+            );
+        }
+        // The default-axes point is byte-identical to a sweep without the
+        // new axes at all.
+        let mut plain = tiny_config();
+        plain.apps = vec![AppPreset::Lu];
+        plain.policies = vec![RefreshPolicy::recommended()];
+        let plain = SweepRunner::new(plain).sequential().run().unwrap();
+        assert_eq!(
+            format!("{:?}", results.edram_report_named("lu", 50, "R.WB(32,32)")),
+            format!("{:?}", plain.edram_report_named("lu", 50, "R.WB(32,32)")),
+        );
+        // The sweep JSON carries the composed labels.
+        let doc = crate::json::sweep(&results);
+        assert!(doc.contains("R.WB(32,32) dragon bimodal(25,60)"), "{doc}");
     }
 
     #[test]

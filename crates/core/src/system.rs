@@ -1,9 +1,10 @@
 //! The chip-multiprocessor system simulator.
 //!
 //! [`CmpSystem`] assembles the paper's 16-core chip (private DL1/L2 per tile,
-//! shared 16-bank L3 with a directory MESI protocol over a 4×4 torus, DRAM
-//! behind the L3), runs deterministic synthetic workloads through it, and
-//! produces [`SimReport`]s with execution time, event counts and energy.
+//! shared 16-bank L3 with a directory protocol — MESI by default, update-
+//! based Dragon as an experiment axis — over a 4×4 torus, DRAM behind the
+//! L3), runs deterministic synthetic workloads through it, and produces
+//! [`SimReport`]s with execution time, event counts and energy.
 //!
 //! ## Simulation model
 //!
@@ -23,7 +24,7 @@
 //! low-visibility (Class 3) applications, as the paper describes.
 
 use refrint_coherence::directory::Directory;
-use refrint_coherence::protocol::{CoreRequest, DirectoryProtocol};
+use refrint_coherence::protocol::{CoherenceEngine, CoreRequest};
 use refrint_energy::accounting::EnergyCounts;
 use refrint_energy::breakdown::EnergyBreakdown;
 use refrint_engine::event::EventQueue;
@@ -62,7 +63,7 @@ pub struct CmpSystem {
     tiles: Vec<Tile>,
     l3: Vec<L3Bank>,
     dir: Directory,
-    protocol: DirectoryProtocol,
+    protocol: CoherenceEngine,
     dram: DramModel,
     torus: Torus,
     counts: EnergyCounts,
@@ -128,17 +129,22 @@ impl CmpSystem {
             })
             .collect();
 
+        // Per-bank retention: nominal everywhere under the uniform profile,
+        // sampled per bank otherwise.
+        let bank_retentions = cfg.bank_retentions();
         let l3 = (0..cfg.l3_banks)
             .map(|b| {
+                let bank_retention = bank_retentions[b];
                 // Stagger periodic refresh phases across banks so bursts do
-                // not line up chip-wide.
+                // not line up chip-wide (each bank phases within its own
+                // retention period).
                 let phase = Cycle::new(
-                    (b as u64 * retention.line_retention_cycles().raw()) / cfg.l3_banks as u64,
+                    (b as u64 * bank_retention.line_retention_cycles().raw()) / cfg.l3_banks as u64,
                 );
                 let refresh = RefreshDomain::from_factory(
                     &cfg.l3_bank,
                     cfg.l3_policy_factory(),
-                    retention,
+                    bank_retention,
                     cells,
                     phase,
                 )
@@ -165,7 +171,7 @@ impl CmpSystem {
 
         Ok(CmpSystem {
             dir: Directory::new(cfg.cores),
-            protocol: DirectoryProtocol::new(cfg.cores),
+            protocol: CoherenceEngine::new(cfg.protocol, cfg.cores),
             dram: DramModel::paper_default(),
             torus: cfg.torus,
             tiles,
@@ -550,13 +556,21 @@ impl CmpSystem {
         }
         if let Some(owner) = outcome.downgrade_owner {
             if !outcome.invalidate.contains(owner) {
-                let d = self.downgrade_private_copy(owner, bank, line, now);
+                let d =
+                    self.downgrade_private_copy(owner, bank, line, now, outcome.owner_writeback);
                 worst_remote = worst_remote.max(d);
                 remote_messages += 1;
             } else if outcome.owner_writeback {
                 // The owner's dirty data lands in the L3 as part of the
                 // invalidation handled above.
             }
+        }
+        // Dragon update broadcasts: the written word is pushed to every
+        // remote replica, which stays a valid clean sharer.
+        for target in outcome.update.iter() {
+            let d = self.update_private_copy(target, bank, line, now);
+            worst_remote = worst_remote.max(d);
+            remote_messages += 1;
         }
         if worst_remote > Cycle::ZERO {
             self.obs.record(
@@ -632,14 +646,19 @@ impl CmpSystem {
         latency
     }
 
-    /// Downgrades the owner of `line` to Shared, writing its dirty data back
-    /// into the home L3 bank; returns the round-trip latency.
+    /// Downgrades the owner of `line` on behalf of the directory; returns
+    /// the round-trip latency. With `writeback_into_l3` (MESI) the owner's
+    /// dirty data lands in the home L3 bank and the owner becomes a clean
+    /// sharer. Without it (Dragon) the data is forwarded cache-to-cache
+    /// only: a dirty owner keeps its dirty copy in `Sm` and remains
+    /// responsible for the eventual write-back.
     fn downgrade_private_copy(
         &mut self,
         owner: usize,
         bank: usize,
         line: LineAddr,
         now: Cycle,
+        writeback_into_l3: bool,
     ) -> Cycle {
         let hops = self.hops(bank, owner);
         self.counts.noc_flit_hops += u64::from(hops) * (self.ctrl_flits + self.data_flits);
@@ -654,13 +673,64 @@ impl CmpSystem {
             .line(line)
             .map(|l| l.is_dirty())
             .unwrap_or(false);
-        self.tiles[owner].l2.set_state(line, MesiState::Shared);
-        self.tiles[owner].dl1.set_state(line, MesiState::Shared);
-        if was_dirty {
-            self.counts.l3_accesses += 1;
-            if let Some(l3_line) = self.l3[bank].cache.line_mut(line) {
-                l3_line.write(now);
+        if writeback_into_l3 {
+            self.tiles[owner].l2.set_state(line, MesiState::Shared);
+            self.tiles[owner].dl1.set_state(line, MesiState::Shared);
+            if was_dirty {
+                self.counts.l3_accesses += 1;
+                if let Some(l3_line) = self.l3[bank].cache.line_mut(line) {
+                    l3_line.write(now);
+                }
             }
+        } else {
+            let l2_state = if was_dirty {
+                MesiState::SharedModified
+            } else {
+                MesiState::Shared
+            };
+            self.tiles[owner].l2.set_state(line, l2_state);
+            self.tiles[owner].dl1.set_state(line, MesiState::Shared);
+        }
+        latency
+    }
+
+    /// Applies a Dragon update to `target`'s private copies of `line`: the
+    /// written word is merged in place, so the copies stay valid clean
+    /// sharers (a dirty old owner hands its data to the writer cache-to-
+    /// cache, with no L3 or DRAM traffic). Rewriting the cells recharges
+    /// the line, so its refresh history is settled and its touch reset.
+    /// Returns the round-trip latency seen from the home bank.
+    fn update_private_copy(
+        &mut self,
+        target: usize,
+        bank: usize,
+        line: LineAddr,
+        now: Cycle,
+    ) -> Cycle {
+        let hops = self.hops(bank, target);
+        self.counts.noc_flit_hops += u64::from(hops) * self.ctrl_flits * 2;
+        let latency = self
+            .cfg
+            .link
+            .message_latency(hops, self.cfg.link.control_bytes)
+            * 2;
+
+        if let Some(prev) = self.tiles[target].l2.line(line).copied() {
+            let s =
+                self.tiles[target]
+                    .l2_refresh
+                    .settle(line_kind(&prev), prev.meta.last_touch, now);
+            self.counts.l2_refreshes += s.refreshes;
+            if let Some(l) = self.tiles[target].l2.line_mut(line) {
+                l.state = MesiState::Shared;
+                l.meta.mark_clean();
+                l.meta.touch(now);
+            }
+        }
+        if let Some(l) = self.tiles[target].dl1.line_mut(line) {
+            l.state = MesiState::Shared;
+            l.meta.mark_clean();
+            l.meta.touch(now);
         }
         latency
     }
@@ -1070,5 +1140,73 @@ mod tests {
         let r = sys.run_app(AppPreset::Barnes);
         assert_eq!(r.counts.dl1_accesses, 4 * 2_000);
         assert!(r.execution_cycles > 0);
+    }
+
+    #[test]
+    fn dragon_runs_update_traffic_instead_of_invalidations() {
+        use refrint_coherence::protocol::CoherenceProtocol;
+        let base = SystemConfig::edram_recommended()
+            .with_cores(4)
+            .with_scale(3_000)
+            .with_seed(11);
+        let mut mesi = CmpSystem::new(base.clone()).unwrap();
+        let rm = mesi.run_app(AppPreset::Radix);
+        let mut dragon = CmpSystem::new(base.with_protocol(CoherenceProtocol::Dragon)).unwrap();
+        let rd = dragon.run_app(AppPreset::Radix);
+        assert!(rd.execution_cycles > 0);
+        assert_eq!(rd.stats.get("coherence.invalidations_sent"), 0);
+        assert!(
+            rd.stats.get("coherence.updates_sent") > 0,
+            "a sharing workload must broadcast updates under Dragon"
+        );
+        assert!(rm.stats.get("coherence.updates_sent") == 0);
+        // Same workload traffic either way.
+        assert_eq!(rm.counts.dl1_accesses, rd.counts.dl1_accesses);
+        // Dragon is deterministic too.
+        let mut again = CmpSystem::new(
+            SystemConfig::edram_recommended()
+                .with_cores(4)
+                .with_scale(3_000)
+                .with_seed(11)
+                .with_protocol(CoherenceProtocol::Dragon),
+        )
+        .unwrap();
+        let rd2 = again.run_app(AppPreset::Radix);
+        assert_eq!(rd.execution_cycles, rd2.execution_cycles);
+        assert_eq!(rd.counts, rd2.counts);
+    }
+
+    #[test]
+    fn retention_profile_changes_refresh_behaviour_deterministically() {
+        use refrint_edram::variation::RetentionProfile;
+        let base = SystemConfig::edram_recommended()
+            .with_cores(4)
+            .with_scale(3_000)
+            .with_seed(11);
+        let uniform = {
+            let mut sys = CmpSystem::new(base.clone()).unwrap();
+            sys.run_app(AppPreset::Lu)
+        };
+        let profile = RetentionProfile::Bimodal {
+            weak_pct: 50,
+            weak_retention_pct: 40,
+        };
+        let varied = {
+            let mut sys = CmpSystem::new(base.clone().with_retention_profile(profile)).unwrap();
+            sys.run_app(AppPreset::Lu)
+        };
+        // Weak banks refresh more often than nominal ones.
+        assert!(
+            varied.counts.l3_refreshes > uniform.counts.l3_refreshes,
+            "weak banks must raise the refresh count ({} vs {})",
+            varied.counts.l3_refreshes,
+            uniform.counts.l3_refreshes
+        );
+        let varied_again = {
+            let mut sys = CmpSystem::new(base.with_retention_profile(profile)).unwrap();
+            sys.run_app(AppPreset::Lu)
+        };
+        assert_eq!(varied.counts, varied_again.counts);
+        assert_eq!(varied.execution_cycles, varied_again.execution_cycles);
     }
 }

@@ -67,6 +67,7 @@ pub mod policy;
 pub mod retention;
 pub mod schedule;
 pub mod sentry;
+pub mod variation;
 
 pub use controller::{PeriodicBurstModel, RefrintContention};
 pub use error::EdramError;
@@ -75,3 +76,4 @@ pub use policy::{DataPolicy, RefreshPolicy, TimePolicy};
 pub use retention::RetentionConfig;
 pub use schedule::{DecaySchedule, LineKind, Settlement};
 pub use sentry::SentryGroupConfig;
+pub use variation::RetentionProfile;

@@ -1,0 +1,298 @@
+//! Per-bank retention variation profiles.
+//!
+//! Retention time is a strong function of process variation: within one die,
+//! different eDRAM macros leak at visibly different rates, which is why the
+//! paper reports a *measured worst case* (40 µs at 105 °C) rather than a
+//! nominal figure. A [`RetentionProfile`] models that spread as a
+//! deterministic, seeded assignment of a retention *scale factor* to each L3
+//! bank: the nominal retention stays the sweep axis, and the profile says how
+//! far each bank deviates from it.
+//!
+//! Everything here is integer arithmetic on per-mille factors — no floating
+//! point — so the sampled assignment is bit-identical across platforms and
+//! worker counts. The "normal" profile uses an Irwin–Hall sum (twelve
+//! uniforms) as its Gaussian approximation for the same reason.
+
+use std::fmt;
+use std::str::FromStr;
+
+use refrint_engine::rng::DeterministicRng;
+
+/// Domain-separation constant mixed into the simulation seed so the
+/// retention sampler never shares a stream with workload generation.
+const RETENTION_STREAM: u64 = 0x7265_7465_6e74_696f;
+
+/// How per-bank retention scale factors are drawn.
+///
+/// Factors are expressed in per-mille of the nominal retention: `1000`
+/// means the bank retains exactly as long as the configured retention time.
+/// The [`RetentionProfile::Uniform`] default assigns `1000` to every bank
+/// without consuming any randomness, so the default path is bit-identical
+/// to a simulator that has never heard of retention variation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum RetentionProfile {
+    /// Every bank retains for exactly the nominal retention time.
+    #[default]
+    Uniform,
+    /// Factors are approximately normally distributed around the nominal
+    /// retention with a standard deviation of `sigma_pct` percent, clamped
+    /// to [5 %, 400 %] of nominal.
+    Normal {
+        /// Standard deviation, in percent of the nominal retention (1–100).
+        sigma_pct: u8,
+    },
+    /// A fraction of banks are "weak" (fast-leaking): each bank is weak
+    /// with probability `weak_pct` percent, and weak banks retain for
+    /// `weak_retention_pct` percent of nominal; the rest are nominal.
+    Bimodal {
+        /// Percentage of banks expected to be weak (0–100).
+        weak_pct: u8,
+        /// Retention of a weak bank, in percent of nominal (1–100).
+        weak_retention_pct: u8,
+    },
+}
+
+impl RetentionProfile {
+    /// Factor clamp bounds, per mille of nominal retention.
+    const MIN_FACTOR: i64 = 50;
+    const MAX_FACTOR: i64 = 4000;
+
+    /// The canonical label used in spec strings, CLI flags, and cache keys.
+    /// Round-trips through [`FromStr`].
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            RetentionProfile::Uniform => "uniform".to_owned(),
+            RetentionProfile::Normal { sigma_pct } => format!("normal({sigma_pct})"),
+            RetentionProfile::Bimodal {
+                weak_pct,
+                weak_retention_pct,
+            } => format!("bimodal({weak_pct},{weak_retention_pct})"),
+        }
+    }
+
+    /// Whether this is the default (uniform) profile — the one that must
+    /// keep every output byte-identical to the pre-variation simulator.
+    #[must_use]
+    pub fn is_default(&self) -> bool {
+        matches!(self, RetentionProfile::Uniform)
+    }
+
+    /// Samples the per-bank retention factors, in per-mille of nominal.
+    ///
+    /// The assignment depends only on `(self, seed, banks)`: bank `b`'s
+    /// factor is drawn from a stream forked per bank, so it is independent
+    /// of how many banks are sampled after it and of any threading in the
+    /// caller. Uniform profiles consume no randomness at all.
+    #[must_use]
+    pub fn factors_per_mille(&self, seed: u64, banks: usize) -> Vec<u64> {
+        match *self {
+            RetentionProfile::Uniform => vec![1000; banks],
+            RetentionProfile::Normal { sigma_pct } => {
+                let root = DeterministicRng::from_seed(seed ^ RETENTION_STREAM);
+                (0..banks)
+                    .map(|b| {
+                        let mut rng = root.fork(b as u64);
+                        // Irwin–Hall: the sum of 12 uniforms on [0, 2000]
+                        // has mean 12000 and standard deviation 2000, so
+                        // (sum - 12000) / 2000 approximates a standard
+                        // normal using integers only.
+                        let sum: i64 = (0..12).map(|_| rng.below(2001) as i64).sum();
+                        let factor = 1000 + i64::from(sigma_pct) * (sum - 12_000) / 200;
+                        factor.clamp(Self::MIN_FACTOR, Self::MAX_FACTOR) as u64
+                    })
+                    .collect()
+            }
+            RetentionProfile::Bimodal {
+                weak_pct,
+                weak_retention_pct,
+            } => {
+                let root = DeterministicRng::from_seed(seed ^ RETENTION_STREAM);
+                (0..banks)
+                    .map(|b| {
+                        let mut rng = root.fork(b as u64);
+                        if rng.below(100) < u64::from(weak_pct) {
+                            u64::from(weak_retention_pct) * 10
+                        } else {
+                            1000
+                        }
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+impl fmt::Display for RetentionProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+/// Error returned when a retention-profile label fails to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseRetentionProfileError {
+    reason: String,
+}
+
+impl fmt::Display for ParseRetentionProfileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.reason)
+    }
+}
+
+impl std::error::Error for ParseRetentionProfileError {}
+
+fn parse_err(reason: impl Into<String>) -> ParseRetentionProfileError {
+    ParseRetentionProfileError {
+        reason: reason.into(),
+    }
+}
+
+fn parse_pct(s: &str, what: &str, min: u8) -> Result<u8, ParseRetentionProfileError> {
+    let v: u8 = s
+        .trim()
+        .parse()
+        .map_err(|_| parse_err(format!("{what} `{s}` is not a number in 0..=100")))?;
+    if v > 100 || v < min {
+        return Err(parse_err(format!("{what} {v} out of range {min}..=100")));
+    }
+    Ok(v)
+}
+
+impl FromStr for RetentionProfile {
+    type Err = ParseRetentionProfileError;
+
+    /// Parses `uniform`, `normal(SIGMA)`, or `bimodal(WEAK,RETENTION)` —
+    /// the exact strings [`RetentionProfile::label`] produces.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        if s == "uniform" {
+            return Ok(RetentionProfile::Uniform);
+        }
+        if let Some(args) = s.strip_prefix("normal(").and_then(|r| r.strip_suffix(')')) {
+            let sigma_pct = parse_pct(args, "normal sigma", 1)?;
+            return Ok(RetentionProfile::Normal { sigma_pct });
+        }
+        if let Some(args) = s.strip_prefix("bimodal(").and_then(|r| r.strip_suffix(')')) {
+            let (weak, ret) = args.split_once(',').ok_or_else(|| {
+                parse_err("bimodal profile needs two arguments: bimodal(WEAK_PCT,RETENTION_PCT)")
+            })?;
+            let weak_pct = parse_pct(weak, "bimodal weak fraction", 0)?;
+            let weak_retention_pct = parse_pct(ret, "bimodal weak retention", 1)?;
+            return Ok(RetentionProfile::Bimodal {
+                weak_pct,
+                weak_retention_pct,
+            });
+        }
+        Err(parse_err(format!(
+            "unknown retention profile `{s}` (expected uniform, normal(SIGMA), or \
+             bimodal(WEAK_PCT,RETENTION_PCT))"
+        )))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_assigns_nominal_everywhere() {
+        let f = RetentionProfile::Uniform.factors_per_mille(42, 8);
+        assert_eq!(f, vec![1000; 8]);
+        assert!(RetentionProfile::default().is_default());
+    }
+
+    #[test]
+    fn labels_round_trip() {
+        for p in [
+            RetentionProfile::Uniform,
+            RetentionProfile::Normal { sigma_pct: 10 },
+            RetentionProfile::Bimodal {
+                weak_pct: 25,
+                weak_retention_pct: 60,
+            },
+        ] {
+            assert_eq!(p.label().parse::<RetentionProfile>().unwrap(), p);
+            assert_eq!(p.to_string(), p.label());
+        }
+    }
+
+    #[test]
+    fn parse_rejects_nonsense() {
+        assert!("gaussian".parse::<RetentionProfile>().is_err());
+        assert!("normal(0)".parse::<RetentionProfile>().is_err());
+        assert!("normal(101)".parse::<RetentionProfile>().is_err());
+        assert!("bimodal(25)".parse::<RetentionProfile>().is_err());
+        assert!("bimodal(25,0)".parse::<RetentionProfile>().is_err());
+        assert!("bimodal(200,60)".parse::<RetentionProfile>().is_err());
+        assert!("normal(abc)".parse::<RetentionProfile>().is_err());
+    }
+
+    #[test]
+    fn parse_tolerates_whitespace() {
+        assert_eq!(
+            " bimodal( 25 , 60 ) ".parse::<RetentionProfile>().unwrap(),
+            RetentionProfile::Bimodal {
+                weak_pct: 25,
+                weak_retention_pct: 60,
+            }
+        );
+    }
+
+    #[test]
+    fn sampling_is_per_bank_stable() {
+        // The factor of bank b must not depend on how many banks exist:
+        // this is what makes per-bank settlement order-independent.
+        let p = RetentionProfile::Normal { sigma_pct: 20 };
+        let four = p.factors_per_mille(7, 4);
+        let sixteen = p.factors_per_mille(7, 16);
+        assert_eq!(&sixteen[..4], &four[..]);
+    }
+
+    #[test]
+    fn sampling_is_seed_sensitive() {
+        let p = RetentionProfile::Normal { sigma_pct: 20 };
+        assert_ne!(p.factors_per_mille(1, 16), p.factors_per_mille(2, 16));
+        // And deterministic per seed.
+        assert_eq!(p.factors_per_mille(1, 16), p.factors_per_mille(1, 16));
+    }
+
+    #[test]
+    fn normal_factors_center_on_nominal() {
+        let p = RetentionProfile::Normal { sigma_pct: 10 };
+        let f = p.factors_per_mille(3, 256);
+        let mean: u64 = f.iter().sum::<u64>() / f.len() as u64;
+        assert!((900..=1100).contains(&mean), "mean {mean} far from nominal");
+        assert!(f.iter().all(|&x| (50..=4000).contains(&x)));
+        // With 10% sigma there must be visible spread.
+        assert!(f.iter().any(|&x| x != 1000));
+    }
+
+    #[test]
+    fn bimodal_factors_are_two_valued() {
+        let p = RetentionProfile::Bimodal {
+            weak_pct: 25,
+            weak_retention_pct: 60,
+        };
+        let f = p.factors_per_mille(11, 256);
+        assert!(f.iter().all(|&x| x == 1000 || x == 600));
+        let weak = f.iter().filter(|&&x| x == 600).count();
+        // ~25% of 256 banks; allow generous slack for a 64-draw tail.
+        assert!((30..=100).contains(&weak), "weak count {weak}");
+    }
+
+    #[test]
+    fn bimodal_extremes() {
+        let all_weak = RetentionProfile::Bimodal {
+            weak_pct: 100,
+            weak_retention_pct: 50,
+        };
+        assert_eq!(all_weak.factors_per_mille(5, 8), vec![500; 8]);
+        let none_weak = RetentionProfile::Bimodal {
+            weak_pct: 0,
+            weak_retention_pct: 50,
+        };
+        assert_eq!(none_weak.factors_per_mille(5, 8), vec![1000; 8]);
+    }
+}

@@ -12,10 +12,13 @@ use refrint_engine::time::Cycle;
 
 use crate::addr::LineAddr;
 
-/// MESI coherence state of a line, as tracked by the owning cache.
+/// Coherence state of a line, as tracked by the owning cache.
 ///
 /// The directory protocol of the paper is MESI with the directory kept at
-/// the (inclusive) L3.
+/// the (inclusive) L3. The update-based Dragon protocol reuses the same
+/// states plus [`MesiState::SharedModified`] (Dragon's `Sm`): dirty like
+/// Modified, but replicated, so writes still need a coherence transaction
+/// to broadcast the update.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum MesiState {
     /// Line not present / invalidated.
@@ -27,6 +30,10 @@ pub enum MesiState {
     Exclusive,
     /// Present, dirty, sole valid copy on chip.
     Modified,
+    /// Present, dirty, *and* replicated (Dragon `Sm`): this cache is
+    /// responsible for the write-back, but other caches hold clean copies,
+    /// so writes must broadcast updates rather than proceed silently.
+    SharedModified,
 }
 
 impl MesiState {
@@ -39,7 +46,7 @@ impl MesiState {
     /// Whether the line is dirty with respect to the next level.
     #[must_use]
     pub const fn is_dirty(self) -> bool {
-        matches!(self, MesiState::Modified)
+        matches!(self, MesiState::Modified | MesiState::SharedModified)
     }
 
     /// Whether the cache holding this line may service a write without a
@@ -54,12 +61,13 @@ impl MesiState {
     #[must_use]
     pub const fn after_writeback(self) -> MesiState {
         match self {
-            MesiState::Modified => MesiState::Shared,
+            MesiState::Modified | MesiState::SharedModified => MesiState::Shared,
             other => other,
         }
     }
 
-    /// A single-character mnemonic (`M`, `E`, `S`, `I`).
+    /// A single-character mnemonic (`M`, `E`, `S`, `I`, or `m` for
+    /// [`MesiState::SharedModified`]).
     #[must_use]
     pub const fn mnemonic(self) -> char {
         match self {
@@ -67,6 +75,7 @@ impl MesiState {
             MesiState::Shared => 'S',
             MesiState::Exclusive => 'E',
             MesiState::Modified => 'M',
+            MesiState::SharedModified => 'm',
         }
     }
 }
@@ -179,10 +188,15 @@ impl CacheLine {
         self.meta.touch(now);
     }
 
-    /// Applies a write access at `now`, upgrading the line to Modified.
+    /// Applies a write access at `now`, upgrading the line to Modified. A
+    /// [`MesiState::SharedModified`] line stays `Sm` — it is already dirty,
+    /// and only a coherence transaction may promote it (other caches still
+    /// hold copies).
     pub fn write(&mut self, now: Cycle) {
         debug_assert!(self.is_valid(), "write of an invalid line");
-        self.state = MesiState::Modified;
+        if self.state != MesiState::SharedModified {
+            self.state = MesiState::Modified;
+        }
         self.meta.touch(now);
         self.meta.mark_dirty(now);
     }
@@ -224,6 +238,27 @@ mod tests {
         assert!(MesiState::Exclusive.can_write_silently());
         assert!(!MesiState::Shared.can_write_silently());
         assert_eq!(MesiState::default(), MesiState::Invalid);
+        // Dragon's Sm: dirty, but replicated, so never silently writable.
+        assert!(MesiState::SharedModified.is_valid());
+        assert!(MesiState::SharedModified.is_dirty());
+        assert!(!MesiState::SharedModified.can_write_silently());
+    }
+
+    #[test]
+    fn shared_modified_lifecycle() {
+        assert_eq!(
+            MesiState::SharedModified.after_writeback(),
+            MesiState::Shared
+        );
+        assert_eq!(MesiState::SharedModified.mnemonic(), 'm');
+        // write() must not promote Sm to M behind the protocol's back.
+        let mut line = CacheLine::new(LineAddr::new(2), MesiState::SharedModified, Cycle::new(3));
+        assert_eq!(line.meta.dirty_since, Some(Cycle::new(3)));
+        line.write(Cycle::new(9));
+        assert_eq!(line.state, MesiState::SharedModified);
+        line.write_back();
+        assert_eq!(line.state, MesiState::Shared);
+        assert!(!line.is_dirty());
     }
 
     #[test]

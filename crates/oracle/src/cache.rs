@@ -159,8 +159,9 @@ impl OracleCache {
         self.bump("reads", 1);
     }
 
-    /// Writes a resident line: upgrades it to Modified, recency + touch +
-    /// write counter.
+    /// Writes a resident line: upgrades it to Modified (Dragon's
+    /// SharedModified stays put — writes there keep broadcasting updates),
+    /// recency + touch + write counter.
     ///
     /// # Panics
     ///
@@ -174,7 +175,9 @@ impl OracleCache {
         let line = self.sets[set].ways[way]
             .as_mut()
             .expect("found way is occupied");
-        line.state = MesiState::Modified;
+        if line.state != MesiState::SharedModified {
+            line.state = MesiState::Modified;
+        }
         line.last_touch = now;
         self.bump("writes", 1);
     }
@@ -210,6 +213,21 @@ impl OracleCache {
                 .as_mut()
                 .expect("found way is occupied")
                 .state = state;
+        }
+    }
+
+    /// Applies a Dragon update broadcast to a resident line: it becomes a
+    /// clean Shared replica touched at `now`. Recency is deliberately left
+    /// alone — the optimized simulator rewrites the line in place without
+    /// an LRU access. Silently does nothing when the line is absent.
+    pub fn apply_update(&mut self, addr: u64, now: Cycle) {
+        let set = self.set_of(addr);
+        if let Some(way) = self.sets[set].find(addr) {
+            let line = self.sets[set].ways[way]
+                .as_mut()
+                .expect("found way is occupied");
+            line.state = MesiState::Shared;
+            line.last_touch = now;
         }
     }
 

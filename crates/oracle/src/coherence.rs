@@ -1,8 +1,10 @@
-//! A naive directory MESI protocol: owner/sharer state in a `HashMap` of
-//! `BTreeSet`s, transitions written out longhand.
+//! Naive directory protocols: owner/sharer state in a `HashMap` of
+//! `BTreeSet`s, transitions written out longhand for both MESI
+//! (invalidation-based) and Dragon (update-based).
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
+use refrint::CoherenceProtocol;
 use refrint_engine::stats::StatRegistry;
 use refrint_mem::line::MesiState;
 
@@ -13,6 +15,9 @@ enum Entry {
     Shared(BTreeSet<usize>),
     /// Exactly one tile owns the line with write permission.
     Owned(usize),
+    /// Dragon only: `owner` holds a dirty `Sm` copy, `sharers` hold clean
+    /// replicas (`sharers` never contains the owner and is never empty).
+    OwnedShared(usize, BTreeSet<usize>),
 }
 
 /// What the directory decided for one request.
@@ -25,8 +30,14 @@ pub struct OracleOutcome {
     pub invalidate: Vec<usize>,
     /// Tile whose Modified copy must be downgraded first.
     pub downgrade_owner: Option<usize>,
-    /// Whether the previous owner's dirty data lands in the L3.
+    /// Whether the previous owner's dirty data lands in the L3. Under
+    /// Dragon downgrades this is `false`: the owner keeps its dirty copy
+    /// (`Sm`) and forwards the data cache-to-cache.
     pub owner_writeback: bool,
+    /// Dragon only: tiles whose copies receive the written word and stay
+    /// valid clean sharers (ascending, excluding the requester). Always
+    /// empty under MESI.
+    pub update: Vec<usize>,
 }
 
 /// The request kinds a private hierarchy issues.
@@ -45,15 +56,25 @@ pub enum OracleRequest {
 /// Naive directory + protocol engine.
 #[derive(Debug, Clone, Default)]
 pub struct OracleDirectory {
+    protocol: CoherenceProtocol,
     entries: HashMap<u64, Entry>,
     counters: BTreeMap<&'static str, u64>,
 }
 
 impl OracleDirectory {
-    /// Creates an empty directory.
+    /// Creates an empty MESI directory.
     #[must_use]
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty directory running `protocol`.
+    #[must_use]
+    pub fn with_protocol(protocol: CoherenceProtocol) -> Self {
+        OracleDirectory {
+            protocol,
+            ..Self::default()
+        }
     }
 
     fn bump(&mut self, name: &'static str, n: u64) {
@@ -63,24 +84,31 @@ impl OracleDirectory {
     /// Resolves `request` from `tile` for `line`, updating directory state
     /// and counters exactly as the optimized protocol specifies.
     pub fn access(&mut self, line: u64, tile: usize, request: OracleRequest) -> OracleOutcome {
-        let (outcome, messages) = match request {
-            OracleRequest::Read => self.read(line, tile),
-            OracleRequest::Write => self.write(line, tile),
-            OracleRequest::EvictClean => (self.evict(line, tile, false), 1),
-            OracleRequest::EvictDirty => (self.evict(line, tile, true), 1),
+        let (outcome, messages) = match (self.protocol, request) {
+            (_, OracleRequest::EvictClean) => (self.evict(line, tile, false), 1),
+            (_, OracleRequest::EvictDirty) => (self.evict(line, tile, true), 1),
+            (CoherenceProtocol::Mesi, OracleRequest::Read) => self.read(line, tile),
+            (CoherenceProtocol::Mesi, OracleRequest::Write) => self.write(line, tile),
+            (CoherenceProtocol::Dragon, OracleRequest::Read) => self.dragon_read(line, tile),
+            (CoherenceProtocol::Dragon, OracleRequest::Write) => self.dragon_write(line, tile),
         };
         self.bump("messages", messages);
         outcome
     }
 
-    fn read(&mut self, line: u64, tile: usize) -> (OracleOutcome, u64) {
-        self.bump("reads", 1);
-        let mut out = OracleOutcome {
-            fill_state: MesiState::Shared,
+    fn blank(fill_state: MesiState) -> OracleOutcome {
+        OracleOutcome {
+            fill_state,
             invalidate: Vec::new(),
             downgrade_owner: None,
             owner_writeback: false,
-        };
+            update: Vec::new(),
+        }
+    }
+
+    fn read(&mut self, line: u64, tile: usize) -> (OracleOutcome, u64) {
+        self.bump("reads", 1);
+        let mut out = Self::blank(MesiState::Shared);
         // Request to the home node plus the data reply.
         let mut messages = 2;
         match self.entries.get(&line).cloned() {
@@ -108,18 +136,14 @@ impl OracleDirectory {
                 let sharers: BTreeSet<usize> = [owner, tile].into_iter().collect();
                 self.entries.insert(line, Entry::Shared(sharers));
             }
+            Some(Entry::OwnedShared(..)) => unreachable!("MESI never creates OwnedShared entries"),
         }
         (out, messages)
     }
 
     fn write(&mut self, line: u64, tile: usize) -> (OracleOutcome, u64) {
         self.bump("writes", 1);
-        let mut out = OracleOutcome {
-            fill_state: MesiState::Modified,
-            invalidate: Vec::new(),
-            downgrade_owner: None,
-            owner_writeback: false,
-        };
+        let mut out = Self::blank(MesiState::Modified);
         let mut messages = 2;
         match self.entries.get(&line).cloned() {
             None => {}
@@ -139,8 +163,118 @@ impl OracleDirectory {
                 out.invalidate = vec![owner];
                 messages += 2; // forwarded invalidation + ack
             }
+            Some(Entry::OwnedShared(..)) => unreachable!("MESI never creates OwnedShared entries"),
         }
         self.entries.insert(line, Entry::Owned(tile));
+        (out, messages)
+    }
+
+    fn dragon_read(&mut self, line: u64, tile: usize) -> (OracleOutcome, u64) {
+        self.bump("reads", 1);
+        let mut out = Self::blank(MesiState::Shared);
+        let mut messages = 2;
+        match self.entries.get(&line).cloned() {
+            None => {
+                out.fill_state = MesiState::Exclusive;
+                self.entries.insert(line, Entry::Owned(tile));
+            }
+            Some(Entry::Shared(mut sharers)) => {
+                if sharers.contains(&tile) {
+                    self.bump("redundant_reads", 1);
+                } else {
+                    sharers.insert(tile);
+                }
+                self.entries.insert(line, Entry::Shared(sharers));
+            }
+            Some(Entry::Owned(owner)) if owner == tile => {
+                out.fill_state = MesiState::Exclusive;
+                self.bump("redundant_reads", 1);
+            }
+            Some(Entry::Owned(owner)) => {
+                // The owner forwards cache-to-cache and keeps its dirty
+                // copy in Sm: no write-back into the L3.
+                self.bump("owner_downgrades", 1);
+                out.downgrade_owner = Some(owner);
+                out.owner_writeback = false;
+                messages += 2; // forwarded request + data reply
+                self.entries.insert(
+                    line,
+                    Entry::OwnedShared(owner, [tile].into_iter().collect()),
+                );
+            }
+            Some(Entry::OwnedShared(owner, _)) if owner == tile => {
+                out.fill_state = MesiState::SharedModified;
+                self.bump("redundant_reads", 1);
+            }
+            Some(Entry::OwnedShared(owner, mut sharers)) => {
+                if sharers.contains(&tile) {
+                    self.bump("redundant_reads", 1);
+                } else {
+                    sharers.insert(tile);
+                    messages += 2; // forwarded request + data reply
+                    self.entries
+                        .insert(line, Entry::OwnedShared(owner, sharers));
+                }
+            }
+        }
+        (out, messages)
+    }
+
+    fn dragon_write(&mut self, line: u64, tile: usize) -> (OracleOutcome, u64) {
+        self.bump("writes", 1);
+        let mut out = Self::blank(MesiState::Modified);
+        let mut messages = 2;
+        match self.entries.get(&line).cloned() {
+            None => {
+                self.entries.insert(line, Entry::Owned(tile));
+            }
+            Some(Entry::Shared(sharers)) => {
+                let targets: BTreeSet<usize> =
+                    sharers.iter().copied().filter(|&t| t != tile).collect();
+                if targets.is_empty() {
+                    self.entries.insert(line, Entry::Owned(tile));
+                } else {
+                    self.bump("updates_sent", targets.len() as u64);
+                    messages += 2 * targets.len() as u64; // update + ack each
+                    out.update = targets.iter().copied().collect();
+                    out.fill_state = MesiState::SharedModified;
+                    self.entries.insert(line, Entry::OwnedShared(tile, targets));
+                }
+            }
+            Some(Entry::Owned(owner)) if owner == tile => {
+                self.bump("silent_upgrades", 1);
+            }
+            Some(Entry::Owned(owner)) => {
+                // Ownership migrates cache-to-cache; the old owner stays
+                // as a clean sharer after receiving the update.
+                self.bump("owner_transfers", 1);
+                self.bump("updates_sent", 1);
+                out.update = vec![owner];
+                out.fill_state = MesiState::SharedModified;
+                messages += 2; // forwarded update + ack
+                self.entries.insert(
+                    line,
+                    Entry::OwnedShared(tile, [owner].into_iter().collect()),
+                );
+            }
+            Some(Entry::OwnedShared(owner, sharers)) if owner == tile => {
+                self.bump("updates_sent", sharers.len() as u64);
+                messages += 2 * sharers.len() as u64;
+                out.update = sharers.iter().copied().collect();
+                out.fill_state = MesiState::SharedModified;
+            }
+            Some(Entry::OwnedShared(owner, sharers)) => {
+                let mut targets: BTreeSet<usize> =
+                    sharers.iter().copied().filter(|&t| t != tile).collect();
+                targets.insert(owner);
+                self.bump("owner_transfers", 1);
+                self.bump("updates_sent", targets.len() as u64);
+                messages += 2 * targets.len() as u64;
+                out.update = targets.iter().copied().collect();
+                out.fill_state = MesiState::SharedModified;
+                self.entries.insert(line, Entry::OwnedShared(tile, targets));
+            }
+        }
         (out, messages)
     }
 
@@ -164,13 +298,23 @@ impl OracleDirectory {
                     self.entries.insert(line, Entry::Shared(sharers));
                 }
             }
+            Some(Entry::OwnedShared(owner, sharers)) if owner == tile => {
+                // The Sm owner leaves; the replicas become plain sharers.
+                self.entries.insert(line, Entry::Shared(sharers));
+            }
+            Some(Entry::OwnedShared(owner, mut sharers)) => {
+                sharers.remove(&tile);
+                if sharers.is_empty() {
+                    self.entries.insert(line, Entry::Owned(owner));
+                } else {
+                    self.entries
+                        .insert(line, Entry::OwnedShared(owner, sharers));
+                }
+            }
         }
-        OracleOutcome {
-            fill_state: MesiState::Invalid,
-            invalidate: Vec::new(),
-            downgrade_owner: None,
-            owner_writeback: dirty,
-        }
+        let mut out = Self::blank(MesiState::Invalid);
+        out.owner_writeback = dirty;
+        out
     }
 
     /// Invalidates a line everywhere on behalf of the L3: returns the
@@ -180,6 +324,10 @@ impl OracleDirectory {
             None => Vec::new(),
             Some(Entry::Owned(owner)) => vec![owner],
             Some(Entry::Shared(sharers)) => sharers.into_iter().collect(),
+            Some(Entry::OwnedShared(owner, mut sharers)) => {
+                sharers.insert(owner);
+                sharers.into_iter().collect()
+            }
         };
         self.bump("inclusive_invalidations", holders.len() as u64);
         holders
@@ -234,5 +382,46 @@ mod tests {
         d.access(4, 3, OracleRequest::Read);
         assert_eq!(d.invalidate_all(4), vec![1, 3]);
         assert_eq!(d.invalidate_all(4), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn dragon_write_updates_sharers() {
+        let mut d = OracleDirectory::with_protocol(CoherenceProtocol::Dragon);
+        for t in [2, 0, 1] {
+            d.access(9, t, OracleRequest::Read);
+        }
+        let out = d.access(9, 3, OracleRequest::Write);
+        assert!(out.invalidate.is_empty());
+        assert_eq!(out.update, vec![0, 1, 2]);
+        assert_eq!(out.fill_state, MesiState::SharedModified);
+        assert_eq!(d.stats().get("updates_sent"), 3);
+        assert_eq!(d.stats().get("invalidations_sent"), 0);
+        // Everyone is still a holder.
+        assert_eq!(d.invalidate_all(9), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn dragon_read_of_owned_skips_writeback() {
+        let mut d = OracleDirectory::with_protocol(CoherenceProtocol::Dragon);
+        d.access(5, 0, OracleRequest::Write);
+        let out = d.access(5, 1, OracleRequest::Read);
+        assert_eq!(out.downgrade_owner, Some(0));
+        assert!(!out.owner_writeback, "Dragon keeps the dirty copy in Sm");
+        // The Sm owner evicting dirty leaves the sharer behind.
+        let out = d.access(5, 0, OracleRequest::EvictDirty);
+        assert!(out.owner_writeback);
+        assert_eq!(d.invalidate_all(5), vec![1]);
+    }
+
+    #[test]
+    fn dragon_ownership_transfer_keeps_old_owner_valid() {
+        let mut d = OracleDirectory::with_protocol(CoherenceProtocol::Dragon);
+        d.access(6, 0, OracleRequest::Write);
+        let out = d.access(6, 1, OracleRequest::Write);
+        assert_eq!(out.update, vec![0]);
+        assert_eq!(out.fill_state, MesiState::SharedModified);
+        assert!(out.invalidate.is_empty());
+        // Old owner still holds the line as a sharer.
+        assert_eq!(d.invalidate_all(6), vec![0, 1]);
     }
 }

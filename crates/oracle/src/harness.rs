@@ -96,10 +96,32 @@ pub fn run_check(
     master_seed: u64,
     count: u64,
     fault: Option<Fault>,
+    progress: impl FnMut(u64, &Scenario),
+) -> Result<CheckOutcome, OracleError> {
+    run_check_pinned(master_seed, count, None, fault, progress)
+}
+
+/// Like [`run_check`], with every generated scenario's coherence protocol
+/// optionally pinned — the hook behind `refrint-cli check --protocol` and
+/// the per-protocol CI conformance matrix, which needs each leg to
+/// exercise one transition table over the full scenario stream rather
+/// than the generator's random protocol mix.
+///
+/// # Errors
+///
+/// See [`run_scenario`].
+pub fn run_check_pinned(
+    master_seed: u64,
+    count: u64,
+    protocol: Option<refrint::CoherenceProtocol>,
+    fault: Option<Fault>,
     mut progress: impl FnMut(u64, &Scenario),
 ) -> Result<CheckOutcome, OracleError> {
     for index in 0..count {
-        let scenario = Scenario::generate(master_seed, index);
+        let mut scenario = Scenario::generate(master_seed, index);
+        if let Some(protocol) = protocol {
+            scenario.protocol = protocol;
+        }
         progress(index, &scenario);
         let diffs = run_scenario_with(&scenario, fault)?;
         if !diffs.is_empty() {
@@ -241,5 +263,55 @@ mod tests {
         assert!(!divergence.shrunk_diffs.is_empty());
         let text = divergence.to_string();
         assert!(text.contains("refrint-cli check --scenario"), "{text}");
+    }
+
+    #[test]
+    fn pinned_protocol_reaches_every_scenario() {
+        for protocol in [
+            refrint::CoherenceProtocol::Mesi,
+            refrint::CoherenceProtocol::Dragon,
+        ] {
+            let mut seen = 0;
+            let outcome = run_check_pinned(0xFEED, 8, Some(protocol), None, |_, scenario| {
+                assert_eq!(scenario.protocol, protocol, "{}", scenario.spec());
+                seen += 1;
+            })
+            .unwrap();
+            assert_eq!(seen, 8);
+            assert!(
+                outcome.divergence.is_none(),
+                "{}",
+                outcome.divergence.unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn dragon_fault_is_caught_and_shrinks_to_a_dragon_repro() {
+        // The planted update-vs-invalidate divergence only fires under
+        // Dragon, so the harness must (a) find a Dragon scenario that
+        // exposes it and (b) never shrink the protocol axis away.
+        let outcome =
+            run_check(0xFEED, 64, Some(Fault::DragonUpdateInvalidates), |_, _| {}).unwrap();
+        let divergence = outcome.divergence.expect("the Dragon fault must be caught");
+        assert_eq!(
+            divergence.shrunk.protocol,
+            refrint::CoherenceProtocol::Dragon,
+            "{}",
+            divergence.shrunk.spec()
+        );
+        assert!(!divergence.shrunk_diffs.is_empty());
+        let command = divergence.shrunk.repro_command();
+        assert!(
+            command.contains("refrint-cli check --scenario"),
+            "{command}"
+        );
+        assert!(command.contains("protocol=dragon"), "{command}");
+        // The repro really is minimal: every further shrink agrees.
+        for candidate in divergence.shrunk.shrink_candidates() {
+            if let Ok(d) = run_scenario_with(&candidate, Some(Fault::DragonUpdateInvalidates)) {
+                assert!(d.is_empty(), "shrink was not minimal: {}", candidate.spec());
+            }
+        }
     }
 }

@@ -16,6 +16,7 @@ use std::fmt;
 use std::str::FromStr;
 
 use refrint::config::SystemConfig;
+use refrint::{CoherenceProtocol, RetentionProfile};
 use refrint_edram::policy::{DataPolicy, RefreshPolicy, TimePolicy};
 use refrint_edram::retention::RetentionConfig;
 use refrint_energy::tech::CellTech;
@@ -116,6 +117,10 @@ pub struct Scenario {
     pub geometry: GeometryClass,
     /// Whether the run goes through a trace capture/replay round trip.
     pub via_trace: bool,
+    /// Coherence protocol (MESI or Dragon).
+    pub protocol: CoherenceProtocol,
+    /// Per-bank retention-variation profile (always `Uniform` on SRAM).
+    pub profile: RetentionProfile,
 }
 
 impl Scenario {
@@ -155,8 +160,28 @@ impl Scenario {
         let refs_cap = if boundary || cores >= 8 { 300 } else { 1_200 };
         let refs_per_thread = (120 + rng.below(1_081)).min(refs_cap);
         let app = AppPreset::ALL[rng.below(AppPreset::ALL.len() as u64) as usize];
+        let seed = rng.next_u64();
+        let via_trace = rng.chance(0.25);
+        let protocol = if rng.chance(0.4) {
+            CoherenceProtocol::Dragon
+        } else {
+            CoherenceProtocol::Mesi
+        };
+        // Retention variation only exists on decaying cells; SRAM scenarios
+        // stay on the uniform (identity) profile.
+        let profile = match rng.below(4) {
+            _ if cells == CellTech::Sram => RetentionProfile::Uniform,
+            0 | 1 => RetentionProfile::Uniform,
+            2 => RetentionProfile::Normal {
+                sigma_pct: 1 + rng.below(30) as u8,
+            },
+            _ => RetentionProfile::Bimodal {
+                weak_pct: 1 + rng.below(99) as u8,
+                weak_retention_pct: 30 + rng.below(70) as u8,
+            },
+        };
         Scenario {
-            seed: rng.next_u64(),
+            seed,
             cores,
             refs_per_thread,
             app,
@@ -164,7 +189,9 @@ impl Scenario {
             policy: RefreshPolicy::new(time, data),
             retention_ns,
             geometry,
-            via_trace: rng.chance(0.25),
+            via_trace,
+            protocol,
+            profile,
         }
     }
 
@@ -176,7 +203,9 @@ impl Scenario {
             .with_policy(self.policy)
             .with_cores(self.cores)
             .with_seed(self.seed)
-            .with_scale(self.refs_per_thread);
+            .with_scale(self.refs_per_thread)
+            .with_protocol(self.protocol)
+            .with_retention_profile(self.profile);
         cfg = cfg.with_retention(
             RetentionConfig::new(
                 SimDuration::from_nanos(self.retention_ns),
@@ -193,7 +222,8 @@ impl Scenario {
     #[must_use]
     pub fn spec(&self) -> String {
         format!(
-            "app={} cores={} refs={} cells={} policy={} retention-ns={} geom={} trace={} seed={}",
+            "app={} cores={} refs={} cells={} policy={} retention-ns={} geom={} trace={} \
+             protocol={} profile={} seed={}",
             self.app.name(),
             self.cores,
             self.refs_per_thread,
@@ -205,6 +235,8 @@ impl Scenario {
             self.retention_ns,
             self.geometry.label(),
             self.via_trace,
+            self.protocol.label(),
+            self.profile.label(),
             self.seed,
         )
     }
@@ -226,6 +258,8 @@ impl Scenario {
             retention_ns: 50_000,
             geometry: GeometryClass::Small,
             via_trace: false,
+            protocol: CoherenceProtocol::Mesi,
+            profile: RetentionProfile::Uniform,
         };
         for pair in spec.split_whitespace() {
             let (key, value) = pair
@@ -249,6 +283,8 @@ impl Scenario {
                     s.geometry = GeometryClass::parse(value).ok_or_else(|| bad("geometry"))?
                 }
                 "trace" => s.via_trace = value.parse().map_err(|_| bad("trace flag"))?,
+                "protocol" => s.protocol = value.parse().map_err(|_| bad("protocol"))?,
+                "profile" => s.profile = value.parse().map_err(|_| bad("retention profile"))?,
                 "seed" => s.seed = value.parse().map_err(|_| bad("seed"))?,
                 other => return Err(format!("unknown scenario key `{other}`")),
             }
@@ -300,6 +336,18 @@ impl Scenario {
                 ..self.clone()
             }),
             GeometryClass::Mini => {}
+        }
+        if self.protocol != CoherenceProtocol::Mesi {
+            out.push(Scenario {
+                protocol: CoherenceProtocol::Mesi,
+                ..self.clone()
+            });
+        }
+        if !self.profile.is_default() {
+            out.push(Scenario {
+                profile: RetentionProfile::Uniform,
+                ..self.clone()
+            });
         }
         if self.app != AppPreset::Lu {
             out.push(Scenario {
@@ -359,6 +407,30 @@ mod tests {
             scenarios.iter().any(|s| s.cells == CellTech::Sram),
             "SRAM scenarios"
         );
+        assert!(
+            scenarios
+                .iter()
+                .any(|s| s.protocol == CoherenceProtocol::Dragon),
+            "Dragon scenarios"
+        );
+        assert!(
+            scenarios
+                .iter()
+                .any(|s| matches!(s.profile, RetentionProfile::Normal { .. })),
+            "normal retention profiles"
+        );
+        assert!(
+            scenarios
+                .iter()
+                .any(|s| matches!(s.profile, RetentionProfile::Bimodal { .. })),
+            "bimodal retention profiles"
+        );
+        assert!(
+            scenarios
+                .iter()
+                .all(|s| s.cells != CellTech::Sram || s.profile.is_default()),
+            "SRAM scenarios never carry a variation profile"
+        );
     }
 
     #[test]
@@ -375,5 +447,14 @@ mod tests {
         assert!(Scenario::from_spec("nonsense").is_err());
         assert!(Scenario::from_spec("cores=zero").is_err());
         assert!(Scenario::from_spec("planet=mars").is_err());
+        assert!(Scenario::from_spec("protocol=moesi").is_err());
+        assert!(Scenario::from_spec("profile=normal(0)").is_err());
+    }
+
+    #[test]
+    fn old_specs_default_to_mesi_uniform() {
+        let s = Scenario::from_spec("app=lu cores=2 seed=9").unwrap();
+        assert_eq!(s.protocol, CoherenceProtocol::Mesi);
+        assert_eq!(s.profile, RetentionProfile::Uniform);
     }
 }

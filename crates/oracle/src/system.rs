@@ -2,8 +2,9 @@
 //!
 //! [`OracleSystem`] is a from-scratch re-statement of the simulated
 //! machine's *semantics* — the same chip (private write-through DL1 and
-//! write-back L2 per tile, shared banked L3 with a directory MESI protocol
-//! over a torus, DRAM behind the L3), the same driver rule (the core with
+//! write-back L2 per tile, shared banked L3 with a directory coherence
+//! protocol — invalidation-based MESI or update-based Dragon — over a
+//! torus, DRAM behind the L3), the same driver rule (the core with
 //! the smallest local time goes next), the same refresh policies — built
 //! exclusively from the naive components in this crate. It consumes a
 //! [`SystemConfig`] and per-thread reference streams and produces a
@@ -68,6 +69,11 @@ pub enum Fault {
     /// Off-by-one in decay settlement: clean lines get one extra refresh
     /// before the policy invalidates them.
     DecayCleanBudgetOffByOne,
+    /// Dragon update broadcasts are mis-modelled as MESI-style
+    /// invalidations: remote replicas are dropped instead of being
+    /// refreshed in place. Invisible under MESI (which never broadcasts
+    /// updates), divergent under Dragon.
+    DragonUpdateInvalidates,
 }
 
 /// A pending eager L3 policy-invalidation event.
@@ -144,6 +150,8 @@ pub struct OracleSystem {
     dram: OracleDram,
     link: Link,
     counts: EnergyCounts,
+    /// The injected fault, if any (see [`Fault`]).
+    fault: Option<Fault>,
     /// Pending eager invalidations, scanned linearly in (time, insertion)
     /// order — no heap.
     pending: Vec<PendingInvalidation>,
@@ -226,19 +234,27 @@ impl OracleSystem {
                 )?,
             });
         }
+        // Per-bank retention: the variation profile (if any) stretches or
+        // shrinks each bank's period; phases stagger within each bank's own
+        // period, exactly like the simulator.
+        let bank_retentions = cfg.bank_retentions();
         let mut l3 = Vec::new();
-        for b in 0..cfg.l3_banks {
-            // Stagger periodic refresh phases across banks, exactly like
-            // the simulator.
+        for (b, &bank_retention) in bank_retentions.iter().enumerate() {
             let phase = Cycle::new(
-                (b as u64 * retention.line_retention_cycles().raw()) / cfg.l3_banks as u64,
+                (b as u64 * bank_retention.line_retention_cycles().raw()) / cfg.l3_banks as u64,
             );
             l3.push(Bank {
                 cache: OracleCache::new(
                     cfg.l3_bank.geometry.num_sets(),
                     usize::from(cfg.l3_bank.geometry.ways()),
                 ),
-                refresh: OracleRefresh::new(&cfg.l3_bank, cfg.policy, retention, cells, phase)?,
+                refresh: OracleRefresh::new(
+                    &cfg.l3_bank,
+                    cfg.policy,
+                    bank_retention,
+                    cells,
+                    phase,
+                )?,
             });
         }
         if let Some(Fault::DecayCleanBudgetOffByOne) = fault {
@@ -259,7 +275,8 @@ impl OracleSystem {
         };
         Ok(OracleSystem {
             hops: bfs_hop_table(&cfg.torus),
-            dir: OracleDirectory::new(),
+            dir: OracleDirectory::with_protocol(cfg.protocol),
+            fault,
             dram: OracleDram::paper_default(),
             counts: EnergyCounts::default(),
             pending: Vec::new(),
@@ -527,9 +544,20 @@ impl OracleSystem {
         }
         if let Some(owner) = outcome.downgrade_owner {
             if !outcome.invalidate.contains(&owner) {
-                let d = self.downgrade_private_copy(owner, bank, line, now);
+                let d =
+                    self.downgrade_private_copy(owner, bank, line, now, outcome.owner_writeback);
                 worst_remote = worst_remote.max(d);
             }
+        }
+        // Dragon update broadcasts: the written word is pushed to every
+        // remote replica, which stays a valid clean sharer.
+        for &target in &outcome.update {
+            let d = if self.fault == Some(Fault::DragonUpdateInvalidates) {
+                self.invalidate_private_copy(target, bank, line, now)
+            } else {
+                self.update_private_copy(target, bank, line, now)
+            };
+            worst_remote = worst_remote.max(d);
         }
         beyond += worst_remote;
 
@@ -582,14 +610,18 @@ impl OracleSystem {
         latency
     }
 
-    /// Downgrades the owner to Shared, writing its dirty data into the home
-    /// bank; returns the round-trip latency.
+    /// Downgrades the owner on behalf of the directory; returns the
+    /// round-trip latency. With `writeback_into_l3` (MESI) the owner drops
+    /// to Shared and its dirty data lands in the home bank; without it
+    /// (Dragon) a dirty owner keeps its data as SharedModified and nothing
+    /// touches the L3.
     fn downgrade_private_copy(
         &mut self,
         owner: usize,
         bank: usize,
         line: u64,
         now: Cycle,
+        writeback_into_l3: bool,
     ) -> Cycle {
         let hops = self.hop(bank, owner);
         self.counts.noc_flit_hops += hops * (self.ctrl_flits + self.data_flits);
@@ -600,12 +632,42 @@ impl OracleSystem {
             .l2
             .line(line)
             .is_some_and(|l| l.is_dirty());
-        self.tiles[owner].l2.set_state(line, MesiState::Shared);
-        self.tiles[owner].dl1.set_state(line, MesiState::Shared);
-        if was_dirty {
-            self.counts.l3_accesses += 1;
-            self.l3[bank].cache.write_resident(line, now);
+        if writeback_into_l3 {
+            self.tiles[owner].l2.set_state(line, MesiState::Shared);
+            self.tiles[owner].dl1.set_state(line, MesiState::Shared);
+            if was_dirty {
+                self.counts.l3_accesses += 1;
+                self.l3[bank].cache.write_resident(line, now);
+            }
+        } else {
+            let l2_state = if was_dirty {
+                MesiState::SharedModified
+            } else {
+                MesiState::Shared
+            };
+            self.tiles[owner].l2.set_state(line, l2_state);
+            self.tiles[owner].dl1.set_state(line, MesiState::Shared);
         }
+        latency
+    }
+
+    /// Applies a Dragon update broadcast to `target`'s private copies: the
+    /// line is rewritten in place, becoming a clean Shared replica with
+    /// fresh cells (the update recharges the eDRAM row). Returns the
+    /// round-trip latency.
+    fn update_private_copy(&mut self, target: usize, bank: usize, line: u64, now: Cycle) -> Cycle {
+        let hops = self.hop(bank, target);
+        self.counts.noc_flit_hops += hops * self.ctrl_flits * 2;
+        let latency = self.link.latency(hops, self.link.control_bytes) * 2;
+
+        if let Some(prev) = self.tiles[target].l2.line(line) {
+            let s = self.tiles[target]
+                .l2_refresh
+                .settle(kind_of(&prev), prev.last_touch, now);
+            self.counts.l2_refreshes += s.refreshes;
+            self.tiles[target].l2.apply_update(line, now);
+        }
+        self.tiles[target].dl1.apply_update(line, now);
         latency
     }
 
@@ -983,6 +1045,83 @@ mod tests {
             !crate::diff::diff_reports(&oracle, &sim).is_empty(),
             "the injected off-by-one must be visible"
         );
+    }
+
+    #[test]
+    fn oracle_matches_simulator_on_dragon() {
+        // Scale/seed chosen so the run actually broadcasts updates (the
+        // simulator's own Dragon test asserts `updates_sent > 0` here).
+        agree(
+            SystemConfig::edram_recommended()
+                .with_protocol(refrint::CoherenceProtocol::Dragon)
+                .with_cores(4)
+                .with_scale(3_000)
+                .with_seed(11),
+            AppPreset::Radix,
+        );
+    }
+
+    #[test]
+    fn oracle_matches_simulator_on_dragon_sram() {
+        agree(
+            SystemConfig::sram_baseline()
+                .with_protocol(refrint::CoherenceProtocol::Dragon)
+                .with_cores(2)
+                .with_scale(600),
+            AppPreset::Lu,
+        );
+    }
+
+    #[test]
+    fn oracle_matches_simulator_on_retention_profiles() {
+        agree(
+            SystemConfig::edram_recommended()
+                .with_retention_profile(refrint::RetentionProfile::Normal { sigma_pct: 15 })
+                .with_cores(2)
+                .with_scale(600),
+            AppPreset::Fft,
+        );
+        agree(
+            SystemConfig::edram_recommended()
+                .with_retention_profile(refrint::RetentionProfile::Bimodal {
+                    weak_pct: 50,
+                    weak_retention_pct: 40,
+                })
+                .with_protocol(refrint::CoherenceProtocol::Dragon)
+                .with_cores(2)
+                .with_scale(600),
+            AppPreset::Barnes,
+        );
+    }
+
+    #[test]
+    fn dragon_fault_diverges_under_dragon_only() {
+        let cfg = SystemConfig::edram_recommended()
+            .with_protocol(refrint::CoherenceProtocol::Dragon)
+            .with_cores(4)
+            .with_scale(3_000)
+            .with_seed(11);
+        let oracle = OracleSystem::with_fault(cfg.clone(), Fault::DragonUpdateInvalidates)
+            .unwrap()
+            .run_model(&AppPreset::Radix.model())
+            .unwrap();
+        let sim = CmpSystem::new(cfg).unwrap().run_app(AppPreset::Radix);
+        assert!(
+            !crate::diff::diff_reports(&oracle, &sim).is_empty(),
+            "treating Dragon updates as invalidations must be visible"
+        );
+
+        // The same fault is invisible under MESI: no update broadcasts.
+        let mesi = SystemConfig::edram_recommended()
+            .with_cores(4)
+            .with_scale(3_000)
+            .with_seed(11);
+        let oracle = OracleSystem::with_fault(mesi.clone(), Fault::DragonUpdateInvalidates)
+            .unwrap()
+            .run_model(&AppPreset::Radix.model())
+            .unwrap();
+        let sim = CmpSystem::new(mesi).unwrap().run_app(AppPreset::Radix);
+        assert!(crate::diff::diff_reports(&oracle, &sim).is_empty());
     }
 
     #[test]

@@ -13,6 +13,7 @@ use std::path::{Path, PathBuf};
 
 use refrint::experiment::{ExperimentConfig, TraceSpec};
 use refrint::simulation::Simulation;
+use refrint::{CoherenceProtocol, RetentionProfile};
 use refrint_edram::model::PolicyRegistry;
 use refrint_edram::policy::RefreshPolicy;
 use refrint_engine::json::{escape, Value};
@@ -134,6 +135,18 @@ fn parse_policy(label: &str) -> Result<RefreshPolicy, ApiError> {
     })
 }
 
+fn parse_protocol(label: &str) -> Result<CoherenceProtocol, ApiError> {
+    label
+        .parse::<CoherenceProtocol>()
+        .map_err(|e| ApiError::new(422, "unknown_protocol", e))
+}
+
+fn parse_retention_profile(label: &str) -> Result<RetentionProfile, ApiError> {
+    label
+        .parse::<RetentionProfile>()
+        .map_err(|e| ApiError::new(422, "unknown_retention_profile", e.to_string()))
+}
+
 /// Resolves a client-supplied trace name against the server's trace
 /// directory, refusing traversal outside it.
 fn resolve_trace(name: &str, trace_dir: Option<&Path>) -> Result<PathBuf, ApiError> {
@@ -212,6 +225,8 @@ pub fn parse_run_request(
     let mut sram = false;
     let mut policy: Option<RefreshPolicy> = None;
     let mut retention_us: Option<u64> = None;
+    let mut retention_profile: Option<RetentionProfile> = None;
+    let mut protocol: Option<CoherenceProtocol> = None;
     let mut refs: Option<u64> = None;
     let mut seed: Option<u64> = None;
     let mut cores: Option<usize> = None;
@@ -228,6 +243,13 @@ pub fn parse_run_request(
             "sram" => sram = bool_field(value, "sram")?,
             "policy" => policy = Some(parse_policy(&str_field(value, "policy")?)?),
             "retention_us" => retention_us = Some(u64_field(value, "retention_us")?),
+            "retention_profile" => {
+                retention_profile = Some(parse_retention_profile(&str_field(
+                    value,
+                    "retention_profile",
+                )?)?);
+            }
+            "protocol" => protocol = Some(parse_protocol(&str_field(value, "protocol")?)?),
             "refs" => refs = Some(u64_field(value, "refs")?),
             "seed" => seed = Some(u64_field(value, "seed")?),
             "cores" => cores = Some(usize_field(value, "cores")?),
@@ -235,7 +257,7 @@ pub fn parse_run_request(
             other => {
                 return Err(schema_err(format!(
                     "unknown field \"{other}\" (expected app, trace, sram, policy, \
-                     retention_us, refs, seed, cores, mode)"
+                     retention_us, retention_profile, protocol, refs, seed, cores, mode)"
                 )))
             }
         }
@@ -260,6 +282,12 @@ pub fn parse_run_request(
     if let Some(us) = retention_us {
         builder = builder.retention_us(us);
     }
+    if let Some(profile) = retention_profile {
+        builder = builder.retention_profile(profile);
+    }
+    if let Some(protocol) = protocol {
+        builder = builder.protocol(protocol);
+    }
     if let Some(refs) = refs {
         builder = builder.refs_per_thread(refs);
     }
@@ -280,6 +308,10 @@ pub fn parse_run_request(
         .build_config()
         .map_err(|e| ApiError::new(422, "invalid_config", e.to_string()))?;
 
+    // `config.label()` carries ` dragon` / ` bimodal(25,60)` suffixes for
+    // non-default protocol and retention-profile axes, so the key below
+    // distinguishes them — and spelling out the defaults (protocol mesi,
+    // uniform profile) leaves both the label and the key untouched.
     let cache_key = format!(
         "run|workload={}|config={}|cores={}|banks={}|seed={}|refs={}",
         workload_key(app, trace.as_deref()),
@@ -301,6 +333,12 @@ pub fn parse_run_request(
         sram,
         policy: policy.map(|p| p.label()),
         retention_us,
+        retention_profile: retention_profile
+            .filter(|p| !p.is_default())
+            .map(|p| p.label()),
+        protocol: protocol
+            .filter(|p| !p.is_default())
+            .map(|p| p.label().to_owned()),
         refs,
         seed,
         cores,
@@ -378,6 +416,24 @@ pub fn parse_sweep_request(
                     .map(|v| u64_field(v, "retentions_us"))
                     .collect::<Result<_, _>>()?;
             }
+            "protocols" => {
+                let items = value
+                    .as_arr()
+                    .ok_or_else(|| schema_err("\"protocols\" must be an array of strings"))?;
+                cfg.protocols = items
+                    .iter()
+                    .map(|v| parse_protocol(&str_field(v, "protocols")?))
+                    .collect::<Result<_, _>>()?;
+            }
+            "retention_profiles" => {
+                let items = value.as_arr().ok_or_else(|| {
+                    schema_err("\"retention_profiles\" must be an array of strings")
+                })?;
+                cfg.retention_profiles = items
+                    .iter()
+                    .map(|v| parse_retention_profile(&str_field(v, "retention_profiles")?))
+                    .collect::<Result<_, _>>()?;
+            }
             "refs" => cfg.refs_per_thread = u64_field(value, "refs")?,
             "seed" => cfg.seed = u64_field(value, "seed")?,
             "cores" => cfg.cores = usize_field(value, "cores")?,
@@ -389,8 +445,8 @@ pub fn parse_sweep_request(
             other => {
                 return Err(schema_err(format!(
                     "unknown field \"{other}\" (expected apps, traces, policies, \
-                     retentions_us, refs, seed, cores, mode, anomaly_threshold, \
-                     min_slice)"
+                     retentions_us, protocols, retention_profiles, refs, seed, \
+                     cores, mode, anomaly_threshold, min_slice)"
                 )))
             }
         }
@@ -444,6 +500,18 @@ pub fn parse_sweep_request(
         cfg.seed,
         cfg.cores,
     );
+    // Non-default protocol / retention-profile axes get their own key
+    // components; the default single-point axes (MESI, uniform) keep the
+    // pre-axis key bytes, so existing cache entries stay valid and a
+    // client spelling the defaults out still hits them.
+    if cfg.protocols != [CoherenceProtocol::Mesi] {
+        let labels: Vec<&str> = cfg.protocols.iter().map(|p| p.label()).collect();
+        cache_key.push_str(&format!("|proto={}", labels.join(",")));
+    }
+    if cfg.retention_profiles != [RetentionProfile::Uniform] {
+        let labels: Vec<String> = cfg.retention_profiles.iter().map(|p| p.label()).collect();
+        cache_key.push_str(&format!("|profiles={}", labels.join(";")));
+    }
     // Default-tuned sweeps keep their PR-4 cache keys (and thus their
     // cached bytes); only a non-default tuning gets its own entries.
     if !anomaly.is_default() {
@@ -504,6 +572,110 @@ mod tests {
         assert!(err.reason.contains("required"));
         let err = run("{\"app\": \"lu\", \"trace\": \"x.rft\"}").unwrap_err();
         assert!(err.reason.contains("mutually exclusive") || err.kind == "traces_unavailable");
+    }
+
+    #[test]
+    fn protocol_and_retention_profile_key_canonically() {
+        // Spelled-out defaults hit the same cache entry as omitted fields,
+        // in any field order.
+        let plain = run("{\"app\": \"lu\"}").unwrap();
+        let spelled =
+            run("{\"retention_profile\": \"uniform\", \"protocol\": \"mesi\", \"app\": \"lu\"}")
+                .unwrap();
+        assert_eq!(plain.cache_key, spelled.cache_key);
+
+        // Non-default axes get distinct keys, independent of field order.
+        let dragon = run("{\"app\": \"lu\", \"protocol\": \"dragon\"}").unwrap();
+        let dragon_reordered = run("{\"protocol\": \"dragon\", \"app\": \"lu\"}").unwrap();
+        assert_eq!(dragon.cache_key, dragon_reordered.cache_key);
+        assert_ne!(dragon.cache_key, plain.cache_key);
+        let bimodal = run("{\"app\": \"lu\", \"retention_profile\": \"bimodal(25,60)\"}").unwrap();
+        assert_ne!(bimodal.cache_key, plain.cache_key);
+        assert_ne!(bimodal.cache_key, dragon.cache_key);
+        let both = run("{\"app\": \"lu\", \"protocol\": \"dragon\", \
+             \"retention_profile\": \"bimodal(25,60)\"}")
+        .unwrap();
+        assert_ne!(both.cache_key, dragon.cache_key);
+        assert_ne!(both.cache_key, bimodal.cache_key);
+        assert!(both.cache_key.contains("dragon"), "{}", both.cache_key);
+        assert!(
+            both.cache_key.contains("bimodal(25,60)"),
+            "{}",
+            both.cache_key
+        );
+
+        // The forwardable point request only carries non-default axes.
+        match (&spelled.work, &both.work) {
+            (JobWork::Run { point: s, .. }, JobWork::Run { point: b, .. }) => {
+                assert_eq!(s.protocol, None);
+                assert_eq!(s.retention_profile, None);
+                assert_eq!(b.protocol.as_deref(), Some("dragon"));
+                assert_eq!(b.retention_profile.as_deref(), Some("bimodal(25,60)"));
+            }
+            other => panic!("wrong work: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_protocols_and_profiles_are_typed_422s() {
+        let err = run("{\"app\": \"lu\", \"protocol\": \"moesi\"}").unwrap_err();
+        assert_eq!((err.status, err.kind), (422, "unknown_protocol"));
+        assert!(err.reason.contains("mesi"), "{}", err.reason);
+        let err = run("{\"app\": \"lu\", \"retention_profile\": \"zipf\"}").unwrap_err();
+        assert_eq!((err.status, err.kind), (422, "unknown_retention_profile"));
+        // SRAM rejects a non-uniform retention profile through the builder.
+        let err = run("{\"app\": \"lu\", \"sram\": true, \"retention_profile\": \"normal(10)\"}")
+            .unwrap_err();
+        assert_eq!((err.status, err.kind), (422, "invalid_config"));
+        // The expected-field list names the new fields.
+        let err = run("{\"app\": \"lu\", \"bogus\": 1}").unwrap_err();
+        assert!(err.reason.contains("retention_profile"), "{}", err.reason);
+        assert!(err.reason.contains("protocol"), "{}", err.reason);
+    }
+
+    #[test]
+    fn sweep_axes_validate_and_key_canonically() {
+        let base = "\"apps\": [\"lu\"], \"retentions_us\": [50], \
+                    \"policies\": [\"P.all\"], \"refs\": 1000, \"cores\": 2";
+        let sweep =
+            |extra: &str| parse_sweep_request(&parse(&format!("{{{base}{extra}}}")).unwrap(), None);
+        let default_key = sweep("").unwrap().cache_key;
+        // Spelling out the default single-point axes keeps the default key.
+        let spelled =
+            sweep(", \"protocols\": [\"mesi\"], \"retention_profiles\": [\"uniform\"]").unwrap();
+        assert_eq!(spelled.cache_key, default_key);
+        // Non-default axes are carried into the config and keyed.
+        let axes = sweep(
+            ", \"protocols\": [\"mesi\", \"dragon\"], \
+             \"retention_profiles\": [\"uniform\", \"bimodal(25,60)\"]",
+        )
+        .unwrap();
+        assert_ne!(axes.cache_key, default_key);
+        assert!(
+            axes.cache_key.contains("proto=mesi,dragon"),
+            "{}",
+            axes.cache_key
+        );
+        assert!(
+            axes.cache_key.contains("profiles=uniform;bimodal(25,60)"),
+            "{}",
+            axes.cache_key
+        );
+        match &axes.work {
+            JobWork::Sweep { config, .. } => {
+                assert_eq!(config.protocols.len(), 2);
+                assert_eq!(config.retention_profiles.len(), 2);
+                assert_eq!(config.total_runs(), 2 * (1 + 2));
+            }
+            other => panic!("wrong work: {other:?}"),
+        }
+        // Bad labels are typed 422s; the expected-field list is current.
+        let err = sweep(", \"protocols\": [\"moesi\"]").unwrap_err();
+        assert_eq!((err.status, err.kind), (422, "unknown_protocol"));
+        let err = sweep(", \"retention_profiles\": [\"normal(0)\"]").unwrap_err();
+        assert_eq!((err.status, err.kind), (422, "unknown_retention_profile"));
+        let err = sweep(", \"bogus\": 1").unwrap_err();
+        assert!(err.reason.contains("retention_profiles"), "{}", err.reason);
     }
 
     #[test]

@@ -32,6 +32,8 @@ use std::time::{Duration, Instant};
 
 use refrint::anomaly::{detect_points, PointMetrics};
 use refrint::experiment::ExperimentConfig;
+use refrint::sweep::axis_suffix;
+use refrint::{CoherenceProtocol, RetentionProfile};
 use refrint_edram::policy::RefreshPolicy;
 use refrint_engine::json::{escape, parse, Value};
 use refrint_engine::stats::Histogram;
@@ -104,6 +106,11 @@ pub struct PointRequest {
     pub policy: Option<String>,
     /// Retention time in microseconds.
     pub retention_us: Option<u64>,
+    /// Per-bank retention-distribution label (only set when non-default,
+    /// so default point bodies keep their historical bytes).
+    pub retention_profile: Option<String>,
+    /// Coherence-protocol label (only set when non-default).
+    pub protocol: Option<String>,
     /// References per thread.
     pub refs: Option<u64>,
     /// Seed override.
@@ -132,6 +139,12 @@ impl PointRequest {
         }
         if let Some(us) = self.retention_us {
             fields.push(format!("\"retention_us\":{us}"));
+        }
+        if let Some(profile) = &self.retention_profile {
+            fields.push(format!("\"retention_profile\":\"{}\"", escape(profile)));
+        }
+        if let Some(protocol) = &self.protocol {
+            fields.push(format!("\"protocol\":\"{}\"", escape(protocol)));
         }
         if let Some(refs) = self.refs {
             fields.push(format!("\"refs\":{refs}"));
@@ -733,8 +746,8 @@ impl Coordinator {
             outcomes.push(outcome);
             let report = body.trim_end().to_owned();
             match &point.kind {
-                PointKind::Sram => {
-                    sram.insert(point.workload.clone(), report);
+                PointKind::Sram { key } => {
+                    sram.insert(key.clone(), report);
                 }
                 PointKind::Edram {
                     retention_us,
@@ -954,10 +967,13 @@ fn record_cache_hit(spans: &Mutex<Vec<DispatchSpan>>, epoch: Instant, lookup: In
     }
 }
 
-/// The role of one sweep point in the merge.
+/// The role of one sweep point in the merge. The `key` / `policy` strings
+/// are the *composed* report keys — workload or policy label plus the
+/// [`refrint::sweep::axis_suffix`] of any non-default protocol /
+/// retention-profile axes — exactly what the local runner's merge uses.
 #[derive(Debug, Clone, PartialEq, Eq)]
 enum PointKind {
-    Sram,
+    Sram { key: String },
     Edram { retention_us: u64, policy: String },
 }
 
@@ -973,7 +989,7 @@ impl SweepPoint {
     /// The point's stable display label (`lu/sram`, `fft/50us/R.valid`).
     fn label(&self) -> String {
         match &self.kind {
-            PointKind::Sram => format!("{}/sram", self.workload),
+            PointKind::Sram { .. } => format!("{}/sram", self.workload),
             PointKind::Edram {
                 retention_us,
                 policy,
@@ -1040,6 +1056,19 @@ fn sweep_points(config: &ExperimentConfig) -> Result<Vec<SweepPoint>, ApiError> 
         }
     }
 
+    // The same axis expansion the local runner's `jobs()` performs:
+    // workload → protocol → [one SRAM point, then retention → policy →
+    // retention-profile]. Empty axes fall back to the single default point.
+    let protocols = if config.protocols.is_empty() {
+        vec![CoherenceProtocol::Mesi]
+    } else {
+        config.protocols.clone()
+    };
+    let profiles = if config.retention_profiles.is_empty() {
+        vec![RetentionProfile::Uniform]
+    } else {
+        config.retention_profiles.clone()
+    };
     let mut points = Vec::with_capacity(config.total_runs());
     for (workload, trace_file) in &workloads {
         let base = PointRequest {
@@ -1050,28 +1079,45 @@ fn sweep_points(config: &ExperimentConfig) -> Result<Vec<SweepPoint>, ApiError> 
             cores: Some(config.cores),
             ..PointRequest::default()
         };
-        points.push(SweepPoint {
-            workload: workload.clone(),
-            kind: PointKind::Sram,
-            request: PointRequest {
-                sram: true,
-                ..base.clone()
-            },
-        });
-        for &retention_us in &config.retentions_us {
-            for policy in &config.policies {
-                points.push(SweepPoint {
-                    workload: workload.clone(),
-                    kind: PointKind::Edram {
-                        retention_us,
-                        policy: policy.label(),
-                    },
-                    request: PointRequest {
-                        policy: Some(policy.label()),
-                        retention_us: Some(retention_us),
-                        ..base.clone()
-                    },
-                });
+        for &protocol in &protocols {
+            let protocol_label = (!protocol.is_default()).then(|| protocol.label().to_owned());
+            points.push(SweepPoint {
+                workload: workload.clone(),
+                kind: PointKind::Sram {
+                    key: format!(
+                        "{workload}{}",
+                        axis_suffix(protocol, RetentionProfile::Uniform)
+                    ),
+                },
+                request: PointRequest {
+                    sram: true,
+                    protocol: protocol_label.clone(),
+                    ..base.clone()
+                },
+            });
+            for &retention_us in &config.retentions_us {
+                for policy in &config.policies {
+                    for &profile in &profiles {
+                        points.push(SweepPoint {
+                            workload: workload.clone(),
+                            kind: PointKind::Edram {
+                                retention_us,
+                                policy: format!(
+                                    "{}{}",
+                                    policy.label(),
+                                    axis_suffix(protocol, profile)
+                                ),
+                            },
+                            request: PointRequest {
+                                policy: Some(policy.label()),
+                                retention_us: Some(retention_us),
+                                retention_profile: (!profile.is_default()).then(|| profile.label()),
+                                protocol: protocol_label.clone(),
+                                ..base.clone()
+                            },
+                        });
+                    }
+                }
             }
         }
     }
@@ -1173,8 +1219,15 @@ mod tests {
         // Per workload: SRAM, then retention-major × policy-minor.
         assert_eq!(points.len(), 2 * (1 + 2 * 2));
         assert_eq!(points[0].workload, "lu");
-        assert_eq!(points[0].kind, PointKind::Sram);
+        assert_eq!(
+            points[0].kind,
+            PointKind::Sram {
+                key: "lu".to_owned()
+            }
+        );
         assert!(points[0].request.sram);
+        assert_eq!(points[0].request.protocol, None);
+        assert_eq!(points[1].request.retention_profile, None);
         assert_eq!(
             points[1].kind,
             PointKind::Edram {
@@ -1202,6 +1255,74 @@ mod tests {
             assert_eq!(p.request.seed, Some(9));
             assert_eq!(p.request.cores, Some(2));
         }
+    }
+
+    #[test]
+    fn sweep_points_expand_protocol_and_retention_profile_axes() {
+        let config = ExperimentConfig {
+            apps: vec![AppPreset::Lu],
+            retentions_us: vec![50],
+            policies: vec![RefreshPolicy::recommended()],
+            protocols: vec![CoherenceProtocol::Mesi, CoherenceProtocol::Dragon],
+            retention_profiles: vec![
+                RetentionProfile::Uniform,
+                RetentionProfile::Bimodal {
+                    weak_pct: 25,
+                    weak_retention_pct: 60,
+                },
+            ],
+            refs_per_thread: 500,
+            cores: 2,
+            ..ExperimentConfig::default()
+        };
+        let points = sweep_points(&config).unwrap();
+        // Per protocol: one SRAM point plus retention × policy × profile.
+        assert_eq!(points.len(), 2 * (1 + 2));
+        assert_eq!(points.len(), config.total_runs());
+        let policy = RefreshPolicy::recommended().label();
+        let kinds: Vec<PointKind> = points.iter().map(|p| p.kind.clone()).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                PointKind::Sram {
+                    key: "lu".to_owned()
+                },
+                PointKind::Edram {
+                    retention_us: 50,
+                    policy: policy.clone()
+                },
+                PointKind::Edram {
+                    retention_us: 50,
+                    policy: format!("{policy} bimodal(25,60)")
+                },
+                PointKind::Sram {
+                    key: "lu dragon".to_owned()
+                },
+                PointKind::Edram {
+                    retention_us: 50,
+                    policy: format!("{policy} dragon")
+                },
+                PointKind::Edram {
+                    retention_us: 50,
+                    policy: format!("{policy} dragon bimodal(25,60)")
+                },
+            ]
+        );
+        // The forwarded bodies only carry non-default axis fields, so the
+        // default points' run bodies (and thus their per-point cache keys)
+        // are unchanged from a plain sweep.
+        assert_eq!(points[0].request.protocol, None);
+        assert_eq!(points[1].request.retention_profile, None);
+        assert_eq!(points[3].request.protocol.as_deref(), Some("dragon"));
+        assert_eq!(
+            points[5].request.retention_profile.as_deref(),
+            Some("bimodal(25,60)")
+        );
+        assert!(points[5].request.body().contains("\"protocol\":\"dragon\""));
+        assert!(points[5]
+            .request
+            .body()
+            .contains("\"retention_profile\":\"bimodal(25,60)\""));
     }
 
     #[test]

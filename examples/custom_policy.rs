@@ -113,6 +113,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         cores: 16,
         models: vec![Arc::clone(&factory)],
         traces: Vec::new(),
+        protocols: vec![CoherenceProtocol::Mesi],
+        retention_profiles: vec![RetentionProfile::Uniform],
     };
 
     let workers = std::thread::available_parallelism()?.get().max(2);

@@ -230,6 +230,8 @@ fn sweep_config() -> ExperimentConfig {
         cores: 4,
         models: vec![Arc::new(FlatLeaseFactory { budget: 3 })],
         traces: Vec::new(),
+        protocols: vec![CoherenceProtocol::Mesi],
+        retention_profiles: vec![RetentionProfile::Uniform],
     }
 }
 

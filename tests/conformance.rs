@@ -73,3 +73,105 @@ fn injected_decay_off_by_one_is_caught_and_shrunk() {
         "{rendered}"
     );
 }
+
+/// The quick-mode scenario stream actually exercises the coherence and
+/// retention-distribution axes: a healthy share of Dragon scenarios and
+/// non-uniform retention profiles, every spec round-tripping through
+/// `Scenario::from_spec` (the `--scenario` repro path) with both axes
+/// intact. Pure generation — no simulations — so it costs nothing
+/// against the quick-mode wall-clock budget.
+#[test]
+fn quick_mode_covers_protocol_and_retention_axes() {
+    use refrint::{CoherenceProtocol, RetentionProfile};
+    use refrint_oracle::scenario::Scenario;
+
+    let mut dragon = 0u64;
+    let mut non_uniform = 0u64;
+    for index in 0..200 {
+        let scenario = Scenario::generate(CI_SEED, index);
+        if scenario.protocol == CoherenceProtocol::Dragon {
+            dragon += 1;
+        }
+        if scenario.profile != RetentionProfile::Uniform {
+            non_uniform += 1;
+        }
+        let spec = scenario.spec();
+        let round = Scenario::from_spec(&spec).expect("every generated spec parses back");
+        assert_eq!(round.protocol, scenario.protocol, "{spec}");
+        assert_eq!(round.profile, scenario.profile, "{spec}");
+        assert_eq!(round.spec(), spec, "spec must round-trip exactly");
+    }
+    assert!(
+        (40..=160).contains(&dragon),
+        "Dragon share drifted: {dragon}/200"
+    );
+    assert!(
+        non_uniform >= 30,
+        "non-uniform retention share drifted: {non_uniform}/200"
+    );
+}
+
+/// Conformance with the protocol axis pinned (the CI matrix sets
+/// `REFRINT_CONFORMANCE_PROTOCOL=mesi|dragon`): every quick-mode scenario
+/// is forced onto one protocol and must still agree field for field. A
+/// reduced scenario count keeps the pinned pass inside the quick-mode
+/// budget when run alongside the main stream.
+#[test]
+fn oracle_and_simulator_agree_with_a_pinned_protocol() {
+    use refrint::CoherenceProtocol;
+    use refrint_oracle::harness::run_scenario;
+    use refrint_oracle::scenario::Scenario;
+
+    let protocol: CoherenceProtocol = std::env::var("REFRINT_CONFORMANCE_PROTOCOL")
+        .ok()
+        .map(|v| {
+            v.parse()
+                .expect("REFRINT_CONFORMANCE_PROTOCOL must be mesi or dragon")
+        })
+        .unwrap_or(CoherenceProtocol::Dragon);
+    let count = std::env::var("REFRINT_CONFORMANCE_PROTOCOL")
+        .map(|_| scenario_count())
+        .unwrap_or(48);
+    for index in 0..count {
+        let mut scenario = Scenario::generate(CI_SEED ^ 0xD0_0D, index);
+        scenario.protocol = protocol;
+        let diffs = run_scenario(&scenario).expect("pinned scenario must run");
+        assert!(
+            diffs.is_empty(),
+            "{protocol} divergence on `{}`:\n{}",
+            scenario.spec(),
+            diffs
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}
+
+/// The Dragon-specific planted fault (update broadcasts mis-executed as
+/// invalidations) is caught inside the quick-mode budget and shrinks to a
+/// `protocol=dragon` repro — the protocol axis is never shrunk away from
+/// a protocol-dependent divergence.
+#[test]
+fn injected_dragon_update_fault_is_caught_and_shrunk() {
+    use refrint::CoherenceProtocol;
+
+    let outcome = run_check(
+        CI_SEED,
+        200,
+        Some(Fault::DragonUpdateInvalidates),
+        |_, _| {},
+    )
+    .expect("scenarios must run");
+    let divergence = outcome
+        .divergence
+        .expect("the planted Dragon fault must be caught");
+    assert_eq!(divergence.shrunk.protocol, CoherenceProtocol::Dragon);
+    let rendered = divergence.to_string();
+    assert!(rendered.contains("protocol=dragon"), "{rendered}");
+    assert!(
+        rendered.contains("refrint-cli check --scenario"),
+        "{rendered}"
+    );
+}

@@ -88,6 +88,54 @@ fn coordinator_sweeps_are_byte_identical_at_any_backend_count() {
     }
 }
 
+/// A sweep carrying the coherence-protocol and retention-profile axes
+/// fans out, forwards the axis fields to the backends, and merges to the
+/// exact bytes of a local axis sweep — the composed report keys
+/// (`lu dragon`, `R.WB(32,32) dragon bimodal(25,60)`) survive the trip.
+#[test]
+fn coordinator_axis_sweeps_match_the_local_runner() {
+    const AXIS_BODY: &str = "{\"apps\":[\"lu\"],\"refs\":400,\"cores\":2,\
+                             \"policies\":[\"R.WB(32,32)\"],\"retentions_us\":[50],\
+                             \"protocols\":[\"mesi\",\"dragon\"],\
+                             \"retention_profiles\":[\"uniform\",\"bimodal(25,60)\"]}";
+    let mut cfg = ExperimentConfig::quick()
+        .with_apps(vec![AppPreset::Lu])
+        .with_refs_per_thread(400)
+        .with_protocols(vec![CoherenceProtocol::Mesi, CoherenceProtocol::Dragon])
+        .with_retention_profiles(vec![
+            RetentionProfile::Uniform,
+            RetentionProfile::Bimodal {
+                weak_pct: 25,
+                weak_retention_pct: 60,
+            },
+        ]);
+    cfg.cores = 2;
+    cfg.policies = vec!["R.WB(32,32)".parse::<RefreshPolicy>().expect("valid label")];
+    cfg.retentions_us = vec![50];
+    let results = SweepRunner::new(cfg)
+        .sequential()
+        .run()
+        .expect("valid axis sweep");
+    let expected = format!("{}\n", refrint::json::sweep(&results)).into_bytes();
+
+    let backends: Vec<RunningServer> = (0..2).map(|_| start_backend()).collect();
+    let views: Vec<&RunningServer> = backends.iter().collect();
+    let coordinator = start_coordinator(&views, None);
+    let response = client::post(coordinator.addr(), "/sweep", AXIS_BODY.as_bytes())
+        .expect("axis sweep reaches the coordinator");
+    assert_eq!(response.status, 200, "{}", response.body_str());
+    assert_eq!(
+        response.body, expected,
+        "axis sweep must be byte-identical to a local SweepRunner"
+    );
+    let body = String::from_utf8_lossy(&response.body).into_owned();
+    assert!(body.contains("R.WB(32,32) dragon bimodal(25,60)"), "{body}");
+    coordinator.shutdown();
+    for backend in backends {
+        backend.shutdown();
+    }
+}
+
 #[test]
 fn backend_killed_mid_sweep_is_reassigned_without_changing_the_bytes() {
     let expected = local_sweep_bytes();

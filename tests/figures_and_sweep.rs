@@ -23,8 +23,7 @@ fn reduced_sweep() -> refrint::SweepResults {
         refs_per_thread: 2_500,
         seed: 9,
         cores: 8,
-        models: Vec::new(),
-        traces: Vec::new(),
+        ..ExperimentConfig::default()
     };
     run_sweep(&cfg).expect("reduced sweep must run")
 }

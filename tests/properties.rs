@@ -282,3 +282,66 @@ fn workload_streams_are_bounded_and_deterministic() {
         assert!(a.iter().all(|r| r.addr.raw() < footprint), "case {case}");
     }
 }
+
+/// The per-bank retention sampler is a pure function of (profile, seed,
+/// bank index): factors are deterministic, independent of how many banks
+/// are sampled alongside (per-bank forked RNG), and always inside the
+/// clamp. This is the property that makes sweep results identical across
+/// worker counts — every worker derives the same per-bank assignment from
+/// the config seed alone.
+#[test]
+fn retention_factors_are_seeded_per_bank_functions() {
+    use refrint_edram::variation::RetentionProfile;
+    for case in 0..CASES {
+        let mut rng = rng_for(9, case);
+        let seed = rng.next_u64();
+        let profile = match rng.below(3) {
+            0 => RetentionProfile::Uniform,
+            1 => RetentionProfile::Normal {
+                sigma_pct: 1 + rng.below(30) as u8,
+            },
+            _ => RetentionProfile::Bimodal {
+                weak_pct: 1 + rng.below(99) as u8,
+                weak_retention_pct: 30 + rng.below(70) as u8,
+            },
+        };
+        let banks = 1 + rng.below(64) as usize;
+        let a = profile.factors_per_mille(seed, banks);
+        let b = profile.factors_per_mille(seed, banks);
+        assert_eq!(a, b, "case {case}: {profile:?} is not deterministic");
+        assert_eq!(a.len(), banks, "case {case}");
+        assert!(
+            a.iter().all(|&f| (50..=4000).contains(&f)),
+            "case {case}: factor outside clamp in {a:?}"
+        );
+        // Bank b's factor must not depend on the total bank count.
+        let wider = profile.factors_per_mille(seed, banks + 17);
+        assert_eq!(&wider[..banks], &a[..], "case {case}: {profile:?}");
+        if profile == RetentionProfile::Uniform {
+            assert!(a.iter().all(|&f| f == 1000), "case {case}");
+        }
+    }
+}
+
+/// A spelled-out uniform profile is the byte-for-byte default: the
+/// per-bank retention assignment (and therefore every downstream report)
+/// is identical to a config that never mentions a profile.
+#[test]
+fn spelled_out_uniform_profile_is_the_default_bit_for_bit() {
+    use refrint::config::SystemConfig;
+    use refrint::RetentionProfile;
+    for case in 0..CASES {
+        let mut rng = rng_for(10, case);
+        let seed = rng.next_u64();
+        let plain = SystemConfig::edram_recommended().with_seed(seed);
+        let spelled = plain
+            .clone()
+            .with_retention_profile(RetentionProfile::Uniform);
+        assert_eq!(
+            format!("{:?}", plain.bank_retentions()),
+            format!("{:?}", spelled.bank_retentions()),
+            "case {case}"
+        );
+        assert_eq!(plain.label(), spelled.label(), "case {case}");
+    }
+}

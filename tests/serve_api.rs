@@ -611,6 +611,92 @@ fn cache_key_ignores_field_order_and_spelled_out_defaults() {
     server.shutdown();
 }
 
+/// Cache-key conformance for the coherence-protocol and retention-profile
+/// axes: spelled-out defaults still hit the default entry, a non-default
+/// axis keys (and simulates) separately in any field order, and the two
+/// axes never collide with each other.
+#[test]
+fn protocol_and_retention_profile_axes_key_separately() {
+    let server = start(ServerOptions::default());
+    let addr = server.addr();
+
+    let base = client::post(
+        addr,
+        "/run",
+        b"{\"app\": \"radix\", \"refs\": 400, \"cores\": 2}",
+    )
+    .unwrap();
+    assert_eq!(base.status, 200, "{}", base.body_str());
+    assert_eq!(base.header("X-Refrint-Cache"), Some("miss"));
+
+    // Spelling out the default axes must hit the default entry.
+    let spelled = client::post(
+        addr,
+        "/run",
+        b"{\"retention_profile\": \"uniform\", \"protocol\": \"mesi\", \
+          \"app\": \"radix\", \"refs\": 400, \"cores\": 2}",
+    )
+    .unwrap();
+    assert_eq!(spelled.status, 200, "{}", spelled.body_str());
+    assert_eq!(spelled.header("X-Refrint-Cache"), Some("hit"));
+    assert_eq!(spelled.body, base.body);
+
+    // A non-default protocol is a different simulation: miss, then a hit
+    // under a permuted field order, never the MESI bytes.
+    let dragon = client::post(
+        addr,
+        "/run",
+        b"{\"app\": \"radix\", \"refs\": 400, \"cores\": 2, \"protocol\": \"dragon\"}",
+    )
+    .unwrap();
+    assert_eq!(dragon.status, 200, "{}", dragon.body_str());
+    assert_eq!(dragon.header("X-Refrint-Cache"), Some("miss"));
+    let dragon_reordered = client::post(
+        addr,
+        "/run",
+        b"{\"protocol\": \"dragon\", \"cores\": 2, \"refs\": 400, \"app\": \"radix\"}",
+    )
+    .unwrap();
+    assert_eq!(dragon_reordered.header("X-Refrint-Cache"), Some("hit"));
+    assert_eq!(dragon_reordered.body, dragon.body);
+
+    // A non-default retention profile keys separately from both.
+    let bimodal = client::post(
+        addr,
+        "/run",
+        b"{\"app\": \"radix\", \"refs\": 400, \"cores\": 2, \
+          \"retention_profile\": \"bimodal(25,60)\"}",
+    )
+    .unwrap();
+    assert_eq!(bimodal.status, 200, "{}", bimodal.body_str());
+    assert_eq!(bimodal.header("X-Refrint-Cache"), Some("miss"));
+    let bimodal_again = client::post(
+        addr,
+        "/run",
+        b"{\"retention_profile\": \"bimodal(25,60)\", \"app\": \"radix\", \
+          \"refs\": 400, \"cores\": 2}",
+    )
+    .unwrap();
+    assert_eq!(bimodal_again.header("X-Refrint-Cache"), Some("hit"));
+    assert_eq!(bimodal_again.body, bimodal.body);
+
+    // Bad axis labels are typed 422s, not 500s or dropped connections.
+    let err = client::post(
+        addr,
+        "/run",
+        b"{\"app\": \"radix\", \"protocol\": \"moesi\"}",
+    )
+    .unwrap();
+    assert_eq!(err.status, 422, "{}", err.body_str());
+    assert!(
+        err.body_str().contains("unknown_protocol"),
+        "{}",
+        err.body_str()
+    );
+
+    server.shutdown();
+}
+
 // ---------------------------------------------------------------------------
 // Request-scoped tracing
 // ---------------------------------------------------------------------------
